@@ -1,0 +1,49 @@
+//! Figure 10: distribution of prediction errors per edge — the paper's
+//! violin plots, rendered as quantile summaries (min / p25 / p50 / p75 /
+//! p95 / max) for the linear and boosted models side by side.
+//!
+//! Paper: the XGB violin sits below the LR violin on most edges, with a
+//! tighter body.
+
+use wdt_bench::standard_log;
+use wdt_bench::table::TableWriter;
+use wdt_features::extract_features;
+use wdt_ml::ViolinSummary;
+use wdt_model::{run_per_edge, PerEdgeConfig};
+
+fn main() {
+    let log = standard_log();
+    let features = extract_features(&log.records);
+    let mut exps = run_per_edge(&features, &PerEdgeConfig::default());
+    exps.sort_by_key(|a| a.edge);
+
+    let mut t = TableWriter::new(
+        "Figure 10 — per-edge absolute % error distributions (violin summaries)",
+        &["edge", "model", "p25", "p50", "p75", "p95", "max"],
+    );
+    let mut tighter = 0usize;
+    for e in &exps {
+        let lr = ViolinSummary::of(&e.lr.abs_pct_errors);
+        let xgb = ViolinSummary::of(&e.xgb.abs_pct_errors);
+        for (name, v) in [("LR", lr), ("XGB", xgb)] {
+            t.row(&[
+                e.edge.to_string(),
+                name.into(),
+                format!("{:.1}", v.p25),
+                format!("{:.1}", v.p50),
+                format!("{:.1}", v.p75),
+                format!("{:.1}", v.p95),
+                format!("{:.1}", v.max),
+            ]);
+        }
+        if xgb.p75 - xgb.p25 < lr.p75 - lr.p25 {
+            tighter += 1;
+        }
+    }
+    t.print();
+    println!(
+        "\nXGB violin body (IQR) tighter than LR on {}/{} edges (paper: most edges)",
+        tighter,
+        exps.len()
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 4: aggregate incoming transfer rate vs. total concurrency
+//! (instantaneous GridFTP instance count) at four heavily used endpoints,
+//! with a Weibull curve fitted to each.
+//!
+//! Paper: throughput first rises with concurrency, then declines — the
+//! motivation for scheduling/limiting concurrency in the conclusions.
+
+use wdt_bench::table::{mbps, TableWriter};
+use wdt_bench::standard_log;
+use wdt_features::{bucket_by_concurrency, concurrency_profile};
+use wdt_ml::WeibullCurve;
+use wdt_types::EndpointId;
+use std::collections::HashMap;
+
+fn main() {
+    let log = standard_log();
+    // The four endpoints receiving the most transfers (the paper uses
+    // NERSC-DTN, Colorado, JLAB, UCAR).
+    let mut incoming: HashMap<u32, usize> = HashMap::new();
+    for r in &log.records {
+        *incoming.entry(r.dst.0).or_default() += 1;
+    }
+    let mut busiest: Vec<(u32, usize)> = incoming.into_iter().collect();
+    busiest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    for &(ep, n_in) in busiest.iter().take(4) {
+        let samples = concurrency_profile(&log.records, EndpointId(ep));
+        let all_buckets = bucket_by_concurrency(&samples);
+        // Keep only concurrency levels the endpoint actually dwelled at
+        // (≥ 0.2% of total observed time) — fleeting states are noise.
+        let total_w: f64 = all_buckets.iter().map(|b| b.2).sum();
+        let buckets: Vec<(f64, f64)> = all_buckets
+            .iter()
+            .filter(|b| b.2 >= 0.002 * total_w)
+            .map(|b| (b.0, b.1))
+            .collect();
+        let fit = WeibullCurve::fit(&buckets);
+
+        let mut t = TableWriter::new(
+            format!("Figure 4 — endpoint ep{ep} ({n_in} incoming transfers)"),
+            &["concurrency", "mean incoming MB/s", "Weibull fit MB/s"],
+        );
+        // Print at most 20 evenly spaced buckets across the whole range.
+        let step = (buckets.len() / 20).max(1);
+        for &(c, rate) in buckets.iter().step_by(step) {
+            t.row(&[
+                format!("{c:.0}"),
+                mbps(rate),
+                fit.map_or("-".into(), |w| mbps(w.eval(c))),
+            ]);
+        }
+        t.print();
+        let max_c = buckets.last().map_or(0.0, |b| b.0);
+        match fit {
+            Some(w) if w.peak_x() <= 2.0 * max_c => println!(
+                "Weibull fit: k={:.2} λ={:.1}; peak at concurrency ≈ {:.1} — rise-then-fall as in the paper",
+                w.k,
+                w.lambda,
+                w.peak_x(),
+            ),
+            Some(w) => println!(
+                "Weibull fit: k={:.2}; rate still rising at the highest observed concurrency ({max_c:.0}) — this endpoint never reached its saturation point in the log",
+                w.k,
+            ),
+            None => println!("Weibull fit failed (too few concurrency levels)"),
+        }
+    }
+}

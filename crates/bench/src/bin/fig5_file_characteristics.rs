@@ -1,0 +1,75 @@
+//! Figure 5: file characteristics vs. transfer performance on one heavy
+//! edge (the paper uses JLAB → NERSC).
+//!
+//! Transfers are grouped into 20 total-size buckets; within each bucket,
+//! transfers are split at the median average-file-size into "small files"
+//! and "big files" subgroups. Paper: larger totals achieve higher rates,
+//! and within a bucket the big-files subgroup beats the small-files one.
+
+use wdt_bench::standard_log;
+use wdt_bench::table::{mbps, TableWriter};
+use wdt_features::{edge_stats, extract_features};
+use wdt_ml::quantile;
+
+fn main() {
+    let log = standard_log();
+    let features = extract_features(&log.records);
+    // Densest edge in the log.
+    let stats = edge_stats(&features);
+    let edge = stats
+        .values()
+        .max_by_key(|s| s.transfers)
+        .expect("nonempty log")
+        .edge;
+    let mut on_edge: Vec<_> = features.iter().filter(|f| f.edge == edge).collect();
+    on_edge.sort_by(|a, b| a.n_b.partial_cmp(&b.n_b).expect("finite"));
+
+    let groups = 20usize;
+    let mut t = TableWriter::new(
+        format!("Figure 5 — edge {edge}: rate by total size × average file size ({} transfers)", on_edge.len()),
+        &["size bucket", "median GB", "small-files MB/s", "big-files MB/s", "big>small"],
+    );
+    let mut big_wins = 0usize;
+    let mut comparable = 0usize;
+    let per = on_edge.len() / groups;
+    for g in 0..groups {
+        let lo = g * per;
+        let hi = if g == groups - 1 { on_edge.len() } else { lo + per };
+        let bucket = &on_edge[lo..hi];
+        if bucket.len() < 6 {
+            continue;
+        }
+        let avg_sizes: Vec<f64> = bucket.iter().map(|f| f.n_b / f.n_f.max(1.0)).collect();
+        let med_file = quantile(&avg_sizes, 0.5);
+        let (small, big): (Vec<_>, Vec<_>) =
+            bucket.iter().partition(|f| f.n_b / f.n_f.max(1.0) < med_file);
+        let mean = |v: &[&&wdt_features::TransferFeatures]| {
+            v.iter().map(|f| f.rate).sum::<f64>() / v.len().max(1) as f64
+        };
+        let (sr, br) = (mean(&small.iter().collect::<Vec<_>>()), mean(&big.iter().collect::<Vec<_>>()));
+        let med_total: Vec<f64> = bucket.iter().map(|f| f.n_b).collect();
+        let win = br > sr;
+        big_wins += win as usize;
+        comparable += 1;
+        t.row(&[
+            format!("{}", g + 1),
+            format!("{:.1}", quantile(&med_total, 0.5) / 1e9),
+            mbps(sr),
+            mbps(br),
+            if win { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t.print();
+    println!(
+        "\nbig-files subgroup wins in {big_wins}/{comparable} buckets (paper: most buckets)"
+    );
+    // The headline monotone trend: bottom vs top size quartile.
+    let q = on_edge.len() / 4;
+    let low: f64 = on_edge[..q].iter().map(|f| f.rate).sum::<f64>() / q as f64;
+    let high: f64 = on_edge[3 * q..].iter().map(|f| f.rate).sum::<f64>() / (on_edge.len() - 3 * q) as f64;
+    println!(
+        "mean rate, smallest size quartile: {} MB/s; largest: {} MB/s (paper: larger ⇒ faster)",
+        mbps(low),
+        mbps(high)
+    );
+}

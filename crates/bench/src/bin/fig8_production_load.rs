@@ -1,0 +1,78 @@
+//! Figure 8: transfer rate vs. relative external load on four *production*
+//! heavy edges — the messy counterpart of Figure 3.
+//!
+//! On the controlled ESnet testbed (Figure 3) the fastest transfer always
+//! sits at zero known load. On production edges it usually does not: for
+//! three of the paper's four edges "the maximum observed transfer rate is
+//! at a point other than when the load from other Globus transfers is the
+//! lowest" — evidence of competition from *non-Globus* activity, which
+//! motivates the §4.3.2 threshold filter. Our standard campaign has hidden
+//! background load by construction, so the same signature should appear.
+
+use wdt_bench::standard_log;
+use wdt_bench::table::{mbps, TableWriter};
+use wdt_features::{eligible_edges, extract_features};
+
+fn main() {
+    let log = standard_log();
+    let features = extract_features(&log.records);
+    let edges = eligible_edges(&features, 0.5, 300);
+
+    let mut off_minimum = 0usize;
+    let mut shown = 0usize;
+    for (edge, _) in edges.iter().take(4) {
+        let on_edge: Vec<_> = features.iter().filter(|f| f.edge == *edge).collect();
+        let mut t = TableWriter::new(
+            format!("Figure 8 — {edge}: rate vs relative external load (production)"),
+            &["load bin", "n", "mean rate MB/s", "max rate MB/s"],
+        );
+        let bins = 5;
+        for b in 0..bins {
+            let lo = b as f64 / bins as f64;
+            let hi = lo + 1.0 / bins as f64;
+            let in_bin: Vec<f64> = on_edge
+                .iter()
+                .filter(|f| {
+                    let l = f.relative_external_load();
+                    l >= lo && (l < hi || (b == bins - 1 && l <= 1.0))
+                })
+                .map(|f| f.rate)
+                .collect();
+            if in_bin.is_empty() {
+                continue;
+            }
+            t.row(&[
+                format!("[{lo:.1},{hi:.1})"),
+                in_bin.len().to_string(),
+                mbps(in_bin.iter().sum::<f64>() / in_bin.len() as f64),
+                mbps(in_bin.iter().cloned().fold(0.0f64, f64::max)),
+            ]);
+        }
+        t.print();
+        let best = on_edge
+            .iter()
+            .max_by(|a, b| a.rate.partial_cmp(&b.rate).expect("finite"))
+            .expect("edge has transfers");
+        let best_load = best.relative_external_load();
+        // "Off minimum": the fastest transfer did not occur in the lowest
+        // observed load decile of the edge.
+        let min_load = on_edge
+            .iter()
+            .map(|f| f.relative_external_load())
+            .fold(f64::INFINITY, f64::min);
+        let off = best_load > min_load + 0.05;
+        off_minimum += off as usize;
+        shown += 1;
+        println!(
+            "max-rate transfer: {} MB/s at relative external load {:.3} (edge min {:.3}) — {}",
+            mbps(best.rate),
+            best_load,
+            min_load,
+            if off { "NOT at minimum load (hidden competition)" } else { "at minimum load" }
+        );
+    }
+    println!(
+        "\nmax-rate transfer sits away from minimum known load on {off_minimum}/{shown} edges \
+         (paper: 3/4 — the case for the threshold filter)"
+    );
+}

@@ -1,0 +1,168 @@
+//! §5.5.2: eliminating the unknowns with storage monitoring.
+//!
+//! The paper runs 666 uniform Globus test transfers between two Lustre
+//! filesystems at NERSC while 10 additional Globus load transfers run at
+//! all times, sampling OST disk I/O and OSS CPU with LMT every 5 s.
+//! A GBDT on the standard features reaches a 95th-percentile error of
+//! 9.29%; adding the four storage-load features collapses it to 1.26%.
+//!
+//! We reproduce the setup: two facility endpoints at the same site,
+//! continuous Globus load transfers (visible in the log), heavy *hidden*
+//! storage background (invisible — the unknown), and an LMT monitor that
+//! sees the storage truth.
+
+use wdt_bench::table::TableWriter;
+use wdt_features::extract_features;
+use wdt_geo::SiteCatalog;
+use wdt_model::{compare_with_lmt, FitConfig};
+use wdt_sim::{
+    BackgroundProcess, BgKind, Endpoint, EndpointCatalog, LmtMonitor, SimConfig, Simulator,
+};
+use wdt_storage::{LustreFs, StorageSystem};
+use wdt_types::{Bytes, EndpointId, Rate, SeedSeq, SimTime, TransferId, TransferRequest};
+
+fn nersc_pair() -> EndpointCatalog {
+    let loc = SiteCatalog::by_name("NERSC").expect("catalog").location;
+    let mut cat = EndpointCatalog::new();
+    for (i, name) in ["nersc#dtn", "nersc#edison"].iter().enumerate() {
+        cat.push(Endpoint::server(
+            EndpointId(i as u32),
+            *name,
+            "NERSC",
+            loc,
+            2,
+            Rate::gbit(10.0),
+            StorageSystem::facility(Rate::gbit(16.0), Rate::gbit(12.0)),
+        ));
+    }
+    cat
+}
+
+fn main() {
+    let seed = SeedSeq::new(55);
+    // Controlled experiment: faults off (a single 120 s retry would wreck a
+    // 60 s test transfer's rate in a way *neither* feature set can explain,
+    // which is not what §5.5.2 studies).
+    let cfg = SimConfig {
+        faults_enabled: false,
+        // DTN-to-DTN hardware at one site is highly repeatable.
+        flow_jitter: 0.01,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(nersc_pair(), cfg, &seed);
+
+    // Hidden storage load: on/off readers on the source filesystem and
+    // writers on the destination one, toggling on minute scales — the
+    // "unknown" the standard features cannot see.
+    // Holding times are long relative to a test transfer (~1-2 min), so
+    // each test sees a roughly constant hidden state — as at NERSC, where
+    // production storage load shifts on scheduler timescales.
+    for (ep, kind, mbps, on, off) in [
+        (0u32, BgKind::DiskRead, 500.0, 900.0, 1300.0),
+        (0, BgKind::DiskRead, 300.0, 1500.0, 2100.0),
+        (1, BgKind::DiskWrite, 400.0, 1100.0, 1500.0),
+        (1, BgKind::DiskWrite, 250.0, 1700.0, 2300.0),
+    ] {
+        sim.add_background(BackgroundProcess {
+            endpoint: EndpointId(ep),
+            kind,
+            rate_when_on: Rate::mbps(mbps),
+            mean_on_s: on,
+            mean_off_s: off,
+            on: false,
+        });
+    }
+
+    // 666 uniform test transfers (identical Nb/Nf/Nd, like the paper's),
+    // one every 500 s.
+    let n_tests = 666u64;
+    let gap = 500.0;
+    for i in 0..n_tests {
+        sim.submit(TransferRequest {
+            id: TransferId(i),
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            submit: SimTime::seconds(i as f64 * gap),
+            bytes: Bytes::gb(10.0),
+            files: 64,
+            dirs: 4,
+            concurrency: 4,
+            parallelism: 4,
+            checksum: true,
+        });
+    }
+    // ~10 Globus load transfers alive at (almost) all times, as in the
+    // paper: ten lanes of long back-to-back bulk transfers in the test
+    // direction, with occasional idle gaps so the *visible* competing load
+    // varies slowly — the K/S/G features must carry real signal for the
+    // baseline model, while each individual test transfer still sees a
+    // near-constant environment.
+    use rand::{Rng, SeedableRng};
+    let mut lane_rng = rand::rngs::StdRng::seed_from_u64(seed.derive("lanes"));
+    let horizon = n_tests as f64 * gap;
+    let mut id = n_tests;
+    for lane in 0..10 {
+        let mut t = lane as f64 * 300.0;
+        while t < horizon {
+            let gb = lane_rng.gen_range(200.0..600.0);
+            sim.submit(TransferRequest {
+                id: TransferId(id),
+                src: EndpointId(0),
+                dst: EndpointId(1),
+                submit: SimTime::seconds(t),
+                bytes: Bytes::gb(gb),
+                files: 500,
+                dirs: 20,
+                concurrency: 2,
+                parallelism: 4,
+                checksum: true,
+            });
+            id += 1;
+            // Advance by the expected duration plus an occasional gap.
+            t += gb * 1e9 / 70e6 + if lane_rng.gen_bool(0.25) { lane_rng.gen_range(300.0..1500.0) } else { 0.0 };
+        }
+    }
+
+    // LMT monitor over both endpoints, 5-second cadence.
+    sim.set_lmt_monitor(LmtMonitor::new(
+        vec![EndpointId(0), EndpointId(1)],
+        LustreFs::new(16, Rate::mbps(1100.0), 4),
+        SimTime::ZERO,
+        SimTime::seconds(horizon + 20_000.0),
+    ));
+
+    eprintln!("[lmt] simulating {} test + {} load transfers ...", n_tests, id - n_tests);
+    let out = sim.run();
+    let features = extract_features(&out.records);
+    let tests: Vec<_> =
+        features.iter().filter(|f| f.id.0 < n_tests).cloned().collect();
+    eprintln!("[lmt] {} LMT samples, {} test transfers", out.lmt.len(), tests.len());
+
+    let cfg = FitConfig::default();
+    let cmp = compare_with_lmt(&tests, &out.lmt, &cfg, 9).expect("models fit");
+    let mut t = TableWriter::new(
+        "§5.5.2 — storage-load features vs baseline (GBDT, 70/30 split)",
+        &["model", "MdAPE %", "p95 %"],
+    );
+    t.row(&[
+        "baseline (Table 2 features)".into(),
+        format!("{:.2}", cmp.baseline.mdape),
+        format!("{:.2}", cmp.baseline.p95),
+    ]);
+    t.row(&[
+        "+ OST/OSS load features".into(),
+        format!("{:.2}", cmp.augmented.mdape),
+        format!("{:.2}", cmp.augmented.p95),
+    ]);
+    t.print();
+    println!("paper: p95 9.29% → 1.26% after adding the four storage-load features");
+    println!(
+        "error reduction: {:.1}x on MdAPE, {:.1}x on p95",
+        cmp.baseline.mdape / cmp.augmented.mdape.max(1e-9),
+        cmp.baseline.p95 / cmp.augmented.p95.max(1e-9)
+    );
+    println!(
+        "(residual tail: tests that straddle a load-transfer start/finish see a \
+         mid-transfer regime change that window-mean features blur)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Table 1: experimentally determined `Rmax`, `DWmax`, `DRmax`, `MMmax`
+//! (Gb/s) on the simulated ESnet testbed, with the row minimum of the three
+//! subsystem ceilings marked — Eq. 1 says `Rmax` may not exceed it.
+//!
+//! Paper values sit in 6.2–7.8 Gb/s for `Rmax`/`DWmax`, ~8.7–9.3 for
+//! `DRmax`, ~8.8–9.5 for `MMmax`; every row satisfies the bound, and the
+//! limiter is usually disk write (CERN rows: network).
+
+use wdt_bench::table::{gbit, TableWriter};
+use wdt_sim::instruments::measure_edge_maxima;
+use wdt_sim::{esnet_testbed, EsnetSite};
+use wdt_types::SeedSeq;
+
+fn main() {
+    let testbed = esnet_testbed();
+    let seed = SeedSeq::new(2017);
+    let mut t = TableWriter::new(
+        "Table 1 — ESnet testbed maxima (Gb/s); * marks min(DW, DR, MM)",
+        &["From", "To", "Rmax", "DWmax", "DRmax", "MMmax", "Rmax<=min", "limiter"],
+    );
+    let mut violations = 0;
+    for from in EsnetSite::ALL {
+        for to in EsnetSite::ALL {
+            if from == to {
+                continue;
+            }
+            let m = measure_edge_maxima(
+                &testbed,
+                from.endpoint(),
+                to.endpoint(),
+                5,
+                &seed.subseq(&format!("{}-{}", from.name(), to.name())),
+            );
+            let bound = m.bound().as_f64();
+            let star = |v: f64| {
+                if (v - bound).abs() < 1e-9 {
+                    format!("{}*", gbit(v))
+                } else {
+                    gbit(v)
+                }
+            };
+            let ok = m.r_max.as_f64() <= bound * 1.05;
+            violations += (!ok) as u32;
+            t.row(&[
+                from.name().into(),
+                to.name().into(),
+                gbit(m.r_max.as_f64()),
+                star(m.dw_max.as_f64()),
+                star(m.dr_max.as_f64()),
+                star(m.mm_max.as_f64()),
+                if ok { "yes".into() } else { "NO".into() },
+                m.limiter().into(),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nedges consistent with Eq. 1: {}/12  (paper: 12/12)", 12 - violations);
+}

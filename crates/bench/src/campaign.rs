@@ -1,0 +1,159 @@
+//! The standard simulation campaign shared by the experiments.
+//!
+//! Most figures/tables analyze the same "production log". Generating it
+//! means simulating a month of fleet-wide traffic, which takes a minute or
+//! two, so the log is cached on disk (keyed by spec hash) and reloaded by
+//! subsequent experiment binaries.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use wdt_sim::{SimConfig, Simulator};
+use wdt_types::{SeedSeq, TransferRecord};
+use wdt_workload::{FleetSpec, Workload, WorkloadSpec};
+
+/// Specification of the standard campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignSpec {
+    /// Root seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Simulated days.
+    pub days: f64,
+    /// Heavy edges to generate (the paper models 30).
+    pub heavy_edges: usize,
+    /// Sparse long-tail edges.
+    pub sparse_edges: usize,
+    /// Background-load processes per endpoint.
+    pub bg_per_endpoint: usize,
+    /// Background-load intensity scale in [0, 1].
+    pub bg_intensity: f64,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            seed: 2017,
+            days: 30.0,
+            heavy_edges: 45,
+            sparse_edges: 400,
+            bg_per_endpoint: 6,
+            bg_intensity: 0.4,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// A smaller spec for smoke tests and quick iterations.
+    pub fn small() -> Self {
+        CampaignSpec {
+            days: 8.0,
+            heavy_edges: 10,
+            sparse_edges: 80,
+            ..Default::default()
+        }
+    }
+
+    fn cache_key(&self) -> String {
+        format!(
+            "log_s{}_d{}_h{}_sp{}_bg{}x{}",
+            self.seed, self.days, self.heavy_edges, self.sparse_edges, self.bg_per_endpoint,
+            self.bg_intensity
+        )
+    }
+
+    fn cache_path(&self) -> PathBuf {
+        let dir = std::env::var("WDT_CACHE_DIR").unwrap_or_else(|_| "target/wdt-cache".into());
+        PathBuf::from(dir).join(format!("{}.json", self.cache_key()))
+    }
+
+    /// Generate the workload (fleet + requests) for this spec.
+    pub fn workload(&self) -> Workload {
+        let seed = SeedSeq::new(self.seed);
+        WorkloadSpec {
+            fleet: FleetSpec::default(),
+            heavy_edges: self.heavy_edges,
+            heavy_sessions_per_day: 16.0,
+            heavy_session_len: 5.0,
+            sparse_edges: self.sparse_edges,
+            days: self.days,
+        }
+        .generate(&seed)
+    }
+
+    /// Run the simulation (no cache).
+    pub fn simulate(&self) -> CampaignOutput {
+        let seed = SeedSeq::new(self.seed);
+        let workload = self.workload();
+        let mut sim = Simulator::new(workload.endpoints.clone(), SimConfig::default(), &seed);
+        sim.add_default_background(self.bg_per_endpoint, self.bg_intensity);
+        for req in &workload.requests {
+            sim.submit(req.clone());
+        }
+        let out = sim.run();
+        CampaignOutput {
+            records: out.records,
+            heavy_edges: workload.heavy_edges.iter().map(|e| (e.src.0, e.dst.0)).collect(),
+        }
+    }
+
+    /// Run the simulation, or load it from the on-disk cache.
+    pub fn simulate_cached(&self) -> CampaignOutput {
+        let path = self.cache_path();
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(out) = serde_json::from_slice::<CampaignOutput>(&bytes) {
+                eprintln!("[campaign] loaded cached log from {}", path.display());
+                return out;
+            }
+        }
+        eprintln!("[campaign] simulating {} days of traffic ...", self.days);
+        let t0 = std::time::Instant::now();
+        let out = self.simulate();
+        eprintln!(
+            "[campaign] simulated {} transfers in {:.1}s",
+            out.records.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(bytes) = serde_json::to_vec(&out) {
+            let _ = std::fs::write(&path, bytes);
+        }
+        out
+    }
+}
+
+/// The cached campaign result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignOutput {
+    /// The full transfer log.
+    pub records: Vec<TransferRecord>,
+    /// The generated heavy edges, as (src, dst) endpoint indices.
+    pub heavy_edges: Vec<(u32, u32)>,
+}
+
+/// Convenience: the default campaign's log, cached.
+pub fn standard_log() -> CampaignOutput {
+    CampaignSpec::default().simulate_cached()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_runs_end_to_end() {
+        let spec = CampaignSpec { days: 2.0, heavy_edges: 3, sparse_edges: 10, ..Default::default() };
+        let out = spec.simulate();
+        assert!(out.records.len() > 50, "only {} records", out.records.len());
+        assert_eq!(out.heavy_edges.len(), 3);
+        // All transfers completed with positive duration.
+        assert!(out.records.iter().all(|r| r.end > r.start));
+    }
+
+    #[test]
+    fn cache_key_distinguishes_specs() {
+        let a = CampaignSpec::default();
+        let b = CampaignSpec { days: 31.0, ..Default::default() };
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+}

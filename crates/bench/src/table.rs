@@ -1,0 +1,100 @@
+//! Plain-text table rendering for experiment output.
+
+/// Accumulates rows and prints an aligned ASCII table, so every experiment
+/// binary reports in the same format the paper's tables use.
+#[derive(Debug, Clone)]
+pub struct TableWriter {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        TableWriter {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format bytes/s as the paper's Gb/s with three decimals (Table 1 style).
+pub fn gbit(rate_bytes_per_s: f64) -> String {
+    format!("{:.3}", rate_bytes_per_s * 8.0 / 1e9)
+}
+
+/// Format bytes/s as MB/s with one decimal.
+pub fn mbps(rate_bytes_per_s: f64) -> String {
+    format!("{:.1}", rate_bytes_per_s / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TableWriter::new("Demo", &["From", "To", "Rate"]);
+        t.row(&["ANL".into(), "BNL".into(), "7.843".into()]);
+        t.row(&["CERN".into(), "LongName".into(), "6.25".into()]);
+        let s = t.render();
+        assert!(s.contains("=== Demo ==="));
+        assert!(s.contains("7.843"));
+        // Columns aligned: 'To' column width fits LongName.
+        assert!(s.contains("LongName"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut t = TableWriter::new("X", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(gbit(1.25e9), "10.000");
+        assert_eq!(mbps(11.5e6), "11.5");
+    }
+}

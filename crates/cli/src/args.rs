@@ -1,0 +1,144 @@
+//! Minimal `--key value` argument parsing (no external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// First positional argument.
+    pub command: String,
+    /// `--key value` pairs; bare `--flag`s get the value `"true"`.
+    options: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing or lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    NoCommand,
+    /// A token didn't fit the `--key [value]` shape.
+    Unexpected(String),
+    /// A required option is missing.
+    Missing(&'static str),
+    /// An option's value failed to parse.
+    Invalid(&'static str, String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no subcommand given (try `wdt help`)"),
+            ArgError::Unexpected(t) => write!(f, "unexpected argument '{t}'"),
+            ArgError::Missing(k) => write!(f, "missing required option --{k}"),
+            ArgError::Invalid(k, v) => write!(f, "cannot parse --{k} value '{v}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse tokens (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::NoCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::Unexpected(command));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::Unexpected(tok.clone()))?
+                .to_string();
+            // A following token that isn't an option is this key's value.
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            options.insert(key, value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &'static str) -> Result<&str, ArgError> {
+        self.options.get(key).map(|s| s.as_str()).ok_or(ArgError::Missing(key))
+    }
+
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Optional typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        key: &'static str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid(key, v.clone())),
+        }
+    }
+
+    /// Required typed option.
+    pub fn require_as<T: std::str::FromStr>(&self, key: &'static str) -> Result<T, ArgError> {
+        let v = self.require(key)?;
+        v.parse().map_err(|_| ArgError::Invalid(key, v.to_string()))
+    }
+
+    /// True if a bare `--flag` (or `--flag true`) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some_and(|v| v != "false")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("simulate --days 7 --seed 42 --verbose").unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.get_or("days", 0.0).unwrap(), 7.0);
+        assert_eq!(a.require_as::<u64>("seed").unwrap(), 42);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert_eq!(parse(""), Err(ArgError::NoCommand));
+        assert!(matches!(parse("--days 7"), Err(ArgError::Unexpected(_))));
+    }
+
+    #[test]
+    fn missing_required_option_errors() {
+        let a = parse("train").unwrap();
+        assert_eq!(a.require("log"), Err(ArgError::Missing("log")));
+    }
+
+    #[test]
+    fn invalid_value_errors() {
+        let a = parse("simulate --days soon").unwrap();
+        assert!(matches!(a.get_or("days", 1.0), Err(ArgError::Invalid("days", _))));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("simulate").unwrap();
+        assert_eq!(a.get_or("days", 30.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn bare_token_after_command_is_rejected() {
+        assert!(matches!(parse("train log.csv"), Err(ArgError::Unexpected(_))));
+    }
+}

@@ -1,0 +1,318 @@
+//! CLI subcommand implementations.
+//!
+//! Each command is a plain function from parsed [`Args`](crate::args::Args)
+//! to a `Result`, so the logic is unit-testable without spawning processes.
+
+use crate::args::Args;
+use std::error::Error;
+use std::fs;
+use wdt_features::{
+    edge_census, edge_stats, eligible_edges, extract_features, threshold_filter,
+    TransferFeatures,
+};
+use wdt_model::{
+    build_dataset, default_grid, recommend_endpoint_concurrency, run_per_edge, tune_gbdt,
+    FitConfig, FittedModel, ModelKind, PerEdgeConfig,
+};
+use wdt_sim::{SimConfig, Simulator};
+use wdt_types::{
+    records_from_csv, records_to_csv, EdgeId, EndpointId, SeedSeq, TransferRecord,
+};
+use wdt_workload::{FleetSpec, WorkloadSpec};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Top-level dispatch.
+pub fn run(args: &Args) -> CmdResult {
+    match args.command.as_str() {
+        "simulate" => simulate(args),
+        "census" => census(args),
+        "train" => train(args),
+        "predict" => predict(args),
+        "advise" => advise(args),
+        "help" | "--help" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage()).into()),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "wdt — wide-area data transfer performance toolkit\n\
+     \n\
+     USAGE: wdt <command> [--key value ...]\n\
+     \n\
+     COMMANDS\n\
+     simulate  generate a synthetic fleet + workload and simulate it\n\
+               --out FILE [--days N=30] [--heavy-edges N=45] [--sparse-edges N=400]\n\
+               [--seed N=2017] [--bg-intensity X=0.4]\n\
+     census    edge statistics of a log\n\
+               --log FILE [--threshold X=0.5] [--min-transfers N=300]\n\
+     train     fit a transfer-rate model on one edge (or all edges pooled)\n\
+               --log FILE --model OUT [--src N --dst N] [--kind linear|gbdt=gbdt]\n\
+               [--threshold X=0.5] [--tune]\n\
+     predict   predict rates for a log's transfers with a saved model\n\
+               --log FILE --model FILE\n\
+     advise    concurrency-cap advice for an endpoint (Figure 4 analysis)\n\
+               --log FILE --endpoint N\n\
+     help      this text\n"
+        .to_string()
+}
+
+fn load_log(args: &Args) -> Result<Vec<TransferRecord>, Box<dyn Error>> {
+    let path = args.require("log")?;
+    let text = fs::read_to_string(path)?;
+    Ok(records_from_csv(&text)?)
+}
+
+fn simulate(args: &Args) -> CmdResult {
+    let out = args.require("out")?.to_string();
+    let days: f64 = args.get_or("days", 30.0)?;
+    let heavy: usize = args.get_or("heavy-edges", 45)?;
+    let sparse: usize = args.get_or("sparse-edges", 400)?;
+    let seed: u64 = args.get_or("seed", 2017)?;
+    let bg: f64 = args.get_or("bg-intensity", 0.4)?;
+
+    let seedseq = SeedSeq::new(seed);
+    let workload = WorkloadSpec {
+        fleet: FleetSpec::default(),
+        heavy_edges: heavy,
+        heavy_sessions_per_day: 16.0,
+        heavy_session_len: 5.0,
+        sparse_edges: sparse,
+        days,
+    }
+    .generate(&seedseq);
+    eprintln!(
+        "simulating {} transfers over {days} days ({} endpoints) ...",
+        workload.requests.len(),
+        workload.endpoints.len()
+    );
+    let mut sim = Simulator::new(workload.endpoints, SimConfig::default(), &seedseq);
+    sim.add_default_background(6, bg);
+    for r in workload.requests {
+        sim.submit(r);
+    }
+    let result = sim.run();
+    fs::write(&out, records_to_csv(&result.records))?;
+    println!("wrote {} records to {out}", result.records.len());
+    Ok(())
+}
+
+fn census(args: &Args) -> CmdResult {
+    let log = load_log(args)?;
+    let threshold: f64 = args.get_or("threshold", 0.5)?;
+    let min_transfers: usize = args.get_or("min-transfers", 300)?;
+    let features = extract_features(&log);
+    println!("transfers: {}", features.len());
+    for (k, n) in edge_census(&features, &[1, 10, 100, 1000]) {
+        println!("edges with >= {k} transfers: {n}");
+    }
+    let eligible = eligible_edges(&features, threshold, min_transfers);
+    println!(
+        "edges with >= {min_transfers} transfers above {threshold:.2}*Rmax: {}",
+        eligible.len()
+    );
+    let stats = edge_stats(&features);
+    let mut busiest: Vec<_> = stats.values().collect();
+    busiest.sort_by_key(|s| std::cmp::Reverse(s.transfers));
+    println!("busiest edges:");
+    for s in busiest.iter().take(10) {
+        println!(
+            "  {}: {} transfers, Rmax {:.1} MB/s, {:.1} TB total",
+            s.edge,
+            s.transfers,
+            s.r_max / 1e6,
+            s.total_bytes / 1e12
+        );
+    }
+    Ok(())
+}
+
+fn parse_kind(args: &Args) -> Result<ModelKind, Box<dyn Error>> {
+    match args.get("kind").unwrap_or("gbdt") {
+        "linear" => Ok(ModelKind::Linear),
+        "gbdt" => Ok(ModelKind::Gbdt),
+        other => Err(format!("unknown --kind '{other}' (linear|gbdt)").into()),
+    }
+}
+
+fn train(args: &Args) -> CmdResult {
+    let log = load_log(args)?;
+    let model_path = args.require("model")?.to_string();
+    let threshold: f64 = args.get_or("threshold", 0.5)?;
+    let kind = parse_kind(args)?;
+
+    let features = extract_features(&log);
+    let filtered = threshold_filter(&features, threshold);
+    let selected: Vec<TransferFeatures> = match (args.get("src"), args.get("dst")) {
+        (Some(s), Some(d)) => {
+            let edge = EdgeId::new(EndpointId(s.parse()?), EndpointId(d.parse()?));
+            filtered.iter().filter(|f| f.edge == edge).cloned().collect()
+        }
+        _ => filtered,
+    };
+    if selected.len() < 20 {
+        return Err(format!("only {} transfers after filtering — not enough", selected.len()).into());
+    }
+    let data = build_dataset(&selected, false);
+    let (train_set, test_set) = data.split(0.7, 7);
+
+    let mut cfg = FitConfig::default();
+    if args.flag("tune") && kind == ModelKind::Gbdt {
+        eprintln!("tuning over {} candidates with 3-fold CV ...", default_grid().len());
+        if let Some(results) = tune_gbdt(&train_set, &default_grid(), 3, 7) {
+            let best = results[0];
+            eprintln!(
+                "best: eta {} depth {} rounds {} (cv MdAPE {:.2}%)",
+                best.params.eta, best.params.tree.max_depth, best.params.n_rounds, best.cv_mdape
+            );
+            cfg.gbdt = best.params;
+        }
+    }
+    let model = FittedModel::fit(&train_set, kind, &cfg)
+        .ok_or("model failed to fit (degenerate features?)")?;
+    let eval = model.evaluate(&test_set);
+    println!(
+        "trained on {} transfers, tested on {}: MdAPE {:.2}%, p95 {:.2}%, R2 {:.3}",
+        train_set.len(),
+        eval.n,
+        eval.mdape,
+        eval.p95,
+        eval.r2
+    );
+    fs::write(&model_path, model.to_json())?;
+    println!("model saved to {model_path}");
+    Ok(())
+}
+
+fn predict(args: &Args) -> CmdResult {
+    let log = load_log(args)?;
+    let model = FittedModel::from_json(&fs::read_to_string(args.require("model")?)?)?;
+    let features = extract_features(&log);
+    let data = build_dataset(&features, false);
+    let preds = model.predict(&data.x);
+    println!("id,edge,actual_mbps,predicted_mbps");
+    for (f, p) in features.iter().zip(&preds) {
+        println!("{},{},{:.2},{:.2}", f.id.0, f.edge, f.rate / 1e6, p / 1e6);
+    }
+    Ok(())
+}
+
+fn advise(args: &Args) -> CmdResult {
+    let log = load_log(args)?;
+    let ep: u32 = args.require_as("endpoint")?;
+    match recommend_endpoint_concurrency(&log, EndpointId(ep)) {
+        Some(a) => {
+            println!(
+                "endpoint ep{ep}: throughput peaks at ~{:.0} GridFTP instances \
+                 (observed up to {:.0}); recommended concurrency cap: {:.0}",
+                a.recommended_cap, a.max_observed, a.recommended_cap
+            );
+        }
+        None => println!(
+            "endpoint ep{ep}: no rise-then-fall pattern in the log — no cap warranted"
+        ),
+    }
+    // Bonus: per-edge model quality summary if the log is rich enough.
+    let features = extract_features(&log);
+    let mut cfg = PerEdgeConfig { min_transfers: 200, max_edges: 5, ..Default::default() };
+    cfg.fit.gbdt.n_rounds = 80;
+    let exps = run_per_edge(&features, &cfg);
+    if !exps.is_empty() {
+        println!("model quality on the busiest edges:");
+        for e in &exps {
+            println!("  {}: GBDT MdAPE {:.1}% over {} transfers", e.edge, e.xgb.mdape, e.n_samples);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).expect("parse")
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("wdt-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn simulate_census_train_predict_round_trip() {
+        let log_path = tmp("smoke.csv");
+        let model_path = tmp("smoke-model.json");
+        run(&parse(&format!(
+            "simulate --out {} --days 3 --heavy-edges 3 --sparse-edges 10 --seed 5",
+            log_path.display()
+        )))
+        .expect("simulate");
+        assert!(log_path.exists());
+
+        run(&parse(&format!("census --log {}", log_path.display()))).expect("census");
+
+        run(&parse(&format!(
+            "train --log {} --model {} --threshold 0.0",
+            log_path.display(),
+            model_path.display()
+        )))
+        .expect("train");
+        assert!(model_path.exists());
+
+        run(&parse(&format!(
+            "predict --log {} --model {}",
+            log_path.display(),
+            model_path.display()
+        )))
+        .expect("predict");
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run(&parse("frobnicate")).unwrap_err().to_string();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn train_requires_model_path() {
+        let log_path = tmp("needs-model.csv");
+        std::fs::write(&log_path, wdt_types::CSV_HEADER).expect("write");
+        let err = run(&parse(&format!("train --log {}", log_path.display())))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--model") || err.contains("model"));
+    }
+
+    #[test]
+    fn train_rejects_tiny_logs() {
+        let log_path = tmp("tiny.csv");
+        std::fs::write(
+            &log_path,
+            format!("{}\n0,0,1,0,10,1000,1,1,1,1,0\n", wdt_types::CSV_HEADER),
+        )
+        .expect("write");
+        let model_path = tmp("tiny-model.json");
+        let err = run(&parse(&format!(
+            "train --log {} --model {} --threshold 0.0",
+            log_path.display(),
+            model_path.display()
+        )))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("not enough"), "{err}");
+    }
+
+    #[test]
+    fn help_prints() {
+        run(&parse("help")).expect("help");
+        assert!(usage().contains("simulate"));
+    }
+}

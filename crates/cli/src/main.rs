@@ -1,0 +1,36 @@
+//! `wdt` — command-line front end to the wide-area data transfer toolkit.
+//!
+//! ```text
+//! wdt simulate --out log.csv --days 30      # synthesize a production log
+//! wdt census   --log log.csv                # edge statistics
+//! wdt train    --log log.csv --model m.json # fit a rate model
+//! wdt predict  --log log.csv --model m.json # per-transfer predictions
+//! wdt advise   --log log.csv --endpoint 0   # concurrency-cap advice
+//! ```
+//!
+//! See `wdt help` for full usage. All logic lives in [`commands`] so it is
+//! unit-testable; `main` only parses and reports errors.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(tokens) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", commands::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

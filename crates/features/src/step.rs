@@ -1,0 +1,203 @@
+//! Step-function integrals over interval collections.
+//!
+//! The paper's competing-load features (Eq. 2 and friends) all have the
+//! form `Σ_i O(i,k)·X_i / (Te_k − Ts_k)`: the time-overlap-weighted sum of
+//! some quantity `X` over all transfers sharing an endpoint. Computed
+//! naively this is quadratic in the log size. Observe instead that
+//!
+//! ```text
+//! Σ_i O(i,k)·X_i = ∫_{Ts_k}^{Te_k} F(t) dt  −  (k's own contribution)
+//! ```
+//!
+//! where `F(t) = Σ_{i active at t} X_i` is a step function. We build `F`
+//! once per (endpoint, quantity) with an event sweep and answer each
+//! transfer's query with two binary searches — `O(n log n)` overall.
+
+/// A piecewise-constant function with a precomputed running integral.
+#[derive(Debug, Clone)]
+pub struct StepIntegral {
+    /// Breakpoints, strictly increasing.
+    times: Vec<f64>,
+    /// `values[i]` is F on `[times[i], times[i+1])`.
+    values: Vec<f64>,
+    /// `integral[i]` = ∫ from `times[0]` to `times[i]` of F.
+    integral: Vec<f64>,
+}
+
+impl StepIntegral {
+    /// Build from `(start, end, value)` intervals. Zero-length or inverted
+    /// intervals are ignored.
+    pub fn from_intervals(intervals: &[(f64, f64, f64)]) -> Self {
+        let mut events: Vec<(f64, f64)> = Vec::with_capacity(intervals.len() * 2);
+        for &(s, e, v) in intervals {
+            if e > s {
+                events.push((s, v));
+                events.push((e, -v));
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        let mut level = 0.0f64;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                level += events[i].1;
+                i += 1;
+            }
+            times.push(t);
+            values.push(level);
+        }
+        // Running integral at each breakpoint.
+        let mut integral = Vec::with_capacity(times.len());
+        let mut acc = 0.0;
+        for j in 0..times.len() {
+            integral.push(acc);
+            if j + 1 < times.len() {
+                acc += values[j] * (times[j + 1] - times[j]);
+            }
+        }
+        StepIntegral { times, values, integral }
+    }
+
+    /// ∫ from the first breakpoint to `x`.
+    fn cumulative(&self, x: f64) -> f64 {
+        if self.times.is_empty() || x <= self.times[0] {
+            return 0.0;
+        }
+        // Last breakpoint ≤ x.
+        let j = match self.times.binary_search_by(|t| t.partial_cmp(&x).expect("finite")) {
+            Ok(j) => j,
+            Err(ins) => ins - 1,
+        };
+        self.integral[j] + self.values[j] * (x - self.times[j])
+    }
+
+    /// ∫ F over `[a, b]`.
+    pub fn integrate(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        self.cumulative(b) - self.cumulative(a)
+    }
+
+    /// F at time `t` (right-continuous).
+    pub fn value_at(&self, t: f64) -> f64 {
+        if self.times.is_empty() || t < self.times[0] {
+            return 0.0;
+        }
+        let j = match self.times.binary_search_by(|x| x.partial_cmp(&t).expect("finite")) {
+            Ok(j) => j,
+            Err(ins) => ins - 1,
+        };
+        self.values[j]
+    }
+
+    /// The breakpoints (useful for time-weighted scans, e.g. Figure 4).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero_everywhere() {
+        let s = StepIntegral::from_intervals(&[]);
+        assert_eq!(s.integrate(0.0, 100.0), 0.0);
+        assert_eq!(s.value_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn single_interval() {
+        let s = StepIntegral::from_intervals(&[(1.0, 3.0, 5.0)]);
+        assert_eq!(s.integrate(1.0, 3.0), 10.0);
+        assert_eq!(s.integrate(0.0, 4.0), 10.0);
+        assert_eq!(s.integrate(2.0, 4.0), 5.0);
+        assert_eq!(s.integrate(1.5, 2.5), 5.0);
+        assert_eq!(s.value_at(2.0), 5.0);
+        assert_eq!(s.value_at(3.0), 0.0);
+        assert_eq!(s.value_at(0.5), 0.0);
+    }
+
+    #[test]
+    fn overlapping_intervals_stack() {
+        let s = StepIntegral::from_intervals(&[(0.0, 10.0, 1.0), (5.0, 15.0, 2.0)]);
+        assert_eq!(s.value_at(2.0), 1.0);
+        assert_eq!(s.value_at(7.0), 3.0);
+        assert_eq!(s.value_at(12.0), 2.0);
+        // ∫ over [0,15] = 1*10 + 2*10 = 30.
+        assert_eq!(s.integrate(0.0, 15.0), 30.0);
+        // ∫ over [4,6] = 1*2 + 2*1 = 4.
+        assert_eq!(s.integrate(4.0, 6.0), 4.0);
+    }
+
+    #[test]
+    fn degenerate_intervals_ignored() {
+        let s = StepIntegral::from_intervals(&[(5.0, 5.0, 100.0), (7.0, 3.0, 9.0)]);
+        assert_eq!(s.integrate(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn matches_bruteforce_overlap_sum() {
+        // The identity the whole module is built on.
+        let intervals =
+            [(0.0, 4.0, 2.0), (1.0, 6.0, 3.0), (2.0, 3.0, 10.0), (5.0, 9.0, 1.0)];
+        let s = StepIntegral::from_intervals(&intervals);
+        let (a, b) = (1.5f64, 7.0f64);
+        let brute: f64 = intervals
+            .iter()
+            .map(|&(s_, e_, v)| (b.min(e_) - a.max(s_)).max(0.0) * v)
+            .sum();
+        assert!((s.integrate(a, b) - brute).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_intervals() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+        proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..50.0, 0.1f64..10.0)
+                .prop_map(|(s, len, v)| (s, s + len, v)),
+            0..30,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn integral_matches_bruteforce(
+            intervals in arb_intervals(),
+            a in 0.0f64..150.0,
+            len in 0.0f64..150.0,
+        ) {
+            let b = a + len;
+            let s = StepIntegral::from_intervals(&intervals);
+            let brute: f64 = intervals
+                .iter()
+                .map(|&(s_, e_, v)| (b.min(e_) - a.max(s_)).max(0.0) * v)
+                .sum();
+            prop_assert!((s.integrate(a, b) - brute).abs() < 1e-6 * (1.0 + brute.abs()));
+        }
+
+        #[test]
+        fn integral_additive(intervals in arb_intervals(), a in 0.0f64..100.0) {
+            let s = StepIntegral::from_intervals(&intervals);
+            let whole = s.integrate(a, a + 40.0);
+            let parts = s.integrate(a, a + 17.0) + s.integrate(a + 17.0, a + 40.0);
+            prop_assert!((whole - parts).abs() < 1e-6 * (1.0 + whole.abs()));
+        }
+
+        #[test]
+        fn integral_nonnegative_for_positive_values(intervals in arb_intervals()) {
+            let s = StepIntegral::from_intervals(&intervals);
+            prop_assert!(s.integrate(0.0, 200.0) >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # wdt-geo — geography for wide-area transfer modeling
+//!
+//! The paper uses great-circle distance between endpoints as (a) a proxy for
+//! round-trip time (Table 3, §5.1), and (b) the x-axis of the size–distance
+//! scatter (Figure 6), noting the clear intra- vs inter-continental split.
+//!
+//! This crate provides:
+//! * [`GeoPoint`] with haversine great-circle distance,
+//! * an RTT estimator from distance (speed of light in fiber + per-hop
+//!   router latency),
+//! * a catalog of real research sites ([`sites`]) used to place simulated
+//!   endpoints — including all sites named in the paper (ANL, BNL, LBL,
+//!   CERN, NERSC, TACC, SDSC, JLAB, UCAR, Colorado).
+
+pub mod point;
+pub mod rtt;
+pub mod sites;
+
+pub use point::{Continent, GeoPoint};
+pub use rtt::rtt_estimate;
+pub use sites::{Site, SiteCatalog, SITES};

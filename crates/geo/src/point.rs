@@ -1,0 +1,134 @@
+//! Geographic points and great-circle distance.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Coarse continent classification, used to reproduce Figure 6's
+/// intra- vs inter-continental distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Continent {
+    /// North America.
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Oceania.
+    Oceania,
+    /// South America.
+    SouthAmerica,
+    /// Africa.
+    Africa,
+}
+
+/// A point on the Earth's surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point; panics (debug) on out-of-range coordinates.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!((-90.0..=90.0).contains(&lat), "latitude out of range");
+        debug_assert!((-180.0..=180.0).contains(&lon), "longitude out of range");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    ///
+    /// This is the paper's "estimated transfer distance … a lower bound" on
+    /// the true network path length.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        // Clamp guards the sqrt against floating-point drift for antipodes.
+        2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHICAGO: GeoPoint = GeoPoint { lat: 41.88, lon: -87.63 };
+    const GENEVA: GeoPoint = GeoPoint { lat: 46.20, lon: 6.14 };
+    const BERKELEY: GeoPoint = GeoPoint { lat: 37.87, lon: -122.27 };
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        assert_eq!(CHICAGO.distance_km(&CHICAGO), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let d1 = CHICAGO.distance_km(&GENEVA);
+        let d2 = GENEVA.distance_km(&CHICAGO);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distances_roughly_correct() {
+        // Chicago–Geneva ≈ 7,100 km.
+        let d = CHICAGO.distance_km(&GENEVA);
+        assert!((6900.0..7300.0).contains(&d), "got {d}");
+        // Chicago–Berkeley ≈ 2,990 km.
+        let d = CHICAGO.distance_km(&BERKELEY);
+        assert!((2800.0..3200.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "got {d}, want {half}");
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let via = CHICAGO.distance_km(&BERKELEY) + BERKELEY.distance_km(&GENEVA);
+        let direct = CHICAGO.distance_km(&GENEVA);
+        assert!(direct <= via + 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = GeoPoint> {
+        (-90.0f64..90.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+    }
+
+    proptest! {
+        #[test]
+        fn distance_nonnegative_and_bounded(a in arb_point(), b in arb_point()) {
+            let d = a.distance_km(&b);
+            prop_assert!(d >= 0.0);
+            // No two surface points are farther apart than half the circumference.
+            prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+        }
+
+        #[test]
+        fn distance_symmetric(a in arb_point(), b in arb_point()) {
+            prop_assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(a in arb_point()) {
+            prop_assert!(a.distance_km(&a) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Round-trip-time estimation from great-circle distance.
+//!
+//! Light in fiber travels at roughly 2/3 of c; real paths are longer than
+//! the great circle and traverse routers, so we inflate the geometric path
+//! and add fixed endpoint/router latency. The constants reproduce commonly
+//! observed RTTs on research networks (e.g. ANL↔LBL ≈ 45–55 ms,
+//! US↔CERN ≈ 100–130 ms, metro ≈ 1–3 ms).
+
+/// Speed of light in vacuum, km/s.
+const C_KM_S: f64 = 299_792.458;
+
+/// Effective propagation speed in fiber (≈ 2/3 c), km/s.
+const FIBER_KM_S: f64 = C_KM_S * 2.0 / 3.0;
+
+/// Real fiber paths are not great circles; typical inflation factor.
+const PATH_INFLATION: f64 = 1.4;
+
+/// Fixed latency (endpoint stacks + a handful of routers), seconds, round trip.
+const BASE_RTT_S: f64 = 0.8e-3;
+
+/// Estimate round-trip time in **seconds** for a path whose endpoints are
+/// `distance_km` apart on the great circle.
+pub fn rtt_estimate(distance_km: f64) -> f64 {
+    debug_assert!(distance_km >= 0.0);
+    BASE_RTT_S + 2.0 * distance_km * PATH_INFLATION / FIBER_KM_S
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_has_base_latency_only() {
+        assert!((rtt_estimate(0.0) - BASE_RTT_S).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continental_us_rtt_in_plausible_band() {
+        // ANL–LBL great circle ≈ 2,950 km → tens of ms.
+        let rtt = rtt_estimate(2950.0);
+        assert!((0.03..0.07).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn transatlantic_rtt_in_plausible_band() {
+        // US midwest–Geneva ≈ 7,100 km → ~100 ms.
+        let rtt = rtt_estimate(7100.0);
+        assert!((0.08..0.16).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn rtt_monotone_in_distance() {
+        let mut prev = rtt_estimate(0.0);
+        for km in [10.0, 100.0, 1000.0, 5000.0, 15000.0] {
+            let r = rtt_estimate(km);
+            assert!(r > prev);
+            prev = r;
+        }
+    }
+}

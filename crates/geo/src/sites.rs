@@ -1,0 +1,180 @@
+//! Catalog of research sites used to place simulated endpoints.
+//!
+//! Includes every site the paper names (the ESnet testbed's ANL, BNL, LBL,
+//! CERN; the heavy-edge endpoints NERSC, TACC, SDSC, JLAB, UCAR, Colorado)
+//! plus a spread of research institutions across continents so the synthetic
+//! fleet reproduces the paper's geographic variety (Figure 2 / Figure 6).
+
+use crate::point::{Continent, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+/// A named research site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Short site name (e.g. "ANL").
+    pub name: &'static str,
+    /// Location.
+    pub location: GeoPoint,
+    /// Continent, for intra/inter-continental classification.
+    pub continent: Continent,
+}
+
+const fn site(name: &'static str, lat: f64, lon: f64, continent: Continent) -> Site {
+    Site { name, location: GeoPoint { lat, lon }, continent }
+}
+
+use Continent::*;
+
+/// All catalogued sites. The first entries are the paper's named sites, in a
+/// stable order that [`SiteCatalog`] indexes rely on.
+pub const SITES: &[Site] = &[
+    // --- ESnet testbed (Table 1, Figure 3) ---
+    site("ANL", 41.7183, -87.9786, NorthAmerica),
+    site("BNL", 40.8690, -72.8861, NorthAmerica),
+    site("LBL", 37.8756, -122.2508, NorthAmerica),
+    site("CERN", 46.2339, 6.0557, Europe),
+    // --- Heavy-edge endpoints (Figures 4, 5, 8) ---
+    site("NERSC", 37.8768, -122.2531, NorthAmerica),
+    site("TACC", 30.3902, -97.7263, NorthAmerica),
+    site("SDSC", 32.8844, -117.2390, NorthAmerica),
+    site("JLAB", 37.0984, -76.4849, NorthAmerica),
+    site("UCAR", 40.0150, -105.2705, NorthAmerica),
+    site("Colorado", 40.0076, -105.2659, NorthAmerica),
+    // --- Other North American research sites ---
+    site("ORNL", 35.9310, -84.3102, NorthAmerica),
+    site("PNNL", 46.2804, -119.2752, NorthAmerica),
+    site("Fermilab", 41.8412, -88.2556, NorthAmerica),
+    site("SLAC", 37.4199, -122.2046, NorthAmerica),
+    site("LANL", 35.8440, -106.2857, NorthAmerica),
+    site("UChicago", 41.7886, -87.5987, NorthAmerica),
+    site("UMich", 42.2780, -83.7382, NorthAmerica),
+    site("UWisc", 43.0766, -89.4125, NorthAmerica),
+    site("UWash", 47.6553, -122.3035, NorthAmerica),
+    site("Caltech", 34.1377, -118.1253, NorthAmerica),
+    site("MIT", 42.3601, -71.0942, NorthAmerica),
+    site("Cornell", 42.4534, -76.4735, NorthAmerica),
+    site("GaTech", 33.7756, -84.3963, NorthAmerica),
+    site("UIUC", 40.1020, -88.2272, NorthAmerica),
+    site("PSC", 40.4444, -79.9496, NorthAmerica),
+    site("IU", 39.1682, -86.5230, NorthAmerica),
+    site("UFlorida", 29.6436, -82.3549, NorthAmerica),
+    site("UToronto", 43.6629, -79.3957, NorthAmerica),
+    site("UBC", 49.2606, -123.2460, NorthAmerica),
+    site("TRIUMF", 49.2484, -123.2316, NorthAmerica),
+    site("UNAM", 19.3322, -99.1870, NorthAmerica),
+    // --- Europe ---
+    site("DESY", 53.5753, 9.8810, Europe),
+    site("KIT", 49.0954, 8.4356, Europe),
+    site("Juelich", 50.9224, 6.3639, Europe),
+    site("RAL", 51.5719, -1.3150, Europe),
+    site("Edinburgh", 55.9445, -3.1892, Europe),
+    site("SURFsara", 52.3564, 4.9541, Europe),
+    site("IN2P3", 45.7831, 4.8650, Europe),
+    site("CINECA", 44.5075, 11.3514, Europe),
+    site("BSC", 41.3894, 2.1151, Europe),
+    site("CSC-FI", 60.1841, 24.8301, Europe),
+    site("KTH", 59.3498, 18.0707, Europe),
+    site("ETH", 47.3763, 8.5477, Europe),
+    // --- Asia ---
+    site("KEK", 36.1490, 140.0760, Asia),
+    site("RIKEN", 34.6443, 135.2231, Asia),
+    site("KISTI", 36.3925, 127.3627, Asia),
+    site("IHEP", 39.9123, 116.2447, Asia),
+    site("NSCC-SG", 1.2929, 103.7754, Asia),
+    site("TIFR", 19.0411, 72.9093, Asia),
+    // --- Oceania ---
+    site("NCI-AU", -35.2750, 149.1189, Oceania),
+    site("Pawsey", -31.9554, 115.8586, Oceania),
+    site("NeSI", -36.8523, 174.7691, Oceania),
+    // --- South America ---
+    site("LNCC", -22.4522, -42.9715, SouthAmerica),
+    site("UChile", -33.4577, -70.6635, SouthAmerica),
+    // --- Africa ---
+    site("CHPC-ZA", -33.9321, 18.6370, Africa),
+];
+
+/// Indexed access to the site catalog.
+#[derive(Debug, Clone)]
+pub struct SiteCatalog;
+
+impl SiteCatalog {
+    /// Number of catalogued sites.
+    pub fn len() -> usize {
+        SITES.len()
+    }
+
+    /// Site by index (panics if out of range).
+    pub fn get(idx: usize) -> &'static Site {
+        &SITES[idx]
+    }
+
+    /// Look a site up by name.
+    pub fn by_name(name: &str) -> Option<&'static Site> {
+        SITES.iter().find(|s| s.name == name)
+    }
+
+    /// Great-circle distance between two catalogued sites, km.
+    pub fn distance_km(a: &str, b: &str) -> Option<f64> {
+        Some(Self::by_name(a)?.location.distance_km(&Self::by_name(b)?.location))
+    }
+
+    /// Whether a pair of sites is on the same continent.
+    pub fn same_continent(a: &str, b: &str) -> Option<bool> {
+        Some(Self::by_name(a)?.continent == Self::by_name(b)?.continent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_paper_sites() {
+        for name in ["ANL", "BNL", "LBL", "CERN", "NERSC", "TACC", "SDSC", "JLAB", "UCAR", "Colorado"] {
+            assert!(SiteCatalog::by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = SITES.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SITES.len());
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        for s in SITES {
+            assert!((-90.0..=90.0).contains(&s.location.lat), "{}", s.name);
+            assert!((-180.0..=180.0).contains(&s.location.lon), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn anl_cern_is_intercontinental_and_far() {
+        assert_eq!(SiteCatalog::same_continent("ANL", "CERN"), Some(false));
+        let d = SiteCatalog::distance_km("ANL", "CERN").unwrap();
+        assert!(d > 6000.0, "got {d}");
+    }
+
+    #[test]
+    fn nersc_lbl_are_coresident() {
+        // NERSC sits on the LBL campus: distance should be tiny.
+        let d = SiteCatalog::distance_km("NERSC", "LBL").unwrap();
+        assert!(d < 5.0, "got {d}");
+        assert_eq!(SiteCatalog::same_continent("NERSC", "LBL"), Some(true));
+    }
+
+    #[test]
+    fn unknown_site_is_none() {
+        assert!(SiteCatalog::by_name("NOWHERE").is_none());
+        assert!(SiteCatalog::distance_km("ANL", "NOWHERE").is_none());
+    }
+
+    #[test]
+    fn catalog_is_reasonably_large() {
+        // The fleet generator needs geographic variety.
+        assert!(SiteCatalog::len() >= 50);
+    }
+}

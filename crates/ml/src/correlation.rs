@@ -1,0 +1,73 @@
+//! Pearson linear correlation (Table 5's `CC` rows).
+
+/// Pearson correlation coefficient. Returns `None` when either input has
+/// zero variance (the paper's Table 5 marks those entries "–": "the
+/// corresponding features have uniform value").
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "inputs must be the same length");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_is_none() {
+        let x = vec![5.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(pearson(&x, &y).is_none());
+        assert!(pearson(&y, &x).is_none());
+    }
+
+    #[test]
+    fn symmetric_nonlinear_relation_has_low_cc() {
+        // y = x² on symmetric x: linear correlation ≈ 0 despite perfect
+        // functional dependence — the motivating case for MIC (Table 5).
+        let x: Vec<f64> = (-50..=50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let x: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| ((i * 53) % 13) as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn too_short_is_none() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+    }
+}

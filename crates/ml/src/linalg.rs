@@ -1,0 +1,136 @@
+//! Minimal dense linear algebra: just enough for ridge-regularized normal
+//! equations (symmetric positive-definite solves via Cholesky).
+
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer this way
+/// A dense symmetric positive-definite solve `A x = b` via Cholesky
+/// decomposition. `a` is row-major `n × n`; consumed. Returns `None` if the
+/// matrix is not positive definite (within tolerance).
+pub fn cholesky_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n);
+    // In-place Cholesky: a becomes L (lower triangular).
+    for j in 0..n {
+        let mut d = a[j][j];
+        for k in 0..j {
+            d -= a[j][k] * a[j][k];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return None;
+        }
+        let d = d.sqrt();
+        a[j][j] = d;
+        for i in (j + 1)..n {
+            let mut s = a[i][j];
+            for k in 0..j {
+                s -= a[i][k] * a[j][k];
+            }
+            a[i][j] = s / d;
+        }
+    }
+    // Forward substitution: L y = b.
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= a[i][k] * b[k];
+        }
+        b[i] = s / a[i][i];
+    }
+    // Back substitution: Lᵀ x = y.
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= a[k][i] * b[k];
+        }
+        b[i] = s / a[i][i];
+    }
+    Some(b)
+}
+
+/// Compute `XᵀX + λI` and `Xᵀy` for row-major `x` (with an implicit leading
+/// intercept column of ones). The intercept is *not* regularized.
+pub fn normal_equations(
+    x: &[Vec<f64>],
+    y: &[f64],
+    lambda: f64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = x.len();
+    assert_eq!(n, y.len());
+    let m = x.first().map_or(0, |r| r.len()) + 1; // +1 intercept
+    let mut xtx = vec![vec![0.0; m]; m];
+    let mut xty = vec![0.0; m];
+    for (row, &yi) in x.iter().zip(y) {
+        // Augmented row: [1, row...].
+        for i in 0..m {
+            let xi = if i == 0 { 1.0 } else { row[i - 1] };
+            xty[i] += xi * yi;
+            for j in i..m {
+                let xj = if j == 0 { 1.0 } else { row[j - 1] };
+                xtx[i][j] += xi * xj;
+            }
+        }
+    }
+    // Symmetrize and regularize (skip intercept).
+    for i in 0..m {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        if i > 0 {
+            xtx[i][i] += lambda;
+        }
+    }
+    (xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = cholesky_solve(a, vec![3.0, -2.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] → x = [1.75, 1.5]
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let x = cholesky_solve(a, vec![10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // indefinite
+        assert!(cholesky_solve(a, vec![1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn normal_equations_recover_exact_line() {
+        // y = 2 + 3x, no noise.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let (a, b) = normal_equations(&x, &y, 0.0);
+        let beta = cholesky_solve(a, b).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-8, "{beta:?}");
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 - 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0]).collect();
+        let solve = |lambda| {
+            let (a, b) = normal_equations(&x, &y, lambda);
+            cholesky_solve(a, b).unwrap()[1]
+        };
+        let free = solve(0.0);
+        let ridge = solve(1000.0);
+        assert!((free - 3.0).abs() < 1e-9);
+        assert!(ridge.abs() < free.abs());
+        assert!(ridge > 0.0);
+    }
+}

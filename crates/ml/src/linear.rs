@@ -1,0 +1,121 @@
+//! Linear regression (paper §5.1).
+//!
+//! Ordinary least squares via the normal equations (with an optional, tiny
+//! ridge term for numerical robustness on collinear features). The fitted
+//! coefficients are the paper's Figure 9: the "unique effect" of each
+//! normalized feature on the transfer rate.
+
+use crate::linalg::{cholesky_solve, normal_equations};
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `ŷ = β₀ + Σ βⱼ xⱼ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Intercept β₀.
+    pub intercept: f64,
+    /// Feature coefficients β₁…β_m.
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Fit by least squares. `ridge` adds `λ‖β‖²` (excluding the
+    /// intercept); pass a small value (e.g. `1e-8`) purely for stability.
+    ///
+    /// Returns `None` for degenerate inputs (no rows, or a singular design
+    /// matrix even after regularization).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], ridge: f64) -> Option<Self> {
+        if x.is_empty() || x.len() != y.len() {
+            return None;
+        }
+        let (a, b) = normal_equations(x, y, ridge.max(0.0));
+        // Retry with growing regularization if the unregularized system is
+        // singular (perfectly collinear columns).
+        let beta = cholesky_solve(a, b).or_else(|| {
+            let (a, b) = normal_equations(x, y, ridge.max(1e-6) * 1e4);
+            cholesky_solve(a, b)
+        })?;
+        Some(LinearRegression { intercept: beta[0], coefficients: beta[1..].to_vec() })
+    }
+
+    /// Predict one row.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.coefficients.len());
+        self.intercept + self.coefficients.iter().zip(row).map(|(b, x)| b * x).sum::<f64>()
+    }
+
+    /// Predict many rows.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Coefficient magnitudes scaled so the largest is 1.0 — the relative
+    /// significance circles of Figure 9.
+    pub fn relative_significance(&self) -> Vec<f64> {
+        let max = self.coefficients.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return vec![0.0; self.coefficients.len()];
+        }
+        self.coefficients.iter().map(|c| c.abs() / max).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_plane() {
+        // y = 1 + 2a - 3b
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let m = LinearRegression::fit(&x, &y, 0.0).unwrap();
+        assert!((m.intercept - 1.0).abs() < 1e-8);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((m.coefficients[1] + 3.0).abs() < 1e-9);
+        let pred = m.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn survives_collinear_columns() {
+        // Second column is an exact copy of the first.
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| 4.0 * i as f64).collect();
+        let m = LinearRegression::fit(&x, &y, 1e-8).expect("ridge fallback should fit");
+        // Predictions still work even though individual coefficients are
+        // unidentifiable.
+        let pred = m.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-2 * (1.0 + t.abs()));
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert!(LinearRegression::fit(&[], &[], 0.0).is_none());
+    }
+
+    #[test]
+    fn relative_significance_normalizes_to_unit_max() {
+        let m = LinearRegression { intercept: 0.0, coefficients: vec![2.0, -4.0, 1.0] };
+        let s = m.relative_significance();
+        assert_eq!(s, vec![0.5, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn fits_noisy_line_close_to_truth() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 10.0]).collect();
+        // Deterministic pseudo-noise.
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 5.0 + 0.7 * r[0] + ((i * 2654435761) % 97) as f64 / 970.0 - 0.05)
+            .collect();
+        let m = LinearRegression::fit(&x, &y, 0.0).unwrap();
+        assert!((m.coefficients[0] - 0.7).abs() < 0.02, "{}", m.coefficients[0]);
+    }
+}

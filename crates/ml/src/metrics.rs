@@ -1,0 +1,206 @@
+//! Prediction-quality metrics.
+//!
+//! The paper's headline numbers are **MdAPE** (median absolute percentage
+//! error, Figures 11 and 13) and percentile errors (§5.5.2's 95th
+//! percentile). Violin plots (Figure 10) are summarized by quantiles.
+
+/// Quantile of a sample (linear interpolation between order statistics).
+/// `q` in [0, 1]. Returns NaN for an empty slice.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (pos - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// Absolute percentage errors `|ŷ − y| / |y| · 100`, skipping zero targets.
+pub fn abs_pct_errors(pred: &[f64], truth: &[f64]) -> Vec<f64> {
+    assert_eq!(pred.len(), truth.len());
+    pred.iter()
+        .zip(truth)
+        .filter(|(_, t)| t.abs() > 0.0)
+        .map(|(p, t)| 100.0 * (p - t).abs() / t.abs())
+        .collect()
+}
+
+/// Median absolute percentage error (%, the paper's MdAPE).
+pub fn mdape(pred: &[f64], truth: &[f64]) -> f64 {
+    quantile(&abs_pct_errors(pred, truth), 0.5)
+}
+
+/// Mean absolute percentage error (%).
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    let e = abs_pct_errors(pred, truth);
+    if e.is_empty() {
+        return f64::NAN;
+    }
+    e.iter().sum::<f64>() / e.len() as f64
+}
+
+/// `q`-th percentile of the absolute percentage error (e.g. 0.95 for the
+/// paper's §5.5.2 "95th percentile error").
+pub fn pct_error_quantile(pred: &[f64], truth: &[f64], q: f64) -> f64 {
+    quantile(&abs_pct_errors(pred, truth), q)
+}
+
+/// Root-mean-square error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return f64::NAN;
+    }
+    let mse = pred.iter().zip(truth).map(|(p, t)| (p - t).powi(2)).sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Coefficient of determination R².
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Five-number-plus-mean summary of a distribution — what a violin plot
+/// (Figure 10) renders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViolinSummary {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl ViolinSummary {
+    /// Summarize a sample; NaNs everywhere for an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return ViolinSummary {
+                min: f64::NAN,
+                p25: f64::NAN,
+                p50: f64::NAN,
+                p75: f64::NAN,
+                p95: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
+            };
+        }
+        ViolinSummary {
+            min: quantile(values, 0.0),
+            p25: quantile(values, 0.25),
+            p50: quantile(values, 0.5),
+            p75: quantile(values, 0.75),
+            p95: quantile(values, 0.95),
+            max: quantile(values, 1.0),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.5), 2.5);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    fn mdape_known_value() {
+        let truth = [100.0, 100.0, 100.0];
+        let pred = [110.0, 95.0, 100.0];
+        // Errors: 10%, 5%, 0% → median 5%.
+        assert_eq!(mdape(&pred, &truth), 5.0);
+    }
+
+    #[test]
+    fn mdape_skips_zero_targets() {
+        let truth = [0.0, 100.0];
+        let pred = [50.0, 110.0];
+        assert_eq!(mdape(&pred, &truth), 10.0);
+    }
+
+    #[test]
+    fn perfect_prediction_scores() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mdape(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn r2_zero_for_mean_predictor() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!(r2(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert_eq!(rmse(&[0.0, 0.0], &[3.0, -4.0]), (12.5f64).sqrt());
+    }
+
+    #[test]
+    fn pct_error_quantile_matches_manual() {
+        let truth = vec![100.0; 100];
+        let pred: Vec<f64> = (0..100).map(|i| 100.0 + i as f64).collect();
+        let p95 = pct_error_quantile(&pred, &truth, 0.95);
+        assert!((p95 - 94.05).abs() < 1e-9, "{p95}");
+    }
+
+    #[test]
+    fn violin_summary_orders() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let s = ViolinSummary::of(&v);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.p25 < s.p50 && s.p50 < s.p75 && s.p75 < s.p95);
+        assert_eq!(s.mean, 50.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(mdape(&[], &[]).is_nan());
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(ViolinSummary::of(&[]).p50.is_nan());
+    }
+}

@@ -1,0 +1,361 @@
+//! Maximal information coefficient (Table 5's `MIC` rows).
+//!
+//! MIC (Reshef et al., *Science* 2011) measures arbitrary — not just
+//! linear — dependence: over all grid resolutions `(nx, ny)` with
+//! `nx·ny ≤ B(n) = n^0.6`, it takes the maximum grid mutual information
+//! normalized by `log min(nx, ny)`.
+//!
+//! This is the **ApproxMaxMI** estimator from the original paper: one axis
+//! is equipartitioned into rows (on ranks); the other axis's column
+//! boundaries are *optimized* by dynamic programming over "clumps"
+//! (maximal runs of same-row points), which is what gives MIC its power on
+//! noisy functional relationships. Both orientations are evaluated and the
+//! maximum taken. For tractability the clump count is capped by merging
+//! into superclumps (the `ĉ` parameter of the reference implementation)
+//! and very large samples are stride-subsampled.
+
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer this way
+/// Maximum sample size used; larger inputs are stride-subsampled
+/// (deterministically).
+const MAX_N: usize = 2000;
+
+/// Cap on clump count per DP (superclump merging), as a multiple of the
+/// maximum column count.
+const CLUMP_FACTOR: usize = 5;
+
+/// Average ranks (ties share the mean rank), in [0, n).
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Entropy of a count vector (natural log).
+fn entropy(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Assign each point to one of `ny` equipartition rows by its y-rank.
+fn row_assignment(ry: &[f64], ny: usize) -> Vec<usize> {
+    let n = ry.len();
+    ry.iter().map(|&r| ((r * ny as f64 / n as f64) as usize).min(ny - 1)).collect()
+}
+
+/// Build clump boundaries over points sorted by x: maximal runs of
+/// consecutive points in the same row; equal x-values never split. Then
+/// merge into at most `max_clumps` superclumps by point-count
+/// equipartition. Returns cumulative point counts and per-row cumulative
+/// counts at each clump boundary (index 0 = empty prefix).
+fn clumps(
+    xs: &[f64],
+    rows: &[usize],
+    order: &[usize],
+    ny: usize,
+    max_clumps: usize,
+) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = order.len();
+    // Raw clump end positions (exclusive indices into `order`).
+    let mut ends = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        // Extend while same row; and never split equal x values.
+        while j < n
+            && (rows[order[j]] == rows[order[i]] || xs[order[j]] == xs[order[j - 1]])
+        {
+            // A tie in x forces the point into the clump regardless of row.
+            if rows[order[j]] != rows[order[i]] && xs[order[j]] != xs[order[j - 1]] {
+                break;
+            }
+            j += 1;
+        }
+        ends.push(j);
+        i = j;
+    }
+    // Superclump merge: keep ~max_clumps boundaries, equispaced by points.
+    let ends: Vec<usize> = if ends.len() > max_clumps {
+        let mut merged = Vec::with_capacity(max_clumps);
+        let target = n as f64 / max_clumps as f64;
+        let mut next = target;
+        for &e in &ends {
+            if e as f64 >= next || e == n {
+                merged.push(e);
+                next = e as f64 + target;
+            }
+        }
+        if *merged.last().expect("nonempty") != n {
+            merged.push(n);
+        }
+        merged
+    } else {
+        ends
+    };
+    // Cumulative counts.
+    let k = ends.len();
+    let mut cum = Vec::with_capacity(k + 1);
+    let mut rowcum = Vec::with_capacity(k + 1);
+    cum.push(0.0);
+    rowcum.push(vec![0.0; ny]);
+    let mut pos = 0;
+    for &e in &ends {
+        let mut rc = rowcum.last().expect("nonempty").clone();
+        while pos < e {
+            rc[rows[order[pos]]] += 1.0;
+            pos += 1;
+        }
+        cum.push(e as f64);
+        rowcum.push(rc);
+    }
+    (cum, rowcum)
+}
+
+/// For one orientation (equipartition y into `ny` rows, optimize x-axis
+/// columns), return `best[l]` = max mutual information with exactly `l`
+/// columns, for `l in 2..=max_cols`.
+fn optimize_axis(xs: &[f64], ry: &[f64], ny: usize, max_cols: usize) -> Vec<f64> {
+    let n = xs.len();
+    let rows = row_assignment(ry, ny);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        xs[a].partial_cmp(&xs[b])
+            .expect("finite values")
+            .then(rows[a].cmp(&rows[b]))
+    });
+    let max_clumps = (CLUMP_FACTOR * max_cols).max(12);
+    let (cum, rowcum) = clumps(xs, &rows, &order, ny, max_clumps);
+    let k = cum.len() - 1; // number of clumps
+    if k < 2 {
+        return vec![0.0; max_cols + 1];
+    }
+    // H(Q): row entropy over all points.
+    let h_q = entropy(&rowcum[k], cum[k]);
+    // Conditional row entropy of the clump span (s, t].
+    let hcond = |s: usize, t: usize| -> f64 {
+        let total = cum[t] - cum[s];
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let counts: Vec<f64> =
+            (0..ny).map(|r| rowcum[t][r] - rowcum[s][r]).collect();
+        entropy(&counts, total)
+    };
+    let l_max = max_cols.min(k);
+    // C[t][l] = min average conditional entropy of prefix t with l columns.
+    let mut c_prev: Vec<f64> = (0..=k).map(|t| hcond(0, t)).collect(); // l = 1
+    let mut best = vec![0.0f64; max_cols + 1];
+    for l in 2..=l_max {
+        let mut c_cur = vec![f64::INFINITY; k + 1];
+        for t in l..=k {
+            let mut m = f64::INFINITY;
+            for s in (l - 1)..t {
+                if cum[t] <= 0.0 {
+                    continue;
+                }
+                let v = (cum[s] / cum[t]) * c_prev[s]
+                    + ((cum[t] - cum[s]) / cum[t]) * hcond(s, t);
+                if v < m {
+                    m = v;
+                }
+            }
+            c_cur[t] = m;
+        }
+        best[l] = (h_q - c_cur[k]).max(0.0);
+        c_prev = c_cur;
+    }
+    best
+}
+
+/// The maximal information coefficient of two samples, in `[0, 1]`.
+///
+/// Returns 0 for degenerate inputs (fewer than 8 points or a constant
+/// variable — the paper's Table 5 reports MIC 0.00 for the uniform C and P
+/// columns).
+pub fn mic(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "inputs must be the same length");
+    let n_all = x.len();
+    if n_all < 8 {
+        return 0.0;
+    }
+    let constant = |v: &[f64]| v.iter().all(|&a| a == v[0]);
+    if constant(x) || constant(y) {
+        return 0.0;
+    }
+    // Deterministic stride subsample for large inputs.
+    let (xs, ys): (Vec<f64>, Vec<f64>) = if n_all > MAX_N {
+        let stride = n_all.div_ceil(MAX_N);
+        (
+            x.iter().step_by(stride).copied().collect(),
+            y.iter().step_by(stride).copied().collect(),
+        )
+    } else {
+        (x.to_vec(), y.to_vec())
+    };
+    let n = xs.len();
+    let rx = ranks(&xs);
+    let ry = ranks(&ys);
+    let b = ((n as f64).powf(0.6) as usize).max(4);
+
+    let mut best = 0.0f64;
+    // Orientation 1: rows on y, optimized columns on x; orientation 2:
+    // swapped.
+    for (ax, ay) in [(&xs, &ry), (&ys, &rx)] {
+        for nrows in 2..=b / 2 {
+            let max_cols = b / nrows;
+            if max_cols < 2 {
+                break;
+            }
+            let mi = optimize_axis(ax, ay, nrows, max_cols);
+            for (ncols, &m) in mi.iter().enumerate().skip(2) {
+                let norm = (nrows.min(ncols) as f64).ln();
+                if norm > 0.0 {
+                    best = best.max(m / norm);
+                }
+            }
+        }
+    }
+    best.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / n as f64).collect()
+    }
+
+    /// Deterministic uniform noise in [0, 1).
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut z = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_is_maximal() {
+        let x = grid(500);
+        assert!(mic(&x, &x) > 0.95, "MIC(X,X) = {}", mic(&x, &x));
+    }
+
+    #[test]
+    fn linear_is_maximal() {
+        let x = grid(500);
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 1.0).collect();
+        assert!(mic(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn parabola_is_high_despite_zero_pearson() {
+        let x: Vec<f64> = (-250..250).map(|i| i as f64 / 250.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let m = mic(&x, &y);
+        assert!(m > 0.8, "MIC(x, x²) = {m}");
+        assert!(crate::correlation::pearson(&x, &y).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn sine_is_detected() {
+        let x = grid(600);
+        let y: Vec<f64> = x.iter().map(|v| (4.0 * std::f64::consts::PI * v).sin()).collect();
+        assert!(mic(&x, &y) > 0.8, "MIC = {}", mic(&x, &y));
+    }
+
+    #[test]
+    fn noisy_linear_beats_pearson_squared() {
+        // The property the paper leans on: for a noisy relationship MIC
+        // stays well above zero while CC degrades.
+        let x = grid(800);
+        let e = noise(800, 7);
+        let y: Vec<f64> = x.iter().zip(&e).map(|(v, n)| v + 0.5 * n).collect();
+        let m = mic(&x, &y);
+        assert!(m > 0.3, "noisy-linear MIC = {m}");
+    }
+
+    #[test]
+    fn independence_is_low() {
+        let x = noise(800, 1);
+        let y = noise(800, 2);
+        let m = mic(&x, &y);
+        assert!(m < 0.35, "MIC of independent data = {m}");
+    }
+
+    #[test]
+    fn functional_relation_scores_above_independence() {
+        let x = noise(600, 3);
+        let y_fn: Vec<f64> = x.iter().map(|v| (6.0 * v).sin()).collect();
+        let y_ind = noise(600, 4);
+        assert!(mic(&x, &y_fn) > mic(&x, &y_ind) + 0.2);
+    }
+
+    #[test]
+    fn constant_inputs_are_zero() {
+        let x = vec![1.0; 100];
+        let y = grid(100);
+        assert_eq!(mic(&x, &y), 0.0);
+        assert_eq!(mic(&y, &x), 0.0);
+    }
+
+    #[test]
+    fn short_inputs_are_zero() {
+        assert_eq!(mic(&[1.0, 2.0], &[3.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn bounded_unit_interval() {
+        let x: Vec<f64> = (0..200).map(|i| ((i * 13) % 29) as f64).collect();
+        let y: Vec<f64> = (0..200).map(|i| ((i * 17) % 31) as f64).collect();
+        let m = mic(&x, &y);
+        assert!((0.0..=1.0).contains(&m));
+    }
+
+    #[test]
+    fn large_input_subsampling_is_stable() {
+        let x = grid(10_000);
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let m = mic(&x, &y);
+        assert!(m > 0.8, "subsampled MIC = {m}");
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[5.0, 1.0, 5.0, 3.0]);
+        // sorted: 1(0), 3(1), 5(2), 5(3): ties share (2+3)/2 = 2.5
+        assert_eq!(r, vec![2.5, 0.0, 2.5, 1.0]);
+    }
+
+    #[test]
+    fn entropy_of_uniform_counts() {
+        let h = entropy(&[5.0, 5.0], 10.0);
+        assert!((h - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(entropy(&[10.0, 0.0], 10.0), 0.0);
+    }
+}

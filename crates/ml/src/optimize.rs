@@ -1,0 +1,164 @@
+//! Nelder–Mead simplex minimization.
+//!
+//! Derivative-free local optimizer used for the Weibull curve fit of
+//! Figure 4 (and available to downstream users for any small nonlinear
+//! least-squares problem). Standard reflection / expansion / contraction /
+//! shrink with the usual coefficients.
+
+/// Result of a minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Argmin found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Minimize `f` starting from `x0`, with initial simplex steps `scale`
+/// (one per dimension). Stops after `max_iter` iterations or when the
+/// simplex's value spread drops below `tol`.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    scale: &[f64],
+    max_iter: usize,
+    tol: f64,
+) -> Minimum {
+    let n = x0.len();
+    assert_eq!(scale.len(), n, "scale must match dimension");
+    assert!(n > 0, "dimension must be positive");
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    // Initial simplex: x0 plus one perturbed point per dimension.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += if scale[i] != 0.0 { scale[i] } else { 1.0 };
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|p| f(p)).collect();
+
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Order ascending by value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite objective"));
+        let reordered: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
+        let revalues: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+        simplex = reordered;
+        values = revalues;
+
+        if (values[n] - values[0]).abs() <= tol * (1.0 + values[0].abs()) {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for p in simplex.iter().take(n) {
+            for (c, v) in centroid.iter_mut().zip(p) {
+                *c += v / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> =
+            centroid.iter().zip(&worst).map(|(c, w)| c + alpha * (c - w)).collect();
+        let fr = f(&reflect);
+        if fr < values[0] {
+            // Try to expand.
+            let expand: Vec<f64> =
+                centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
+            let fe = f(&expand);
+            if fe < fr {
+                simplex[n] = expand;
+                values[n] = fe;
+            } else {
+                simplex[n] = reflect;
+                values[n] = fr;
+            }
+        } else if fr < values[n - 1] {
+            simplex[n] = reflect;
+            values[n] = fr;
+        } else {
+            // Contract toward the better of worst/reflected.
+            let (base, fb) =
+                if fr < values[n] { (&reflect, fr) } else { (&worst, values[n]) };
+            let contract: Vec<f64> =
+                centroid.iter().zip(base).map(|(c, b)| c + rho * (b - c)).collect();
+            let fc = f(&contract);
+            if fc < fb {
+                simplex[n] = contract;
+                values[n] = fc;
+            } else {
+                // Shrink everything toward the best point.
+                let best = simplex[0].clone();
+                for k in 1..=n {
+                    let p: Vec<f64> =
+                        best.iter().zip(&simplex[k]).map(|(b, s)| b + sigma * (s - b)).collect();
+                    values[k] = f(&p);
+                    simplex[k] = p;
+                }
+            }
+        }
+    }
+    // Final best.
+    let mut best = 0;
+    for i in 1..=n {
+        if values[i] < values[best] {
+            best = i;
+        }
+    }
+    Minimum { x: simplex[best].clone(), value: values[best], iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let m = nelder_mead(
+            |p| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            500,
+            1e-12,
+        );
+        assert!((m.x[0] - 3.0).abs() < 1e-4, "{:?}", m.x);
+        assert!((m.x[1] + 1.0).abs() < 1e-4);
+        assert!(m.value < 1e-7);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let m = nelder_mead(
+            |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
+            &[-1.2, 1.0],
+            &[0.5, 0.5],
+            5000,
+            1e-14,
+        );
+        assert!((m.x[0] - 1.0).abs() < 1e-3, "{:?}", m.x);
+        assert!((m.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let m = nelder_mead(|p| (p[0] - 7.0).abs(), &[0.0], &[1.0], 300, 1e-12);
+        assert!((m.x[0] - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_max_iter() {
+        let m = nelder_mead(|p| p[0] * p[0], &[100.0], &[1.0], 3, 0.0);
+        assert!(m.iterations <= 3);
+    }
+
+    #[test]
+    fn already_at_minimum() {
+        let m = nelder_mead(|p| p[0].powi(2) + p[1].powi(2), &[0.0, 0.0], &[0.1, 0.1], 200, 1e-12);
+        assert!(m.value < 1e-8);
+    }
+}

@@ -1,0 +1,87 @@
+//! Cross-validation utilities.
+
+/// Deterministic K-fold split: returns `k` (train, test) index pairs
+/// covering `0..n`. Fold membership is a hash of `(seed, index)`, so the
+/// split is stable under reordering-free appends and independent of `k`'s
+/// iteration order.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(n >= k, "need at least one sample per fold");
+    let fold_of = |i: usize| -> usize {
+        let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % k as u64) as usize
+    };
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for i in 0..n {
+        folds[fold_of(i)].push(i);
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train = (0..n).filter(|&i| fold_of(i) != f).collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Mean of a per-fold metric produced by `run(train, test)` over K folds.
+pub fn cross_validate<F: FnMut(&[usize], &[usize]) -> f64>(
+    n: usize,
+    k: usize,
+    seed: u64,
+    mut run: F,
+) -> f64 {
+    let folds = kfold_indices(n, k, seed);
+    let total: f64 = folds.iter().map(|(tr, te)| run(tr, te)).sum();
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let folds = kfold_indices(100, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let mut seen = [false; 100];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 100);
+            for &i in test {
+                assert!(!seen[i], "index {i} in two test folds");
+                seen[i] = true;
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn folds_are_roughly_balanced() {
+        let folds = kfold_indices(1000, 4, 3);
+        for (_, test) in &folds {
+            assert!((150..350).contains(&test.len()), "fold size {}", test.len());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(kfold_indices(50, 3, 9), kfold_indices(50, 3, 9));
+        assert_ne!(kfold_indices(50, 3, 9), kfold_indices(50, 3, 10));
+    }
+
+    #[test]
+    fn cross_validate_averages() {
+        // Metric = test-fold size; mean over folds = n/k.
+        let mean = cross_validate(90, 3, 1, |_, test| test.len() as f64);
+        assert!((mean - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn one_fold_panics() {
+        kfold_indices(10, 1, 0);
+    }
+}

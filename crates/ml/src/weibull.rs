@@ -1,0 +1,137 @@
+//! Weibull-shaped curve fitting (paper Figure 4).
+//!
+//! The paper fits a Weibull curve \[37\] to aggregate transfer rate vs total
+//! concurrency: throughput rises with concurrency, peaks, and declines. We
+//! fit the scaled Weibull density
+//!
+//! ```text
+//! y(x) = a · (x/λ)^(k−1) · exp(−(x/λ)^k)
+//! ```
+//!
+//! by least squares with Nelder–Mead in log-parameter space (which keeps
+//! `a`, `k`, `λ` positive for free).
+
+use crate::optimize::nelder_mead;
+
+/// A fitted scaled-Weibull curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeibullCurve {
+    /// Amplitude `a > 0`.
+    pub a: f64,
+    /// Shape `k > 0` (k > 1 gives the rise-then-fall of Figure 4).
+    pub k: f64,
+    /// Scale `λ > 0`.
+    pub lambda: f64,
+}
+
+impl WeibullCurve {
+    /// Evaluate the curve at `x ≥ 0`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let t = x / self.lambda;
+        self.a * t.powf(self.k - 1.0) * (-t.powf(self.k)).exp()
+    }
+
+    /// The concurrency at which the curve peaks (for k > 1):
+    /// `x* = λ·((k−1)/k)^(1/k)`.
+    pub fn peak_x(&self) -> f64 {
+        if self.k <= 1.0 {
+            return 0.0;
+        }
+        self.lambda * ((self.k - 1.0) / self.k).powf(1.0 / self.k)
+    }
+
+    /// Fit to `(x, y)` points by least squares. Returns `None` for fewer
+    /// than four points or non-positive x domain.
+    pub fn fit(points: &[(f64, f64)]) -> Option<WeibullCurve> {
+        let pts: Vec<(f64, f64)> =
+            points.iter().copied().filter(|&(x, _)| x > 0.0).collect();
+        if pts.len() < 4 {
+            return None;
+        }
+        let max_y = pts.iter().map(|&(_, y)| y).fold(0.0f64, f64::max);
+        let peak_x = pts
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(x, _)| x)
+            .unwrap_or(1.0);
+        // Initial guess: shape 2 (rise/fall), scale near the observed peak.
+        let x0 = [
+            (max_y.max(1e-9) * std::f64::consts::E).ln(), // ln a
+            2.0f64.ln(),                                  // ln k
+            peak_x.max(1e-9).ln() + 0.35,                 // ln λ
+        ];
+        let sse = |p: &[f64]| {
+            let c = WeibullCurve { a: p[0].exp(), k: p[1].exp(), lambda: p[2].exp() };
+            pts.iter().map(|&(x, y)| (c.eval(x) - y).powi(2)).sum::<f64>()
+        };
+        let m = nelder_mead(sse, &x0, &[0.5, 0.3, 0.5], 4000, 1e-12);
+        let c = WeibullCurve { a: m.x[0].exp(), k: m.x[1].exp(), lambda: m.x[2].exp() };
+        c.a.is_finite().then_some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_shapes() {
+        let c = WeibullCurve { a: 1.0, k: 2.0, lambda: 10.0 };
+        assert_eq!(c.eval(0.0), 0.0);
+        assert_eq!(c.eval(-5.0), 0.0);
+        // Rises then falls.
+        assert!(c.eval(5.0) > c.eval(1.0));
+        assert!(c.eval(30.0) < c.eval(7.0));
+    }
+
+    #[test]
+    fn peak_location_formula() {
+        let c = WeibullCurve { a: 1.0, k: 2.0, lambda: 10.0 };
+        let xp = c.peak_x();
+        // For k=2: x* = λ·(1/2)^(1/2) ≈ 7.071.
+        assert!((xp - 10.0 / (2.0f64).sqrt()).abs() < 1e-12);
+        // It is indeed a local max.
+        assert!(c.eval(xp) > c.eval(xp - 0.5));
+        assert!(c.eval(xp) > c.eval(xp + 0.5));
+    }
+
+    #[test]
+    fn recovers_synthetic_parameters() {
+        let truth = WeibullCurve { a: 500.0, k: 2.5, lambda: 20.0 };
+        let pts: Vec<(f64, f64)> =
+            (1..=60).map(|i| (i as f64, truth.eval(i as f64))).collect();
+        let fit = WeibullCurve::fit(&pts).expect("fit should succeed");
+        // Parameters within 10% and curve values within 5% of max.
+        assert!((fit.k - truth.k).abs() / truth.k < 0.1, "k = {}", fit.k);
+        assert!((fit.lambda - truth.lambda).abs() / truth.lambda < 0.1);
+        let max = pts.iter().map(|p| p.1).fold(0.0f64, f64::max);
+        for &(x, y) in &pts {
+            assert!((fit.eval(x) - y).abs() < 0.05 * max, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fits_noisy_rise_then_fall() {
+        let truth = WeibullCurve { a: 100.0, k: 1.8, lambda: 12.0 };
+        let pts: Vec<(f64, f64)> = (1..=40)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 2654435761u64 as usize) % 11) as f64 / 11.0 - 0.5;
+                (x, truth.eval(x) * (1.0 + 0.1 * noise))
+            })
+            .collect();
+        let fit = WeibullCurve::fit(&pts).expect("fit");
+        // Peak location survives the noise.
+        assert!((fit.peak_x() - truth.peak_x()).abs() < 3.0);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(WeibullCurve::fit(&[(1.0, 2.0), (2.0, 3.0)]).is_none());
+        assert!(WeibullCurve::fit(&[(-1.0, 2.0); 10]).is_none());
+    }
+}

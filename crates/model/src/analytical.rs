@@ -1,0 +1,216 @@
+//! The analytical upper-bound model (paper §3, Eq. 1).
+//!
+//! `Rmax ≤ min(DRmax, MMmax, DWmax)`: a transfer can be no faster than the
+//! slowest of source-storage read, network, and destination-storage write.
+//! On the testbed the three terms are measured directly (see
+//! `wdt_sim::instruments`); for production endpoints they are *estimated
+//! from history* (§3.2): `DRmax` as the best rate ever observed with the
+//! endpoint as source, `DWmax` as the best with it as destination, and
+//! `MMmax` from perfSONAR-style probes where available.
+
+use std::collections::BTreeMap;
+use wdt_features::TransferFeatures;
+use wdt_types::{EdgeId, EndpointId};
+
+/// The three subsystem ceilings of Eq. 1, bytes/s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsystemCeilings {
+    /// Source storage read ceiling.
+    pub dr_max: f64,
+    /// Memory-to-memory (network) ceiling.
+    pub mm_max: f64,
+    /// Destination storage write ceiling.
+    pub dw_max: f64,
+}
+
+/// Which subsystem limits an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Source disk read is the minimum.
+    DiskRead,
+    /// The network is the minimum.
+    Network,
+    /// Destination disk write is the minimum.
+    DiskWrite,
+}
+
+impl SubsystemCeilings {
+    /// Eq. 1's bound: the minimum ceiling.
+    pub fn bound(&self) -> f64 {
+        self.dr_max.min(self.mm_max).min(self.dw_max)
+    }
+
+    /// The limiting subsystem.
+    pub fn limiter(&self) -> Limiter {
+        let b = self.bound();
+        if b == self.dr_max {
+            Limiter::DiskRead
+        } else if b == self.mm_max {
+            Limiter::Network
+        } else {
+            Limiter::DiskWrite
+        }
+    }
+}
+
+/// Historically estimated per-endpoint disk ceilings (§3.2): the best rate
+/// ever observed with the endpoint as source (read) / destination (write).
+pub fn historical_disk_ceilings(
+    features: &[TransferFeatures],
+) -> BTreeMap<EndpointId, (f64, f64)> {
+    let mut map: BTreeMap<EndpointId, (f64, f64)> = BTreeMap::new();
+    for f in features {
+        let src = map.entry(f.edge.src).or_insert((0.0, 0.0));
+        src.0 = src.0.max(f.rate);
+        let dst = map.entry(f.edge.dst).or_insert((0.0, 0.0));
+        dst.1 = dst.1.max(f.rate);
+    }
+    map
+}
+
+/// How well Eq. 1 explains an edge, mirroring the paper's §3.2 validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundVerdict {
+    /// Best observed rate falls in `[0.8, 1.2]·bound`: the bound explains
+    /// the edge.
+    Explained,
+    /// Best observed rate falls in the interval only after adding back the
+    /// known competing Globus load `max(Ksout, Kdin)`.
+    ExplainedWithLoad,
+    /// Best observed rate is well below the bound: unknown load or
+    /// misconfiguration.
+    Underperforming,
+    /// Best observed rate exceeds 1.2·bound: the ceiling estimate is wrong
+    /// (e.g. the perfSONAR host is narrower than the DTN pool, §3.2).
+    ExceedsBound,
+}
+
+/// Validate Eq. 1 on one edge given its transfers and the estimated
+/// ceilings. Follows §3.2: compare the best observed rate (and, failing
+/// that, best rate + known competing load) against `[0.8, 1.2]·bound`.
+pub fn validate_bound(
+    edge_transfers: &[&TransferFeatures],
+    ceilings: &SubsystemCeilings,
+) -> BoundVerdict {
+    let bound = ceilings.bound();
+    let best = edge_transfers.iter().map(|f| f.rate).fold(0.0f64, f64::max);
+    if best > 1.2 * bound {
+        return BoundVerdict::ExceedsBound;
+    }
+    if best >= 0.8 * bound {
+        return BoundVerdict::Explained;
+    }
+    let best_with_load = edge_transfers
+        .iter()
+        .map(|f| f.rate + f.k_sout.max(f.k_din))
+        .fold(0.0f64, f64::max);
+    if best_with_load >= 0.8 * bound && best_with_load <= 1.2 * bound {
+        BoundVerdict::ExplainedWithLoad
+    } else {
+        BoundVerdict::Underperforming
+    }
+}
+
+/// Eq. 1 applied across a log: per-edge verdicts plus limiter counts (the
+/// paper's "11 limited by disk read, 14 by network, 20 by disk write").
+pub fn classify_edges(
+    features: &[TransferFeatures],
+    mm_max: &BTreeMap<EdgeId, f64>,
+) -> BTreeMap<EdgeId, (BoundVerdict, Limiter)> {
+    let disks = historical_disk_ceilings(features);
+    let by_edge = wdt_features::group_by_edge(features);
+    let mut out = BTreeMap::new();
+    for (edge, transfers) in by_edge {
+        let Some(&mm) = mm_max.get(&edge) else { continue };
+        let ceilings = SubsystemCeilings {
+            dr_max: disks.get(&edge.src).map_or(0.0, |d| d.0),
+            mm_max: mm,
+            dw_max: disks.get(&edge.dst).map_or(0.0, |d| d.1),
+        };
+        out.insert(edge, (validate_bound(&transfers, &ceilings), ceilings.limiter()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdt_types::TransferId;
+
+    fn feat(src: u32, dst: u32, rate: f64, k_sout: f64, k_din: f64) -> TransferFeatures {
+        TransferFeatures {
+            id: TransferId(0),
+            edge: EdgeId::new(EndpointId(src), EndpointId(dst)),
+            start: 0.0,
+            end: 1.0,
+            rate,
+            k_sout,
+            k_din,
+            c: 4.0,
+            p: 2.0,
+            s_sout: 0.0,
+            s_sin: 0.0,
+            s_dout: 0.0,
+            s_din: 0.0,
+            k_sin: 0.0,
+            k_dout: 0.0,
+            n_d: 1.0,
+            n_b: rate,
+            n_flt: 0.0,
+            g_src: 0.0,
+            g_dst: 0.0,
+            n_f: 1.0,
+        }
+    }
+
+    #[test]
+    fn bound_is_min_and_limiter_names_it() {
+        let c = SubsystemCeilings { dr_max: 900.0, mm_max: 950.0, dw_max: 780.0 };
+        assert_eq!(c.bound(), 780.0);
+        assert_eq!(c.limiter(), Limiter::DiskWrite);
+        let c = SubsystemCeilings { dr_max: 700.0, mm_max: 950.0, dw_max: 780.0 };
+        assert_eq!(c.limiter(), Limiter::DiskRead);
+        let c = SubsystemCeilings { dr_max: 900.0, mm_max: 650.0, dw_max: 780.0 };
+        assert_eq!(c.limiter(), Limiter::Network);
+    }
+
+    #[test]
+    fn historical_ceilings_track_roles() {
+        let fs = vec![feat(0, 1, 100.0, 0.0, 0.0), feat(0, 1, 150.0, 0.0, 0.0), feat(1, 0, 90.0, 0.0, 0.0)];
+        let d = historical_disk_ceilings(&fs);
+        assert_eq!(d[&EndpointId(0)], (150.0, 90.0));
+        assert_eq!(d[&EndpointId(1)], (90.0, 150.0));
+    }
+
+    #[test]
+    fn verdicts() {
+        let c = SubsystemCeilings { dr_max: 100.0, mm_max: 100.0, dw_max: 100.0 };
+        let explained = [feat(0, 1, 95.0, 0.0, 0.0)];
+        let refs: Vec<&TransferFeatures> = explained.iter().collect();
+        assert_eq!(validate_bound(&refs, &c), BoundVerdict::Explained);
+
+        let with_load = [feat(0, 1, 60.0, 35.0, 0.0)];
+        let refs: Vec<&TransferFeatures> = with_load.iter().collect();
+        assert_eq!(validate_bound(&refs, &c), BoundVerdict::ExplainedWithLoad);
+
+        let under = [feat(0, 1, 20.0, 5.0, 0.0)];
+        let refs: Vec<&TransferFeatures> = under.iter().collect();
+        assert_eq!(validate_bound(&refs, &c), BoundVerdict::Underperforming);
+
+        let exceeds = [feat(0, 1, 130.0, 0.0, 0.0)];
+        let refs: Vec<&TransferFeatures> = exceeds.iter().collect();
+        assert_eq!(validate_bound(&refs, &c), BoundVerdict::ExceedsBound);
+    }
+
+    #[test]
+    fn classify_edges_uses_per_edge_mm() {
+        let fs = vec![feat(0, 1, 95.0, 0.0, 0.0), feat(1, 0, 60.0, 0.0, 0.0)];
+        let mut mm = BTreeMap::new();
+        mm.insert(EdgeId::new(EndpointId(0), EndpointId(1)), 100.0);
+        let verdicts = classify_edges(&fs, &mm);
+        // Only the probed edge is classified.
+        assert_eq!(verdicts.len(), 1);
+        let (v, _) = verdicts[&EdgeId::new(EndpointId(0), EndpointId(1))];
+        assert_eq!(v, BoundVerdict::Explained);
+    }
+}

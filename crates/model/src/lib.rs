@@ -1,0 +1,32 @@
+//! # wdt-model — transfer-rate models (the paper's contribution)
+//!
+//! Everything HPDC'17's "Explaining Wide Area Data Transfer Performance"
+//! proposes, as a public API over the `wdt-features` / `wdt-ml` substrates:
+//!
+//! * [`analytical`] — the Eq. 1 upper bound `Rmax ≤ min(DRmax, MMmax,
+//!   DWmax)`, its historical estimation, and the §3.2 validation verdicts;
+//! * [`pipeline`] — the shared train/evaluate pipeline (low-variance
+//!   pruning, z-score normalization, linear or gradient-boosted fit);
+//! * [`per_edge`] — one model per heavy edge (§5.1–5.3, Figures 9–12);
+//! * [`global_model`] — one model for all edges via endpoint capability
+//!   features (§5.4, Eq. 5);
+//! * [`lmt_model`] — the storage-monitoring augmentation (§5.5.2).
+
+pub mod advisor;
+pub mod analytical;
+pub mod global_model;
+pub mod lmt_model;
+pub mod per_edge;
+pub mod pipeline;
+pub mod tune;
+
+pub use advisor::{recommend_endpoint_concurrency, schedule_advice, ConcurrencyAdvice, ScheduleAdvice};
+pub use analytical::{
+    classify_edges, historical_disk_ceilings, validate_bound, BoundVerdict, Limiter,
+    SubsystemCeilings,
+};
+pub use global_model::{build_global_dataset, GlobalModel};
+pub use lmt_model::{build_lmt_dataset, compare_with_lmt, join_storage_load, LmtComparison, StorageLoad};
+pub use per_edge::{run_one_edge, run_per_edge, EdgeExperiment, PerEdgeConfig};
+pub use pipeline::{build_dataset, EvalReport, FitConfig, FittedModel, ModelKind};
+pub use tune::{default_grid, tune_gbdt, TuneResult};

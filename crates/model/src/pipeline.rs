@@ -1,0 +1,319 @@
+//! The shared modeling pipeline: dataset assembly → low-variance pruning →
+//! z-score normalization → linear or gradient-boosted regression →
+//! evaluation.
+
+use serde::{Deserialize, Serialize};
+use wdt_features::{Dataset, Normalizer, TransferFeatures, FEATURE_NAMES};
+use wdt_ml::{mdape, pct_error_quantile, r2, rmse, Gbdt, GbdtParams, LinearRegression};
+
+/// Which regression family to fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Ordinary least squares (paper §5.1).
+    Linear,
+    /// Gradient-boosted trees (paper §5.2).
+    Gbdt,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct FitConfig {
+    /// Coefficient-of-variation threshold below which a feature is
+    /// eliminated (the paper drops C and P this way).
+    pub min_cv: f64,
+    /// Boosting hyperparameters (ignored for linear models).
+    pub gbdt: GbdtParams,
+    /// Ridge stabilizer for the linear model.
+    pub ridge: f64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig { min_cv: 1e-3, gbdt: GbdtParams::default(), ridge: 1e-6 }
+    }
+}
+
+/// Build the model dataset from engineered features.
+///
+/// `include_nflt` selects between the paper's two uses: `false` for
+/// prediction (faults are unknown in advance), `true` for explanation
+/// (Figures 9 and 12 include `Nflt`).
+pub fn build_dataset(features: &[TransferFeatures], include_nflt: bool) -> Dataset {
+    let names: Vec<String> = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let x: Vec<Vec<f64>> = features.iter().map(|f| f.to_vec()).collect();
+    let y: Vec<f64> = features.iter().map(|f| f.rate).collect();
+    let mut d = Dataset::new(names, x, y);
+    if !include_nflt {
+        d.drop_column("Nflt");
+    }
+    d
+}
+
+#[derive(Serialize, Deserialize)]
+enum Inner {
+    Linear(LinearRegression),
+    Gbdt(Box<Gbdt>),
+}
+
+/// A trained pipeline: remembers which columns it kept and how it
+/// normalized them, so prediction accepts rows in the *original* layout.
+///
+/// Serializable: persist with [`FittedModel::to_json`] and reload with
+/// [`FittedModel::from_json`] to reuse a model across processes.
+#[derive(Serialize, Deserialize)]
+pub struct FittedModel {
+    kind: ModelKind,
+    /// Indices of kept columns in the original dataset layout.
+    kept: Vec<usize>,
+    /// Names of kept columns.
+    names: Vec<String>,
+    /// Names of eliminated (low-variance) columns.
+    pub eliminated: Vec<String>,
+    normalizer: Normalizer,
+    inner: Inner,
+}
+
+impl FittedModel {
+    /// Fit on a training dataset. Returns `None` for degenerate inputs
+    /// (no rows, or every feature eliminated).
+    pub fn fit(train: &Dataset, kind: ModelKind, cfg: &FitConfig) -> Option<Self> {
+        if train.is_empty() {
+            return None;
+        }
+        let low = train.low_variance_columns(cfg.min_cv);
+        let kept: Vec<usize> = (0..train.width()).filter(|j| !low.contains(j)).collect();
+        if kept.is_empty() {
+            return None;
+        }
+        let names: Vec<String> = kept.iter().map(|&j| train.names[j].clone()).collect();
+        let eliminated: Vec<String> = low.iter().map(|&j| train.names[j].clone()).collect();
+        let x: Vec<Vec<f64>> = train
+            .x
+            .iter()
+            .map(|row| kept.iter().map(|&j| row[j]).collect())
+            .collect();
+        let pruned = Dataset::new(names.clone(), x, train.y.clone());
+        let normalizer = Normalizer::fit(&pruned);
+        let normed = normalizer.apply(&pruned);
+        let inner = match kind {
+            ModelKind::Linear => {
+                Inner::Linear(LinearRegression::fit(&normed.x, &normed.y, cfg.ridge)?)
+            }
+            ModelKind::Gbdt => Inner::Gbdt(Box::new(Gbdt::fit(&normed.x, &normed.y, &cfg.gbdt))),
+        };
+        Some(FittedModel { kind, kept, names, eliminated, normalizer, inner })
+    }
+
+    /// The model family.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Names of the features the model actually uses.
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Predict rows given in the original (pre-pruning) layout.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|row| self.predict_row(row)).collect()
+    }
+
+    /// Predict one row in the original layout.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut r: Vec<f64> = self.kept.iter().map(|&j| row[j]).collect();
+        self.normalizer.apply_row(&mut r);
+        match &self.inner {
+            Inner::Linear(m) => m.predict_one(&r),
+            Inner::Gbdt(m) => m.predict_one(&r),
+        }
+    }
+
+    /// Per-feature significance over kept features: |coefficient| for
+    /// linear models (Figure 9), gain importance for boosted models
+    /// (Figure 12) — both scaled so the maximum is 1.
+    pub fn significance(&self) -> Vec<(String, f64)> {
+        let raw = match &self.inner {
+            Inner::Linear(m) => m.relative_significance(),
+            Inner::Gbdt(m) => m.feature_importance(),
+        };
+        self.names.iter().cloned().zip(raw).collect()
+    }
+
+    /// Serialize the fitted model to JSON for persistence.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Reload a model persisted with [`FittedModel::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Evaluate on a test dataset (original layout).
+    pub fn evaluate(&self, test: &Dataset) -> EvalReport {
+        let pred = self.predict(&test.x);
+        EvalReport {
+            n: test.len(),
+            mdape: mdape(&pred, &test.y),
+            p95: pct_error_quantile(&pred, &test.y, 0.95),
+            rmse: rmse(&pred, &test.y),
+            r2: r2(&pred, &test.y),
+            abs_pct_errors: wdt_ml::abs_pct_errors(&pred, &test.y),
+        }
+    }
+}
+
+/// Evaluation results on held-out data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Test-set size.
+    pub n: usize,
+    /// Median absolute percentage error (%).
+    pub mdape: f64,
+    /// 95th-percentile absolute percentage error (%).
+    pub p95: f64,
+    /// Root-mean-square error (bytes/s).
+    pub rmse: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// The raw per-transfer absolute percentage errors (violin material).
+    pub abs_pct_errors: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic dataset with a nonlinear target, a linear feature, a
+    /// constant column, and a noise column.
+    fn synth(n: usize) -> Dataset {
+        let names = vec!["lin".into(), "sq".into(), "const".into(), "noise".into()];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i % 23) as f64;
+            let b = (i % 11) as f64 - 5.0;
+            let noise = ((i * 2654435761) % 97) as f64 / 97.0;
+            x.push(vec![a, b, 7.0, noise]);
+            y.push(3.0 * a + 10.0 * b * b + noise);
+        }
+        Dataset::new(names, x, y)
+    }
+
+    #[test]
+    fn eliminates_constant_column() {
+        let d = synth(300);
+        let m = FittedModel::fit(&d, ModelKind::Linear, &FitConfig::default()).unwrap();
+        assert_eq!(m.eliminated, vec!["const".to_string()]);
+        assert_eq!(m.feature_names().len(), 3);
+    }
+
+    #[test]
+    fn gbdt_beats_linear_on_nonlinear_target() {
+        let d = synth(600);
+        let (train, test) = d.split(0.7, 1);
+        let cfg = FitConfig::default();
+        let lr = FittedModel::fit(&train, ModelKind::Linear, &cfg).unwrap();
+        let xgb = FittedModel::fit(&train, ModelKind::Gbdt, &cfg).unwrap();
+        let lr_eval = lr.evaluate(&test);
+        let xgb_eval = xgb.evaluate(&test);
+        assert!(
+            xgb_eval.mdape < lr_eval.mdape,
+            "GBDT {} vs LR {}",
+            xgb_eval.mdape,
+            lr_eval.mdape
+        );
+        assert!(xgb_eval.r2 > 0.95, "GBDT R² {}", xgb_eval.r2);
+    }
+
+    #[test]
+    fn predict_accepts_original_layout() {
+        let d = synth(200);
+        let m = FittedModel::fit(&d, ModelKind::Gbdt, &FitConfig::default()).unwrap();
+        // Row with the constant column still present.
+        let p = m.predict_row(&[5.0, 2.0, 7.0, 0.3]);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn significance_covers_kept_features() {
+        let d = synth(300);
+        let m = FittedModel::fit(&d, ModelKind::Gbdt, &FitConfig::default()).unwrap();
+        let sig = m.significance();
+        assert_eq!(sig.len(), 3);
+        let max = sig.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        assert_eq!(max, 1.0);
+        // The squared feature dominates the target → top importance.
+        let top = sig.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert_eq!(top.0, "sq");
+    }
+
+    #[test]
+    fn empty_dataset_returns_none() {
+        let d = Dataset::new(vec!["a".into()], vec![], vec![]);
+        assert!(FittedModel::fit(&d, ModelKind::Linear, &FitConfig::default()).is_none());
+    }
+
+    #[test]
+    fn build_dataset_respects_nflt_flag() {
+        use wdt_types::{EdgeId, EndpointId, TransferId};
+        let f = TransferFeatures {
+            id: TransferId(0),
+            edge: EdgeId::new(EndpointId(0), EndpointId(1)),
+            start: 0.0,
+            end: 1.0,
+            rate: 5.0,
+            k_sout: 1.0,
+            k_din: 2.0,
+            c: 4.0,
+            p: 2.0,
+            s_sout: 0.0,
+            s_sin: 0.0,
+            s_dout: 0.0,
+            s_din: 0.0,
+            k_sin: 0.0,
+            k_dout: 0.0,
+            n_d: 1.0,
+            n_b: 10.0,
+            n_flt: 3.0,
+            g_src: 0.0,
+            g_dst: 0.0,
+            n_f: 2.0,
+        };
+        let with = build_dataset(std::slice::from_ref(&f), true);
+        let without = build_dataset(&[f], false);
+        assert_eq!(with.width(), 16);
+        assert_eq!(without.width(), 15);
+        assert!(!without.names.iter().any(|n| n == "Nflt"));
+        assert_eq!(with.y, vec![5.0]);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn models_round_trip_through_json() {
+        let names = vec!["a".into(), "b".into()];
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 13) as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0] + 2.0 * r[1]).collect();
+        let data = Dataset::new(names, x.clone(), y);
+        for kind in [ModelKind::Linear, ModelKind::Gbdt] {
+            let m = FittedModel::fit(&data, kind, &FitConfig::default()).expect("fit");
+            let json = m.to_json();
+            let back = FittedModel::from_json(&json).expect("parse");
+            for row in x.iter().take(20) {
+                assert_eq!(m.predict_row(row), back.predict_row(row), "{kind:?}");
+            }
+            assert_eq!(m.feature_names(), back.feature_names());
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(FittedModel::from_json("not json").is_err());
+        assert!(FittedModel::from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Automated hyperparameter search (the paper's AutoMOMML future-work
+//! pointer, reduced to practice).
+//!
+//! §8 suggests "more advanced machine learning methods, for example
+//! multiobjective modeling with machine learning (AutoMOMML), can yield
+//! better models". We implement the useful core: a K-fold cross-validated
+//! grid search over the boosted model's hyperparameters, parallelized over
+//! candidates with Rayon. Deterministic given the seed.
+
+use crate::pipeline::{FitConfig, FittedModel, ModelKind};
+use rayon::prelude::*;
+use wdt_features::Dataset;
+use wdt_ml::{kfold_indices, mdape, GbdtParams, TreeParams};
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneResult {
+    /// The hyperparameters.
+    pub params: GbdtParams,
+    /// Mean cross-validated MdAPE (%).
+    pub cv_mdape: f64,
+}
+
+/// A compact default grid: learning rate × depth × rounds (18 candidates).
+pub fn default_grid() -> Vec<GbdtParams> {
+    let mut grid = Vec::new();
+    for &eta in &[0.05, 0.1, 0.2] {
+        for &max_depth in &[3usize, 5, 7] {
+            for &n_rounds in &[100usize, 200] {
+                grid.push(GbdtParams {
+                    n_rounds,
+                    eta,
+                    tree: TreeParams { max_depth, ..TreeParams::default() },
+                    ..GbdtParams::default()
+                });
+            }
+        }
+    }
+    grid
+}
+
+fn subset(data: &Dataset, idx: &[usize]) -> Dataset {
+    Dataset::new(
+        data.names.clone(),
+        idx.iter().map(|&i| data.x[i].clone()).collect(),
+        idx.iter().map(|&i| data.y[i]).collect(),
+    )
+}
+
+/// Cross-validated MdAPE of one candidate on `data`.
+fn cv_mdape(data: &Dataset, params: GbdtParams, folds: usize, seed: u64) -> f64 {
+    let splits = kfold_indices(data.len(), folds, seed);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (train_idx, test_idx) in splits {
+        let train = subset(data, &train_idx);
+        let test = subset(data, &test_idx);
+        let cfg = FitConfig { gbdt: params, ..FitConfig::default() };
+        let Some(model) = FittedModel::fit(&train, ModelKind::Gbdt, &cfg) else {
+            continue;
+        };
+        let pred = model.predict(&test.x);
+        let m = mdape(&pred, &test.y);
+        if m.is_finite() {
+            total += m;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::INFINITY
+    } else {
+        total / n as f64
+    }
+}
+
+/// Grid-search the boosted model's hyperparameters with K-fold CV.
+///
+/// Returns every candidate's score sorted best-first (so callers can
+/// inspect the landscape), or `None` for degenerate inputs.
+pub fn tune_gbdt(
+    data: &Dataset,
+    grid: &[GbdtParams],
+    folds: usize,
+    seed: u64,
+) -> Option<Vec<TuneResult>> {
+    if data.len() < folds * 2 || grid.is_empty() {
+        return None;
+    }
+    let mut results: Vec<TuneResult> = grid
+        .par_iter()
+        .map(|&params| TuneResult { params, cv_mdape: cv_mdape(data, params, folds, seed) })
+        .collect();
+    results.sort_by(|a, b| a.cv_mdape.partial_cmp(&b.cv_mdape).expect("finite or inf"));
+    Some(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(n: usize) -> Dataset {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 17) as f64, (i % 9) as f64 - 4.0])
+            .collect();
+        let y: Vec<f64> =
+            x.iter().map(|r| 50.0 + 3.0 * r[0] + 8.0 * r[1] * r[1]).collect();
+        Dataset::new(vec!["a".into(), "b".into()], x, y)
+    }
+
+    fn small_grid() -> Vec<GbdtParams> {
+        vec![
+            // Deliberately weak: one round, shallow.
+            GbdtParams {
+                n_rounds: 1,
+                eta: 0.1,
+                tree: TreeParams { max_depth: 1, ..TreeParams::default() },
+                ..GbdtParams::default()
+            },
+            // Reasonable.
+            GbdtParams { n_rounds: 80, eta: 0.1, ..GbdtParams::default() },
+        ]
+    }
+
+    #[test]
+    fn picks_the_stronger_candidate() {
+        let data = synth(400);
+        let results = tune_gbdt(&data, &small_grid(), 3, 7).expect("tunable");
+        assert_eq!(results.len(), 2);
+        // Best first; the 80-round model must beat the 1-round stump.
+        assert!(results[0].cv_mdape < results[1].cv_mdape);
+        assert_eq!(results[0].params.n_rounds, 80);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = synth(300);
+        let a = tune_gbdt(&data, &small_grid(), 3, 9).unwrap();
+        let b = tune_gbdt(&data, &small_grid(), 3, 9).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cv_mdape, y.cv_mdape);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let data = synth(4);
+        assert!(tune_gbdt(&data, &small_grid(), 3, 7).is_none());
+        let data = synth(100);
+        assert!(tune_gbdt(&data, &[], 3, 7).is_none());
+    }
+
+    #[test]
+    fn default_grid_has_varied_candidates() {
+        let g = default_grid();
+        assert_eq!(g.len(), 18);
+        let etas: std::collections::BTreeSet<u64> =
+            g.iter().map(|p| (p.eta * 100.0) as u64).collect();
+        assert_eq!(etas.len(), 3);
+    }
+}

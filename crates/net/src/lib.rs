@@ -1,0 +1,21 @@
+//! # wdt-net — network substrate: TCP throughput and path models
+//!
+//! Wide-area transfer tools (GridFTP among them) move data over parallel TCP
+//! streams. The achievable network rate of a transfer is governed by
+//!
+//! 1. the per-stream TCP ceiling — the loss/RTT-limited steady-state rate
+//!    (Mathis model) capped by the socket-buffer window (`W/RTT`),
+//! 2. how many streams the transfer opens (`min(C, Nf) · P`), and
+//! 3. the bottleneck link it shares with everything else on the path.
+//!
+//! The paper's §6 cites exactly this chain of models (Mathis/Padhye TCP
+//! models, parallel-stream models à la Hacker et al.); this crate implements
+//! them so the simulator can impose realistic network ceilings.
+
+pub mod paraflow;
+pub mod path;
+pub mod tcp;
+
+pub use paraflow::{aggregate_ceiling, stream_efficiency};
+pub use path::NetworkPath;
+pub use tcp::{mathis_rate, padhye_rate, window_rate, TcpParams};

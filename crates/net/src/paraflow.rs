@@ -1,0 +1,159 @@
+//! Parallel-stream aggregation.
+//!
+//! `n` parallel TCP streams behave, to first order, like one stream with an
+//! `n`-fold window (Hacker et al., the paper's reference \[15\]): aggregate
+//! throughput grows ~linearly in `n` until the path bottleneck is reached.
+//! Beyond that, additional streams mostly compete with each other and with
+//! everyone else, and per-stream overhead (context switches, ACK processing,
+//! reordering) erodes the aggregate. We model this with a linear ramp capped
+//! by the bottleneck, discounted by a mild congestion penalty that grows
+//! with the total stream population on the link.
+
+use crate::tcp::{mathis_rate, TcpParams};
+use wdt_types::Rate;
+
+/// Efficiency of `total_streams` streams sharing one bottleneck link.
+///
+/// 1.0 for small populations; decays smoothly once the population exceeds
+/// `knee` streams (self-induced loss, buffer pressure, ACK compression).
+/// Chosen so that ~hundreds of streams still retain most of the capacity —
+/// matching the observation that aggregate rate *declines* slowly past the
+/// optimum (paper Figure 4).
+pub fn stream_efficiency(total_streams: u32, knee: u32) -> f64 {
+    debug_assert!(knee > 0);
+    let n = total_streams as f64;
+    let k = knee as f64;
+    if n <= k {
+        1.0
+    } else {
+        // Smooth hyperbolic decay: eff = 1 / (1 + alpha*(n/k - 1)).
+        let alpha = 0.12;
+        1.0 / (1.0 + alpha * (n / k - 1.0))
+    }
+}
+
+/// Aggregate network ceiling for a transfer that opens `streams` parallel
+/// TCP streams on a path with the given RTT, loss, and bottleneck capacity.
+///
+/// `min(streams · per_stream_rate, capacity)` — the linear-ramp-then-cap
+/// shape that makes parallelism valuable on high-RTT paths and useless on
+/// low-RTT ones (paper §4.1, §6).
+pub fn aggregate_ceiling(
+    params: &TcpParams,
+    rtt: f64,
+    loss: f64,
+    streams: u32,
+    capacity: Rate,
+) -> Rate {
+    let per_stream = mathis_rate(params, rtt, loss);
+    let linear = per_stream * streams.max(1) as f64;
+    linear.min(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RTT: f64 = 0.05;
+    const LOSS: f64 = 1e-4;
+
+    fn cap() -> Rate {
+        Rate::gbit(10.0)
+    }
+
+    #[test]
+    fn efficiency_is_one_below_knee() {
+        for n in 0..=64 {
+            assert_eq!(stream_efficiency(n, 64), 1.0);
+        }
+    }
+
+    #[test]
+    fn efficiency_decays_above_knee() {
+        let e1 = stream_efficiency(65, 64);
+        let e2 = stream_efficiency(256, 64);
+        let e3 = stream_efficiency(1024, 64);
+        assert!(e1 < 1.0);
+        assert!(e2 < e1);
+        assert!(e3 < e2);
+        // Decay is gentle: even 4x over the knee keeps most of the capacity.
+        assert!(e2 > 0.6, "got {e2}");
+    }
+
+    #[test]
+    fn aggregate_ramps_linearly_then_caps() {
+        let p = TcpParams::default();
+        let one = aggregate_ceiling(&p, RTT, LOSS, 1, cap()).as_f64();
+        let four = aggregate_ceiling(&p, RTT, LOSS, 4, cap()).as_f64();
+        assert!((four - 4.0 * one).abs() < 1.0, "linear ramp");
+        // A huge stream count is capped by the link.
+        let many = aggregate_ceiling(&p, RTT, LOSS, 10_000, cap());
+        assert_eq!(many, cap());
+    }
+
+    #[test]
+    fn zero_streams_treated_as_one() {
+        let p = TcpParams::default();
+        assert_eq!(
+            aggregate_ceiling(&p, RTT, LOSS, 0, cap()),
+            aggregate_ceiling(&p, RTT, LOSS, 1, cap())
+        );
+    }
+
+    #[test]
+    fn high_rtt_needs_more_streams_for_same_rate() {
+        // The motivating observation for parallelism (paper §6): on a long
+        // path a single stream is slow, and n streams claw the rate back.
+        let p = TcpParams::default();
+        let short_1 = aggregate_ceiling(&p, 0.01, LOSS, 1, cap()).as_f64();
+        let long_1 = aggregate_ceiling(&p, 0.1, LOSS, 1, cap()).as_f64();
+        let long_8 = aggregate_ceiling(&p, 0.1, LOSS, 8, cap()).as_f64();
+        assert!(long_1 < short_1);
+        assert!(long_8 > 4.0 * long_1 * 0.99);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn efficiency_in_unit_interval(n in 0u32..100_000, knee in 1u32..1000) {
+            let e = stream_efficiency(n, knee);
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+
+        #[test]
+        fn efficiency_monotone_nonincreasing(n in 0u32..50_000, knee in 1u32..512) {
+            prop_assert!(stream_efficiency(n + 1, knee) <= stream_efficiency(n, knee) + 1e-12);
+        }
+
+        #[test]
+        fn aggregate_never_exceeds_capacity(
+            rtt in 1e-4f64..0.5,
+            loss in 1e-8f64..0.1,
+            streams in 1u32..4096,
+            cap_mbps in 1.0f64..100_000.0,
+        ) {
+            let p = TcpParams::default();
+            let cap = Rate::mbps(cap_mbps);
+            let agg = aggregate_ceiling(&p, rtt, loss, streams, cap);
+            prop_assert!(agg.as_f64() <= cap.as_f64() + 1e-9);
+        }
+
+        #[test]
+        fn aggregate_monotone_in_streams(
+            rtt in 1e-3f64..0.3,
+            loss in 1e-7f64..0.05,
+            streams in 1u32..512,
+        ) {
+            let p = TcpParams::default();
+            let cap = Rate::gbit(100.0);
+            let a = aggregate_ceiling(&p, rtt, loss, streams, cap).as_f64();
+            let b = aggregate_ceiling(&p, rtt, loss, streams + 1, cap).as_f64();
+            prop_assert!(b + 1e-9 >= a);
+        }
+    }
+}

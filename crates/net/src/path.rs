@@ -1,0 +1,82 @@
+//! End-to-end network paths.
+
+use crate::paraflow::aggregate_ceiling;
+use crate::tcp::TcpParams;
+use wdt_types::Rate;
+
+/// A wide-area network path between two endpoints.
+///
+/// Captures the properties the transfer rate depends on: round-trip time,
+/// background loss probability, and the bottleneck-link capacity. Paths are
+/// the *network* leg of the paper's three-subsystem chain
+/// (source storage → network → destination storage, Figure 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkPath {
+    /// Round-trip time, seconds.
+    pub rtt: f64,
+    /// Steady background packet-loss probability.
+    pub loss: f64,
+    /// Bottleneck-link capacity (what perfSONAR/iperf3 would measure as the
+    /// memory-to-memory ceiling, minus endpoint NICs which are modeled
+    /// separately).
+    pub capacity: Rate,
+    /// TCP stack configuration on this path's endpoints.
+    pub tcp: TcpParams,
+}
+
+impl NetworkPath {
+    /// A well-provisioned research-network path.
+    pub fn new(rtt: f64, loss: f64, capacity: Rate) -> Self {
+        NetworkPath { rtt, loss, capacity, tcp: TcpParams::default() }
+    }
+
+    /// Network ceiling for a transfer opening `streams` TCP streams,
+    /// ignoring competition (competition is the simulator's job: it shares
+    /// `capacity` across everything on the path).
+    pub fn ceiling(&self, streams: u32) -> Rate {
+        aggregate_ceiling(&self.tcp, self.rtt, self.loss, streams, self.capacity)
+    }
+
+    /// The bandwidth–delay product in bytes: how much data must be in
+    /// flight to fill the path.
+    pub fn bdp(&self) -> f64 {
+        self.capacity.as_f64() * self.rtt
+    }
+
+    /// Minimum number of streams needed to fill the path (ceiling of
+    /// BDP / window), the rule of thumb behind parallelism tuning.
+    pub fn streams_to_fill(&self) -> u32 {
+        (self.bdp() / self.tcp.max_window).ceil().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_monotone_and_capped() {
+        let p = NetworkPath::new(0.05, 1e-4, Rate::gbit(10.0));
+        let mut prev = Rate::ZERO;
+        for n in [1u32, 2, 4, 8, 64, 1024] {
+            let c = p.ceiling(n);
+            assert!(c.as_f64() + 1e-9 >= prev.as_f64());
+            assert!(c.as_f64() <= p.capacity.as_f64() + 1e-9);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn bdp_and_streams_to_fill() {
+        // 10 Gb/s * 100 ms = 125 MB of BDP; 32 MiB windows → 4 streams.
+        let p = NetworkPath::new(0.1, 0.0, Rate::gbit(10.0));
+        assert!((p.bdp() - 125.0e6).abs() < 1.0);
+        assert_eq!(p.streams_to_fill(), 4);
+    }
+
+    #[test]
+    fn lan_path_needs_one_stream() {
+        let p = NetworkPath::new(0.001, 0.0, Rate::gbit(10.0));
+        assert_eq!(p.streams_to_fill(), 1);
+    }
+}

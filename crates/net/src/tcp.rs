@@ -1,0 +1,156 @@
+//! Single-stream TCP steady-state throughput models.
+//!
+//! * [`mathis_rate`] — the classic Mathis et al. square-root formula:
+//!   `B = (MSS / RTT) · sqrt(3/2) / sqrt(p)`. Good for moderate loss.
+//! * [`padhye_rate`] — the Padhye et al. model (the paper's reference \[31\]),
+//!   which additionally accounts for retransmission timeouts and is more
+//!   accurate at higher loss.
+//! * [`window_rate`] — the no-loss ceiling imposed by the socket buffer:
+//!   `W / RTT`.
+//!
+//! All rates are in bytes per second; RTT in seconds; loss `p` is a
+//! probability in `(0, 1)`.
+
+use wdt_types::Rate;
+
+/// TCP configuration of an endpoint pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpParams {
+    /// Maximum segment size in bytes (Ethernet default 1460; jumbo ≈ 8960).
+    pub mss: f64,
+    /// Maximum congestion/receive window in bytes (socket buffer size).
+    pub max_window: f64,
+}
+
+impl Default for TcpParams {
+    fn default() -> Self {
+        // Well-tuned DTN defaults: standard MSS, 32 MiB buffers.
+        TcpParams { mss: 1460.0, max_window: 32.0 * 1024.0 * 1024.0 }
+    }
+}
+
+/// Mathis model: steady-state throughput of one TCP stream under random
+/// loss probability `p`, before any window cap.
+pub fn mathis_rate(params: &TcpParams, rtt: f64, loss: f64) -> Rate {
+    debug_assert!(rtt > 0.0, "RTT must be positive");
+    debug_assert!((0.0..1.0).contains(&loss));
+    if loss <= 0.0 {
+        return window_rate(params, rtt);
+    }
+    let raw = (params.mss / rtt) * (1.5f64).sqrt() / loss.sqrt();
+    raw_capped(params, rtt, raw)
+}
+
+/// Padhye model (PFTK, simplified): accounts for fast-retransmit *and*
+/// retransmission timeouts. `rto` is the retransmission timeout in seconds
+/// (commonly ≈ 4·RTT, floored at 200 ms on Linux).
+pub fn padhye_rate(params: &TcpParams, rtt: f64, loss: f64) -> Rate {
+    debug_assert!(rtt > 0.0);
+    debug_assert!((0.0..1.0).contains(&loss));
+    if loss <= 0.0 {
+        return window_rate(params, rtt);
+    }
+    let p = loss;
+    let rto = (4.0 * rtt).max(0.2);
+    // b = packets acknowledged per ACK (delayed ACKs).
+    let b = 2.0;
+    let term1 = rtt * (2.0 * b * p / 3.0).sqrt();
+    let term2 = rto * (3.0 * (3.0 * b * p / 8.0).sqrt()).min(1.0) * p * (1.0 + 32.0 * p * p);
+    let raw = params.mss / (term1 + term2);
+    raw_capped(params, rtt, raw)
+}
+
+/// Window-limited ceiling: `W / RTT`. The best a single stream can do with
+/// zero loss — the reason high-RTT paths need parallelism to fill a link
+/// when buffers are small (§6).
+pub fn window_rate(params: &TcpParams, rtt: f64) -> Rate {
+    debug_assert!(rtt > 0.0);
+    Rate::new(params.max_window / rtt)
+}
+
+fn raw_capped(params: &TcpParams, rtt: f64, raw: f64) -> Rate {
+    Rate::new(raw.min(params.max_window / rtt).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RTT: f64 = 0.05; // 50 ms
+
+    #[test]
+    fn zero_loss_is_window_limited() {
+        let p = TcpParams::default();
+        assert_eq!(mathis_rate(&p, RTT, 0.0), window_rate(&p, RTT));
+        assert_eq!(padhye_rate(&p, RTT, 0.0), window_rate(&p, RTT));
+    }
+
+    #[test]
+    fn window_rate_value() {
+        let p = TcpParams { mss: 1460.0, max_window: 1.0e6 };
+        // 1 MB window over 50 ms RTT = 20 MB/s.
+        assert!((window_rate(&p, RTT).as_f64() - 20.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn mathis_decreases_with_loss() {
+        let p = TcpParams::default();
+        let r1 = mathis_rate(&p, RTT, 1e-6);
+        let r2 = mathis_rate(&p, RTT, 1e-4);
+        let r3 = mathis_rate(&p, RTT, 1e-2);
+        assert!(r1.as_f64() > r2.as_f64());
+        assert!(r2.as_f64() > r3.as_f64());
+    }
+
+    #[test]
+    fn mathis_decreases_with_rtt() {
+        let p = TcpParams::default();
+        let fast = mathis_rate(&p, 0.01, 1e-4);
+        let slow = mathis_rate(&p, 0.1, 1e-4);
+        assert!(fast.as_f64() > slow.as_f64());
+    }
+
+    #[test]
+    fn mathis_known_value() {
+        // MSS/RTT * sqrt(1.5)/sqrt(p): 1460/0.05 * 1.2247 / 0.01 ≈ 3.58 MB/s
+        let p = TcpParams::default();
+        let r = mathis_rate(&p, 0.05, 1e-4);
+        assert!((r.as_f64() - 3.576e6).abs() < 0.05e6, "got {}", r.as_f64());
+    }
+
+    #[test]
+    fn padhye_below_mathis_at_high_loss() {
+        // Timeouts only hurt; Padhye ≤ Mathis (approximately) once loss is
+        // non-trivial.
+        let p = TcpParams::default();
+        for loss in [1e-3, 1e-2, 5e-2] {
+            let m = mathis_rate(&p, RTT, loss).as_f64();
+            let pd = padhye_rate(&p, RTT, loss).as_f64();
+            assert!(pd <= m * 1.05, "loss={loss}: padhye {pd} vs mathis {m}");
+        }
+    }
+
+    #[test]
+    fn padhye_monotone_in_loss() {
+        let p = TcpParams::default();
+        let mut prev = f64::INFINITY;
+        for loss in [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
+            let r = padhye_rate(&p, RTT, loss).as_f64();
+            assert!(r <= prev, "loss={loss}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn rates_never_negative_or_nan() {
+        let p = TcpParams::default();
+        for rtt in [1e-4, 1e-2, 0.3] {
+            for loss in [0.0, 1e-8, 1e-3, 0.5, 0.99] {
+                for f in [mathis_rate(&p, rtt, loss), padhye_rate(&p, rtt, loss)] {
+                    assert!(f.as_f64().is_finite());
+                    assert!(f.as_f64() >= 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Weighted max–min fair rate allocation (progressive filling).
+//!
+//! At any instant, every active flow moves data at a rate determined by the
+//! resources it shares (disk, NIC, CPU at both ends) and its own ceiling
+//! (the TCP aggregate of its parallel streams). We compute the allocation by
+//! **weighted progressive filling**: raise every flow's rate in proportion
+//! to its weight until a resource saturates or a flow hits its ceiling,
+//! freeze the affected flows, and continue with the rest. This is the
+//! standard fluid-model allocation for transfer networks and yields weighted
+//! max–min fairness.
+//!
+//! Weights model per-stream fairness: a transfer with more TCP streams and
+//! more GridFTP processes claims a larger share of a contended NIC or disk
+//! (with diminishing returns — the engine passes `sqrt(streams)`).
+
+/// What a shared resource is; used by the engine to build capacity vectors
+/// and by diagnostics to label bottlenecks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Storage read bandwidth at an endpoint (by catalog index).
+    DiskRead(u32),
+    /// Storage write bandwidth at an endpoint.
+    DiskWrite(u32),
+    /// Egress NIC capacity at an endpoint.
+    NicOut(u32),
+    /// Ingress NIC capacity at an endpoint.
+    NicIn(u32),
+    /// CPU throughput capacity at an endpoint.
+    Cpu(u32),
+}
+
+/// Maximum shared resources per flow (src/dst × disk, NIC, CPU).
+pub const MAX_FLOW_RESOURCES: usize = 6;
+
+/// One flow's demand: its private ceiling, fair-share weight, and the
+/// indices (into the capacity vector) of the shared resources it consumes.
+///
+/// Resources are stored inline (no heap allocation) because the simulator
+/// rebuilds demands at every event.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowDemand {
+    /// Private rate ceiling in bytes/s (TCP aggregate, or `f64::INFINITY`).
+    pub cap: f64,
+    /// Fair-share weight (> 0).
+    pub weight: f64,
+    res: [usize; MAX_FLOW_RESOURCES],
+    /// Consumption coefficient per resource: moving at rate `r` consumes
+    /// `coeff · r` of the resource. 1.0 for bandwidth-like resources;
+    /// e.g. 0.5 of CPU for a transfer with integrity checksumming off.
+    coeff: [f64; MAX_FLOW_RESOURCES],
+    n_res: u8,
+}
+
+impl FlowDemand {
+    /// Build a demand over at most [`MAX_FLOW_RESOURCES`] shared resources,
+    /// all with unit consumption coefficients.
+    pub fn new(cap: f64, weight: f64, resources: &[usize]) -> Self {
+        assert!(resources.len() <= MAX_FLOW_RESOURCES, "too many resources");
+        let mut res = [0usize; MAX_FLOW_RESOURCES];
+        res[..resources.len()].copy_from_slice(resources);
+        FlowDemand {
+            cap,
+            weight,
+            res,
+            coeff: [1.0; MAX_FLOW_RESOURCES],
+            n_res: resources.len() as u8,
+        }
+    }
+
+    /// As [`FlowDemand::new`], with an explicit consumption coefficient per
+    /// resource.
+    pub fn with_coefficients(
+        cap: f64,
+        weight: f64,
+        resources: &[usize],
+        coefficients: &[f64],
+    ) -> Self {
+        assert_eq!(resources.len(), coefficients.len(), "one coefficient per resource");
+        assert!(coefficients.iter().all(|&c| c > 0.0), "coefficients must be positive");
+        let mut d = Self::new(cap, weight, resources);
+        d.coeff[..coefficients.len()].copy_from_slice(coefficients);
+        d
+    }
+
+    /// The shared resources this flow draws from.
+    pub fn resources(&self) -> &[usize] {
+        &self.res[..self.n_res as usize]
+    }
+
+    /// Consumption coefficients, parallel to [`FlowDemand::resources`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeff[..self.n_res as usize]
+    }
+}
+
+const EPS: f64 = 1e-6;
+
+/// Compute the weighted max–min fair allocation.
+///
+/// `capacities[r]` is the capacity of shared resource `r` in bytes/s.
+/// Returns one rate per flow. Every rate respects the flow's cap, no
+/// resource is oversubscribed, and the allocation is Pareto-efficient
+/// (every flow is limited by its cap or by a saturated resource).
+pub fn allocate(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
+    let nf = flows.len();
+    let nr = capacities.len();
+    let mut rates = vec![0.0f64; nf];
+    if nf == 0 {
+        return rates;
+    }
+    debug_assert!(flows.iter().all(|f| f.weight > 0.0), "weights must be positive");
+    debug_assert!(flows.iter().all(|f| f.resources().iter().all(|&r| r < nr)));
+
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    let mut frozen = vec![false; nf];
+    // Sum of coefficient-scaled weights of unfrozen users per resource.
+    let mut wsum = vec![0.0f64; nr];
+    for f in flows {
+        for (&r, &c) in f.resources().iter().zip(f.coefficients()) {
+            wsum[r] += f.weight * c;
+        }
+    }
+
+    // Each iteration freezes at least one flow, so nf iterations suffice;
+    // the +1 covers the final bookkeeping pass.
+    for _ in 0..=nf {
+        // Feasible step: the smallest of resource headroom per unit weight
+        // and cap headroom per unit weight over unfrozen flows.
+        let mut delta = f64::INFINITY;
+        let mut any_unfrozen = false;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            any_unfrozen = true;
+            delta = delta.min((f.cap - rates[i]).max(0.0) / f.weight);
+            for &r in f.resources() {
+                if wsum[r] > 0.0 {
+                    delta = delta.min(remaining[r].max(0.0) / wsum[r]);
+                }
+            }
+        }
+        if !any_unfrozen {
+            break;
+        }
+        if delta.is_finite() && delta > 0.0 {
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                rates[i] += f.weight * delta;
+                for (&r, &c) in f.resources().iter().zip(f.coefficients()) {
+                    remaining[r] -= f.weight * c * delta;
+                }
+            }
+        }
+        // Freeze flows at their cap or touching an exhausted resource.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let at_cap = rates[i] >= f.cap - EPS;
+            let blocked = f.resources().iter().any(|&r| remaining[r] <= EPS);
+            if at_cap || blocked {
+                frozen[i] = true;
+                for (&r, &c) in f.resources().iter().zip(f.coefficients()) {
+                    wsum[r] -= f.weight * c;
+                }
+            }
+        }
+    }
+    // Numerical hygiene: clamp tiny negatives introduced by subtraction.
+    for r in &mut rates {
+        if *r < 0.0 {
+            *r = 0.0;
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(cap: f64, weight: f64, resources: Vec<usize>) -> FlowDemand {
+        FlowDemand::new(cap, weight, &resources)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(allocate(&[], &[]).is_empty());
+        assert!(allocate(&[10.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn single_flow_gets_min_of_cap_and_resources() {
+        let rates = allocate(&[100.0, 50.0], &[fd(80.0, 1.0, vec![0, 1])]);
+        assert!((rates[0] - 50.0).abs() < 1e-6);
+        let rates = allocate(&[100.0, 70.0], &[fd(30.0, 1.0, vec![0, 1])]);
+        assert!((rates[0] - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_flows_split_equally() {
+        let flows = vec![fd(f64::INFINITY, 1.0, vec![0]), fd(f64::INFINITY, 1.0, vec![0])];
+        let rates = allocate(&[100.0], &flows);
+        assert!((rates[0] - 50.0).abs() < 1e-6);
+        assert!((rates[1] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_split_is_proportional() {
+        let flows = vec![fd(f64::INFINITY, 3.0, vec![0]), fd(f64::INFINITY, 1.0, vec![0])];
+        let rates = allocate(&[100.0], &flows);
+        assert!((rates[0] - 75.0).abs() < 1e-6);
+        assert!((rates[1] - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capped_flow_releases_share_to_others() {
+        // Flow 0 can only use 10; flow 1 should get the remaining 90.
+        let flows = vec![fd(10.0, 1.0, vec![0]), fd(f64::INFINITY, 1.0, vec![0])];
+        let rates = allocate(&[100.0], &flows);
+        assert!((rates[0] - 10.0).abs() < 1e-6);
+        assert!((rates[1] - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Three flows, two links: A uses link0, B uses link0+link1, C uses link1.
+        // cap(link0)=10, cap(link1)=4. Max-min: B limited by link1 share 2,
+        // C gets 2, A gets 10-2=8.
+        let flows = vec![
+            fd(f64::INFINITY, 1.0, vec![0]),
+            fd(f64::INFINITY, 1.0, vec![0, 1]),
+            fd(f64::INFINITY, 1.0, vec![1]),
+        ];
+        let rates = allocate(&[10.0, 4.0], &flows);
+        assert!((rates[1] - 2.0).abs() < 1e-6, "B={}", rates[1]);
+        assert!((rates[2] - 2.0).abs() < 1e-6, "C={}", rates[2]);
+        assert!((rates[0] - 8.0).abs() < 1e-6, "A={}", rates[0]);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let flows = vec![fd(f64::INFINITY, 1.0, vec![0]), fd(f64::INFINITY, 1.0, vec![1])];
+        let rates = allocate(&[100.0, 7.0], &flows);
+        assert!((rates[0] - 100.0).abs() < 1e-6);
+        assert!((rates[1] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_resource_zeroes_users() {
+        let flows = vec![fd(f64::INFINITY, 1.0, vec![0]), fd(f64::INFINITY, 1.0, vec![1])];
+        let rates = allocate(&[0.0, 50.0], &flows);
+        assert!(rates[0].abs() < 1e-6);
+        assert!((rates[1] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coefficients_scale_consumption() {
+        // One flow consumes resource 0 at half rate: it can move 200 while
+        // the resource only holds 100.
+        let f = FlowDemand::with_coefficients(f64::INFINITY, 1.0, &[0], &[0.5]);
+        let rates = allocate(&[100.0], &[f]);
+        assert!((rates[0] - 200.0).abs() < 1e-6, "got {}", rates[0]);
+    }
+
+    #[test]
+    fn cheap_consumer_gets_more_under_contention() {
+        // Equal weights, but flow 1 consumes the shared resource at half
+        // cost: fair shares grow equally until saturation, where flow 0's
+        // full-cost consumption dominates; both then freeze at the same
+        // rate r with 1.0·r + 0.5·r = 90 → r = 60.
+        let flows = vec![
+            FlowDemand::new(f64::INFINITY, 1.0, &[0]),
+            FlowDemand::with_coefficients(f64::INFINITY, 1.0, &[0], &[0.5]),
+        ];
+        let rates = allocate(&[90.0], &flows);
+        assert!((rates[0] - 60.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 60.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one coefficient per resource")]
+    fn mismatched_coefficients_panic() {
+        FlowDemand::with_coefficients(1.0, 1.0, &[0, 1], &[0.5]);
+    }
+
+    #[test]
+    fn flow_with_no_shared_resources_hits_cap() {
+        let rates = allocate(&[], &[fd(42.0, 1.0, vec![])]);
+        assert!((rates[0] - 42.0).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_problem() -> impl Strategy<Value = (Vec<f64>, Vec<FlowDemand>)> {
+        (1usize..6).prop_flat_map(|nr| {
+            let caps = proptest::collection::vec(1.0f64..1000.0, nr);
+            let flows = proptest::collection::vec(
+                (
+                    prop_oneof![1.0f64..500.0, Just(f64::INFINITY)],
+                    0.1f64..8.0,
+                    proptest::collection::btree_set(0..nr, 1..=nr.min(4)),
+                ),
+                1..12,
+            );
+            (caps, flows).prop_map(|(caps, flows)| {
+                let flows = flows
+                    .into_iter()
+                    .map(|(cap, weight, rs)| {
+                        let rs: Vec<usize> = rs.into_iter().collect();
+                        FlowDemand::new(cap, weight, &rs)
+                    })
+                    .collect();
+                (caps, flows)
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn no_resource_oversubscribed((caps, flows) in arb_problem()) {
+            let rates = allocate(&caps, &flows);
+            for (r, &cap) in caps.iter().enumerate() {
+                let used: f64 = flows.iter().zip(&rates)
+                    .filter(|(f, _)| f.resources().contains(&r))
+                    .map(|(_, &rate)| rate)
+                    .sum();
+                prop_assert!(used <= cap + 1e-3, "resource {r}: used {used} > cap {cap}");
+            }
+        }
+
+        #[test]
+        fn no_flow_exceeds_cap((caps, flows) in arb_problem()) {
+            let rates = allocate(&caps, &flows);
+            for (f, &rate) in flows.iter().zip(&rates) {
+                prop_assert!(rate <= f.cap + 1e-3);
+                prop_assert!(rate >= 0.0);
+            }
+        }
+
+        #[test]
+        fn allocation_is_pareto_efficient((caps, flows) in arb_problem()) {
+            // Every flow is at its cap or touches a saturated resource.
+            let rates = allocate(&caps, &flows);
+            let used_per_resource: Vec<f64> = (0..caps.len()).map(|r| {
+                flows.iter().zip(&rates)
+                    .filter(|(f, _)| f.resources().contains(&r))
+                    .map(|(_, &rate)| rate)
+                    .sum()
+            }).collect();
+            for (f, &rate) in flows.iter().zip(&rates) {
+                let at_cap = rate >= f.cap - 1e-3;
+                let blocked = f.resources().iter()
+                    .any(|&r| used_per_resource[r] >= caps[r] - 1e-2);
+                prop_assert!(at_cap || blocked,
+                    "flow with rate {rate} (cap {}) is neither capped nor blocked", f.cap);
+            }
+        }
+
+        #[test]
+        fn deterministic((caps, flows) in arb_problem()) {
+            prop_assert_eq!(allocate(&caps, &flows), allocate(&caps, &flows));
+        }
+    }
+}

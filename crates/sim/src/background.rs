@@ -1,0 +1,141 @@
+//! Hidden (non-Globus) background load.
+//!
+//! The paper's central measurement problem (§4.3.2, §5.5) is that Globus
+//! logs say nothing about *other* activity at an endpoint: transfers by
+//! other tools, batch jobs hammering the filesystem, backups, competing WAN
+//! traffic. This module generates that activity: per-endpoint on/off
+//! processes (exponential holding times) that consume disk or NIC capacity
+//! while on. The simulator subtracts their demand from resource capacities
+//! but **never logs them** — so the learned models see their effect only as
+//! unexplained variance, exactly as in production. (The LMT instrument in
+//! [`crate::lmt`] can observe their *storage* component, which is what makes
+//! the §5.5.2 experiment work.)
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+use wdt_types::{EndpointId, Rate};
+
+/// Which resource a background process consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BgKind {
+    /// Reads from the endpoint's storage (competes with outgoing transfers).
+    DiskRead,
+    /// Writes to the endpoint's storage (competes with incoming transfers).
+    DiskWrite,
+    /// Consumes egress NIC capacity (e.g. other tools' outbound transfers).
+    NicOut,
+    /// Consumes ingress NIC capacity.
+    NicIn,
+}
+
+/// One on/off background load process.
+#[derive(Debug, Clone)]
+pub struct BackgroundProcess {
+    /// The endpoint whose resources this process consumes.
+    pub endpoint: EndpointId,
+    /// Which resource it consumes.
+    pub kind: BgKind,
+    /// Demand while on.
+    pub rate_when_on: Rate,
+    /// Mean duration of an on-period, seconds.
+    pub mean_on_s: f64,
+    /// Mean duration of an off-period, seconds.
+    pub mean_off_s: f64,
+    /// Current state.
+    pub on: bool,
+}
+
+impl BackgroundProcess {
+    /// Demand this process currently places on its resource.
+    pub fn demand(&self) -> Rate {
+        if self.on {
+            self.rate_when_on
+        } else {
+            Rate::ZERO
+        }
+    }
+
+    /// Flip the state and return how long until the next toggle, sampled
+    /// from the exponential holding time of the *new* state.
+    pub fn toggle<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        self.on = !self.on;
+        let mean = if self.on { self.mean_on_s } else { self.mean_off_s };
+        Exp::new(1.0 / mean).expect("positive rate").sample(rng)
+    }
+
+    /// Initial delay before the first toggle (process starts off).
+    pub fn initial_delay<R: Rng>(&self, rng: &mut R) -> f64 {
+        let mean = if self.on { self.mean_on_s } else { self.mean_off_s };
+        Exp::new(1.0 / mean).expect("positive rate").sample(rng)
+    }
+
+    /// Long-run fraction of time this process is on.
+    pub fn duty_cycle(&self) -> f64 {
+        self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bg() -> BackgroundProcess {
+        BackgroundProcess {
+            endpoint: EndpointId(0),
+            kind: BgKind::DiskWrite,
+            rate_when_on: Rate::mbps(200.0),
+            mean_on_s: 300.0,
+            mean_off_s: 900.0,
+            on: false,
+        }
+    }
+
+    #[test]
+    fn demand_follows_state() {
+        let mut p = bg();
+        assert_eq!(p.demand(), Rate::ZERO);
+        let mut rng = StdRng::seed_from_u64(1);
+        p.toggle(&mut rng);
+        assert_eq!(p.demand(), Rate::mbps(200.0));
+        p.toggle(&mut rng);
+        assert_eq!(p.demand(), Rate::ZERO);
+    }
+
+    #[test]
+    fn toggle_delays_are_positive_and_deterministic() {
+        let mut p1 = bg();
+        let mut p2 = bg();
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let d1 = p1.toggle(&mut r1);
+            let d2 = p2.toggle(&mut r2);
+            assert!(d1 > 0.0);
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn mean_holding_times_roughly_exponential() {
+        let mut p = bg();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut on_total = 0.0;
+        let mut off_total = 0.0;
+        let n = 4000;
+        for _ in 0..n {
+            on_total += p.toggle(&mut rng); // toggles to on
+            off_total += p.toggle(&mut rng); // toggles to off
+        }
+        let mean_on = on_total / n as f64;
+        let mean_off = off_total / n as f64;
+        assert!((mean_on - 300.0).abs() < 25.0, "mean_on={mean_on}");
+        assert!((mean_off - 900.0).abs() < 60.0, "mean_off={mean_off}");
+    }
+
+    #[test]
+    fn duty_cycle() {
+        assert!((bg().duty_cycle() - 0.25).abs() < 1e-12);
+    }
+}

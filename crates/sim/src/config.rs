@@ -1,0 +1,89 @@
+//! Simulation configuration.
+
+use wdt_types::Rate;
+
+/// Tunables of the simulation engine. Defaults are calibrated so that
+/// facility endpoints with 10 Gb/s NICs reproduce the rate regimes the
+/// paper reports (hundreds of MB/s when uncontended, tens when loaded).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Fixed transfer startup latency, seconds (control-channel setup,
+    /// authentication, process spawning).
+    pub startup_s: f64,
+    /// Per-flow multiplicative jitter (std dev) applied to the flow's
+    /// private ceiling; models run-to-run variability so repeated identical
+    /// measurements differ, as on real hardware.
+    pub flow_jitter: f64,
+    /// Maximum fault intensity per flow, faults/second, reached at full
+    /// endpoint utilization.
+    pub fault_rate_max: f64,
+    /// Delay a fault imposes before the transfer resumes, seconds.
+    pub fault_retry_s: f64,
+    /// Capacity of the wide-area backbone between two facility endpoints.
+    /// Research backbones are overprovisioned relative to endpoint NICs
+    /// (the paper's conclusion highlights endpoint contention on
+    /// "even overprovisioned networks").
+    pub backbone: Rate,
+    /// Base packet-loss probability scale; per-path loss is drawn
+    /// log-uniformly around this (intercontinental paths get more).
+    pub base_loss: f64,
+    /// Knee (stream count) past which extra TCP streams on one flow stop
+    /// helping.
+    pub stream_knee: u32,
+    /// Enable the fault process.
+    pub faults_enabled: bool,
+    /// Maximum simultaneous transfers an endpoint participates in; further
+    /// requests queue FIFO until a slot frees. Real GridFTP deployments
+    /// enforce connection limits, which is why the paper's Figure 4 sees
+    /// bounded instance counts even at the busiest endpoints.
+    pub max_active_per_endpoint: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            startup_s: 3.0,
+            flow_jitter: 0.03,
+            fault_rate_max: 5e-4,
+            fault_retry_s: 120.0,
+            backbone: Rate::gbit(100.0),
+            base_loss: 3e-7,
+            stream_knee: 64,
+            faults_enabled: true,
+            max_active_per_endpoint: 24,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration for controlled testbed measurements: no faults and
+    /// tiny jitter, so repeated runs cluster tightly (Table 1 campaigns).
+    pub fn testbed() -> Self {
+        SimConfig {
+            flow_jitter: 0.02,
+            faults_enabled: false,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = SimConfig::default();
+        assert!(c.startup_s > 0.0);
+        assert!(c.flow_jitter < 0.5);
+        assert!(c.backbone.as_gbit() >= 10.0);
+        assert!(c.faults_enabled);
+    }
+
+    #[test]
+    fn testbed_disables_faults() {
+        let c = SimConfig::testbed();
+        assert!(!c.faults_enabled);
+        assert!(c.flow_jitter <= SimConfig::default().flow_jitter);
+    }
+}

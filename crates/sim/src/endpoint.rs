@@ -1,0 +1,219 @@
+//! Simulated endpoints: data transfer nodes fronting storage.
+
+use wdt_geo::GeoPoint;
+use wdt_storage::StorageSystem;
+use wdt_types::{EndpointId, EndpointType, Rate};
+
+/// A simulated Globus endpoint: one or more data transfer nodes (DTNs), a
+/// NIC per DTN, CPU cores, and a storage system.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    /// Endpoint id (index into the catalog).
+    pub id: EndpointId,
+    /// Human-readable name (usually the site name plus a suffix).
+    pub name: String,
+    /// Server or personal deployment.
+    pub kind: EndpointType,
+    /// Geographic location.
+    pub location: GeoPoint,
+    /// Site name in the geo catalog (endpoints at the same site share it).
+    pub site: String,
+    /// Number of data transfer nodes. Globus stripes transfers across DTNs,
+    /// so NIC and CPU capacity scale with this.
+    pub dtns: u32,
+    /// NIC line rate per DTN, per direction (full duplex).
+    pub nic: Rate,
+    /// CPU cores per DTN.
+    pub cores_per_dtn: u32,
+    /// Bytes/s one core can push through the GridFTP data path with
+    /// integrity checksumming enabled.
+    pub core_bw: Rate,
+    /// The storage system behind the DTNs.
+    pub storage: StorageSystem,
+}
+
+impl Endpoint {
+    /// Total egress NIC capacity.
+    pub fn nic_out(&self) -> Rate {
+        self.nic * self.dtns as f64
+    }
+
+    /// Total ingress NIC capacity.
+    pub fn nic_in(&self) -> Rate {
+        self.nic * self.dtns as f64
+    }
+
+    /// Total CPU cores across DTNs.
+    pub fn total_cores(&self) -> u32 {
+        self.cores_per_dtn * self.dtns
+    }
+
+    /// CPU capacity as a data rate, given the total number of GridFTP
+    /// processes currently running at the endpoint.
+    ///
+    /// Each process carries fixed bookkeeping cost; once the process count
+    /// exceeds the core count, context-switching erodes efficiency. This is
+    /// the CPU half of the concurrency rise-then-fall (Figure 4).
+    pub fn cpu_capacity(&self, total_processes: u32) -> Rate {
+        let cores = self.total_cores() as f64;
+        // Fixed overhead: each process burns 2% of a core on bookkeeping.
+        let overhead_cores = 0.02 * total_processes as f64;
+        let usable = (cores - overhead_cores).max(cores * 0.1);
+        // Oversubscription penalty once processes outnumber cores.
+        let p = total_processes as f64;
+        let eff = if p <= cores { 1.0 } else { 1.0 / (1.0 + 0.15 * (p / cores - 1.0)) };
+        Rate::new(usable * self.core_bw.as_f64() * eff)
+    }
+
+    /// A facility-class (GCS) endpoint.
+    #[allow(clippy::too_many_arguments)]
+    pub fn server(
+        id: EndpointId,
+        name: impl Into<String>,
+        site: impl Into<String>,
+        location: GeoPoint,
+        dtns: u32,
+        nic: Rate,
+        storage: StorageSystem,
+    ) -> Self {
+        Endpoint {
+            id,
+            name: name.into(),
+            kind: EndpointType::Server,
+            location,
+            site: site.into(),
+            dtns,
+            nic,
+            cores_per_dtn: 16,
+            core_bw: Rate::mbps(600.0),
+            storage,
+        }
+    }
+
+    /// A personal (GCP) endpoint: one laptop/workstation-class machine.
+    pub fn personal(
+        id: EndpointId,
+        name: impl Into<String>,
+        site: impl Into<String>,
+        location: GeoPoint,
+    ) -> Self {
+        Endpoint {
+            id,
+            name: name.into(),
+            kind: EndpointType::Personal,
+            location,
+            site: site.into(),
+            dtns: 1,
+            nic: Rate::mbps(100.0),
+            cores_per_dtn: 4,
+            core_bw: Rate::mbps(300.0),
+            storage: StorageSystem::personal(Rate::mbps(180.0), Rate::mbps(140.0)),
+        }
+    }
+}
+
+/// The set of endpoints participating in a simulation, indexed by
+/// [`EndpointId`].
+#[derive(Debug, Clone, Default)]
+pub struct EndpointCatalog {
+    endpoints: Vec<Endpoint>,
+}
+
+impl EndpointCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an endpoint; its `id` must equal its index.
+    pub fn push(&mut self, ep: Endpoint) {
+        assert_eq!(
+            ep.id.0 as usize,
+            self.endpoints.len(),
+            "endpoint ids must be dense and in insertion order"
+        );
+        self.endpoints.push(ep);
+    }
+
+    /// Endpoint by id.
+    pub fn get(&self, id: EndpointId) -> &Endpoint {
+        &self.endpoints[id.0 as usize]
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True if no endpoints registered.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Iterate over all endpoints.
+    pub fn iter(&self) -> impl Iterator<Item = &Endpoint> {
+        self.endpoints.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdt_geo::SiteCatalog;
+
+    fn ep(dtns: u32) -> Endpoint {
+        Endpoint::server(
+            EndpointId(0),
+            "test",
+            "ANL",
+            SiteCatalog::by_name("ANL").unwrap().location,
+            dtns,
+            Rate::gbit(10.0),
+            StorageSystem::facility(Rate::gbit(12.0), Rate::gbit(9.0)),
+        )
+    }
+
+    #[test]
+    fn nic_scales_with_dtns() {
+        assert_eq!(ep(1).nic_out(), Rate::gbit(10.0));
+        assert_eq!(ep(4).nic_out().as_gbit().round(), 40.0);
+    }
+
+    #[test]
+    fn cpu_capacity_declines_under_oversubscription() {
+        let e = ep(1); // 16 cores
+        let light = e.cpu_capacity(4).as_f64();
+        let full = e.cpu_capacity(16).as_f64();
+        let over = e.cpu_capacity(64).as_f64();
+        let crushed = e.cpu_capacity(256).as_f64();
+        assert!(light > full, "fixed per-process overhead grows");
+        assert!(full > over);
+        assert!(over > crushed);
+        assert!(crushed > 0.0);
+    }
+
+    #[test]
+    fn personal_endpoint_is_small() {
+        let p = Endpoint::personal(EndpointId(1), "laptop", "UChicago",
+            SiteCatalog::by_name("UChicago").unwrap().location);
+        assert_eq!(p.kind, EndpointType::Personal);
+        assert!(p.nic_out().as_f64() < ep(1).nic_out().as_f64());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn catalog_rejects_sparse_ids() {
+        let mut cat = EndpointCatalog::new();
+        let mut e = ep(1);
+        e.id = EndpointId(5);
+        cat.push(e);
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut cat = EndpointCatalog::new();
+        cat.push(ep(1));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get(EndpointId(0)).name, "test");
+    }
+}

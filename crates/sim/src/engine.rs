@@ -1,0 +1,959 @@
+//! The discrete-event simulation engine.
+//!
+//! See the crate docs for the model. The engine owns the endpoint catalog,
+//! the event queue, the set of active flows, and the background-load
+//! processes; it advances a fluid model where every flow's rate is
+//! recomputed by [`crate::alloc::allocate`] at each event.
+
+use crate::alloc::{allocate, FlowDemand};
+use crate::background::{BackgroundProcess, BgKind};
+use crate::config::SimConfig;
+use crate::endpoint::EndpointCatalog;
+use crate::event::{EventKind, EventQueue};
+use crate::lmt::{LmtMonitor, LmtSample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+use wdt_geo::rtt_estimate;
+use wdt_net::{aggregate_ceiling, stream_efficiency, TcpParams};
+use wdt_types::{EndpointId, SeedSeq, SimTime, TransferRecord, TransferRequest};
+
+/// What a flow actually touches, mirroring the measurement modes the paper
+/// uses on the ESnet testbed (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferMode {
+    /// Normal disk-to-disk transfer (reads at source, writes at destination).
+    DiskToDisk,
+    /// `/dev/zero → /dev/null`: network + CPU only (perfSONAR / iperf3 /
+    /// `MMmax` measurements).
+    MemToMem,
+    /// `disk → /dev/null`: exercises source storage read (`DRmax`).
+    DiskToNull,
+    /// `/dev/zero → disk`: exercises destination storage write (`DWmax`).
+    ZeroToDisk,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlowState {
+    /// Startup + metadata overhead; occupies processes, moves no data.
+    Overhead,
+    /// Moving data.
+    Running,
+    /// Fault retry wait.
+    Paused,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    req: TransferRequest,
+    mode: TransferMode,
+    start: SimTime,
+    remaining: f64,
+    rate: f64,
+    faults: u32,
+    state: FlowState,
+    fault_gen: u64,
+    /// Per-run multiplicative jitter on the flow's private ceiling.
+    jitter: f64,
+}
+
+impl ActiveFlow {
+    fn procs(&self) -> u32 {
+        self.req.effective_concurrency()
+    }
+    fn streams(&self) -> u32 {
+        self.req.tcp_streams()
+    }
+    fn reads_disk(&self) -> bool {
+        matches!(self.mode, TransferMode::DiskToDisk | TransferMode::DiskToNull)
+    }
+    fn writes_disk(&self) -> bool {
+        matches!(self.mode, TransferMode::DiskToDisk | TransferMode::ZeroToDisk)
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// One record per completed transfer, sorted by start time.
+    pub records: Vec<TransferRecord>,
+    /// LMT monitor samples (empty unless a monitor was attached).
+    pub lmt: Vec<LmtSample>,
+    /// Time of the last event processed.
+    pub horizon: SimTime,
+}
+
+/// The simulator. Build with [`Simulator::new`], submit requests, attach
+/// optional background load and monitors, then [`Simulator::run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    endpoints: EndpointCatalog,
+    rng: StdRng,
+    tcp: TcpParams,
+    pending: Vec<(TransferRequest, TransferMode)>,
+    background: Vec<BackgroundProcess>,
+    lmt: Option<LmtMonitor>,
+    // run state
+    now: SimTime,
+    events: EventQueue,
+    flows: Vec<Option<ActiveFlow>>,
+    free_slots: Vec<usize>,
+    records: Vec<TransferRecord>,
+    lmt_samples: Vec<LmtSample>,
+    /// Requests waiting for an endpoint transfer slot (FIFO with skipping).
+    waiting: std::collections::VecDeque<(TransferRequest, TransferMode)>,
+    /// Active transfer count per endpoint (slot accounting).
+    active_per_ep: Vec<u32>,
+    // scratch, reused across reallocations
+    capacities: Vec<f64>,
+}
+
+/// Resources per endpoint in the capacity vector.
+const RES_PER_EP: usize = 5;
+const R_DISK_READ: usize = 0;
+const R_DISK_WRITE: usize = 1;
+const R_NIC_OUT: usize = 2;
+const R_NIC_IN: usize = 3;
+const R_CPU: usize = 4;
+
+fn res_idx(ep: EndpointId, kind: usize) -> usize {
+    ep.0 as usize * RES_PER_EP + kind
+}
+
+impl Simulator {
+    /// Create a simulator over `endpoints` with the given config and seed.
+    pub fn new(endpoints: EndpointCatalog, cfg: SimConfig, seed: &SeedSeq) -> Self {
+        let n = endpoints.len();
+        Simulator {
+            cfg,
+            endpoints,
+            rng: StdRng::seed_from_u64(seed.derive("sim-engine")),
+            tcp: TcpParams::default(),
+            pending: Vec::new(),
+            background: Vec::new(),
+            lmt: None,
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            flows: Vec::new(),
+            free_slots: Vec::new(),
+            records: Vec::new(),
+            lmt_samples: Vec::new(),
+            waiting: std::collections::VecDeque::new(),
+            active_per_ep: vec![0; n],
+            capacities: vec![0.0; n * RES_PER_EP],
+        }
+    }
+
+    /// Submit a normal disk-to-disk transfer.
+    pub fn submit(&mut self, req: TransferRequest) {
+        self.submit_with_mode(req, TransferMode::DiskToDisk);
+    }
+
+    /// Submit a transfer in a specific measurement mode.
+    pub fn submit_with_mode(&mut self, req: TransferRequest, mode: TransferMode) {
+        self.pending.push((req, mode));
+    }
+
+    /// Attach a background-load process.
+    pub fn add_background(&mut self, bg: BackgroundProcess) {
+        self.background.push(bg);
+    }
+
+    /// Attach a standard set of background-load processes to every endpoint:
+    /// `per_endpoint` on/off processes with duty cycles and intensities
+    /// proportional to the endpoint's capacities. This is the "unknown load"
+    /// that pollutes production logs.
+    pub fn add_default_background(&mut self, per_endpoint: usize, intensity: f64) {
+        let mut rng = StdRng::seed_from_u64(self.rng.gen());
+        let eps: Vec<EndpointId> = self.endpoints.iter().map(|e| e.id).collect();
+        for id in eps {
+            let ep = self.endpoints.get(id);
+            let caps = [
+                (BgKind::DiskRead, ep.storage.read_bw),
+                (BgKind::DiskWrite, ep.storage.write_bw),
+                (BgKind::NicOut, ep.nic_out()),
+                (BgKind::NicIn, ep.nic_in()),
+            ];
+            for i in 0..per_endpoint {
+                let (kind, cap) = caps[i % caps.len()];
+                let frac = intensity * rng.gen_range(0.15..0.5);
+                self.background.push(BackgroundProcess {
+                    endpoint: id,
+                    kind,
+                    rate_when_on: cap * frac,
+                    mean_on_s: rng.gen_range(600.0..3600.0),
+                    mean_off_s: rng.gen_range(2400.0..14400.0),
+                    on: false,
+                });
+            }
+        }
+    }
+
+    /// Attach an LMT-style storage monitor.
+    pub fn set_lmt_monitor(&mut self, monitor: LmtMonitor) {
+        self.lmt = Some(monitor);
+    }
+
+    /// Round-trip time between two endpoints, from their locations.
+    fn path_rtt(&self, src: EndpointId, dst: EndpointId) -> f64 {
+        let s = self.endpoints.get(src);
+        let d = self.endpoints.get(dst);
+        rtt_estimate(s.location.distance_km(&d.location))
+    }
+
+    /// Deterministic per-edge loss probability: log-uniform jitter around
+    /// the base, inflated with distance (long paths cross more devices).
+    fn path_loss(&self, src: EndpointId, dst: EndpointId) -> f64 {
+        let s = self.endpoints.get(src);
+        let d = self.endpoints.get(dst);
+        let dist = s.location.distance_km(&d.location);
+        // Hash the edge into a stable [0.1, 10) multiplier.
+        let h = (src.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (dst.0 as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        let mult = 10f64.powf(u - 0.5);
+        self.cfg.base_loss * mult * (1.0 + dist / 5000.0)
+    }
+
+    /// The flow's private network ceiling.
+    fn flow_cap(&self, flow: &ActiveFlow) -> f64 {
+        let rtt = self.path_rtt(flow.req.src, flow.req.dst);
+        let loss = self.path_loss(flow.req.src, flow.req.dst);
+        let streams = flow.streams();
+        let agg = aggregate_ceiling(&self.tcp, rtt, loss, streams, self.cfg.backbone);
+        let eff = stream_efficiency(streams, self.cfg.stream_knee);
+        agg.as_f64() * eff * flow.jitter
+    }
+
+    /// Recompute all flow rates with weighted progressive filling.
+    fn reallocate(&mut self) {
+        let n_ep = self.endpoints.len();
+        // Stream/process census per endpoint.
+        let mut read_streams = vec![0u32; n_ep];
+        let mut write_streams = vec![0u32; n_ep];
+        let mut processes = vec![0u32; n_ep];
+        for f in self.flows.iter().flatten() {
+            let e = f.procs();
+            processes[f.req.src.0 as usize] += e;
+            processes[f.req.dst.0 as usize] += e;
+            if f.state == FlowState::Running {
+                if f.reads_disk() {
+                    read_streams[f.req.src.0 as usize] += e;
+                }
+                if f.writes_disk() {
+                    write_streams[f.req.dst.0 as usize] += e;
+                }
+            }
+        }
+        // Background demand per (endpoint, resource).
+        let mut bg_demand = vec![0.0f64; n_ep * RES_PER_EP];
+        for b in &self.background {
+            let kind = match b.kind {
+                BgKind::DiskRead => R_DISK_READ,
+                BgKind::DiskWrite => R_DISK_WRITE,
+                BgKind::NicOut => R_NIC_OUT,
+                BgKind::NicIn => R_NIC_IN,
+            };
+            bg_demand[res_idx(b.endpoint, kind)] += b.demand().as_f64();
+        }
+        // Capacities. Floored at 2% of nominal so no flow ever fully
+        // starves (real systems retain residual service under contention).
+        for ep in self.endpoints.iter() {
+            let i = ep.id.0 as usize;
+            let rd = ep.storage.read_capacity(read_streams[i].max(1)).as_f64();
+            let wr = ep.storage.write_capacity(write_streams[i].max(1)).as_f64();
+            // TCP/IP + framing overhead: ~94% of line rate is payload.
+            let no = ep.nic_out().as_f64() * 0.94;
+            let ni = ep.nic_in().as_f64() * 0.94;
+            let cpu = ep.cpu_capacity(processes[i]).as_f64();
+            let set = |cap: f64, bg: f64| (cap - bg).max(cap * 0.02);
+            self.capacities[res_idx(ep.id, R_DISK_READ)] =
+                set(rd, bg_demand[res_idx(ep.id, R_DISK_READ)]);
+            self.capacities[res_idx(ep.id, R_DISK_WRITE)] =
+                set(wr, bg_demand[res_idx(ep.id, R_DISK_WRITE)]);
+            self.capacities[res_idx(ep.id, R_NIC_OUT)] =
+                set(no, bg_demand[res_idx(ep.id, R_NIC_OUT)]);
+            self.capacities[res_idx(ep.id, R_NIC_IN)] =
+                set(ni, bg_demand[res_idx(ep.id, R_NIC_IN)]);
+            self.capacities[res_idx(ep.id, R_CPU)] = cpu;
+        }
+        // Demands for running flows.
+        let mut demands = Vec::new();
+        let mut slot_of_demand = Vec::new();
+        for (slot, f) in self.flows.iter().enumerate() {
+            let Some(f) = f else { continue };
+            if f.state != FlowState::Running {
+                continue;
+            }
+            let mut resources = [0usize; 6];
+            let mut coeffs = [1.0f64; 6];
+            // Integrity checksumming (Globus default) roughly doubles the
+            // CPU cost per byte; `core_bw` is calibrated for checksummed
+            // transfers, so non-checksummed flows consume CPU at half rate.
+            let cpu_coeff = if f.req.checksum { 1.0 } else { 0.5 };
+            let mut n = 0;
+            if f.reads_disk() {
+                resources[n] = res_idx(f.req.src, R_DISK_READ);
+                n += 1;
+            }
+            resources[n] = res_idx(f.req.src, R_NIC_OUT);
+            resources[n + 1] = res_idx(f.req.src, R_CPU);
+            coeffs[n + 1] = cpu_coeff;
+            resources[n + 2] = res_idx(f.req.dst, R_NIC_IN);
+            resources[n + 3] = res_idx(f.req.dst, R_CPU);
+            coeffs[n + 3] = cpu_coeff;
+            n += 4;
+            if f.writes_disk() {
+                resources[n] = res_idx(f.req.dst, R_DISK_WRITE);
+                n += 1;
+            }
+            demands.push(FlowDemand::with_coefficients(
+                self.flow_cap(f),
+                (f.streams() as f64).sqrt().max(1.0),
+                &resources[..n],
+                &coeffs[..n],
+            ));
+            slot_of_demand.push(slot);
+        }
+        let rates = allocate(&self.capacities, &demands);
+        for (f, _) in self.flows.iter_mut().flatten().zip(std::iter::repeat(())) {
+            if f.state != FlowState::Running {
+                f.rate = 0.0;
+            }
+        }
+        for (&slot, &rate) in slot_of_demand.iter().zip(&rates) {
+            self.flows[slot].as_mut().expect("live slot").rate = rate;
+        }
+    }
+
+    /// Advance all running flows' byte counters from `self.now` to `t`.
+    fn advance_to(&mut self, t: SimTime) {
+        let dt = t.since(self.now);
+        if dt > 0.0 {
+            for f in self.flows.iter_mut().flatten() {
+                if f.state == FlowState::Running && f.rate > 0.0 {
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Earliest projected completion among running flows.
+    fn next_completion(&self) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for f in self.flows.iter().flatten() {
+            if f.state == FlowState::Running && f.rate > 0.0 {
+                let t = self.now.as_secs() + f.remaining / f.rate;
+                best = Some(best.map_or(t, |b: f64| b.min(t)));
+            }
+        }
+        best.map(SimTime::seconds)
+    }
+
+    /// Complete any flow whose byte counter has reached zero.
+    fn harvest_completions(&mut self) {
+        for slot in 0..self.flows.len() {
+            let done = matches!(
+                &self.flows[slot],
+                Some(f) if f.state == FlowState::Running && f.remaining <= 0.5
+            );
+            if done {
+                let f = self.flows[slot].take().expect("checked above");
+                self.free_slots.push(slot);
+                self.release_slots(&f.req);
+                self.records
+                    .push(TransferRecord::from_request(&f.req, f.start, self.now, f.faults));
+            }
+        }
+        self.drain_waiting();
+    }
+
+    /// Utilization proxy used to modulate the fault intensity: how squeezed
+    /// the flow is relative to its private ceiling.
+    fn squeeze(&self, f: &ActiveFlow) -> f64 {
+        let cap = self.flow_cap(f);
+        if cap <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - f.rate / cap).clamp(0.0, 1.0)
+    }
+
+    fn schedule_fault_candidate(&mut self, slot: usize) {
+        if !self.cfg.faults_enabled {
+            return;
+        }
+        let gen = match &self.flows[slot] {
+            Some(f) => f.fault_gen,
+            None => return,
+        };
+        let delay = Exp::new(self.cfg.fault_rate_max)
+            .expect("positive rate")
+            .sample(&mut self.rng);
+        self.events
+            .schedule(self.now + delay, EventKind::FaultCandidate(slot, gen));
+    }
+
+    /// Whether both endpoints of a request have a free transfer slot.
+    fn has_slots(&self, req: &TransferRequest) -> bool {
+        let limit = self.cfg.max_active_per_endpoint;
+        if self.active_per_ep[req.src.0 as usize] >= limit {
+            return false;
+        }
+        req.src == req.dst || self.active_per_ep[req.dst.0 as usize] < limit
+    }
+
+    /// Claim endpoint slots for a request.
+    fn claim_slots(&mut self, req: &TransferRequest) {
+        self.active_per_ep[req.src.0 as usize] += 1;
+        if req.dst != req.src {
+            self.active_per_ep[req.dst.0 as usize] += 1;
+        }
+    }
+
+    /// Release endpoint slots after completion.
+    fn release_slots(&mut self, req: &TransferRequest) {
+        self.active_per_ep[req.src.0 as usize] -= 1;
+        if req.dst != req.src {
+            self.active_per_ep[req.dst.0 as usize] -= 1;
+        }
+    }
+
+    /// Start any waiting request whose endpoints now have slots (FIFO with
+    /// skipping). Returns true if anything started.
+    fn drain_waiting(&mut self) -> bool {
+        let mut started = false;
+        let mut i = 0;
+        while i < self.waiting.len() {
+            if self.has_slots(&self.waiting[i].0) {
+                let (req, mode) = self.waiting.remove(i).expect("index in range");
+                self.claim_slots(&req);
+                self.start_flow(req, mode);
+                started = true;
+            } else {
+                i += 1;
+            }
+        }
+        started
+    }
+
+    fn start_flow(&mut self, req: TransferRequest, mode: TransferMode) {
+        let jitter = 1.0 + self.cfg.flow_jitter * self.rng.sample::<f64, _>(rand_distr::StandardNormal);
+        let jitter = jitter.clamp(0.7, 1.3);
+        // Startup + metadata overhead. Metadata ops pipeline across the
+        // transfer's GridFTP processes.
+        let e = req.effective_concurrency();
+        let dst = self.endpoints.get(req.dst);
+        let meta_load = 0.5; // nominal shared-filesystem business
+        let meta = match mode {
+            TransferMode::DiskToDisk | TransferMode::ZeroToDisk => {
+                dst.storage.metadata_time(req.files, req.dirs, meta_load) / e as f64
+            }
+            _ => 0.0,
+        };
+        let overhead = self.cfg.startup_s * self.rng.gen_range(0.8..1.2) + meta;
+        let flow = ActiveFlow {
+            start: self.now,
+            remaining: req.bytes.as_f64(),
+            rate: 0.0,
+            faults: 0,
+            state: FlowState::Overhead,
+            fault_gen: 0,
+            jitter,
+            req,
+            mode,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.flows[s] = Some(flow);
+                s
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.flows.len() - 1
+            }
+        };
+        self.events
+            .schedule(self.now + overhead, EventKind::DataPhaseStart(slot));
+    }
+
+    /// True if any live flow engages `ep` (so a capacity change there
+    /// affects the allocation).
+    fn endpoint_in_use(&self, ep: EndpointId) -> bool {
+        self.flows
+            .iter()
+            .flatten()
+            .any(|f| f.req.src == ep || f.req.dst == ep)
+    }
+
+    /// Process one event. Returns true if flow rates must be recomputed.
+    fn handle_event(
+        &mut self,
+        kind: EventKind,
+        arrivals: &mut [(TransferRequest, TransferMode)],
+    ) -> bool {
+        match kind {
+            EventKind::Arrival(idx) => {
+                let (req, mode) = arrivals[idx].clone();
+                if self.has_slots(&req) {
+                    self.claim_slots(&req);
+                    self.start_flow(req, mode);
+                    true // occupies processes immediately (CPU census changes)
+                } else {
+                    self.waiting.push_back((req, mode));
+                    false
+                }
+            }
+            EventKind::DataPhaseStart(slot) => {
+                if let Some(f) = self.flows[slot].as_mut() {
+                    if f.state == FlowState::Overhead {
+                        f.state = FlowState::Running;
+                        self.schedule_fault_candidate(slot);
+                        return true;
+                    }
+                }
+                false
+            }
+            EventKind::FaultCandidate(slot, gen) => {
+                let accept = match &self.flows[slot] {
+                    Some(f) if f.state == FlowState::Running && f.fault_gen == gen => {
+                        let intensity = 0.05 + 0.95 * self.squeeze(f);
+                        self.rng.gen_range(0.0..1.0) < intensity
+                    }
+                    _ => return false, // stale candidate
+                };
+                if accept {
+                    let f = self.flows[slot].as_mut().expect("live");
+                    f.faults += 1;
+                    f.state = FlowState::Paused;
+                    f.fault_gen += 1;
+                    f.rate = 0.0;
+                    self.events.schedule(
+                        self.now + self.cfg.fault_retry_s,
+                        EventKind::FaultResume(slot),
+                    );
+                    true
+                } else {
+                    self.schedule_fault_candidate(slot);
+                    false
+                }
+            }
+            EventKind::FaultResume(slot) => {
+                if let Some(f) = self.flows[slot].as_mut() {
+                    if f.state == FlowState::Paused {
+                        f.state = FlowState::Running;
+                        self.schedule_fault_candidate(slot);
+                        return true;
+                    }
+                }
+                false
+            }
+            EventKind::BgToggle(idx) => {
+                let delay = self.background[idx].toggle(&mut self.rng);
+                self.events.schedule(self.now + delay, EventKind::BgToggle(idx));
+                // Only matters if someone is actually using the endpoint.
+                self.endpoint_in_use(self.background[idx].endpoint)
+            }
+            EventKind::LmtSample => {
+                self.take_lmt_sample();
+                if let Some(m) = &self.lmt {
+                    let next = self.now + m.interval_s;
+                    if next <= m.until {
+                        self.events.schedule(next, EventKind::LmtSample);
+                    }
+                }
+                false // read-only
+            }
+        }
+    }
+
+    fn take_lmt_sample(&mut self) {
+        let Some(monitor) = &self.lmt else { return };
+        let mut samples = Vec::new();
+        for &ep in &monitor.endpoints {
+            let mut read = 0.0;
+            let mut write = 0.0;
+            for f in self.flows.iter().flatten() {
+                if f.state != FlowState::Running {
+                    continue;
+                }
+                if f.reads_disk() && f.req.src == ep {
+                    read += f.rate;
+                }
+                if f.writes_disk() && f.req.dst == ep {
+                    write += f.rate;
+                }
+            }
+            for b in &self.background {
+                if b.endpoint != ep {
+                    continue;
+                }
+                match b.kind {
+                    BgKind::DiskRead => read += b.demand().as_f64(),
+                    BgKind::DiskWrite => write += b.demand().as_f64(),
+                    _ => {}
+                }
+            }
+            samples.push(monitor.sample(self.now, ep, read, write));
+        }
+        self.lmt_samples.extend(samples);
+    }
+
+    /// Run to completion: processes every submitted transfer and returns the
+    /// log. Consumes the simulator.
+    pub fn run(mut self) -> SimOutput {
+        // Move pending requests out; schedule arrivals in submit-time order.
+        let mut arrivals = std::mem::take(&mut self.pending);
+        arrivals.sort_by(|a, b| a.0.submit.cmp(&b.0.submit).then(a.0.id.cmp(&b.0.id)));
+        for (i, (req, _)) in arrivals.iter().enumerate() {
+            self.events.schedule(req.submit, EventKind::Arrival(i));
+        }
+        // Background processes: schedule first toggles.
+        for i in 0..self.background.len() {
+            let d = {
+                let bg = &self.background[i];
+                let mut rng = StdRng::seed_from_u64(self.rng.gen());
+                bg.initial_delay(&mut rng)
+            };
+            self.events.schedule(SimTime::seconds(d), EventKind::BgToggle(i));
+        }
+        // LMT: first sample.
+        if let Some(m) = &self.lmt {
+            self.events.schedule(m.start, EventKind::LmtSample);
+        }
+
+        let total_transfers = arrivals.len();
+        let debug = std::env::var_os("WDT_SIM_DEBUG").is_some();
+        let mut n_events: u64 = 0;
+        loop {
+            n_events += 1;
+            if debug && n_events.is_multiple_of(20_000) {
+                eprintln!(
+                    "[sim] events={} t={:.0}s active={} done={}/{}",
+                    n_events,
+                    self.now.as_secs(),
+                    self.flows.iter().flatten().count(),
+                    self.records.len(),
+                    total_transfers
+                );
+                if let Some(ep) = std::env::var("WDT_SIM_DEBUG_EP")
+                    .ok()
+                    .and_then(|s| s.parse::<u32>().ok())
+                {
+                    let id = EndpointId(ep);
+                    let flows_here: Vec<(f64, f64, u32)> = self
+                        .flows
+                        .iter()
+                        .flatten()
+                        .filter(|f| f.req.src == id || f.req.dst == id)
+                        .map(|f| (f.rate / 1e6, self.flow_cap(f) / 1e6, f.streams()))
+                        .collect();
+                    let caps: Vec<f64> = (0..RES_PER_EP)
+                        .map(|k| self.capacities[res_idx(id, k)] / 1e6)
+                        .collect();
+                    eprintln!(
+                        "[sim]   ep{ep}: caps(MB/s) rd={:.0} wr={:.0} out={:.0} in={:.0} cpu={:.0}  flows={} rates={:?}",
+                        caps[0], caps[1], caps[2], caps[3], caps[4],
+                        flows_here.len(),
+                        &flows_here.iter().take(8).collect::<Vec<_>>()
+                    );
+                }
+            }
+            // All transfers logged: stop, even though background processes
+            // would keep generating toggle events forever.
+            if self.records.len() == total_transfers {
+                break;
+            }
+            let active_left = self.flows.iter().flatten().count() > 0;
+            let t_event = self.events.peek_time();
+            let t_done = self.next_completion();
+            let t_next = match (t_event, t_done) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    if active_left {
+                        // Flows exist but nothing can progress and no event
+                        // is pending: impossible with capacity floors.
+                        unreachable!("simulation stalled with active flows");
+                    }
+                    break;
+                }
+            };
+            assert!(
+                t_next.as_secs() < 3.2e8,
+                "simulation ran past 10 simulated years; check workload"
+            );
+            self.advance_to(t_next);
+            let before = self.records.len();
+            self.harvest_completions();
+            let mut dirty = self.records.len() != before;
+            while let Some((_, kind)) = self.events.pop_due(self.now) {
+                dirty |= self.handle_event(kind, &mut arrivals);
+            }
+            if dirty {
+                self.reallocate();
+            }
+        }
+
+        self.records.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
+        SimOutput { records: self.records, lmt: self.lmt_samples, horizon: self.now }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::Endpoint;
+    use wdt_geo::SiteCatalog;
+    use wdt_storage::StorageSystem;
+    use wdt_types::{Bytes, Rate, TransferId};
+
+    fn two_endpoints() -> EndpointCatalog {
+        let mut cat = EndpointCatalog::new();
+        cat.push(Endpoint::server(
+            EndpointId(0),
+            "anl#dtn",
+            "ANL",
+            SiteCatalog::by_name("ANL").unwrap().location,
+            1,
+            Rate::gbit(10.0),
+            StorageSystem::facility(Rate::gbit(12.0), Rate::gbit(9.0)),
+        ));
+        cat.push(Endpoint::server(
+            EndpointId(1),
+            "lbl#dtn",
+            "LBL",
+            SiteCatalog::by_name("LBL").unwrap().location,
+            1,
+            Rate::gbit(10.0),
+            StorageSystem::facility(Rate::gbit(12.0), Rate::gbit(9.0)),
+        ));
+        cat
+    }
+
+    fn req(id: u64, submit: f64, gb: f64, files: u64, c: u32, p: u32) -> TransferRequest {
+        TransferRequest {
+            id: TransferId(id),
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            submit: SimTime::seconds(submit),
+            bytes: Bytes::gb(gb),
+            files,
+            dirs: 1,
+            concurrency: c,
+            parallelism: p,
+            checksum: true,
+        }
+    }
+
+    fn run_one(gb: f64, files: u64, c: u32, p: u32) -> TransferRecord {
+        let mut sim = Simulator::new(two_endpoints(), SimConfig::testbed(), &SeedSeq::new(1));
+        sim.submit(req(0, 0.0, gb, files, c, p));
+        let out = sim.run();
+        assert_eq!(out.records.len(), 1);
+        out.records[0].clone()
+    }
+
+    #[test]
+    fn single_transfer_completes_with_plausible_rate() {
+        let r = run_one(100.0, 100, 4, 4);
+        // 10 Gb/s NIC = 1250 MB/s ceiling; storage/CPU bind below that.
+        let rate = r.rate().as_mbps();
+        assert!(rate > 100.0, "rate {rate} MB/s too low");
+        assert!(rate < 1250.0, "rate {rate} MB/s exceeds NIC");
+        assert_eq!(r.bytes, Bytes::gb(100.0));
+    }
+
+    #[test]
+    fn small_transfers_pay_startup_penalty() {
+        let small = run_one(0.1, 10, 4, 4);
+        let big = run_one(200.0, 10, 4, 4);
+        assert!(
+            small.rate().as_f64() < big.rate().as_f64(),
+            "small {} vs big {}",
+            small.rate(),
+            big.rate()
+        );
+    }
+
+    #[test]
+    fn many_small_files_slower_than_few_big_files() {
+        let many = run_one(20.0, 20_000, 4, 4);
+        let few = run_one(20.0, 20, 4, 4);
+        assert!(
+            many.rate().as_f64() < few.rate().as_f64(),
+            "many-files {} vs few-files {}",
+            many.rate(),
+            few.rate()
+        );
+    }
+
+    #[test]
+    fn concurrent_transfers_share_capacity() {
+        let solo = run_one(50.0, 50, 4, 4);
+        let mut sim = Simulator::new(two_endpoints(), SimConfig::testbed(), &SeedSeq::new(1));
+        for i in 0..4 {
+            sim.submit(req(i, 0.0, 50.0, 50, 4, 4));
+        }
+        let out = sim.run();
+        assert_eq!(out.records.len(), 4);
+        for r in &out.records {
+            assert!(
+                r.rate().as_f64() < solo.rate().as_f64(),
+                "contended {} should be below solo {}",
+                r.rate(),
+                solo.rate()
+            );
+        }
+        // Aggregate should still be substantial (sharing, not serialization).
+        let agg: f64 = out.records.iter().map(|r| r.rate().as_f64()).sum();
+        assert!(agg > solo.rate().as_f64());
+    }
+
+    #[test]
+    fn mem_to_mem_outruns_disk_to_disk() {
+        let mut sim = Simulator::new(two_endpoints(), SimConfig::testbed(), &SeedSeq::new(2));
+        sim.submit_with_mode(req(0, 0.0, 50.0, 1, 4, 8), TransferMode::MemToMem);
+        let mm = sim.run().records[0].rate();
+        let dd = run_one(50.0, 1, 4, 8).rate();
+        assert!(mm.as_f64() > dd.as_f64(), "mm {mm} vs dd {dd}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim =
+                Simulator::new(two_endpoints(), SimConfig::default(), &SeedSeq::new(99));
+            sim.add_default_background(4, 0.5);
+            for i in 0..10 {
+                sim.submit(req(i, i as f64 * 30.0, 10.0, 100, 4, 4));
+            }
+            sim.run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn background_load_slows_transfers() {
+        let quiet = run_one(50.0, 50, 4, 4);
+        let mut sim = Simulator::new(two_endpoints(), SimConfig::testbed(), &SeedSeq::new(3));
+        // A permanently-on heavy writer at the destination.
+        sim.add_background(BackgroundProcess {
+            endpoint: EndpointId(1),
+            kind: BgKind::DiskWrite,
+            rate_when_on: Rate::gbit(8.0),
+            mean_on_s: 1e9,
+            mean_off_s: 1e-3,
+            on: true,
+        });
+        sim.submit(req(0, 0.0, 50.0, 50, 4, 4));
+        let loaded = &sim.run().records[0];
+        assert!(
+            loaded.rate().as_f64() < quiet.rate().as_f64() * 0.8,
+            "loaded {} vs quiet {}",
+            loaded.rate(),
+            quiet.rate()
+        );
+    }
+
+    #[test]
+    fn faults_recorded_when_enabled() {
+        let cfg = SimConfig { fault_rate_max: 0.05, ..SimConfig::default() }; // cranked so the test is fast
+        let mut sim = Simulator::new(two_endpoints(), cfg, &SeedSeq::new(5));
+        // Heavy contention => high squeeze => faults likely.
+        for i in 0..8 {
+            sim.submit(req(i, 0.0, 40.0, 100, 8, 4));
+        }
+        let out = sim.run();
+        let total_faults: u32 = out.records.iter().map(|r| r.faults).sum();
+        assert!(total_faults > 0, "expected some faults under heavy load");
+    }
+
+    #[test]
+    fn skipping_checksums_helps_cpu_bound_transfers() {
+        // Starve the CPU so it binds; a non-checksummed transfer consumes
+        // half the CPU per byte and should finish measurably faster.
+        let cat = two_endpoints();
+        let run_with = |checksum: bool, cat: &EndpointCatalog| {
+            let mut sim = Simulator::new(cat.clone(), SimConfig::testbed(), &SeedSeq::new(4));
+            let mut r = req(0, 0.0, 50.0, 50, 4, 4);
+            r.checksum = checksum;
+            sim.submit(r);
+            sim.run().records[0].rate().as_f64()
+        };
+        // Rebuild endpoints with weak CPUs.
+        let mut weak = EndpointCatalog::new();
+        for ep in cat.iter() {
+            let mut e = ep.clone();
+            e.cores_per_dtn = 2;
+            e.core_bw = Rate::mbps(120.0);
+            weak.push(e);
+        }
+        let with = run_with(true, &weak);
+        let without = run_with(false, &weak);
+        assert!(
+            without > with * 1.3,
+            "no-checksum {without} should beat checksummed {with} when CPU-bound"
+        );
+    }
+
+    #[test]
+    fn endpoint_slot_limit_queues_excess_transfers() {
+        let cfg = SimConfig { max_active_per_endpoint: 3, ..SimConfig::testbed() };
+        let mut sim = Simulator::new(two_endpoints(), cfg, &SeedSeq::new(8));
+        for i in 0..12 {
+            sim.submit(req(i, 0.0, 10.0, 20, 4, 2));
+        }
+        let out = sim.run();
+        assert_eq!(out.records.len(), 12);
+        // At no instant do more than 3 transfers overlap.
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for r in &out.records {
+            events.push((r.start.as_secs(), 1));
+            events.push((r.end.as_secs(), -1));
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        let mut level = 0;
+        for (_, d) in events {
+            level += d;
+            assert!(level <= 3, "more than 3 concurrent transfers");
+        }
+    }
+
+    #[test]
+    fn queued_transfers_start_in_submission_order() {
+        let cfg = SimConfig { max_active_per_endpoint: 1, ..SimConfig::testbed() };
+        let mut sim = Simulator::new(two_endpoints(), cfg, &SeedSeq::new(9));
+        for i in 0..5 {
+            sim.submit(req(i, i as f64, 5.0, 10, 4, 2));
+        }
+        let out = sim.run();
+        // With one slot, transfers serialize and start in submit order
+        // (records are sorted by start time, so ids must come out sorted).
+        let ids: Vec<u64> = out.records.iter().map(|r| r.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "FIFO order violated");
+    }
+
+    #[test]
+    fn records_conserve_request_bytes() {
+        let mut sim = Simulator::new(two_endpoints(), SimConfig::default(), &SeedSeq::new(6));
+        let mut want = 0.0;
+        for i in 0..20 {
+            let r = req(i, i as f64 * 5.0, 1.0 + i as f64, 10 + i, 4, 4);
+            want += r.bytes.as_f64();
+            sim.submit(r);
+        }
+        let out = sim.run();
+        let got: f64 = out.records.iter().map(|r| r.bytes.as_f64()).sum();
+        assert_eq!(out.records.len(), 20);
+        assert!((got - want).abs() < 1.0);
+        for r in &out.records {
+            assert!(r.end > r.start, "end must follow start");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The simulator's event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`. The monotonically increasing
+//! sequence number makes event ordering — and therefore the whole simulation
+//! — deterministic even when events share a timestamp.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wdt_types::SimTime;
+
+/// Kinds of scheduled events. Completions are *not* heap events: they are
+/// recomputed from current rates after every reallocation (fluid model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A submitted transfer arrives (index into the pending request list).
+    Arrival(usize),
+    /// A flow finishes its startup/metadata overhead and starts moving data.
+    DataPhaseStart(usize),
+    /// A candidate fault for flow (slot, generation) — thinned on delivery.
+    FaultCandidate(usize, u64),
+    /// A faulted flow resumes after its retry delay.
+    FaultResume(usize),
+    /// Background process `idx` toggles on/off.
+    BgToggle(usize),
+    /// LMT monitor takes a sample.
+    LmtSample,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic min-heap event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, kind });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next event if it is scheduled at or before `time`.
+    pub fn pop_due(&mut self, time: SimTime) -> Option<(SimTime, EventKind)> {
+        if self.heap.peek().is_some_and(|e| e.time <= time) {
+            self.heap.pop().map(|e| (e.time, e.kind))
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::seconds(5.0), EventKind::LmtSample);
+        q.schedule(SimTime::seconds(1.0), EventKind::BgToggle(0));
+        q.schedule(SimTime::seconds(3.0), EventKind::Arrival(2));
+        let mut times = vec![];
+        while let Some((t, _)) = q.pop_due(SimTime::seconds(100.0)) {
+            times.push(t.as_secs());
+        }
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::seconds(2.0);
+        q.schedule(t, EventKind::Arrival(0));
+        q.schedule(t, EventKind::Arrival(1));
+        q.schedule(t, EventKind::Arrival(2));
+        let mut order = vec![];
+        while let Some((_, EventKind::Arrival(i))) = q.pop_due(t) {
+            order.push(i);
+        }
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::seconds(10.0), EventKind::LmtSample);
+        assert!(q.pop_due(SimTime::seconds(5.0)).is_none());
+        assert!(q.pop_due(SimTime::seconds(10.0)).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::seconds(1.0), EventKind::LmtSample);
+        assert_eq!(q.peek_time(), Some(SimTime::seconds(1.0)));
+        assert_eq!(q.len(), 1);
+    }
+}

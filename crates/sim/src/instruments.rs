@@ -1,0 +1,178 @@
+//! Measurement campaigns: the simulated analogues of the paper's
+//! instruments.
+//!
+//! * [`measure_edge_maxima`] reproduces the §3.1 ESnet methodology: repeated
+//!   `/dev/zero → disk`, `disk → /dev/null`, memory-to-memory, and
+//!   disk-to-disk transfers on an otherwise idle pair of endpoints, taking
+//!   the **maximum** observed rate of each as `DWmax`, `DRmax`, `MMmax`,
+//!   and `Rmax`.
+//! * [`perfsonar_probe`] is the simulated third-party iperf3 test: a short
+//!   memory-to-memory run that estimates `MMmax` for an edge (§3.2).
+
+use crate::config::SimConfig;
+use crate::endpoint::EndpointCatalog;
+use crate::engine::{Simulator, TransferMode};
+use wdt_types::{Bytes, EndpointId, Rate, SeedSeq, SimTime, TransferId, TransferRequest};
+
+/// The four maxima of the paper's Table 1, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeMaxima {
+    /// Max disk-to-disk rate.
+    pub r_max: Rate,
+    /// Max `/dev/zero → disk` rate (destination write ceiling).
+    pub dw_max: Rate,
+    /// Max `disk → /dev/null` rate (source read ceiling).
+    pub dr_max: Rate,
+    /// Max memory-to-memory rate (network ceiling).
+    pub mm_max: Rate,
+}
+
+impl EdgeMaxima {
+    /// The analytical bound of Eq. 1: `min(DRmax, MMmax, DWmax)`.
+    pub fn bound(&self) -> Rate {
+        self.dr_max.min(self.mm_max).min(self.dw_max)
+    }
+
+    /// Which subsystem the bound says is limiting.
+    pub fn limiter(&self) -> &'static str {
+        let b = self.bound();
+        if b == self.dr_max {
+            "disk read"
+        } else if b == self.mm_max {
+            "network"
+        } else {
+            "disk write"
+        }
+    }
+}
+
+fn probe_request(id: u64, src: EndpointId, dst: EndpointId, bytes: Bytes, c: u32, p: u32) -> TransferRequest {
+    TransferRequest {
+        id: TransferId(id),
+        src,
+        dst,
+        submit: SimTime::ZERO,
+        bytes,
+        // One big "file" per process: no metadata penalty, like dd/iperf.
+        files: c as u64,
+        dirs: 1,
+        concurrency: c,
+        parallelism: p,
+        checksum: false,
+    }
+}
+
+fn run_mode(
+    endpoints: &EndpointCatalog,
+    src: EndpointId,
+    dst: EndpointId,
+    mode: TransferMode,
+    reps: u32,
+    seed: &SeedSeq,
+) -> Rate {
+    let mut best = Rate::ZERO;
+    for rep in 0..reps {
+        let mut sim = Simulator::new(
+            endpoints.clone(),
+            SimConfig::testbed(),
+            &seed.subseq(&format!("rep{rep}")),
+        );
+        // Well-tuned benchmark settings: enough concurrency and streams to
+        // saturate whatever the narrowest subsystem is.
+        sim.submit_with_mode(probe_request(rep as u64, src, dst, Bytes::gb(50.0), 8, 8), mode);
+        let out = sim.run();
+        best = best.max(out.records[0].rate());
+    }
+    best
+}
+
+/// Run the full §3.1 measurement campaign on an (idle) edge: at least
+/// `reps` repetitions of each mode, keeping the maximum.
+pub fn measure_edge_maxima(
+    endpoints: &EndpointCatalog,
+    src: EndpointId,
+    dst: EndpointId,
+    reps: u32,
+    seed: &SeedSeq,
+) -> EdgeMaxima {
+    EdgeMaxima {
+        r_max: run_mode(endpoints, src, dst, TransferMode::DiskToDisk, reps, &seed.subseq("r")),
+        dw_max: run_mode(endpoints, src, dst, TransferMode::ZeroToDisk, reps, &seed.subseq("dw")),
+        dr_max: run_mode(endpoints, src, dst, TransferMode::DiskToNull, reps, &seed.subseq("dr")),
+        mm_max: run_mode(endpoints, src, dst, TransferMode::MemToMem, reps, &seed.subseq("mm")),
+    }
+}
+
+/// A single third-party iperf3-style probe of an edge's network ceiling.
+pub fn perfsonar_probe(
+    endpoints: &EndpointCatalog,
+    src: EndpointId,
+    dst: EndpointId,
+    seed: &SeedSeq,
+) -> Rate {
+    run_mode(endpoints, src, dst, TransferMode::MemToMem, 3, &seed.subseq("perfsonar"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::Endpoint;
+    use wdt_geo::SiteCatalog;
+    use wdt_storage::StorageSystem;
+
+    fn pair() -> EndpointCatalog {
+        let mut cat = EndpointCatalog::new();
+        for (i, site) in ["ANL", "BNL"].iter().enumerate() {
+            cat.push(Endpoint::server(
+                EndpointId(i as u32),
+                format!("{site}#dtn"),
+                *site,
+                SiteCatalog::by_name(site).unwrap().location,
+                1,
+                Rate::gbit(10.0),
+                StorageSystem::facility(Rate::gbit(12.0), Rate::gbit(9.0)),
+            ));
+        }
+        cat
+    }
+
+    #[test]
+    fn maxima_satisfy_equation_one() {
+        let cat = pair();
+        let m = measure_edge_maxima(&cat, EndpointId(0), EndpointId(1), 5, &SeedSeq::new(11));
+        // Rmax ≤ min(DRmax, MMmax, DWmax), with slack for jitter.
+        assert!(
+            m.r_max.as_f64() <= m.bound().as_f64() * 1.1,
+            "Rmax {} vs bound {}",
+            m.r_max,
+            m.bound()
+        );
+        // All maxima are substantial on 10 Gb/s hardware.
+        for r in [m.r_max, m.dw_max, m.dr_max, m.mm_max] {
+            assert!(r.as_gbit() > 1.0, "{r}");
+        }
+        // Memory-to-memory (no disks) beats disk-to-disk.
+        assert!(m.mm_max.as_f64() >= m.r_max.as_f64());
+    }
+
+    #[test]
+    fn limiter_names_the_min() {
+        let m = EdgeMaxima {
+            r_max: Rate::gbit(6.0),
+            dw_max: Rate::gbit(7.0),
+            dr_max: Rate::gbit(9.0),
+            mm_max: Rate::gbit(9.4),
+        };
+        assert_eq!(m.limiter(), "disk write");
+        assert_eq!(m.bound(), Rate::gbit(7.0));
+    }
+
+    #[test]
+    fn perfsonar_probe_close_to_mm_campaign() {
+        let cat = pair();
+        let probe = perfsonar_probe(&cat, EndpointId(0), EndpointId(1), &SeedSeq::new(3));
+        let m = measure_edge_maxima(&cat, EndpointId(0), EndpointId(1), 5, &SeedSeq::new(3));
+        let ratio = probe.as_f64() / m.mm_max.as_f64();
+        assert!((0.8..=1.1).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,142 @@
+//! LMT-style storage monitoring (paper §5.5.2).
+//!
+//! The Lustre Monitoring Tool samples, every five seconds, the disk I/O of
+//! every OST and the CPU load of every OSS. Our monitor watches a set of
+//! endpoints, distributes each endpoint's instantaneous storage traffic over
+//! a [`LustreFs`] decomposition, and records the per-component loads. These
+//! samples are the *extra* information — invisible in transfer logs — that
+//! collapses model error when added as features.
+
+use wdt_storage::LustreFs;
+use wdt_types::{EndpointId, Rate, SimTime};
+
+/// One monitor sample for one endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmtSample {
+    /// Sample time.
+    pub time: SimTime,
+    /// Monitored endpoint.
+    pub endpoint: EndpointId,
+    /// Mean per-OST read throughput at the sample instant.
+    pub ost_read: Rate,
+    /// Mean per-OST write throughput.
+    pub ost_write: Rate,
+    /// Mean OSS CPU utilization in [0, 1].
+    pub oss_cpu: f64,
+}
+
+/// Configuration of the monitor: which endpoints to watch, how the
+/// filesystem decomposes, and the sampling window.
+#[derive(Debug, Clone)]
+pub struct LmtMonitor {
+    /// Endpoints whose storage is monitored.
+    pub endpoints: Vec<EndpointId>,
+    /// Filesystem decomposition used to spread load over OSTs/OSSes.
+    pub fs: LustreFs,
+    /// Sampling interval, seconds (LMT default: 5).
+    pub interval_s: f64,
+    /// First sample time.
+    pub start: SimTime,
+    /// Last sample time.
+    pub until: SimTime,
+}
+
+impl LmtMonitor {
+    /// A monitor over `endpoints` with LMT's five-second cadence.
+    pub fn new(endpoints: Vec<EndpointId>, fs: LustreFs, start: SimTime, until: SimTime) -> Self {
+        LmtMonitor { endpoints, fs, interval_s: 5.0, start, until }
+    }
+
+    /// Produce the sample for an endpoint currently reading `read` and
+    /// writing `write` bytes/s in aggregate.
+    pub fn sample(&self, time: SimTime, endpoint: EndpointId, read: f64, write: f64) -> LmtSample {
+        let (osts, osses) = self.fs.distribute(Rate::new(read.max(0.0)), Rate::new(write.max(0.0)));
+        let n = osts.len() as f64;
+        let ost_read = Rate::new(osts.iter().map(|l| l.read.as_f64()).sum::<f64>() / n);
+        let ost_write = Rate::new(osts.iter().map(|l| l.write.as_f64()).sum::<f64>() / n);
+        let oss_cpu = osses.iter().map(|l| l.cpu).sum::<f64>() / osses.len() as f64;
+        LmtSample { time, endpoint, ost_read, ost_write, oss_cpu }
+    }
+}
+
+/// Aggregate the samples that fall inside `[start, end)` for `endpoint`,
+/// returning mean `(ost_read, ost_write, oss_cpu)` — the three storage-load
+/// quantities joined onto each test transfer as features. Returns zeros if
+/// no samples fall in the window.
+pub fn window_means(
+    samples: &[LmtSample],
+    endpoint: EndpointId,
+    start: SimTime,
+    end: SimTime,
+) -> (f64, f64, f64) {
+    let mut n = 0usize;
+    let (mut r, mut w, mut c) = (0.0, 0.0, 0.0);
+    for s in samples {
+        if s.endpoint == endpoint && s.time >= start && s.time < end {
+            r += s.ost_read.as_f64();
+            w += s.ost_write.as_f64();
+            c += s.oss_cpu;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        (0.0, 0.0, 0.0)
+    } else {
+        let n = n as f64;
+        (r / n, w / n, c / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> LmtMonitor {
+        LmtMonitor::new(
+            vec![EndpointId(0)],
+            LustreFs::new(8, Rate::mbps(500.0), 2),
+            SimTime::ZERO,
+            SimTime::hours(1.0),
+        )
+    }
+
+    #[test]
+    fn sample_distributes_load() {
+        let m = monitor();
+        let s = m.sample(SimTime::seconds(5.0), EndpointId(0), 800e6, 400e6);
+        assert!((s.ost_read.as_mbps() - 100.0).abs() < 1e-6);
+        assert!((s.ost_write.as_mbps() - 50.0).abs() < 1e-6);
+        assert!(s.oss_cpu > 0.0 && s.oss_cpu <= 1.0);
+    }
+
+    #[test]
+    fn idle_sample_is_zero() {
+        let m = monitor();
+        let s = m.sample(SimTime::ZERO, EndpointId(0), 0.0, 0.0);
+        assert_eq!(s.ost_read, Rate::ZERO);
+        assert_eq!(s.ost_write, Rate::ZERO);
+        assert_eq!(s.oss_cpu, 0.0);
+    }
+
+    #[test]
+    fn window_means_filters_by_time_and_endpoint() {
+        let m = monitor();
+        let samples = vec![
+            m.sample(SimTime::seconds(1.0), EndpointId(0), 100e6, 0.0),
+            m.sample(SimTime::seconds(2.0), EndpointId(0), 300e6, 0.0),
+            m.sample(SimTime::seconds(50.0), EndpointId(0), 900e6, 0.0), // outside
+            m.sample(SimTime::seconds(1.5), EndpointId(1), 500e6, 0.0),  // other ep
+        ];
+        let (r, w, _) =
+            window_means(&samples, EndpointId(0), SimTime::ZERO, SimTime::seconds(10.0));
+        // mean of 100/8 and 300/8 MB/s per OST = 25 MB/s
+        assert!((r / 1e6 - 25.0).abs() < 1e-6, "r={r}");
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn empty_window_is_zeros() {
+        let (r, w, c) = window_means(&[], EndpointId(0), SimTime::ZERO, SimTime::seconds(1.0));
+        assert_eq!((r, w, c), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the simulation engine: random small workloads
+//! must preserve the core invariants regardless of parameters.
+
+#![cfg(test)]
+
+use crate::config::SimConfig;
+use crate::endpoint::{Endpoint, EndpointCatalog};
+use crate::engine::Simulator;
+use proptest::prelude::*;
+use wdt_geo::SiteCatalog;
+use wdt_storage::StorageSystem;
+use wdt_types::{Bytes, EndpointId, Rate, SeedSeq, SimTime, TransferId, TransferRequest};
+
+fn catalog(n: usize) -> EndpointCatalog {
+    let mut cat = EndpointCatalog::new();
+    for i in 0..n {
+        let site = SiteCatalog::get(i % 20);
+        cat.push(Endpoint::server(
+            EndpointId(i as u32),
+            format!("ep{i}"),
+            site.name,
+            site.location,
+            1 + (i % 3) as u32,
+            Rate::gbit(if i % 4 == 0 { 1.0 } else { 10.0 }),
+            StorageSystem::facility(
+                Rate::gbit(4.0 + (i % 5) as f64 * 2.0),
+                Rate::gbit(3.0 + (i % 4) as f64 * 2.0),
+            ),
+        ));
+    }
+    cat
+}
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    src: u8,
+    dst: u8,
+    submit: f64,
+    gb: f64,
+    files: u16,
+    c: u8,
+    p: u8,
+}
+
+fn arb_req(n_eps: u8) -> impl Strategy<Value = ReqSpec> {
+    (
+        0..n_eps,
+        0..n_eps,
+        0.0f64..20_000.0,
+        0.01f64..50.0,
+        1u16..5000,
+        1u8..16,
+        1u8..8,
+    )
+        .prop_map(|(src, dst, submit, gb, files, c, p)| ReqSpec {
+            src,
+            dst,
+            submit,
+            gb,
+            files,
+            c,
+            p,
+        })
+}
+
+fn run(reqs: &[ReqSpec], n_eps: usize, seed: u64, bg: bool) -> crate::engine::SimOutput {
+    let mut sim = Simulator::new(catalog(n_eps), SimConfig::default(), &SeedSeq::new(seed));
+    if bg {
+        sim.add_default_background(2, 0.4);
+    }
+    for (i, r) in reqs.iter().enumerate() {
+        let dst = if r.dst == r.src { (r.dst + 1) % n_eps as u8 } else { r.dst };
+        sim.submit(TransferRequest {
+            id: TransferId(i as u64),
+            src: EndpointId(r.src as u32),
+            dst: EndpointId(dst as u32),
+            submit: SimTime::seconds(r.submit),
+            bytes: Bytes::gb(r.gb),
+            files: r.files as u64,
+            dirs: 1 + r.files as u64 / 10,
+            concurrency: r.c as u32,
+            parallelism: r.p as u32,
+            checksum: true,
+        });
+    }
+    sim.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_transfer_completes_exactly_once(
+        reqs in proptest::collection::vec(arb_req(6), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let out = run(&reqs, 6, seed, true);
+        prop_assert_eq!(out.records.len(), reqs.len());
+        let mut ids: Vec<u64> = out.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), reqs.len());
+    }
+
+    #[test]
+    fn bytes_conserved_and_time_ordered(
+        reqs in proptest::collection::vec(arb_req(5), 1..30),
+        seed in 0u64..1000,
+    ) {
+        let out = run(&reqs, 5, seed, false);
+        let want: f64 = reqs.iter().map(|r| r.gb * 1e9).sum();
+        let got: f64 = out.records.iter().map(|r| r.bytes.as_f64()).sum();
+        prop_assert!((got - want).abs() < 1.0);
+        for r in &out.records {
+            prop_assert!(r.end > r.start, "zero/negative duration");
+            // Transfers can never start before submission.
+            let spec = &reqs[r.id.0 as usize];
+            prop_assert!(r.start.as_secs() >= spec.submit - 1e-9);
+            prop_assert!(r.rate().as_f64() > 0.0);
+            prop_assert!(r.rate().as_f64().is_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_replay(
+        reqs in proptest::collection::vec(arb_req(4), 1..20),
+        seed in 0u64..1000,
+    ) {
+        let a = run(&reqs, 4, seed, true);
+        let b = run(&reqs, 4, seed, true);
+        prop_assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn rate_never_exceeds_nic_line_rate(
+        reqs in proptest::collection::vec(arb_req(6), 1..25),
+        seed in 0u64..1000,
+    ) {
+        let cat = catalog(6);
+        let out = run(&reqs, 6, seed, false);
+        for r in &out.records {
+            let cap = cat
+                .get(r.src)
+                .nic_out()
+                .min(cat.get(r.dst).nic_in())
+                .as_f64();
+            prop_assert!(
+                r.rate().as_f64() <= cap * 1.01,
+                "rate {} exceeds NIC {}",
+                r.rate(),
+                cap
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! I/O concurrency contention curve.
+//!
+//! A storage system needs several concurrent streams to reach its aggregate
+//! bandwidth (striping across devices), but past a saturation point extra
+//! streams cause interference — seek amplification on spinning disks,
+//! request-queue contention, OSS CPU pressure — and aggregate *delivered*
+//! bandwidth declines. This rise-then-fall is one of the two physical causes
+//! of the Weibull-shaped throughput-vs-concurrency curve the paper fits in
+//! Figure 4 (the other being CPU oversubscription, modeled in `wdt-sim`).
+
+/// Fraction of aggregate bandwidth delivered when `streams` I/O streams run
+/// concurrently on a system that saturates at `saturation` streams.
+///
+/// * Below saturation: ramps quickly (each stream adds a device's worth).
+/// * At saturation: 1.0.
+/// * Above: gentle hyperbolic degradation toward `floor`.
+pub fn io_efficiency(streams: u32, saturation: u32, floor: f64) -> f64 {
+    debug_assert!(saturation > 0);
+    debug_assert!((0.0..=1.0).contains(&floor));
+    if streams == 0 {
+        return 0.0;
+    }
+    let n = streams as f64;
+    let k = saturation as f64;
+    if n <= k {
+        // Concave ramp: a single stream already gets a useful share
+        // (1/k)^0.6 rather than 1/k, because one well-formed sequential
+        // stream drives a device efficiently.
+        (n / k).powf(0.6)
+    } else {
+        // Hyperbolic decay toward the floor.
+        let over = n / k - 1.0;
+        let eff = 1.0 / (1.0 + 0.25 * over);
+        eff.max(floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_streams_zero_efficiency() {
+        assert_eq!(io_efficiency(0, 8, 0.3), 0.0);
+    }
+
+    #[test]
+    fn saturation_point_is_full_efficiency() {
+        assert!((io_efficiency(8, 8, 0.3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_stream_gets_superlinear_share() {
+        // One stream on an 8-wide system gets more than 1/8.
+        let e = io_efficiency(1, 8, 0.3);
+        assert!(e > 1.0 / 8.0, "got {e}");
+        assert!(e < 1.0);
+    }
+
+    #[test]
+    fn rises_then_falls() {
+        let rise: Vec<f64> = (1..=8).map(|n| io_efficiency(n, 8, 0.3)).collect();
+        for w in rise.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        let fall: Vec<f64> = [8u32, 16, 32, 128].iter().map(|&n| io_efficiency(n, 8, 0.3)).collect();
+        for w in fall.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        assert!(io_efficiency(100_000, 4, 0.35) >= 0.35);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn efficiency_in_unit_interval(
+            streams in 0u32..1_000_000,
+            sat in 1u32..256,
+            floor in 0.0f64..1.0,
+        ) {
+            let e = io_efficiency(streams, sat, floor);
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+
+        #[test]
+        fn nonzero_streams_nonzero_efficiency(streams in 1u32..100_000, sat in 1u32..256) {
+            prop_assert!(io_efficiency(streams, sat, 0.2) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # wdt-storage — storage-system substrate
+//!
+//! Disk-to-disk transfers start and end at storage systems, and the paper's
+//! analytical bound (Eq. 1) is dominated by disk read/write ceilings for
+//! 31 of its 45 well-explained edges. This crate models:
+//!
+//! * [`StorageSystem`] — an endpoint's filesystem with aggregate read/write
+//!   bandwidth, a per-stream ceiling, and an I/O-concurrency contention
+//!   curve (rises, saturates, then degrades — the storage half of the
+//!   Weibull-shaped concurrency curve in the paper's Figure 4);
+//! * metadata costs — per-file open/create overhead and directory lock
+//!   contention on parallel filesystems (the `Nf`/`Nd` effects of Figure 5);
+//! * [`lustre`] — an explicit Lustre-like OSS/OST decomposition whose load
+//!   can be *observed* by the LMT-style monitor (the §5.5.2 experiment).
+
+pub mod contention;
+pub mod lustre;
+pub mod system;
+
+pub use contention::io_efficiency;
+pub use lustre::{LustreFs, OssLoad, OstLoad};
+pub use system::{MetadataCosts, StorageSystem};

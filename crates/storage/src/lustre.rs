@@ -1,0 +1,139 @@
+//! A Lustre-like parallel filesystem with observable OSS/OST load.
+//!
+//! The paper's §5.5.2 experiment runs transfers between two Lustre
+//! filesystems at NERSC while the Lustre Monitoring Tool (LMT) samples, every
+//! five seconds, disk I/O per object storage target (OST) and CPU per object
+//! storage server (OSS). Adding those four load features collapses the
+//! model's 95th-percentile error from 9.29% to 1.26%.
+//!
+//! [`LustreFs`] decomposes a [`StorageSystem`](crate::StorageSystem)-style
+//! aggregate into OSTs grouped under OSSes, distributes an offered I/O load
+//! across them, and reports per-component load — which is what the simulated
+//! LMT monitor in `wdt-sim` samples.
+
+use wdt_types::Rate;
+
+/// Load on one object storage target (one disk array).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OstLoad {
+    /// Read throughput currently served, bytes/s.
+    pub read: Rate,
+    /// Write throughput currently served, bytes/s.
+    pub write: Rate,
+}
+
+/// Load on one object storage server (the host fronting several OSTs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OssLoad {
+    /// CPU utilization in [0, 1].
+    pub cpu: f64,
+}
+
+/// A Lustre-like filesystem: `osts` targets spread evenly across `osses`
+/// servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LustreFs {
+    /// Number of object storage targets.
+    pub osts: usize,
+    /// Per-OST sequential bandwidth (read ≈ write for simplicity).
+    pub ost_bw: Rate,
+    /// Number of object storage servers.
+    pub osses: usize,
+    /// CPU fraction one saturated OST's traffic costs its OSS.
+    pub cpu_per_saturated_ost: f64,
+}
+
+impl LustreFs {
+    /// A NERSC-scale filesystem slice: plenty of OSTs behind a few OSSes.
+    pub fn new(osts: usize, ost_bw: Rate, osses: usize) -> Self {
+        assert!(osts > 0 && osses > 0, "need at least one OST and OSS");
+        LustreFs { osts, ost_bw, osses, cpu_per_saturated_ost: 0.25 }
+    }
+
+    /// Aggregate bandwidth of the filesystem.
+    pub fn aggregate_bw(&self) -> Rate {
+        self.ost_bw * self.osts as f64
+    }
+
+    /// Which OSS hosts OST `ost`.
+    pub fn oss_of(&self, ost: usize) -> usize {
+        debug_assert!(ost < self.osts);
+        ost * self.osses / self.osts
+    }
+
+    /// Distribute an offered (read, write) load across OSTs (file stripes
+    /// land round-robin, so load spreads evenly until each OST saturates)
+    /// and compute the resulting per-OST and per-OSS load vectors.
+    ///
+    /// Returns the load snapshot that an LMT monitor would report.
+    pub fn distribute(&self, read: Rate, write: Rate) -> (Vec<OstLoad>, Vec<OssLoad>) {
+        let n = self.osts as f64;
+        let per_ost_read = Rate::new((read.as_f64() / n).min(self.ost_bw.as_f64()));
+        let per_ost_write = Rate::new((write.as_f64() / n).min(self.ost_bw.as_f64()));
+        let ost_loads = vec![OstLoad { read: per_ost_read, write: per_ost_write }; self.osts];
+
+        let mut oss_loads = vec![OssLoad::default(); self.osses];
+        for (i, l) in ost_loads.iter().enumerate() {
+            let frac = (l.read.as_f64() + l.write.as_f64()) / self.ost_bw.as_f64();
+            oss_loads[self.oss_of(i)].cpu += frac * self.cpu_per_saturated_ost;
+        }
+        for l in &mut oss_loads {
+            l.cpu = l.cpu.min(1.0);
+        }
+        (ost_loads, oss_loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> LustreFs {
+        LustreFs::new(8, Rate::mbps(500.0), 2)
+    }
+
+    #[test]
+    fn aggregate_is_ost_sum() {
+        assert_eq!(fs().aggregate_bw(), Rate::mbps(4000.0));
+    }
+
+    #[test]
+    fn oss_mapping_is_balanced() {
+        let f = fs();
+        let mut counts = vec![0usize; f.osses];
+        for ost in 0..f.osts {
+            counts[f.oss_of(ost)] += 1;
+        }
+        assert_eq!(counts, vec![4, 4]);
+    }
+
+    #[test]
+    fn distribute_spreads_evenly() {
+        let f = fs();
+        let (osts, _) = f.distribute(Rate::mbps(800.0), Rate::mbps(0.0));
+        for l in &osts {
+            assert!((l.read.as_mbps() - 100.0).abs() < 1e-9);
+            assert_eq!(l.write, Rate::ZERO);
+        }
+    }
+
+    #[test]
+    fn per_ost_load_capped_at_device_bw() {
+        let f = fs();
+        let (osts, _) = f.distribute(Rate::mbps(1e6), Rate::ZERO);
+        for l in &osts {
+            assert!(l.read.as_f64() <= f.ost_bw.as_f64() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn oss_cpu_grows_with_load_and_caps_at_one() {
+        let f = fs();
+        let (_, idle) = f.distribute(Rate::ZERO, Rate::ZERO);
+        assert!(idle.iter().all(|l| l.cpu == 0.0));
+        let (_, busy) = f.distribute(Rate::mbps(2000.0), Rate::mbps(1000.0));
+        assert!(busy.iter().all(|l| l.cpu > 0.0 && l.cpu <= 1.0));
+        let (_, slammed) = f.distribute(Rate::mbps(1e9), Rate::mbps(1e9));
+        assert!(slammed.iter().all(|l| l.cpu <= 1.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! An endpoint's storage system.
+
+use crate::contention::io_efficiency;
+use wdt_types::{Bytes, Rate};
+
+/// Metadata-operation costs of a (parallel) filesystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetadataCosts {
+    /// Seconds of coordination per file (open/close/stat, GridFTP
+    /// per-file handshake). Drives the small-file penalty of Figure 5.
+    pub per_file_s: f64,
+    /// Seconds per directory (creation, lock acquisition). The paper notes
+    /// "a dataset with many directories may incur more overhead because of
+    /// lock contention on parallel filesystems" (§4.2).
+    pub per_dir_s: f64,
+    /// Multiplier applied to `per_dir_s` per unit of filesystem load,
+    /// modeling lock contention growing with concurrent activity.
+    pub dir_contention_factor: f64,
+}
+
+impl Default for MetadataCosts {
+    fn default() -> Self {
+        MetadataCosts { per_file_s: 0.004, per_dir_s: 0.1, dir_contention_factor: 0.5 }
+    }
+}
+
+/// A storage system backing one endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageSystem {
+    /// Aggregate sequential read bandwidth (all devices).
+    pub read_bw: Rate,
+    /// Aggregate sequential write bandwidth.
+    pub write_bw: Rate,
+    /// Number of concurrent streams needed to saturate the aggregate.
+    pub saturation_streams: u32,
+    /// Efficiency floor under extreme oversubscription.
+    pub efficiency_floor: f64,
+    /// Metadata costs.
+    pub metadata: MetadataCosts,
+}
+
+impl StorageSystem {
+    /// A facility-class parallel filesystem (Lustre/GPFS behind DTNs).
+    pub fn facility(read_bw: Rate, write_bw: Rate) -> Self {
+        StorageSystem {
+            read_bw,
+            write_bw,
+            saturation_streams: 8,
+            efficiency_floor: 0.35,
+            metadata: MetadataCosts::default(),
+        }
+    }
+
+    /// A personal computer's single disk (GCP endpoints).
+    pub fn personal(read_bw: Rate, write_bw: Rate) -> Self {
+        StorageSystem {
+            read_bw,
+            write_bw,
+            saturation_streams: 1,
+            efficiency_floor: 0.4,
+            metadata: MetadataCosts { per_file_s: 0.01, per_dir_s: 0.05, dir_contention_factor: 0.1 },
+        }
+    }
+
+    /// Deliverable aggregate *read* bandwidth when `streams` read streams
+    /// are active system-wide.
+    pub fn read_capacity(&self, streams: u32) -> Rate {
+        self.read_bw * io_efficiency(streams, self.saturation_streams, self.efficiency_floor)
+    }
+
+    /// Deliverable aggregate *write* bandwidth when `streams` write streams
+    /// are active system-wide.
+    pub fn write_capacity(&self, streams: u32) -> Rate {
+        self.write_bw * io_efficiency(streams, self.saturation_streams, self.efficiency_floor)
+    }
+
+    /// Fixed metadata time a dataset costs on this filesystem, given the
+    /// filesystem's current load factor (0 = idle). This time is spread over
+    /// the transfer's lifetime by the simulator; it is *not* bandwidth.
+    /// The per-file cost is divided by the transfer's concurrency at the
+    /// call site (concurrent GridFTP processes pipeline metadata ops).
+    pub fn metadata_time(&self, files: u64, dirs: u64, load_factor: f64) -> f64 {
+        debug_assert!(load_factor >= 0.0);
+        let dir_cost =
+            self.metadata.per_dir_s * (1.0 + self.metadata.dir_contention_factor * load_factor);
+        files as f64 * self.metadata.per_file_s + dirs as f64 * dir_cost
+    }
+
+    /// Time to read/write `bytes` as a single idle stream — the micro
+    /// benchmark the Table 1 instruments run (`disk → /dev/null`).
+    pub fn single_stream_read_time(&self, bytes: Bytes) -> f64 {
+        bytes.as_f64() / self.read_capacity(1).as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> StorageSystem {
+        StorageSystem::facility(Rate::gbit(12.0), Rate::gbit(9.0))
+    }
+
+    #[test]
+    fn capacity_scales_with_efficiency() {
+        let s = sys();
+        assert!(s.read_capacity(1).as_f64() < s.read_bw.as_f64());
+        assert_eq!(s.read_capacity(8), s.read_bw);
+        assert!(s.read_capacity(64).as_f64() < s.read_bw.as_f64());
+    }
+
+    #[test]
+    fn writes_independent_of_reads() {
+        let s = sys();
+        assert_eq!(s.write_capacity(8), s.write_bw);
+        assert!(s.write_capacity(8).as_f64() < s.read_capacity(8).as_f64());
+    }
+
+    #[test]
+    fn metadata_time_grows_with_files_dirs_and_load() {
+        let s = sys();
+        let base = s.metadata_time(100, 10, 0.0);
+        assert!(s.metadata_time(200, 10, 0.0) > base);
+        assert!(s.metadata_time(100, 20, 0.0) > base);
+        assert!(s.metadata_time(100, 10, 2.0) > base);
+    }
+
+    #[test]
+    fn personal_storage_saturates_at_one_stream() {
+        let p = StorageSystem::personal(Rate::mbps(150.0), Rate::mbps(120.0));
+        assert_eq!(p.read_capacity(1), p.read_bw);
+        assert!(p.read_capacity(8).as_f64() < p.read_bw.as_f64());
+    }
+
+    #[test]
+    fn single_stream_read_time_is_bytes_over_rate() {
+        let s = sys();
+        let t = s.single_stream_read_time(Bytes::gb(1.0));
+        let expect = 1e9 / s.read_capacity(1).as_f64();
+        assert!((t - expect).abs() < 1e-9);
+    }
+}

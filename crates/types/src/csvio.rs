@@ -1,0 +1,219 @@
+//! CSV interchange for transfer logs.
+//!
+//! The paper's §7 argues the method applies to any transfer tool whose
+//! logs expose the same fields ("FTP, rsync, scp, bbcp, FDT, XDD"). This
+//! module is the interop seam: a plain CSV schema for
+//! [`TransferRecord`](crate::TransferRecord)s that external logs can be
+//! converted into, and that our tools emit.
+//!
+//! Schema (header required):
+//! `id,src,dst,start,end,bytes,files,dirs,concurrency,parallelism,faults`
+//! with times in seconds and bytes as a float.
+
+use crate::id::{EndpointId, TransferId};
+use crate::record::TransferRecord;
+use crate::time::SimTime;
+use crate::units::Bytes;
+use std::fmt;
+
+/// The expected header line.
+pub const CSV_HEADER: &str = "id,src,dst,start,end,bytes,files,dirs,concurrency,parallelism,faults";
+
+/// Errors produced when parsing a log CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The first line did not match [`CSV_HEADER`].
+    BadHeader,
+    /// A data line had the wrong number of fields.
+    WrongFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+    },
+    /// A record's end time precedes its start time.
+    NegativeDuration {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "header must be exactly: {CSV_HEADER}"),
+            CsvError::WrongFieldCount { line, got } => {
+                write!(f, "line {line}: expected 11 fields, got {got}")
+            }
+            CsvError::BadField { line, column } => {
+                write!(f, "line {line}: cannot parse column '{column}'")
+            }
+            CsvError::NegativeDuration { line } => {
+                write!(f, "line {line}: end precedes start")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serialize records to CSV (with header).
+pub fn records_to_csv(records: &[TransferRecord]) -> String {
+    let mut out = String::with_capacity(64 * (records.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.id.0,
+            r.src.0,
+            r.dst.0,
+            r.start.as_secs(),
+            r.end.as_secs(),
+            r.bytes.as_f64(),
+            r.files,
+            r.dirs,
+            r.concurrency,
+            r.parallelism,
+            r.faults
+        ));
+    }
+    out
+}
+
+/// Parse records from CSV produced by [`records_to_csv`] (or converted
+/// from another tool's log). Blank lines are ignored.
+pub fn records_from_csv(s: &str) -> Result<Vec<TransferRecord>, CsvError> {
+    let mut lines = s.lines().enumerate();
+    let header = lines.next().map(|(_, l)| l.trim()).unwrap_or("");
+    if header != CSV_HEADER {
+        return Err(CsvError::BadHeader);
+    }
+    let mut out = Vec::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 11 {
+            return Err(CsvError::WrongFieldCount { line: line_no, got: fields.len() });
+        }
+        fn p<T: std::str::FromStr>(
+            v: &str,
+            line: usize,
+            column: &'static str,
+        ) -> Result<T, CsvError> {
+            v.trim().parse().map_err(|_| CsvError::BadField { line, column })
+        }
+        let start: f64 = p(fields[3], line_no, "start")?;
+        let end: f64 = p(fields[4], line_no, "end")?;
+        if end < start {
+            return Err(CsvError::NegativeDuration { line: line_no });
+        }
+        let bytes: f64 = p(fields[5], line_no, "bytes")?;
+        if bytes.is_nan() || bytes < 0.0 || !bytes.is_finite() {
+            return Err(CsvError::BadField { line: line_no, column: "bytes" });
+        }
+        out.push(TransferRecord {
+            id: TransferId(p(fields[0], line_no, "id")?),
+            src: EndpointId(p(fields[1], line_no, "src")?),
+            dst: EndpointId(p(fields[2], line_no, "dst")?),
+            start: SimTime::seconds(start),
+            end: SimTime::seconds(end),
+            bytes: Bytes::new(bytes),
+            files: p(fields[6], line_no, "files")?,
+            dirs: p(fields[7], line_no, "dirs")?,
+            concurrency: p(fields[8], line_no, "concurrency")?,
+            parallelism: p(fields[9], line_no, "parallelism")?,
+            faults: p(fields[10], line_no, "faults")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> TransferRecord {
+        TransferRecord {
+            id: TransferId(id),
+            src: EndpointId(3),
+            dst: EndpointId(7),
+            start: SimTime::seconds(10.5),
+            end: SimTime::seconds(99.25),
+            bytes: Bytes::gb(1.5),
+            files: 42,
+            dirs: 6,
+            concurrency: 4,
+            parallelism: 2,
+            faults: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let records = vec![rec(0), rec(1), rec(2)];
+        let csv = records_to_csv(&records);
+        let back = records_from_csv(&csv).expect("parse");
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let csv = records_to_csv(&[]);
+        assert_eq!(records_from_csv(&csv).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(records_from_csv("nope\n1,2,3"), Err(CsvError::BadHeader));
+        assert_eq!(records_from_csv(""), Err(CsvError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let csv = format!("{CSV_HEADER}\n1,2,3\n");
+        assert_eq!(
+            records_from_csv(&csv),
+            Err(CsvError::WrongFieldCount { line: 2, got: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_unparsable_field() {
+        let csv = format!("{CSV_HEADER}\n1,2,3,abc,5,6,7,8,9,10,11\n");
+        assert_eq!(
+            records_from_csv(&csv),
+            Err(CsvError::BadField { line: 2, column: "start" })
+        );
+    }
+
+    #[test]
+    fn rejects_negative_duration() {
+        let csv = format!("{CSV_HEADER}\n1,2,3,100,50,6,7,8,9,10,11\n");
+        assert_eq!(records_from_csv(&csv), Err(CsvError::NegativeDuration { line: 2 }));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = format!("{}\n\n{}\n", CSV_HEADER, "1,2,3,0,10,100,1,1,1,1,0");
+        assert_eq!(records_from_csv(&csv).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = CsvError::BadField { line: 9, column: "bytes" };
+        assert!(e.to_string().contains("line 9"));
+        assert!(e.to_string().contains("bytes"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Identifiers for endpoints, edges, and transfers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A storage endpoint (a Globus Connect deployment: one or more data
+/// transfer nodes fronting a storage system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EndpointId(pub u32);
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Deployment flavor of an endpoint.
+///
+/// The paper distinguishes Globus Connect *Server* (GCS: multi-user DTNs at
+/// facilities) from Globus Connect *Personal* (GCP: laptops/workstations).
+/// Table 4 reports the share of each edge type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EndpointType {
+    /// Globus Connect Server: facility-class data transfer node(s).
+    Server,
+    /// Globus Connect Personal: a personal computer.
+    Personal,
+}
+
+impl fmt::Display for EndpointType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointType::Server => write!(f, "GCS"),
+            EndpointType::Personal => write!(f, "GCP"),
+        }
+    }
+}
+
+/// A directed source–destination endpoint pair: the paper's "edge".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId {
+    /// Source endpoint.
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+}
+
+impl EdgeId {
+    /// Construct an edge from source to destination.
+    pub fn new(src: EndpointId, dst: EndpointId) -> Self {
+        EdgeId { src, dst }
+    }
+
+    /// The edge in the opposite direction.
+    pub fn reversed(self) -> Self {
+        EdgeId { src: self.dst, dst: self.src }
+    }
+
+    /// Whether the edge is a self-loop (intra-site transfer, as in the
+    /// paper's §5.5.2 NERSC-internal experiment endpoints may still differ;
+    /// a self-loop here means literally the same endpoint).
+    pub fn is_loopback(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+/// A single transfer request / log record identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TransferId(pub u64);
+
+impl fmt::Display for TransferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_reversed_swaps_direction() {
+        let e = EdgeId::new(EndpointId(1), EndpointId(2));
+        assert_eq!(e.reversed(), EdgeId::new(EndpointId(2), EndpointId(1)));
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn edge_loopback_detection() {
+        assert!(EdgeId::new(EndpointId(7), EndpointId(7)).is_loopback());
+        assert!(!EdgeId::new(EndpointId(7), EndpointId(8)).is_loopback());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(EndpointId(3).to_string(), "ep3");
+        assert_eq!(TransferId(9).to_string(), "tx9");
+        assert_eq!(EdgeId::new(EndpointId(1), EndpointId(2)).to_string(), "ep1->ep2");
+        assert_eq!(EndpointType::Server.to_string(), "GCS");
+        assert_eq!(EndpointType::Personal.to_string(), "GCP");
+    }
+
+    #[test]
+    fn edge_ordering_is_lexicographic() {
+        let a = EdgeId::new(EndpointId(1), EndpointId(5));
+        let b = EdgeId::new(EndpointId(2), EndpointId(0));
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,33 @@
+//! # wdt-types — shared vocabulary for the `wdt` workspace
+//!
+//! Core identifiers, time/rate/byte units, the Globus-style transfer log
+//! record, transfer requests, and the deterministic seed-derivation
+//! discipline used by every stochastic component in the workspace.
+//!
+//! Everything downstream (the simulator, the workload generator, feature
+//! engineering, and the learned models) speaks in these types, so the crate
+//! is deliberately dependency-light: `serde` only.
+//!
+//! ## Conventions
+//!
+//! * Time is simulated seconds since the start of a run ([`SimTime`]).
+//! * Rates are bytes per second ([`Rate`]); display helpers convert to the
+//!   MB/s and Gb/s units the paper reports.
+//! * All randomness is derived from a single run seed via [`SeedSeq`],
+//!   making every experiment reproducible bit-for-bit.
+
+pub mod csvio;
+pub mod id;
+pub mod record;
+pub mod request;
+pub mod seed;
+pub mod time;
+pub mod units;
+
+pub use csvio::{records_from_csv, records_to_csv, CsvError, CSV_HEADER};
+pub use id::{EdgeId, EndpointId, EndpointType, TransferId};
+pub use record::TransferRecord;
+pub use request::TransferRequest;
+pub use seed::SeedSeq;
+pub use time::SimTime;
+pub use units::{Bytes, Rate};

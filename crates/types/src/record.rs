@@ -1,0 +1,162 @@
+//! The Globus-style transfer log record.
+//!
+//! This is the *only* information the paper's models are allowed to see for
+//! production transfers (§4): start/end times, byte/file/directory counts,
+//! the tunable parameters, endpoints, and the fault count. The simulator
+//! knows far more (hidden background load, per-resource bottlenecks) but
+//! deliberately withholds it from the record, reproducing the paper's
+//! partial-information setting.
+
+use crate::id::{EdgeId, EndpointId, TransferId};
+use crate::request::TransferRequest;
+use crate::time::SimTime;
+use crate::units::{Bytes, Rate};
+use serde::{Deserialize, Serialize};
+
+/// One completed transfer, as it appears in the transfer service log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Transfer id.
+    pub id: TransferId,
+    /// Source endpoint.
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Start time `Ts`.
+    pub start: SimTime,
+    /// End time `Te`.
+    pub end: SimTime,
+    /// Total bytes transferred `Nb`.
+    pub bytes: Bytes,
+    /// Number of files `Nf`.
+    pub files: u64,
+    /// Number of directories `Nd`.
+    pub dirs: u64,
+    /// Concurrency `C` requested by the user.
+    pub concurrency: u32,
+    /// Parallelism `P` requested by the user.
+    pub parallelism: u32,
+    /// Number of faults the transfer experienced `Nflt`. Known only after
+    /// the fact; the paper uses it for explanation, not prediction.
+    pub faults: u32,
+}
+
+impl TransferRecord {
+    /// The directed edge this transfer used.
+    pub fn edge(&self) -> EdgeId {
+        EdgeId::new(self.src, self.dst)
+    }
+
+    /// Wall-clock duration `Te - Ts` in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end.since(self.start)
+    }
+
+    /// Average transfer rate `R = Nb / (Te - Ts)`, the modeling target.
+    ///
+    /// Returns [`Rate::ZERO`] for zero-duration records (can only arise from
+    /// degenerate hand-built inputs; the simulator always charges a nonzero
+    /// startup cost).
+    pub fn rate(&self) -> Rate {
+        let d = self.duration();
+        if d > 0.0 {
+            Rate::new(self.bytes.as_f64() / d)
+        } else {
+            Rate::ZERO
+        }
+    }
+
+    /// Effective GridFTP instance count, `min(C, Nf)` (at least 1).
+    pub fn effective_concurrency(&self) -> u32 {
+        (self.files.min(self.concurrency as u64)).max(1) as u32
+    }
+
+    /// Total TCP streams, `min(C, Nf) * P`.
+    pub fn tcp_streams(&self) -> u32 {
+        self.effective_concurrency() * self.parallelism.max(1)
+    }
+
+    /// Mean file size.
+    pub fn avg_file_size(&self) -> Bytes {
+        Bytes::new(self.bytes.as_f64() / self.files.max(1) as f64)
+    }
+
+    /// Build the record for a finished transfer.
+    pub fn from_request(req: &TransferRequest, start: SimTime, end: SimTime, faults: u32) -> Self {
+        TransferRecord {
+            id: req.id,
+            src: req.src,
+            dst: req.dst,
+            start,
+            end,
+            bytes: req.bytes,
+            files: req.files,
+            dirs: req.dirs,
+            concurrency: req.concurrency,
+            parallelism: req.parallelism,
+            faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: f64, end: f64, gb: f64) -> TransferRecord {
+        TransferRecord {
+            id: TransferId(0),
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            start: SimTime::seconds(start),
+            end: SimTime::seconds(end),
+            bytes: Bytes::gb(gb),
+            files: 10,
+            dirs: 2,
+            concurrency: 4,
+            parallelism: 2,
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn rate_is_bytes_over_duration() {
+        let r = rec(0.0, 10.0, 1.0);
+        assert!((r.rate().as_mbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_rate_is_zero() {
+        let r = rec(5.0, 5.0, 1.0);
+        assert_eq!(r.rate(), Rate::ZERO);
+    }
+
+    #[test]
+    fn edge_and_streams() {
+        let r = rec(0.0, 1.0, 1.0);
+        assert_eq!(r.edge(), EdgeId::new(EndpointId(0), EndpointId(1)));
+        assert_eq!(r.effective_concurrency(), 4);
+        assert_eq!(r.tcp_streams(), 8);
+    }
+
+    #[test]
+    fn from_request_copies_dataset_fields() {
+        let req = TransferRequest {
+            id: TransferId(42),
+            src: EndpointId(3),
+            dst: EndpointId(4),
+            submit: SimTime::ZERO,
+            bytes: Bytes::mb(500.0),
+            files: 7,
+            dirs: 3,
+            concurrency: 2,
+            parallelism: 8,
+            checksum: false,
+        };
+        let r = TransferRecord::from_request(&req, SimTime::seconds(1.0), SimTime::seconds(6.0), 2);
+        assert_eq!(r.id, TransferId(42));
+        assert_eq!(r.files, 7);
+        assert_eq!(r.faults, 2);
+        assert!((r.rate().as_mbps() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Transfer requests: what a user submits to the transfer service.
+
+use crate::id::{EndpointId, TransferId};
+use crate::time::SimTime;
+use crate::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A transfer request, as submitted to the (simulated) Globus service.
+///
+/// Mirrors the request attributes the paper's §2 lists: source and
+/// destination, the dataset (bytes / files / directories), whether integrity
+/// checking is enabled, and the tunable GridFTP parameters concurrency `C`
+/// and parallelism `P` (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRequest {
+    /// Unique id assigned at submission.
+    pub id: TransferId,
+    /// Source endpoint.
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Submission time (the simulator starts it immediately; Globus has no
+    /// queueing of its own).
+    pub submit: SimTime,
+    /// Total bytes in the dataset (`Nb`).
+    pub bytes: Bytes,
+    /// Number of files (`Nf`).
+    pub files: u64,
+    /// Number of directories (`Nd`).
+    pub dirs: u64,
+    /// Concurrency `C`: number of GridFTP process pairs.
+    pub concurrency: u32,
+    /// Parallelism `P`: TCP streams per process pair.
+    pub parallelism: u32,
+    /// Whether end-to-end integrity checksumming is enabled (Globus default:
+    /// on). Costs CPU at both ends.
+    pub checksum: bool,
+}
+
+impl TransferRequest {
+    /// Effective number of GridFTP process pairs: a transfer with fewer
+    /// files than its configured concurrency can only drive `Nf` processes
+    /// (the paper's `min(C, F)` term in the `G` and `S` features).
+    pub fn effective_concurrency(&self) -> u32 {
+        (self.files.min(self.concurrency as u64)).max(1) as u32
+    }
+
+    /// Total TCP streams this transfer opens: `min(C, Nf) * P`.
+    pub fn tcp_streams(&self) -> u32 {
+        self.effective_concurrency() * self.parallelism.max(1)
+    }
+
+    /// Mean file size of the dataset.
+    pub fn avg_file_size(&self) -> Bytes {
+        Bytes::new(self.bytes.as_f64() / self.files.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(files: u64, c: u32, p: u32) -> TransferRequest {
+        TransferRequest {
+            id: TransferId(1),
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            submit: SimTime::ZERO,
+            bytes: Bytes::gb(10.0),
+            files,
+            dirs: 1,
+            concurrency: c,
+            parallelism: p,
+            checksum: true,
+        }
+    }
+
+    #[test]
+    fn effective_concurrency_caps_at_file_count() {
+        assert_eq!(req(2, 8, 4).effective_concurrency(), 2);
+        assert_eq!(req(100, 8, 4).effective_concurrency(), 8);
+    }
+
+    #[test]
+    fn effective_concurrency_is_at_least_one() {
+        assert_eq!(req(0, 0, 0).effective_concurrency(), 1);
+    }
+
+    #[test]
+    fn tcp_stream_count() {
+        // C=4, P=4 and C=16, P=1 both open 16 streams (paper §4.3.1 example).
+        assert_eq!(req(100, 4, 4).tcp_streams(), 16);
+        assert_eq!(req(100, 16, 1).tcp_streams(), 16);
+    }
+
+    #[test]
+    fn avg_file_size_handles_zero_files() {
+        let r = req(0, 1, 1);
+        assert_eq!(r.avg_file_size(), Bytes::gb(10.0));
+        let r = req(10, 1, 1);
+        assert_eq!(r.avg_file_size(), Bytes::gb(1.0));
+    }
+}

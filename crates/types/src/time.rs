@@ -1,0 +1,161 @@
+//! Simulated time.
+//!
+//! The simulator runs in continuous time measured in seconds since the start
+//! of the run. We use an `f64` newtype rather than a fixed-point tick count
+//! because rate allocation is a fluid model; the event queue handles exact
+//! ordering via total order on the raw value with explicit tie-breaking at
+//! the call sites that need it.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    pub fn seconds(s: f64) -> Self {
+        debug_assert!(s.is_finite(), "SimTime must be finite");
+        SimTime(s)
+    }
+
+    /// Construct from hours.
+    pub fn hours(h: f64) -> Self {
+        SimTime(h * 3600.0)
+    }
+
+    /// Construct from days.
+    pub fn days(d: f64) -> Self {
+        SimTime(d * 86_400.0)
+    }
+
+    /// Raw seconds value.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Duration from `earlier` to `self`, clamped at zero.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 { self } else { other }
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 { self } else { other }
+    }
+}
+
+impl Eq for SimTime {}
+
+// SimTime values are produced only by finite arithmetic (debug-asserted at
+// construction), so a total order is sound.
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.0)
+    }
+}
+
+/// Overlap duration of two half-open intervals `[s1, e1)` and `[s2, e2)`.
+///
+/// This is the paper's `O(i, k)` (used to scale competing-transfer load by
+/// the fraction of time the transfers coexist); it is symmetric and never
+/// negative.
+pub fn overlap(s1: SimTime, e1: SimTime, s2: SimTime, e2: SimTime) -> f64 {
+    (e1.min(e2).as_secs() - s1.max(s2).as_secs()).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::hours(1.0), SimTime::seconds(3600.0));
+        assert_eq!(SimTime::days(2.0), SimTime::seconds(172_800.0));
+    }
+
+    #[test]
+    fn since_clamps_at_zero() {
+        assert_eq!(SimTime(5.0).since(SimTime(10.0)), 0.0);
+        assert_eq!(SimTime(10.0).since(SimTime(4.0)), 6.0);
+    }
+
+    #[test]
+    fn ordering_total() {
+        let mut v = vec![SimTime(3.0), SimTime(1.0), SimTime(2.0)];
+        v.sort();
+        assert_eq!(v, vec![SimTime(1.0), SimTime(2.0), SimTime(3.0)]);
+    }
+
+    #[test]
+    fn overlap_basic_cases() {
+        let t = SimTime::seconds;
+        // Disjoint.
+        assert_eq!(overlap(t(0.0), t(1.0), t(2.0), t(3.0)), 0.0);
+        // Touching.
+        assert_eq!(overlap(t(0.0), t(2.0), t(2.0), t(3.0)), 0.0);
+        // Nested.
+        assert_eq!(overlap(t(0.0), t(10.0), t(2.0), t(5.0)), 3.0);
+        // Partial.
+        assert_eq!(overlap(t(0.0), t(4.0), t(2.0), t(8.0)), 2.0);
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let t = SimTime::seconds;
+        let cases = [
+            (0.0, 4.0, 2.0, 8.0),
+            (0.0, 1.0, 5.0, 9.0),
+            (3.0, 7.0, 3.0, 7.0),
+        ];
+        for (a, b, c, d) in cases {
+            assert_eq!(
+                overlap(t(a), t(b), t(c), t(d)),
+                overlap(t(c), t(d), t(a), t(b))
+            );
+        }
+    }
+}

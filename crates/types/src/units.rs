@@ -1,0 +1,301 @@
+//! Byte and rate units.
+//!
+//! The paper mixes units freely (MB/s for transfer rates, Gb/s for NIC line
+//! rates, TB/PB for volumes). Internally everything is bytes and
+//! bytes/second; these newtypes carry conversion and display helpers so
+//! experiment output can match the paper's tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Decimal kilobyte.
+pub const KB: f64 = 1e3;
+/// Decimal megabyte.
+pub const MB: f64 = 1e6;
+/// Decimal gigabyte.
+pub const GB: f64 = 1e9;
+/// Decimal terabyte.
+pub const TB: f64 = 1e12;
+/// Binary kibibyte.
+pub const KIB: f64 = 1024.0;
+/// Binary mebibyte.
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// Binary gibibyte.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// A data volume in bytes (fluid: fractional bytes are fine mid-simulation).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct Bytes(pub f64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0.0);
+
+    /// From raw bytes.
+    pub fn new(b: f64) -> Self {
+        debug_assert!(b.is_finite() && b >= 0.0, "Bytes must be finite and non-negative");
+        Bytes(b)
+    }
+
+    /// From decimal megabytes.
+    pub fn mb(v: f64) -> Self {
+        Bytes::new(v * MB)
+    }
+
+    /// From decimal gigabytes.
+    pub fn gb(v: f64) -> Self {
+        Bytes::new(v * GB)
+    }
+
+    /// From decimal terabytes.
+    pub fn tb(v: f64) -> Self {
+        Bytes::new(v * TB)
+    }
+
+    /// Raw byte count.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// In decimal megabytes.
+    pub fn as_mb(self) -> f64 {
+        self.0 / MB
+    }
+
+    /// In decimal gigabytes.
+    pub fn as_gb(self) -> f64 {
+        self.0 / GB
+    }
+
+    /// Time to move this many bytes at `rate`, `None` if the rate is zero.
+    pub fn time_at(self, rate: Rate) -> Option<f64> {
+        if rate.0 > 0.0 {
+            Some(self.0 / rate.0)
+        } else {
+            None
+        }
+    }
+}
+
+/// A throughput in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct Rate(pub f64);
+
+impl Rate {
+    /// Zero throughput.
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// From raw bytes/second.
+    pub fn new(r: f64) -> Self {
+        debug_assert!(r.is_finite() && r >= 0.0, "Rate must be finite and non-negative");
+        Rate(r)
+    }
+
+    /// From decimal megabytes/second (the paper's usual transfer-rate unit).
+    pub fn mbps(v: f64) -> Self {
+        Rate::new(v * MB)
+    }
+
+    /// From decimal giga*bits*/second (the paper's NIC line-rate unit).
+    pub fn gbit(v: f64) -> Self {
+        Rate::new(v * GB / 8.0)
+    }
+
+    /// Raw bytes/second.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// In decimal megabytes/second.
+    pub fn as_mbps(self) -> f64 {
+        self.0 / MB
+    }
+
+    /// In decimal gigabits/second.
+    pub fn as_gbit(self) -> f64 {
+        self.0 * 8.0 / GB
+    }
+
+    /// The smaller of two rates (bottleneck composition).
+    pub fn min(self, other: Rate) -> Rate {
+        if self.0 <= other.0 { self } else { other }
+    }
+
+    /// The larger of two rates.
+    pub fn max(self, other: Rate) -> Rate {
+        if self.0 >= other.0 { self } else { other }
+    }
+
+    /// True if this rate is effectively zero (below one byte per second).
+    pub fn is_negligible(self) -> bool {
+        self.0 < 1.0
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 = (self.0 - rhs.0).max(0.0);
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Rate {
+    fn add_assign(&mut self, rhs: Rate) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    fn sub(self, rhs: Rate) -> Rate {
+        Rate((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        Rate(iter.map(|r| r.0).sum())
+    }
+}
+
+impl Mul<f64> for Rate {
+    type Output = Rate;
+    fn mul(self, rhs: f64) -> Rate {
+        Rate(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Rate {
+    type Output = Rate;
+    fn div(self, rhs: f64) -> Rate {
+        Rate(self.0 / rhs)
+    }
+}
+
+impl Mul<f64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: f64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+/// `rate * seconds = bytes`
+impl Mul<Rate> for f64 {
+    type Output = Bytes;
+    fn mul(self, rhs: Rate) -> Bytes {
+        Bytes(self * rhs.0)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= TB {
+            write!(f, "{:.2} TB", b / TB)
+        } else if b >= GB {
+            write!(f, "{:.2} GB", b / GB)
+        } else if b >= MB {
+            write!(f, "{:.2} MB", b / MB)
+        } else if b >= KB {
+            write!(f, "{:.2} KB", b / KB)
+        } else {
+            write!(f, "{:.0} B", b)
+        }
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.0;
+        if r >= GB {
+            write!(f, "{:.2} GB/s", r / GB)
+        } else if r >= MB {
+            write!(f, "{:.2} MB/s", r / MB)
+        } else if r >= KB {
+            write!(f, "{:.2} KB/s", r / KB)
+        } else {
+            write!(f, "{:.2} B/s", r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbit_conversion_round_trips() {
+        let r = Rate::gbit(10.0);
+        assert!((r.as_gbit() - 10.0).abs() < 1e-12);
+        // 10 Gb/s = 1.25 GB/s = 1250 MB/s
+        assert!((r.as_mbps() - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_time_at_rate() {
+        let b = Bytes::gb(1.0);
+        assert_eq!(b.time_at(Rate::mbps(100.0)), Some(10.0));
+        assert_eq!(b.time_at(Rate::ZERO), None);
+    }
+
+    #[test]
+    fn saturating_subtraction() {
+        assert_eq!(Bytes(5.0) - Bytes(9.0), Bytes(0.0));
+        assert_eq!(Rate(5.0) - Rate(9.0), Rate(0.0));
+    }
+
+    #[test]
+    fn rate_seconds_product_is_bytes() {
+        let moved = 10.0 * Rate::mbps(50.0);
+        assert_eq!(moved, Bytes::mb(500.0));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Bytes::gb(2.5).to_string(), "2.50 GB");
+        assert_eq!(Rate::mbps(11.5).to_string(), "11.50 MB/s");
+        assert_eq!(Bytes(12.0).to_string(), "12 B");
+    }
+
+    #[test]
+    fn sums() {
+        let total: Rate = [Rate(1.0), Rate(2.0), Rate(3.5)].into_iter().sum();
+        assert_eq!(total, Rate(6.5));
+        let total: Bytes = [Bytes(1.0), Bytes(2.0)].into_iter().sum();
+        assert_eq!(total, Bytes(3.0));
+    }
+}

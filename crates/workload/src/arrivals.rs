@@ -1,0 +1,169 @@
+//! Session-based arrival processes.
+//!
+//! Real transfer activity is bursty: a user (or a workflow engine) submits
+//! a *session* of several transfers close together, sessions arrive with a
+//! diurnal rhythm. Burstiness matters here because it is what creates
+//! overlapping transfers — the competing load whose features the paper's
+//! models learn from. A plain Poisson process at the same mean rate would
+//! produce far fewer overlaps.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal};
+use wdt_types::SimTime;
+
+/// Generator of session-clustered arrival times over a horizon.
+#[derive(Debug, Clone)]
+pub struct SessionArrivals {
+    /// Mean sessions per day (before diurnal modulation).
+    pub sessions_per_day: f64,
+    /// Mean transfers per session.
+    pub mean_session_len: f64,
+    /// Mean gap between transfers inside a session, seconds.
+    pub intra_session_gap_s: f64,
+    /// Diurnal modulation depth in [0, 1): 0 = flat, 0.6 = strong
+    /// day/night swing.
+    pub diurnal_depth: f64,
+}
+
+impl Default for SessionArrivals {
+    fn default() -> Self {
+        SessionArrivals {
+            sessions_per_day: 8.0,
+            mean_session_len: 4.0,
+            intra_session_gap_s: 180.0,
+            diurnal_depth: 0.5,
+        }
+    }
+}
+
+impl SessionArrivals {
+    /// Sinusoidal diurnal intensity multiplier at time `t` (period 24 h,
+    /// peak mid-day).
+    fn diurnal(&self, t: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (t / 86_400.0);
+        1.0 - self.diurnal_depth * phase.cos()
+    }
+
+    /// Generate arrival times over `[0, horizon]`, sorted ascending.
+    ///
+    /// Session starts follow an inhomogeneous Poisson process (thinning);
+    /// each session emits a geometric-ish number of transfers with
+    /// log-normal intra-session gaps.
+    pub fn generate<R: Rng>(&self, horizon: SimTime, rng: &mut R) -> Vec<SimTime> {
+        let lambda_max = self.sessions_per_day * (1.0 + self.diurnal_depth) / 86_400.0;
+        if lambda_max <= 0.0 {
+            return Vec::new();
+        }
+        let exp = Exp::new(lambda_max).expect("positive rate");
+        let gap =
+            LogNormal::new(self.intra_session_gap_s.ln(), 0.8).expect("valid lognormal");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += exp.sample(rng);
+            if t > horizon.as_secs() {
+                break;
+            }
+            // Thinning for the diurnal rhythm.
+            let lambda_t = self.sessions_per_day * self.diurnal(t) / 86_400.0;
+            if rng.gen_range(0.0..1.0) >= lambda_t / lambda_max {
+                continue;
+            }
+            // Session length ≥ 1, geometric with the requested mean.
+            let p = 1.0 / self.mean_session_len.max(1.0);
+            let mut len = 1usize;
+            while rng.gen_range(0.0..1.0) > p && len < 64 {
+                len += 1;
+            }
+            let mut s = t;
+            for _ in 0..len {
+                if s <= horizon.as_secs() {
+                    out.push(SimTime::seconds(s));
+                }
+                s += gap.sample(rng);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_sorted_and_within_horizon() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let horizon = SimTime::days(10.0);
+        let a = SessionArrivals::default().generate(horizon, &mut rng);
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(a.iter().all(|t| *t <= horizon));
+    }
+
+    #[test]
+    fn mean_rate_roughly_matches_spec() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = SessionArrivals {
+            sessions_per_day: 10.0,
+            mean_session_len: 3.0,
+            ..Default::default()
+        };
+        let days = 60.0;
+        let a = spec.generate(SimTime::days(days), &mut rng);
+        let per_day = a.len() as f64 / days;
+        // ~30 transfers/day expected.
+        assert!((15.0..50.0).contains(&per_day), "got {per_day}/day");
+    }
+
+    #[test]
+    fn burstiness_creates_short_gaps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = SessionArrivals::default().generate(SimTime::days(30.0), &mut rng);
+        let short_gaps = a
+            .windows(2)
+            .filter(|w| w[1].as_secs() - w[0].as_secs() < 600.0)
+            .count();
+        // Sessions guarantee many sub-10-minute gaps.
+        assert!(
+            short_gaps as f64 / a.len() as f64 > 0.2,
+            "only {short_gaps} short gaps in {}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn zero_rate_produces_nothing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = SessionArrivals { sessions_per_day: 0.0, ..Default::default() };
+        assert!(spec.generate(SimTime::days(5.0), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn diurnal_modulation_shapes_arrivals() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = SessionArrivals {
+            sessions_per_day: 200.0,
+            mean_session_len: 1.0,
+            diurnal_depth: 0.9,
+            ..Default::default()
+        };
+        let a = spec.generate(SimTime::days(20.0), &mut rng);
+        // Split each day into night (cos>0) and day (cos<0) halves.
+        let (mut day, mut night) = (0usize, 0usize);
+        for t in &a {
+            let phase = (t.as_secs() % 86_400.0) / 86_400.0;
+            if (0.25..0.75).contains(&phase) {
+                day += 1;
+            } else {
+                night += 1;
+            }
+        }
+        assert!(day > night * 2, "day {day} vs night {night}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Dataset sampling: what a transfer moves.
+//!
+//! The paper's Figure 6 shows transfer sizes from one byte to near a
+//! petabyte and rates across seven orders of magnitude. We sample total
+//! size from a wide log-normal, an average file size from a second
+//! log-normal (bounded by the total), and a directory branching factor —
+//! giving the heavy-tailed joint distribution of (`Nb`, `Nf`, `Nd`) the
+//! feature analysis needs.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use wdt_types::Bytes;
+
+/// A sampled dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dataset {
+    /// Total bytes.
+    pub bytes: Bytes,
+    /// File count.
+    pub files: u64,
+    /// Directory count.
+    pub dirs: u64,
+}
+
+/// Sampler for transfer datasets.
+#[derive(Debug, Clone)]
+pub struct DatasetSampler {
+    /// ln-space mean of the total-size distribution (bytes).
+    total: LogNormal<f64>,
+    /// ln-space mean of the average-file-size distribution (bytes).
+    file: LogNormal<f64>,
+    /// ln-space distribution of files-per-directory.
+    per_dir: LogNormal<f64>,
+    /// Hard cap on total size, so one pathological draw cannot dominate a
+    /// simulation (the full Globus log's ~1 PB outliers are out of scope
+    /// for a single run's wall-clock).
+    max_bytes: f64,
+}
+
+impl DatasetSampler {
+    /// Production-like distribution: median transfer ≈ 2 GB with a long
+    /// tail, median file ≈ 30 MB.
+    pub fn production() -> Self {
+        DatasetSampler {
+            total: LogNormal::new((2.0e9f64).ln(), 2.6).expect("valid"),
+            file: LogNormal::new((30.0e6f64).ln(), 2.2).expect("valid"),
+            per_dir: LogNormal::new(30.0f64.ln(), 1.2).expect("valid"),
+            max_bytes: 4.0e12, // 4 TB
+        }
+    }
+
+    /// Bulk-science distribution for heavy edges: bigger datasets.
+    pub fn heavy_edge() -> Self {
+        DatasetSampler {
+            total: LogNormal::new((20.0e9f64).ln(), 1.5).expect("valid"),
+            file: LogNormal::new((100.0e6f64).ln(), 2.0).expect("valid"),
+            per_dir: LogNormal::new(50.0f64.ln(), 1.0).expect("valid"),
+            max_bytes: 1.0e13, // 10 TB
+        }
+    }
+
+    /// Draw one dataset.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Dataset {
+        let bytes = self.total.sample(rng).clamp(1.0, self.max_bytes);
+        let avg_file = self.file.sample(rng).clamp(1.0, bytes);
+        let files = (bytes / avg_file).round().clamp(1.0, 2.0e6) as u64;
+        let fpd = self.per_dir.sample(rng).max(1.0);
+        let dirs = ((files as f64 / fpd).ceil() as u64).max(1);
+        Dataset { bytes: Bytes::new(bytes), files, dirs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draws(n: usize, sampler: &DatasetSampler) -> Vec<Dataset> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| sampler.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn invariants_hold() {
+        for d in draws(5000, &DatasetSampler::production()) {
+            assert!(d.bytes.as_f64() >= 1.0);
+            assert!(d.files >= 1);
+            assert!(d.dirs >= 1);
+            assert!(d.dirs <= d.files, "dirs {} > files {}", d.dirs, d.files);
+            assert!(d.bytes.as_f64() <= 4.0e12);
+        }
+    }
+
+    #[test]
+    fn production_median_near_target() {
+        let mut sizes: Vec<f64> =
+            draws(4000, &DatasetSampler::production()).iter().map(|d| d.bytes.as_f64()).collect();
+        sizes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = sizes[sizes.len() / 2];
+        assert!((0.5e9..8.0e9).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn distribution_spans_many_orders_of_magnitude() {
+        let sizes: Vec<f64> =
+            draws(5000, &DatasetSampler::production()).iter().map(|d| d.bytes.as_f64()).collect();
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1e6, "span {:.1e}..{:.1e}", min, max);
+    }
+
+    #[test]
+    fn heavy_edges_are_bigger_on_average() {
+        let p: f64 = draws(3000, &DatasetSampler::production())
+            .iter()
+            .map(|d| d.bytes.as_f64().ln())
+            .sum::<f64>()
+            / 3000.0;
+        let h: f64 = draws(3000, &DatasetSampler::heavy_edge())
+            .iter()
+            .map(|d| d.bytes.as_f64().ln())
+            .sum::<f64>()
+            / 3000.0;
+        assert!(h > p, "heavy {h} vs production {p} (ln-mean)");
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let s = DatasetSampler::production();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Endpoint fleet generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdt_geo::{SiteCatalog, SITES};
+use wdt_sim::{Endpoint, EndpointCatalog};
+use wdt_storage::StorageSystem;
+use wdt_types::{EndpointId, Rate, SeedSeq};
+
+/// How to build the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of distinct sites to use (taken from the front of the geo
+    /// catalog, so the paper's named facilities are always included).
+    pub sites: usize,
+    /// Facility (GCS) endpoints beyond one per site, spread over sites —
+    /// big facilities run several endpoints (e.g. NERSC-DTN and
+    /// NERSC-Edison in the paper).
+    pub extra_servers: usize,
+    /// Personal (GCP) endpoints, attached to random sites.
+    pub personal: usize,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec { sites: 40, extra_servers: 15, personal: 30 }
+    }
+}
+
+impl FleetSpec {
+    /// Build the endpoint catalog. Hardware is heterogeneous but seeded:
+    /// the first ten sites (the paper's named facilities) get beefy DTNs,
+    /// the tail gets smaller ones.
+    pub fn build(&self, seed: &SeedSeq) -> EndpointCatalog {
+        assert!(self.sites >= 2 && self.sites <= SITES.len(), "sites out of range");
+        let mut rng = StdRng::seed_from_u64(seed.derive("fleet"));
+        let mut cat = EndpointCatalog::new();
+        let mut next_id = 0u32;
+        let mut push_server = |cat: &mut EndpointCatalog, site_idx: usize, rng: &mut StdRng, suffix: &str| {
+            let site = SiteCatalog::get(site_idx);
+            let major = site_idx < 10;
+            let dtns = if major { rng.gen_range(2..=6) } else { rng.gen_range(1..=2) };
+            let nic = if major {
+                *[Rate::gbit(10.0), Rate::gbit(10.0), Rate::gbit(40.0)]
+                    .get(rng.gen_range(0..3))
+                    .expect("index in range")
+            } else {
+                *[Rate::gbit(1.0), Rate::gbit(10.0)].get(rng.gen_range(0..2)).expect("in range")
+            };
+            let read = nic * rng.gen_range(0.9..1.6);
+            let write = read * rng.gen_range(0.55..0.9);
+            let ep = Endpoint::server(
+                EndpointId(next_id),
+                format!("{}#{}", site.name.to_lowercase(), suffix),
+                site.name,
+                site.location,
+                dtns,
+                nic,
+                StorageSystem::facility(read, write),
+            );
+            cat.push(ep);
+            next_id += 1;
+        };
+
+        for site_idx in 0..self.sites {
+            push_server(&mut cat, site_idx, &mut rng, "dtn");
+        }
+        for k in 0..self.extra_servers {
+            // Extra endpoints concentrate at major sites.
+            let site_idx = rng.gen_range(0..self.sites.min(12));
+            push_server(&mut cat, site_idx, &mut rng, &format!("dtn{}", k + 2));
+        }
+        for k in 0..self.personal {
+            let site_idx = rng.gen_range(0..self.sites);
+            let site = SiteCatalog::get(site_idx);
+            cat.push(Endpoint::personal(
+                EndpointId(next_id),
+                format!("{}#laptop{k}", site.name.to_lowercase()),
+                site.name,
+                site.location,
+            ));
+            next_id += 1;
+        }
+        cat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdt_types::EndpointType;
+
+    #[test]
+    fn fleet_has_requested_composition() {
+        let spec = FleetSpec { sites: 20, extra_servers: 5, personal: 10 };
+        let cat = spec.build(&SeedSeq::new(1));
+        assert_eq!(cat.len(), 35);
+        let servers = cat.iter().filter(|e| e.kind == EndpointType::Server).count();
+        let personal = cat.iter().filter(|e| e.kind == EndpointType::Personal).count();
+        assert_eq!(servers, 25);
+        assert_eq!(personal, 10);
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let spec = FleetSpec::default();
+        let a = spec.build(&SeedSeq::new(7));
+        let b = spec.build(&SeedSeq::new(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.nic, y.nic);
+            assert_eq!(x.dtns, y.dtns);
+        }
+    }
+
+    #[test]
+    fn major_sites_come_first_and_are_beefier() {
+        let cat = FleetSpec::default().build(&SeedSeq::new(3));
+        // First endpoint sits at the first catalog site (ANL).
+        assert_eq!(cat.get(EndpointId(0)).site, "ANL");
+        let major_nic = cat.get(EndpointId(0)).nic_out().as_gbit();
+        assert!(major_nic >= 10.0, "major site NIC {major_nic}");
+    }
+
+    #[test]
+    fn extra_servers_share_sites_with_primaries() {
+        let spec = FleetSpec { sites: 12, extra_servers: 8, personal: 0 };
+        let cat = spec.build(&SeedSeq::new(5));
+        // Every extra server's site already hosts the primary endpoint.
+        let primary_sites: Vec<&str> =
+            (0..12).map(|i| cat.get(EndpointId(i)).site.as_str()).collect();
+        for i in 12..20 {
+            assert!(primary_sites.contains(&cat.get(EndpointId(i)).site.as_str()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sites out of range")]
+    fn too_many_sites_panics() {
+        FleetSpec { sites: 10_000, extra_servers: 0, personal: 0 }.build(&SeedSeq::new(1));
+    }
+}

@@ -1,0 +1,293 @@
+//! Putting it together: fleet + edges + datasets + arrivals → a workload.
+
+use crate::arrivals::SessionArrivals;
+use crate::datasets::DatasetSampler;
+use crate::fleet::FleetSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdt_sim::EndpointCatalog;
+use wdt_types::{EdgeId, EndpointId, EndpointType, SeedSeq, SimTime, TransferId, TransferRequest};
+
+/// Specification of a complete synthetic workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Fleet composition.
+    pub fleet: FleetSpec,
+    /// Number of heavy (hub-to-hub) edges — the paper models 30.
+    pub heavy_edges: usize,
+    /// Mean sessions/day on each heavy edge.
+    pub heavy_sessions_per_day: f64,
+    /// Mean transfers per session on heavy edges.
+    pub heavy_session_len: f64,
+    /// Number of sparse edges (most see a single transfer ever).
+    pub sparse_edges: usize,
+    /// Simulated duration in days.
+    pub days: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            fleet: FleetSpec::default(),
+            heavy_edges: 30,
+            heavy_sessions_per_day: 10.0,
+            heavy_session_len: 4.0,
+            sparse_edges: 400,
+            days: 30.0,
+        }
+    }
+}
+
+/// A generated workload: the endpoint fleet plus every transfer request,
+/// sorted by submit time with dense ids.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The endpoint fleet.
+    pub endpoints: EndpointCatalog,
+    /// All requests, sorted by submit time.
+    pub requests: Vec<TransferRequest>,
+    /// The heavy edges, in generation order.
+    pub heavy_edges: Vec<EdgeId>,
+}
+
+/// A user's habitual tunable parameters on one edge. Users rarely change
+/// `C`/`P` (which is why the paper's per-edge models drop them as
+/// low-variance features).
+fn habitual_params<R: Rng>(rng: &mut R) -> (u32, u32) {
+    let c = *pick_weighted(rng, &[(1u32, 20), (2, 30), (4, 25), (8, 15), (16, 10)]);
+    let p = *pick_weighted(rng, &[(1u32, 25), (2, 25), (4, 30), (8, 20)]);
+    (c, p)
+}
+
+fn pick_weighted<'a, R: Rng, T>(rng: &mut R, items: &'a [(T, u32)]) -> &'a T {
+    let total: u32 = items.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0..total);
+    for (item, w) in items {
+        if x < *w {
+            return item;
+        }
+        x -= w;
+    }
+    &items[items.len() - 1].0
+}
+
+impl WorkloadSpec {
+    /// Generate the workload.
+    pub fn generate(&self, seed: &SeedSeq) -> Workload {
+        let endpoints = self.fleet.build(seed);
+        let mut rng = StdRng::seed_from_u64(seed.derive("workload"));
+        let horizon = SimTime::days(self.days);
+
+        // Hub endpoints: servers at the first 12 catalog sites (the paper's
+        // heavily used facilities).
+        let hub_sites: Vec<&str> = (0..12).map(|i| wdt_geo::SiteCatalog::get(i).name).collect();
+        let hubs: Vec<EndpointId> = endpoints
+            .iter()
+            .filter(|e| e.kind == EndpointType::Server && hub_sites.contains(&e.site.as_str()))
+            .map(|e| e.id)
+            .collect();
+        assert!(hubs.len() >= 2, "need at least two hub endpoints");
+
+        // Distinct ordered hub pairs for heavy edges.
+        let mut heavy_edges = Vec::new();
+        let mut guard = 0;
+        while heavy_edges.len() < self.heavy_edges {
+            guard += 1;
+            assert!(guard < 100_000, "cannot find enough distinct hub pairs");
+            let src = hubs[rng.gen_range(0..hubs.len())];
+            let dst = hubs[rng.gen_range(0..hubs.len())];
+            if src == dst {
+                continue;
+            }
+            let e = EdgeId::new(src, dst);
+            if !heavy_edges.contains(&e) {
+                heavy_edges.push(e);
+            }
+        }
+
+        let mut raw: Vec<TransferRequest> = Vec::new();
+        let placeholder = TransferId(0);
+
+        // Heavy-edge traffic.
+        let heavy_data = DatasetSampler::heavy_edge();
+        for edge in &heavy_edges {
+            let (c, p) = habitual_params(&mut rng);
+            let arrivals = SessionArrivals {
+                sessions_per_day: self.heavy_sessions_per_day * rng.gen_range(0.5..1.6),
+                mean_session_len: self.heavy_session_len,
+                ..Default::default()
+            };
+            for t in arrivals.generate(horizon, &mut rng) {
+                let d = heavy_data.sample(&mut rng);
+                // Heavy-edge users run the same tool configuration every
+                // time, so C and P are constant within an edge — which is
+                // exactly why the paper's per-edge models eliminate them
+                // as zero-variance features (§5.1).
+                raw.push(TransferRequest {
+                    id: placeholder,
+                    src: edge.src,
+                    dst: edge.dst,
+                    submit: t,
+                    bytes: d.bytes,
+                    files: d.files,
+                    dirs: d.dirs,
+                    concurrency: c,
+                    parallelism: p,
+                    checksum: true,
+                });
+            }
+        }
+
+        // Sparse long-tail edges: mostly one transfer each, occasionally a
+        // few (Zipf-ish count), never GCP→GCP (unsupported pre-2016, §5.1).
+        let sparse_data = DatasetSampler::production();
+        let n_eps = endpoints.len();
+        for _ in 0..self.sparse_edges {
+            let (src, dst) = loop {
+                let a = EndpointId(rng.gen_range(0..n_eps) as u32);
+                let b = EndpointId(rng.gen_range(0..n_eps) as u32);
+                if a == b {
+                    continue;
+                }
+                let both_personal = endpoints.get(a).kind == EndpointType::Personal
+                    && endpoints.get(b).kind == EndpointType::Personal;
+                if !both_personal {
+                    break (a, b);
+                }
+            };
+            // 75% single-transfer, then a decaying tail.
+            let count = match rng.gen_range(0.0..1.0) {
+                x if x < 0.75 => 1,
+                x if x < 0.90 => rng.gen_range(2..5),
+                x if x < 0.97 => rng.gen_range(5..30),
+                x if x < 0.995 => rng.gen_range(30..200),
+                _ => rng.gen_range(200..900),
+            };
+            let (c, p) = habitual_params(&mut rng);
+            // Personal endpoints cannot absorb bulk-science volumes: cap at
+            // 50 GB (nobody ships 20 TB to a laptop, and the simulation
+            // would otherwise crawl through month-long flows).
+            let personal_involved = endpoints.get(src).kind == EndpointType::Personal
+                || endpoints.get(dst).kind == EndpointType::Personal;
+            for _ in 0..count {
+                let mut d = sparse_data.sample(&mut rng);
+                if personal_involved && d.bytes.as_f64() > 5.0e10 {
+                    let ratio = 5.0e10 / d.bytes.as_f64();
+                    d.bytes = wdt_types::Bytes::new(5.0e10);
+                    d.files = ((d.files as f64 * ratio).round() as u64).max(1);
+                    d.dirs = d.dirs.min(d.files);
+                }
+                raw.push(TransferRequest {
+                    id: placeholder,
+                    src,
+                    dst,
+                    submit: SimTime::seconds(rng.gen_range(0.0..horizon.as_secs())),
+                    bytes: d.bytes,
+                    files: d.files,
+                    dirs: d.dirs,
+                    concurrency: c,
+                    parallelism: p,
+                    checksum: true,
+                });
+            }
+        }
+
+        // Dense ids in submit order.
+        raw.sort_by_key(|a| a.submit);
+        for (i, r) in raw.iter_mut().enumerate() {
+            r.id = TransferId(i as u64);
+        }
+        Workload { endpoints, requests: raw, heavy_edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            fleet: FleetSpec { sites: 20, extra_servers: 6, personal: 10 },
+            heavy_edges: 8,
+            heavy_sessions_per_day: 6.0,
+            heavy_session_len: 3.0,
+            sparse_edges: 100,
+            days: 10.0,
+        }
+    }
+
+    #[test]
+    fn workload_is_sorted_with_dense_ids() {
+        let w = small_spec().generate(&SeedSeq::new(1));
+        for (i, r) in w.requests.iter().enumerate() {
+            assert_eq!(r.id, TransferId(i as u64));
+        }
+        for pair in w.requests.windows(2) {
+            assert!(pair[0].submit <= pair[1].submit);
+        }
+    }
+
+    #[test]
+    fn heavy_edges_carry_most_traffic() {
+        let w = small_spec().generate(&SeedSeq::new(2));
+        let mut per_edge: HashMap<EdgeId, usize> = HashMap::new();
+        for r in &w.requests {
+            *per_edge.entry(EdgeId::new(r.src, r.dst)).or_default() += 1;
+        }
+        for e in &w.heavy_edges {
+            let n = per_edge.get(e).copied().unwrap_or(0);
+            assert!(n > 50, "heavy edge {e} has only {n} transfers");
+        }
+        // Long tail: many edges with very few transfers.
+        let singles = per_edge.values().filter(|&&n| n <= 2).count();
+        assert!(singles > 30, "only {singles} near-single-transfer edges");
+    }
+
+    #[test]
+    fn no_gcp_to_gcp_edges() {
+        let w = small_spec().generate(&SeedSeq::new(3));
+        for r in &w.requests {
+            let both = w.endpoints.get(r.src).kind == EndpointType::Personal
+                && w.endpoints.get(r.dst).kind == EndpointType::Personal;
+            assert!(!both, "found GCP→GCP transfer");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small_spec().generate(&SeedSeq::new(7));
+        let b = small_spec().generate(&SeedSeq::new(7));
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.heavy_edges, b.heavy_edges);
+    }
+
+    #[test]
+    fn habitual_params_dominate_on_heavy_edges() {
+        let w = small_spec().generate(&SeedSeq::new(4));
+        for e in &w.heavy_edges {
+            let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+            let mut total = 0usize;
+            for r in &w.requests {
+                if EdgeId::new(r.src, r.dst) == *e {
+                    *counts.entry((r.concurrency, r.parallelism)).or_default() += 1;
+                    total += 1;
+                }
+            }
+            let top = counts.values().max().copied().unwrap_or(0);
+            assert!(
+                top as f64 / total as f64 > 0.6,
+                "edge {e}: habitual params only {top}/{total}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_edge_endpoints_are_hubs() {
+        let w = small_spec().generate(&SeedSeq::new(5));
+        for e in &w.heavy_edges {
+            assert_eq!(w.endpoints.get(e.src).kind, EndpointType::Server);
+            assert_eq!(w.endpoints.get(e.dst).kind, EndpointType::Server);
+        }
+    }
+}

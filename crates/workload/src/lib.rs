@@ -1,0 +1,28 @@
+//! # wdt-workload — synthetic Globus-like workload generation
+//!
+//! Replaces the proprietary Globus production trace with a synthetic
+//! workload whose *statistics* match what the paper reports:
+//!
+//! * a fleet of endpoints at real research sites, mixing facility-class
+//!   Globus Connect Server deployments and personal (GCP) machines, with
+//!   heterogeneous NICs/storage (§2, Figure 2, Table 4);
+//! * a heavy-tailed edge-popularity distribution — most edges see a single
+//!   transfer ever, a few dozen "heavy" edges between hub facilities carry
+//!   hundreds to thousands (§3.2's census: 36,599 single-transfer edges vs
+//!   182 edges with ≥1000);
+//! * transfer datasets spanning ~ten orders of magnitude in size with
+//!   heavy-tailed file counts (Figure 6);
+//! * per-edge habitual tunable parameters (C, P barely vary within an edge,
+//!   which is why the paper's models eliminate them as low-variance);
+//! * bursty session arrivals with a diurnal rhythm, so competing load is a
+//!   real, time-correlated phenomenon.
+
+pub mod arrivals;
+pub mod datasets;
+pub mod fleet;
+pub mod generator;
+
+pub use arrivals::SessionArrivals;
+pub use datasets::DatasetSampler;
+pub use fleet::FleetSpec;
+pub use generator::{Workload, WorkloadSpec};

@@ -1,0 +1,89 @@
+//! Concurrency capacity planning (paper Figure 4 + conclusions).
+//!
+//! The paper's closing implication: "aggregate performance can be improved
+//! by scheduling transfers and/or reducing concurrency and parallelism."
+//! We simulate one busy destination endpoint under increasing offered
+//! concurrency, fit the Weibull throughput curve, and recommend the
+//! concurrency cap that maximizes aggregate ingest.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use wdt::features::{bucket_by_concurrency, concurrency_profile};
+use wdt::ml::WeibullCurve;
+use wdt::prelude::*;
+
+fn world() -> EndpointCatalog {
+    let mut cat = EndpointCatalog::new();
+    for (i, site) in ["NERSC", "ANL", "ORNL", "TACC", "SDSC"].iter().enumerate() {
+        let loc = SiteCatalog::by_name(site).expect("site").location;
+        cat.push(Endpoint::server(
+            EndpointId(i as u32),
+            format!("{}#dtn", site.to_lowercase()),
+            *site,
+            loc,
+            1,
+            Rate::gbit(10.0),
+            StorageSystem::facility(Rate::gbit(8.0), Rate::gbit(6.0)),
+        ));
+    }
+    cat
+}
+
+fn main() {
+    // Many sources hammer endpoint 0 with varying per-transfer concurrency,
+    // producing a wide range of instantaneous GridFTP instance counts.
+    let seed = SeedSeq::new(4);
+    let cfg = SimConfig { max_active_per_endpoint: 64, ..SimConfig::default() };
+    let mut sim = Simulator::new(world(), cfg, &seed);
+    let mut id = 0u64;
+    for wave in 0..240u64 {
+        let n_parallel = 1 + (wave % 12); // offered load ramps up and down
+        for k in 0..n_parallel {
+            sim.submit(TransferRequest {
+                id: TransferId(id),
+                src: EndpointId(1 + (id % 4) as u32),
+                dst: EndpointId(0),
+                submit: SimTime::seconds(wave as f64 * 900.0 + k as f64 * 5.0),
+                bytes: Bytes::gb(30.0),
+                files: 100,
+                dirs: 5,
+                concurrency: 2 + (id % 7) as u32,
+                parallelism: 4,
+                checksum: true,
+            });
+            id += 1;
+        }
+    }
+    let out = sim.run();
+    println!("simulated {} transfers into the hot endpoint", out.records.len());
+
+    // The Figure 4 sweep on the hot endpoint.
+    let samples = concurrency_profile(&out.records, EndpointId(0));
+    let buckets = bucket_by_concurrency(&samples);
+    let total_w: f64 = buckets.iter().map(|b| b.2).sum();
+    let pts: Vec<(f64, f64)> = buckets
+        .iter()
+        .filter(|b| b.2 > 0.002 * total_w)
+        .map(|b| (b.0, b.1))
+        .collect();
+
+    println!("\nconcurrency -> mean aggregate ingest (MB/s):");
+    let step = (pts.len() / 12).max(1);
+    for (c, r) in pts.iter().step_by(step) {
+        println!("  {:>4.0} instances: {:>7.1}", c, r / 1e6);
+    }
+
+    match WeibullCurve::fit(&pts) {
+        Some(w) if w.k > 1.0 => {
+            let best = w.peak_x();
+            println!("\nWeibull fit: k = {:.2}, λ = {:.1}", w.k, w.lambda);
+            println!(
+                "recommended endpoint concurrency cap: ≈ {:.0} GridFTP instances \
+                 (throughput peaks there, then declines — the paper's Figure 4 shape)",
+                best
+            );
+        }
+        Some(_) => println!("\nthroughput still rising at max observed concurrency — no cap needed yet"),
+        None => println!("\nnot enough concurrency variety to fit a curve"),
+    }
+}

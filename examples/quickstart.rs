@@ -1,0 +1,78 @@
+//! Quickstart: simulate a week of traffic between three facilities, learn a
+//! transfer-rate model from the log alone, and check how well it predicts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wdt::prelude::*;
+
+fn main() {
+    // 1. Build a small world: three facility endpoints.
+    let mut catalog = EndpointCatalog::new();
+    for (i, site) in ["ANL", "NERSC", "ORNL"].iter().enumerate() {
+        let loc = SiteCatalog::by_name(site).expect("site in catalog").location;
+        catalog.push(Endpoint::server(
+            EndpointId(i as u32),
+            format!("{}#dtn", site.to_lowercase()),
+            *site,
+            loc,
+            2,
+            Rate::gbit(10.0),
+            StorageSystem::facility(Rate::gbit(12.0), Rate::gbit(9.0)),
+        ));
+    }
+
+    // 2. Simulate a week of bursty traffic with hidden background load.
+    let seed = SeedSeq::new(42);
+    let mut sim = Simulator::new(catalog, SimConfig::default(), &seed);
+    sim.add_default_background(4, 0.4);
+    let mut id = 0u64;
+    for day in 0..7 {
+        for burst in 0..20 {
+            let t0 = day as f64 * 86_400.0 + burst as f64 * 4000.0;
+            for k in 0..3 {
+                sim.submit(TransferRequest {
+                    id: TransferId(id),
+                    src: EndpointId(0),
+                    dst: EndpointId(1 + (id % 2) as u32),
+                    submit: SimTime::seconds(t0 + k as f64 * 120.0),
+                    bytes: Bytes::gb(5.0 + (id % 17) as f64 * 4.0),
+                    files: 50 + (id % 900),
+                    dirs: 5,
+                    concurrency: 4,
+                    parallelism: 4,
+                    checksum: true,
+                });
+                id += 1;
+            }
+        }
+    }
+    let out = sim.run();
+    println!("simulated {} transfers", out.records.len());
+
+    // 3. Engineer the paper's features from the log alone.
+    let features = extract_features(&out.records);
+
+    // 4. Train a gradient-boosted rate model on one edge (70/30 split).
+    let edge = EdgeId::new(EndpointId(0), EndpointId(1));
+    let on_edge: Vec<TransferFeatures> =
+        features.iter().filter(|f| f.edge == edge).cloned().collect();
+    let data = wdt::model::build_dataset(&on_edge, false);
+    let (train, test) = data.split(0.7, 1);
+    let model = FittedModel::fit(&train, ModelKind::Gbdt, &FitConfig::default())
+        .expect("enough data to fit");
+    let eval = model.evaluate(&test);
+    println!(
+        "edge {edge}: {} train / {} test transfers, MdAPE {:.1}%",
+        train.len(),
+        eval.n,
+        eval.mdape
+    );
+
+    // 5. Ask the model what matters.
+    let mut sig = model.significance();
+    sig.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("top-5 features by importance:");
+    for (name, v) in sig.iter().take(5) {
+        println!("  {name:>6}: {v:.2}");
+    }
+}

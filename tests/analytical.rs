@@ -1,0 +1,84 @@
+//! Integration tests of the analytical bound (Eq. 1) on the simulated
+//! ESnet testbed — the paper's §3.
+
+use wdt::sim::instruments::{measure_edge_maxima, perfsonar_probe};
+use wdt::sim::{esnet_testbed, EsnetSite};
+use wdt_types::SeedSeq;
+
+#[test]
+fn equation_one_holds_on_every_testbed_edge() {
+    let testbed = esnet_testbed();
+    let seed = SeedSeq::new(1);
+    for from in EsnetSite::ALL {
+        for to in EsnetSite::ALL {
+            if from == to {
+                continue;
+            }
+            let m = measure_edge_maxima(
+                &testbed,
+                from.endpoint(),
+                to.endpoint(),
+                3,
+                &seed.subseq(&format!("{}{}", from.name(), to.name())),
+            );
+            assert!(
+                m.r_max.as_f64() <= m.bound().as_f64() * 1.08,
+                "{}->{}: Rmax {} exceeds bound {}",
+                from.name(),
+                to.name(),
+                m.r_max,
+                m.bound()
+            );
+            // Memory-to-memory can't be slower than touching disks too.
+            assert!(m.mm_max.as_f64() >= m.r_max.as_f64() * 0.95);
+        }
+    }
+}
+
+#[test]
+fn cern_edges_pay_for_distance() {
+    // Transatlantic RTT should make CERN's network ceiling visibly lower
+    // than the domestic ones.
+    let testbed = esnet_testbed();
+    let seed = SeedSeq::new(2);
+    let domestic = measure_edge_maxima(
+        &testbed,
+        EsnetSite::Anl.endpoint(),
+        EsnetSite::Bnl.endpoint(),
+        3,
+        &seed.subseq("d"),
+    );
+    let transatlantic = measure_edge_maxima(
+        &testbed,
+        EsnetSite::Cern.endpoint(),
+        EsnetSite::Bnl.endpoint(),
+        3,
+        &seed.subseq("t"),
+    );
+    assert!(
+        transatlantic.mm_max.as_f64() <= domestic.mm_max.as_f64(),
+        "CERN MM {} should not beat domestic MM {}",
+        transatlantic.mm_max,
+        domestic.mm_max
+    );
+}
+
+#[test]
+fn perfsonar_probe_agrees_with_full_campaign() {
+    let testbed = esnet_testbed();
+    let probe = perfsonar_probe(
+        &testbed,
+        EsnetSite::Anl.endpoint(),
+        EsnetSite::Lbl.endpoint(),
+        &SeedSeq::new(3),
+    );
+    let campaign = measure_edge_maxima(
+        &testbed,
+        EsnetSite::Anl.endpoint(),
+        EsnetSite::Lbl.endpoint(),
+        5,
+        &SeedSeq::new(3),
+    );
+    let ratio = probe.as_f64() / campaign.mm_max.as_f64();
+    assert!((0.75..=1.1).contains(&ratio), "probe/campaign ratio {ratio}");
+}

@@ -1,0 +1,91 @@
+//! Integration test of the §5.5.2 mechanism: features from a storage
+//! monitor that *sees* hidden load must reduce prediction error.
+
+use wdt::prelude::*;
+use wdt_model::compare_with_lmt;
+use wdt_sim::LmtMonitor;
+use wdt_storage::LustreFs;
+
+#[test]
+fn storage_monitor_features_reduce_error() {
+    let loc = SiteCatalog::by_name("NERSC").expect("site").location;
+    let mut cat = EndpointCatalog::new();
+    for (i, name) in ["a", "b"].iter().enumerate() {
+        cat.push(Endpoint::server(
+            EndpointId(i as u32),
+            *name,
+            "NERSC",
+            loc,
+            2,
+            Rate::gbit(10.0),
+            StorageSystem::facility(Rate::gbit(16.0), Rate::gbit(12.0)),
+        ));
+    }
+    let seed = SeedSeq::new(5);
+    let cfg = SimConfig { faults_enabled: false, flow_jitter: 0.01, ..SimConfig::default() };
+    let mut sim = Simulator::new(cat, cfg, &seed);
+
+    // Hidden write load at the destination, slow on/off.
+    sim.add_background(BackgroundProcess {
+        endpoint: EndpointId(1),
+        kind: BgKind::DiskWrite,
+        rate_when_on: Rate::mbps(700.0),
+        mean_on_s: 1200.0,
+        mean_off_s: 1200.0,
+        on: false,
+    });
+    // Uniform test transfers.
+    let n = 250u64;
+    for i in 0..n {
+        sim.submit(TransferRequest {
+            id: TransferId(i),
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            submit: SimTime::seconds(i as f64 * 400.0),
+            bytes: Bytes::gb(10.0),
+            files: 32,
+            dirs: 2,
+            concurrency: 4,
+            parallelism: 4,
+            checksum: true,
+        });
+    }
+    // Mild visible variation so the baseline has surviving features: a
+    // second stream of occasional competing Globus transfers.
+    for k in 0..40u64 {
+        sim.submit(TransferRequest {
+            id: TransferId(n + k),
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            submit: SimTime::seconds(k as f64 * 2500.0),
+            bytes: Bytes::gb(60.0),
+            files: 100,
+            dirs: 5,
+            concurrency: 2,
+            parallelism: 2,
+            checksum: true,
+        });
+    }
+    sim.set_lmt_monitor(LmtMonitor::new(
+        vec![EndpointId(0), EndpointId(1)],
+        LustreFs::new(8, Rate::mbps(1500.0), 2),
+        SimTime::ZERO,
+        SimTime::seconds(n as f64 * 400.0 + 20_000.0),
+    ));
+
+    let out = sim.run();
+    let features = extract_features(&out.records);
+    let tests: Vec<TransferFeatures> =
+        features.iter().filter(|f| f.id.0 < n).cloned().collect();
+    assert_eq!(tests.len(), n as usize);
+
+    let mut fit = FitConfig::default();
+    fit.gbdt.n_rounds = 80;
+    let cmp = compare_with_lmt(&tests, &out.lmt, &fit, 3).expect("models fit");
+    assert!(
+        cmp.augmented.mdape < cmp.baseline.mdape * 0.8,
+        "augmented MdAPE {} not clearly below baseline {}",
+        cmp.augmented.mdape,
+        cmp.baseline.mdape
+    );
+}
