@@ -64,9 +64,8 @@ fn bench_features(c: &mut Criterion) {
 
 fn bench_gbdt(c: &mut Criterion) {
     let n = 1000;
-    let x: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..15).map(|j| ((i * (j + 3)) % 97) as f64).collect())
-        .collect();
+    let x: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..15).map(|j| ((i * (j + 3)) % 97) as f64).collect()).collect();
     let y: Vec<f64> = x.iter().map(|r| r[0] * r[1] + r[2] * r[2]).collect();
     let params = GbdtParams { n_rounds: 40, ..Default::default() };
     let mut g = c.benchmark_group("gbdt");
@@ -83,9 +82,7 @@ fn bench_mic(c: &mut Criterion) {
     for &n in &[500usize, 2000] {
         let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| (6.0 * v).sin() + 0.1 * (v * 777.0).fract()).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| mic(&x, &y))
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| b.iter(|| mic(&x, &y)));
     }
     g.finish();
 }
@@ -126,11 +123,8 @@ fn bench_single_transfer(c: &mut Criterion) {
     c.bench_function("simulate_one_transfer", |b| {
         b.iter_batched(
             || {
-                let mut sim = Simulator::new(
-                    testbed.clone(),
-                    SimConfig::testbed(),
-                    &SeedSeq::new(9),
-                );
+                let mut sim =
+                    Simulator::new(testbed.clone(), SimConfig::testbed(), &SeedSeq::new(9));
                 sim.submit(TransferRequest {
                     id: TransferId(0),
                     src: EndpointId(0),

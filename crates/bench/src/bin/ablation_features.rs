@@ -33,11 +33,8 @@ fn main() {
     let log = standard_log();
     let features = extract_features(&log.records);
     let filtered = threshold_filter(&features, 0.5);
-    let edges: Vec<_> = eligible_edges(&features, 0.5, 300)
-        .into_iter()
-        .take(12)
-        .map(|(e, _)| e)
-        .collect();
+    let edges: Vec<_> =
+        eligible_edges(&features, 0.5, 300).into_iter().take(12).map(|(e, _)| e).collect();
     eprintln!("[ablation] {} edges", edges.len());
 
     let cfg = FitConfig::default();

@@ -36,8 +36,7 @@ fn main() {
     let stats = edge_stats(&features);
     let mut busiest: Vec<_> = stats.values().collect();
     busiest.sort_by(|a, b| b.transfers.cmp(&a.transfers).then(a.edge.cmp(&b.edge)));
-    let probe_edges: Vec<EdgeId> =
-        busiest.iter().take(40).map(|s| s.edge).collect();
+    let probe_edges: Vec<EdgeId> = busiest.iter().take(40).map(|s| s.edge).collect();
     eprintln!("[census] running perfSONAR probes on {} edges ...", probe_edges.len());
     let seed = SeedSeq::new(17);
     let mut mm: BTreeMap<EdgeId, f64> = BTreeMap::new();
@@ -66,7 +65,8 @@ fn main() {
             *limiter_counts.entry(l).or_default() += 1;
         }
     }
-    let mut t = TableWriter::new("Eq. 1 validation verdicts over probed edges", &["verdict", "edges"]);
+    let mut t =
+        TableWriter::new("Eq. 1 validation verdicts over probed edges", &["verdict", "edges"]);
     for (v, n) in &counts {
         t.row(&[v.to_string(), n.to_string()]);
     }

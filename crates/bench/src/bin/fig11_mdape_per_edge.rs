@@ -45,12 +45,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "\nedges modeled: {}   XGB wins on {}/{}",
-        experiments.len(),
-        wins,
-        experiments.len()
-    );
+    println!("\nedges modeled: {}   XGB wins on {}/{}", experiments.len(), wins, experiments.len());
     println!(
         "median over edges — LR: {:.1}%  XGB: {:.1}%   (paper: 7.0% / 4.6%)",
         quantile(&lr_all, 0.5),

@@ -62,8 +62,7 @@ fn main() {
         }
         let out = sim.run();
         let features = extract_features(&out.records);
-        let measured: Vec<_> =
-            features.iter().filter(|f| f.id.0 < measured_max).collect();
+        let measured: Vec<_> = features.iter().filter(|f| f.id.0 < measured_max).collect();
 
         // Bin rate by relative external load.
         let mut t = TableWriter::new(
@@ -87,12 +86,7 @@ fn main() {
             }
             let mean = in_bin.iter().sum::<f64>() / in_bin.len() as f64;
             let max = in_bin.iter().cloned().fold(0.0f64, f64::max);
-            t.row(&[
-                format!("[{lo:.1},{hi:.1})"),
-                in_bin.len().to_string(),
-                mbps(mean),
-                mbps(max),
-            ]);
+            t.row(&[format!("[{lo:.1},{hi:.1})"), in_bin.len().to_string(), mbps(mean), mbps(max)]);
         }
         t.print();
         let best = measured

@@ -5,12 +5,12 @@
 //! Paper: throughput first rises with concurrency, then declines — the
 //! motivation for scheduling/limiting concurrency in the conclusions.
 
-use wdt_bench::table::{mbps, TableWriter};
+use std::collections::HashMap;
 use wdt_bench::standard_log;
+use wdt_bench::table::{mbps, TableWriter};
 use wdt_features::{bucket_by_concurrency, concurrency_profile};
 use wdt_ml::WeibullCurve;
 use wdt_types::EndpointId;
-use std::collections::HashMap;
 
 fn main() {
     let log = standard_log();
@@ -29,11 +29,8 @@ fn main() {
         // Keep only concurrency levels the endpoint actually dwelled at
         // (≥ 0.2% of total observed time) — fleeting states are noise.
         let total_w: f64 = all_buckets.iter().map(|b| b.2).sum();
-        let buckets: Vec<(f64, f64)> = all_buckets
-            .iter()
-            .filter(|b| b.2 >= 0.002 * total_w)
-            .map(|b| (b.0, b.1))
-            .collect();
+        let buckets: Vec<(f64, f64)> =
+            all_buckets.iter().filter(|b| b.2 >= 0.002 * total_w).map(|b| (b.0, b.1)).collect();
         let fit = WeibullCurve::fit(&buckets);
 
         let mut t = TableWriter::new(
@@ -43,11 +40,7 @@ fn main() {
         // Print at most 20 evenly spaced buckets across the whole range.
         let step = (buckets.len() / 20).max(1);
         for &(c, rate) in buckets.iter().step_by(step) {
-            t.row(&[
-                format!("{c:.0}"),
-                mbps(rate),
-                fit.map_or("-".into(), |w| mbps(w.eval(c))),
-            ]);
+            t.row(&[format!("{c:.0}"), mbps(rate), fit.map_or("-".into(), |w| mbps(w.eval(c)))]);
         }
         t.print();
         let max_c = buckets.last().map_or(0.0, |b| b.0);

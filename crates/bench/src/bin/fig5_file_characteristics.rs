@@ -16,17 +16,16 @@ fn main() {
     let features = extract_features(&log.records);
     // Densest edge in the log.
     let stats = edge_stats(&features);
-    let edge = stats
-        .values()
-        .max_by_key(|s| s.transfers)
-        .expect("nonempty log")
-        .edge;
+    let edge = stats.values().max_by_key(|s| s.transfers).expect("nonempty log").edge;
     let mut on_edge: Vec<_> = features.iter().filter(|f| f.edge == edge).collect();
     on_edge.sort_by(|a, b| a.n_b.partial_cmp(&b.n_b).expect("finite"));
 
     let groups = 20usize;
     let mut t = TableWriter::new(
-        format!("Figure 5 — edge {edge}: rate by total size × average file size ({} transfers)", on_edge.len()),
+        format!(
+            "Figure 5 — edge {edge}: rate by total size × average file size ({} transfers)",
+            on_edge.len()
+        ),
         &["size bucket", "median GB", "small-files MB/s", "big-files MB/s", "big>small"],
     );
     let mut big_wins = 0usize;
@@ -46,7 +45,8 @@ fn main() {
         let mean = |v: &[&&wdt_features::TransferFeatures]| {
             v.iter().map(|f| f.rate).sum::<f64>() / v.len().max(1) as f64
         };
-        let (sr, br) = (mean(&small.iter().collect::<Vec<_>>()), mean(&big.iter().collect::<Vec<_>>()));
+        let (sr, br) =
+            (mean(&small.iter().collect::<Vec<_>>()), mean(&big.iter().collect::<Vec<_>>()));
         let med_total: Vec<f64> = bucket.iter().map(|f| f.n_b).collect();
         let win = br > sr;
         big_wins += win as usize;
@@ -60,13 +60,12 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "\nbig-files subgroup wins in {big_wins}/{comparable} buckets (paper: most buckets)"
-    );
+    println!("\nbig-files subgroup wins in {big_wins}/{comparable} buckets (paper: most buckets)");
     // The headline monotone trend: bottom vs top size quartile.
     let q = on_edge.len() / 4;
     let low: f64 = on_edge[..q].iter().map(|f| f.rate).sum::<f64>() / q as f64;
-    let high: f64 = on_edge[3 * q..].iter().map(|f| f.rate).sum::<f64>() / (on_edge.len() - 3 * q) as f64;
+    let high: f64 =
+        on_edge[3 * q..].iter().map(|f| f.rate).sum::<f64>() / (on_edge.len() - 3 * q) as f64;
     println!(
         "mean rate, smallest size quartile: {} MB/s; largest: {} MB/s (paper: larger ⇒ faster)",
         mbps(low),

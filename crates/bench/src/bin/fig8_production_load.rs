@@ -56,10 +56,8 @@ fn main() {
         let best_load = best.relative_external_load();
         // "Off minimum": the fastest transfer did not occur in the lowest
         // observed load decile of the edge.
-        let min_load = on_edge
-            .iter()
-            .map(|f| f.relative_external_load())
-            .fold(f64::INFINITY, f64::min);
+        let min_load =
+            on_edge.iter().map(|f| f.relative_external_load()).fold(f64::INFINITY, f64::min);
         let off = best_load > min_load + 0.05;
         off_minimum += off as usize;
         shown += 1;

@@ -33,10 +33,7 @@ fn main() {
     let mut with_rtt = base.clone();
     with_rtt.names.push("RTT".into());
     for (row, f) in with_rtt.x.iter_mut().zip(&pool) {
-        let d = endpoints
-            .get(f.edge.src)
-            .location
-            .distance_km(&endpoints.get(f.edge.dst).location);
+        let d = endpoints.get(f.edge.src).location.distance_km(&endpoints.get(f.edge.dst).location);
         row.push(rtt_estimate(d));
     }
 

@@ -119,7 +119,8 @@ fn main() {
             });
             id += 1;
             // Advance by the expected duration plus an occasional gap.
-            t += gb * 1e9 / 70e6 + if lane_rng.gen_bool(0.25) { lane_rng.gen_range(300.0..1500.0) } else { 0.0 };
+            t += gb * 1e9 / 70e6
+                + if lane_rng.gen_bool(0.25) { lane_rng.gen_range(300.0..1500.0) } else { 0.0 };
         }
     }
 
@@ -134,8 +135,7 @@ fn main() {
     eprintln!("[lmt] simulating {} test + {} load transfers ...", n_tests, id - n_tests);
     let out = sim.run();
     let features = extract_features(&out.records);
-    let tests: Vec<_> =
-        features.iter().filter(|f| f.id.0 < n_tests).cloned().collect();
+    let tests: Vec<_> = features.iter().filter(|f| f.id.0 < n_tests).cloned().collect();
     eprintln!("[lmt] {} LMT samples, {} test transfers", out.lmt.len(), tests.len());
 
     let cfg = FitConfig::default();

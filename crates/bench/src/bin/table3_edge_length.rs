@@ -25,12 +25,7 @@ fn main() {
     let lengths = |edges: &[EdgeId]| -> Vec<f64> {
         edges
             .iter()
-            .map(|e| {
-                endpoints
-                    .get(e.src)
-                    .location
-                    .distance_km(&endpoints.get(e.dst).location)
-            })
+            .map(|e| endpoints.get(e.src).location.distance_km(&endpoints.get(e.dst).location))
             .collect()
     };
     let all_vec: Vec<EdgeId> = all_edges.into_iter().collect();

@@ -4,15 +4,24 @@
 //! means simulating a month of fleet-wide traffic, which takes a minute or
 //! two, so the log is cached on disk (keyed by spec hash) and reloaded by
 //! subsequent experiment binaries.
+//!
+//! The campaign is split into [`CampaignSpec::runs`] independent time
+//! shards, each simulating a contiguous window of the same generated
+//! workload with its own [`SeedSeq`]-derived RNG stream. Shards execute in
+//! parallel and their logs are merged in run-index order, so the parallel
+//! result is bit-identical to the serial one ([`CampaignSpec::simulate`]
+//! vs. [`CampaignSpec::simulate_serial`]). The modeling cost is that
+//! transfers do not contend across a window boundary — negligible for
+//! month-scale campaigns where windows span many days.
 
-use serde::{Deserialize, Serialize};
+use rayon::prelude::*;
 use std::path::PathBuf;
-use wdt_sim::{SimConfig, Simulator};
-use wdt_types::{SeedSeq, TransferRecord};
+use wdt_sim::{EndpointCatalog, SimConfig, SimOutput, SimStats, Simulator};
+use wdt_types::{records_from_csv, records_to_csv, SeedSeq, TransferRecord, TransferRequest};
 use wdt_workload::{FleetSpec, Workload, WorkloadSpec};
 
 /// Specification of the standard campaign.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CampaignSpec {
     /// Root seed; every stochastic component derives from it.
     pub seed: u64,
@@ -26,6 +35,9 @@ pub struct CampaignSpec {
     pub bg_per_endpoint: usize,
     /// Background-load intensity scale in [0, 1].
     pub bg_intensity: f64,
+    /// Independent time shards; each simulates `days / runs` of traffic
+    /// with its own derived seed and they execute in parallel.
+    pub runs: usize,
 }
 
 impl Default for CampaignSpec {
@@ -37,6 +49,7 @@ impl Default for CampaignSpec {
             sparse_edges: 400,
             bg_per_endpoint: 6,
             bg_intensity: 0.4,
+            runs: 4,
         }
     }
 }
@@ -44,25 +57,25 @@ impl Default for CampaignSpec {
 impl CampaignSpec {
     /// A smaller spec for smoke tests and quick iterations.
     pub fn small() -> Self {
-        CampaignSpec {
-            days: 8.0,
-            heavy_edges: 10,
-            sparse_edges: 80,
-            ..Default::default()
-        }
+        CampaignSpec { days: 8.0, heavy_edges: 10, sparse_edges: 80, ..Default::default() }
     }
 
     fn cache_key(&self) -> String {
         format!(
-            "log_s{}_d{}_h{}_sp{}_bg{}x{}",
-            self.seed, self.days, self.heavy_edges, self.sparse_edges, self.bg_per_endpoint,
-            self.bg_intensity
+            "log_s{}_d{}_h{}_sp{}_bg{}x{}_r{}",
+            self.seed,
+            self.days,
+            self.heavy_edges,
+            self.sparse_edges,
+            self.bg_per_endpoint,
+            self.bg_intensity,
+            self.runs
         )
     }
 
     fn cache_path(&self) -> PathBuf {
         let dir = std::env::var("WDT_CACHE_DIR").unwrap_or_else(|_| "target/wdt-cache".into());
-        PathBuf::from(dir).join(format!("{}.json", self.cache_key()))
+        PathBuf::from(dir).join(format!("{}.csv", self.cache_key()))
     }
 
     /// Generate the workload (fleet + requests) for this spec.
@@ -79,56 +92,161 @@ impl CampaignSpec {
         .generate(&seed)
     }
 
-    /// Run the simulation (no cache).
-    pub fn simulate(&self) -> CampaignOutput {
-        let seed = SeedSeq::new(self.seed);
-        let workload = self.workload();
-        let mut sim = Simulator::new(workload.endpoints.clone(), SimConfig::default(), &seed);
-        sim.add_default_background(self.bg_per_endpoint, self.bg_intensity);
+    /// Partition the workload's requests into `runs` contiguous
+    /// submit-time windows. Every request lands in exactly one shard, so
+    /// the merged log covers the same request set as a monolithic run.
+    fn shards(&self, workload: &Workload) -> Vec<Vec<TransferRequest>> {
+        let runs = self.runs.max(1);
+        let window = self.days * 86_400.0 / runs as f64;
+        let mut shards: Vec<Vec<TransferRequest>> = vec![Vec::new(); runs];
         for req in &workload.requests {
+            let idx = if window > 0.0 {
+                ((req.submit.as_secs() / window) as usize).min(runs - 1)
+            } else {
+                0
+            };
+            shards[idx].push(req.clone());
+        }
+        shards
+    }
+
+    /// Simulate one time shard with its own derived RNG stream.
+    fn run_shard(
+        &self,
+        endpoints: &EndpointCatalog,
+        run: usize,
+        requests: &[TransferRequest],
+    ) -> SimOutput {
+        let root = SeedSeq::new(self.seed);
+        let shard_seed = SeedSeq::new(root.derive_indexed("campaign-run", run as u64));
+        let mut sim = Simulator::new(endpoints.clone(), SimConfig::default(), &shard_seed);
+        sim.add_default_background(self.bg_per_endpoint, self.bg_intensity);
+        for req in requests {
             sim.submit(req.clone());
         }
-        let out = sim.run();
+        sim.run()
+    }
+
+    fn merge(&self, workload: &Workload, outs: Vec<SimOutput>) -> CampaignOutput {
+        let mut records = Vec::new();
+        let mut stats = SimStats::default();
+        for out in outs {
+            records.extend(out.records);
+            stats.merge(&out.stats);
+        }
+        // Shards are disjoint time windows, but re-establish the global
+        // log order the monolithic simulator produced.
+        records.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
         CampaignOutput {
-            records: out.records,
+            records,
             heavy_edges: workload.heavy_edges.iter().map(|e| (e.src.0, e.dst.0)).collect(),
+            stats,
         }
     }
 
+    /// Run the simulation (no cache), executing shards in parallel.
+    ///
+    /// Bit-identical to [`CampaignSpec::simulate_serial`]: each shard has
+    /// its own seed-derived RNG stream regardless of scheduling, and shard
+    /// outputs are merged in run-index order.
+    pub fn simulate(&self) -> CampaignOutput {
+        let workload = self.workload();
+        let shards = self.shards(&workload);
+        let outs: Vec<SimOutput> = shards
+            .par_iter()
+            .enumerate()
+            .map(|(run, requests)| self.run_shard(&workload.endpoints, run, requests))
+            .collect();
+        self.merge(&workload, outs)
+    }
+
+    /// Run the simulation (no cache) with shards executed sequentially.
+    pub fn simulate_serial(&self) -> CampaignOutput {
+        let workload = self.workload();
+        let shards = self.shards(&workload);
+        let outs: Vec<SimOutput> = shards
+            .iter()
+            .enumerate()
+            .map(|(run, requests)| self.run_shard(&workload.endpoints, run, requests))
+            .collect();
+        self.merge(&workload, outs)
+    }
+
     /// Run the simulation, or load it from the on-disk cache.
+    ///
+    /// Set `WDT_CAMPAIGN_SERIAL=1` to force the serial runner (useful for
+    /// benchmarking the parallel speedup).
     pub fn simulate_cached(&self) -> CampaignOutput {
         let path = self.cache_path();
-        if let Ok(bytes) = std::fs::read(&path) {
-            if let Ok(out) = serde_json::from_slice::<CampaignOutput>(&bytes) {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(out) = CampaignOutput::from_cache_text(&text) {
                 eprintln!("[campaign] loaded cached log from {}", path.display());
                 return out;
             }
         }
-        eprintln!("[campaign] simulating {} days of traffic ...", self.days);
-        let t0 = std::time::Instant::now();
-        let out = self.simulate();
+        let serial = std::env::var("WDT_CAMPAIGN_SERIAL").is_ok_and(|v| v == "1");
         eprintln!(
-            "[campaign] simulated {} transfers in {:.1}s",
+            "[campaign] simulating {} days of traffic ({} {} shard(s), {} thread(s)) ...",
+            self.days,
+            self.runs.max(1),
+            if serial { "serial" } else { "parallel" },
+            if serial { 1 } else { rayon::current_num_threads() },
+        );
+        let t0 = std::time::Instant::now();
+        let out = if serial { self.simulate_serial() } else { self.simulate() };
+        eprintln!(
+            "[campaign] simulated {} transfers in {:.1}s ({})",
             out.records.len(),
-            t0.elapsed().as_secs_f64()
+            t0.elapsed().as_secs_f64(),
+            out.stats.summary(),
         );
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        if let Ok(bytes) = serde_json::to_vec(&out) {
-            let _ = std::fs::write(&path, bytes);
-        }
+        let _ = std::fs::write(&path, out.to_cache_text());
         out
     }
 }
 
 /// The cached campaign result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CampaignOutput {
     /// The full transfer log.
     pub records: Vec<TransferRecord>,
     /// The generated heavy edges, as (src, dst) endpoint indices.
     pub heavy_edges: Vec<(u32, u32)>,
+    /// Engine counters merged across shards. Zeroed when the log was
+    /// loaded from the on-disk cache (counters are not persisted).
+    pub stats: SimStats,
+}
+
+impl CampaignOutput {
+    /// Cache serialization: a `# heavy_edges:` comment line with the
+    /// generated heavy edges, then the standard transfer-log CSV.
+    fn to_cache_text(&self) -> String {
+        let edges: Vec<String> = self.heavy_edges.iter().map(|(s, d)| format!("{s}-{d}")).collect();
+        format!("# heavy_edges: {}\n{}", edges.join(","), records_to_csv(&self.records))
+    }
+
+    /// Inverse of [`CampaignOutput::to_cache_text`]; `None` on any
+    /// malformed input (the cache is then regenerated).
+    fn from_cache_text(text: &str) -> Option<CampaignOutput> {
+        let (header, csv) = text.split_once('\n')?;
+        let edges = header.strip_prefix("# heavy_edges: ")?;
+        let heavy_edges: Vec<(u32, u32)> = if edges.is_empty() {
+            Vec::new()
+        } else {
+            edges
+                .split(',')
+                .map(|pair| {
+                    let (s, d) = pair.split_once('-')?;
+                    Some((s.parse().ok()?, d.parse().ok()?))
+                })
+                .collect::<Option<_>>()?
+        };
+        let records = records_from_csv(csv).ok()?;
+        Some(CampaignOutput { records, heavy_edges, stats: SimStats::default() })
+    }
 }
 
 /// Convenience: the default campaign's log, cached.
@@ -142,18 +260,78 @@ mod tests {
 
     #[test]
     fn small_campaign_runs_end_to_end() {
-        let spec = CampaignSpec { days: 2.0, heavy_edges: 3, sparse_edges: 10, ..Default::default() };
+        let spec =
+            CampaignSpec { days: 2.0, heavy_edges: 3, sparse_edges: 10, ..Default::default() };
         let out = spec.simulate();
         assert!(out.records.len() > 50, "only {} records", out.records.len());
         assert_eq!(out.heavy_edges.len(), 3);
         // All transfers completed with positive duration.
         assert!(out.records.iter().all(|r| r.end > r.start));
+        // The merged log is in global (start, id) order and the counters
+        // reflect real engine work.
+        assert!(out.records.windows(2).all(|w| (w[0].start, w[0].id) <= (w[1].start, w[1].id)));
+        assert!(out.stats.events > 0 && out.stats.reallocations > 0);
+    }
+
+    #[test]
+    fn parallel_campaign_is_bit_identical_to_serial() {
+        let spec =
+            CampaignSpec { days: 2.0, heavy_edges: 4, sparse_edges: 12, ..Default::default() };
+        let par = spec.simulate();
+        let ser = spec.simulate_serial();
+        assert_eq!(par.records.len(), ser.records.len());
+        assert_eq!(par.records, ser.records);
+        assert_eq!(par.heavy_edges, ser.heavy_edges);
+        // realloc_time_s is wall-clock measurement, not simulation state;
+        // the deterministic counters must match exactly.
+        assert_eq!(par.stats.events, ser.stats.events);
+        assert_eq!(par.stats.reallocations, ser.stats.reallocations);
+        assert_eq!(par.stats.max_queue_depth, ser.stats.max_queue_depth);
+    }
+
+    #[test]
+    fn shards_cover_every_request_exactly_once() {
+        let spec =
+            CampaignSpec { days: 2.0, heavy_edges: 3, sparse_edges: 10, ..Default::default() };
+        let workload = spec.workload();
+        let shards = spec.shards(&workload);
+        assert_eq!(shards.len(), spec.runs);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, workload.requests.len());
+        let window = spec.days * 86_400.0 / spec.runs as f64;
+        for (i, shard) in shards.iter().enumerate() {
+            for req in shard {
+                let t = req.submit.as_secs();
+                assert!(t >= i as f64 * window, "request before its window");
+                assert!(i == shards.len() - 1 || t < (i + 1) as f64 * window);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_changes_results_but_single_shard_matches_monolith() {
+        // One shard is exactly the old monolithic campaign shape: the
+        // whole request set in one simulator. More shards give a
+        // different (but internally deterministic) realization.
+        let one = CampaignSpec {
+            days: 2.0,
+            heavy_edges: 3,
+            sparse_edges: 10,
+            runs: 1,
+            ..Default::default()
+        };
+        let a = one.simulate();
+        let b = one.simulate();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.records.len(), b.records.len());
     }
 
     #[test]
     fn cache_key_distinguishes_specs() {
         let a = CampaignSpec::default();
         let b = CampaignSpec { days: 31.0, ..Default::default() };
+        let c = CampaignSpec { runs: 8, ..Default::default() };
         assert_ne!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
     }
 }

@@ -6,19 +6,15 @@
 use crate::args::Args;
 use std::error::Error;
 use std::fs;
+use wdt_bench::CampaignSpec;
 use wdt_features::{
-    edge_census, edge_stats, eligible_edges, extract_features, threshold_filter,
-    TransferFeatures,
+    edge_census, edge_stats, eligible_edges, extract_features, threshold_filter, TransferFeatures,
 };
 use wdt_model::{
     build_dataset, default_grid, recommend_endpoint_concurrency, run_per_edge, tune_gbdt,
     FitConfig, FittedModel, ModelKind, PerEdgeConfig,
 };
-use wdt_sim::{SimConfig, Simulator};
-use wdt_types::{
-    records_from_csv, records_to_csv, EdgeId, EndpointId, SeedSeq, TransferRecord,
-};
-use wdt_workload::{FleetSpec, WorkloadSpec};
+use wdt_types::{records_from_csv, records_to_csv, EdgeId, EndpointId, TransferRecord};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -47,7 +43,9 @@ pub fn usage() -> String {
      COMMANDS\n\
      simulate  generate a synthetic fleet + workload and simulate it\n\
                --out FILE [--days N=30] [--heavy-edges N=45] [--sparse-edges N=400]\n\
-               [--seed N=2017] [--bg-intensity X=0.4]\n\
+               [--seed N=2017] [--bg-intensity X=0.4] [--runs N=4]\n\
+               (--runs = independent time shards simulated in parallel;\n\
+                results are bit-identical for any thread count)\n\
      census    edge statistics of a log\n\
                --log FILE [--threshold X=0.5] [--min-transfers N=300]\n\
      train     fit a transfer-rate model on one edge (or all edges pooled)\n\
@@ -69,35 +67,20 @@ fn load_log(args: &Args) -> Result<Vec<TransferRecord>, Box<dyn Error>> {
 
 fn simulate(args: &Args) -> CmdResult {
     let out = args.require("out")?.to_string();
-    let days: f64 = args.get_or("days", 30.0)?;
-    let heavy: usize = args.get_or("heavy-edges", 45)?;
-    let sparse: usize = args.get_or("sparse-edges", 400)?;
-    let seed: u64 = args.get_or("seed", 2017)?;
-    let bg: f64 = args.get_or("bg-intensity", 0.4)?;
-
-    let seedseq = SeedSeq::new(seed);
-    let workload = WorkloadSpec {
-        fleet: FleetSpec::default(),
-        heavy_edges: heavy,
-        heavy_sessions_per_day: 16.0,
-        heavy_session_len: 5.0,
-        sparse_edges: sparse,
-        days,
-    }
-    .generate(&seedseq);
-    eprintln!(
-        "simulating {} transfers over {days} days ({} endpoints) ...",
-        workload.requests.len(),
-        workload.endpoints.len()
-    );
-    let mut sim = Simulator::new(workload.endpoints, SimConfig::default(), &seedseq);
-    sim.add_default_background(6, bg);
-    for r in workload.requests {
-        sim.submit(r);
-    }
-    let result = sim.run();
+    let spec = CampaignSpec {
+        seed: args.get_or("seed", 2017)?,
+        days: args.get_or("days", 30.0)?,
+        heavy_edges: args.get_or("heavy-edges", 45)?,
+        sparse_edges: args.get_or("sparse-edges", 400)?,
+        bg_intensity: args.get_or("bg-intensity", 0.4)?,
+        runs: args.get_or("runs", 4)?,
+        ..Default::default()
+    };
+    eprintln!("simulating {} days of traffic in {} shard(s) ...", spec.days, spec.runs.max(1));
+    let result = spec.simulate();
     fs::write(&out, records_to_csv(&result.records))?;
     println!("wrote {} records to {out}", result.records.len());
+    println!("{}", result.stats.summary());
     Ok(())
 }
 
@@ -155,7 +138,9 @@ fn train(args: &Args) -> CmdResult {
         _ => filtered,
     };
     if selected.len() < 20 {
-        return Err(format!("only {} transfers after filtering — not enough", selected.len()).into());
+        return Err(
+            format!("only {} transfers after filtering — not enough", selected.len()).into()
+        );
     }
     let data = build_dataset(&selected, false);
     let (train_set, test_set) = data.split(0.7, 7);
@@ -212,9 +197,9 @@ fn advise(args: &Args) -> CmdResult {
                 a.recommended_cap, a.max_observed, a.recommended_cap
             );
         }
-        None => println!(
-            "endpoint ep{ep}: no rise-then-fall pattern in the log — no cap warranted"
-        ),
+        None => {
+            println!("endpoint ep{ep}: no rise-then-fall pattern in the log — no cap warranted")
+        }
     }
     // Bonus: per-edge model quality summary if the log is rich enough.
     let features = extract_features(&log);
@@ -285,9 +270,8 @@ mod tests {
     fn train_requires_model_path() {
         let log_path = tmp("needs-model.csv");
         std::fs::write(&log_path, wdt_types::CSV_HEADER).expect("write");
-        let err = run(&parse(&format!("train --log {}", log_path.display())))
-            .unwrap_err()
-            .to_string();
+        let err =
+            run(&parse(&format!("train --log {}", log_path.display()))).unwrap_err().to_string();
         assert!(err.contains("--model") || err.contains("model"));
     }
 

@@ -1,0 +1,221 @@
+//! Minimal, self-contained stand-in for the slice of the `criterion` API
+//! this workspace's benches use. No statistics engine or HTML reports —
+//! each benchmark is calibrated to a time budget, sampled, and summarized
+//! as `min / mean` wall-clock per iteration on stdout.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. Both variants behave the same
+/// here: setup runs outside the timed region every iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+/// Per-sample time budget: fast routines are batched until one sample
+/// takes at least this long, keeping timer resolution out of the numbers.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(8);
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, samples: Vec::new() }
+    }
+
+    /// Benchmark `routine` itself.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many calls fit the per-sample budget?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..per_sample {
+                    black_box(routine());
+                }
+                t.elapsed() / per_sample
+            })
+            .collect();
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`, timing only the
+    /// routine.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                t.elapsed()
+            })
+            .collect();
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{name:<50} min {:>12.3?}   mean {:>12.3?}   ({} samples)",
+            min,
+            mean,
+            self.samples.len()
+        );
+    }
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (default 30).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    /// Run one parameterized benchmark. The input is passed through to the
+    /// closure; only the id is used for reporting.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// End the group (report output is already flushed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 30, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(30);
+        f(&mut b);
+        b.report(&id.into());
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    }
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| spin(1000));
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|d| d.as_nanos() > 0));
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| vec![1u8; 64], |v| spin(v.len() as u64), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+            b.iter(|| spin(n as u64))
+        });
+        g.bench_function("plain", |b| b.iter(|| spin(10)));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| spin(10)));
+    }
+}

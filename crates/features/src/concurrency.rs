@@ -121,10 +121,7 @@ mod tests {
 
     #[test]
     fn overlap_stacks_concurrency_and_rate() {
-        let log = vec![
-            rec(0, 1, 0, 0.0, 100.0, 1.0, 4),
-            rec(1, 2, 0, 50.0, 150.0, 1.0, 4),
-        ];
+        let log = vec![rec(0, 1, 0, 0.0, 100.0, 1.0, 4), rec(1, 2, 0, 50.0, 150.0, 1.0, 4)];
         let samples = concurrency_profile(&log, EndpointId(0));
         // Segments: [0,50) c=4, [50,100) c=8, [100,150) c=4.
         assert_eq!(samples.len(), 3);
@@ -150,10 +147,7 @@ mod tests {
 
     #[test]
     fn idle_periods_are_skipped() {
-        let log = vec![
-            rec(0, 1, 0, 0.0, 10.0, 1.0, 4),
-            rec(1, 1, 0, 100.0, 110.0, 1.0, 4),
-        ];
+        let log = vec![rec(0, 1, 0, 0.0, 10.0, 1.0, 4), rec(1, 1, 0, 100.0, 110.0, 1.0, 4)];
         let samples = concurrency_profile(&log, EndpointId(0));
         // No sample for the idle gap [10, 100).
         assert_eq!(samples.len(), 2);

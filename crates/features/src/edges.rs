@@ -47,26 +47,16 @@ pub fn edge_stats(features: &[TransferFeatures]) -> BTreeMap<EdgeId, EdgeStats> 
 /// for each threshold in `thresholds`.
 pub fn edge_census(features: &[TransferFeatures], thresholds: &[usize]) -> Vec<(usize, usize)> {
     let stats = edge_stats(features);
-    thresholds
-        .iter()
-        .map(|&k| (k, stats.values().filter(|s| s.transfers >= k).count()))
-        .collect()
+    thresholds.iter().map(|&k| (k, stats.values().filter(|s| s.transfers >= k).count())).collect()
 }
 
 /// Keep only transfers with `rate ≥ threshold · Rmax(edge)` — the paper's
 /// defense against unknown (non-Globus) competing load (§4.3.2). Returns
 /// owned clones so downstream training sets are self-contained.
-pub fn threshold_filter(
-    features: &[TransferFeatures],
-    threshold: f64,
-) -> Vec<TransferFeatures> {
+pub fn threshold_filter(features: &[TransferFeatures], threshold: f64) -> Vec<TransferFeatures> {
     assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
     let stats = edge_stats(features);
-    features
-        .iter()
-        .filter(|f| f.rate >= threshold * stats[&f.edge].r_max)
-        .cloned()
-        .collect()
+    features.iter().filter(|f| f.rate >= threshold * stats[&f.edge].r_max).cloned().collect()
 }
 
 /// The edges with at least `min_transfers` transfers above the threshold —
@@ -79,8 +69,11 @@ pub fn eligible_edges(
 ) -> Vec<(EdgeId, usize)> {
     let filtered = threshold_filter(features, threshold);
     let stats = edge_stats(&filtered);
-    let mut edges: Vec<(EdgeId, usize)> =
-        stats.values().map(|s| (s.edge, s.transfers)).filter(|&(_, n)| n >= min_transfers).collect();
+    let mut edges: Vec<(EdgeId, usize)> = stats
+        .values()
+        .map(|s| (s.edge, s.transfers))
+        .filter(|&(_, n)| n >= min_transfers)
+        .collect();
     edges.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     edges
 }

@@ -1,9 +1,7 @@
 //! Dataset assembly: feature matrices, normalization, variance pruning.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense row-major feature matrix with a target vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Feature names, one per column.
     pub names: Vec<String>,
@@ -107,7 +105,7 @@ impl Dataset {
 
 /// A fitted z-score normalizer (`x' = (x − mean)/σ`), fit on training data
 /// and applied to both splits as the paper prescribes (§5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Normalizer {
     /// Per-column means.
     pub mean: Vec<f64>,

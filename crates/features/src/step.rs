@@ -145,14 +145,11 @@ mod tests {
     #[test]
     fn matches_bruteforce_overlap_sum() {
         // The identity the whole module is built on.
-        let intervals =
-            [(0.0, 4.0, 2.0), (1.0, 6.0, 3.0), (2.0, 3.0, 10.0), (5.0, 9.0, 1.0)];
+        let intervals = [(0.0, 4.0, 2.0), (1.0, 6.0, 3.0), (2.0, 3.0, 10.0), (5.0, 9.0, 1.0)];
         let s = StepIntegral::from_intervals(&intervals);
         let (a, b) = (1.5f64, 7.0f64);
-        let brute: f64 = intervals
-            .iter()
-            .map(|&(s_, e_, v)| (b.min(e_) - a.max(s_)).max(0.0) * v)
-            .sum();
+        let brute: f64 =
+            intervals.iter().map(|&(s_, e_, v)| (b.min(e_) - a.max(s_)).max(0.0) * v).sum();
         assert!((s.integrate(a, b) - brute).abs() < 1e-9);
     }
 }
@@ -164,8 +161,7 @@ mod prop_tests {
 
     fn arb_intervals() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
         proptest::collection::vec(
-            (0.0f64..100.0, 0.0f64..50.0, 0.1f64..10.0)
-                .prop_map(|(s, len, v)| (s, s + len, v)),
+            (0.0f64..100.0, 0.0f64..50.0, 0.1f64..10.0).prop_map(|(s, len, v)| (s, s + len, v)),
             0..30,
         )
     }

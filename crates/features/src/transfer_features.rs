@@ -1,13 +1,12 @@
 //! Per-transfer feature extraction (paper §4, Table 2).
 
 use crate::step::StepIntegral;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wdt_types::{EdgeId, EndpointId, TransferId, TransferRecord};
 
 /// The engineered features of one transfer: the paper's Table 2, plus the
 /// target rate. Rates are in bytes/s.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferFeatures {
     /// Transfer id.
     pub id: TransferId,
@@ -67,9 +66,22 @@ impl TransferFeatures {
     /// The full 16-feature vector, [`FEATURE_NAMES`] order.
     pub fn to_vec(&self) -> Vec<f64> {
         vec![
-            self.k_sout, self.k_din, self.c, self.p, self.s_sout, self.s_sin, self.s_dout,
-            self.s_din, self.k_sin, self.k_dout, self.n_d, self.n_b, self.n_flt, self.g_src,
-            self.g_dst, self.n_f,
+            self.k_sout,
+            self.k_din,
+            self.c,
+            self.p,
+            self.s_sout,
+            self.s_sin,
+            self.s_dout,
+            self.s_din,
+            self.k_sin,
+            self.k_dout,
+            self.n_d,
+            self.n_b,
+            self.n_flt,
+            self.g_src,
+            self.g_dst,
+            self.n_f,
         ]
     }
 
@@ -135,11 +147,21 @@ pub fn extract_features(log: &[TransferRecord]) -> Vec<TransferFeatures> {
     let all_eps: Vec<EndpointId> = log.iter().flat_map(|r| [r.src, r.dst]).collect();
     for ep in all_eps {
         profiles.entry(ep).or_insert_with(|| EndpointProfiles {
-            rate_out: out_ivs.get(&ep).map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
-            rate_in: in_ivs.get(&ep).map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
-            procs: proc_ivs.get(&ep).map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
-            streams_out: sout_ivs.get(&ep).map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
-            streams_in: sin_ivs.get(&ep).map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
+            rate_out: out_ivs
+                .get(&ep)
+                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
+            rate_in: in_ivs
+                .get(&ep)
+                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
+            procs: proc_ivs
+                .get(&ep)
+                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
+            streams_out: sout_ivs
+                .get(&ep)
+                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
+            streams_in: sin_ivs
+                .get(&ep)
+                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
         });
     }
 
@@ -236,10 +258,7 @@ mod tests {
     #[test]
     fn fully_overlapping_competitor_contributes_its_rate() {
         // Two identical transfers on the same edge, same interval.
-        let log = vec![
-            rec(0, 0, 1, 0.0, 100.0, 1.0, 4, 2),
-            rec(1, 0, 1, 0.0, 100.0, 2.0, 8, 1),
-        ];
+        let log = vec![rec(0, 0, 1, 0.0, 100.0, 1.0, 4, 2), rec(1, 0, 1, 0.0, 100.0, 2.0, 8, 1)];
         let fs = extract_features(&log);
         let r1 = log[1].rate().as_f64();
         assert!((fs[0].k_sout - r1).abs() < 1e-6);
@@ -254,10 +273,7 @@ mod tests {
     #[test]
     fn half_overlap_scales_contribution() {
         // Transfer 1 overlaps transfer 0 for half of 0's duration.
-        let log = vec![
-            rec(0, 0, 1, 0.0, 100.0, 1.0, 4, 2),
-            rec(1, 0, 2, 50.0, 150.0, 1.0, 4, 2),
-        ];
+        let log = vec![rec(0, 0, 1, 0.0, 100.0, 1.0, 4, 2), rec(1, 0, 2, 50.0, 150.0, 1.0, 4, 2)];
         let fs = extract_features(&log);
         let r1 = log[1].rate().as_f64();
         assert!((fs[0].k_sout - 0.5 * r1).abs() < 1e-6);
@@ -268,10 +284,7 @@ mod tests {
     #[test]
     fn direction_matters() {
         // A transfer INTO endpoint 0 is Ksin for a transfer OUT of 0.
-        let log = vec![
-            rec(0, 0, 1, 0.0, 100.0, 1.0, 4, 2),
-            rec(1, 2, 0, 0.0, 100.0, 1.0, 4, 2),
-        ];
+        let log = vec![rec(0, 0, 1, 0.0, 100.0, 1.0, 4, 2), rec(1, 2, 0, 0.0, 100.0, 1.0, 4, 2)];
         let fs = extract_features(&log);
         let r1 = log[1].rate().as_f64();
         assert_eq!(fs[0].k_sout, 0.0);
@@ -332,10 +345,7 @@ mod tests {
 
     #[test]
     fn relative_load_is_half_when_equal_competitor() {
-        let log = vec![
-            rec(0, 0, 1, 0.0, 100.0, 1.0, 4, 2),
-            rec(1, 0, 1, 0.0, 100.0, 1.0, 4, 2),
-        ];
+        let log = vec![rec(0, 0, 1, 0.0, 100.0, 1.0, 4, 2), rec(1, 0, 1, 0.0, 100.0, 1.0, 4, 2)];
         let fs = extract_features(&log);
         // Equal rates: K/(R+K) = 0.5.
         assert!((fs[0].relative_external_load() - 0.5).abs() < 1e-9);
@@ -350,7 +360,16 @@ mod prop_tests {
 
     fn arb_log() -> impl Strategy<Value = Vec<TransferRecord>> {
         proptest::collection::vec(
-            (0u32..4, 0u32..4, 0.0f64..500.0, 1.0f64..300.0, 0.1f64..50.0, 1u32..8, 1u32..4, 1u64..500),
+            (
+                0u32..4,
+                0u32..4,
+                0.0f64..500.0,
+                1.0f64..300.0,
+                0.1f64..50.0,
+                1u32..8,
+                1u32..4,
+                1u64..500,
+            ),
             1..30,
         )
         .prop_map(|specs| {

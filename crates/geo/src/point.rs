@@ -1,13 +1,11 @@
 //! Geographic points and great-circle distance.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean Earth radius in kilometres (IUGG).
 pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
 /// Coarse continent classification, used to reproduce Figure 6's
 /// intra- vs inter-continental distinction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Continent {
     /// North America.
     NorthAmerica,
@@ -24,7 +22,7 @@ pub enum Continent {
 }
 
 /// A point on the Earth's surface.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees, positive north.
     pub lat: f64,
@@ -49,8 +47,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         // Clamp guards the sqrt against floating-point drift for antipodes.
         2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
     }

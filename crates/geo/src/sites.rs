@@ -6,10 +6,9 @@
 //! fleet reproduces the paper's geographic variety (Figure 2 / Figure 6).
 
 use crate::point::{Continent, GeoPoint};
-use serde::{Deserialize, Serialize};
 
 /// A named research site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Site {
     /// Short site name (e.g. "ANL").
     pub name: &'static str,
@@ -130,7 +129,9 @@ mod tests {
 
     #[test]
     fn catalog_has_all_paper_sites() {
-        for name in ["ANL", "BNL", "LBL", "CERN", "NERSC", "TACC", "SDSC", "JLAB", "UCAR", "Colorado"] {
+        for name in
+            ["ANL", "BNL", "LBL", "CERN", "NERSC", "TACC", "SDSC", "JLAB", "UCAR", "Colorado"]
+        {
             assert!(SiteCatalog::by_name(name).is_some(), "missing {name}");
         }
     }

@@ -9,9 +9,10 @@
 use crate::tree::{RegressionTree, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wdt_types::json::{JsonError, JsonValue};
 
 /// Boosting hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GbdtParams {
     /// Number of boosting rounds (trees).
     pub n_rounds: usize,
@@ -38,7 +39,7 @@ impl Default for GbdtParams {
 }
 
 /// A fitted boosted ensemble.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Gbdt {
     base_score: f64,
     eta: f64,
@@ -92,8 +93,7 @@ impl Gbdt {
                 preds[i] += params.eta * tree.predict_one(row);
             }
             model.trees.push(tree);
-            let mse =
-                preds.iter().zip(y).map(|(p, t)| (p - t).powi(2)).sum::<f64>() / n as f64;
+            let mse = preds.iter().zip(y).map(|(p, t)| (p - t).powi(2)).sum::<f64>() / n as f64;
             model.train_loss.push(mse);
         }
         model
@@ -122,6 +122,36 @@ impl Gbdt {
     /// Number of trees actually grown.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Persistable representation (see `wdt_types::json`).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("base_score", JsonValue::Num(self.base_score)),
+            ("eta", JsonValue::Num(self.eta)),
+            (
+                "trees",
+                JsonValue::Arr(self.trees.iter().map(RegressionTree::to_json_value).collect()),
+            ),
+            ("importance", JsonValue::nums(&self.importance)),
+            ("train_loss", JsonValue::nums(&self.train_loss)),
+        ])
+    }
+
+    /// Inverse of [`Gbdt::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Gbdt {
+            base_score: v.field("base_score")?.as_f64()?,
+            eta: v.field("eta")?.as_f64()?,
+            trees: v
+                .field("trees")?
+                .as_arr()?
+                .iter()
+                .map(RegressionTree::from_json_value)
+                .collect::<Result<_, _>>()?,
+            importance: v.field("importance")?.as_f64_vec()?,
+            train_loss: v.field("train_loss")?.as_f64_vec()?,
+        })
     }
 }
 
@@ -210,9 +240,6 @@ mod tests {
         let m = Gbdt::fit(&x, &y, &quick_params(120));
         let pred = m.predict_one(&[7.5, 11.5]);
         let truth = 7.5 * 11.5;
-        assert!(
-            (pred - truth).abs() / truth < 0.25,
-            "pred {pred} vs truth {truth}"
-        );
+        assert!((pred - truth).abs() / truth < 0.25, "pred {pred} vs truth {truth}");
     }
 }

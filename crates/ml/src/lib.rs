@@ -27,7 +27,9 @@ pub mod weibull;
 pub use correlation::pearson;
 pub use gbdt::{Gbdt, GbdtParams};
 pub use linear::LinearRegression;
-pub use metrics::{abs_pct_errors, mape, mdape, pct_error_quantile, quantile, r2, rmse, ViolinSummary};
+pub use metrics::{
+    abs_pct_errors, mape, mdape, pct_error_quantile, quantile, r2, rmse, ViolinSummary,
+};
 pub use mic::mic;
 pub use optimize::{nelder_mead, Minimum};
 pub use tree::{RegressionTree, TreeParams};

@@ -48,11 +48,7 @@ pub fn cholesky_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>>
 
 /// Compute `XᵀX + λI` and `Xᵀy` for row-major `x` (with an implicit leading
 /// intercept column of ones). The intercept is *not* regularized.
-pub fn normal_equations(
-    x: &[Vec<f64>],
-    y: &[f64],
-    lambda: f64,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
+pub fn normal_equations(x: &[Vec<f64>], y: &[f64], lambda: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let n = x.len();
     assert_eq!(n, y.len());
     let m = x.first().map_or(0, |r| r.len()) + 1; // +1 intercept

@@ -6,10 +6,10 @@
 //! normalized feature on the transfer rate.
 
 use crate::linalg::{cholesky_solve, normal_equations};
-use serde::{Deserialize, Serialize};
+use wdt_types::json::{JsonError, JsonValue};
 
 /// A fitted linear model `ŷ = β₀ + Σ βⱼ xⱼ`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearRegression {
     /// Intercept β₀.
     pub intercept: f64,
@@ -57,6 +57,22 @@ impl LinearRegression {
         }
         self.coefficients.iter().map(|c| c.abs() / max).collect()
     }
+
+    /// Persistable representation (see `wdt_types::json`).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("intercept", JsonValue::Num(self.intercept)),
+            ("coefficients", JsonValue::nums(&self.coefficients)),
+        ])
+    }
+
+    /// Inverse of [`LinearRegression::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(LinearRegression {
+            intercept: v.field("intercept")?.as_f64()?,
+            coefficients: v.field("coefficients")?.as_f64_vec()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -66,9 +82,7 @@ mod tests {
     #[test]
     fn recovers_plane() {
         // y = 1 + 2a - 3b
-        let x: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 7) as f64, (i % 5) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
         let m = LinearRegression::fit(&x, &y, 0.0).unwrap();
         assert!((m.intercept - 1.0).abs() < 1e-8);

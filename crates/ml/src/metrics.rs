@@ -59,8 +59,7 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return f64::NAN;
     }
-    let mse = pred.iter().zip(truth).map(|(p, t)| (p - t).powi(2)).sum::<f64>()
-        / pred.len() as f64;
+    let mse = pred.iter().zip(truth).map(|(p, t)| (p - t).powi(2)).sum::<f64>() / pred.len() as f64;
     mse.sqrt()
 }
 

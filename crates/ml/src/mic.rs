@@ -84,9 +84,7 @@ fn clumps(
     while i < n {
         let mut j = i + 1;
         // Extend while same row; and never split equal x values.
-        while j < n
-            && (rows[order[j]] == rows[order[i]] || xs[order[j]] == xs[order[j - 1]])
-        {
+        while j < n && (rows[order[j]] == rows[order[i]] || xs[order[j]] == xs[order[j - 1]]) {
             // A tie in x forces the point into the clump regardless of row.
             if rows[order[j]] != rows[order[i]] && xs[order[j]] != xs[order[j - 1]] {
                 break;
@@ -141,9 +139,7 @@ fn optimize_axis(xs: &[f64], ry: &[f64], ny: usize, max_cols: usize) -> Vec<f64>
     let rows = row_assignment(ry, ny);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        xs[a].partial_cmp(&xs[b])
-            .expect("finite values")
-            .then(rows[a].cmp(&rows[b]))
+        xs[a].partial_cmp(&xs[b]).expect("finite values").then(rows[a].cmp(&rows[b]))
     });
     let max_clumps = (CLUMP_FACTOR * max_cols).max(12);
     let (cum, rowcum) = clumps(xs, &rows, &order, ny, max_clumps);
@@ -159,8 +155,7 @@ fn optimize_axis(xs: &[f64], ry: &[f64], ny: usize, max_cols: usize) -> Vec<f64>
         if total <= 0.0 {
             return 0.0;
         }
-        let counts: Vec<f64> =
-            (0..ny).map(|r| rowcum[t][r] - rowcum[s][r]).collect();
+        let counts: Vec<f64> = (0..ny).map(|r| rowcum[t][r] - rowcum[s][r]).collect();
         entropy(&counts, total)
     };
     let l_max = max_cols.min(k);
@@ -175,8 +170,7 @@ fn optimize_axis(xs: &[f64], ry: &[f64], ny: usize, max_cols: usize) -> Vec<f64>
                 if cum[t] <= 0.0 {
                     continue;
                 }
-                let v = (cum[s] / cum[t]) * c_prev[s]
-                    + ((cum[t] - cum[s]) / cum[t]) * hcond(s, t);
+                let v = (cum[s] / cum[t]) * c_prev[s] + ((cum[t] - cum[s]) / cum[t]) * hcond(s, t);
                 if v < m {
                     m = v;
                 }
@@ -207,10 +201,7 @@ pub fn mic(x: &[f64], y: &[f64]) -> f64 {
     // Deterministic stride subsample for large inputs.
     let (xs, ys): (Vec<f64>, Vec<f64>) = if n_all > MAX_N {
         let stride = n_all.div_ceil(MAX_N);
-        (
-            x.iter().step_by(stride).copied().collect(),
-            y.iter().step_by(stride).copied().collect(),
-        )
+        (x.iter().step_by(stride).copied().collect(), y.iter().step_by(stride).copied().collect())
     } else {
         (x.to_vec(), y.to_vec())
     };

@@ -83,8 +83,7 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
             values[n] = fr;
         } else {
             // Contract toward the better of worst/reflected.
-            let (base, fb) =
-                if fr < values[n] { (&reflect, fr) } else { (&worst, values[n]) };
+            let (base, fb) = if fr < values[n] { (&reflect, fr) } else { (&worst, values[n]) };
             let contract: Vec<f64> =
                 centroid.iter().zip(base).map(|(c, b)| c + rho * (b - c)).collect();
             let fc = f(&contract);

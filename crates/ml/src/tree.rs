@@ -12,8 +12,11 @@
 //! paper's Figure 12.
 
 #![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer this way
+
+use wdt_types::json::{JsonError, JsonValue};
+
 /// Tree growth parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeParams {
     /// Maximum depth (root = 0).
     pub max_depth: usize,
@@ -31,7 +34,7 @@ impl Default for TreeParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         value: f64,
@@ -47,7 +50,7 @@ enum Node {
 }
 
 /// A fitted regression tree.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
 }
@@ -182,6 +185,55 @@ impl RegressionTree {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Persistable representation (see `wdt_types::json`). Leaves encode
+    /// as `{"v": value}`, splits as `{"f","t","l","r"}`.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(
+            self.nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Leaf { value } => JsonValue::obj([("v", JsonValue::Num(*value))]),
+                    Node::Split { feature, threshold, left, right } => JsonValue::obj([
+                        ("f", JsonValue::Num(*feature as f64)),
+                        ("t", JsonValue::Num(*threshold)),
+                        ("l", JsonValue::Num(*left as f64)),
+                        ("r", JsonValue::Num(*right as f64)),
+                    ]),
+                })
+                .collect(),
+        )
+    }
+
+    /// Inverse of [`RegressionTree::to_json_value`]. Child indices are
+    /// bounds-checked so a corrupt artifact cannot cause out-of-range
+    /// panics at prediction time.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        let raw = v.as_arr()?;
+        let mut nodes = Vec::with_capacity(raw.len());
+        for item in raw {
+            let node = if let Ok(value) = item.field("v") {
+                Node::Leaf { value: value.as_f64()? }
+            } else {
+                let left = item.field("l")?.as_usize()?;
+                let right = item.field("r")?.as_usize()?;
+                if left >= raw.len() || right >= raw.len() {
+                    return Err(JsonError::new("tree child index out of range"));
+                }
+                Node::Split {
+                    feature: item.field("f")?.as_usize()?,
+                    threshold: item.field("t")?.as_f64()?,
+                    left,
+                    right,
+                }
+            };
+            nodes.push(node);
+        }
+        if nodes.is_empty() {
+            return Err(JsonError::new("tree must have at least one node"));
+        }
+        Ok(RegressionTree { nodes })
+    }
 }
 
 #[cfg(test)]
@@ -224,9 +276,8 @@ mod tests {
     #[test]
     fn splits_on_the_informative_feature() {
         // Feature 0 is noise; feature 1 determines y.
-        let x: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![((i * 17) % 13) as f64, (i % 2) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![((i * 17) % 13) as f64, (i % 2) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[1] * 10.0).collect();
         let (g, h) = grads(&y);
         let idx: Vec<usize> = (0..40).collect();

@@ -46,8 +46,7 @@ impl WeibullCurve {
     /// Fit to `(x, y)` points by least squares. Returns `None` for fewer
     /// than four points or non-positive x domain.
     pub fn fit(points: &[(f64, f64)]) -> Option<WeibullCurve> {
-        let pts: Vec<(f64, f64)> =
-            points.iter().copied().filter(|&(x, _)| x > 0.0).collect();
+        let pts: Vec<(f64, f64)> = points.iter().copied().filter(|&(x, _)| x > 0.0).collect();
         if pts.len() < 4 {
             return None;
         }
@@ -102,8 +101,7 @@ mod tests {
     #[test]
     fn recovers_synthetic_parameters() {
         let truth = WeibullCurve { a: 500.0, k: 2.5, lambda: 20.0 };
-        let pts: Vec<(f64, f64)> =
-            (1..=60).map(|i| (i as f64, truth.eval(i as f64))).collect();
+        let pts: Vec<(f64, f64)> = (1..=60).map(|i| (i as f64, truth.eval(i as f64))).collect();
         let fit = WeibullCurve::fit(&pts).expect("fit should succeed");
         // Parameters within 10% and curve values within 5% of max.
         assert!((fit.k - truth.k).abs() / truth.k < 0.1, "k = {}", fit.k);

@@ -42,11 +42,8 @@ pub fn recommend_endpoint_concurrency(
     let samples = concurrency_profile(log, endpoint);
     let buckets = bucket_by_concurrency(&samples);
     let total_w: f64 = buckets.iter().map(|b| b.2).sum();
-    let pts: Vec<(f64, f64)> = buckets
-        .iter()
-        .filter(|b| b.2 >= 0.002 * total_w)
-        .map(|b| (b.0, b.1))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        buckets.iter().filter(|b| b.2 >= 0.002 * total_w).map(|b| (b.0, b.1)).collect();
     let curve = WeibullCurve::fit(&pts)?;
     let max_observed = pts.last()?.0;
     let peak = curve.peak_x();
@@ -235,8 +232,7 @@ mod tests {
                 let _ = k;
             }
         }
-        let advice = recommend_endpoint_concurrency(&log, EndpointId(0))
-            .expect("curve should fit");
+        let advice = recommend_endpoint_concurrency(&log, EndpointId(0)).expect("curve should fit");
         // True peak of the synthetic curve: λ·((k−1)/k)^(1/k) · (we scaled
         // concurrency by 4 instances per wave depth).
         let true_peak = curve.peak_x();

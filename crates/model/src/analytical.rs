@@ -55,9 +55,7 @@ impl SubsystemCeilings {
 
 /// Historically estimated per-endpoint disk ceilings (§3.2): the best rate
 /// ever observed with the endpoint as source (read) / destination (write).
-pub fn historical_disk_ceilings(
-    features: &[TransferFeatures],
-) -> BTreeMap<EndpointId, (f64, f64)> {
+pub fn historical_disk_ceilings(features: &[TransferFeatures]) -> BTreeMap<EndpointId, (f64, f64)> {
     let mut map: BTreeMap<EndpointId, (f64, f64)> = BTreeMap::new();
     for f in features {
         let src = map.entry(f.edge.src).or_insert((0.0, 0.0));
@@ -100,10 +98,8 @@ pub fn validate_bound(
     if best >= 0.8 * bound {
         return BoundVerdict::Explained;
     }
-    let best_with_load = edge_transfers
-        .iter()
-        .map(|f| f.rate + f.k_sout.max(f.k_din))
-        .fold(0.0f64, f64::max);
+    let best_with_load =
+        edge_transfers.iter().map(|f| f.rate + f.k_sout.max(f.k_din)).fold(0.0f64, f64::max);
     if best_with_load >= 0.8 * bound && best_with_load <= 1.2 * bound {
         BoundVerdict::ExplainedWithLoad
     } else {
@@ -176,7 +172,11 @@ mod tests {
 
     #[test]
     fn historical_ceilings_track_roles() {
-        let fs = vec![feat(0, 1, 100.0, 0.0, 0.0), feat(0, 1, 150.0, 0.0, 0.0), feat(1, 0, 90.0, 0.0, 0.0)];
+        let fs = vec![
+            feat(0, 1, 100.0, 0.0, 0.0),
+            feat(0, 1, 150.0, 0.0, 0.0),
+            feat(1, 0, 90.0, 0.0, 0.0),
+        ];
         let d = historical_disk_ceilings(&fs);
         assert_eq!(d[&EndpointId(0)], (150.0, 90.0));
         assert_eq!(d[&EndpointId(1)], (90.0, 150.0));

@@ -96,8 +96,8 @@ mod tests {
                 let u = |k: u64| (((h >> (k % 37)) % 1000) as f64) / 1000.0;
                 let k_sout = cap * 0.8 * u(5);
                 let k_din = cap * 0.8 * u(9);
-                let rate = cap / (1.0 + (k_sout + k_din) / (0.5 * cap))
-                    * (1.0 + 0.04 * (u(13) - 0.5));
+                let rate =
+                    cap / (1.0 + (k_sout + k_din) / (0.5 * cap)) * (1.0 + 0.04 * (u(13) - 0.5));
                 out.push(TransferFeatures {
                     id: TransferId(id),
                     edge: EdgeId::new(EndpointId(src), EndpointId(dst)),

@@ -20,13 +20,17 @@ pub mod per_edge;
 pub mod pipeline;
 pub mod tune;
 
-pub use advisor::{recommend_endpoint_concurrency, schedule_advice, ConcurrencyAdvice, ScheduleAdvice};
+pub use advisor::{
+    recommend_endpoint_concurrency, schedule_advice, ConcurrencyAdvice, ScheduleAdvice,
+};
 pub use analytical::{
     classify_edges, historical_disk_ceilings, validate_bound, BoundVerdict, Limiter,
     SubsystemCeilings,
 };
 pub use global_model::{build_global_dataset, GlobalModel};
-pub use lmt_model::{build_lmt_dataset, compare_with_lmt, join_storage_load, LmtComparison, StorageLoad};
+pub use lmt_model::{
+    build_lmt_dataset, compare_with_lmt, join_storage_load, LmtComparison, StorageLoad,
+};
 pub use per_edge::{run_one_edge, run_per_edge, EdgeExperiment, PerEdgeConfig};
 pub use pipeline::{build_dataset, EvalReport, FitConfig, FittedModel, ModelKind};
 pub use tune::{default_grid, tune_gbdt, TuneResult};

@@ -27,10 +27,7 @@ pub struct StorageLoad {
 
 /// Compute each transfer's storage-load features by averaging the monitor
 /// samples that fall inside its `[start, end)` window.
-pub fn join_storage_load(
-    features: &[TransferFeatures],
-    samples: &[LmtSample],
-) -> Vec<StorageLoad> {
+pub fn join_storage_load(features: &[TransferFeatures], samples: &[LmtSample]) -> Vec<StorageLoad> {
     features
         .iter()
         .map(|f| {
@@ -49,10 +46,7 @@ pub fn join_storage_load(
 
 /// Build the §5.5.2 dataset: Table 2 features (no `Nflt`) plus the four
 /// storage-load columns.
-pub fn build_lmt_dataset(
-    features: &[TransferFeatures],
-    loads: &[StorageLoad],
-) -> Dataset {
+pub fn build_lmt_dataset(features: &[TransferFeatures], loads: &[StorageLoad]) -> Dataset {
     assert_eq!(features.len(), loads.len());
     let mut base = build_dataset(features, false);
     base.names.extend(

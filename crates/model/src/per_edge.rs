@@ -59,10 +59,7 @@ impl Default for PerEdgeConfig {
 
 /// Significance of every feature in the *full* (explanation) dataset:
 /// eliminated features become `None`.
-fn full_significance(
-    model: &FittedModel,
-    all_names: &[String],
-) -> Vec<(String, Option<f64>)> {
+fn full_significance(model: &FittedModel, all_names: &[String]) -> Vec<(String, Option<f64>)> {
     let sig = model.significance();
     all_names
         .iter()
@@ -102,7 +99,8 @@ pub fn run_one_edge(
     }
     // Prediction models: no Nflt, 70/30 split.
     let data = build_dataset(edge_feats, false);
-    let (train, test) = data.split(cfg.train_frac, cfg.seed ^ edge.src.0 as u64 ^ (edge.dst.0 as u64) << 32);
+    let (train, test) =
+        data.split(cfg.train_frac, cfg.seed ^ edge.src.0 as u64 ^ (edge.dst.0 as u64) << 32);
     let lr_model = FittedModel::fit(&train, ModelKind::Linear, &cfg.fit)?;
     let xgb_model = FittedModel::fit(&train, ModelKind::Gbdt, &cfg.fit)?;
     let lr = lr_model.evaluate(&test);
@@ -150,7 +148,8 @@ mod tests {
                 let g_dst = 30.0 * u(11);
                 let n_b = 1.0e9 * (0.2 + 5.0 * u(17));
                 // Nonlinear ground truth with interactions + mild noise.
-                let rate = 800.0e6 / (1.0 + (k_sout + 2.0 * k_din) / 300.0e6)
+                let rate = 800.0e6
+                    / (1.0 + (k_sout + 2.0 * k_din) / 300.0e6)
                     / (1.0 + 0.02 * g_dst * g_dst / 30.0)
                     * (n_b / (n_b + 2.0e8))
                     * (1.0 + 0.03 * (u(23) - 0.5));
@@ -184,8 +183,7 @@ mod tests {
     fn quick_cfg() -> PerEdgeConfig {
         // Threshold 0 keeps all synthetic samples: the generator has no
         // hidden load to filter out, and tests gate on min_transfers.
-        let mut cfg =
-            PerEdgeConfig { min_transfers: 100, threshold: 0.0, ..Default::default() };
+        let mut cfg = PerEdgeConfig { min_transfers: 100, threshold: 0.0, ..Default::default() };
         cfg.fit.gbdt.n_rounds = 60;
         cfg
     }
@@ -240,7 +238,11 @@ mod tests {
     fn max_edges_caps_output() {
         let mut feats = Vec::new();
         for i in 0..4 {
-            feats.extend(synth_edge(300, EdgeId::new(EndpointId(i), EndpointId(i + 10)), i as u64 + 1));
+            feats.extend(synth_edge(
+                300,
+                EdgeId::new(EndpointId(i), EndpointId(i + 10)),
+                i as u64 + 1,
+            ));
         }
         let cfg = PerEdgeConfig { max_edges: 2, ..quick_cfg() };
         assert_eq!(run_per_edge(&feats, &cfg).len(), 2);

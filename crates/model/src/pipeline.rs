@@ -2,12 +2,12 @@
 //! z-score normalization → linear or gradient-boosted regression →
 //! evaluation.
 
-use serde::{Deserialize, Serialize};
 use wdt_features::{Dataset, Normalizer, TransferFeatures, FEATURE_NAMES};
 use wdt_ml::{mdape, pct_error_quantile, r2, rmse, Gbdt, GbdtParams, LinearRegression};
+use wdt_types::json::{JsonError, JsonValue};
 
 /// Which regression family to fit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
     /// Ordinary least squares (paper §5.1).
     Linear,
@@ -49,7 +49,6 @@ pub fn build_dataset(features: &[TransferFeatures], include_nflt: bool) -> Datas
     d
 }
 
-#[derive(Serialize, Deserialize)]
 enum Inner {
     Linear(LinearRegression),
     Gbdt(Box<Gbdt>),
@@ -60,7 +59,6 @@ enum Inner {
 ///
 /// Serializable: persist with [`FittedModel::to_json`] and reload with
 /// [`FittedModel::from_json`] to reuse a model across processes.
-#[derive(Serialize, Deserialize)]
 pub struct FittedModel {
     kind: ModelKind,
     /// Indices of kept columns in the original dataset layout.
@@ -87,11 +85,8 @@ impl FittedModel {
         }
         let names: Vec<String> = kept.iter().map(|&j| train.names[j].clone()).collect();
         let eliminated: Vec<String> = low.iter().map(|&j| train.names[j].clone()).collect();
-        let x: Vec<Vec<f64>> = train
-            .x
-            .iter()
-            .map(|row| kept.iter().map(|&j| row[j]).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            train.x.iter().map(|row| kept.iter().map(|&j| row[j]).collect()).collect();
         let pruned = Dataset::new(names.clone(), x, train.y.clone());
         let normalizer = Normalizer::fit(&pruned);
         let normed = normalizer.apply(&pruned);
@@ -142,12 +137,62 @@ impl FittedModel {
 
     /// Serialize the fitted model to JSON for persistence.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serializes")
+        let (family, inner) = match &self.inner {
+            Inner::Linear(m) => ("linear", m.to_json_value()),
+            Inner::Gbdt(m) => ("gbdt", m.to_json_value()),
+        };
+        JsonValue::obj([
+            ("kind", JsonValue::Str(family.to_string())),
+            ("kept", JsonValue::Arr(self.kept.iter().map(|&j| JsonValue::Num(j as f64)).collect())),
+            (
+                "names",
+                JsonValue::Arr(self.names.iter().map(|n| JsonValue::Str(n.clone())).collect()),
+            ),
+            (
+                "eliminated",
+                JsonValue::Arr(self.eliminated.iter().map(|n| JsonValue::Str(n.clone())).collect()),
+            ),
+            (
+                "normalizer",
+                JsonValue::obj([
+                    ("mean", JsonValue::nums(&self.normalizer.mean)),
+                    ("std", JsonValue::nums(&self.normalizer.std)),
+                ]),
+            ),
+            ("model", inner),
+        ])
+        .to_string()
     }
 
     /// Reload a model persisted with [`FittedModel::to_json`].
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let v = JsonValue::parse(json)?;
+        let model = v.field("model")?;
+        let (kind, inner) = match v.field("kind")?.as_str()? {
+            "linear" => {
+                (ModelKind::Linear, Inner::Linear(LinearRegression::from_json_value(model)?))
+            }
+            "gbdt" => (ModelKind::Gbdt, Inner::Gbdt(Box::new(Gbdt::from_json_value(model)?))),
+            other => return Err(JsonError::new(format!("unknown model kind '{other}'"))),
+        };
+        let normalizer = v.field("normalizer")?;
+        let normalizer = Normalizer {
+            mean: normalizer.field("mean")?.as_f64_vec()?,
+            std: normalizer.field("std")?.as_f64_vec()?,
+        };
+        let kept = v.field("kept")?.as_usize_vec()?;
+        let names = v.field("names")?.as_string_vec()?;
+        if kept.len() != names.len() || normalizer.mean.len() != names.len() {
+            return Err(JsonError::new("inconsistent model artifact"));
+        }
+        Ok(FittedModel {
+            kind,
+            kept,
+            names,
+            eliminated: v.field("eliminated")?.as_string_vec()?,
+            normalizer,
+            inner,
+        })
     }
 
     /// Evaluate on a test dataset (original layout).
@@ -218,12 +263,7 @@ mod tests {
         let xgb = FittedModel::fit(&train, ModelKind::Gbdt, &cfg).unwrap();
         let lr_eval = lr.evaluate(&test);
         let xgb_eval = xgb.evaluate(&test);
-        assert!(
-            xgb_eval.mdape < lr_eval.mdape,
-            "GBDT {} vs LR {}",
-            xgb_eval.mdape,
-            lr_eval.mdape
-        );
+        assert!(xgb_eval.mdape < lr_eval.mdape, "GBDT {} vs LR {}", xgb_eval.mdape, lr_eval.mdape);
         assert!(xgb_eval.r2 > 0.95, "GBDT R² {}", xgb_eval.r2);
     }
 

@@ -99,11 +99,9 @@ mod tests {
     use super::*;
 
     fn synth(n: usize) -> Dataset {
-        let x: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![(i % 17) as f64, (i % 9) as f64 - 4.0])
-            .collect();
-        let y: Vec<f64> =
-            x.iter().map(|r| 50.0 + 3.0 * r[0] + 8.0 * r[1] * r[1]).collect();
+        let x: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i % 17) as f64, (i % 9) as f64 - 4.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 50.0 + 3.0 * r[0] + 8.0 * r[1] * r[1]).collect();
         Dataset::new(vec!["a".into(), "b".into()], x, y)
     }
 

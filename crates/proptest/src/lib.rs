@@ -1,0 +1,257 @@
+//! Minimal, self-contained stand-in for the slice of the `proptest` API
+//! this workspace uses. The build environment has no crates.io access, so
+//! property tests run on a small in-tree harness with the same surface:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! [`Just`], [`prop_oneof!`], `collection::{vec, btree_set}`, range
+//! strategies, and [`ProptestConfig`].
+//!
+//! Differences from upstream: no shrinking (a failing case is reported
+//! verbatim) and fully deterministic case generation (seeded per test
+//! case index), which makes failures reproducible across runs.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Deterministic xoshiro256++ generator for case inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Generator for the `case`-th input of a run.
+    pub fn for_case(case: u32) -> Self {
+        let mut sm = 0x5052_4F50_5445_5354u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream default; cheap properties dominate this workspace.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property over many generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// New runner with the given config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Generate `config.cases` inputs and run `test` on each. On panic,
+    /// reports the case index and the generated input, then re-panics.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value),
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::for_case(case);
+            let value = strategy.generate(&mut rng);
+            let desc = format!("{value:?}");
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+            if let Err(payload) = result {
+                eprintln!("proptest: case #{case} failed; input was:\n  {desc}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Assert a boolean property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!(
+                "prop_assert_eq failed: {} != {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as with
+/// upstream proptest) running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategy = ($($strategy,)+);
+            $crate::TestRunner::new($config).run(&strategy, |($($pat,)+)| $body);
+        }
+    )*};
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestRunner};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let strat = (0u32..10, -1.0f64..1.0, 1usize..=3);
+        TestRunner::new(ProptestConfig::with_cases(200)).run(&strat, |(a, b, c)| {
+            assert!(a < 10);
+            assert!((-1.0..1.0).contains(&b));
+            assert!((1..=3).contains(&c));
+        });
+    }
+
+    #[test]
+    fn prop_map_and_flat_map_compose() {
+        let strat = (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0.0f64..1.0, n..n + 1).prop_map(move |v| (n, v))
+        });
+        TestRunner::new(ProptestConfig::with_cases(100)).run(&strat, |(n, v)| {
+            assert_eq!(v.len(), n);
+        });
+    }
+
+    #[test]
+    fn oneof_reaches_every_arm() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 3];
+        for case in 0..64 {
+            let v = strat.generate(&mut crate::TestRng::for_case(case));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn btree_set_sizes_respected() {
+        let strat = crate::collection::btree_set(0usize..8, 2..=4);
+        TestRunner::new(ProptestConfig::with_cases(100)).run(&strat, |s| {
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.iter().all(|&x| x < 8));
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..100, (a, b) in (0u8..4, 0u8..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(a / 4, b / 4);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics() {
+        TestRunner::new(ProptestConfig::with_cases(50)).run(&(0u32..100,), |(x,)| {
+            assert!(x < 50, "found counterexample {x}");
+        });
+    }
+}

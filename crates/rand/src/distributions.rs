@@ -1,0 +1,15 @@
+//! The [`Distribution`] trait, mirroring `rand::distributions`.
+
+use crate::RngCore;
+
+/// A source of values of type `T` driven by an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}

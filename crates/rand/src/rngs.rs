@@ -1,0 +1,71 @@
+//! Concrete generators. [`StdRng`] is xoshiro256++ (Blackman & Vigna):
+//! 256-bit state, passes BigCrush, and is cheap enough for the simulator's
+//! hot loop. Seeding goes through SplitMix64 as the xoshiro authors
+//! recommend, so low-entropy seeds (0, 1, 2, ...) still produce
+//! well-mixed streams.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard PRNG (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_xoshiro256plusplus() {
+        // Reference stream for the raw algorithm with state {1,2,3,4},
+        // cross-checked against the public C implementation.
+        let mut r = StdRng { s: [1, 2, 3, 4] };
+        let expect: [u64; 4] = [41943041, 58720359, 3588806011781223, 3591011842654386];
+        for e in expect {
+            assert_eq!(r.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_mixes_low_entropy_seeds() {
+        let a = StdRng::seed_from_u64(0).next_u64();
+        let b = StdRng::seed_from_u64(1).next_u64();
+        // Neighbouring seeds must not produce correlated first outputs.
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 10, "poorly mixed: {a:x} vs {b:x}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal, self-contained stand-in for the parts of `rand_distr` this
+//! workspace uses: [`Exp`], [`LogNormal`], and [`StandardNormal`], all via
+//! the shared [`Distribution`] trait. Samplers use textbook inverse-CDF /
+//! Box–Muller transforms — statistically sound, if a little slower than
+//! the ziggurat implementations upstream.
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Errors constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// The rate / scale parameter must be positive and finite.
+    BadParam,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError::BadParam)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF over U ∈ (0, 1] so ln never sees zero.
+        -rng.next_f64_open().ln() / self.lambda
+    }
+}
+
+/// Standard normal N(0, 1) via Box–Muller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = rng.next_f64_open();
+        let u2 = rng.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Log-normal: `exp(mu + sigma·Z)` with `Z ~ N(0,1)`.
+///
+/// The (phantom-defaulted) type parameter keeps upstream `LogNormal<f64>`
+/// annotations compiling; only `f64` is implemented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F = f64> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    /// `mu` is the mean of the underlying normal (the log-median);
+    /// `sigma` its standard deviation, which must be non-negative and
+    /// finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError::BadParam)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * StandardNormal.sample(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Exp::new(0.25).unwrap(); // mean 4
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_rejects_bad_rates() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = LogNormal::new(2.0, 0.7).unwrap();
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        let expect = 2.0f64.exp();
+        assert!((median / expect - 1.0).abs() < 0.03, "median {median} vs {expect}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+}

@@ -93,7 +93,33 @@ impl FlowDemand {
     }
 }
 
-const EPS: f64 = 1e-6;
+/// Relative tolerance for saturation and cap tests. An absolute epsilon
+/// breaks at wide-area scale: capacities are ~1e9–1e10 bytes/s, where the
+/// rounding error of a handful of f64 subtractions already dwarfs any fixed
+/// 1e-6 cutoff, so saturated resources went undetected and the filling loop
+/// spun on vanishing deltas. All tolerances scale with the quantity tested.
+const REL_EPS: f64 = 1e-9;
+
+/// The freeze threshold for a flow's private cap: caps can be infinite
+/// (never binding), and `INF - INF * REL_EPS` is NaN, so guard explicitly.
+fn cap_threshold(cap: f64) -> f64 {
+    if cap.is_finite() {
+        cap - REL_EPS * cap.abs().max(1.0)
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Reusable workspace for [`allocate_into`]. The simulator reallocates at
+/// every event, so the per-call vectors are worth keeping around.
+#[derive(Debug, Default, Clone)]
+pub struct AllocScratch {
+    rates: Vec<f64>,
+    remaining: Vec<f64>,
+    tol: Vec<f64>,
+    wsum: Vec<f64>,
+    frozen: Vec<bool>,
+}
 
 /// Compute the weighted max–min fair allocation.
 ///
@@ -102,19 +128,43 @@ const EPS: f64 = 1e-6;
 /// resource is oversubscribed, and the allocation is Pareto-efficient
 /// (every flow is limited by its cap or by a saturated resource).
 pub fn allocate(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
+    let mut scratch = AllocScratch::default();
+    allocate_into(capacities, flows, &mut scratch);
+    scratch.rates
+}
+
+/// As [`allocate`], but reusing `scratch` across calls; the result lives in
+/// the returned slice until the next call.
+pub fn allocate_into<'a>(
+    capacities: &[f64],
+    flows: &[FlowDemand],
+    scratch: &'a mut AllocScratch,
+) -> &'a [f64] {
     let nf = flows.len();
     let nr = capacities.len();
-    let mut rates = vec![0.0f64; nf];
+    let rates = &mut scratch.rates;
+    rates.clear();
+    rates.resize(nf, 0.0);
     if nf == 0 {
         return rates;
     }
     debug_assert!(flows.iter().all(|f| f.weight > 0.0), "weights must be positive");
     debug_assert!(flows.iter().all(|f| f.resources().iter().all(|&r| r < nr)));
 
-    let mut remaining: Vec<f64> = capacities.to_vec();
-    let mut frozen = vec![false; nf];
+    let remaining = &mut scratch.remaining;
+    remaining.clear();
+    remaining.extend_from_slice(capacities);
+    // Saturation tolerance, relative to each resource's own scale.
+    let tol = &mut scratch.tol;
+    tol.clear();
+    tol.extend(capacities.iter().map(|c| REL_EPS * c.abs().max(1.0)));
+    let frozen = &mut scratch.frozen;
+    frozen.clear();
+    frozen.resize(nf, false);
     // Sum of coefficient-scaled weights of unfrozen users per resource.
-    let mut wsum = vec![0.0f64; nr];
+    let wsum = &mut scratch.wsum;
+    wsum.clear();
+    wsum.resize(nr, 0.0);
     for f in flows {
         for (&r, &c) in f.resources().iter().zip(f.coefficients()) {
             wsum[r] += f.weight * c;
@@ -159,8 +209,8 @@ pub fn allocate(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
             if frozen[i] {
                 continue;
             }
-            let at_cap = rates[i] >= f.cap - EPS;
-            let blocked = f.resources().iter().any(|&r| remaining[r] <= EPS);
+            let at_cap = rates[i] >= cap_threshold(f.cap);
+            let blocked = f.resources().iter().any(|&r| remaining[r] <= tol[r]);
             if at_cap || blocked {
                 frozen[i] = true;
                 for (&r, &c) in f.resources().iter().zip(f.coefficients()) {
@@ -170,7 +220,7 @@ pub fn allocate(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
         }
     }
     // Numerical hygiene: clamp tiny negatives introduced by subtraction.
-    for r in &mut rates {
+    for r in rates.iter_mut() {
         if *r < 0.0 {
             *r = 0.0;
         }
@@ -292,6 +342,56 @@ mod tests {
         let rates = allocate(&[], &[fd(42.0, 1.0, vec![])]);
         assert!((rates[0] - 42.0).abs() < 1e-6);
     }
+
+    #[test]
+    fn wide_area_scale_capacities_saturate_exactly() {
+        // Regression: with capacities at real bytes/s scale (~1e9, a 10 Gb/s
+        // NIC) the old absolute EPS = 1e-6 was far below f64 rounding error,
+        // so saturated resources went undetected. The binding resource must
+        // be driven to capacity within *relative* tolerance.
+        let nic = 1.25e9; // 10 Gb/s in bytes/s
+        let flows: Vec<FlowDemand> = (0..10).map(|_| fd(5.0e8, 1.0, vec![0, 1])).collect();
+        let rates = allocate(&[nic, 10.0 * nic], &flows);
+        let used: f64 = rates.iter().sum();
+        assert!(
+            (used - nic).abs() <= 1e-6 * nic,
+            "binding NIC not saturated: used {used} of {nic}"
+        );
+        for &r in &rates {
+            assert!((r - nic / 10.0).abs() <= 1e-6 * nic, "unequal split: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn wide_area_scale_respects_caps_after_many_freezes() {
+        // Mixed caps at 1e9 scale: capped flows freeze first, the rest
+        // re-split the slack; totals must still meet the binding resource.
+        let cap = 2.0e9;
+        let flows = vec![
+            fd(1.0e8, 1.0, vec![0]),
+            fd(2.5e8, 2.0, vec![0]),
+            fd(f64::INFINITY, 1.0, vec![0]),
+            fd(f64::INFINITY, 1.0, vec![0]),
+        ];
+        let rates = allocate(&[cap], &flows);
+        assert!((rates[0] - 1.0e8).abs() <= 1.0, "{rates:?}");
+        assert!((rates[1] - 2.5e8).abs() <= 1.0, "{rates:?}");
+        let used: f64 = rates.iter().sum();
+        assert!((used - cap).abs() <= 1e-6 * cap, "used {used} of {cap}");
+        assert!((rates[2] - rates[3]).abs() <= 1e-6 * cap, "{rates:?}");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let flows = vec![fd(8.0e8, 1.0, vec![0]), fd(f64::INFINITY, 2.0, vec![0, 1])];
+        let mut scratch = AllocScratch::default();
+        let a = allocate_into(&[1.25e9, 6.0e8], &flows, &mut scratch).to_vec();
+        // Reuse on a different-shaped problem, then back again.
+        allocate_into(&[50.0], &[fd(f64::INFINITY, 1.0, vec![0])], &mut scratch);
+        let b = allocate_into(&[1.25e9, 6.0e8], &flows, &mut scratch).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(a, allocate(&[1.25e9, 6.0e8], &flows));
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +467,42 @@ mod prop_tests {
         #[test]
         fn deterministic((caps, flows) in arb_problem()) {
             prop_assert_eq!(allocate(&caps, &flows), allocate(&caps, &flows));
+        }
+
+        #[test]
+        fn binding_resources_saturate_at_wide_area_scale((caps, flows) in arb_problem()) {
+            // Same problems scaled to real bytes/s magnitudes (~1e9-1e12):
+            // every flow must end up limited by its cap or by a resource
+            // that is saturated to within *relative* tolerance, and the
+            // allocation on a flow's binding resource must sum to capacity.
+            let caps: Vec<f64> = caps.iter().map(|c| c * 1e9).collect();
+            let flows: Vec<FlowDemand> = flows.iter()
+                .map(|f| FlowDemand::new(f.cap * 1e9, f.weight, f.resources()))
+                .collect();
+            let rates = allocate(&caps, &flows);
+            let used: Vec<f64> = (0..caps.len()).map(|r| {
+                flows.iter().zip(&rates)
+                    .filter(|(f, _)| f.resources().contains(&r))
+                    .map(|(_, &rate)| rate)
+                    .sum()
+            }).collect();
+            for (r, &cap) in caps.iter().enumerate() {
+                prop_assert!(used[r] <= cap * (1.0 + 1e-6),
+                    "resource {r}: used {} > cap {cap}", used[r]);
+            }
+            for (f, &rate) in flows.iter().zip(&rates) {
+                let at_cap = rate >= f.cap * (1.0 - 1e-6);
+                let binding = f.resources().iter()
+                    .find(|&&r| used[r] >= caps[r] * (1.0 - 1e-6));
+                prop_assert!(at_cap || binding.is_some(),
+                    "flow at {rate} (cap {}) neither capped nor on a saturated resource",
+                    f.cap);
+                if let (false, Some(&r)) = (at_cap, binding) {
+                    prop_assert!((used[r] - caps[r]).abs() <= caps[r] * 1e-6,
+                        "binding resource {r} allocations sum to {} not {}",
+                        used[r], caps[r]);
+                }
+            }
         }
     }
 }

@@ -59,11 +59,7 @@ impl SimConfig {
     /// A configuration for controlled testbed measurements: no faults and
     /// tiny jitter, so repeated runs cluster tightly (Table 1 campaigns).
     pub fn testbed() -> Self {
-        SimConfig {
-            flow_jitter: 0.02,
-            faults_enabled: false,
-            ..SimConfig::default()
-        }
+        SimConfig { flow_jitter: 0.02, faults_enabled: false, ..SimConfig::default() }
     }
 }
 

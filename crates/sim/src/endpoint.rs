@@ -194,8 +194,12 @@ mod tests {
 
     #[test]
     fn personal_endpoint_is_small() {
-        let p = Endpoint::personal(EndpointId(1), "laptop", "UChicago",
-            SiteCatalog::by_name("UChicago").unwrap().location);
+        let p = Endpoint::personal(
+            EndpointId(1),
+            "laptop",
+            "UChicago",
+            SiteCatalog::by_name("UChicago").unwrap().location,
+        );
         assert_eq!(p.kind, EndpointType::Personal);
         assert!(p.nic_out().as_f64() < ep(1).nic_out().as_f64());
     }

@@ -5,7 +5,7 @@
 //! processes; it advances a fluid model where every flow's rate is
 //! recomputed by [`crate::alloc::allocate`] at each event.
 
-use crate::alloc::{allocate, FlowDemand};
+use crate::alloc::{allocate_into, AllocScratch, FlowDemand};
 use crate::background::{BackgroundProcess, BgKind};
 use crate::config::SimConfig;
 use crate::endpoint::EndpointCatalog;
@@ -55,6 +55,9 @@ struct ActiveFlow {
     fault_gen: u64,
     /// Per-run multiplicative jitter on the flow's private ceiling.
     jitter: f64,
+    /// Private network ceiling, computed once at start (it depends only on
+    /// the request and the jitter, both fixed for the flow's lifetime).
+    cap: f64,
 }
 
 impl ActiveFlow {
@@ -81,6 +84,41 @@ pub struct SimOutput {
     pub lmt: Vec<LmtSample>,
     /// Time of the last event processed.
     pub horizon: SimTime,
+    /// Run counters (events, reallocations, queue pressure).
+    pub stats: SimStats,
+}
+
+/// Per-run observability counters, surfaced through [`SimOutput`] and
+/// printed by the CLI (this replaces the old `WDT_SIM_DEBUG` eprintln
+/// tracing).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Events popped from the event queue.
+    pub events: u64,
+    /// Rate reallocations performed.
+    pub reallocations: u64,
+    /// Wall-clock seconds spent inside [`Simulator::reallocate`].
+    pub realloc_time_s: f64,
+    /// High-water mark of the waiting (slot-starved) transfer queue.
+    pub max_queue_depth: usize,
+}
+
+impl SimStats {
+    /// Accumulate another run's counters (for multi-shard campaigns).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.events += other.events;
+        self.reallocations += other.reallocations;
+        self.realloc_time_s += other.realloc_time_s;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "events {} | reallocations {} ({:.2}s) | peak queue depth {}",
+            self.events, self.reallocations, self.realloc_time_s, self.max_queue_depth
+        )
+    }
 }
 
 /// The simulator. Build with [`Simulator::new`], submit requests, attach
@@ -104,8 +142,26 @@ pub struct Simulator {
     waiting: std::collections::VecDeque<(TransferRequest, TransferMode)>,
     /// Active transfer count per endpoint (slot accounting).
     active_per_ep: Vec<u32>,
-    // scratch, reused across reallocations
+    // Incremental per-endpoint censuses, maintained on every flow state
+    // transition so `reallocate` never rescans the flow table to rebuild
+    // them.
+    read_streams: Vec<u32>,
+    write_streams: Vec<u32>,
+    processes: Vec<u32>,
+    /// Endpoints whose census or background demand changed since the last
+    /// reallocation; only their capacity entries are recomputed.
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    /// Background processes attached to each endpoint (indices into
+    /// `background`), built once at run start.
+    bg_by_ep: Vec<Vec<usize>>,
+    // Scratch, reused across reallocations.
     capacities: Vec<f64>,
+    demands: Vec<FlowDemand>,
+    slot_of_demand: Vec<usize>,
+    alloc_scratch: AllocScratch,
+    waiting_scratch: std::collections::VecDeque<(TransferRequest, TransferMode)>,
+    stats: SimStats,
 }
 
 /// Resources per endpoint in the capacity vector.
@@ -118,6 +174,15 @@ const R_CPU: usize = 4;
 
 fn res_idx(ep: EndpointId, kind: usize) -> usize {
     ep.0 as usize * RES_PER_EP + kind
+}
+
+fn bg_res(kind: BgKind) -> usize {
+    match kind {
+        BgKind::DiskRead => R_DISK_READ,
+        BgKind::DiskWrite => R_DISK_WRITE,
+        BgKind::NicOut => R_NIC_OUT,
+        BgKind::NicIn => R_NIC_IN,
+    }
 }
 
 impl Simulator {
@@ -140,7 +205,18 @@ impl Simulator {
             lmt_samples: Vec::new(),
             waiting: std::collections::VecDeque::new(),
             active_per_ep: vec![0; n],
+            read_streams: vec![0; n],
+            write_streams: vec![0; n],
+            processes: vec![0; n],
+            dirty: vec![false; n],
+            dirty_list: Vec::with_capacity(n),
+            bg_by_ep: Vec::new(),
             capacities: vec![0.0; n * RES_PER_EP],
+            demands: Vec::new(),
+            slot_of_demand: Vec::new(),
+            alloc_scratch: AllocScratch::default(),
+            waiting_scratch: std::collections::VecDeque::new(),
+            stats: SimStats::default(),
         }
     }
 
@@ -225,61 +301,95 @@ impl Simulator {
         agg.as_f64() * eff * flow.jitter
     }
 
-    /// Recompute all flow rates with weighted progressive filling.
-    fn reallocate(&mut self) {
-        let n_ep = self.endpoints.len();
-        // Stream/process census per endpoint.
-        let mut read_streams = vec![0u32; n_ep];
-        let mut write_streams = vec![0u32; n_ep];
-        let mut processes = vec![0u32; n_ep];
-        for f in self.flows.iter().flatten() {
-            let e = f.procs();
-            processes[f.req.src.0 as usize] += e;
-            processes[f.req.dst.0 as usize] += e;
-            if f.state == FlowState::Running {
-                if f.reads_disk() {
-                    read_streams[f.req.src.0 as usize] += e;
-                }
-                if f.writes_disk() {
-                    write_streams[f.req.dst.0 as usize] += e;
-                }
+    /// Mark an endpoint's capacity entries stale.
+    fn mark_dirty(&mut self, ep: EndpointId) {
+        let i = ep.0 as usize;
+        if !self.dirty[i] {
+            self.dirty[i] = true;
+            self.dirty_list.push(ep.0);
+        }
+    }
+
+    /// Add (`+1`) or remove (`-1`) a flow's processes from the CPU census.
+    /// A loopback transfer (`src == dst`) contributes its processes once —
+    /// the GridFTP instances serve both directions on the same host.
+    fn census_procs(&mut self, req: &TransferRequest, sign: i64) {
+        let e = req.effective_concurrency() as i64 * sign;
+        let src = req.src.0 as usize;
+        self.processes[src] = (self.processes[src] as i64 + e) as u32;
+        self.mark_dirty(req.src);
+        if req.dst != req.src {
+            let dst = req.dst.0 as usize;
+            self.processes[dst] = (self.processes[dst] as i64 + e) as u32;
+            self.mark_dirty(req.dst);
+        }
+    }
+
+    /// Add or remove a *running* flow's disk streams from the census.
+    /// Must be called exactly once per transition into/out of
+    /// [`FlowState::Running`].
+    fn census_streams(&mut self, slot: usize, sign: i64) {
+        let f = self.flows[slot].as_ref().expect("live slot");
+        let e = f.procs() as i64 * sign;
+        let (reads, writes) = (f.reads_disk(), f.writes_disk());
+        let (src, dst) = (f.req.src, f.req.dst);
+        if reads {
+            let i = src.0 as usize;
+            self.read_streams[i] = (self.read_streams[i] as i64 + e) as u32;
+            self.mark_dirty(src);
+        }
+        if writes {
+            let i = dst.0 as usize;
+            self.write_streams[i] = (self.write_streams[i] as i64 + e) as u32;
+            self.mark_dirty(dst);
+        }
+    }
+
+    /// Recompute the capacity entries of one endpoint from its censuses and
+    /// the current background demand.
+    fn refresh_capacities(&mut self, ep_idx: u32) {
+        let ep = self.endpoints.get(EndpointId(ep_idx));
+        let i = ep_idx as usize;
+        let rd = ep.storage.read_capacity(self.read_streams[i].max(1)).as_f64();
+        let wr = ep.storage.write_capacity(self.write_streams[i].max(1)).as_f64();
+        // TCP/IP + framing overhead: ~94% of line rate is payload.
+        let no = ep.nic_out().as_f64() * 0.94;
+        let ni = ep.nic_in().as_f64() * 0.94;
+        let cpu = ep.cpu_capacity(self.processes[i]).as_f64();
+        // Background demand, summed exactly from this endpoint's processes.
+        let mut bg = [0.0f64; RES_PER_EP];
+        if let Some(list) = self.bg_by_ep.get(i) {
+            for &b in list {
+                let b = &self.background[b];
+                bg[bg_res(b.kind)] += b.demand().as_f64();
             }
         }
-        // Background demand per (endpoint, resource).
-        let mut bg_demand = vec![0.0f64; n_ep * RES_PER_EP];
-        for b in &self.background {
-            let kind = match b.kind {
-                BgKind::DiskRead => R_DISK_READ,
-                BgKind::DiskWrite => R_DISK_WRITE,
-                BgKind::NicOut => R_NIC_OUT,
-                BgKind::NicIn => R_NIC_IN,
-            };
-            bg_demand[res_idx(b.endpoint, kind)] += b.demand().as_f64();
+        let id = ep.id;
+        // Floored at 2% of nominal so no flow ever fully starves (real
+        // systems retain residual service under contention).
+        let set = |cap: f64, bg: f64| (cap - bg).max(cap * 0.02);
+        self.capacities[res_idx(id, R_DISK_READ)] = set(rd, bg[R_DISK_READ]);
+        self.capacities[res_idx(id, R_DISK_WRITE)] = set(wr, bg[R_DISK_WRITE]);
+        self.capacities[res_idx(id, R_NIC_OUT)] = set(no, bg[R_NIC_OUT]);
+        self.capacities[res_idx(id, R_NIC_IN)] = set(ni, bg[R_NIC_IN]);
+        self.capacities[res_idx(id, R_CPU)] = cpu;
+    }
+
+    /// Recompute all flow rates with weighted progressive filling.
+    ///
+    /// Incremental: capacity entries are refreshed only for endpoints whose
+    /// census or background demand changed since the last call, and all
+    /// per-call vectors are reused scratch.
+    fn reallocate(&mut self) {
+        let t0 = std::time::Instant::now();
+        self.stats.reallocations += 1;
+        while let Some(ep) = self.dirty_list.pop() {
+            self.dirty[ep as usize] = false;
+            self.refresh_capacities(ep);
         }
-        // Capacities. Floored at 2% of nominal so no flow ever fully
-        // starves (real systems retain residual service under contention).
-        for ep in self.endpoints.iter() {
-            let i = ep.id.0 as usize;
-            let rd = ep.storage.read_capacity(read_streams[i].max(1)).as_f64();
-            let wr = ep.storage.write_capacity(write_streams[i].max(1)).as_f64();
-            // TCP/IP + framing overhead: ~94% of line rate is payload.
-            let no = ep.nic_out().as_f64() * 0.94;
-            let ni = ep.nic_in().as_f64() * 0.94;
-            let cpu = ep.cpu_capacity(processes[i]).as_f64();
-            let set = |cap: f64, bg: f64| (cap - bg).max(cap * 0.02);
-            self.capacities[res_idx(ep.id, R_DISK_READ)] =
-                set(rd, bg_demand[res_idx(ep.id, R_DISK_READ)]);
-            self.capacities[res_idx(ep.id, R_DISK_WRITE)] =
-                set(wr, bg_demand[res_idx(ep.id, R_DISK_WRITE)]);
-            self.capacities[res_idx(ep.id, R_NIC_OUT)] =
-                set(no, bg_demand[res_idx(ep.id, R_NIC_OUT)]);
-            self.capacities[res_idx(ep.id, R_NIC_IN)] =
-                set(ni, bg_demand[res_idx(ep.id, R_NIC_IN)]);
-            self.capacities[res_idx(ep.id, R_CPU)] = cpu;
-        }
-        // Demands for running flows.
-        let mut demands = Vec::new();
-        let mut slot_of_demand = Vec::new();
+        // Demands for running flows (cached private ceilings).
+        self.demands.clear();
+        self.slot_of_demand.clear();
         for (slot, f) in self.flows.iter().enumerate() {
             let Some(f) = f else { continue };
             if f.state != FlowState::Running {
@@ -307,23 +417,24 @@ impl Simulator {
                 resources[n] = res_idx(f.req.dst, R_DISK_WRITE);
                 n += 1;
             }
-            demands.push(FlowDemand::with_coefficients(
-                self.flow_cap(f),
+            self.demands.push(FlowDemand::with_coefficients(
+                f.cap,
                 (f.streams() as f64).sqrt().max(1.0),
                 &resources[..n],
                 &coeffs[..n],
             ));
-            slot_of_demand.push(slot);
+            self.slot_of_demand.push(slot);
         }
-        let rates = allocate(&self.capacities, &demands);
-        for (f, _) in self.flows.iter_mut().flatten().zip(std::iter::repeat(())) {
+        let rates = allocate_into(&self.capacities, &self.demands, &mut self.alloc_scratch);
+        for f in self.flows.iter_mut().flatten() {
             if f.state != FlowState::Running {
                 f.rate = 0.0;
             }
         }
-        for (&slot, &rate) in slot_of_demand.iter().zip(&rates) {
+        for (&slot, &rate) in self.slot_of_demand.iter().zip(rates) {
             self.flows[slot].as_mut().expect("live slot").rate = rate;
         }
+        self.stats.realloc_time_s += t0.elapsed().as_secs_f64();
     }
 
     /// Advance all running flows' byte counters from `self.now` to `t`.
@@ -359,7 +470,11 @@ impl Simulator {
                 Some(f) if f.state == FlowState::Running && f.remaining <= 0.5
             );
             if done {
+                // Completion only happens from Running, so both the stream
+                // and process censuses hold this flow's contribution.
+                self.census_streams(slot, -1);
                 let f = self.flows[slot].take().expect("checked above");
+                self.census_procs(&f.req, -1);
                 self.free_slots.push(slot);
                 self.release_slots(&f.req);
                 self.records
@@ -372,11 +487,10 @@ impl Simulator {
     /// Utilization proxy used to modulate the fault intensity: how squeezed
     /// the flow is relative to its private ceiling.
     fn squeeze(&self, f: &ActiveFlow) -> f64 {
-        let cap = self.flow_cap(f);
-        if cap <= 0.0 {
+        if f.cap <= 0.0 {
             return 1.0;
         }
-        (1.0 - f.rate / cap).clamp(0.0, 1.0)
+        (1.0 - f.rate / f.cap).clamp(0.0, 1.0)
     }
 
     fn schedule_fault_candidate(&mut self, slot: usize) {
@@ -387,11 +501,8 @@ impl Simulator {
             Some(f) => f.fault_gen,
             None => return,
         };
-        let delay = Exp::new(self.cfg.fault_rate_max)
-            .expect("positive rate")
-            .sample(&mut self.rng);
-        self.events
-            .schedule(self.now + delay, EventKind::FaultCandidate(slot, gen));
+        let delay = Exp::new(self.cfg.fault_rate_max).expect("positive rate").sample(&mut self.rng);
+        self.events.schedule(self.now + delay, EventKind::FaultCandidate(slot, gen));
     }
 
     /// Whether both endpoints of a request have a free transfer slot.
@@ -421,24 +532,31 @@ impl Simulator {
 
     /// Start any waiting request whose endpoints now have slots (FIFO with
     /// skipping). Returns true if anything started.
+    ///
+    /// Single O(n) rotation: every entry is popped once, started if its
+    /// slots are free and kept (in order) otherwise — `VecDeque::remove`'s
+    /// O(n) shift per started transfer made this quadratic in queue depth.
     fn drain_waiting(&mut self) -> bool {
         let mut started = false;
-        let mut i = 0;
-        while i < self.waiting.len() {
-            if self.has_slots(&self.waiting[i].0) {
-                let (req, mode) = self.waiting.remove(i).expect("index in range");
+        let mut queue = std::mem::take(&mut self.waiting_scratch);
+        debug_assert!(queue.is_empty());
+        std::mem::swap(&mut queue, &mut self.waiting);
+        for (req, mode) in queue.drain(..) {
+            if self.has_slots(&req) {
                 self.claim_slots(&req);
                 self.start_flow(req, mode);
                 started = true;
             } else {
-                i += 1;
+                self.waiting.push_back((req, mode));
             }
         }
+        self.waiting_scratch = queue;
         started
     }
 
     fn start_flow(&mut self, req: TransferRequest, mode: TransferMode) {
-        let jitter = 1.0 + self.cfg.flow_jitter * self.rng.sample::<f64, _>(rand_distr::StandardNormal);
+        let jitter =
+            1.0 + self.cfg.flow_jitter * self.rng.sample::<f64, _>(rand_distr::StandardNormal);
         let jitter = jitter.clamp(0.7, 1.3);
         // Startup + metadata overhead. Metadata ops pipeline across the
         // transfer's GridFTP processes.
@@ -452,7 +570,7 @@ impl Simulator {
             _ => 0.0,
         };
         let overhead = self.cfg.startup_s * self.rng.gen_range(0.8..1.2) + meta;
-        let flow = ActiveFlow {
+        let mut flow = ActiveFlow {
             start: self.now,
             remaining: req.bytes.as_f64(),
             rate: 0.0,
@@ -460,9 +578,12 @@ impl Simulator {
             state: FlowState::Overhead,
             fault_gen: 0,
             jitter,
+            cap: 0.0,
             req,
             mode,
         };
+        flow.cap = self.flow_cap(&flow);
+        self.census_procs(&flow.req, 1);
         let slot = match self.free_slots.pop() {
             Some(s) => {
                 self.flows[s] = Some(flow);
@@ -473,17 +594,13 @@ impl Simulator {
                 self.flows.len() - 1
             }
         };
-        self.events
-            .schedule(self.now + overhead, EventKind::DataPhaseStart(slot));
+        self.events.schedule(self.now + overhead, EventKind::DataPhaseStart(slot));
     }
 
     /// True if any live flow engages `ep` (so a capacity change there
     /// affects the allocation).
     fn endpoint_in_use(&self, ep: EndpointId) -> bool {
-        self.flows
-            .iter()
-            .flatten()
-            .any(|f| f.req.src == ep || f.req.dst == ep)
+        self.flows.iter().flatten().any(|f| f.req.src == ep || f.req.dst == ep)
     }
 
     /// Process one event. Returns true if flow rates must be recomputed.
@@ -501,6 +618,7 @@ impl Simulator {
                     true // occupies processes immediately (CPU census changes)
                 } else {
                     self.waiting.push_back((req, mode));
+                    self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.waiting.len());
                     false
                 }
             }
@@ -508,6 +626,7 @@ impl Simulator {
                 if let Some(f) = self.flows[slot].as_mut() {
                     if f.state == FlowState::Overhead {
                         f.state = FlowState::Running;
+                        self.census_streams(slot, 1);
                         self.schedule_fault_candidate(slot);
                         return true;
                     }
@@ -523,15 +642,15 @@ impl Simulator {
                     _ => return false, // stale candidate
                 };
                 if accept {
+                    // Leaving Running: withdraw the disk-stream census.
+                    self.census_streams(slot, -1);
                     let f = self.flows[slot].as_mut().expect("live");
                     f.faults += 1;
                     f.state = FlowState::Paused;
                     f.fault_gen += 1;
                     f.rate = 0.0;
-                    self.events.schedule(
-                        self.now + self.cfg.fault_retry_s,
-                        EventKind::FaultResume(slot),
-                    );
+                    self.events
+                        .schedule(self.now + self.cfg.fault_retry_s, EventKind::FaultResume(slot));
                     true
                 } else {
                     self.schedule_fault_candidate(slot);
@@ -542,6 +661,7 @@ impl Simulator {
                 if let Some(f) = self.flows[slot].as_mut() {
                     if f.state == FlowState::Paused {
                         f.state = FlowState::Running;
+                        self.census_streams(slot, 1);
                         self.schedule_fault_candidate(slot);
                         return true;
                     }
@@ -551,8 +671,13 @@ impl Simulator {
             EventKind::BgToggle(idx) => {
                 let delay = self.background[idx].toggle(&mut self.rng);
                 self.events.schedule(self.now + delay, EventKind::BgToggle(idx));
-                // Only matters if someone is actually using the endpoint.
-                self.endpoint_in_use(self.background[idx].endpoint)
+                let ep = self.background[idx].endpoint;
+                // The endpoint's capacities are stale either way; recompute
+                // them lazily at the next reallocation.
+                self.mark_dirty(ep);
+                // Only forces a reallocation *now* if someone is actually
+                // using the endpoint.
+                self.endpoint_in_use(ep)
             }
             EventKind::LmtSample => {
                 self.take_lmt_sample();
@@ -621,44 +746,20 @@ impl Simulator {
         if let Some(m) = &self.lmt {
             self.events.schedule(m.start, EventKind::LmtSample);
         }
+        // Index background processes by endpoint for exact, O(1)-per-endpoint
+        // demand sums during capacity refresh.
+        self.bg_by_ep = vec![Vec::new(); self.endpoints.len()];
+        for (i, b) in self.background.iter().enumerate() {
+            self.bg_by_ep[b.endpoint.0 as usize].push(i);
+        }
+        // Every endpoint's capacities start stale.
+        let all_eps: Vec<EndpointId> = self.endpoints.iter().map(|e| e.id).collect();
+        for id in all_eps {
+            self.mark_dirty(id);
+        }
 
         let total_transfers = arrivals.len();
-        let debug = std::env::var_os("WDT_SIM_DEBUG").is_some();
-        let mut n_events: u64 = 0;
         loop {
-            n_events += 1;
-            if debug && n_events.is_multiple_of(20_000) {
-                eprintln!(
-                    "[sim] events={} t={:.0}s active={} done={}/{}",
-                    n_events,
-                    self.now.as_secs(),
-                    self.flows.iter().flatten().count(),
-                    self.records.len(),
-                    total_transfers
-                );
-                if let Some(ep) = std::env::var("WDT_SIM_DEBUG_EP")
-                    .ok()
-                    .and_then(|s| s.parse::<u32>().ok())
-                {
-                    let id = EndpointId(ep);
-                    let flows_here: Vec<(f64, f64, u32)> = self
-                        .flows
-                        .iter()
-                        .flatten()
-                        .filter(|f| f.req.src == id || f.req.dst == id)
-                        .map(|f| (f.rate / 1e6, self.flow_cap(f) / 1e6, f.streams()))
-                        .collect();
-                    let caps: Vec<f64> = (0..RES_PER_EP)
-                        .map(|k| self.capacities[res_idx(id, k)] / 1e6)
-                        .collect();
-                    eprintln!(
-                        "[sim]   ep{ep}: caps(MB/s) rd={:.0} wr={:.0} out={:.0} in={:.0} cpu={:.0}  flows={} rates={:?}",
-                        caps[0], caps[1], caps[2], caps[3], caps[4],
-                        flows_here.len(),
-                        &flows_here.iter().take(8).collect::<Vec<_>>()
-                    );
-                }
-            }
             // All transfers logged: stop, even though background processes
             // would keep generating toggle events forever.
             if self.records.len() == total_transfers {
@@ -689,6 +790,7 @@ impl Simulator {
             self.harvest_completions();
             let mut dirty = self.records.len() != before;
             while let Some((_, kind)) = self.events.pop_due(self.now) {
+                self.stats.events += 1;
                 dirty |= self.handle_event(kind, &mut arrivals);
             }
             if dirty {
@@ -697,7 +799,12 @@ impl Simulator {
         }
 
         self.records.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
-        SimOutput { records: self.records, lmt: self.lmt_samples, horizon: self.now }
+        SimOutput {
+            records: self.records,
+            lmt: self.lmt_samples,
+            horizon: self.now,
+            stats: self.stats,
+        }
     }
 }
 
@@ -822,18 +929,23 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
+        // Background load AND faults both active: every stochastic code
+        // path in the engine must replay identically from the same seed.
         let run = || {
-            let mut sim =
-                Simulator::new(two_endpoints(), SimConfig::default(), &SeedSeq::new(99));
+            let cfg = SimConfig { fault_rate_max: 0.05, ..SimConfig::default() };
+            let mut sim = Simulator::new(two_endpoints(), cfg, &SeedSeq::new(99));
             sim.add_default_background(4, 0.5);
             for i in 0..10 {
-                sim.submit(req(i, i as f64 * 30.0, 10.0, 100, 4, 4));
+                sim.submit(req(i, i as f64 * 30.0, 10.0, 100, 8, 4));
             }
             sim.run()
         };
         let a = run();
         let b = run();
         assert_eq!(a.records, b.records);
+        assert_eq!(a.stats.events, b.stats.events);
+        assert_eq!(a.stats.reallocations, b.stats.reallocations);
+        assert!(a.stats.events > 0 && a.stats.reallocations > 0);
     }
 
     #[test]
@@ -937,6 +1049,90 @@ mod tests {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted, "FIFO order violated");
+    }
+
+    fn n_endpoints(n: usize) -> EndpointCatalog {
+        let mut cat = EndpointCatalog::new();
+        for i in 0..n {
+            let site = SiteCatalog::get(i);
+            cat.push(Endpoint::server(
+                EndpointId(i as u32),
+                format!("{}#dtn", site.name.to_lowercase()),
+                site.name,
+                site.location,
+                1,
+                Rate::gbit(10.0),
+                StorageSystem::facility(Rate::gbit(12.0), Rate::gbit(9.0)),
+            ));
+        }
+        cat
+    }
+
+    fn req_edge(id: u64, src: u32, dst: u32, gb: f64) -> TransferRequest {
+        TransferRequest {
+            id: TransferId(id),
+            src: EndpointId(src),
+            dst: EndpointId(dst),
+            submit: SimTime::ZERO,
+            bytes: Bytes::gb(gb),
+            files: 5,
+            dirs: 1,
+            concurrency: 2,
+            parallelism: 4,
+            checksum: true,
+        }
+    }
+
+    #[test]
+    fn deep_waiting_queue_is_fifo_with_skipping() {
+        // Slot limit 1; a long transfer holds 0→1 while a short one runs
+        // 2→3. 250 transfers queue behind each. When 2→3 frees up, the
+        // later-submitted 2→3 requests must start *before* the 0→2 requests
+        // ahead of them in the queue (skipping), yet each group must start
+        // in submission order (FIFO).
+        let cfg = SimConfig { max_active_per_endpoint: 1, ..SimConfig::testbed() };
+        let mut sim = Simulator::new(n_endpoints(4), cfg, &SeedSeq::new(11));
+        sim.submit(req_edge(0, 0, 1, 80.0)); // long
+        sim.submit(req_edge(1, 2, 3, 1.0)); // short
+        for i in 0..250 {
+            sim.submit(req_edge(2 + i, 0, 2, 0.2));
+        }
+        for i in 0..250 {
+            sim.submit(req_edge(252 + i, 2, 3, 0.2));
+        }
+        let out = sim.run();
+        assert_eq!(out.records.len(), 502);
+        assert_eq!(out.stats.max_queue_depth, 500);
+        let start_of =
+            |id: u64| out.records.iter().find(|r| r.id.0 == id).expect("completed").start;
+        // Skipping: the first queued 2→3 jumps the blocked 0→2 block.
+        assert!(
+            start_of(252) < start_of(2),
+            "2→3 queued behind blocked 0→2 requests never skipped ahead"
+        );
+        // FIFO within each group.
+        for group in [2u64..252, 252..502] {
+            let mut prev = None;
+            for id in group {
+                let s = start_of(id);
+                if let Some(p) = prev {
+                    assert!(s >= p, "transfer {id} started before its predecessor");
+                }
+                prev = Some(s);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_run_counters() {
+        let mut sim = Simulator::new(two_endpoints(), SimConfig::testbed(), &SeedSeq::new(1));
+        sim.submit(req(0, 0.0, 10.0, 10, 4, 4));
+        let out = sim.run();
+        assert!(out.stats.events >= 2, "arrival + data-phase events at minimum");
+        assert!(out.stats.reallocations >= 2);
+        assert!(out.stats.realloc_time_s >= 0.0);
+        assert_eq!(out.stats.max_queue_depth, 0, "single transfer never queues");
+        assert!(out.stats.summary().contains("events"));
     }
 
     #[test]

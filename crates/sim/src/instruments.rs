@@ -46,7 +46,14 @@ impl EdgeMaxima {
     }
 }
 
-fn probe_request(id: u64, src: EndpointId, dst: EndpointId, bytes: Bytes, c: u32, p: u32) -> TransferRequest {
+fn probe_request(
+    id: u64,
+    src: EndpointId,
+    dst: EndpointId,
+    bytes: Bytes,
+    c: u32,
+    p: u32,
+) -> TransferRequest {
     TransferRequest {
         id: TransferId(id),
         src,

@@ -45,10 +45,10 @@ pub mod lmt;
 mod proptests;
 pub mod testbed;
 
-pub use alloc::{allocate, FlowDemand, ResourceKind};
+pub use alloc::{allocate, allocate_into, AllocScratch, FlowDemand, ResourceKind};
 pub use background::{BackgroundProcess, BgKind};
 pub use config::SimConfig;
 pub use endpoint::{Endpoint, EndpointCatalog};
-pub use engine::{SimOutput, Simulator, TransferMode};
+pub use engine::{SimOutput, SimStats, Simulator, TransferMode};
 pub use lmt::{LmtMonitor, LmtSample};
 pub use testbed::{esnet_testbed, EsnetSite};

@@ -43,24 +43,9 @@ struct ReqSpec {
 }
 
 fn arb_req(n_eps: u8) -> impl Strategy<Value = ReqSpec> {
-    (
-        0..n_eps,
-        0..n_eps,
-        0.0f64..20_000.0,
-        0.01f64..50.0,
-        1u16..5000,
-        1u8..16,
-        1u8..8,
+    (0..n_eps, 0..n_eps, 0.0f64..20_000.0, 0.01f64..50.0, 1u16..5000, 1u8..16, 1u8..8).prop_map(
+        |(src, dst, submit, gb, files, c, p)| ReqSpec { src, dst, submit, gb, files, c, p },
     )
-        .prop_map(|(src, dst, submit, gb, files, c, p)| ReqSpec {
-            src,
-            dst,
-            submit,
-            gb,
-            files,
-            c,
-            p,
-        })
 }
 
 fn run(reqs: &[ReqSpec], n_eps: usize, seed: u64, bg: bool) -> crate::engine::SimOutput {

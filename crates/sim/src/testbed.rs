@@ -27,7 +27,8 @@ pub enum EsnetSite {
 
 impl EsnetSite {
     /// All four sites, Table 1 row order.
-    pub const ALL: [EsnetSite; 4] = [EsnetSite::Anl, EsnetSite::Bnl, EsnetSite::Cern, EsnetSite::Lbl];
+    pub const ALL: [EsnetSite; 4] =
+        [EsnetSite::Anl, EsnetSite::Bnl, EsnetSite::Cern, EsnetSite::Lbl];
 
     /// Catalog name of the site.
     pub fn name(self) -> &'static str {
@@ -55,9 +56,7 @@ impl EsnetSite {
 pub fn esnet_testbed() -> EndpointCatalog {
     let mut cat = EndpointCatalog::new();
     for site in EsnetSite::ALL {
-        let loc = SiteCatalog::by_name(site.name())
-            .expect("testbed site in catalog")
-            .location;
+        let loc = SiteCatalog::by_name(site.name()).expect("testbed site in catalog").location;
         let mut ep = Endpoint::server(
             site.endpoint(),
             format!("esnet#{}", site.name().to_lowercase()),

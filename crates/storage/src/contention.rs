@@ -63,7 +63,8 @@ mod tests {
         for w in rise.windows(2) {
             assert!(w[1] >= w[0]);
         }
-        let fall: Vec<f64> = [8u32, 16, 32, 128].iter().map(|&n| io_efficiency(n, 8, 0.3)).collect();
+        let fall: Vec<f64> =
+            [8u32, 16, 32, 128].iter().map(|&n| io_efficiency(n, 8, 0.3)).collect();
         for w in fall.windows(2) {
             assert!(w[1] <= w[0]);
         }

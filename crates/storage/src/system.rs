@@ -58,7 +58,11 @@ impl StorageSystem {
             write_bw,
             saturation_streams: 1,
             efficiency_floor: 0.4,
-            metadata: MetadataCosts { per_file_s: 0.01, per_dir_s: 0.05, dir_contention_factor: 0.1 },
+            metadata: MetadataCosts {
+                per_file_s: 0.01,
+                per_dir_s: 0.05,
+                dir_contention_factor: 0.1,
+            },
         }
     }
 

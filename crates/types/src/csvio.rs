@@ -183,19 +183,13 @@ mod tests {
     #[test]
     fn rejects_wrong_field_count() {
         let csv = format!("{CSV_HEADER}\n1,2,3\n");
-        assert_eq!(
-            records_from_csv(&csv),
-            Err(CsvError::WrongFieldCount { line: 2, got: 3 })
-        );
+        assert_eq!(records_from_csv(&csv), Err(CsvError::WrongFieldCount { line: 2, got: 3 }));
     }
 
     #[test]
     fn rejects_unparsable_field() {
         let csv = format!("{CSV_HEADER}\n1,2,3,abc,5,6,7,8,9,10,11\n");
-        assert_eq!(
-            records_from_csv(&csv),
-            Err(CsvError::BadField { line: 2, column: "start" })
-        );
+        assert_eq!(records_from_csv(&csv), Err(CsvError::BadField { line: 2, column: "start" }));
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Identifiers for endpoints, edges, and transfers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A storage endpoint (a Globus Connect deployment: one or more data
 /// transfer nodes fronting a storage system).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EndpointId(pub u32);
 
 impl fmt::Display for EndpointId {
@@ -19,7 +18,7 @@ impl fmt::Display for EndpointId {
 /// The paper distinguishes Globus Connect *Server* (GCS: multi-user DTNs at
 /// facilities) from Globus Connect *Personal* (GCP: laptops/workstations).
 /// Table 4 reports the share of each edge type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EndpointType {
     /// Globus Connect Server: facility-class data transfer node(s).
     Server,
@@ -37,7 +36,7 @@ impl fmt::Display for EndpointType {
 }
 
 /// A directed source–destination endpoint pair: the paper's "edge".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId {
     /// Source endpoint.
     pub src: EndpointId,
@@ -71,7 +70,7 @@ impl fmt::Display for EdgeId {
 }
 
 /// A single transfer request / log record identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransferId(pub u64);
 
 impl fmt::Display for TransferId {

@@ -1,0 +1,418 @@
+//! A small, dependency-free JSON value type with a strict parser and a
+//! float-round-tripping writer.
+//!
+//! Used for artifacts that must survive a process boundary (persisted
+//! models, cached campaign metadata). Numbers are written with Rust's
+//! shortest-round-trip `f64` formatting, so `parse(write(v)) == v` holds
+//! bit-for-bit for finite floats; non-finite floats are rejected at write
+//! time rather than silently corrupted.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object. Key order is not preserved (sorted), which is fine for
+    /// machine-read artifacts.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+/// Parse or access error with a short human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// Build an error (also used by typed accessors in consumers).
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Compact serialization. Panics on non-finite numbers — persisted
+/// artifacts must never contain NaN/∞.
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl JsonValue {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array of numbers.
+    pub fn nums<'a>(xs: impl IntoIterator<Item = &'a f64>) -> JsonValue {
+        JsonValue::Arr(xs.into_iter().map(|&x| JsonValue::Num(x)).collect())
+    }
+
+    /// Typed accessor: object field.
+    pub fn field(&self, key: &str) -> Result<&JsonValue, JsonError> {
+        match self {
+            JsonValue::Obj(m) => {
+                m.get(key).ok_or_else(|| JsonError::new(format!("missing field '{key}'")))
+            }
+            _ => Err(JsonError::new(format!("expected object with field '{key}'"))),
+        }
+    }
+
+    /// Typed accessor: number.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            JsonValue::Num(n) => Ok(*n),
+            _ => Err(JsonError::new("expected number")),
+        }
+    }
+
+    /// Typed accessor: non-negative integer.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= usize::MAX as f64 {
+            Ok(n as usize)
+        } else {
+            Err(JsonError::new(format!("expected unsigned integer, got {n}")))
+        }
+    }
+
+    /// Typed accessor: string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            _ => Err(JsonError::new("expected string")),
+        }
+    }
+
+    /// Typed accessor: array.
+    pub fn as_arr(&self) -> Result<&[JsonValue], JsonError> {
+        match self {
+            JsonValue::Arr(v) => Ok(v),
+            _ => Err(JsonError::new("expected array")),
+        }
+    }
+
+    /// Typed accessor: array of numbers.
+    pub fn as_f64_vec(&self) -> Result<Vec<f64>, JsonError> {
+        self.as_arr()?.iter().map(|v| v.as_f64()).collect()
+    }
+
+    /// Typed accessor: array of non-negative integers.
+    pub fn as_usize_vec(&self) -> Result<Vec<usize>, JsonError> {
+        self.as_arr()?.iter().map(|v| v.as_usize()).collect()
+    }
+
+    /// Typed accessor: array of strings.
+    pub fn as_string_vec(&self) -> Result<Vec<String>, JsonError> {
+        self.as_arr()?.iter().map(|v| v.as_str().map(str::to_string)).collect()
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                assert!(n.is_finite(), "cannot serialize non-finite number {n}");
+                // Rust's shortest-round-trip formatting; integral values
+                // print without a fraction and reparse exactly.
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::new(format!("trailing input at byte {pos}")));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError::new(format!("expected '{}' at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError::new("unexpected end of input")),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => {
+                        return Err(JsonError::new(format!(
+                            "expected ',' or ']' at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                map.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(map));
+                    }
+                    _ => {
+                        return Err(JsonError::new(format!(
+                            "expected ',' or '}}' at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(JsonValue::Num),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(JsonError::new(format!("invalid literal at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| JsonError::new("invalid utf8 in number"))?;
+    text.parse::<f64>()
+        .map_err(|_| JsonError::new(format!("invalid number '{text}' at byte {start}")))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(JsonError::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| JsonError::new("invalid \\u codepoint"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError::new("invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| JsonError::new("invalid utf8 in string"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let v = JsonValue::obj([
+            ("name", JsonValue::Str("wdt \"quoted\" \\ path\nline".into())),
+            ("coeffs", JsonValue::nums(&[1.5, -2.25e-8, 0.0, 1e9])),
+            ("kept", JsonValue::Arr(vec![JsonValue::Num(0.0), JsonValue::Num(3.0)])),
+            ("flag", JsonValue::Bool(true)),
+            ("nothing", JsonValue::Null),
+        ]);
+        let text = v.to_string();
+        let back = JsonValue::parse(&text).expect("parse");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.234_567_890_123_456_7e300,
+            -9.87e-305,
+            123456789.123456,
+        ] {
+            let text = JsonValue::Num(x).to_string();
+            let back = JsonValue::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("not json").is_err());
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("{\"a\":1} trailing").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let v = JsonValue::parse(r#"{"a": [1, 2, 3], "s": "x", "n": 2.5}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_usize_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(v.field("s").unwrap().as_str().unwrap(), "x");
+        assert_eq!(v.field("n").unwrap().as_f64().unwrap(), 2.5);
+        assert!(v.field("missing").is_err());
+        assert!(v.field("n").unwrap().as_usize().is_err());
+        assert!(v.field("s").unwrap().as_f64().is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes_parse() {
+        let v = JsonValue::parse(r#""café – ☃""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "café – ☃");
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! Everything downstream (the simulator, the workload generator, feature
 //! engineering, and the learned models) speaks in these types, so the crate
-//! is deliberately dependency-light: `serde` only.
+//! is deliberately dependency-light: no dependencies at all.
 //!
 //! ## Conventions
 //!
@@ -18,6 +18,7 @@
 
 pub mod csvio;
 pub mod id;
+pub mod json;
 pub mod record;
 pub mod request;
 pub mod seed;
@@ -26,6 +27,7 @@ pub mod units;
 
 pub use csvio::{records_from_csv, records_to_csv, CsvError, CSV_HEADER};
 pub use id::{EdgeId, EndpointId, EndpointType, TransferId};
+pub use json::{JsonError, JsonValue};
 pub use record::TransferRecord;
 pub use request::TransferRequest;
 pub use seed::SeedSeq;

@@ -11,10 +11,9 @@ use crate::id::{EdgeId, EndpointId, TransferId};
 use crate::request::TransferRequest;
 use crate::time::SimTime;
 use crate::units::{Bytes, Rate};
-use serde::{Deserialize, Serialize};
 
 /// One completed transfer, as it appears in the transfer service log.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferRecord {
     /// Transfer id.
     pub id: TransferId,

@@ -3,7 +3,6 @@
 use crate::id::{EndpointId, TransferId};
 use crate::time::SimTime;
 use crate::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// A transfer request, as submitted to the (simulated) Globus service.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// destination, the dataset (bytes / files / directories), whether integrity
 /// checking is enabled, and the tunable GridFTP parameters concurrency `C`
 /// and parallelism `P` (§4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferRequest {
     /// Unique id assigned at submission.
     pub id: TransferId,

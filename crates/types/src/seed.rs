@@ -8,10 +8,8 @@
 //! yield different, well-mixed seeds; the same (seed, label) pair always
 //! yields the same child.
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic seed source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeedSeq {
     root: u64,
 }

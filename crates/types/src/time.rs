@@ -6,13 +6,12 @@
 //! ordering via total order on the raw value with explicit tie-breaking at
 //! the call sites that need it.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in seconds since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimTime(pub f64);
 
 impl SimTime {
@@ -47,12 +46,20 @@ impl SimTime {
 
     /// The later of two times.
     pub fn max(self, other: SimTime) -> SimTime {
-        if self.0 >= other.0 { self } else { other }
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
     }
 
     /// The earlier of two times.
     pub fn min(self, other: SimTime) -> SimTime {
-        if self.0 <= other.0 { self } else { other }
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
     }
 }
 
@@ -146,16 +153,9 @@ mod tests {
     #[test]
     fn overlap_is_symmetric() {
         let t = SimTime::seconds;
-        let cases = [
-            (0.0, 4.0, 2.0, 8.0),
-            (0.0, 1.0, 5.0, 9.0),
-            (3.0, 7.0, 3.0, 7.0),
-        ];
+        let cases = [(0.0, 4.0, 2.0, 8.0), (0.0, 1.0, 5.0, 9.0), (3.0, 7.0, 3.0, 7.0)];
         for (a, b, c, d) in cases {
-            assert_eq!(
-                overlap(t(a), t(b), t(c), t(d)),
-                overlap(t(c), t(d), t(a), t(b))
-            );
+            assert_eq!(overlap(t(a), t(b), t(c), t(d)), overlap(t(c), t(d), t(a), t(b)));
         }
     }
 }

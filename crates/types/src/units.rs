@@ -5,7 +5,6 @@
 //! bytes/second; these newtypes carry conversion and display helpers so
 //! experiment output can match the paper's tables.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -26,7 +25,7 @@ pub const MIB: f64 = 1024.0 * 1024.0;
 pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 
 /// A data volume in bytes (fluid: fractional bytes are fine mid-simulation).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Bytes(pub f64);
 
 impl Bytes {
@@ -80,7 +79,7 @@ impl Bytes {
 }
 
 /// A throughput in bytes per second.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Rate(pub f64);
 
 impl Rate {
@@ -120,12 +119,20 @@ impl Rate {
 
     /// The smaller of two rates (bottleneck composition).
     pub fn min(self, other: Rate) -> Rate {
-        if self.0 <= other.0 { self } else { other }
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
     }
 
     /// The larger of two rates.
     pub fn max(self, other: Rate) -> Rate {
-        if self.0 >= other.0 { self } else { other }
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
     }
 
     /// True if this rate is effectively zero (below one byte per second).

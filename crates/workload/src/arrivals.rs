@@ -55,8 +55,7 @@ impl SessionArrivals {
             return Vec::new();
         }
         let exp = Exp::new(lambda_max).expect("positive rate");
-        let gap =
-            LogNormal::new(self.intra_session_gap_s.ln(), 0.8).expect("valid lognormal");
+        let gap = LogNormal::new(self.intra_session_gap_s.ln(), 0.8).expect("valid lognormal");
         let mut out = Vec::new();
         let mut t = 0.0;
         loop {
@@ -109,11 +108,8 @@ mod tests {
     #[test]
     fn mean_rate_roughly_matches_spec() {
         let mut rng = StdRng::seed_from_u64(2);
-        let spec = SessionArrivals {
-            sessions_per_day: 10.0,
-            mean_session_len: 3.0,
-            ..Default::default()
-        };
+        let spec =
+            SessionArrivals { sessions_per_day: 10.0, mean_session_len: 3.0, ..Default::default() };
         let days = 60.0;
         let a = spec.generate(SimTime::days(days), &mut rng);
         let per_day = a.len() as f64 / days;
@@ -125,10 +121,7 @@ mod tests {
     fn burstiness_creates_short_gaps() {
         let mut rng = StdRng::seed_from_u64(3);
         let a = SessionArrivals::default().generate(SimTime::days(30.0), &mut rng);
-        let short_gaps = a
-            .windows(2)
-            .filter(|w| w[1].as_secs() - w[0].as_secs() < 600.0)
-            .count();
+        let short_gaps = a.windows(2).filter(|w| w[1].as_secs() - w[0].as_secs() < 600.0).count();
         // Sessions guarantee many sub-10-minute gaps.
         assert!(
             short_gaps as f64 / a.len() as f64 > 0.2,

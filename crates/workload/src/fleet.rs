@@ -36,31 +36,34 @@ impl FleetSpec {
         let mut rng = StdRng::seed_from_u64(seed.derive("fleet"));
         let mut cat = EndpointCatalog::new();
         let mut next_id = 0u32;
-        let mut push_server = |cat: &mut EndpointCatalog, site_idx: usize, rng: &mut StdRng, suffix: &str| {
-            let site = SiteCatalog::get(site_idx);
-            let major = site_idx < 10;
-            let dtns = if major { rng.gen_range(2..=6) } else { rng.gen_range(1..=2) };
-            let nic = if major {
-                *[Rate::gbit(10.0), Rate::gbit(10.0), Rate::gbit(40.0)]
-                    .get(rng.gen_range(0..3))
-                    .expect("index in range")
-            } else {
-                *[Rate::gbit(1.0), Rate::gbit(10.0)].get(rng.gen_range(0..2)).expect("in range")
+        let mut push_server =
+            |cat: &mut EndpointCatalog, site_idx: usize, rng: &mut StdRng, suffix: &str| {
+                let site = SiteCatalog::get(site_idx);
+                let major = site_idx < 10;
+                let dtns = if major { rng.gen_range(2..=6) } else { rng.gen_range(1..=2) };
+                let nic = if major {
+                    *[Rate::gbit(10.0), Rate::gbit(10.0), Rate::gbit(40.0)]
+                        .get(rng.gen_range(0..3usize))
+                        .expect("index in range")
+                } else {
+                    *[Rate::gbit(1.0), Rate::gbit(10.0)]
+                        .get(rng.gen_range(0..2usize))
+                        .expect("in range")
+                };
+                let read = nic * rng.gen_range(0.9..1.6);
+                let write = read * rng.gen_range(0.55..0.9);
+                let ep = Endpoint::server(
+                    EndpointId(next_id),
+                    format!("{}#{}", site.name.to_lowercase(), suffix),
+                    site.name,
+                    site.location,
+                    dtns,
+                    nic,
+                    StorageSystem::facility(read, write),
+                );
+                cat.push(ep);
+                next_id += 1;
             };
-            let read = nic * rng.gen_range(0.9..1.6);
-            let write = read * rng.gen_range(0.55..0.9);
-            let ep = Endpoint::server(
-                EndpointId(next_id),
-                format!("{}#{}", site.name.to_lowercase(), suffix),
-                site.name,
-                site.location,
-                dtns,
-                nic,
-                StorageSystem::facility(read, write),
-            );
-            cat.push(ep);
-            next_id += 1;
-        };
 
         for site_idx in 0..self.sites {
             push_server(&mut cat, site_idx, &mut rng, "dtn");

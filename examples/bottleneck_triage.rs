@@ -17,9 +17,9 @@ fn main() {
     let mut cat = EndpointCatalog::new();
     let specs: [(&str, u32, f64, f64, f64); 3] = [
         // site, dtns, nic Gb/s, read Gb/s, write Gb/s
-        ("ANL", 2, 10.0, 18.0, 14.0),   // healthy
-        ("UWisc", 1, 10.0, 3.0, 2.0),   // starved storage
-        ("CERN", 2, 10.0, 18.0, 14.0),  // healthy but far away
+        ("ANL", 2, 10.0, 18.0, 14.0),  // healthy
+        ("UWisc", 1, 10.0, 3.0, 2.0),  // starved storage
+        ("CERN", 2, 10.0, 18.0, 14.0), // healthy but far away
     ];
     for (i, (site, dtns, nic, rd, wr)) in specs.iter().enumerate() {
         let loc = SiteCatalog::by_name(site).expect("site").location;
@@ -35,7 +35,10 @@ fn main() {
     }
 
     let seed = SeedSeq::new(7);
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}  {:<12} headroom if fixed", "edge", "Rmax", "DRmax", "MMmax", "DWmax", "limiter");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}  {:<12} headroom if fixed",
+        "edge", "Rmax", "DRmax", "MMmax", "DWmax", "limiter"
+    );
     for src in 0..3u32 {
         for dst in 0..3u32 {
             if src == dst {

@@ -61,11 +61,8 @@ fn main() {
     let samples = concurrency_profile(&out.records, EndpointId(0));
     let buckets = bucket_by_concurrency(&samples);
     let total_w: f64 = buckets.iter().map(|b| b.2).sum();
-    let pts: Vec<(f64, f64)> = buckets
-        .iter()
-        .filter(|b| b.2 > 0.002 * total_w)
-        .map(|b| (b.0, b.1))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        buckets.iter().filter(|b| b.2 > 0.002 * total_w).map(|b| (b.0, b.1)).collect();
 
     println!("\nconcurrency -> mean aggregate ingest (MB/s):");
     let step = (pts.len() / 12).max(1);
@@ -83,7 +80,9 @@ fn main() {
                 best
             );
         }
-        Some(_) => println!("\nthroughput still rising at max observed concurrency — no cap needed yet"),
+        Some(_) => {
+            println!("\nthroughput still rising at max observed concurrency — no cap needed yet")
+        }
         None => println!("\nnot enough concurrency variety to fit a curve"),
     }
 }

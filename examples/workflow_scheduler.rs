@@ -10,18 +10,18 @@
 //!
 //! Run with: `cargo run --release --example workflow_scheduler`
 
-use wdt::prelude::*;
-use wdt::workload::DatasetSampler;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wdt::prelude::*;
+use wdt::workload::DatasetSampler;
 
 /// Build a world: one source, two destinations (one beefier than the other).
 fn world() -> EndpointCatalog {
     let mut cat = EndpointCatalog::new();
     let specs = [
-        ("ANL", 3, 40.0, 16.0, 12.0),   // source
-        ("NERSC", 2, 10.0, 12.0, 9.0),  // destination A
-        ("TACC", 4, 10.0, 20.0, 15.0),  // destination B (stronger storage)
+        ("ANL", 3, 40.0, 16.0, 12.0),  // source
+        ("NERSC", 2, 10.0, 12.0, 9.0), // destination A
+        ("TACC", 4, 10.0, 20.0, 15.0), // destination B (stronger storage)
     ];
     for (i, (site, dtns, nic, rd, wr)) in specs.iter().enumerate() {
         let loc = SiteCatalog::by_name(site).expect("site").location;
@@ -74,10 +74,7 @@ fn datasets(seed: &SeedSeq) -> Vec<(u64, f64)> {
 
 /// Run the workflow with a placement policy; returns the makespan in hours.
 /// `policy(i, gb)` returns the destination endpoint for dataset `i`.
-fn run_workflow(
-    seed: &SeedSeq,
-    policy: impl Fn(u64, f64) -> EndpointId,
-) -> f64 {
+fn run_workflow(seed: &SeedSeq, policy: impl Fn(u64, f64) -> EndpointId) -> f64 {
     let mut sim = Simulator::new(world(), SimConfig::default(), seed);
     sim.add_default_background(4, 0.4);
     // Ambient competing traffic the scheduler must live with: a steady

@@ -75,8 +75,7 @@ fn storage_monitor_features_reduce_error() {
 
     let out = sim.run();
     let features = extract_features(&out.records);
-    let tests: Vec<TransferFeatures> =
-        features.iter().filter(|f| f.id.0 < n).cloned().collect();
+    let tests: Vec<TransferFeatures> = features.iter().filter(|f| f.id.0 < n).cloned().collect();
     assert_eq!(tests.len(), n as usize);
 
     let mut fit = FitConfig::default();
