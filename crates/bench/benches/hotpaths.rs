@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use wdt_features::extract_features;
-use wdt_ml::{mic, Gbdt, GbdtParams};
+use wdt_ml::{mic, Gbdt, GbdtParams, SplitStrategy};
 use wdt_sim::{allocate, FlowDemand, SimConfig, Simulator};
 use wdt_types::{Bytes, EndpointId, SeedSeq, SimTime, TransferId, TransferRecord, TransferRequest};
 use wdt_workload::{FleetSpec, WorkloadSpec};
@@ -62,17 +62,52 @@ fn bench_features(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_gbdt(c: &mut Criterion) {
-    let n = 1000;
-    let x: Vec<Vec<f64>> =
-        (0..n).map(|i| (0..15).map(|j| ((i * (j + 3)) % 97) as f64).collect()).collect();
-    let y: Vec<f64> = x.iter().map(|r| r[0] * r[1] + r[2] * r[2]).collect();
-    let params = GbdtParams { n_rounds: 40, ..Default::default() };
-    let mut g = c.benchmark_group("gbdt");
+/// Row-major synthetic regression data with continuous features (worst
+/// case for the binner: every value distinct → full quantile path).
+fn synth_matrix(n: usize, f: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..f)
+                .map(|j| {
+                    let z = (i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+                    (z >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+                })
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r[0] * r[1] + r[2] * r[2] - 3.0 * r[f - 1]).collect();
+    (x, y)
+}
+
+fn bench_gbdt_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gbdt_fit");
     g.sample_size(10);
-    g.bench_function("train_1000x15_40rounds", |b| b.iter(|| Gbdt::fit(&x, &y, &params)));
+    for &n in &[5_000usize, 50_000] {
+        let (x, y) = synth_matrix(n, 15);
+        let rounds = 20;
+        for (name, split) in [("hist", SplitStrategy::Histogram), ("exact", SplitStrategy::Exact)] {
+            let params = GbdtParams { n_rounds: rounds, split, ..Default::default() };
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| Gbdt::fit(&x, &y, &params))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_gbdt_predict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gbdt_predict");
+    g.sample_size(10);
+    let (x, y) = synth_matrix(50_000, 15);
+    let params = GbdtParams { n_rounds: 20, ..Default::default() };
     let model = Gbdt::fit(&x, &y, &params);
-    g.bench_function("predict_1000", |b| b.iter(|| model.predict(&x)));
+    for &n in &[5_000usize, 50_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| model.predict(&x[..n]))
+        });
+    }
     g.finish();
 }
 
@@ -149,7 +184,8 @@ criterion_group!(
     benches,
     bench_alloc,
     bench_features,
-    bench_gbdt,
+    bench_gbdt_fit,
+    bench_gbdt_predict,
     bench_mic,
     bench_simulator,
     bench_single_transfer

@@ -10,6 +10,7 @@ use wdt_bench::CampaignSpec;
 use wdt_features::{
     edge_census, edge_stats, eligible_edges, extract_features, threshold_filter, TransferFeatures,
 };
+use wdt_ml::SplitStrategy;
 use wdt_model::{
     build_dataset, default_grid, recommend_endpoint_concurrency, run_per_edge, tune_gbdt,
     FitConfig, FittedModel, ModelKind, PerEdgeConfig,
@@ -50,7 +51,9 @@ pub fn usage() -> String {
                --log FILE [--threshold X=0.5] [--min-transfers N=300]\n\
      train     fit a transfer-rate model on one edge (or all edges pooled)\n\
                --log FILE --model OUT [--src N --dst N] [--kind linear|gbdt=gbdt]\n\
-               [--threshold X=0.5] [--tune]\n\
+               [--threshold X=0.5] [--tune] [--max-bins N=256] [--exact]\n\
+               (--exact switches the boosted trees from the default\n\
+                histogram split search to exhaustive exact search)\n\
      predict   predict rates for a log's transfers with a saved model\n\
                --log FILE --model FILE\n\
      advise    concurrency-cap advice for an endpoint (Figure 4 analysis)\n\
@@ -157,6 +160,12 @@ fn train(args: &Args) -> CmdResult {
             cfg.gbdt = best.params;
         }
     }
+    // Engine flags override whatever tuning picked: the grid varies only
+    // learning hyperparameters, never the split engine.
+    cfg.gbdt.max_bins = args.get_or("max-bins", cfg.gbdt.max_bins)?;
+    if args.flag("exact") {
+        cfg.gbdt.split = SplitStrategy::Exact;
+    }
     let model = FittedModel::fit(&train_set, kind, &cfg)
         .ok_or("model failed to fit (degenerate features?)")?;
     let eval = model.evaluate(&test_set);
@@ -257,6 +266,32 @@ mod tests {
             model_path.display()
         )))
         .expect("predict");
+    }
+
+    #[test]
+    fn train_accepts_engine_flags() {
+        let log_path = tmp("engine-flags.csv");
+        let model_path = tmp("engine-flags-model.json");
+        run(&parse(&format!(
+            "simulate --out {} --days 3 --heavy-edges 3 --sparse-edges 10 --seed 6",
+            log_path.display()
+        )))
+        .expect("simulate");
+        run(&parse(&format!(
+            "train --log {} --model {} --threshold 0.0 --exact --max-bins 64",
+            log_path.display(),
+            model_path.display()
+        )))
+        .expect("train with --exact --max-bins");
+        assert!(model_path.exists());
+        let err = run(&parse(&format!(
+            "train --log {} --model {} --threshold 0.0 --max-bins many",
+            log_path.display(),
+            model_path.display()
+        )))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("max-bins"), "{err}");
     }
 
     #[test]

@@ -27,6 +27,12 @@ impl BenchmarkId {
     pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
         BenchmarkId { id: p.to_string() }
     }
+
+    /// An id combining a function name and a parameter value, rendered as
+    /// `name/parameter` (matches upstream criterion).
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, p: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), p) }
+    }
 }
 
 /// Timing loop handle passed to benchmark closures.
@@ -99,7 +105,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -114,9 +120,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new(self.sample_size);
-        f(&mut b);
-        b.report(&format!("{}/{}", self.name, id.into()));
+        let name = format!("{}/{}", self.name, id.into());
+        if self.criterion.matches(&name) {
+            let mut b = Bencher::new(self.sample_size);
+            f(&mut b);
+            b.report(&name);
+        }
         self
     }
 
@@ -126,9 +135,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher::new(self.sample_size);
-        f(&mut b, input);
-        b.report(&format!("{}/{}", self.name, id.id));
+        let name = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&name) {
+            let mut b = Bencher::new(self.sample_size);
+            f(&mut b, input);
+            b.report(&name);
+        }
         self
     }
 
@@ -137,13 +149,30 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Top-level benchmark driver.
-#[derive(Default)]
-pub struct Criterion {}
+///
+/// `Default` picks up an optional substring filter from the command line
+/// (`cargo bench -- <substring>`), matching upstream criterion: benchmarks
+/// whose full `group/id` name doesn't contain the filter are skipped.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
 
 impl Criterion {
+    /// True if `name` passes the command-line filter (if any).
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
     /// Start a named group.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 30, _criterion: self }
+        BenchmarkGroup { name: name.into(), sample_size: 30, criterion: self }
     }
 
     /// Run one stand-alone benchmark.
@@ -151,9 +180,12 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new(30);
-        f(&mut b);
-        b.report(&id.into());
+        let name = id.into();
+        if self.matches(&name) {
+            let mut b = Bencher::new(30);
+            f(&mut b);
+            b.report(&name);
+        }
         self
     }
 }
@@ -214,6 +246,7 @@ mod tests {
         g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
             b.iter(|| spin(n as u64))
         });
+        g.bench_with_input(BenchmarkId::new("named", 7), &7u32, |b, &n| b.iter(|| spin(n as u64)));
         g.bench_function("plain", |b| b.iter(|| spin(10)));
         g.finish();
         c.bench_function("top", |b| b.iter(|| spin(10)));

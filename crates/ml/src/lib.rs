@@ -6,13 +6,16 @@
 //! * [`LinearRegression`] — OLS/ridge via normal equations (§5.1);
 //! * [`Gbdt`] — second-order gradient-boosted regression trees with
 //!   shrinkage, subsampling, and gain importance, standing in for XGBoost
-//!   (§5.2);
+//!   (§5.2). Trains on quantile-binned histograms by default
+//!   ([`BinnedMatrix`], [`SplitStrategy`]), with the exact greedy trainer
+//!   kept as the parity reference;
 //! * [`metrics`] — MdAPE and friends (Figures 10, 11, 13);
 //! * [`pearson`] / [`mic()`](mic()) — the linear and maximal-information
 //!   correlations of Table 5;
 //! * [`nelder_mead`] / [`WeibullCurve`] — the Figure 4 concurrency-curve
 //!   fit.
 
+pub mod binning;
 pub mod correlation;
 pub mod gbdt;
 pub mod linalg;
@@ -24,6 +27,10 @@ pub mod tree;
 pub mod validate;
 pub mod weibull;
 
+#[cfg(test)]
+mod proptests;
+
+pub use binning::{BinnedColumn, BinnedMatrix};
 pub use correlation::pearson;
 pub use gbdt::{Gbdt, GbdtParams};
 pub use linear::LinearRegression;
@@ -32,6 +39,6 @@ pub use metrics::{
 };
 pub use mic::mic;
 pub use optimize::{nelder_mead, Minimum};
-pub use tree::{RegressionTree, TreeParams};
+pub use tree::{RegressionTree, SplitStrategy, TreeParams};
 pub use validate::{cross_validate, kfold_indices};
 pub use weibull::WeibullCurve;

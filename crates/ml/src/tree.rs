@@ -7,13 +7,38 @@
 //! gain = ½ [ G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) ] − γ
 //! ```
 //!
-//! found by exact greedy search over presorted feature columns. Split gains
-//! accumulate into a per-feature importance vector — the circles of the
-//! paper's Figure 12.
+//! Two trainers share this objective:
+//!
+//! * [`RegressionTree::fit`] — exact greedy search over presorted feature
+//!   columns, re-partitioned per node. O(rows · features) per node with
+//!   per-node allocations; kept as the ground-truth reference
+//!   ([`SplitStrategy::Exact`]).
+//! * [`RegressionTree::fit_binned`] — histogram search over a
+//!   [`BinnedMatrix`]: per-node gradient/Hessian histograms (child =
+//!   parent − sibling, so only the smaller child is ever accumulated),
+//!   stable in-place partitioning of one reusable index buffer, and
+//!   rayon-parallel per-feature work reduced with a fixed feature-index
+//!   tie-break — deterministic for any `WDT_THREADS`. The production
+//!   default ([`SplitStrategy::Histogram`]).
+//!
+//! Split gains accumulate into a per-feature importance vector — the
+//! circles of the paper's Figure 12.
 
 #![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer this way
 
+use crate::binning::{BinnedColumn, BinnedMatrix};
+use rayon::prelude::*;
 use wdt_types::json::{JsonError, JsonValue};
+
+/// How `Gbdt`/tree training searches for splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// Quantile-binned histogram search (fast path, default).
+    #[default]
+    Histogram,
+    /// Exact greedy search over sorted columns (reference path).
+    Exact,
+}
 
 /// Tree growth parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,7 +162,304 @@ impl<'a> Builder<'a> {
     }
 }
 
+/// One cell of a node histogram: summed gradients, Hessians, and count.
+#[derive(Debug, Clone, Copy, Default)]
+struct HistBin {
+    g: f64,
+    h: f64,
+    n: u32,
+}
+
+/// Best split found for one node.
+#[derive(Debug, Clone, Copy)]
+struct SplitCand {
+    gain: f64,
+    feature: usize,
+    /// Last bin code routed left.
+    bin: u16,
+    threshold: f64,
+    g_left: f64,
+    h_left: f64,
+    n_left: usize,
+}
+
+/// Row·feature work below which a node's histogram work runs serially —
+/// the compat rayon spawns scoped threads per call, which costs more than
+/// small nodes are worth. Purely a scheduling choice: results are
+/// identical either way.
+const PAR_NODE_WORK: usize = 1 << 14;
+
+/// Accumulate `idx`'s gradient statistics into every feature's histogram,
+/// in parallel across features for large nodes. Each feature's bins are
+/// summed sequentially in `idx` order by exactly one worker, so the
+/// result is independent of the thread count.
+fn fill_hist(
+    binned: &BinnedMatrix,
+    g: &[f64],
+    h: &[f64],
+    idx: &[usize],
+    hist: &mut [Vec<HistBin>],
+) {
+    let fill_one = |f: usize, bins: &mut Vec<HistBin>| {
+        bins.iter_mut().for_each(|b| *b = HistBin::default());
+        let codes = &binned.column(f).codes;
+        for &i in idx {
+            let b = &mut bins[codes[i] as usize];
+            b.g += g[i];
+            b.h += h[i];
+            b.n += 1;
+        }
+    };
+    if idx.len() * hist.len() >= PAR_NODE_WORK && rayon::current_num_threads() > 1 {
+        hist.par_iter_mut().enumerate().for_each(|(f, bins)| fill_one(f, bins));
+    } else {
+        for (f, bins) in hist.iter_mut().enumerate() {
+            fill_one(f, bins);
+        }
+    }
+}
+
+/// The subtraction trick: `parent − child` in place, giving the sibling's
+/// histogram without touching its (larger) row set.
+fn subtract_hist(parent: &mut [Vec<HistBin>], child: &[Vec<HistBin>]) {
+    for (pf, cf) in parent.iter_mut().zip(child) {
+        for (p, c) in pf.iter_mut().zip(cf) {
+            p.g -= c.g;
+            p.h -= c.h;
+            p.n -= c.n;
+        }
+    }
+}
+
+/// Scan one feature's histogram for its best split. Candidate thresholds
+/// sit halfway between the observed value ranges of in-node-adjacent
+/// non-empty bins — exactly the midpoints the exact trainer uses whenever
+/// each distinct value has its own bin.
+fn search_feature(
+    col: &BinnedColumn,
+    bins: &[HistBin],
+    feature: usize,
+    g_sum: f64,
+    h_sum: f64,
+    params: &TreeParams,
+) -> Option<SplitCand> {
+    let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+    let mut gl = 0.0;
+    let mut hl = 0.0;
+    let mut nl = 0usize;
+    let mut pending: Option<(usize, f64, f64, usize)> = None;
+    let mut best: Option<SplitCand> = None;
+    for (b, cell) in bins.iter().enumerate() {
+        if cell.n == 0 {
+            continue;
+        }
+        if let Some((pb, pgl, phl, pnl)) = pending {
+            let gr = g_sum - pgl;
+            let hr = h_sum - phl;
+            if phl >= params.min_child_weight && hr >= params.min_child_weight {
+                let gain = 0.5
+                    * (pgl * pgl / (phl + params.lambda) + gr * gr / (hr + params.lambda)
+                        - parent_score)
+                    - params.gamma;
+                if gain > best.map_or(0.0, |c| c.gain) {
+                    best = Some(SplitCand {
+                        gain,
+                        feature,
+                        bin: pb as u16,
+                        threshold: 0.5 * (col.upper[pb] + col.lower[b]),
+                        g_left: pgl,
+                        h_left: phl,
+                        n_left: pnl,
+                    });
+                }
+            }
+        }
+        gl += cell.g;
+        hl += cell.h;
+        nl += cell.n as usize;
+        pending = Some((b, gl, hl, nl));
+    }
+    best
+}
+
+/// Best split across all features: per-feature scans run in parallel for
+/// wide histograms, then reduce in ascending feature order with a strict
+/// `>` — the same fixed tie-break as the exact trainer's sequential loop,
+/// so the winner never depends on scheduling.
+fn search_splits(
+    binned: &BinnedMatrix,
+    hist: &[Vec<HistBin>],
+    g_sum: f64,
+    h_sum: f64,
+    params: &TreeParams,
+) -> Option<SplitCand> {
+    let total_bins: usize = hist.iter().map(Vec::len).sum();
+    let per_feature: Vec<Option<SplitCand>> =
+        if total_bins >= PAR_NODE_WORK && rayon::current_num_threads() > 1 {
+            hist.par_iter()
+                .enumerate()
+                .map(|(f, bins)| search_feature(binned.column(f), bins, f, g_sum, h_sum, params))
+                .collect()
+        } else {
+            hist.iter()
+                .enumerate()
+                .map(|(f, bins)| search_feature(binned.column(f), bins, f, g_sum, h_sum, params))
+                .collect()
+        };
+    per_feature.into_iter().flatten().fold(None, |best, c| {
+        if c.gain > best.map_or(0.0, |b: SplitCand| b.gain) {
+            Some(c)
+        } else {
+            best
+        }
+    })
+}
+
+struct HistBuilder<'a> {
+    binned: &'a BinnedMatrix,
+    g: &'a [f64],
+    h: &'a [f64],
+    params: TreeParams,
+    nodes: Vec<Node>,
+    importance: &'a mut [f64],
+    /// Every node's samples live in one contiguous range of this single
+    /// reusable buffer; splitting a node partitions its range in place.
+    idx: Vec<usize>,
+    /// Holds the right half during a stable partition.
+    scratch: Vec<usize>,
+    /// Recycled histogram buffers; at most `depth + 1` are live at once.
+    pool: Vec<Vec<Vec<HistBin>>>,
+}
+
+impl<'a> HistBuilder<'a> {
+    fn acquire_hist(&mut self) -> Vec<Vec<HistBin>> {
+        self.pool.pop().unwrap_or_else(|| {
+            (0..self.binned.n_features())
+                .map(|f| vec![HistBin::default(); self.binned.column(f).n_bins()])
+                .collect()
+        })
+    }
+
+    /// Grow the node owning `idx[lo..hi]`, whose histogram is already
+    /// filled. Returns the node's arena index; the histogram buffer is
+    /// recycled (leaves) or reused in place for the larger child (splits).
+    fn grow(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        hist: Vec<Vec<HistBin>>,
+        g_sum: f64,
+        h_sum: f64,
+        depth: usize,
+    ) -> usize {
+        let leaf_value = -g_sum / (h_sum + self.params.lambda);
+        let cand = if depth >= self.params.max_depth || hi - lo < 2 {
+            None
+        } else {
+            search_splits(self.binned, &hist, g_sum, h_sum, &self.params)
+        };
+        let Some(cand) = cand else {
+            self.pool.push(hist);
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        };
+        self.importance[cand.feature] += cand.gain;
+
+        // Stable in-place partition: codes ≤ the split bin go left. For
+        // in-node samples this is equivalent to `value ≤ threshold`.
+        let binned = self.binned;
+        let codes = &binned.column(cand.feature).codes;
+        self.scratch.clear();
+        let mut write = lo;
+        for r in lo..hi {
+            let i = self.idx[r];
+            if codes[i] <= cand.bin {
+                self.idx[write] = i;
+                write += 1;
+            } else {
+                self.scratch.push(i);
+            }
+        }
+        let mid = write;
+        self.idx[mid..hi].copy_from_slice(&self.scratch);
+        debug_assert_eq!(mid - lo, cand.n_left);
+
+        let (gl, hl) = (cand.g_left, cand.h_left);
+        let (gr, hr) = (g_sum - gl, h_sum - hl);
+        // Accumulate only the smaller child; the larger one is the
+        // subtraction `parent − sibling`, reusing the parent's buffer.
+        let mut small = self.acquire_hist();
+        let mut large = hist;
+        let (left_hist, right_hist) = if mid - lo <= hi - mid {
+            fill_hist(binned, self.g, self.h, &self.idx[lo..mid], &mut small);
+            subtract_hist(&mut large, &small);
+            (small, large)
+        } else {
+            fill_hist(binned, self.g, self.h, &self.idx[mid..hi], &mut small);
+            subtract_hist(&mut large, &small);
+            (large, small)
+        };
+
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+        let left = self.grow(lo, mid, left_hist, gl, hl, depth + 1);
+        let right = self.grow(mid, hi, right_hist, gr, hr, depth + 1);
+        self.nodes[slot] =
+            Node::Split { feature: cand.feature, threshold: cand.threshold, left, right };
+        slot
+    }
+}
+
 impl RegressionTree {
+    /// Fit on rows `indices` of the pre-quantized matrix `binned` with
+    /// gradients `g` and Hessians `h` — the histogram counterpart of
+    /// [`RegressionTree::fit`]. Split gains are added into `importance`.
+    ///
+    /// Whenever every feature has at most `max_bins` distinct values the
+    /// quantization is lossless and this produces the identical tree to
+    /// the exact trainer (see the parity property tests); otherwise
+    /// thresholds come from bin boundaries, the standard histogram
+    /// approximation.
+    pub fn fit_binned(
+        binned: &BinnedMatrix,
+        g: &[f64],
+        h: &[f64],
+        indices: &[usize],
+        params: TreeParams,
+        importance: &mut [f64],
+    ) -> Self {
+        assert_eq!(binned.n_rows(), g.len());
+        assert_eq!(binned.n_rows(), h.len());
+        let n_features = binned.n_features();
+        assert_eq!(importance.len(), n_features);
+        if indices.is_empty() || n_features == 0 {
+            return RegressionTree { nodes: vec![Node::Leaf { value: 0.0 }] };
+        }
+        let mut g_sum = 0.0;
+        let mut h_sum = 0.0;
+        for &i in indices {
+            g_sum += g[i];
+            h_sum += h[i];
+        }
+        let mut builder = HistBuilder {
+            binned,
+            g,
+            h,
+            params,
+            nodes: Vec::new(),
+            importance,
+            idx: indices.to_vec(),
+            scratch: Vec::with_capacity(indices.len()),
+            pool: Vec::new(),
+        };
+        let mut hist = builder.acquire_hist();
+        fill_hist(binned, g, h, &builder.idx, &mut hist);
+        let n = builder.idx.len();
+        let root = builder.grow(0, n, hist, g_sum, h_sum, 0);
+        debug_assert_eq!(root, 0);
+        RegressionTree { nodes: builder.nodes }
+    }
+
     /// Fit on rows `indices` of `x` with gradients `g` and Hessians `h`.
     /// Split gains are added into `importance` (length = feature count).
     pub fn fit(

@@ -7,23 +7,32 @@
 pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
     assert!(k >= 2, "need at least two folds");
     assert!(n >= k, "need at least one sample per fold");
-    let fold_of = |i: usize| -> usize {
-        let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        ((z ^ (z >> 31)) % k as u64) as usize
-    };
-    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for i in 0..n {
-        folds[fold_of(i)].push(i);
-    }
-    (0..k)
-        .map(|f| {
-            let test = folds[f].clone();
-            let train = (0..n).filter(|&i| fold_of(i) != f).collect();
-            (train, test)
+    // Hash each index exactly once; every index lands in one test set and
+    // k−1 train sets, built in a single pass below.
+    let fold: Vec<usize> = (0..n)
+        .map(|i| {
+            let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z ^ (z >> 31)) % k as u64) as usize
         })
-        .collect()
+        .collect();
+    let mut counts = vec![0usize; k];
+    for &fi in &fold {
+        counts[fi] += 1;
+    }
+    let mut out: Vec<(Vec<usize>, Vec<usize>)> =
+        counts.iter().map(|&c| (Vec::with_capacity(n - c), Vec::with_capacity(c))).collect();
+    for (i, &fi) in fold.iter().enumerate() {
+        for (f, (train, test)) in out.iter_mut().enumerate() {
+            if f == fi {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+    }
+    out
 }
 
 /// Mean of a per-fold metric produced by `run(train, test)` over K folds.

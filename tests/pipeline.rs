@@ -59,6 +59,53 @@ fn full_pipeline_trains_usable_models() {
     }
 }
 
+/// The histogram engine must reproduce the paper-facing results of the
+/// exact engine on the same simulated campaign: per-edge prediction error
+/// within one MdAPE point, and the same dominant features in the
+/// Figure 12 importance ranking.
+#[test]
+fn histogram_engine_matches_exact_on_paper_results() {
+    let records = simulate();
+    let features = extract_features(records);
+    let mut cfg = PerEdgeConfig { min_transfers: 150, ..Default::default() };
+    cfg.fit.gbdt.n_rounds = 60;
+    let hist = run_per_edge(&features, &cfg);
+    let mut exact_cfg = cfg.clone();
+    exact_cfg.fit.gbdt.split = SplitStrategy::Exact;
+    let exact = run_per_edge(&features, &exact_cfg);
+
+    assert!(!hist.is_empty(), "no edge qualified");
+    assert_eq!(hist.len(), exact.len());
+    for (h, e) in hist.iter().zip(&exact) {
+        assert_eq!(h.edge, e.edge);
+        assert!(
+            (h.xgb.mdape - e.xgb.mdape).abs() < 1.0,
+            "edge {}: histogram MdAPE {} vs exact {}",
+            h.edge,
+            h.xgb.mdape,
+            e.xgb.mdape
+        );
+        // Figure 12: the top-5 most important features must agree as a
+        // set, and the dominant feature must be identical. (Exact order
+        // below the top spot can legitimately swap on near-tie gains.)
+        let top5 = |exp: &wdt_model::EdgeExperiment| -> Vec<String> {
+            let mut v: Vec<(String, f64)> = exp
+                .xgb_importance
+                .iter()
+                .filter_map(|(n, o)| o.map(|val| (n.clone(), val)))
+                .collect();
+            v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importance"));
+            v.truncate(5);
+            v.into_iter().map(|(n, _)| n).collect()
+        };
+        let (th, te) = (top5(h), top5(e));
+        assert_eq!(th[0], te[0], "edge {}: dominant feature differs", h.edge);
+        let sh: std::collections::BTreeSet<&String> = th.iter().collect();
+        let se: std::collections::BTreeSet<&String> = te.iter().collect();
+        assert_eq!(sh, se, "edge {}: top-5 importance sets differ", h.edge);
+    }
+}
+
 #[test]
 fn whole_pipeline_is_deterministic() {
     let a = simulate_once();
