@@ -22,6 +22,8 @@ pub enum ArgError {
     Missing(&'static str),
     /// An option's value failed to parse.
     Invalid(&'static str, String),
+    /// An option the command does not understand.
+    Unknown(String, String),
 }
 
 impl std::fmt::Display for ArgError {
@@ -31,6 +33,9 @@ impl std::fmt::Display for ArgError {
             ArgError::Unexpected(t) => write!(f, "unexpected argument '{t}'"),
             ArgError::Missing(k) => write!(f, "missing required option --{k}"),
             ArgError::Invalid(k, v) => write!(f, "cannot parse --{k} value '{v}'"),
+            ArgError::Unknown(cmd, k) => {
+                write!(f, "unknown option --{k} for '{cmd}' (see `wdt help`)")
+            }
         }
     }
 }
@@ -93,6 +98,18 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.get(key).is_some_and(|v| v != "false")
     }
+
+    /// Reject options the command does not understand, naming the first
+    /// offending flag. Commands call this before doing any work so a
+    /// typo (`--model-dirs`) fails fast instead of being ignored.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::Unknown(self.command.clone(), key.clone()));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +157,15 @@ mod tests {
     #[test]
     fn bare_token_after_command_is_rejected() {
         assert!(matches!(parse("train log.csv"), Err(ArgError::Unexpected(_))));
+    }
+
+    #[test]
+    fn unknown_flags_are_named() {
+        let a = parse("serve --model-dir m --prot 80").unwrap();
+        let err = a.ensure_known(&["model-dir", "port"]).unwrap_err();
+        assert_eq!(err, ArgError::Unknown("serve".into(), "prot".into()));
+        assert!(err.to_string().contains("--prot"), "{err}");
+        assert!(err.to_string().contains("serve"), "{err}");
+        a.ensure_known(&["model-dir", "prot"]).expect("all flags known");
     }
 }

@@ -6,6 +6,8 @@
 //! wdt train    --log log.csv --model m.json # fit a rate model
 //! wdt predict  --log log.csv --model m.json # per-transfer predictions
 //! wdt advise   --log log.csv --endpoint 0   # concurrency-cap advice
+//! wdt serve    --model-dir models/          # online prediction service
+//! wdt loadgen  --addr 127.0.0.1:8191 --log log.csv --out BENCH_serve.json
 //! ```
 //!
 //! See `wdt help` for full usage. All logic lives in [`commands`] so it is

@@ -109,6 +109,14 @@ impl FittedModel {
         &self.names
     }
 
+    /// Indices of the used features in the *original* (pre-pruning) row
+    /// layout, parallel to [`FittedModel::feature_names`]. Serving layers
+    /// use this to validate that a loaded artifact is compatible with the
+    /// feature schema they build rows in.
+    pub fn kept_columns(&self) -> &[usize] {
+        &self.kept
+    }
+
     /// Predict rows given in the original (pre-pruning) layout.
     pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
         x.iter().map(|row| self.predict_row(row)).collect()
@@ -355,5 +363,85 @@ mod persistence_tests {
     fn from_json_rejects_garbage() {
         assert!(FittedModel::from_json("not json").is_err());
         assert!(FittedModel::from_json("{}").is_err());
+    }
+
+    /// `unwrap_err` needs `Debug` on the success type; avoid requiring it.
+    fn expect_err(r: Result<FittedModel, JsonError>, ctx: &str) -> JsonError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("{ctx}: expected an error, got a model"),
+        }
+    }
+
+    fn small_artifact(kind: ModelKind) -> String {
+        let names = vec!["a".into(), "b".into()];
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 13) as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] + 2.0 * r[1]).collect();
+        let data = Dataset::new(names, x, y);
+        FittedModel::fit(&data, kind, &FitConfig::default()).expect("fit").to_json()
+    }
+
+    /// A registry must never load half an artifact: every truncation of a
+    /// valid artifact fails cleanly instead of panicking or "succeeding".
+    #[test]
+    fn from_json_rejects_truncated_artifacts() {
+        for kind in [ModelKind::Linear, ModelKind::Gbdt] {
+            let json = small_artifact(kind);
+            for frac in [0.1, 0.5, 0.9, 0.99] {
+                let mut cut = (json.len() as f64 * frac) as usize;
+                while !json.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                assert!(
+                    FittedModel::from_json(&json[..cut]).is_err(),
+                    "{kind:?} artifact truncated to {cut}/{} bytes parsed",
+                    json.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_kind() {
+        let swapped =
+            small_artifact(ModelKind::Gbdt).replace("\"kind\":\"gbdt\"", "\"kind\":\"forest\"");
+        let err = expect_err(FittedModel::from_json(&swapped), "swapped kind");
+        assert!(err.to_string().contains("unknown model kind"), "{err}");
+        // Mismatched kind/payload: a gbdt payload labeled linear must fail
+        // on the payload fields, not crash.
+        let mislabeled =
+            small_artifact(ModelKind::Gbdt).replace("\"kind\":\"gbdt\"", "\"kind\":\"linear\"");
+        assert!(FittedModel::from_json(&mislabeled).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let json = small_artifact(ModelKind::Linear);
+        let full = wdt_types::json::JsonValue::parse(&json).unwrap();
+        let obj = match &full {
+            wdt_types::json::JsonValue::Obj(m) => m.clone(),
+            _ => unreachable!("artifact is an object"),
+        };
+        for missing in obj.keys() {
+            let mut pruned = obj.clone();
+            pruned.remove(missing);
+            let text = wdt_types::json::JsonValue::Obj(pruned).to_string();
+            let err = expect_err(FittedModel::from_json(&text), missing);
+            assert!(
+                err.to_string().contains("missing field")
+                    || err.to_string().contains("inconsistent"),
+                "dropping '{missing}': unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_shapes() {
+        // Normalizer length disagreeing with names must be caught before
+        // prediction can index out of bounds.
+        let json = small_artifact(ModelKind::Linear);
+        let broken = json.replace("\"names\":[\"a\",\"b\"]", "\"names\":[\"a\"]");
+        assert_ne!(json, broken, "test fixture drifted: names not found");
+        assert!(FittedModel::from_json(&broken).is_err());
     }
 }

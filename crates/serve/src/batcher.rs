@@ -1,0 +1,333 @@
+//! Micro-batching inference engine with admission control.
+//!
+//! Concurrent HTTP workers each hold one prediction; tree traversal is
+//! cheapest when rows are pushed through the model together. The batcher
+//! bridges the two: [`Batcher::submit`] enqueues a row into a bounded
+//! queue and returns a receiver; dedicated batch workers drain up to
+//! [`BatchConfig::max_batch`] rows at a time — waiting at most
+//! [`BatchConfig::flush`] after the first row arrives so singles are not
+//! delayed indefinitely — run one `FittedModel::predict` over the whole
+//! batch, and fan results back out.
+//!
+//! **Admission control:** when the queue already holds
+//! [`BatchConfig::queue_cap`] rows, `submit` fails *immediately* with
+//! [`SubmitError::Overloaded`]. The front end turns that into an explicit
+//! 503 so an overloaded service sheds work in bounded time instead of
+//! stacking latency until clients time out.
+//!
+//! **Determinism:** each row is predicted by `FittedModel::predict` on
+//! the model version current when its batch starts; batching composes
+//! rows, never their arithmetic, so results are bitwise identical to
+//! offline single-row prediction.
+
+use crate::metrics::ServerMetrics;
+use crate::registry::ModelRegistry;
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Largest batch one worker executes at once.
+    pub max_batch: usize,
+    /// How long a partially-filled batch may wait for company.
+    pub flush: Duration,
+    /// Queue capacity; submissions beyond this are shed.
+    pub queue_cap: usize,
+    /// Batch-executing threads.
+    pub workers: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            flush: Duration::from_micros(100),
+            queue_cap: 1024,
+            workers: 2,
+        }
+    }
+}
+
+/// One completed prediction.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Predicted transfer rate (bytes/s), bitwise equal to offline
+    /// `FittedModel::predict` on the same row.
+    pub rate: f64,
+    /// Version of the model that produced it.
+    pub version: Arc<str>,
+    /// Size of the batch this row rode in (observability).
+    pub batch_size: usize,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — caller should report 503 and back off.
+    Overloaded,
+    /// The batcher is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "inference queue full"),
+            SubmitError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Job {
+    row: Vec<f64>,
+    enqueued: Instant,
+    reply: SyncSender<Prediction>,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    arrived: Condvar,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<ServerMetrics>,
+    cfg: BatchConfig,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The micro-batching engine; see the module docs.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Start `cfg.workers` batch threads over `registry`.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        metrics: Arc<ServerMetrics>,
+        cfg: BatchConfig,
+    ) -> Arc<Batcher> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            arrived: Condvar::new(),
+            registry,
+            metrics,
+            cfg: cfg.clone(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("wdt-batch-{i}"))
+                    .spawn(move || batch_loop(&shared))
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        Arc::new(Batcher { shared, workers: Mutex::new(workers) })
+    }
+
+    /// Enqueue one row (serving-schema layout). Non-blocking: either the
+    /// row is admitted and the returned receiver will yield exactly one
+    /// [`Prediction`], or the queue is full / shutting down.
+    pub fn submit(&self, row: Vec<f64>) -> Result<Receiver<Prediction>, SubmitError> {
+        let (reply, rx) = sync_channel(1);
+        {
+            let mut q = self.shared.queue.lock().expect("batch queue poisoned");
+            if q.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if q.jobs.len() >= self.shared.cfg.queue_cap {
+                return Err(SubmitError::Overloaded);
+            }
+            q.jobs.push_back(Job { row, enqueued: Instant::now(), reply });
+        }
+        self.shared.arrived.notify_one();
+        Ok(rx)
+    }
+
+    /// Current queue depth (observability).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("batch queue poisoned").jobs.len()
+    }
+
+    /// Stop accepting work, drain everything already queued, and join the
+    /// workers. Every admitted submission still gets its reply.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("batch queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.arrived.notify_all();
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Worker body: collect a batch (first job immediately, then up to
+/// `flush` of patience for more), predict, fan out, repeat.
+fn batch_loop(shared: &Shared) {
+    let cfg = &shared.cfg;
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("batch queue poisoned");
+            // Wait for work (or shutdown with an empty queue → exit).
+            loop {
+                if !q.jobs.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.arrived.wait(q).expect("batch queue poisoned");
+            }
+            // Patience phase: a partial batch lingers until the flush
+            // deadline in case more rows arrive. Skipped when the batch
+            // is already full or the service is draining.
+            let deadline = Instant::now() + cfg.flush;
+            while q.jobs.len() < cfg.max_batch && !q.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) =
+                    shared.arrived.wait_timeout(q, deadline - now).expect("batch queue poisoned");
+                q = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+                // Another worker may have taken everything while we
+                // waited; go back to the outer wait.
+                if q.jobs.is_empty() {
+                    break;
+                }
+            }
+            let take = q.jobs.len().min(cfg.max_batch);
+            q.jobs.drain(..take).collect::<Vec<Job>>()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+
+        let loaded = shared.registry.current();
+        let version: Arc<str> = Arc::from(loaded.version.as_str());
+        let rows: Vec<Vec<f64>> = batch.iter().map(|j| j.row.clone()).collect();
+        let rates = loaded.model.predict(&rows);
+        let n = batch.len();
+        shared.metrics.batch_size.record(n as u64);
+        for (job, rate) in batch.into_iter().zip(rates) {
+            shared.metrics.predict_latency_us.record(job.enqueued.elapsed().as_micros() as u64);
+            // A dropped receiver (client hung up) is not an error.
+            let _ = job.reply.send(Prediction { rate, version: version.clone(), batch_size: n });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelRegistry, ServeSchema};
+    use wdt_features::Dataset;
+    use wdt_model::{FitConfig, FittedModel, ModelKind};
+
+    fn test_registry(name: &str) -> (Arc<ModelRegistry>, FittedModel) {
+        let dir = std::env::temp_dir().join("wdt-batcher-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let schema = ServeSchema::prediction();
+        let w = schema.width();
+        let x: Vec<Vec<f64>> =
+            (0..200).map(|i| (0..w).map(|j| ((i * (j + 2)) % 19) as f64).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + r[1] * r[1] + r[5]).collect();
+        let model = FittedModel::fit(
+            &Dataset::new(schema.names().to_vec(), x, y),
+            ModelKind::Gbdt,
+            &FitConfig::default(),
+        )
+        .expect("fit");
+        std::fs::write(dir.join("v1.json"), model.to_json()).unwrap();
+        let offline = FittedModel::from_json(&model.to_json()).unwrap();
+        (Arc::new(ModelRegistry::open(dir, schema).unwrap()), offline)
+    }
+
+    #[test]
+    fn batched_predictions_match_offline_bitwise() {
+        let (registry, offline) = test_registry("bitwise");
+        let metrics = Arc::new(ServerMetrics::new());
+        let batcher = Batcher::start(registry.clone(), metrics.clone(), BatchConfig::default());
+        let w = registry.schema().width();
+
+        let rows: Vec<Vec<f64>> =
+            (0..64).map(|i| (0..w).map(|j| ((i + j * 7) % 23) as f64 / 3.0).collect()).collect();
+        let handles: Vec<_> =
+            rows.iter().map(|row| batcher.submit(row.clone()).expect("admit")).collect();
+        for (row, rx) in rows.iter().zip(handles) {
+            let p = rx.recv().expect("reply");
+            let expect = offline.predict_row(row);
+            assert_eq!(p.rate.to_bits(), expect.to_bits(), "row {row:?}");
+            assert_eq!(&*p.version, "v1");
+            assert!(p.batch_size >= 1);
+        }
+        assert!(metrics.batch_size.count() >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_blocking() {
+        let (registry, _) = test_registry("shed");
+        let metrics = Arc::new(ServerMetrics::new());
+        // Tiny queue, huge flush, one worker: after the first submission
+        // occupies the worker's patience window, the queue fills.
+        let cfg = BatchConfig {
+            max_batch: 4,
+            flush: Duration::from_millis(300),
+            queue_cap: 2,
+            workers: 1,
+        };
+        let batcher = Batcher::start(registry.clone(), metrics, cfg);
+        let w = registry.schema().width();
+
+        let mut admitted = Vec::new();
+        let mut shed = 0usize;
+        for _ in 0..32 {
+            match batcher.submit(vec![1.0; w]) {
+                Ok(rx) => admitted.push(rx),
+                Err(SubmitError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(shed > 0, "expected overload shedding");
+        // Every admitted request still completes.
+        for rx in admitted {
+            rx.recv_timeout(Duration::from_secs(5)).expect("admitted request must complete");
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work() {
+        let (registry, _) = test_registry("drain");
+        let metrics = Arc::new(ServerMetrics::new());
+        let cfg = BatchConfig { flush: Duration::from_millis(50), ..Default::default() };
+        let batcher = Batcher::start(registry.clone(), metrics, cfg);
+        let w = registry.schema().width();
+        let handles: Vec<_> =
+            (0..16).map(|_| batcher.submit(vec![2.0; w]).expect("admit")).collect();
+        batcher.shutdown();
+        for rx in handles {
+            rx.recv_timeout(Duration::from_secs(1)).expect("drained reply");
+        }
+        // Post-shutdown submissions are refused.
+        assert_eq!(batcher.submit(vec![0.0; w]).err(), Some(SubmitError::ShuttingDown));
+    }
+}

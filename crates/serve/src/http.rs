@@ -1,0 +1,263 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! Enough of the protocol for a loopback/intranet prediction service and
+//! its load generator: request line + headers + `Content-Length` bodies,
+//! keep-alive (the HTTP/1.1 default) with `Connection: close` honored,
+//! and hard limits on header and body size so a hostile peer cannot make
+//! the server buffer unboundedly. No chunked encoding, no TLS — artifacts
+//! of the vendored-dependency policy, documented in DESIGN.md.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, bytes. Prediction bodies are a few
+/// hundred bytes; this leaves room for batched client extensions.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path component, e.g. `/predict`.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Client asked to close after this exchange.
+    pub close: bool,
+}
+
+/// Protocol-level failure while reading a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Read timeout fired while the connection was quiet (no request in
+    /// progress). Keep-alive servers use socket timeouts so idle
+    /// connections wake periodically to observe shutdown; this variant
+    /// means "nothing happened", not a protocol error.
+    Idle,
+    /// Peer closed before a complete request (clean EOF between
+    /// requests is reported as `Ok(None)` instead).
+    Truncated,
+    /// Malformed request line or header.
+    Malformed(String),
+    /// Head or body over the configured limits.
+    TooLarge(&'static str),
+    /// Underlying socket error.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Idle => write!(f, "idle timeout"),
+            HttpError::Truncated => write!(f, "connection closed mid-request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(what) => write!(f, "{what} too large"),
+            HttpError::Io(m) => write!(f, "io: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Read one request off a keep-alive connection.
+///
+/// Returns `Ok(None)` on clean EOF (peer finished and closed), which is
+/// the normal end of a keep-alive session.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    // A timeout before any byte of a new request is an idle wakeup; a
+    // timeout after we started reading means the request is broken.
+    match read_line_limited(reader, &mut line, &mut head_bytes) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(LineError::Timeout) if line.is_empty() => return Err(HttpError::Idle),
+        Err(e) => return Err(e.into_http()),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("request line {:?}", line.trim_end())));
+    }
+
+    let mut content_length = 0usize;
+    let mut close = version == "HTTP/1.0";
+    loop {
+        line.clear();
+        if read_line_limited(reader, &mut line, &mut head_bytes).map_err(LineError::into_http)? == 0
+        {
+            return Err(HttpError::Truncated);
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header {trimmed:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::Malformed(format!("content-length {value:?}")))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(HttpError::TooLarge("body"));
+                }
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    close = true;
+                } else if v.contains("keep-alive") {
+                    close = false;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| HttpError::Truncated)?;
+    Ok(Some(Request { method, path, body, close }))
+}
+
+/// Line-read failure, pre-classification into [`HttpError`].
+enum LineError {
+    /// Socket read timeout (idle if nothing was consumed yet).
+    Timeout,
+    /// Head grew past [`MAX_HEAD_BYTES`].
+    TooLarge,
+    /// Anything else on the socket.
+    Io(String),
+}
+
+impl LineError {
+    fn into_http(self) -> HttpError {
+        match self {
+            // A timeout mid-head means the peer stalled inside a request.
+            LineError::Timeout => HttpError::Truncated,
+            LineError::TooLarge => HttpError::TooLarge("header"),
+            LineError::Io(m) => HttpError::Io(m),
+        }
+    }
+}
+
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<usize, LineError> {
+    let n = reader.read_line(line).map_err(|e| {
+        if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+            LineError::Timeout
+        } else {
+            LineError::Io(e.to_string())
+        }
+    })?;
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(LineError::TooLarge);
+    }
+    Ok(n)
+}
+
+/// Write a response with a JSON body.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: {}\r\n\
+         \r\n",
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Push raw bytes through a real socket and parse them.
+    fn parse_bytes(input: &[u8]) -> Result<Option<Request>, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let input = input.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&input).unwrap();
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn);
+        let out = read_request(&mut reader);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse_bytes(b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn honors_connection_close_and_http10() {
+        let req =
+            parse_bytes(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(req.close);
+        let req = parse_bytes(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(req.close);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert_eq!(parse_bytes(b"").unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        let err = parse_bytes(b"POST /p HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").err();
+        assert_eq!(err, Some(HttpError::Truncated));
+    }
+
+    #[test]
+    fn malformed_request_line_errors() {
+        assert!(matches!(parse_bytes(b"NONSENSE\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse_bytes(b"GET /x SPDY/99\r\n\r\n"), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected() {
+        let huge = format!("POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert_eq!(parse_bytes(huge.as_bytes()).err(), Some(HttpError::TooLarge("body")));
+        let mut head = String::from("GET /p HTTP/1.1\r\n");
+        for i in 0..2000 {
+            head.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(64)));
+        }
+        head.push_str("\r\n");
+        assert_eq!(parse_bytes(head.as_bytes()).err(), Some(HttpError::TooLarge("header")));
+    }
+}

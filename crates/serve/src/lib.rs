@@ -1,0 +1,45 @@
+//! # wdt-serve — online transfer-rate prediction service
+//!
+//! The operational face of the paper's models: a scheduler that must
+//! decide *now* whether to start, defer, or re-tune a transfer asks this
+//! service "what rate will this transfer get?" and receives a prediction
+//! from the currently-deployed [`FittedModel`](wdt_model::FittedModel)
+//! artifact in well under a millisecond.
+//!
+//! The subsystem is deliberately built on `std::net` alone — no async
+//! runtime, no HTTP framework — consistent with the workspace's
+//! vendored-dependency policy. Four layers:
+//!
+//! * [`registry`] — versioned model artifacts on disk, validated against
+//!   the serving feature schema, atomically hot-swappable while requests
+//!   are in flight;
+//! * [`batcher`] — a bounded submission queue that coalesces concurrent
+//!   single predictions into batched `predict` calls, and sheds load
+//!   explicitly when full;
+//! * [`server`] — a hand-rolled HTTP/1.1 front end (`TcpListener` +
+//!   fixed worker pool, keep-alive, graceful shutdown) exposing
+//!   `POST /predict`, `GET /healthz`, `GET /metrics`, `POST /reload`,
+//!   and `POST /shutdown`;
+//! * [`loadgen`] — closed- and open-loop load generation over real
+//!   sockets, reporting throughput and latency percentiles.
+//!
+//! Determinism contract: a served prediction is **bitwise identical** to
+//! `FittedModel::predict` on the same row offline. Feature values and the
+//! predicted rate cross the wire as shortest-round-trip JSON numbers
+//! (`wdt_types::json`), which reparse to the same `f64` bit pattern, and
+//! batching never changes per-row arithmetic.
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchConfig, Batcher, Prediction, SubmitError};
+pub use client::HttpClient;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenMode, LoadgenReport};
+pub use metrics::ServerMetrics;
+pub use registry::{LoadedModel, ModelRegistry, RegistryError, ServeSchema};
+pub use server::{ServeConfig, Server};

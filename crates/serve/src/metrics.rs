@@ -1,0 +1,90 @@
+//! Server-side counters and histograms, exported by `GET /metrics`.
+//!
+//! All fields are lock-free atomics (histograms come from
+//! [`wdt_types::hist`]), so the hot path records with a handful of
+//! relaxed increments. Latencies are in microseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use wdt_types::{Histogram, JsonValue};
+
+/// Aggregated service metrics.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// HTTP requests accepted (any endpoint, any outcome).
+    pub requests: AtomicU64,
+    /// Successful predictions returned.
+    pub predictions: AtomicU64,
+    /// Requests shed by admission control (queue full → 503).
+    pub shed: AtomicU64,
+    /// Client or server errors (malformed body, unknown route, …).
+    pub errors: AtomicU64,
+    /// End-to-end request latency, µs (parse → response written).
+    pub request_latency_us: Histogram,
+    /// Time a prediction spends queued + batched + predicted, µs.
+    pub predict_latency_us: Histogram,
+    /// Size of each executed inference batch.
+    pub batch_size: Histogram,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one accepted request.
+    pub fn on_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one served prediction with its end-to-end latency.
+    pub fn on_prediction(&self, latency_us: u64) {
+        self.predictions.fetch_add(1, Ordering::Relaxed);
+        self.request_latency_us.record(latency_us);
+    }
+
+    /// Count one shed (503) response.
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one error response.
+    pub fn on_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as the `/metrics` JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("requests", JsonValue::Num(self.requests.load(Ordering::Relaxed) as f64)),
+            ("predictions", JsonValue::Num(self.predictions.load(Ordering::Relaxed) as f64)),
+            ("shed", JsonValue::Num(self.shed.load(Ordering::Relaxed) as f64)),
+            ("errors", JsonValue::Num(self.errors.load(Ordering::Relaxed) as f64)),
+            ("request_latency_us", self.request_latency_us.summary_json()),
+            ("predict_latency_us", self.predict_latency_us.summary_json()),
+            ("batch_size", self.batch_size.summary_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_snapshot_serializes() {
+        let m = ServerMetrics::new();
+        m.on_request();
+        m.on_prediction(250);
+        m.on_request();
+        m.on_shed();
+        m.batch_size.record(2);
+        let v = JsonValue::parse(&m.to_json().to_string()).unwrap();
+        assert_eq!(v.field("requests").unwrap().as_usize().unwrap(), 2);
+        assert_eq!(v.field("predictions").unwrap().as_usize().unwrap(), 1);
+        assert_eq!(v.field("shed").unwrap().as_usize().unwrap(), 1);
+        let lat = v.field("request_latency_us").unwrap();
+        assert_eq!(lat.field("count").unwrap().as_usize().unwrap(), 1);
+        assert!(lat.field("p99").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,447 @@
+//! The HTTP front end: `TcpListener`, a fixed worker pool, routing, and
+//! graceful shutdown.
+//!
+//! ## Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /predict` | body `{"<feature>": <num>, …}` → `{"rate", "version", "batch_size"}` |
+//! | `GET /healthz` | liveness + current model version |
+//! | `GET /metrics` | counters and latency/batch histograms (p50/p95/p99) |
+//! | `POST /reload` | rescan the model directory, hot-swap if newer |
+//! | `POST /shutdown` | begin graceful shutdown (used by tests/CI) |
+//!
+//! Feature maps may omit features (they default to 0.0 — the natural
+//! encoding for "no competing load observed") but may not name unknown
+//! features or carry non-finite values; both are 400s. Overload is an
+//! explicit 503 `{"error":"overloaded"}` from the batcher's admission
+//! control, never a stalled socket.
+//!
+//! ## Shutdown discipline
+//!
+//! `shutdown()` (or `POST /shutdown`, or the CLI's signal handler) stops
+//! the accept loop first, lets HTTP workers finish the requests already
+//! on their connections, then drains the batcher — so every admitted
+//! request is answered and the service never drops in-flight work.
+
+use crate::batcher::{BatchConfig, Batcher, SubmitError};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::ServerMetrics;
+use crate::registry::ModelRegistry;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wdt_types::JsonValue;
+
+/// Front-end configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (0 → ephemeral, see [`Server::addr`]).
+    pub port: u16,
+    /// HTTP worker threads (each owns one connection at a time, so this
+    /// also bounds concurrent connections).
+    pub workers: usize,
+    /// Micro-batching knobs.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { port: 0, workers: 8, batch: BatchConfig::default() }
+    }
+}
+
+struct Ctx {
+    registry: Arc<ModelRegistry>,
+    batcher: Arc<Batcher>,
+    metrics: Arc<ServerMetrics>,
+    stopping: Arc<AtomicBool>,
+}
+
+/// A running prediction service.
+pub struct Server {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    http_workers: Mutex<Vec<JoinHandle<()>>>,
+    conn_tx: Mutex<Option<Sender<TcpStream>>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool, and start accepting.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> std::io::Result<Arc<Server>> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::new());
+        let batcher = Batcher::start(registry.clone(), metrics.clone(), cfg.batch.clone());
+        let ctx = Arc::new(Ctx {
+            registry,
+            batcher,
+            metrics,
+            stopping: Arc::new(AtomicBool::new(false)),
+        });
+
+        let (conn_tx, conn_rx) = channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let http_workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let rx = conn_rx.clone();
+                let ctx = ctx.clone();
+                std::thread::Builder::new()
+                    .name(format!("wdt-http-{i}"))
+                    .spawn(move || http_worker(&rx, &ctx))
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        let accept_ctx = ctx.clone();
+        let accept_tx = conn_tx.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("wdt-accept".into())
+            .spawn(move || accept_loop(listener, accept_tx, &accept_ctx))
+            .expect("spawn accept loop");
+
+        Ok(Arc::new(Server {
+            addr,
+            ctx,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            http_workers: Mutex::new(http_workers),
+            conn_tx: Mutex::new(Some(conn_tx)),
+        }))
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared metrics (for embedding / tests).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.ctx.metrics
+    }
+
+    /// The model registry the server predicts with.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.ctx.registry
+    }
+
+    /// True once shutdown has been requested (API call or `POST /shutdown`).
+    pub fn stopping(&self) -> bool {
+        self.ctx.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested, polling `period`.
+    pub fn wait_until_stopping(&self, period: Duration) {
+        while !self.stopping() {
+            std::thread::sleep(period);
+        }
+    }
+
+    /// Graceful shutdown; see the module docs for ordering. Idempotent.
+    pub fn shutdown(&self) {
+        self.ctx.stopping.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.lock().expect("accept handle").take() {
+            let _ = t.join();
+        }
+        // Closing the channel ends the workers once queued+open
+        // connections finish.
+        drop(self.conn_tx.lock().expect("conn sender").take());
+        let mut workers = self.http_workers.lock().expect("worker handles");
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+        // Batcher last: HTTP workers may be waiting on replies.
+        self.ctx.batcher.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: &Ctx) {
+    for stream in listener.incoming() {
+        if ctx.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                // Idle keep-alive connections wake periodically so a
+                // shutdown is never blocked on a silent client.
+                let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                let _ = s.set_nodelay(true);
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn http_worker(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &Ctx) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("conn receiver");
+            guard.recv()
+        };
+        match stream {
+            Ok(s) => handle_connection(s, ctx),
+            Err(_) => return, // channel closed → shutdown
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    let peer = stream.try_clone();
+    let Ok(mut writer) = peer else { return };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                let close = req.close || ctx.stopping.load(Ordering::SeqCst);
+                let (status, reason, body) = route(&req, ctx);
+                if write_response(&mut writer, status, reason, &body, close).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Err(HttpError::Idle) => {
+                // No request in flight; keep waiting unless draining.
+                if ctx.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(HttpError::Truncated) | Err(HttpError::Io(_)) => return,
+            Err(e @ (HttpError::Malformed(_) | HttpError::TooLarge(_))) => {
+                ctx.metrics.on_error();
+                let (status, reason) = match e {
+                    HttpError::TooLarge(_) => (413, "Payload Too Large"),
+                    _ => (400, "Bad Request"),
+                };
+                let body = error_body(&e.to_string());
+                let _ = write_response(&mut writer, status, reason, &body, true);
+                return;
+            }
+        }
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    JsonValue::obj([("error", JsonValue::Str(msg.to_string()))]).to_string()
+}
+
+/// Dispatch one request → (status, reason, JSON body).
+fn route(req: &Request, ctx: &Ctx) -> (u16, &'static str, String) {
+    ctx.metrics.on_request();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => predict(req, ctx),
+        ("GET", "/healthz") => {
+            let version = ctx.registry.current().version.clone();
+            let body = JsonValue::obj([
+                ("status", JsonValue::Str("ok".into())),
+                ("version", JsonValue::Str(version)),
+            ])
+            .to_string();
+            (200, "OK", body)
+        }
+        ("GET", "/metrics") => {
+            let mut m = ctx.metrics.to_json();
+            if let JsonValue::Obj(map) = &mut m {
+                map.insert("queue_depth".into(), JsonValue::Num(ctx.batcher.queue_depth() as f64));
+                map.insert(
+                    "version".into(),
+                    JsonValue::Str(ctx.registry.current().version.clone()),
+                );
+            }
+            (200, "OK", m.to_string())
+        }
+        ("POST", "/reload") => match ctx.registry.reload() {
+            Ok(version) => {
+                let body = JsonValue::obj([("version", JsonValue::Str(version))]).to_string();
+                (200, "OK", body)
+            }
+            Err(e) => {
+                ctx.metrics.on_error();
+                (500, "Internal Server Error", error_body(&e.to_string()))
+            }
+        },
+        ("POST", "/shutdown") => {
+            ctx.stopping.store(true, Ordering::SeqCst);
+            (200, "OK", JsonValue::obj([("status", JsonValue::Str("stopping".into()))]).to_string())
+        }
+        _ => {
+            ctx.metrics.on_error();
+            (404, "Not Found", error_body(&format!("no route {} {}", req.method, req.path)))
+        }
+    }
+}
+
+fn predict(req: &Request, ctx: &Ctx) -> (u16, &'static str, String) {
+    let started = Instant::now();
+    let row = match parse_feature_row(&req.body, ctx) {
+        Ok(row) => row,
+        Err(msg) => {
+            ctx.metrics.on_error();
+            return (400, "Bad Request", error_body(&msg));
+        }
+    };
+    let rx = match ctx.batcher.submit(row) {
+        Ok(rx) => rx,
+        Err(SubmitError::Overloaded) => {
+            ctx.metrics.on_shed();
+            return (503, "Service Unavailable", error_body("overloaded"));
+        }
+        Err(SubmitError::ShuttingDown) => {
+            ctx.metrics.on_shed();
+            return (503, "Service Unavailable", error_body("shutting down"));
+        }
+    };
+    match rx.recv() {
+        Ok(p) if p.rate.is_finite() => {
+            ctx.metrics.on_prediction(started.elapsed().as_micros() as u64);
+            let body = JsonValue::obj([
+                ("rate", JsonValue::Num(p.rate)),
+                ("version", JsonValue::Str(p.version.to_string())),
+                ("batch_size", JsonValue::Num(p.batch_size as f64)),
+            ])
+            .to_string();
+            (200, "OK", body)
+        }
+        Ok(_) => {
+            ctx.metrics.on_error();
+            (500, "Internal Server Error", error_body("non-finite prediction"))
+        }
+        Err(_) => {
+            ctx.metrics.on_error();
+            (500, "Internal Server Error", error_body("inference worker gone"))
+        }
+    }
+}
+
+/// Body `{"<feature>": <num>, …}` → serving-schema row. Missing features
+/// are 0.0; unknown names and non-finite values are client errors.
+fn parse_feature_row(body: &[u8], ctx: &Ctx) -> Result<Vec<f64>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let parsed = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let JsonValue::Obj(map) = parsed else {
+        return Err("body must be a JSON object of feature values".into());
+    };
+    let schema = ctx.registry.schema();
+    let mut row = vec![0.0f64; schema.width()];
+    for (name, value) in &map {
+        let Some(&i) = schema.position().get(name) else {
+            return Err(format!("unknown feature '{name}'"));
+        };
+        let v = value.as_f64().map_err(|_| format!("feature '{name}' must be a number"))?;
+        if !v.is_finite() {
+            return Err(format!("feature '{name}' is not finite"));
+        }
+        row[i] = v;
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::registry::ServeSchema;
+    use wdt_features::Dataset;
+    use wdt_model::{FitConfig, FittedModel, ModelKind};
+
+    fn start_test_server(name: &str) -> (Arc<Server>, FittedModel) {
+        let dir = std::env::temp_dir().join("wdt-server-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let schema = ServeSchema::prediction();
+        let w = schema.width();
+        let x: Vec<Vec<f64>> =
+            (0..150).map(|i| (0..w).map(|j| ((i * (j + 2)) % 19) as f64).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + r[3] * r[3]).collect();
+        let model = FittedModel::fit(
+            &Dataset::new(schema.names().to_vec(), x, y),
+            ModelKind::Gbdt,
+            &FitConfig::default(),
+        )
+        .unwrap();
+        std::fs::write(dir.join("v1.json"), model.to_json()).unwrap();
+        let offline = FittedModel::from_json(&model.to_json()).unwrap();
+        let registry = Arc::new(ModelRegistry::open(dir, schema).unwrap());
+        (Server::start(registry, ServeConfig::default()).unwrap(), offline)
+    }
+
+    #[test]
+    fn healthz_metrics_and_predict_routes() {
+        let (server, offline) = start_test_server("routes");
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+
+        let (status, body) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        let v = JsonValue::parse(&body).unwrap();
+        assert_eq!(v.field("version").unwrap().as_str().unwrap(), "v1");
+
+        let names = server.registry().schema().names().to_vec();
+        let features = JsonValue::Obj(
+            names.iter().enumerate().map(|(i, n)| (n.clone(), JsonValue::Num(i as f64))).collect(),
+        );
+        let (status, body) = client.post("/predict", &features.to_string()).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = JsonValue::parse(&body).unwrap();
+        let row: Vec<f64> = (0..names.len()).map(|i| i as f64).collect();
+        assert_eq!(
+            v.field("rate").unwrap().as_f64().unwrap().to_bits(),
+            offline.predict_row(&row).to_bits(),
+            "served != offline"
+        );
+
+        let (status, body) = client.get("/metrics").unwrap();
+        assert_eq!(status, 200);
+        let v = JsonValue::parse(&body).unwrap();
+        assert!(v.field("predictions").unwrap().as_usize().unwrap() >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_are_client_errors_not_crashes() {
+        let (server, _) = start_test_server("bad-requests");
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        for (body, expect_fragment) in [
+            ("not json", "invalid"),
+            ("[1,2,3]", "object"),
+            ("{\"NotAFeature\": 1}", "unknown feature"),
+            ("{\"Ksout\": \"fast\"}", "must be a number"),
+            ("{\"Ksout\": 1e999}", "not finite"),
+        ] {
+            let (status, resp) = c.post("/predict", body).unwrap();
+            assert_eq!(status, 400, "{body} -> {resp}");
+            assert!(resp.contains(expect_fragment), "{body} -> {resp}");
+        }
+        let (status, _) = c.get("/nope").unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let (server, _) = start_test_server("shutdown-route");
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        let (status, _) = c.post("/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(server.stopping());
+        server.shutdown();
+        // Connections after shutdown fail (listener gone).
+        assert!(
+            HttpClient::connect(server.addr()).is_err() || {
+                // The OS may accept briefly; a request must then fail.
+                let mut c2 = HttpClient::connect(server.addr()).unwrap();
+                c2.get("/healthz").is_err()
+            }
+        );
+    }
+}

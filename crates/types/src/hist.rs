@@ -1,0 +1,224 @@
+//! Lock-free power-of-two histograms for latency and size distributions.
+//!
+//! Built for hot paths with many concurrent writers: [`Histogram::record`]
+//! is a pair of relaxed atomic increments, so server worker threads (and,
+//! later, simulator instruments) can record without a lock or contention
+//! on a shared mutex. Reads ([`Histogram::quantile`], [`Histogram::mean`])
+//! are approximate snapshots — exact once writers quiesce.
+//!
+//! Values are unsigned integers in whatever unit the caller picks
+//! (microseconds for latencies, counts for batch sizes). Bucket `i` spans
+//! `[2^(i-1), 2^i)` with bucket 0 holding zeros, so relative quantile
+//! error is bounded by the bucket width (≤ 2×, tightened by linear
+//! interpolation within the bucket and clamped to the exact observed
+//! maximum).
+
+use crate::json::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: value `v` lands in bucket `64 - v.leading_zeros()`,
+/// clamped, so the full `u64` range is representable.
+const BUCKETS: usize = 65;
+
+/// A concurrent histogram over `u64` values.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Record one value. Lock-free; safe from any thread.
+    pub fn record(&self, v: u64) {
+        self.counts[Self::bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`): linear interpolation
+    /// inside the containing power-of-two bucket, clamped to the exact
+    /// observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 { 0u64 } else { (1u64 << (i - 1)).saturating_mul(2) - 1 };
+                let frac = (target - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).min(self.max());
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
+    /// Fold another histogram into this one (e.g. per-thread shards).
+    pub fn merge(&self, other: &Histogram) {
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Reset all counters to zero.
+    pub fn clear(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Summary as a JSON object: `count`, `mean`, `max`, `p50/p95/p99`.
+    pub fn summary_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("count", JsonValue::Num(self.count() as f64)),
+            ("mean", JsonValue::Num(self.mean())),
+            ("max", JsonValue::Num(self.max() as f64)),
+            ("p50", JsonValue::Num(self.quantile(0.50) as f64)),
+            ("p95", JsonValue::Num(self.quantile(0.95) as f64)),
+            ("p99", JsonValue::Num(self.quantile(0.99) as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        // Power-of-two buckets ⇒ estimate within 2× of the true quantile.
+        for (q, truth) in [(0.5, 500u64), (0.95, 950), (0.99, 990)] {
+            let est = h.quantile(q);
+            assert!(est >= truth / 2 && est <= truth * 2, "q{q}: {est} vs {truth}");
+        }
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn max_is_exact_and_clamps_quantiles() {
+        let h = Histogram::new();
+        h.record(3);
+        h.record(700);
+        assert_eq!(h.max(), 700);
+        assert!(h.quantile(0.99) <= 700);
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 100);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.max(), 199);
+        assert!(a.mean() > 90.0 && a.mean() < 110.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.max(), 39_999);
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        let text = h.summary_json().to_string();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.field("count").unwrap().as_usize().unwrap(), 4);
+        assert_eq!(v.field("max").unwrap().as_usize().unwrap(), 1000);
+    }
+}

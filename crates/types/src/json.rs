@@ -10,6 +10,15 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Maximum container nesting the parser accepts.
+///
+/// The parser is recursive, so without a limit a hostile document of the
+/// form `[[[[…` could exhaust the stack and abort the process. Servers
+/// parse client-supplied bytes with this parser, so overly deep input is
+/// a [`JsonError`], never a crash. 64 is far beyond any artifact or
+/// request body this workspace produces.
+pub const MAX_DEPTH: usize = 64;
+
 /// A parsed JSON document.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -136,8 +145,9 @@ impl JsonValue {
             JsonValue::Num(n) => {
                 assert!(n.is_finite(), "cannot serialize non-finite number {n}");
                 // Rust's shortest-round-trip formatting; integral values
-                // print without a fraction and reparse exactly.
-                if n.fract() == 0.0 && n.abs() < 1e15 {
+                // print without a fraction and reparse exactly. Negative
+                // zero must keep its sign bit, so it skips the integer path.
+                if n.fract() == 0.0 && n.abs() < 1e15 && !(*n == 0.0 && n.is_sign_negative()) {
                     out.push_str(&format!("{}", *n as i64));
                 } else {
                     out.push_str(&format!("{n}"));
@@ -170,10 +180,15 @@ impl JsonValue {
     }
 
     /// Parse a complete JSON document (trailing garbage is an error).
+    ///
+    /// Safe on untrusted input: malformed documents (unterminated
+    /// strings/objects, truncated escapes, bad numbers) and documents
+    /// nested deeper than [`MAX_DEPTH`] return a [`JsonError`]; no input
+    /// can panic the parser or exhaust the stack.
     pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError::new(format!("trailing input at byte {pos}")));
@@ -213,7 +228,10 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::new(format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err(JsonError::new("unexpected end of input")),
@@ -230,7 +248,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
                 return Ok(JsonValue::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -260,7 +278,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, b':')?;
-                let value = parse_value(b, pos)?;
+                let value = parse_value(b, pos, depth + 1)?;
                 map.insert(key, value);
                 skip_ws(b, pos);
                 match b.get(*pos) {
@@ -295,6 +313,11 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
+    }
+    // JSON requires a digit here; without this check Rust's f64 parser
+    // would accept non-JSON spellings like "+1", "inf", or "NaN".
+    if !matches!(b.get(*pos), Some(b'0'..=b'9')) {
+        return Err(JsonError::new(format!("invalid number at byte {start}")));
     }
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
         *pos += 1;
@@ -414,5 +437,169 @@ mod tests {
     fn unicode_and_escapes_parse() {
         let v = JsonValue::parse(r#""café – ☃""#).unwrap();
         assert_eq!(v.as_str().unwrap(), "café – ☃");
+    }
+
+    /// Untrusted-input hardening: every malformed shape a client can send
+    /// must come back as `Err`, not a panic or an abort.
+    #[test]
+    fn malformed_untrusted_input_errors_cleanly() {
+        let cases: &[&str] = &[
+            "",
+            "   ",
+            "{",
+            "}",
+            "[",
+            "]",
+            "{\"a\"",
+            "{\"a\":",
+            "{\"a\":1",
+            "{\"a\":1,",
+            "{\"a\" 1}",
+            "{1:2}",
+            "[1",
+            "[1,",
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "\"truncated escape \\",
+            "\"truncated unicode \\u00",
+            "\"surrogate \\ud834\"",
+            "nul",
+            "tru",
+            "falsy",
+            "-",
+            "+1",
+            "1e",
+            "0x10",
+            "1.2.3",
+            "--5",
+        ];
+        for c in cases {
+            assert!(JsonValue::parse(c).is_err(), "accepted malformed input {c:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting() {
+        // One past the limit errors; an abort/stack overflow would fail
+        // the whole test binary, which is exactly what this guards.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}0{}", open.repeat(MAX_DEPTH + 1), close.repeat(MAX_DEPTH + 1));
+            let err = JsonValue::parse(&deep).unwrap_err();
+            assert!(err.to_string().contains("nesting"), "{err}");
+            // ... and a *much* deeper doc must still error, not crash.
+            let hostile = "[".repeat(1_000_000);
+            assert!(JsonValue::parse(&hostile).is_err());
+        }
+        // At the limit still parses.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Strings exercising escapes, unicode, and embedded quotes.
+    fn arb_string() -> BoxedStrategy<String> {
+        let alphabet: Vec<char> = ('a'..='f')
+            .chain(['"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{0}', '\u{1f}'])
+            .chain(['é', '☃', '𝄞', '–', '中'])
+            .collect();
+        vec(0usize..alphabet.len(), 0..12)
+            .prop_map(move |ix| ix.into_iter().map(|i| alphabet[i]).collect())
+            .boxed()
+    }
+
+    /// Numbers spanning sign, magnitude, and exponent extremes — every
+    /// finite f64 must survive the writer/parser round trip bit-for-bit.
+    fn arb_number() -> BoxedStrategy<f64> {
+        prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(f64::MIN_POSITIVE),
+            Just(f64::MAX),
+            Just(-f64::MAX),
+            Just(1e308),
+            Just(-9.87e-305),
+            -1.0e15..1.0e15,
+            -1.0..1.0,
+            (0u64..u64::MAX).prop_map(|b| {
+                // Arbitrary bit patterns, squashed to finite.
+                let x = f64::from_bits(b);
+                if x.is_finite() {
+                    x
+                } else {
+                    b as f64
+                }
+            }),
+        ]
+        .boxed()
+    }
+
+    fn arb_json(depth: usize) -> BoxedStrategy<JsonValue> {
+        let leaf = prop_oneof![
+            Just(JsonValue::Null),
+            Just(JsonValue::Bool(true)),
+            Just(JsonValue::Bool(false)),
+            arb_number().prop_map(JsonValue::Num),
+            arb_string().prop_map(JsonValue::Str),
+        ]
+        .boxed();
+        if depth == 0 {
+            return leaf;
+        }
+        prop_oneof![
+            leaf,
+            vec(arb_json(depth - 1), 0..4).prop_map(JsonValue::Arr),
+            vec((arb_string(), arb_json(depth - 1)), 0..4)
+                .prop_map(|kvs| JsonValue::Obj(kvs.into_iter().collect())),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// write → parse is the identity on any finite document, including
+        /// escape-heavy strings, unicode, extreme numbers, and nesting.
+        #[test]
+        fn round_trips_arbitrary_documents(v in arb_json(4)) {
+            let text = v.to_string();
+            let back = JsonValue::parse(&text).expect("reparse own output");
+            prop_assert_eq!(&v, &back, "document {} did not round-trip", text);
+        }
+
+        /// Number round-trips are bitwise, not approximate.
+        #[test]
+        fn numbers_round_trip_bitwise(x in arb_number()) {
+            let text = JsonValue::Num(x).to_string();
+            let back = JsonValue::parse(&text).unwrap().as_f64().unwrap();
+            prop_assert_eq!(x.to_bits(), back.to_bits(), "{} -> {} -> {}", x, text, back);
+        }
+
+        /// The parser never panics on arbitrary byte soup: truncations and
+        /// mutations of valid documents either parse or error cleanly.
+        #[test]
+        fn parser_total_on_mutated_input(
+            v in arb_json(3),
+            cut in 0usize..64,
+            flip in 0usize..64,
+            byte in 0u8..128,
+        ) {
+            let text = v.to_string();
+            let truncated: String =
+                text.chars().take(cut.min(text.chars().count())).collect();
+            let _ = JsonValue::parse(&truncated);
+            let mut mutated: Vec<char> = text.chars().collect();
+            if !mutated.is_empty() {
+                let i = flip % mutated.len();
+                mutated[i] = byte as char;
+            }
+            let mutated: String = mutated.into_iter().collect();
+            let _ = JsonValue::parse(&mutated);
+        }
     }
 }

@@ -17,6 +17,7 @@
 //!   making every experiment reproducible bit-for-bit.
 
 pub mod csvio;
+pub mod hist;
 pub mod id;
 pub mod json;
 pub mod record;
@@ -26,6 +27,7 @@ pub mod time;
 pub mod units;
 
 pub use csvio::{records_from_csv, records_to_csv, CsvError, CSV_HEADER};
+pub use hist::Histogram;
 pub use id::{EdgeId, EndpointId, EndpointType, TransferId};
 pub use json::{JsonError, JsonValue};
 pub use record::TransferRecord;

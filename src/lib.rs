@@ -19,7 +19,11 @@
 //! * [`ml`] — from-scratch linear regression, gradient-boosted trees,
 //!   MdAPE/metrics, Pearson & MIC, Nelder–Mead, Weibull fitting;
 //! * [`model`] — the paper's models: the analytical bound (Eq. 1),
-//!   per-edge and global regression pipelines, and the LMT augmentation.
+//!   per-edge and global regression pipelines, and the LMT augmentation;
+//! * [`serve`] — the online prediction service: versioned model registry
+//!   with atomic hot-swap, micro-batched inference with admission
+//!   control, an HTTP/1.1 front end, and closed/open-loop load
+//!   generation.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +63,7 @@ pub use wdt_geo as geo;
 pub use wdt_ml as ml;
 pub use wdt_model as model;
 pub use wdt_net as net;
+pub use wdt_serve as serve;
 pub use wdt_sim as sim;
 pub use wdt_storage as storage;
 pub use wdt_types as types;

@@ -1,0 +1,175 @@
+//! End-to-end serving: simulate → train → persist → serve over HTTP →
+//! predict concurrently → hot-swap to a second model version.
+//!
+//! The contract under test is the serving subsystem's core promise:
+//! predictions served over the wire are **bitwise identical** to offline
+//! `FittedModel::predict` on the same rows — under concurrent load, and
+//! across an atomic hot-swap that must not fail a single request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use wdt::prelude::*;
+use wdt_model::build_dataset;
+use wdt_serve::{HttpClient, ModelRegistry, ServeConfig, ServeSchema, Server};
+use wdt_types::JsonValue;
+
+/// A small simulated campaign, reduced to the prediction-time dataset.
+fn campaign() -> wdt_features::Dataset {
+    let w = WorkloadSpec {
+        fleet: FleetSpec { sites: 10, extra_servers: 2, personal: 4 },
+        heavy_edges: 3,
+        heavy_sessions_per_day: 12.0,
+        heavy_session_len: 4.0,
+        sparse_edges: 15,
+        days: 3.0,
+    }
+    .generate(&SeedSeq::new(23));
+    let mut sim = Simulator::new(w.endpoints, SimConfig::default(), &SeedSeq::new(23));
+    sim.add_default_background(3, 0.3);
+    for r in w.requests {
+        sim.submit(r);
+    }
+    let records = sim.run().records;
+    build_dataset(&extract_features(&records), false)
+}
+
+/// Render one schema-ordered row as a `/predict` body.
+fn body_for(names: &[String], row: &[f64]) -> String {
+    JsonValue::Obj(names.iter().cloned().zip(row.iter().map(|&v| JsonValue::Num(v))).collect())
+        .to_string()
+}
+
+/// POST one row and return (version, rate) after asserting success.
+fn predict_one(client: &mut HttpClient, names: &[String], row: &[f64]) -> (String, f64) {
+    let (status, body) = client.post("/predict", &body_for(names, row)).expect("request");
+    assert_eq!(status, 200, "predict failed: {body}");
+    let v = JsonValue::parse(&body).expect("response json");
+    (
+        v.field("version").unwrap().as_str().unwrap().to_string(),
+        v.field("rate").unwrap().as_f64().unwrap(),
+    )
+}
+
+#[test]
+fn concurrent_serving_is_bitwise_faithful_across_hot_swap() {
+    let data = campaign();
+    assert!(data.x.len() >= 100, "campaign too small: {}", data.x.len());
+    let train = wdt_features::Dataset::new(data.names.clone(), data.x.clone(), data.y.clone());
+
+    // Two genuinely different versions of the model.
+    let mut cfg = FitConfig::default();
+    cfg.gbdt.n_rounds = 40;
+    let v1 = FittedModel::fit(&train, ModelKind::Gbdt, &cfg).expect("fit v1");
+    cfg.gbdt.n_rounds = 90;
+    let v2 = FittedModel::fit(&train, ModelKind::Gbdt, &cfg).expect("fit v2");
+    // Offline references reloaded through the same persistence path the
+    // server uses, so both sides see the identical artifact.
+    let offline1 = FittedModel::from_json(&v1.to_json()).expect("reload v1");
+    let offline2 = FittedModel::from_json(&v2.to_json()).expect("reload v2");
+
+    let dir = std::env::temp_dir().join("wdt-serve-e2e");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    std::fs::write(dir.join("v0001.json"), v1.to_json()).expect("persist v1");
+
+    let registry = Arc::new(ModelRegistry::open(&dir, ServeSchema::prediction()).expect("open"));
+    let server = Server::start(registry, ServeConfig::default()).expect("start");
+    let names: Vec<String> = server.registry().schema().names().to_vec();
+    let rows: Vec<Vec<f64>> = data.x.iter().take(96).cloned().collect();
+
+    // Phase 1: concurrent clients; every answer bitwise matches offline v1.
+    std::thread::scope(|s| {
+        for chunk in rows.chunks(12) {
+            let names = &names;
+            let offline1 = &offline1;
+            let addr = server.addr();
+            s.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for row in chunk {
+                    let (version, rate) = predict_one(&mut client, names, row);
+                    assert_eq!(version, "v0001");
+                    assert_eq!(
+                        rate.to_bits(),
+                        offline1.predict_row(row).to_bits(),
+                        "served != offline for {row:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    // Phase 2: hot-swap while clients hammer the service. Zero requests
+    // may fail; every answer must match the offline model of whichever
+    // version it reports.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let names = &names;
+                let rows = &rows;
+                let stop = &stop;
+                let (offline1, offline2) = (&offline1, &offline2);
+                let addr = server.addr();
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut n = 0usize;
+                    let mut saw_v2 = false;
+                    while !stop.load(Ordering::Relaxed) {
+                        let row = &rows[(t * 31 + n * 7) % rows.len()];
+                        let (version, rate) = predict_one(&mut client, names, row);
+                        let offline = match version.as_str() {
+                            "v0001" => offline1,
+                            "v0002" => {
+                                saw_v2 = true;
+                                offline2
+                            }
+                            other => panic!("unexpected version {other}"),
+                        };
+                        assert_eq!(
+                            rate.to_bits(),
+                            offline.predict_row(row).to_bits(),
+                            "served != offline {version} for {row:?}"
+                        );
+                        n += 1;
+                    }
+                    (n, saw_v2)
+                })
+            })
+            .collect();
+
+        std::thread::sleep(Duration::from_millis(100));
+        std::fs::write(dir.join("v0002.json"), v2.to_json()).expect("persist v2");
+        let mut admin = HttpClient::connect(server.addr()).expect("connect admin");
+        let (status, body) = admin.post("/reload", "").expect("reload");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("v0002"), "{body}");
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+
+        let mut total = 0usize;
+        let mut any_v2 = false;
+        for w in workers {
+            let (n, saw_v2) = w.join().expect("worker");
+            assert!(n > 0, "worker made no predictions");
+            total += n;
+            any_v2 |= saw_v2;
+        }
+        assert!(total >= 8, "too little traffic to exercise the swap: {total}");
+        assert!(any_v2, "no request observed the swapped-in model");
+    });
+
+    // After the swap, a fresh request serves v2 exactly.
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    let (version, rate) = predict_one(&mut client, &names, &rows[0]);
+    assert_eq!(version, "v0002");
+    assert_eq!(rate.to_bits(), offline2.predict_row(&rows[0]).to_bits());
+
+    // Metrics reflect the traffic and the service drains cleanly.
+    let (status, body) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let m = JsonValue::parse(&body).expect("metrics json");
+    assert!(m.field("predictions").unwrap().as_usize().unwrap() >= 96);
+    assert_eq!(m.field("version").unwrap().as_str().unwrap(), "v0002");
+    server.shutdown();
+}
