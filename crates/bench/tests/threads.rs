@@ -1,0 +1,41 @@
+//! The PR 1 guarantee, tested head-on: campaign output is bit-identical
+//! for any worker thread count. The vendored rayon stand-in reads
+//! `WDT_THREADS` on every pool construction, so one process can run the
+//! same campaign under different thread counts back-to-back.
+//!
+//! Kept to a single `#[test]` on purpose: the thread-count env var is
+//! process-global, and concurrent tests mutating it would race.
+
+use wdt_bench::CampaignSpec;
+
+#[test]
+fn campaign_output_is_bit_identical_across_thread_counts() {
+    let spec = CampaignSpec {
+        days: 2.0,
+        heavy_edges: 4,
+        sparse_edges: 14,
+        runs: 8, // more shards than the smallest pool, so chunking differs
+        ..Default::default()
+    };
+    let baseline = spec.simulate_serial();
+    assert!(baseline.records.len() > 100, "campaign too small to be meaningful");
+
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("WDT_THREADS", threads);
+        let out = spec.simulate();
+        assert_eq!(
+            out.records, baseline.records,
+            "records differ from serial baseline with WDT_THREADS={threads}"
+        );
+        assert_eq!(out.heavy_edges, baseline.heavy_edges);
+        // Deterministic counters must agree too (realloc_time_s is
+        // wall-clock measurement, exempt).
+        assert_eq!(out.stats.events, baseline.stats.events, "WDT_THREADS={threads}");
+        assert_eq!(out.stats.reallocations, baseline.stats.reallocations, "WDT_THREADS={threads}");
+        assert_eq!(
+            out.stats.max_queue_depth, baseline.stats.max_queue_depth,
+            "WDT_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("WDT_THREADS");
+}

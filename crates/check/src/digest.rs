@@ -1,0 +1,297 @@
+//! Golden-trace digests.
+//!
+//! A full campaign log is megabytes of CSV — too big to commit, too noisy
+//! to diff. The digest reduces it to what matters for drift detection:
+//! per-edge record counts plus rate quantiles *quantized to eighth-steps
+//! in log2 space* (so a change smaller than ~9% in a quantile is absorbed,
+//! while any real behavioral shift — a different allocation, a lost
+//! transfer, a changed RNG stream — moves a count or crosses a quantize
+//! step and flips the digest). The canonical text rendering is committed
+//! to the repo and verified in CI by `wdt check`; an FNV-1a hash of the
+//! body makes tampering or truncation obvious.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use wdt_types::TransferRecord;
+
+/// Quantile probabilities reported per edge.
+pub const QUANTILES: [f64; 4] = [0.25, 0.50, 0.75, 0.95];
+
+/// Per-edge digest: how many records, and where their rates sit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeDigest {
+    /// Records on this edge.
+    pub count: u64,
+    /// Quantized log2(rate in bytes/s) at each of [`QUANTILES`]; multiples
+    /// of 1/8, so exactly representable in decimal and in f64.
+    pub log2_rate_q: [f64; 4],
+}
+
+/// Digest of one campaign log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDigest {
+    /// Total records in the log.
+    pub total: u64,
+    /// Per-edge digests keyed by (src, dst) endpoint index.
+    pub edges: BTreeMap<(u32, u32), EdgeDigest>,
+}
+
+/// Quantize `log2(rate)` to the nearest eighth. Zero/negative rates map to
+/// a sentinel well below any real rate.
+pub fn quantize_log2_rate(rate: f64) -> f64 {
+    if rate <= 0.0 || !rate.is_finite() {
+        return -1024.0;
+    }
+    (rate.log2() * 8.0).round() / 8.0
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl TraceDigest {
+    /// Digest a transfer log.
+    pub fn from_records(records: &[TransferRecord]) -> Self {
+        let mut by_edge: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
+        for r in records {
+            by_edge
+                .entry((r.src.0, r.dst.0))
+                .or_default()
+                .push(quantize_log2_rate(r.rate().as_f64()));
+        }
+        let edges = by_edge
+            .into_iter()
+            .map(|(edge, mut rates)| {
+                rates.sort_by(|a, b| a.partial_cmp(b).expect("quantized rates are finite"));
+                // Nearest-rank quantiles over already-quantized values:
+                // platform-independent (no interpolation arithmetic).
+                let q = |p: f64| {
+                    let idx = ((p * rates.len() as f64).ceil() as usize).max(1) - 1;
+                    rates[idx.min(rates.len() - 1)]
+                };
+                let log2_rate_q =
+                    [q(QUANTILES[0]), q(QUANTILES[1]), q(QUANTILES[2]), q(QUANTILES[3])];
+                (edge, EdgeDigest { count: rates.len() as u64, log2_rate_q })
+            })
+            .collect();
+        TraceDigest { total: records.len() as u64, edges }
+    }
+
+    /// The canonical body: everything the hash covers.
+    fn body(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "total {}", self.total);
+        let _ = writeln!(s, "edges {}", self.edges.len());
+        for (&(src, dst), e) in &self.edges {
+            let _ = write!(s, "edge {src} {dst} {}", e.count);
+            for q in e.log2_rate_q {
+                let _ = write!(s, " {q:.3}");
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Hash of the canonical body.
+    pub fn hash(&self) -> u64 {
+        fnv1a64(self.body().as_bytes())
+    }
+
+    /// Render the committed golden-file format. `header` lines are
+    /// prefixed with `#` and excluded from the hash (provenance comments).
+    pub fn to_text(&self, header: &str) -> String {
+        let mut s = String::from("# wdt-check trace digest v1\n");
+        for line in header.lines() {
+            let _ = writeln!(s, "# {line}");
+        }
+        let _ = writeln!(s, "hash {:016x}", self.hash());
+        s.push_str(&self.body());
+        s
+    }
+
+    /// Parse [`TraceDigest::to_text`] output. Fails on malformed input or
+    /// if the embedded hash does not match the parsed body (a hand-edited
+    /// or truncated golden file).
+    pub fn from_text(text: &str) -> Result<TraceDigest, String> {
+        let mut total: Option<u64> = None;
+        let mut edge_count: Option<usize> = None;
+        let mut hash: Option<u64> = None;
+        let mut edges = BTreeMap::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let err = |what: &str| format!("line {}: {what}: '{line}'", ln + 1);
+            match it.next() {
+                Some("hash") => {
+                    let v = it.next().ok_or_else(|| err("missing hash value"))?;
+                    hash = Some(u64::from_str_radix(v, 16).map_err(|_| err("bad hash value"))?);
+                }
+                Some("total") => {
+                    let v = it.next().ok_or_else(|| err("missing total"))?;
+                    total = Some(v.parse().map_err(|_| err("bad total"))?);
+                }
+                Some("edges") => {
+                    let v = it.next().ok_or_else(|| err("missing edge count"))?;
+                    edge_count = Some(v.parse().map_err(|_| err("bad edge count"))?);
+                }
+                Some("edge") => {
+                    let mut num = || -> Result<f64, String> {
+                        it.next()
+                            .ok_or_else(|| err("truncated edge line"))?
+                            .parse()
+                            .map_err(|_| err("bad number on edge line"))
+                    };
+                    let src = num()? as u32;
+                    let dst = num()? as u32;
+                    let count = num()? as u64;
+                    let log2_rate_q = [num()?, num()?, num()?, num()?];
+                    edges.insert((src, dst), EdgeDigest { count, log2_rate_q });
+                }
+                _ => return Err(err("unrecognized line")),
+            }
+        }
+        let digest = TraceDigest { total: total.ok_or("missing 'total' line")?, edges };
+        if digest.edges.len() != edge_count.ok_or("missing 'edges' line")? {
+            return Err("edge count does not match edge lines".into());
+        }
+        let want = hash.ok_or("missing 'hash' line")?;
+        let got = digest.hash();
+        if got != want {
+            return Err(format!(
+                "hash mismatch: file says {want:016x}, body hashes to {got:016x} \
+                 (golden file corrupted or hand-edited)"
+            ));
+        }
+        Ok(digest)
+    }
+
+    /// Human-readable differences vs. another digest (empty = identical).
+    pub fn diff(&self, other: &TraceDigest) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.total != other.total {
+            out.push(format!("total records: {} vs {}", self.total, other.total));
+        }
+        for (edge, a) in &self.edges {
+            match other.edges.get(edge) {
+                None => out.push(format!("edge {}->{} only in first digest", edge.0, edge.1)),
+                Some(b) if a != b => out.push(format!(
+                    "edge {}->{}: count {} vs {}, log2-rate quantiles {:?} vs {:?}",
+                    edge.0, edge.1, a.count, b.count, a.log2_rate_q, b.log2_rate_q
+                )),
+                _ => {}
+            }
+        }
+        for edge in other.edges.keys() {
+            if !self.edges.contains_key(edge) {
+                out.push(format!("edge {}->{} only in second digest", edge.0, edge.1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdt_types::{Bytes, EndpointId, SimTime, TransferId};
+
+    fn rec(id: u64, src: u32, dst: u32, secs: f64, gb: f64) -> TransferRecord {
+        TransferRecord {
+            id: TransferId(id),
+            src: EndpointId(src),
+            dst: EndpointId(dst),
+            start: SimTime::seconds(id as f64),
+            end: SimTime::seconds(id as f64 + secs),
+            bytes: Bytes::gb(gb),
+            files: 5,
+            dirs: 1,
+            concurrency: 4,
+            parallelism: 4,
+            faults: 0,
+        }
+    }
+
+    fn sample_log() -> Vec<TransferRecord> {
+        (0..40)
+            .map(|i| rec(i, (i % 3) as u32, 3 + (i % 2) as u32, 10.0 + i as f64, 1.0 + i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn quantization_absorbs_small_jitter_not_big_shifts() {
+        let r = 1.0e9;
+        assert_eq!(quantize_log2_rate(r), quantize_log2_rate(r * 1.02));
+        assert_ne!(quantize_log2_rate(r), quantize_log2_rate(r * 1.5));
+        assert_eq!(quantize_log2_rate(0.0), -1024.0);
+        assert_eq!(quantize_log2_rate(-5.0), -1024.0);
+        // Eighth-steps: every quantized value is a multiple of 0.125.
+        let q = quantize_log2_rate(12345.678);
+        assert_eq!(q * 8.0, (q * 8.0).round());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let d = TraceDigest::from_records(&sample_log());
+        let text = d.to_text("spec: test\ngenerated by unit test");
+        let parsed = TraceDigest::from_text(&text).expect("round trip");
+        assert_eq!(d, parsed);
+        assert_eq!(d.hash(), parsed.hash());
+    }
+
+    #[test]
+    fn tampered_text_is_rejected() {
+        let d = TraceDigest::from_records(&sample_log());
+        let text = d.to_text("");
+        let tampered = text.replacen("edge 0 3", "edge 0 9", 1);
+        let err = TraceDigest::from_text(&tampered).unwrap_err();
+        assert!(err.contains("hash mismatch"), "{err}");
+        assert!(TraceDigest::from_text("garbage here").is_err());
+    }
+
+    #[test]
+    fn diff_pinpoints_changes() {
+        let log = sample_log();
+        let a = TraceDigest::from_records(&log);
+        assert!(a.diff(&a).is_empty());
+        let mut shorter = log.clone();
+        shorter.truncate(30);
+        let b = TraceDigest::from_records(&shorter);
+        let diff = a.diff(&b);
+        assert!(!diff.is_empty());
+        assert!(diff.iter().any(|l| l.contains("total records")), "{diff:?}");
+        // A rate shift on one edge shows up as that edge's line.
+        let mut faster = log;
+        for r in faster.iter_mut().filter(|r| r.src.0 == 0) {
+            r.end = SimTime::seconds(r.start.as_secs() + r.duration() / 4.0);
+        }
+        let c = TraceDigest::from_records(&faster);
+        let diff = a.diff(&c);
+        assert!(diff.iter().all(|l| l.contains("edge 0->")), "{diff:?}");
+        assert!(!diff.is_empty());
+    }
+
+    #[test]
+    fn digest_is_stable_for_identical_logs() {
+        let a = TraceDigest::from_records(&sample_log());
+        let b = TraceDigest::from_records(&sample_log());
+        assert_eq!(a, b);
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn empty_log_digests_cleanly() {
+        let d = TraceDigest::from_records(&[]);
+        assert_eq!(d.total, 0);
+        let parsed = TraceDigest::from_text(&d.to_text("empty")).unwrap();
+        assert_eq!(d, parsed);
+    }
+}

@@ -1,0 +1,36 @@
+//! # wdt-check — verification subsystem for the transfer simulator
+//!
+//! Every figure and model in this reproduction rests on the simulator's
+//! max–min fair allocations, and the allocation hot path is incremental
+//! and parallel (PR 1) — the kind of code that silently drifts from its
+//! spec. This crate is the safety net future performance work runs under:
+//!
+//! * **differential oracle** ([`scenario`]) — randomized allocation
+//!   problems (including endpoint churn and fault-style flow removal) are
+//!   solved by both the production allocator and the deliberately simple
+//!   reference implementation in [`wdt_sim::check`], and the full rate
+//!   vectors compared within capacity-relative tolerance;
+//! * **log invariant checker** ([`records`]) — structural invariants of an
+//!   emitted transfer log: exactly-once completion, time ordering, finite
+//!   positive rates;
+//! * **golden-trace harness** ([`digest`]) — a campaign log is digested to
+//!   per-edge record counts plus quantized rate quantiles and compared
+//!   against a committed snapshot (`wdt check`), so any behavioral drift
+//!   in the simulator shows up as a digest mismatch in CI;
+//! * **runtime invariant checks** (re-exported from [`wdt_sim::check`]) —
+//!   compiled in with the `strict-invariants` feature or switched on with
+//!   `WDT_CHECK=1`, the engine verifies at every reallocation that no
+//!   resource is oversubscribed, the allocation is max–min optimal, the
+//!   incremental censuses/capacities match a from-scratch rebuild, time is
+//!   monotone, and bytes are conserved per transfer.
+
+pub mod digest;
+pub mod records;
+pub mod scenario;
+
+pub use digest::TraceDigest;
+pub use records::check_records;
+pub use scenario::{run_differential, DifferentialReport, Scenario, ScenarioGen};
+pub use wdt_sim::check::{
+    check_allocation, compare_with_reference, enabled, reference_allocate, Violation,
+};

@@ -1,0 +1,214 @@
+//! Randomized allocation scenarios for the differential oracle.
+//!
+//! A *scenario* is a max–min allocation problem (capacity vector + flow
+//! demands) at realistic wide-area scale, plus a sequence of *churn* steps
+//! that mimic what the engine does to the allocator between events:
+//! capacities move (background-load toggles, dirty-endpoint refresh),
+//! flows appear (arrivals), and flows vanish (completions and fault
+//! pauses). The production allocator is exercised through
+//! [`wdt_sim::allocate_into`] with a **single scratch buffer reused across
+//! every case and churn round** — exactly the reuse pattern PR 1
+//! introduced — and each resulting rate vector is checked for the
+//! allocation invariants and compared against the independent reference
+//! implementation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdt_sim::check::{check_allocation, compare_with_reference};
+use wdt_sim::{allocate_into, AllocScratch, FlowDemand};
+
+/// One allocation problem.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Shared-resource capacities in bytes/s.
+    pub capacities: Vec<f64>,
+    /// Flow demands over those resources.
+    pub flows: Vec<FlowDemand>,
+}
+
+/// Deterministic generator of scenarios and churn steps.
+pub struct ScenarioGen {
+    rng: StdRng,
+}
+
+impl ScenarioGen {
+    /// A generator with a fixed seed (same seed → same scenario stream).
+    pub fn new(seed: u64) -> Self {
+        ScenarioGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn capacity(&mut self) -> f64 {
+        match self.rng.gen_range(0..12u32) {
+            // Dead resource (a fully backgrounded endpoint).
+            0 => 0.0,
+            // Tiny capacity: stresses the relative tolerances.
+            1 => self.rng.gen_range(0.5..100.0),
+            // Wide-area scale: 100 Mb/s .. 100 Gb/s in bytes/s.
+            _ => self.rng.gen_range(1.25e7..1.25e10),
+        }
+    }
+
+    fn flow(&mut self, nr: usize) -> FlowDemand {
+        // 1..=min(6,nr) distinct resource indices (an engine flow touches
+        // up to 6: disks, NICs, CPUs at both ends).
+        let k = self.rng.gen_range(1..=nr.min(6));
+        let mut res: Vec<usize> = Vec::with_capacity(k);
+        while res.len() < k {
+            let r = self.rng.gen_range(0..nr);
+            if !res.contains(&r) {
+                res.push(r);
+            }
+        }
+        res.sort_unstable();
+        // Checksummed flows consume CPU at coefficient 1.0, others 0.5;
+        // model that mix with occasional non-unit coefficients.
+        let coeffs: Vec<f64> =
+            res.iter().map(|_| if self.rng.gen_range(0..4u32) == 0 { 0.5 } else { 1.0 }).collect();
+        // TCP ceilings: often binding, sometimes infinite (mem-to-mem).
+        let cap = if self.rng.gen_range(0..10u32) < 3 {
+            f64::INFINITY
+        } else {
+            self.rng.gen_range(1e6..5e9)
+        };
+        // sqrt(streams) weights, streams in 1..=64.
+        let weight = (self.rng.gen_range(1..=64u32) as f64).sqrt();
+        FlowDemand::with_coefficients(cap, weight, &res, &coeffs)
+    }
+
+    /// A fresh random problem.
+    pub fn problem(&mut self) -> Scenario {
+        let nr = self.rng.gen_range(1..=15usize);
+        let capacities: Vec<f64> = (0..nr).map(|_| self.capacity()).collect();
+        let nf = self.rng.gen_range(0..=24usize);
+        let flows: Vec<FlowDemand> = (0..nf).map(|_| self.flow(nr)).collect();
+        Scenario { capacities, flows }
+    }
+
+    /// Apply one churn step: what the engine does between reallocations.
+    pub fn churn(&mut self, s: &mut Scenario) {
+        match self.rng.gen_range(0..5u32) {
+            // Background toggle / dirty-endpoint refresh: a capacity moves.
+            0 | 1 => {
+                let r = self.rng.gen_range(0..s.capacities.len());
+                let factor = self.rng.gen_range(0.25..2.0);
+                s.capacities[r] *= factor;
+            }
+            // Arrival: a new flow joins.
+            2 => {
+                let f = self.flow(s.capacities.len());
+                s.flows.push(f);
+            }
+            // Completion or fault pause: a flow leaves.
+            3 => {
+                if !s.flows.is_empty() {
+                    let i = self.rng.gen_range(0..s.flows.len());
+                    s.flows.remove(i);
+                }
+            }
+            // Endpoint outage: a capacity collapses to (near) zero.
+            _ => {
+                let r = self.rng.gen_range(0..s.capacities.len());
+                s.capacities[r] =
+                    if self.rng.gen_range(0..2u32) == 0 { 0.0 } else { s.capacities[r] * 0.02 };
+            }
+        }
+    }
+}
+
+/// Result of a differential-oracle run.
+#[derive(Debug, Clone, Default)]
+pub struct DifferentialReport {
+    /// Base scenarios generated.
+    pub cases: usize,
+    /// Allocation comparisons performed (≥ cases: churn rounds included).
+    pub comparisons: usize,
+    /// Human-readable descriptions of every disagreement (empty = pass).
+    pub failures: Vec<String>,
+}
+
+impl DifferentialReport {
+    /// One-line summary for the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} scenarios, {} oracle comparisons, {} failure(s)",
+            self.cases,
+            self.comparisons,
+            self.failures.len()
+        )
+    }
+}
+
+/// Run `cases` randomized scenarios, each with several churn rounds,
+/// comparing the production allocator against the reference oracle and
+/// checking the allocation invariants on every round. One scratch buffer
+/// is reused across everything, so stale-scratch bugs cannot hide.
+pub fn run_differential(seed: u64, cases: usize) -> DifferentialReport {
+    let mut gen = ScenarioGen::new(seed);
+    let mut scratch = AllocScratch::default();
+    let mut report = DifferentialReport { cases, ..Default::default() };
+    for case in 0..cases {
+        let mut s = gen.problem();
+        let rounds = 1 + case % 4;
+        for round in 0..rounds {
+            let rates = allocate_into(&s.capacities, &s.flows, &mut scratch).to_vec();
+            let violations = check_allocation(&s.capacities, &s.flows, &rates)
+                .into_iter()
+                .chain(compare_with_reference(&s.capacities, &s.flows, &rates));
+            for v in violations {
+                report.failures.push(format!("case {case} round {round}: {v}"));
+            }
+            report.comparisons += 1;
+            gen.churn(&mut s);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = ScenarioGen::new(7);
+        let mut b = ScenarioGen::new(7);
+        for _ in 0..10 {
+            let (x, y) = (a.problem(), b.problem());
+            assert_eq!(x.capacities, y.capacities);
+            assert_eq!(x.flows.len(), y.flows.len());
+            for (f, g) in x.flows.iter().zip(&y.flows) {
+                assert_eq!(f.cap, g.cap);
+                assert_eq!(f.weight, g.weight);
+                assert_eq!(f.resources(), g.resources());
+                assert_eq!(f.coefficients(), g.coefficients());
+            }
+        }
+    }
+
+    #[test]
+    fn churn_keeps_scenarios_well_formed() {
+        let mut gen = ScenarioGen::new(3);
+        let mut s = gen.problem();
+        for _ in 0..200 {
+            gen.churn(&mut s);
+            assert!(!s.capacities.is_empty());
+            for f in &s.flows {
+                assert!(f.weight > 0.0);
+                for &r in f.resources() {
+                    assert!(r < s.capacities.len());
+                }
+            }
+            for &c in &s.capacities {
+                assert!(c.is_finite() && c >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_differential_smoke() {
+        let r = run_differential(11, 20);
+        assert_eq!(r.cases, 20);
+        assert!(r.comparisons >= 20);
+        assert!(r.failures.is_empty(), "{:#?}", r.failures);
+    }
+}

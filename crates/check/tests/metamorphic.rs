@@ -1,0 +1,149 @@
+//! Metamorphic relations of the allocator and the engine: transformations
+//! of the input with a known, provable effect on the output. These catch
+//! bug classes that point tests miss, because the expected output is
+//! derived from the system itself rather than hand-computed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdt_check::ScenarioGen;
+use wdt_sim::{allocate, esnet_testbed, FlowDemand, SimConfig, Simulator};
+use wdt_types::{Bytes, EndpointId, SeedSeq, SimTime, TransferId, TransferRequest};
+
+/// Relative tolerance for rate comparisons, scaled per-flow below.
+const TOL: f64 = 1e-6;
+
+fn scale_of(rates: &[f64]) -> f64 {
+    rates.iter().cloned().fold(1.0f64, f64::max)
+}
+
+#[test]
+fn scaling_capacities_by_k_scales_rates_by_k() {
+    // Weighted max–min is positively homogeneous: multiply every resource
+    // capacity AND every flow cap by k and each allocated rate multiplies
+    // by exactly k. Powers of two are lossless in f64, so they must hold
+    // to strict relative tolerance; an odd factor rides on the same math.
+    let mut gen = ScenarioGen::new(2024);
+    for case in 0..50 {
+        let s = gen.problem();
+        let base = allocate(&s.capacities, &s.flows);
+        for k in [0.5f64, 4.0, 1024.0, 3.0] {
+            let caps_k: Vec<f64> = s.capacities.iter().map(|c| c * k).collect();
+            let flows_k: Vec<FlowDemand> = s
+                .flows
+                .iter()
+                .map(|f| {
+                    FlowDemand::with_coefficients(
+                        f.cap * k,
+                        f.weight,
+                        f.resources(),
+                        f.coefficients(),
+                    )
+                })
+                .collect();
+            let scaled = allocate(&caps_k, &flows_k);
+            let tol = TOL * k * scale_of(&base);
+            for (i, (&b, &sc)) in base.iter().zip(&scaled).enumerate() {
+                assert!((sc - k * b).abs() <= tol, "case {case}, k={k}, flow {i}: {sc} != {k}*{b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn permuting_flow_order_is_allocation_invariant() {
+    let mut gen = ScenarioGen::new(77);
+    let mut rng = StdRng::seed_from_u64(4096);
+    for case in 0..50 {
+        let s = gen.problem();
+        if s.flows.len() < 2 {
+            continue;
+        }
+        let base = allocate(&s.capacities, &s.flows);
+        // Fisher–Yates shuffle with a recorded permutation.
+        let mut perm: Vec<usize> = (0..s.flows.len()).collect();
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        let shuffled: Vec<FlowDemand> = perm.iter().map(|&i| s.flows[i]).collect();
+        let rates = allocate(&s.capacities, &shuffled);
+        let tol = TOL * scale_of(&base);
+        for (pos, &orig) in perm.iter().enumerate() {
+            assert!(
+                (rates[pos] - base[orig]).abs() <= tol,
+                "case {case}: flow {orig} got {} shuffled vs {} in order",
+                rates[pos],
+                base[orig]
+            );
+        }
+    }
+}
+
+fn testbed_requests(n: u64) -> Vec<TransferRequest> {
+    (0..n)
+        .map(|i| TransferRequest {
+            id: TransferId(i),
+            src: EndpointId((i % 3) as u32),
+            dst: EndpointId(((i + 1) % 4) as u32),
+            // Batches of simultaneous arrivals (four share each submit
+            // instant) so arrival-order ties are actually exercised.
+            submit: SimTime::seconds((i / 4) as f64 * 40.0),
+            bytes: Bytes::gb(2.0 + (i % 7) as f64),
+            files: 10 + i,
+            dirs: 1,
+            concurrency: 1 + (i % 4) as u32,
+            parallelism: 4,
+            checksum: i % 2 == 0,
+        })
+        .filter(|r| r.src != r.dst)
+        .collect()
+}
+
+#[test]
+fn permuting_submission_order_of_simultaneous_arrivals_is_a_no_op() {
+    let run = |order: &[usize], reqs: &[TransferRequest]| {
+        let mut sim = Simulator::new(esnet_testbed(), SimConfig::default(), &SeedSeq::new(5));
+        for &i in order {
+            sim.submit(reqs[i].clone());
+        }
+        sim.run()
+    };
+    let reqs = testbed_requests(24);
+    let forward: Vec<usize> = (0..reqs.len()).collect();
+    let mut reversed = forward.clone();
+    reversed.reverse();
+    // An interleaved order, different from both.
+    let interleaved: Vec<usize> =
+        (0..reqs.len()).map(|i| if i % 2 == 0 { i / 2 } else { reqs.len() - 1 - i / 2 }).collect();
+    let a = run(&forward, &reqs);
+    let b = run(&reversed, &reqs);
+    let c = run(&interleaved, &reqs);
+    assert_eq!(a.records, b.records, "reversed submission order changed the log");
+    assert_eq!(a.records, c.records, "interleaved submission order changed the log");
+    assert_eq!(a.stats.events, b.stats.events);
+}
+
+#[test]
+fn adding_an_idle_endpoint_is_a_no_op() {
+    let reqs = testbed_requests(20);
+    let run = |extra: bool| {
+        let mut cat = esnet_testbed();
+        if extra {
+            // A fifth node nobody transfers to/from and with no background
+            // load: it must not perturb a single record.
+            let mut ep = cat.get(EndpointId(0)).clone();
+            ep.id = EndpointId(cat.len() as u32);
+            ep.name = "esnet#idle".into();
+            cat.push(ep);
+        }
+        let mut sim = Simulator::new(cat, SimConfig::default(), &SeedSeq::new(9));
+        for r in &reqs {
+            sim.submit(r.clone());
+        }
+        sim.run()
+    };
+    let without = run(false);
+    let with = run(true);
+    assert_eq!(without.records, with.records, "idle endpoint changed the log");
+    assert_eq!(without.stats.events, with.stats.events);
+    assert_eq!(without.stats.reallocations, with.stats.reallocations);
+}

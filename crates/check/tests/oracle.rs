@@ -1,0 +1,62 @@
+//! Acceptance test: the differential oracle agrees with the incremental
+//! production allocator on hundreds of randomized scenarios, including
+//! endpoint churn (capacity perturbation, arrivals, removals) and
+//! fault-style flow removal, all through a single reused scratch buffer.
+
+use wdt_check::{check_allocation, reference_allocate, run_differential};
+use wdt_sim::FlowDemand;
+
+#[test]
+fn oracle_agrees_on_at_least_200_randomized_scenarios() {
+    let report = run_differential(0x5EED_2017, 240);
+    assert_eq!(report.cases, 240);
+    assert!(report.comparisons >= 200, "only {} comparisons performed", report.comparisons);
+    assert!(
+        report.failures.is_empty(),
+        "{} oracle disagreement(s); first few:\n{}",
+        report.failures.len(),
+        report.failures.iter().take(5).cloned().collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn oracle_agrees_across_independent_seeds() {
+    // A different stream of scenarios; cheap insurance that the main test's
+    // seed isn't accidentally easy.
+    for seed in [1u64, 42, 0xDEAD_BEEF] {
+        let report = run_differential(seed, 40);
+        assert!(report.failures.is_empty(), "seed {seed}: {:#?}", report.failures);
+    }
+}
+
+#[test]
+fn reference_allocations_satisfy_the_invariants_too() {
+    // The oracle itself must be max–min optimal and feasible — otherwise
+    // agreement with it proves nothing.
+    let mut gen = wdt_check::ScenarioGen::new(99);
+    for _ in 0..60 {
+        let s = gen.problem();
+        let rates = reference_allocate(&s.capacities, &s.flows);
+        let v = check_allocation(&s.capacities, &s.flows, &rates);
+        assert!(v.is_empty(), "reference allocator violated invariants: {v:#?}");
+    }
+}
+
+#[test]
+fn oracle_detects_a_seeded_allocator_bug() {
+    // Mutation check: corrupt one rate of a correct allocation and make
+    // sure the machinery actually fires (guards against a vacuous oracle).
+    let caps = vec![1.25e9, 6.0e8, 2.0e9];
+    let flows = vec![
+        FlowDemand::new(5.0e8, 2.0, &[0, 1]),
+        FlowDemand::new(f64::INFINITY, 1.0, &[0, 2]),
+        FlowDemand::new(f64::INFINITY, 3.0, &[1, 2]),
+    ];
+    let mut rates = wdt_sim::allocate(&caps, &flows);
+    rates[1] *= 1.07;
+    let v = wdt_check::compare_with_reference(&caps, &flows, &rates);
+    assert!(
+        v.iter().any(|v| v.invariant == "oracle-mismatch"),
+        "corrupted allocation not caught: {v:#?}"
+    );
+}

@@ -37,6 +37,7 @@ pub fn run(args: &Args) -> CmdResult {
         "advise" => advise(args),
         "serve" => serve(args),
         "loadgen" => loadgen(args),
+        "check" => check(args),
         "help" | "--help" => {
             print!("{}", usage());
             Ok(())
@@ -80,6 +81,14 @@ pub fn usage() -> String {
                [--rate X=5000] [--connections N=4] [--out FILE]\n\
                (closed loop measures capacity; open loop paces arrivals\n\
                 at --rate req/s to measure latency under target load)\n\
+     check     verify the simulator against its reference oracle and a\n\
+               committed golden-trace digest (see DESIGN.md)\n\
+               --golden FILE [--refresh] [--oracle-cases N=250]\n\
+               [--seed N=2017] [--days N=2] [--heavy-edges N=6]\n\
+               [--sparse-edges N=30] [--runs N=4]\n\
+               (runs the campaign twice — parallel and serial — with\n\
+                runtime invariant checks on, then compares the log digest\n\
+                to FILE; --refresh rewrites FILE instead of comparing)\n\
      help      this text\n\
      \n\
      Unknown --flags are rejected by name; `wdt help` lists every flag.\n"
@@ -268,6 +277,101 @@ fn advise(args: &Args) -> CmdResult {
             println!("  {}: GBDT MdAPE {:.1}% over {} transfers", e.edge, e.xgb.mdape, e.n_samples);
         }
     }
+    Ok(())
+}
+
+fn check(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "golden",
+        "refresh",
+        "oracle-cases",
+        "seed",
+        "days",
+        "heavy-edges",
+        "sparse-edges",
+        "runs",
+    ])?;
+    let golden = args.require("golden")?.to_string();
+    // Runtime invariant checks must be live before the first simulator is
+    // built (the gate is read once per process and cached).
+    std::env::set_var("WDT_CHECK", "1");
+
+    // 1. Differential oracle on randomized allocation scenarios.
+    let cases: usize = args.get_or("oracle-cases", 250)?;
+    let report = wdt_check::run_differential(0x5EED_2017, cases);
+    println!("oracle: {}", report.summary());
+    if !report.failures.is_empty() {
+        for f in report.failures.iter().take(10) {
+            eprintln!("  {f}");
+        }
+        return Err(
+            format!("differential oracle found {} disagreement(s)", report.failures.len()).into()
+        );
+    }
+
+    // 2. The check campaign, parallel and serial, with every reallocation
+    //    invariant-checked (a violation panics).
+    let spec = CampaignSpec {
+        seed: args.get_or("seed", 2017)?,
+        days: args.get_or("days", 2.0)?,
+        heavy_edges: args.get_or("heavy-edges", 6)?,
+        sparse_edges: args.get_or("sparse-edges", 30)?,
+        runs: args.get_or("runs", 4)?,
+        ..Default::default()
+    };
+    eprintln!(
+        "campaign: simulating {} days twice (parallel + serial) with invariant checks on ...",
+        spec.days
+    );
+    let par = spec.simulate();
+    let ser = spec.simulate_serial();
+    println!("campaign: {} records | {}", par.records.len(), par.stats.summary());
+    if par.stats.invariant_checks == 0 {
+        return Err("invariant checks never ran — WDT_CHECK gate broken".into());
+    }
+    if par.records != ser.records {
+        return Err("parallel and serial campaign logs differ".into());
+    }
+    let log_violations = wdt_check::check_records(&par.records);
+    if !log_violations.is_empty() {
+        for v in log_violations.iter().take(10) {
+            eprintln!("  {v}");
+        }
+        return Err(format!("transfer log violates {} invariant(s)", log_violations.len()).into());
+    }
+    println!("campaign: serial == parallel, log invariants hold");
+
+    // 3. Golden-trace digest.
+    let digest = wdt_check::TraceDigest::from_records(&par.records);
+    let header = format!(
+        "spec: seed={} days={} heavy-edges={} sparse-edges={} runs={}\n\
+         refresh with: wdt check --golden <this file> --refresh",
+        spec.seed, spec.days, spec.heavy_edges, spec.sparse_edges, spec.runs
+    );
+    if args.flag("refresh") {
+        fs::write(&golden, digest.to_text(&header))?;
+        println!("golden: wrote digest ({:016x}) to {golden}", digest.hash());
+        return Ok(());
+    }
+    let committed =
+        wdt_check::TraceDigest::from_text(&fs::read_to_string(&golden).map_err(|e| {
+            format!("cannot read golden digest {golden}: {e} (create it with --refresh)")
+        })?)?;
+    let diff = committed.diff(&digest);
+    if !diff.is_empty() {
+        eprintln!("golden digest drift ({} difference(s)):", diff.len());
+        for d in diff.iter().take(20) {
+            eprintln!("  {d}");
+        }
+        return Err(format!(
+            "campaign digest {:016x} does not match committed {:016x}; \
+             if the change is intentional, rerun with --refresh and commit",
+            digest.hash(),
+            committed.hash()
+        )
+        .into());
+    }
+    println!("golden: digest matches ({:016x})", digest.hash());
     Ok(())
 }
 

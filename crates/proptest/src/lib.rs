@@ -80,34 +80,133 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Regression-seed persistence, mirroring upstream proptest's
+/// `proptest-regressions/` files. Each test module gets one file under
+/// the owning crate's `proptest-regressions/` directory, holding
+/// `cc <test_fn> <case_index>` lines. Because case generation here is a
+/// pure function of the case index, the index alone is a complete,
+/// stable seed: recorded cases replay *before* fresh ones on every run,
+/// so a once-failing input stays in the suite forever even if the
+/// default case count changes. New failures are appended automatically.
+#[derive(Debug, Clone)]
+struct Regressions {
+    file: std::path::PathBuf,
+    test: String,
+}
+
+impl Regressions {
+    /// Case indices recorded for this test, sorted and deduplicated.
+    fn load(&self) -> Vec<u32> {
+        let Ok(text) = std::fs::read_to_string(&self.file) else {
+            return Vec::new();
+        };
+        let mut cases = Vec::new();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("cc") || parts.next() != Some(self.test.as_str()) {
+                continue;
+            }
+            if let Some(Ok(case)) = parts.next().map(str::parse) {
+                cases.push(case);
+            }
+        }
+        cases.sort_unstable();
+        cases.dedup();
+        cases
+    }
+
+    /// Append a newly failing case (no-op if already recorded).
+    fn record(&self, case: u32) {
+        use std::io::Write as _;
+        if self.load().contains(&case) {
+            return;
+        }
+        if let Some(dir) = self.file.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let header = if self.file.exists() {
+            ""
+        } else {
+            "# Regression seeds for this module's property tests. Each line is\n\
+             # `cc <test_fn> <case_index>`; recorded cases replay before fresh\n\
+             # ones on every run. Committed on purpose — do not delete.\n"
+        };
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&self.file) {
+            let _ = writeln!(f, "{header}cc {} {case}", self.test);
+        }
+    }
+}
+
 /// Drives one property over many generated inputs.
 pub struct TestRunner {
     config: ProptestConfig,
+    regressions: Option<Regressions>,
 }
 
 impl TestRunner {
     /// New runner with the given config.
     pub fn new(config: ProptestConfig) -> Self {
-        TestRunner { config }
+        TestRunner { config, regressions: None }
     }
 
-    /// Generate `config.cases` inputs and run `test` on each. On panic,
-    /// reports the case index and the generated input, then re-panics.
+    /// Enable regression persistence. `manifest_dir`, `module_path`, and
+    /// `test_name` are the caller's `env!("CARGO_MANIFEST_DIR")`,
+    /// `module_path!()`, and test function name; the [`proptest!`] macro
+    /// wires these automatically. The seed file lives at
+    /// `<manifest_dir>/proptest-regressions/<module path with :: → ->.txt`.
+    pub fn with_regressions(
+        mut self,
+        manifest_dir: &str,
+        module_path: &str,
+        test_name: &str,
+    ) -> Self {
+        let file = std::path::Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{}.txt", module_path.replace("::", "-")));
+        self.regressions = Some(Regressions { file, test: test_name.to_string() });
+        self
+    }
+
+    /// Run `test` on every recorded regression case, then on
+    /// `config.cases` fresh inputs. On panic, reports the case index and
+    /// the generated input, records the case in the regression file (if
+    /// persistence is enabled and the failure was fresh), then re-panics.
     pub fn run<S, F>(&mut self, strategy: &S, test: F)
     where
         S: Strategy,
         S::Value: std::fmt::Debug,
         F: Fn(S::Value),
     {
-        for case in 0..self.config.cases {
-            let mut rng = TestRng::for_case(case);
-            let value = strategy.generate(&mut rng);
-            let desc = format!("{value:?}");
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
-            if let Err(payload) = result {
-                eprintln!("proptest: case #{case} failed; input was:\n  {desc}");
-                std::panic::resume_unwind(payload);
+        if let Some(reg) = self.regressions.clone() {
+            for case in reg.load() {
+                self.run_case(strategy, &test, case, true);
             }
+        }
+        for case in 0..self.config.cases {
+            self.run_case(strategy, &test, case, false);
+        }
+    }
+
+    fn run_case<S, F>(&self, strategy: &S, test: &F, case: u32, replay: bool)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value),
+    {
+        let mut rng = TestRng::for_case(case);
+        let value = strategy.generate(&mut rng);
+        let desc = format!("{value:?}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+        if let Err(payload) = result {
+            let kind = if replay { "regression case" } else { "case" };
+            eprintln!("proptest: {kind} #{case} failed; input was:\n  {desc}");
+            if !replay {
+                if let Some(reg) = &self.regressions {
+                    reg.record(case);
+                    eprintln!("proptest: recorded case #{case} in {}", reg.file.display());
+                }
+            }
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -181,7 +280,9 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let strategy = ($($strategy,)+);
-            $crate::TestRunner::new($config).run(&strategy, |($($pat,)+)| $body);
+            $crate::TestRunner::new($config)
+                .with_regressions(env!("CARGO_MANIFEST_DIR"), module_path!(), stringify!($name))
+                .run(&strategy, |($($pat,)+)| $body);
         }
     )*};
 }
@@ -245,6 +346,56 @@ mod tests {
             prop_assert!(x < 100);
             prop_assert_eq!(a / 4, b / 4);
         }
+    }
+
+    #[test]
+    fn regression_seeds_persist_and_replay() {
+        let dir = std::env::temp_dir().join(format!("wdt-proptest-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = dir.to_str().unwrap().to_string();
+
+        // A failing fresh case gets recorded in the regression file.
+        let hits = std::cell::Cell::new(0u32);
+        let run_failing = || {
+            TestRunner::new(ProptestConfig::with_cases(50))
+                .with_regressions(&manifest, "my::module", "my_test")
+                .run(&(0u32..100,), |(x,)| {
+                    hits.set(hits.get() + 1);
+                    assert!(x % 7 != 3, "planted failure");
+                });
+        };
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_failing)).is_err());
+        let file = dir.join("proptest-regressions").join("my-module.txt");
+        let text = std::fs::read_to_string(&file).expect("seed file written");
+        let recorded: Vec<&str> = text.lines().filter(|l| l.starts_with("cc my_test ")).collect();
+        assert_eq!(recorded.len(), 1, "{text}");
+
+        // Re-running replays the recorded case FIRST — it fails on hit 1,
+        // not wherever it sat in the fresh sequence.
+        hits.set(0);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_failing)).is_err());
+        assert_eq!(hits.get(), 1, "recorded case did not replay first");
+        // Replay failures are not re-appended.
+        assert_eq!(std::fs::read_to_string(&file).unwrap(), text);
+
+        // A hand-written seed for a *different* test replays too, and a
+        // passing property leaves the file untouched.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&file).unwrap();
+            writeln!(f, "cc other_test 41").unwrap();
+        }
+        let replayed = std::cell::Cell::new(Vec::new());
+        TestRunner::new(ProptestConfig::with_cases(0))
+            .with_regressions(&manifest, "my::module", "other_test")
+            .run(&(0u32..100,), |(x,)| {
+                let mut v = replayed.take();
+                v.push(x);
+                replayed.set(v);
+            });
+        assert_eq!(replayed.take().len(), 1, "committed seed was not replayed");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

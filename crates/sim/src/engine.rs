@@ -53,6 +53,9 @@ struct ActiveFlow {
     faults: u32,
     state: FlowState,
     fault_gen: u64,
+    /// Bytes actually moved, accumulated independently of `remaining` so
+    /// the invariant checker can verify byte conservation at completion.
+    moved: f64,
     /// Per-run multiplicative jitter on the flow's private ceiling.
     jitter: f64,
     /// Private network ceiling, computed once at start (it depends only on
@@ -101,6 +104,8 @@ pub struct SimStats {
     pub realloc_time_s: f64,
     /// High-water mark of the waiting (slot-starved) transfer queue.
     pub max_queue_depth: usize,
+    /// Invariant-check passes executed (0 unless [`crate::check::enabled`]).
+    pub invariant_checks: u64,
 }
 
 impl SimStats {
@@ -110,12 +115,18 @@ impl SimStats {
         self.reallocations += other.reallocations;
         self.realloc_time_s += other.realloc_time_s;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.invariant_checks += other.invariant_checks;
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
+        let checks = if self.invariant_checks > 0 {
+            format!(" | invariant checks {}", self.invariant_checks)
+        } else {
+            String::new()
+        };
         format!(
-            "events {} | reallocations {} ({:.2}s) | peak queue depth {}",
+            "events {} | reallocations {} ({:.2}s) | peak queue depth {}{checks}",
             self.events, self.reallocations, self.realloc_time_s, self.max_queue_depth
         )
     }
@@ -387,6 +398,9 @@ impl Simulator {
             self.dirty[ep as usize] = false;
             self.refresh_capacities(ep);
         }
+        if crate::check::enabled() {
+            self.verify_incremental_state();
+        }
         // Demands for running flows (cached private ceilings).
         self.demands.clear();
         self.slot_of_demand.clear();
@@ -426,6 +440,22 @@ impl Simulator {
             self.slot_of_demand.push(slot);
         }
         let rates = allocate_into(&self.capacities, &self.demands, &mut self.alloc_scratch);
+        if crate::check::enabled() {
+            self.stats.invariant_checks += 1;
+            let context = format!("reallocate #{} @ t={}", self.stats.reallocations, self.now);
+            crate::check::enforce(
+                &context,
+                &crate::check::check_allocation(&self.capacities, &self.demands, rates),
+            );
+            // The differential oracle recomputes the whole allocation from
+            // scratch, so it is sampled rather than run every time.
+            if self.stats.reallocations.is_multiple_of(crate::check::oracle_every()) {
+                crate::check::enforce(
+                    &context,
+                    &crate::check::compare_with_reference(&self.capacities, &self.demands, rates),
+                );
+            }
+        }
         for f in self.flows.iter_mut().flatten() {
             if f.state != FlowState::Running {
                 f.rate = 0.0;
@@ -437,13 +467,86 @@ impl Simulator {
         self.stats.realloc_time_s += t0.elapsed().as_secs_f64();
     }
 
+    /// Cross-check the incrementally maintained censuses and capacity
+    /// vector against a from-scratch rebuild. This is the check that
+    /// guards the PR 1 optimizations: a missed `mark_dirty` or census
+    /// update shows up here as stale state, long before it corrupts a
+    /// record. Called from `reallocate` when checking is enabled; the
+    /// capacity comparison is exact because `refresh_capacities` is a
+    /// deterministic function of censuses and background demand.
+    fn verify_incremental_state(&mut self) {
+        let n = self.endpoints.len();
+        let mut read = vec![0u32; n];
+        let mut write = vec![0u32; n];
+        let mut procs = vec![0u32; n];
+        for f in self.flows.iter().flatten() {
+            let e = f.procs();
+            procs[f.req.src.0 as usize] += e;
+            if f.req.dst != f.req.src {
+                procs[f.req.dst.0 as usize] += e;
+            }
+            if f.state == FlowState::Running {
+                if f.reads_disk() {
+                    read[f.req.src.0 as usize] += e;
+                }
+                if f.writes_disk() {
+                    write[f.req.dst.0 as usize] += e;
+                }
+            }
+        }
+        let mut violations = Vec::new();
+        for i in 0..n {
+            for (name, got, want) in [
+                ("read_streams", self.read_streams[i], read[i]),
+                ("write_streams", self.write_streams[i], write[i]),
+                ("processes", self.processes[i], procs[i]),
+            ] {
+                if got != want {
+                    violations.push(crate::check::Violation {
+                        invariant: "census-drift",
+                        detail: format!("endpoint {i}: incremental {name} {got} != rebuilt {want}"),
+                    });
+                }
+            }
+        }
+        // Capacities: every entry must match a from-scratch refresh (the
+        // dirty list was just drained, so nothing may be stale).
+        let before = self.capacities.clone();
+        for ep in 0..n as u32 {
+            self.refresh_capacities(ep);
+        }
+        for (r, (&old, &new)) in before.iter().zip(&self.capacities).enumerate() {
+            if old != new {
+                violations.push(crate::check::Violation {
+                    invariant: "stale-capacity",
+                    detail: format!(
+                        "resource {r} (endpoint {}): incremental {old} != recomputed {new}",
+                        r / RES_PER_EP
+                    ),
+                });
+            }
+        }
+        crate::check::enforce(&format!("incremental state @ t={}", self.now), &violations);
+    }
+
     /// Advance all running flows' byte counters from `self.now` to `t`.
     fn advance_to(&mut self, t: SimTime) {
         let dt = t.since(self.now);
+        if crate::check::enabled() && dt < 0.0 {
+            crate::check::enforce(
+                &format!("advance_to @ t={}", self.now),
+                &[crate::check::Violation {
+                    invariant: "time-not-monotone",
+                    detail: format!("clock would move backwards: {} -> {t}", self.now),
+                }],
+            );
+        }
         if dt > 0.0 {
             for f in self.flows.iter_mut().flatten() {
                 if f.state == FlowState::Running && f.rate > 0.0 {
-                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    let step = (f.rate * dt).min(f.remaining);
+                    f.remaining -= step;
+                    f.moved += step;
                 }
             }
         }
@@ -474,6 +577,26 @@ impl Simulator {
                 // and process censuses hold this flow's contribution.
                 self.census_streams(slot, -1);
                 let f = self.flows[slot].take().expect("checked above");
+                if crate::check::enabled() {
+                    // Byte conservation: the independently accumulated
+                    // `moved` counter must account for the whole request
+                    // (up to the 0.5-byte completion threshold).
+                    self.stats.invariant_checks += 1;
+                    let bytes = f.req.bytes.as_f64();
+                    let slack = 0.5 + 1e-9 * bytes;
+                    if (f.moved - bytes).abs() > slack {
+                        crate::check::enforce(
+                            &format!("completion of transfer {} @ t={}", f.req.id.0, self.now),
+                            &[crate::check::Violation {
+                                invariant: "bytes-not-conserved",
+                                detail: format!(
+                                    "moved {} of {bytes} requested bytes (remaining {})",
+                                    f.moved, f.remaining
+                                ),
+                            }],
+                        );
+                    }
+                }
                 self.census_procs(&f.req, -1);
                 self.free_slots.push(slot);
                 self.release_slots(&f.req);
@@ -577,6 +700,7 @@ impl Simulator {
             faults: 0,
             state: FlowState::Overhead,
             fault_gen: 0,
+            moved: 0.0,
             jitter,
             cap: 0.0,
             req,

@@ -36,6 +36,7 @@
 
 pub mod alloc;
 pub mod background;
+pub mod check;
 pub mod config;
 pub mod endpoint;
 pub mod engine;
@@ -47,6 +48,7 @@ pub mod testbed;
 
 pub use alloc::{allocate, allocate_into, AllocScratch, FlowDemand, ResourceKind};
 pub use background::{BackgroundProcess, BgKind};
+pub use check::{check_allocation, compare_with_reference, reference_allocate, Violation};
 pub use config::SimConfig;
 pub use endpoint::{Endpoint, EndpointCatalog};
 pub use engine::{SimOutput, SimStats, Simulator, TransferMode};

@@ -210,6 +210,81 @@ mod tests {
         assert_eq!(h.max(), 39_999);
     }
 
+    /// Exact nearest-rank quantile of a sorted sample.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The accuracy contract: the estimate lands in the exact value's
+    /// power-of-two bucket or an adjacent one, i.e. within a factor of
+    /// two in both directions.
+    fn assert_within_one_bucket(est: u64, exact: u64, label: &str) {
+        let (lo, hi) = (exact / 2, exact.saturating_mul(2).max(1));
+        assert!((lo..=hi).contains(&est), "{label}: estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn quantile_accuracy_on_known_distributions() {
+        // Distinct shapes: uniform, geometric (one value per bucket over
+        // 9 decades), bimodal with a far tail, and a dense cluster.
+        let uniform: Vec<u64> = (1..=10_000).collect();
+        let geometric: Vec<u64> = (0..30).flat_map(|i| vec![1u64 << i; 10]).collect();
+        let bimodal: Vec<u64> = std::iter::repeat_n(40u64, 900)
+            .chain(std::iter::repeat_n(5_000_000u64, 100))
+            .collect();
+        let cluster: Vec<u64> = (0..2000).map(|i| 1_000 + (i % 7)).collect();
+
+        for (name, values) in [
+            ("uniform", uniform),
+            ("geometric", geometric),
+            ("bimodal", bimodal),
+            ("cluster", cluster),
+        ] {
+            let h = Histogram::new();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &v in &values {
+                h.record(v);
+            }
+            for q in [0.50, 0.95, 0.99] {
+                let exact = exact_quantile(&sorted, q);
+                let est = h.quantile(q);
+                assert_within_one_bucket(est, exact, &format!("{name} p{}", (q * 100.0) as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_exact_for_single_valued_input() {
+        let h = Histogram::new();
+        for _ in 0..500 {
+            h.record(4096);
+        }
+        // One bucket, clamped to the exact max: all quantiles are exact.
+        for q in [0.01, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 4096, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let h = Histogram::new();
+        let mut x = 0x243F_6A88_85A3_08D3u64; // deterministic xorshift
+        for _ in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 1_000_000);
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let cur = h.quantile(i as f64 / 20.0);
+            assert!(cur >= prev, "quantile not monotone at q={}", i as f64 / 20.0);
+            prev = cur;
+        }
+    }
+
     #[test]
     fn summary_json_round_trips() {
         let h = Histogram::new();

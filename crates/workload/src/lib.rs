@@ -21,8 +21,13 @@ pub mod arrivals;
 pub mod datasets;
 pub mod fleet;
 pub mod generator;
+pub mod popularity;
+
+#[cfg(test)]
+mod proptests;
 
 pub use arrivals::SessionArrivals;
 pub use datasets::DatasetSampler;
 pub use fleet::FleetSpec;
 pub use generator::{Workload, WorkloadSpec};
+pub use popularity::{fit_exponent, ZipfPopularity};

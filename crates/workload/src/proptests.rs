@@ -1,0 +1,85 @@
+//! Property tests over the workload generators, per the verification
+//! plan in DESIGN.md: statistical generators are checked for structural
+//! invariants (finiteness, ordering, bounds) on randomized
+//! parameterizations, and the Zipf popularity model is checked for
+//! statistical round-tripping (sample from a known exponent, fit it
+//! back).
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wdt_types::SimTime;
+
+use crate::arrivals::SessionArrivals;
+use crate::datasets::DatasetSampler;
+use crate::popularity::{fit_exponent, ZipfPopularity};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sampling a Zipf law and fitting the exponent back recovers it.
+    /// The fit uses dense head ranks only; with 60k draws the estimator
+    /// is well inside ±0.15 across the exponent range the edge census
+    /// calls for.
+    #[test]
+    fn zipf_exponent_round_trips(s in 0.7f64..1.6, seed in 0u64..1000) {
+        let n = 150usize;
+        let z = ZipfPopularity::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n];
+        for _ in 0..60_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        let fit = fit_exponent(&counts, 20).expect("head ranks are dense");
+        prop_assert!((fit - s).abs() < 0.15, "fit {fit} vs true {s} (seed {seed})");
+    }
+
+    /// Heavy-tailed dataset draws are always finite, positive, and
+    /// structurally consistent (≥1 file, dirs between 1 and files,
+    /// bytes within the sampler's hard cap).
+    #[test]
+    fn dataset_sizes_finite_positive(seed in 0u64..5000, heavy in 0u8..2) {
+        let sampler = if heavy == 1 {
+            DatasetSampler::heavy_edge()
+        } else {
+            DatasetSampler::production()
+        };
+        let cap = if heavy == 1 { 1.0e13 } else { 4.0e12 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let d = sampler.sample(&mut rng);
+            let b = d.bytes.as_f64();
+            prop_assert!(b.is_finite() && b >= 1.0, "bytes {b}");
+            prop_assert!(b <= cap, "bytes {b} above cap {cap}");
+            prop_assert!(d.files >= 1);
+            prop_assert!((1..=d.files).contains(&d.dirs), "dirs {} files {}", d.dirs, d.files);
+        }
+    }
+
+    /// Diurnally modulated session arrivals come out non-decreasing in
+    /// time and inside the horizon, for any reasonable parameterization.
+    #[test]
+    fn diurnal_arrivals_non_decreasing(
+        seed in 0u64..5000,
+        sessions_per_day in 0.5f64..40.0,
+        depth in 0.0f64..0.95,
+        days in 0.5f64..12.0,
+    ) {
+        let spec = SessionArrivals {
+            sessions_per_day,
+            diurnal_depth: depth,
+            ..Default::default()
+        };
+        let horizon = SimTime::days(days);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = spec.generate(horizon, &mut rng);
+        for w in arrivals.windows(2) {
+            prop_assert!(w[0] <= w[1], "out of order: {:?} then {:?}", w[0], w[1]);
+        }
+        for t in &arrivals {
+            prop_assert!(*t >= SimTime::ZERO && *t <= horizon, "outside horizon: {t:?}");
+        }
+    }
+}
