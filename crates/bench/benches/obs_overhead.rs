@@ -1,0 +1,62 @@
+//! Enabled-vs-disabled span overhead (the ISSUE 5 acceptance numbers).
+//!
+//! Two scales:
+//! * `span` — the raw per-site cost: an inactive span (one relaxed load
+//!   + branch) vs an active one (two ring-buffer writes + clock reads).
+//! * `campaign` — end-to-end: a small simulation campaign with tracing
+//!   off, on (coarse spans), and on with per-event detail spans. The
+//!   enabled (coarse) column must stay within 5% of disabled; detail is
+//!   explicitly allowed to cost more (recorded in EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wdt_bench::campaign::CampaignSpec;
+
+fn small_spec() -> CampaignSpec {
+    CampaignSpec {
+        seed: 97,
+        days: 1.0,
+        heavy_edges: 4,
+        sparse_edges: 12,
+        runs: 1,
+        ..CampaignSpec::default()
+    }
+}
+
+fn bench_span_site(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/span");
+    for (label, on) in [("disabled", false), ("enabled", true)] {
+        group.bench_function(label, |b| {
+            wdt_obs::set_enabled(on);
+            b.iter(|| {
+                let _s = wdt_obs::span("bench.site");
+            });
+            wdt_obs::set_enabled(false);
+            wdt_obs::clear();
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    type Setup = fn();
+    let mut group = c.benchmark_group("obs/campaign");
+    group.sample_size(10);
+    let variants: [(&str, Setup); 3] = [
+        ("disabled", || wdt_obs::set_enabled(false)),
+        ("enabled", || wdt_obs::set_enabled(true)),
+        ("detail", || wdt_obs::set_detail(true)),
+    ];
+    for (label, setup) in variants {
+        group.bench_function(label, |b| {
+            setup();
+            let spec = small_spec();
+            b.iter(|| spec.simulate());
+            wdt_obs::set_enabled(false);
+            wdt_obs::clear();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_span_site, bench_campaign);
+criterion_main!(benches);

@@ -117,6 +117,7 @@ impl CampaignSpec {
         run: usize,
         requests: &[TransferRequest],
     ) -> SimOutput {
+        let _span = wdt_obs::span("campaign.shard");
         let root = SeedSeq::new(self.seed);
         let shard_seed = SeedSeq::new(root.derive_indexed("campaign-run", run as u64));
         let mut sim = Simulator::new(endpoints.clone(), SimConfig::default(), &shard_seed);
@@ -150,6 +151,7 @@ impl CampaignSpec {
     /// its own seed-derived RNG stream regardless of scheduling, and shard
     /// outputs are merged in run-index order.
     pub fn simulate(&self) -> CampaignOutput {
+        let _span = wdt_obs::span("campaign.simulate");
         let workload = self.workload();
         let shards = self.shards(&workload);
         let outs: Vec<SimOutput> = shards
@@ -162,6 +164,7 @@ impl CampaignSpec {
 
     /// Run the simulation (no cache) with shards executed sequentially.
     pub fn simulate_serial(&self) -> CampaignOutput {
+        let _span = wdt_obs::span("campaign.simulate_serial");
         let workload = self.workload();
         let shards = self.shards(&workload);
         let outs: Vec<SimOutput> = shards
@@ -282,11 +285,15 @@ mod tests {
         assert_eq!(par.records.len(), ser.records.len());
         assert_eq!(par.records, ser.records);
         assert_eq!(par.heavy_edges, ser.heavy_edges);
-        // realloc_time_s is wall-clock measurement, not simulation state;
-        // the deterministic counters must match exactly.
+        // realloc_time_s and phase_nanos are wall-clock measurements, not
+        // simulation state; the deterministic counters must match exactly.
         assert_eq!(par.stats.events, ser.stats.events);
         assert_eq!(par.stats.reallocations, ser.stats.reallocations);
         assert_eq!(par.stats.max_queue_depth, ser.stats.max_queue_depth);
+        assert_eq!(par.stats.scratch_reuses, ser.stats.scratch_reuses);
+        assert_eq!(par.stats.oracle_invocations, ser.stats.oracle_invocations);
+        assert_eq!(par.stats.waiting_drains, ser.stats.waiting_drains);
+        assert_eq!(par.stats.invariant_checks, ser.stats.invariant_checks);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub fn run(args: &Args) -> CmdResult {
         "serve" => serve(args),
         "loadgen" => loadgen(args),
         "check" => check(args),
+        "obs" => obs(args),
         "help" | "--help" => {
             print!("{}", usage());
             Ok(())
@@ -55,14 +56,16 @@ pub fn usage() -> String {
      COMMANDS\n\
      simulate  generate a synthetic fleet + workload and simulate it\n\
                --out FILE [--days N=30] [--heavy-edges N=45] [--sparse-edges N=400]\n\
-               [--seed N=2017] [--bg-intensity X=0.4] [--runs N=4]\n\
+               [--seed N=2017] [--bg-intensity X=0.4] [--runs N=4] [--trace FILE]\n\
                (--runs = independent time shards simulated in parallel;\n\
-                results are bit-identical for any thread count)\n\
+                results are bit-identical for any thread count;\n\
+                --trace exports a Chrome/Perfetto trace of the run)\n\
      census    edge statistics of a log\n\
                --log FILE [--threshold X=0.5] [--min-transfers N=300]\n\
      train     fit a transfer-rate model on one edge (or all edges pooled)\n\
                --log FILE --model OUT [--src N --dst N] [--kind linear|gbdt=gbdt]\n\
                [--threshold X=0.5] [--tune] [--max-bins N=256] [--exact]\n\
+               [--trace FILE]\n\
                (--exact switches the boosted trees from the default\n\
                 histogram split search to exhaustive exact search)\n\
      predict   predict rates for a log's transfers with a saved model\n\
@@ -85,10 +88,19 @@ pub fn usage() -> String {
                committed golden-trace digest (see DESIGN.md)\n\
                --golden FILE [--refresh] [--oracle-cases N=250]\n\
                [--seed N=2017] [--days N=2] [--heavy-edges N=6]\n\
-               [--sparse-edges N=30] [--runs N=4]\n\
+               [--sparse-edges N=30] [--runs N=4] [--trace FILE]\n\
                (runs the campaign twice — parallel and serial — with\n\
                 runtime invariant checks on, then compares the log digest\n\
                 to FILE; --refresh rewrites FILE instead of comparing)\n\
+     obs       observability: trace a short campaign and dump the flight\n\
+               recorder + metrics registry, or validate a trace file\n\
+               [--trace FILE] [--out FILE] [--check-trace FILE]\n\
+               [--days N=1] [--heavy-edges N=4] [--sparse-edges N=12]\n\
+               [--seed N=2017] [--runs N=2]\n\
+               (--check-trace structurally validates an existing\n\
+                Chrome-trace JSON and prints a summary; traces load in\n\
+                ui.perfetto.dev or chrome://tracing. WDT_TRACE=1 enables\n\
+                the flight recorder for any command)\n\
      help      this text\n\
      \n\
      Unknown --flags are rejected by name; `wdt help` lists every flag.\n"
@@ -101,6 +113,33 @@ fn load_log(args: &Args) -> Result<Vec<TransferRecord>, Box<dyn Error>> {
     Ok(records_from_csv(&text)?)
 }
 
+/// `--trace PATH` support: turn the flight recorder on (plus the panic
+/// hook, so a crash still leaves a post-mortem) before a command runs.
+/// Returns the export path for [`write_trace`].
+fn trace_setup(args: &Args) -> Option<String> {
+    let path = args.get("trace")?.to_string();
+    wdt_obs::set_enabled(true);
+    wdt_obs::install_panic_hook();
+    Some(path)
+}
+
+/// Export the flight recorder as Chrome-trace JSON (self-validated
+/// before writing), then disable tracing and drop the recorded events.
+fn write_trace(path: &str) -> CmdResult {
+    let text = wdt_obs::export_chrome().to_string();
+    let summary = wdt_obs::validate_chrome_trace(&text)
+        .map_err(|e| format!("exported trace failed validation: {e}"))?;
+    fs::write(path, format!("{text}\n"))?;
+    eprintln!(
+        "trace: wrote {} events ({} spans, {} tracks) to {path} — load in ui.perfetto.dev \
+         or chrome://tracing",
+        summary.events, summary.spans, summary.tracks
+    );
+    wdt_obs::set_enabled(false);
+    wdt_obs::clear();
+    Ok(())
+}
+
 fn simulate(args: &Args) -> CmdResult {
     args.ensure_known(&[
         "out",
@@ -110,8 +149,10 @@ fn simulate(args: &Args) -> CmdResult {
         "seed",
         "bg-intensity",
         "runs",
+        "trace",
     ])?;
     let out = args.require("out")?.to_string();
+    let trace = trace_setup(args);
     let spec = CampaignSpec {
         seed: args.get_or("seed", 2017)?,
         days: args.get_or("days", 30.0)?,
@@ -126,6 +167,10 @@ fn simulate(args: &Args) -> CmdResult {
     fs::write(&out, records_to_csv(&result.records))?;
     println!("wrote {} records to {out}", result.records.len());
     println!("{}", result.stats.summary());
+    if let Some(path) = &trace {
+        result.stats.publish(wdt_obs::Registry::global());
+        write_trace(path)?;
+    }
     Ok(())
 }
 
@@ -179,7 +224,9 @@ fn train(args: &Args) -> CmdResult {
         "tune",
         "max-bins",
         "exact",
+        "trace",
     ])?;
+    let trace = trace_setup(args);
     let log = load_log(args)?;
     let model_path = args.require("model")?.to_string();
     let threshold: f64 = args.get_or("threshold", 0.5)?;
@@ -233,6 +280,9 @@ fn train(args: &Args) -> CmdResult {
     );
     fs::write(&model_path, model.to_json())?;
     println!("model saved to {model_path}");
+    if let Some(path) = &trace {
+        write_trace(path)?;
+    }
     Ok(())
 }
 
@@ -290,8 +340,10 @@ fn check(args: &Args) -> CmdResult {
         "heavy-edges",
         "sparse-edges",
         "runs",
+        "trace",
     ])?;
     let golden = args.require("golden")?.to_string();
+    let trace = trace_setup(args);
     // Runtime invariant checks must be live before the first simulator is
     // built (the gate is read once per process and cached).
     std::env::set_var("WDT_CHECK", "1");
@@ -340,6 +392,10 @@ fn check(args: &Args) -> CmdResult {
         return Err(format!("transfer log violates {} invariant(s)", log_violations.len()).into());
     }
     println!("campaign: serial == parallel, log invariants hold");
+    if let Some(path) = &trace {
+        par.stats.publish(wdt_obs::Registry::global());
+        write_trace(path)?;
+    }
 
     // 3. Golden-trace digest.
     let digest = wdt_check::TraceDigest::from_records(&par.records);
@@ -372,6 +428,66 @@ fn check(args: &Args) -> CmdResult {
         .into());
     }
     println!("golden: digest matches ({:016x})", digest.hash());
+    Ok(())
+}
+
+fn obs(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "check-trace",
+        "trace",
+        "out",
+        "days",
+        "heavy-edges",
+        "sparse-edges",
+        "seed",
+        "runs",
+    ])?;
+    // Validation mode: structural check of an existing trace file (CI
+    // runs this over artifacts exported by `--trace`).
+    if let Some(path) = args.get("check-trace") {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+        let s = wdt_obs::validate_chrome_trace(&text)
+            .map_err(|e| format!("{path}: invalid Chrome trace: {e}"))?;
+        println!(
+            "{path}: valid Chrome trace — {} events, {} spans, {} tracks",
+            s.events, s.spans, s.tracks
+        );
+        return Ok(());
+    }
+    // Capture mode: trace a short campaign and dump the flight recorder
+    // plus a metrics-registry snapshot. Detail level: this command exists
+    // to show what the instrumentation can see, so per-event spans are on.
+    wdt_obs::set_detail(true);
+    wdt_obs::install_panic_hook();
+    let spec = CampaignSpec {
+        seed: args.get_or("seed", 2017)?,
+        days: args.get_or("days", 1.0)?,
+        heavy_edges: args.get_or("heavy-edges", 4)?,
+        sparse_edges: args.get_or("sparse-edges", 12)?,
+        runs: args.get_or("runs", 2)?,
+        ..Default::default()
+    };
+    eprintln!("obs: tracing a {}-day, {}-shard campaign ...", spec.days, spec.runs.max(1));
+    let result = spec.simulate();
+    result.stats.publish(wdt_obs::Registry::global());
+    println!("{}", result.stats.summary());
+    // Post-mortem first: `write_trace` clears the flight recorder.
+    let report = wdt_obs::postmortem_json();
+    match args.get("out") {
+        Some(out) => {
+            fs::write(out, format!("{report}\n"))?;
+            println!("obs: flight recorder + registry snapshot written to {out}");
+        }
+        None => println!("{report}"),
+    }
+    if let Some(path) = args.get("trace") {
+        write_trace(path)?;
+    } else {
+        // `set_enabled(false)` also drops the detail level.
+        wdt_obs::set_enabled(false);
+        wdt_obs::clear();
+    }
     Ok(())
 }
 
@@ -585,9 +701,37 @@ mod tests {
         assert!(usage().contains("simulate"));
         assert!(usage().contains("serve"));
         assert!(usage().contains("loadgen"));
-        for flag in ["--model-dir", "--port", "--max-batch", "--flush-us", "--queue-cap"] {
+        assert!(usage().contains("obs"));
+        for flag in ["--model-dir", "--port", "--max-batch", "--flush-us", "--queue-cap", "--trace"]
+        {
             assert!(usage().contains(flag), "usage must document {flag}");
         }
+    }
+
+    #[test]
+    fn obs_traces_a_campaign_and_validates_it() {
+        let trace = tmp("obs-trace.json");
+        let report_path = tmp("obs-report.json");
+        run(&parse(&format!(
+            "obs --days 1 --heavy-edges 3 --sparse-edges 8 --runs 2 --seed 11 \
+             --trace {} --out {}",
+            trace.display(),
+            report_path.display()
+        )))
+        .expect("obs");
+        // The exported artifact re-validates from disk (CI's check).
+        run(&parse(&format!("obs --check-trace {}", trace.display()))).expect("check-trace");
+        let report = wdt_types::JsonValue::parse(&std::fs::read_to_string(&report_path).unwrap())
+            .expect("report parses");
+        assert!(report.field("flight_recorder").is_ok());
+        let counters = report.field("metrics").unwrap().field("counters").unwrap();
+        assert!(counters.field("sim.events").unwrap().as_usize().unwrap() > 0);
+        // Garbage is rejected with a named file.
+        let junk = tmp("not-a-trace.json");
+        std::fs::write(&junk, "{\"nope\": 1}").unwrap();
+        let err =
+            run(&parse(&format!("obs --check-trace {}", junk.display()))).unwrap_err().to_string();
+        assert!(err.contains("invalid Chrome trace"), "{err}");
     }
 
     #[test]
@@ -600,6 +744,12 @@ mod tests {
             "advise --log x.csv --end-point 3",
             "serve --model-dir m --prot 80",
             "loadgen --addr 127.0.0.1:1 --log x.csv --connectoins 4",
+            "obs --check-trase t.json",
+            // --trace is only understood by simulate/train/check/obs;
+            // elsewhere it must be rejected by name, not ignored.
+            "census --log x.csv --trace t.json",
+            "predict --log x.csv --model m.json --trace t.json",
+            "serve --model-dir m --trace t.json",
         ] {
             let err = run(&parse(cmd)).unwrap_err().to_string();
             let bad = cmd.split("--").last().unwrap().split_whitespace().next().unwrap();

@@ -19,6 +19,10 @@ mod commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // `WDT_TRACE=1` turns the flight recorder on for any subcommand,
+    // even ones without a `--trace` flag (the panic hook then dumps a
+    // post-mortem on crash).
+    wdt_obs::init_from_env();
     let tokens: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match args::Args::parse(tokens) {
         Ok(p) => p,

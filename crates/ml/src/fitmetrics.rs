@@ -1,0 +1,57 @@
+//! GBDT fit-phase timings, published to the global `wdt-obs` registry.
+//!
+//! Four cumulative nano counters — binning, histogram fill, split
+//! search, partition — cover where a histogram-strategy fit spends its
+//! time. Collection is gated on [`wdt_obs::enabled`] (one relaxed load
+//! when off) and each hot site caches its counter handle in a
+//! `OnceLock`, so an enabled update is two clock reads plus one relaxed
+//! atomic add.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+use wdt_obs::{Counter, Registry};
+
+macro_rules! phase_counter {
+    ($(#[$doc:meta])* $fn_name:ident, $metric:literal) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> &'static Counter {
+            static C: OnceLock<Counter> = OnceLock::new();
+            C.get_or_init(|| Registry::global().counter($metric))
+        }
+    };
+}
+
+phase_counter!(
+    /// Quantile binning (`BinnedMatrix::build`), cumulative nanos.
+    binning, "gbdt.fit_phase.binning_nanos"
+);
+phase_counter!(
+    /// Histogram accumulation (`fill_hist`), cumulative nanos.
+    fill_hist, "gbdt.fit_phase.fill_hist_nanos"
+);
+phase_counter!(
+    /// Split search over filled histograms, cumulative nanos.
+    split_search, "gbdt.fit_phase.split_search_nanos"
+);
+phase_counter!(
+    /// In-place stable partition of node row sets, cumulative nanos.
+    partition, "gbdt.fit_phase.partition_nanos"
+);
+
+/// Start timing a phase if observability is on.
+#[inline]
+pub(crate) fn phase_start() -> Option<Instant> {
+    if wdt_obs::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Close a phase opened by [`phase_start`].
+#[inline]
+pub(crate) fn phase_end(start: Option<Instant>, counter: &'static Counter) {
+    if let Some(t0) = start {
+        counter.add(t0.elapsed().as_nanos() as u64);
+    }
+}

@@ -77,6 +77,7 @@ impl Gbdt {
     /// Panics if `x` and `y` lengths differ; returns a constant predictor
     /// on empty input.
     pub fn fit(x: &[Vec<f64>], y: &[f64], params: &GbdtParams) -> Self {
+        let _span = wdt_obs::span("gbdt.fit");
         assert_eq!(x.len(), y.len(), "x and y must be the same length");
         let n = x.len();
         let n_features = x.first().map_or(0, |r| r.len());
@@ -94,10 +95,12 @@ impl Gbdt {
         assert!(params.subsample > 0.0 && params.subsample <= 1.0, "subsample in (0,1]");
 
         // Quantile-bin the features once; every round trains on the view.
+        let t_bin = crate::fitmetrics::phase_start();
         let binned = match params.split {
             SplitStrategy::Histogram => Some(BinnedMatrix::build(x, params.max_bins)),
             SplitStrategy::Exact => None,
         };
+        crate::fitmetrics::phase_end(t_bin, crate::fitmetrics::binning());
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut preds = vec![base_score; n];
         let mut g = vec![0.0; n];

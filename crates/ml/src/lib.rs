@@ -17,6 +17,7 @@
 
 pub mod binning;
 pub mod correlation;
+pub mod fitmetrics;
 pub mod gbdt;
 pub mod linalg;
 pub mod linear;

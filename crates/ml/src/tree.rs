@@ -200,6 +200,7 @@ fn fill_hist(
     idx: &[usize],
     hist: &mut [Vec<HistBin>],
 ) {
+    let t0 = crate::fitmetrics::phase_start();
     let fill_one = |f: usize, bins: &mut Vec<HistBin>| {
         bins.iter_mut().for_each(|b| *b = HistBin::default());
         let codes = &binned.column(f).codes;
@@ -217,6 +218,7 @@ fn fill_hist(
             fill_one(f, bins);
         }
     }
+    crate::fitmetrics::phase_end(t0, crate::fitmetrics::fill_hist());
 }
 
 /// The subtraction trick: `parent − child` in place, giving the sibling's
@@ -293,6 +295,7 @@ fn search_splits(
     h_sum: f64,
     params: &TreeParams,
 ) -> Option<SplitCand> {
+    let t0 = crate::fitmetrics::phase_start();
     let total_bins: usize = hist.iter().map(Vec::len).sum();
     let per_feature: Vec<Option<SplitCand>> =
         if total_bins >= PAR_NODE_WORK && rayon::current_num_threads() > 1 {
@@ -306,13 +309,15 @@ fn search_splits(
                 .map(|(f, bins)| search_feature(binned.column(f), bins, f, g_sum, h_sum, params))
                 .collect()
         };
-    per_feature.into_iter().flatten().fold(None, |best, c| {
+    let best = per_feature.into_iter().flatten().fold(None, |best, c| {
         if c.gain > best.map_or(0.0, |b: SplitCand| b.gain) {
             Some(c)
         } else {
             best
         }
-    })
+    });
+    crate::fitmetrics::phase_end(t0, crate::fitmetrics::split_search());
+    best
 }
 
 struct HistBuilder<'a> {
@@ -367,6 +372,7 @@ impl<'a> HistBuilder<'a> {
 
         // Stable in-place partition: codes ≤ the split bin go left. For
         // in-node samples this is equivalent to `value ≤ threshold`.
+        let t0 = crate::fitmetrics::phase_start();
         let binned = self.binned;
         let codes = &binned.column(cand.feature).codes;
         self.scratch.clear();
@@ -383,6 +389,7 @@ impl<'a> HistBuilder<'a> {
         let mid = write;
         self.idx[mid..hi].copy_from_slice(&self.scratch);
         debug_assert_eq!(mid - lo, cand.n_left);
+        crate::fitmetrics::phase_end(t0, crate::fitmetrics::partition());
 
         let (gl, hl) = (cand.g_left, cand.h_left);
         let (gr, hr) = (g_sum - gl, h_sum - hl);

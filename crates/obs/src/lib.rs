@@ -1,0 +1,84 @@
+//! # wdt-obs — unified observability for the wdt workspace
+//!
+//! Three layers, all std-only:
+//!
+//! * **Tracing core** ([`span`], [`span_at`], [`instant`], [`counter`]) —
+//!   lightweight spans and counters recorded into per-thread ring buffers
+//!   (a "flight recorder"). Gating is a single relaxed atomic load
+//!   ([`enabled`]), so the disabled path is one branch and the simulator's
+//!   bit-identity guarantees are untouched: instrumentation never reads
+//!   RNG state, never reorders events, and wall-clock values never feed
+//!   back into simulation state.
+//! * **Metrics registry** ([`Registry`]) — named counters, gauges, and
+//!   histograms (backed by [`wdt_types::Histogram`]) with JSON and
+//!   Prometheus-style text exposition. `SimStats`, the serve metrics, and
+//!   the GBDT fit-phase timings all publish here.
+//! * **Chrome trace-event exporter** ([`chrome_trace`]) — converts flight
+//!   recorder contents into `chrome://tracing` / Perfetto JSON, with wall
+//!   time and sim virtual time as separate clock domains (pid 1 and 2).
+//!
+//! A panic hook ([`install_panic_hook`]) flushes the last N events and a
+//! registry snapshot to disk, so a failed campaign leaves a post-mortem
+//! artifact.
+
+pub mod chrome;
+pub mod recorder;
+pub mod registry;
+
+pub use chrome::{chrome_trace, export_chrome, validate_chrome_trace, TraceSummary};
+pub use recorder::{
+    clear, counter, flight_recorder_json, install_panic_hook, instant, postmortem_json, snapshot,
+    span, span_at, span_at_detail, Phase, Span, ThreadTrace, TraceEvent,
+};
+pub use registry::{Counter, Gauge, Registry};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRACING_ENABLED: AtomicBool = AtomicBool::new(false);
+static DETAIL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is tracing on? One relaxed atomic load — this is the entire cost of
+/// every disabled-path instrumentation site.
+#[inline(always)]
+pub fn enabled() -> bool {
+    TRACING_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Is *fine-grained* tracing on? Gates the hottest span sites — the
+/// sim's per-event dispatch and per-iteration completion harvest — which
+/// fire millions of times per campaign and would dominate its wall time
+/// if always recorded. Coarse spans (reallocation, fit phases, shards)
+/// stay on [`enabled`] alone and cost < 5% of campaign wall time.
+#[inline(always)]
+pub fn detail_enabled() -> bool {
+    DETAIL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn tracing on or off at runtime (e.g. when the CLI sees `--trace`).
+/// Turning tracing off also turns detail off.
+pub fn set_enabled(on: bool) {
+    TRACING_ENABLED.store(on, Ordering::Relaxed);
+    if !on {
+        DETAIL_ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Turn fine-grained tracing on (implies [`set_enabled`]\(true)) or off.
+pub fn set_detail(on: bool) {
+    if on {
+        set_enabled(true);
+    }
+    DETAIL_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enable tracing if `WDT_TRACE=1` (or `true`) is set in the
+/// environment; `WDT_TRACE_DETAIL=1` additionally enables per-event
+/// spans.
+pub fn init_from_env() {
+    if matches!(std::env::var("WDT_TRACE").as_deref(), Ok("1") | Ok("true")) {
+        set_enabled(true);
+    }
+    if matches!(std::env::var("WDT_TRACE_DETAIL").as_deref(), Ok("1") | Ok("true")) {
+        set_detail(true);
+    }
+}

@@ -1,0 +1,442 @@
+//! The flight recorder: per-thread ring buffers of trace events.
+//!
+//! Each thread that records gets its own fixed-capacity ring (no
+//! cross-thread contention on the hot path; the per-ring mutex is only
+//! ever contended by snapshot readers). Old events are overwritten, so
+//! the recorder always holds the *most recent* window — exactly what a
+//! post-mortem wants. Rings are registered in a global list so
+//! [`snapshot`] and the panic hook can collect every thread's tail even
+//! after the owning thread has exited.
+
+use crate::registry::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::time::Instant;
+use wdt_types::JsonValue;
+
+/// Default per-thread ring capacity (events). Override with
+/// `WDT_OBS_RING_CAP` before the first event is recorded.
+const DEFAULT_RING_CAP: usize = 8192;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span open (paired with `End` by RAII).
+    Begin,
+    /// Span close.
+    End,
+    /// A point event.
+    Instant,
+    /// A sampled counter value (see [`counter`]).
+    Counter,
+}
+
+impl Phase {
+    /// Chrome trace-event phase letter.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        }
+    }
+}
+
+/// One recorded event. `wall_us` is microseconds since the process
+/// epoch (first event); `sim_us` optionally carries the simulator's
+/// virtual clock so exports can show both domains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Static site name, e.g. `"sim.reallocate"`.
+    pub name: &'static str,
+    /// Begin/End/Instant/Counter.
+    pub phase: Phase,
+    /// Wall clock, µs since process epoch. Monotone per thread.
+    pub wall_us: u64,
+    /// Sim virtual clock, µs, when the site runs inside a simulator.
+    pub sim_us: Option<u64>,
+    /// Counter value (only meaningful for `Phase::Counter`).
+    pub value: f64,
+}
+
+struct Ring {
+    tid: u64,
+    buf: Vec<TraceEvent>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent) {
+        let cap = self.buf.capacity();
+        if self.buf.len() < cap {
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = ev;
+            self.dropped += 1;
+        }
+        self.head = (self.head + 1) % cap;
+    }
+
+    /// Events oldest → newest.
+    fn chronological(&self) -> Vec<TraceEvent> {
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+}
+
+static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn ring_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("WDT_OBS_RING_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c: &usize| c >= 16)
+            .unwrap_or(DEFAULT_RING_CAP)
+    })
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn wall_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+thread_local! {
+    static LOCAL_RING: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            buf: Vec::with_capacity(ring_cap()),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }));
+        RINGS.lock().unwrap().push(ring.clone());
+        ring
+    };
+}
+
+fn record(ev: TraceEvent) {
+    LOCAL_RING.with(|r| r.lock().unwrap().push(ev));
+}
+
+/// An RAII span: records `Begin` on creation (when tracing is enabled)
+/// and `End` on drop. Inactive spans are free.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct Span {
+    name: &'static str,
+    sim_us: Option<u64>,
+    active: bool,
+}
+
+impl Span {
+    /// A span that records nothing.
+    pub fn inactive() -> Span {
+        Span { name: "", sim_us: None, active: false }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        // Records the End even if the gate flipped off mid-span, so
+        // Begin/End pairs in the ring stay balanced.
+        if self.active {
+            record(TraceEvent {
+                name: self.name,
+                phase: Phase::End,
+                wall_us: wall_us(),
+                sim_us: self.sim_us,
+                value: 0.0,
+            });
+        }
+    }
+}
+
+/// Open a wall-clock span. Disabled path: one relaxed load + branch.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span::inactive();
+    }
+    record(TraceEvent { name, phase: Phase::Begin, wall_us: wall_us(), sim_us: None, value: 0.0 });
+    Span { name, sim_us: None, active: true }
+}
+
+/// Open a span that also carries the sim virtual clock (µs), so the
+/// Chrome export can place it on the sim-time track.
+#[inline]
+pub fn span_at(name: &'static str, sim_us: u64) -> Span {
+    if !crate::enabled() {
+        return Span::inactive();
+    }
+    record(TraceEvent {
+        name,
+        phase: Phase::Begin,
+        wall_us: wall_us(),
+        sim_us: Some(sim_us),
+        value: 0.0,
+    });
+    Span { name, sim_us: Some(sim_us), active: true }
+}
+
+/// Like [`span_at`], but gated on [`crate::detail_enabled`] — for the
+/// hottest sites (the sim's per-event dispatch and completion harvest),
+/// which fire once per simulated event and would dominate campaign wall
+/// time under the coarse gate.
+#[inline]
+pub fn span_at_detail(name: &'static str, sim_us: u64) -> Span {
+    if !crate::detail_enabled() {
+        return Span::inactive();
+    }
+    span_at(name, sim_us)
+}
+
+/// Record a point event.
+#[inline]
+pub fn instant(name: &'static str) {
+    if !crate::enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name,
+        phase: Phase::Instant,
+        wall_us: wall_us(),
+        sim_us: None,
+        value: 0.0,
+    });
+}
+
+/// Record a sampled counter value (rendered as a counter track by
+/// Perfetto).
+#[inline]
+pub fn counter(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    record(TraceEvent { name, phase: Phase::Counter, wall_us: wall_us(), sim_us: None, value });
+}
+
+/// One thread's share of a [`snapshot`].
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    /// Recorder-assigned thread id (stable for the thread's lifetime).
+    pub tid: u64,
+    /// Events oldest → newest; `wall_us` is non-decreasing.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten by ring wraparound.
+    pub dropped: u64,
+}
+
+/// Copy every thread's ring (chronological order). Cheap enough to call
+/// after a run; not intended for the hot path.
+pub fn snapshot() -> Vec<ThreadTrace> {
+    let rings = RINGS.lock().unwrap();
+    rings
+        .iter()
+        .map(|r| {
+            let r = r.lock().unwrap();
+            ThreadTrace { tid: r.tid, events: r.chronological(), dropped: r.dropped }
+        })
+        .collect()
+}
+
+/// Empty every ring (test isolation and between-run hygiene).
+pub fn clear() {
+    let rings = RINGS.lock().unwrap();
+    for r in rings.iter() {
+        let mut r = r.lock().unwrap();
+        r.buf.clear();
+        r.head = 0;
+        r.len = 0;
+        r.dropped = 0;
+    }
+}
+
+fn event_json(ev: &TraceEvent) -> JsonValue {
+    let mut pairs = vec![
+        ("name", JsonValue::Str(ev.name.to_string())),
+        ("ph", JsonValue::Str(ev.phase.letter().to_string())),
+        ("wall_us", JsonValue::Num(ev.wall_us as f64)),
+    ];
+    if let Some(s) = ev.sim_us {
+        pairs.push(("sim_us", JsonValue::Num(s as f64)));
+    }
+    if ev.phase == Phase::Counter {
+        pairs.push(("value", JsonValue::Num(ev.value)));
+    }
+    JsonValue::obj(pairs)
+}
+
+/// The flight recorder as JSON: per-thread event tails plus drop counts.
+pub fn flight_recorder_json() -> JsonValue {
+    let threads = snapshot()
+        .iter()
+        .map(|t| {
+            JsonValue::obj([
+                ("tid", JsonValue::Num(t.tid as f64)),
+                ("dropped", JsonValue::Num(t.dropped as f64)),
+                ("events", JsonValue::Arr(t.events.iter().map(event_json).collect())),
+            ])
+        })
+        .collect();
+    JsonValue::obj([("threads", JsonValue::Arr(threads))])
+}
+
+/// The post-mortem artifact: flight recorder tail + global registry
+/// snapshot. Written by the panic hook; also what `wdt obs` prints.
+pub fn postmortem_json() -> JsonValue {
+    JsonValue::obj([
+        ("flight_recorder", flight_recorder_json()),
+        ("metrics", Registry::global().to_json()),
+    ])
+}
+
+/// Install a panic hook (once) that, when tracing is enabled, flushes
+/// [`postmortem_json`] to `WDT_OBS_PANIC_PATH` (default
+/// `wdt-obs-postmortem.json`) so a failed campaign leaves an artifact.
+/// Chains the previously installed hook.
+pub fn install_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            if crate::enabled() {
+                let path = std::env::var("WDT_OBS_PANIC_PATH")
+                    .unwrap_or_else(|_| "wdt-obs-postmortem.json".to_string());
+                match std::fs::write(&path, postmortem_json().to_string()) {
+                    Ok(()) => eprintln!("wdt-obs: post-mortem written to {path}"),
+                    Err(e) => eprintln!("wdt-obs: failed to write post-mortem to {path}: {e}"),
+                }
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The gate and the ring registry are process-global; tests that
+    // touch them serialize on this lock (same discipline as the
+    // WDT_THREADS tests in wdt-bench).
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_gate<R>(f: impl FnOnce() -> R) -> R {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        crate::set_enabled(true);
+        let out = f();
+        crate::set_enabled(false);
+        out
+    }
+
+    fn my_events() -> Vec<TraceEvent> {
+        let tid = LOCAL_RING.with(|r| r.lock().unwrap().tid);
+        snapshot().into_iter().find(|t| t.tid == tid).map(|t| t.events).unwrap_or_default()
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        crate::set_enabled(false);
+        {
+            let _s = span("noop");
+            instant("noop.i");
+            counter("noop.c", 1.0);
+        }
+        assert!(my_events().is_empty());
+    }
+
+    #[test]
+    fn spans_pair_and_timestamps_are_monotone() {
+        with_gate(|| {
+            {
+                let _outer = span("outer");
+                {
+                    let _inner = span_at("inner", 42);
+                }
+                instant("mark");
+            }
+            let evs = my_events();
+            let names: Vec<_> = evs.iter().map(|e| (e.name, e.phase)).collect();
+            assert_eq!(
+                names,
+                vec![
+                    ("outer", Phase::Begin),
+                    ("inner", Phase::Begin),
+                    ("inner", Phase::End),
+                    ("mark", Phase::Instant),
+                    ("outer", Phase::End),
+                ]
+            );
+            assert!(evs.windows(2).all(|w| w[0].wall_us <= w[1].wall_us));
+            assert_eq!(evs[1].sim_us, Some(42));
+        });
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        with_gate(|| {
+            let cap = ring_cap();
+            for _ in 0..cap + 10 {
+                instant("tick");
+            }
+            let tid = LOCAL_RING.with(|r| r.lock().unwrap().tid);
+            let t = snapshot().into_iter().find(|t| t.tid == tid).unwrap();
+            assert_eq!(t.events.len(), cap);
+            assert_eq!(t.dropped, 10);
+            assert!(t.events.windows(2).all(|w| w[0].wall_us <= w[1].wall_us));
+        });
+    }
+
+    #[test]
+    fn snapshot_sees_other_threads() {
+        with_gate(|| {
+            std::thread::spawn(|| {
+                let _s = span("worker.task");
+            })
+            .join()
+            .unwrap();
+            let snap = snapshot();
+            assert!(snap.iter().any(|t| t.events.iter().any(|e| e.name == "worker.task")));
+        });
+    }
+
+    #[test]
+    fn flight_recorder_json_round_trips() {
+        with_gate(|| {
+            {
+                let _s = span_at("fr.span", 7);
+                counter("fr.counter", 3.5);
+            }
+            let text = flight_recorder_json().to_string();
+            let v = JsonValue::parse(&text).expect("valid json");
+            let threads = v.field("threads").unwrap().as_arr().unwrap();
+            assert!(!threads.is_empty());
+            let any_span = threads.iter().any(|t| {
+                t.field("events").unwrap().as_arr().unwrap().iter().any(|e| {
+                    e.field("name").unwrap().as_str().unwrap() == "fr.span"
+                        && e.field("sim_us").unwrap().as_usize().unwrap() == 7
+                })
+            });
+            assert!(any_span);
+        });
+    }
+}

@@ -1,0 +1,242 @@
+//! Named metrics: counters, gauges, histograms, one registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], `Arc<Histogram>`) are cheap clones of
+//! registry-owned atomics, so hot paths cache a handle once and touch a
+//! single atomic per update — no name lookup, no lock. Exposition is
+//! JSON ([`Registry::to_json`]) or Prometheus text
+//! ([`Registry::to_prometheus`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use wdt_types::{Histogram, JsonValue};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A namespace of counters, gauges, and histograms. Use
+/// [`Registry::global`] for process-wide metrics (sim, ml) or own an
+/// instance (the serve stack owns one per server so tests don't bleed
+/// into each other).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters.lock().unwrap().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges.lock().unwrap().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.hists
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Zero every metric (test isolation; handles stay valid).
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.set(0.0);
+        }
+        for h in self.hists.lock().unwrap().values() {
+            h.clear();
+        }
+    }
+
+    /// Snapshot as JSON: `{"counters": {..}, "gauges": {..},
+    /// "histograms": {name: summary}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let counters: BTreeMap<String, JsonValue> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Num(v.get() as f64)))
+            .collect();
+        let gauges: BTreeMap<String, JsonValue> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Num(v.get())))
+            .collect();
+        let hists: BTreeMap<String, JsonValue> =
+            self.hists.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.summary_json())).collect();
+        JsonValue::obj([
+            ("counters", JsonValue::Obj(counters)),
+            ("gauges", JsonValue::Obj(gauges)),
+            ("histograms", JsonValue::Obj(hists)),
+        ])
+    }
+
+    /// Prometheus text exposition: `# TYPE` lines, counters/gauges as
+    /// plain samples, histograms as summaries with `quantile` labels.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (k, v) in self.counters.lock().unwrap().iter() {
+            let k = sanitize(k);
+            out.push_str(&format!("# TYPE {k} counter\n{k} {}\n", v.get()));
+        }
+        for (k, v) in self.gauges.lock().unwrap().iter() {
+            let k = sanitize(k);
+            out.push_str(&format!("# TYPE {k} gauge\n{k} {}\n", v.get()));
+        }
+        for (k, h) in self.hists.lock().unwrap().iter() {
+            let k = sanitize(k);
+            out.push_str(&format!("# TYPE {k} summary\n"));
+            for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+                out.push_str(&format!("{k}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
+            }
+            let count = h.count();
+            let sum = h.mean() * count as f64;
+            out.push_str(&format!("{k}_sum {sum}\n{k}_count {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_storage_with_registry() {
+        let reg = Registry::new();
+        let c = reg.counter("hits");
+        c.inc();
+        c.add(4);
+        // A second lookup sees the same atomic.
+        assert_eq!(reg.counter("hits").get(), 5);
+        let g = reg.gauge("depth");
+        g.set(2.5);
+        assert_eq!(reg.gauge("depth").get(), 2.5);
+    }
+
+    #[test]
+    fn histograms_are_shared_and_summarized() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us");
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(reg.histogram("lat_us").count(), 5);
+        let json = reg.to_json();
+        let lat = json.field("histograms").unwrap().field("lat_us").unwrap();
+        assert_eq!(lat.field("count").unwrap().as_usize().unwrap(), 5);
+        assert_eq!(lat.field("max").unwrap().as_usize().unwrap(), 1000);
+    }
+
+    #[test]
+    fn json_snapshot_parses_back() {
+        let reg = Registry::new();
+        reg.counter("a.b-c").add(7);
+        reg.gauge("g").set(1.25);
+        let text = reg.to_json().to_string();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.field("counters").unwrap().field("a.b-c").unwrap().as_usize().unwrap(), 7);
+        assert_eq!(v.field("gauges").unwrap().field("g").unwrap().as_f64().unwrap(), 1.25);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("sim.events").add(3);
+        reg.gauge("queue.depth").set(4.0);
+        reg.histogram("lat").record(16);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE sim_events counter\nsim_events 3\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 4\n"));
+        assert!(text.contains("# TYPE lat summary\n"));
+        assert!(text.contains("lat{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        c.add(9);
+        let h = reg.histogram("h");
+        h.record(5);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(reg.counter("n").get(), 1);
+    }
+}

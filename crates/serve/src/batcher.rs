@@ -149,6 +149,7 @@ impl Batcher {
                 return Err(SubmitError::Overloaded);
             }
             q.jobs.push_back(Job { row, enqueued: Instant::now(), reply });
+            self.shared.metrics.queue_depth.set(q.jobs.len() as f64);
         }
         self.shared.arrived.notify_one();
         Ok(rx)
@@ -213,7 +214,9 @@ fn batch_loop(shared: &Shared) {
                 }
             }
             let take = q.jobs.len().min(cfg.max_batch);
-            q.jobs.drain(..take).collect::<Vec<Job>>()
+            let batch = q.jobs.drain(..take).collect::<Vec<Job>>();
+            shared.metrics.queue_depth.set(q.jobs.len() as f64);
+            batch
         };
         if batch.is_empty() {
             continue;

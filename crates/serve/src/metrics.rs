@@ -1,69 +1,155 @@
-//! Server-side counters and histograms, exported by `GET /metrics`.
+//! Server-side metrics, backed by a per-server [`wdt_obs::Registry`].
 //!
-//! All fields are lock-free atomics (histograms come from
-//! [`wdt_types::hist`]), so the hot path records with a handful of
-//! relaxed increments. Latencies are in microseconds.
+//! Each [`ServerMetrics`] owns its registry — deliberately *not*
+//! [`Registry::global`], because the test suite runs several servers in
+//! one process and their counts must not bleed into each other. Hot-path
+//! handles (counters, histograms) are cached as public fields at
+//! construction, so recording is still a handful of relaxed atomic
+//! operations with no name lookup. Latencies are in microseconds.
+//!
+//! `GET /metrics` keeps its original top-level field names (`requests`,
+//! `predictions`, `shed`, `errors`, `request_latency_us`,
+//! `predict_latency_us`, `batch_size`) and adds `endpoints` (per-route
+//! request counts), `uptime_s`, and `build` (crate name + version). The
+//! same registry also renders Prometheus text via
+//! [`ServerMetrics::to_prometheus`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use wdt_obs::{Counter, Gauge, Registry};
 use wdt_types::{Histogram, JsonValue};
 
-/// Aggregated service metrics.
-#[derive(Debug, Default)]
+/// Aggregated service metrics; handles into an owned registry.
+#[derive(Debug)]
 pub struct ServerMetrics {
     /// HTTP requests accepted (any endpoint, any outcome).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Successful predictions returned.
-    pub predictions: AtomicU64,
+    pub predictions: Counter,
     /// Requests shed by admission control (queue full → 503).
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Client or server errors (malformed body, unknown route, …).
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// End-to-end request latency, µs (parse → response written).
-    pub request_latency_us: Histogram,
+    pub request_latency_us: std::sync::Arc<Histogram>,
     /// Time a prediction spends queued + batched + predicted, µs.
-    pub predict_latency_us: Histogram,
+    pub predict_latency_us: std::sync::Arc<Histogram>,
     /// Size of each executed inference batch.
-    pub batch_size: Histogram,
+    pub batch_size: std::sync::Arc<Histogram>,
+    /// Inference queue depth, updated by the batcher on enqueue/drain.
+    pub queue_depth: Gauge,
+    ep_predict: Counter,
+    ep_healthz: Counter,
+    ep_metrics: Counter,
+    ep_reload: Counter,
+    ep_shutdown: Counter,
+    ep_other: Counter,
+    registry: Registry,
+    started: Instant,
 }
 
 impl ServerMetrics {
-    /// Fresh, all-zero metrics.
+    /// Fresh, all-zero metrics over a private registry.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        ServerMetrics {
+            requests: registry.counter("serve.requests"),
+            predictions: registry.counter("serve.predictions"),
+            shed: registry.counter("serve.shed"),
+            errors: registry.counter("serve.errors"),
+            request_latency_us: registry.histogram("serve.request_latency_us"),
+            predict_latency_us: registry.histogram("serve.predict_latency_us"),
+            batch_size: registry.histogram("serve.batch_size"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            ep_predict: registry.counter("serve.endpoint.predict"),
+            ep_healthz: registry.counter("serve.endpoint.healthz"),
+            ep_metrics: registry.counter("serve.endpoint.metrics"),
+            ep_reload: registry.counter("serve.endpoint.reload"),
+            ep_shutdown: registry.counter("serve.endpoint.shutdown"),
+            ep_other: registry.counter("serve.endpoint.other"),
+            registry,
+            started: Instant::now(),
+        }
+    }
+
+    /// The registry behind the handles (Prometheus exposition, tests).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Count one accepted request.
     pub fn on_request(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+    }
+
+    /// Count one request against its route's endpoint counter.
+    pub fn on_route(&self, method: &str, path: &str) {
+        match (method, path) {
+            ("POST", "/predict") => self.ep_predict.inc(),
+            ("GET", "/healthz") => self.ep_healthz.inc(),
+            ("GET", "/metrics") => self.ep_metrics.inc(),
+            ("POST", "/reload") => self.ep_reload.inc(),
+            ("POST", "/shutdown") => self.ep_shutdown.inc(),
+            _ => self.ep_other.inc(),
+        }
     }
 
     /// Count one served prediction with its end-to-end latency.
     pub fn on_prediction(&self, latency_us: u64) {
-        self.predictions.fetch_add(1, Ordering::Relaxed);
+        self.predictions.inc();
         self.request_latency_us.record(latency_us);
     }
 
     /// Count one shed (503) response.
     pub fn on_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     /// Count one error response.
     pub fn on_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Snapshot as the `/metrics` JSON document.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::obj([
-            ("requests", JsonValue::Num(self.requests.load(Ordering::Relaxed) as f64)),
-            ("predictions", JsonValue::Num(self.predictions.load(Ordering::Relaxed) as f64)),
-            ("shed", JsonValue::Num(self.shed.load(Ordering::Relaxed) as f64)),
-            ("errors", JsonValue::Num(self.errors.load(Ordering::Relaxed) as f64)),
+            ("requests", JsonValue::Num(self.requests.get() as f64)),
+            ("predictions", JsonValue::Num(self.predictions.get() as f64)),
+            ("shed", JsonValue::Num(self.shed.get() as f64)),
+            ("errors", JsonValue::Num(self.errors.get() as f64)),
             ("request_latency_us", self.request_latency_us.summary_json()),
             ("predict_latency_us", self.predict_latency_us.summary_json()),
             ("batch_size", self.batch_size.summary_json()),
+            (
+                "endpoints",
+                JsonValue::obj([
+                    ("predict", JsonValue::Num(self.ep_predict.get() as f64)),
+                    ("healthz", JsonValue::Num(self.ep_healthz.get() as f64)),
+                    ("metrics", JsonValue::Num(self.ep_metrics.get() as f64)),
+                    ("reload", JsonValue::Num(self.ep_reload.get() as f64)),
+                    ("shutdown", JsonValue::Num(self.ep_shutdown.get() as f64)),
+                    ("other", JsonValue::Num(self.ep_other.get() as f64)),
+                ]),
+            ),
+            ("uptime_s", JsonValue::Num(self.started.elapsed().as_secs_f64())),
+            (
+                "build",
+                JsonValue::obj([
+                    ("name", JsonValue::Str(env!("CARGO_PKG_NAME").to_string())),
+                    ("version", JsonValue::Str(env!("CARGO_PKG_VERSION").to_string())),
+                ]),
+            ),
         ])
+    }
+
+    /// Prometheus text exposition of every serve metric.
+    pub fn to_prometheus(&self) -> String {
+        self.registry.to_prometheus()
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
     }
 }
 
@@ -75,8 +161,10 @@ mod tests {
     fn metrics_snapshot_serializes() {
         let m = ServerMetrics::new();
         m.on_request();
+        m.on_route("POST", "/predict");
         m.on_prediction(250);
         m.on_request();
+        m.on_route("GET", "/nope");
         m.on_shed();
         m.batch_size.record(2);
         let v = JsonValue::parse(&m.to_json().to_string()).unwrap();
@@ -86,5 +174,34 @@ mod tests {
         let lat = v.field("request_latency_us").unwrap();
         assert_eq!(lat.field("count").unwrap().as_usize().unwrap(), 1);
         assert!(lat.field("p99").unwrap().as_f64().unwrap() > 0.0);
+        let eps = v.field("endpoints").unwrap();
+        assert_eq!(eps.field("predict").unwrap().as_usize().unwrap(), 1);
+        assert_eq!(eps.field("other").unwrap().as_usize().unwrap(), 1);
+        assert_eq!(eps.field("healthz").unwrap().as_usize().unwrap(), 0);
+        assert!(v.field("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
+        let build = v.field("build").unwrap();
+        assert_eq!(build.field("version").unwrap().as_str().unwrap(), env!("CARGO_PKG_VERSION"));
+    }
+
+    #[test]
+    fn separate_servers_do_not_share_counters() {
+        let a = ServerMetrics::new();
+        let b = ServerMetrics::new();
+        a.on_request();
+        a.on_request();
+        assert_eq!(a.requests.get(), 2);
+        assert_eq!(b.requests.get(), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_serve_metrics() {
+        let m = ServerMetrics::new();
+        m.on_request();
+        m.queue_depth.set(3.0);
+        m.batch_size.record(4);
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 1\n"), "{text}");
+        assert!(text.contains("serve_queue_depth 3\n"), "{text}");
+        assert!(text.contains("serve_batch_size_count 1"), "{text}");
     }
 }

@@ -239,6 +239,7 @@ fn error_body(msg: &str) -> String {
 /// Dispatch one request → (status, reason, JSON body).
 fn route(req: &Request, ctx: &Ctx) -> (u16, &'static str, String) {
     ctx.metrics.on_request();
+    ctx.metrics.on_route(&req.method, &req.path);
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/predict") => predict(req, ctx),
         ("GET", "/healthz") => {
@@ -404,6 +405,12 @@ mod tests {
         assert_eq!(status, 200);
         let v = JsonValue::parse(&body).unwrap();
         assert!(v.field("predictions").unwrap().as_usize().unwrap() >= 1);
+        let eps = v.field("endpoints").unwrap();
+        assert_eq!(eps.field("predict").unwrap().as_usize().unwrap(), 1);
+        assert_eq!(eps.field("healthz").unwrap().as_usize().unwrap(), 1);
+        assert!(eps.field("metrics").unwrap().as_usize().unwrap() >= 1);
+        assert!(v.field("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(v.field("build").unwrap().field("version").is_ok());
         server.shutdown();
     }
 

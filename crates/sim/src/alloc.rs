@@ -119,6 +119,15 @@ pub struct AllocScratch {
     tol: Vec<f64>,
     wsum: Vec<f64>,
     frozen: Vec<bool>,
+    reuses: u64,
+}
+
+impl AllocScratch {
+    /// How many [`allocate_into`] calls found warm buffers from a prior
+    /// call (deterministic: a pure function of the call sequence).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
 }
 
 /// Compute the weighted max–min fair allocation.
@@ -142,6 +151,9 @@ pub fn allocate_into<'a>(
 ) -> &'a [f64] {
     let nf = flows.len();
     let nr = capacities.len();
+    if scratch.rates.capacity() > 0 {
+        scratch.reuses += 1;
+    }
     let rates = &mut scratch.rates;
     rates.clear();
     rates.resize(nf, 0.0);
@@ -391,6 +403,8 @@ mod tests {
         let b = allocate_into(&[1.25e9, 6.0e8], &flows, &mut scratch).to_vec();
         assert_eq!(a, b);
         assert_eq!(a, allocate(&[1.25e9, 6.0e8], &flows));
+        // First call fills cold buffers; the two follow-ups reuse them.
+        assert_eq!(scratch.reuses(), 2);
     }
 }
 

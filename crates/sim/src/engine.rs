@@ -106,6 +106,41 @@ pub struct SimStats {
     pub max_queue_depth: usize,
     /// Invariant-check passes executed (0 unless [`crate::check::enabled`]).
     pub invariant_checks: u64,
+    /// [`AllocScratch`](crate::AllocScratch) calls that found warm buffers
+    /// (deterministic; the PR 1 reuse optimization made visible).
+    pub scratch_reuses: u64,
+    /// Differential-oracle (from-scratch reference allocator) invocations
+    /// (deterministic; 0 unless checking is enabled).
+    pub oracle_invocations: u64,
+    /// `drain_waiting` passes over a non-empty waiting queue
+    /// (deterministic).
+    pub waiting_drains: u64,
+    /// Cumulative wall-clock nanos per `reallocate` phase. Measurement
+    /// only, like `realloc_time_s`: excluded from bit-identity
+    /// comparisons.
+    pub phase_nanos: PhaseNanos,
+}
+
+/// Wall-clock breakdown of [`Simulator::reallocate`] (cumulative nanos).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseNanos {
+    /// Draining the dirty list and refreshing capacity entries.
+    pub refresh: u64,
+    /// Rebuilding the flow demand vector.
+    pub demand: u64,
+    /// Progressive filling in [`allocate_into`].
+    pub allocate: u64,
+    /// Invariant checks and differential-oracle comparisons.
+    pub checks: u64,
+}
+
+impl PhaseNanos {
+    fn merge(&mut self, other: &PhaseNanos) {
+        self.refresh += other.refresh;
+        self.demand += other.demand;
+        self.allocate += other.allocate;
+        self.checks += other.checks;
+    }
 }
 
 impl SimStats {
@@ -116,6 +151,10 @@ impl SimStats {
         self.realloc_time_s += other.realloc_time_s;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.invariant_checks += other.invariant_checks;
+        self.scratch_reuses += other.scratch_reuses;
+        self.oracle_invocations += other.oracle_invocations;
+        self.waiting_drains += other.waiting_drains;
+        self.phase_nanos.merge(&other.phase_nanos);
     }
 
     /// One-line human-readable summary.
@@ -129,6 +168,36 @@ impl SimStats {
             "events {} | reallocations {} ({:.2}s) | peak queue depth {}{checks}",
             self.events, self.reallocations, self.realloc_time_s, self.max_queue_depth
         )
+    }
+
+    /// Publish every counter into a [`wdt_obs::Registry`] under `sim.*`
+    /// names. Counters accumulate across calls (one call per run).
+    pub fn publish(&self, reg: &wdt_obs::Registry) {
+        reg.counter("sim.events").add(self.events);
+        reg.counter("sim.reallocations").add(self.reallocations);
+        reg.counter("sim.invariant_checks").add(self.invariant_checks);
+        reg.counter("sim.scratch_reuses").add(self.scratch_reuses);
+        reg.counter("sim.oracle_invocations").add(self.oracle_invocations);
+        reg.counter("sim.waiting_drains").add(self.waiting_drains);
+        reg.counter("sim.realloc_phase.refresh_nanos").add(self.phase_nanos.refresh);
+        reg.counter("sim.realloc_phase.demand_nanos").add(self.phase_nanos.demand);
+        reg.counter("sim.realloc_phase.allocate_nanos").add(self.phase_nanos.allocate);
+        reg.counter("sim.realloc_phase.checks_nanos").add(self.phase_nanos.checks);
+        reg.gauge("sim.realloc_time_s").set(self.realloc_time_s);
+        reg.gauge("sim.max_queue_depth").set(self.max_queue_depth as f64);
+    }
+}
+
+/// Static trace-span name for an event kind (span names must be
+/// `&'static str` so recording never allocates).
+fn event_span_name(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::Arrival(_) => "sim.event.arrival",
+        EventKind::DataPhaseStart(_) => "sim.event.data_phase_start",
+        EventKind::FaultCandidate(..) => "sim.event.fault_candidate",
+        EventKind::FaultResume(_) => "sim.event.fault_resume",
+        EventKind::BgToggle(_) => "sim.event.bg_toggle",
+        EventKind::LmtSample => "sim.event.lmt_sample",
     }
 }
 
@@ -392,15 +461,23 @@ impl Simulator {
     /// census or background demand changed since the last call, and all
     /// per-call vectors are reused scratch.
     fn reallocate(&mut self) {
+        let _span = wdt_obs::span_at("sim.reallocate", self.sim_us());
+        // Phase-level clocks only tick when observability is on; the
+        // disabled path keeps the seed's single t0/elapsed pair.
+        let phased = wdt_obs::enabled();
+        let mark = |on: bool| on.then(std::time::Instant::now);
         let t0 = std::time::Instant::now();
         self.stats.reallocations += 1;
         while let Some(ep) = self.dirty_list.pop() {
             self.dirty[ep as usize] = false;
             self.refresh_capacities(ep);
         }
+        let t_refresh = mark(phased);
         if crate::check::enabled() {
+            let _span = wdt_obs::span_at("sim.invariant_checks", self.sim_us());
             self.verify_incremental_state();
         }
+        let t_verify = mark(phased);
         // Demands for running flows (cached private ceilings).
         self.demands.clear();
         self.slot_of_demand.clear();
@@ -439,8 +516,12 @@ impl Simulator {
             ));
             self.slot_of_demand.push(slot);
         }
+        let t_demand = mark(phased);
+        let sim_us = self.sim_us();
         let rates = allocate_into(&self.capacities, &self.demands, &mut self.alloc_scratch);
+        let t_alloc = mark(phased);
         if crate::check::enabled() {
+            let _span = wdt_obs::span_at("sim.invariant_checks", sim_us);
             self.stats.invariant_checks += 1;
             let context = format!("reallocate #{} @ t={}", self.stats.reallocations, self.now);
             crate::check::enforce(
@@ -450,12 +531,14 @@ impl Simulator {
             // The differential oracle recomputes the whole allocation from
             // scratch, so it is sampled rather than run every time.
             if self.stats.reallocations.is_multiple_of(crate::check::oracle_every()) {
+                self.stats.oracle_invocations += 1;
                 crate::check::enforce(
                     &context,
                     &crate::check::compare_with_reference(&self.capacities, &self.demands, rates),
                 );
             }
         }
+        let t_checks = mark(phased);
         for f in self.flows.iter_mut().flatten() {
             if f.state != FlowState::Running {
                 f.rate = 0.0;
@@ -463,6 +546,16 @@ impl Simulator {
         }
         for (&slot, &rate) in self.slot_of_demand.iter().zip(rates) {
             self.flows[slot].as_mut().expect("live slot").rate = rate;
+        }
+        self.stats.scratch_reuses = self.alloc_scratch.reuses();
+        if let (Some(t_refresh), Some(t_verify), Some(t_demand), Some(t_alloc), Some(t_checks)) =
+            (t_refresh, t_verify, t_demand, t_alloc, t_checks)
+        {
+            let ph = &mut self.stats.phase_nanos;
+            ph.refresh += (t_refresh - t0).as_nanos() as u64;
+            ph.demand += (t_demand - t_verify).as_nanos() as u64;
+            ph.allocate += (t_alloc - t_demand).as_nanos() as u64;
+            ph.checks += ((t_verify - t_refresh) + (t_checks - t_alloc)).as_nanos() as u64;
         }
         self.stats.realloc_time_s += t0.elapsed().as_secs_f64();
     }
@@ -565,8 +658,14 @@ impl Simulator {
         best.map(SimTime::seconds)
     }
 
+    /// The sim virtual clock in µs, for trace spans.
+    fn sim_us(&self) -> u64 {
+        (self.now.as_secs() * 1e6) as u64
+    }
+
     /// Complete any flow whose byte counter has reached zero.
     fn harvest_completions(&mut self) {
+        let _span = wdt_obs::span_at_detail("sim.harvest_completions", self.sim_us());
         for slot in 0..self.flows.len() {
             let done = matches!(
                 &self.flows[slot],
@@ -660,6 +759,9 @@ impl Simulator {
     /// slots are free and kept (in order) otherwise — `VecDeque::remove`'s
     /// O(n) shift per started transfer made this quadratic in queue depth.
     fn drain_waiting(&mut self) -> bool {
+        if !self.waiting.is_empty() {
+            self.stats.waiting_drains += 1;
+        }
         let mut started = false;
         let mut queue = std::mem::take(&mut self.waiting_scratch);
         debug_assert!(queue.is_empty());
@@ -851,6 +953,7 @@ impl Simulator {
     /// Run to completion: processes every submitted transfer and returns the
     /// log. Consumes the simulator.
     pub fn run(mut self) -> SimOutput {
+        let _run_span = wdt_obs::span("sim.run");
         // Move pending requests out; schedule arrivals in submit-time order.
         let mut arrivals = std::mem::take(&mut self.pending);
         arrivals.sort_by(|a, b| a.0.submit.cmp(&b.0.submit).then(a.0.id.cmp(&b.0.id)));
@@ -915,6 +1018,7 @@ impl Simulator {
             let mut dirty = self.records.len() != before;
             while let Some((_, kind)) = self.events.pop_due(self.now) {
                 self.stats.events += 1;
+                let _span = wdt_obs::span_at_detail(event_span_name(&kind), self.sim_us());
                 dirty |= self.handle_event(kind, &mut arrivals);
             }
             if dirty {

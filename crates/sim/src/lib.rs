@@ -51,6 +51,6 @@ pub use background::{BackgroundProcess, BgKind};
 pub use check::{check_allocation, compare_with_reference, reference_allocate, Violation};
 pub use config::SimConfig;
 pub use endpoint::{Endpoint, EndpointCatalog};
-pub use engine::{SimOutput, SimStats, Simulator, TransferMode};
+pub use engine::{PhaseNanos, SimOutput, SimStats, Simulator, TransferMode};
 pub use lmt::{LmtMonitor, LmtSample};
 pub use testbed::{esnet_testbed, EsnetSite};

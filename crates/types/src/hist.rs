@@ -230,9 +230,8 @@ mod tests {
         // 9 decades), bimodal with a far tail, and a dense cluster.
         let uniform: Vec<u64> = (1..=10_000).collect();
         let geometric: Vec<u64> = (0..30).flat_map(|i| vec![1u64 << i; 10]).collect();
-        let bimodal: Vec<u64> = std::iter::repeat_n(40u64, 900)
-            .chain(std::iter::repeat_n(5_000_000u64, 100))
-            .collect();
+        let bimodal: Vec<u64> =
+            std::iter::repeat_n(40u64, 900).chain(std::iter::repeat_n(5_000_000u64, 100)).collect();
         let cluster: Vec<u64> = (0..2000).map(|i| 1_000 + (i % 7)).collect();
 
         for (name, values) in [

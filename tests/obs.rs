@@ -1,0 +1,76 @@
+//! Observability must never change what the simulator computes.
+//!
+//! One `#[test]` on purpose: the tracing gate (`wdt_obs::set_enabled`)
+//! is process-global, so interleaving with other tests in this binary
+//! would make the "disabled" and "enabled" runs racy. Sequencing the
+//! whole argument in a single test keeps both runs deterministic.
+//!
+//! The argument has three parts:
+//!
+//! 1. **Disabled path is inert** — with instrumentation off (the
+//!    default), the check campaign's digest matches the committed golden
+//!    snapshot bit for bit, i.e. merely linking `wdt-obs` into the
+//!    engine changes nothing.
+//! 2. **Enabled path is inert too** — with spans and counters recording,
+//!    the transfer log and every deterministic `SimStats` counter are
+//!    bitwise identical to the disabled run. Instrumentation reads
+//!    clocks; it never feeds back into simulation state.
+//! 3. **The trace is real** — the flight recorder captured engine spans
+//!    and the Chrome-trace export passes the structural validator
+//!    (parseable, monotone per track, properly nested).
+
+use wdt_bench::CampaignSpec;
+use wdt_check::TraceDigest;
+
+/// Must mirror the `wdt check` defaults in `crates/cli/src/commands.rs`.
+fn check_spec() -> CampaignSpec {
+    CampaignSpec { seed: 2017, days: 2.0, heavy_edges: 6, sparse_edges: 30, ..Default::default() }
+}
+
+#[test]
+fn instrumentation_is_bit_transparent_and_traces_validate() {
+    let committed = TraceDigest::from_text(
+        &std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("tests/golden/check-campaign.digest"),
+        )
+        .expect("committed golden digest"),
+    )
+    .expect("golden digest parses");
+
+    // Part 1: disabled instrumentation — zero drift from the seed digest.
+    assert!(!wdt_obs::enabled(), "tracing must default to off");
+    let off = check_spec().simulate();
+    let digest = TraceDigest::from_records(&off.records);
+    assert_eq!(
+        committed.hash(),
+        digest.hash(),
+        "disabled-instrumentation campaign drifted from the golden digest:\n{}",
+        committed.diff(&digest).join("\n")
+    );
+
+    // Part 2: enabled instrumentation — bitwise-identical results. Detail
+    // level on purpose: per-event spans are the heaviest instrumentation,
+    // so this is the strongest form of the transparency claim.
+    wdt_obs::clear();
+    wdt_obs::set_detail(true);
+    let on = check_spec().simulate();
+    wdt_obs::set_enabled(false);
+    assert_eq!(off.records, on.records, "tracing changed the transfer log");
+    assert_eq!(off.stats.events, on.stats.events);
+    assert_eq!(off.stats.reallocations, on.stats.reallocations);
+    assert_eq!(off.stats.max_queue_depth, on.stats.max_queue_depth);
+    assert_eq!(off.stats.scratch_reuses, on.stats.scratch_reuses);
+    assert_eq!(off.stats.oracle_invocations, on.stats.oracle_invocations);
+    assert_eq!(off.stats.waiting_drains, on.stats.waiting_drains);
+
+    // Part 3: the recorded trace is non-trivial and structurally valid.
+    let snapshot = wdt_obs::snapshot();
+    let events: usize = snapshot.iter().map(|t| t.events.len()).sum();
+    assert!(events > 0, "enabled campaign recorded no events");
+    let text = wdt_obs::chrome_trace(&snapshot).to_string();
+    let summary = wdt_obs::validate_chrome_trace(&text).expect("exported trace validates");
+    assert!(summary.spans > 0, "no spans in exported trace: {summary:?}");
+    assert!(summary.tracks >= 2, "expected wall + sim clock tracks: {summary:?}");
+    wdt_obs::clear();
+}
