@@ -20,8 +20,8 @@ use wdt_model::{
     FitConfig, FittedModel, ModelKind, PerEdgeConfig,
 };
 use wdt_serve::{
-    run_loadgen, BatchConfig, LoadgenConfig, LoadgenMode, ModelRegistry, ServeConfig, ServeSchema,
-    Server,
+    run_loadgen, AnyServer, BatchConfig, Frontend, LoadgenConfig, LoadgenMode, ModelRegistry,
+    ServeConfig, ServeSchema,
 };
 use wdt_types::{records_from_csv, records_to_csv, EdgeId, EndpointId, TransferRecord};
 
@@ -74,16 +74,24 @@ pub fn usage() -> String {
                --log FILE --endpoint N\n\
      serve     online rate-prediction service (HTTP, micro-batched)\n\
                --model-dir DIR [--port N=8191] [--workers N=8]\n\
-               [--max-batch N=64] [--flush-us N=100] [--queue-cap N=1024]\n\
+               [--frontend threaded|eventloop=eventloop] [--acceptors N=2]\n\
+               [--deadline-ms N=5000] [--max-batch N=64] [--flush-us N=100]\n\
+               [--queue-cap N=1024]\n\
                (endpoints: POST /predict, GET /healthz, GET /metrics,\n\
                 POST /reload to hot-swap to the newest model in DIR,\n\
-                POST /shutdown for a graceful stop)\n\
+                POST /shutdown for a graceful stop. The eventloop front\n\
+                end multiplexes all connections over --acceptors poller\n\
+                threads; threaded uses --workers blocking threads, one\n\
+                connection each. --deadline-ms answers 408 to requests\n\
+                that stall mid-delivery)\n\
      loadgen   replay a log's feature vectors against a running server\n\
                --addr HOST:PORT --log FILE [--requests N=10000]\n\
                [--mode closed|open=closed] [--concurrency N=8]\n\
-               [--rate X=5000] [--connections N=4] [--out FILE]\n\
+               [--rate X=5000] [--connections N=4] [--pipeline N=1]\n\
+               [--out FILE]\n\
                (closed loop measures capacity; open loop paces arrivals\n\
-                at --rate req/s to measure latency under target load)\n\
+                at --rate req/s to measure latency under target load;\n\
+                --pipeline sends N requests per burst on each connection)\n\
      check     verify the simulator against its reference oracle and a\n\
                committed golden-trace digest (see DESIGN.md)\n\
                --golden FILE [--refresh] [--oracle-cases N=250]\n\
@@ -516,11 +524,28 @@ fn install_signal_handlers() {
 fn install_signal_handlers() {}
 
 fn serve(args: &Args) -> CmdResult {
-    args.ensure_known(&["model-dir", "port", "workers", "max-batch", "flush-us", "queue-cap"])?;
+    args.ensure_known(&[
+        "model-dir",
+        "port",
+        "workers",
+        "frontend",
+        "acceptors",
+        "deadline-ms",
+        "max-batch",
+        "flush-us",
+        "queue-cap",
+    ])?;
     let dir = args.require("model-dir")?.to_string();
+    let frontend = match args.get("frontend").unwrap_or("eventloop") {
+        "threaded" => Frontend::Threaded,
+        "eventloop" => Frontend::EventLoop,
+        other => return Err(format!("unknown --frontend '{other}' (threaded|eventloop)").into()),
+    };
     let cfg = ServeConfig {
         port: args.get_or("port", 8191)?,
         workers: args.get_or("workers", 8)?,
+        acceptors: args.get_or("acceptors", 2)?,
+        request_deadline: Duration::from_millis(args.get_or("deadline-ms", 5000u64)?),
         batch: BatchConfig {
             max_batch: args.get_or("max-batch", 64)?,
             flush: Duration::from_micros(args.get_or("flush-us", 100u64)?),
@@ -529,12 +554,16 @@ fn serve(args: &Args) -> CmdResult {
         },
     };
     let registry = Arc::new(ModelRegistry::open(dir, ServeSchema::prediction())?);
-    let server = Server::start(registry, cfg)?;
+    let server = AnyServer::start(registry, cfg, frontend)?;
     println!(
-        "serving model '{}' ({} versions on disk) at http://{}",
+        "serving model '{}' ({} versions on disk) at http://{} [{}]",
         server.registry().current().version,
         server.registry().versions()?.len(),
-        server.addr()
+        server.addr(),
+        match frontend {
+            Frontend::Threaded => "threaded",
+            Frontend::EventLoop => "eventloop",
+        }
     );
     println!("POST /predict | GET /healthz | GET /metrics | POST /reload | POST /shutdown");
     install_signal_handlers();
@@ -555,6 +584,7 @@ fn loadgen(args: &Args) -> CmdResult {
         "concurrency",
         "rate",
         "connections",
+        "pipeline",
         "out",
     ])?;
     let addr: SocketAddr = args.require_as("addr")?;
@@ -572,7 +602,12 @@ fn loadgen(args: &Args) -> CmdResult {
     if data.x.is_empty() {
         return Err("log has no transfers to replay".into());
     }
-    let cfg = LoadgenConfig { addr, requests: args.get_or("requests", 10_000)?, mode };
+    let cfg = LoadgenConfig {
+        addr,
+        requests: args.get_or("requests", 10_000)?,
+        mode,
+        pipeline: args.get_or("pipeline", 1usize)?.max(1),
+    };
     eprintln!(
         "replaying {} feature vectors as {} requests against {addr} ...",
         data.x.len(),
@@ -781,7 +816,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("v1.json"), model.to_json()).unwrap();
         let registry = Arc::new(ModelRegistry::open(dir, ServeSchema::prediction()).unwrap());
-        let server = Server::start(registry, ServeConfig::default()).unwrap();
+        // The event-loop front end is the default; exercise it here.
+        let server =
+            AnyServer::start(registry, ServeConfig::default(), Frontend::EventLoop).unwrap();
 
         let out = tmp("loadgen-report.json");
         run(&parse(&format!(

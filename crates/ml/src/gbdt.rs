@@ -180,6 +180,21 @@ impl Gbdt {
         self.trees.len()
     }
 
+    /// Mean-target base score added to every prediction.
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// Shrinkage applied to the summed leaf values.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// The fitted trees, in boosting order.
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
     /// Persistable representation (see `wdt_types::json`).
     pub fn to_json_value(&self) -> JsonValue {
         JsonValue::obj([

@@ -1,0 +1,292 @@
+//! Flattened, cache-friendly inference layout for boosted tree ensembles.
+//!
+//! [`Gbdt`] keeps each tree as a `Vec<Node>` arena of enum nodes — fine
+//! for training, but prediction then pointer-chases a 40-byte enum per
+//! step and re-dispatches on the variant every node. A
+//! [`NodeArrayForest`] re-lays the whole ensemble out once, after
+//! training, as three parallel arrays (structure-of-arrays):
+//!
+//! * `feature[i]` — split feature index, or [`LEAF`] for leaves;
+//! * `threshold[i]` — split threshold, or the *leaf value* for leaves;
+//! * `child[i]` — absolute index of the left child; the right child is
+//!   always `child[i] + 1` (children are re-numbered to be adjacent).
+//!
+//! Traversal is branch-free: `i = child[i] + (row[f] > threshold[i])`,
+//! one predictable step per level with both children on the same cache
+//! line. [`NodeArrayForest::predict`] additionally evaluates micro-batches
+//! block-wise — a block of rows walks one tree before the next tree is
+//! touched, so each tree's nodes are loaded into cache once per block
+//! instead of once per row.
+//!
+//! **Parity contract:** every comparison (`value > threshold` ⇔ the
+//! training-side `value ≤ threshold` goes left), every leaf value, and
+//! the per-row accumulation order (tree 0, 1, …, then one multiply by η
+//! and one add of the base score) are identical to
+//! [`Gbdt::predict_one`], so predictions are **bitwise equal** to the
+//! arena layout. The serving stack relies on this: swapping the layout
+//! must not move a single ULP (asserted in tests here and end-to-end in
+//! `tests/serve.rs`).
+
+use crate::gbdt::Gbdt;
+use crate::tree::Node;
+use rayon::prelude::*;
+
+/// Sentinel in `feature` marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// Rows per block in batched prediction: big enough to amortize walking
+/// a tree's nodes into cache, small enough that per-row cursors stay in
+/// registers/L1.
+const BLOCK_ROWS: usize = 32;
+
+/// Row count above which batched prediction fans out across the rayon
+/// pool (mirrors `Gbdt::predict`'s gate). Blocks are independent and
+/// order-preserving, so results are identical for any thread count.
+const PAR_PREDICT_ROWS: usize = 2048;
+
+/// A boosted ensemble flattened for inference; see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeArrayForest {
+    base_score: f64,
+    eta: f64,
+    /// Root node index of each tree (trees are stored back to back).
+    roots: Vec<u32>,
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    child: Vec<u32>,
+}
+
+impl NodeArrayForest {
+    /// Flatten a fitted ensemble. Cheap (one pass over the nodes); done
+    /// once per model load, never on the request path.
+    pub fn from_gbdt(model: &Gbdt) -> Self {
+        let total: usize = model.trees().iter().map(|t| t.node_count()).sum();
+        let mut flat = NodeArrayForest {
+            base_score: model.base_score(),
+            eta: model.eta(),
+            roots: Vec::with_capacity(model.trees().len()),
+            feature: Vec::with_capacity(total),
+            threshold: Vec::with_capacity(total),
+            child: Vec::with_capacity(total),
+        };
+        for tree in model.trees() {
+            let root = flat.alloc(1);
+            flat.roots.push(root as u32);
+            flat.place(tree.nodes(), 0, root);
+        }
+        flat
+    }
+
+    /// Reserve `n` adjacent node slots, returning the first index.
+    fn alloc(&mut self, n: usize) -> usize {
+        let at = self.feature.len();
+        self.feature.resize(at + n, LEAF);
+        self.threshold.resize(at + n, 0.0);
+        self.child.resize(at + n, 0);
+        at
+    }
+
+    /// Copy arena node `src` into flat slot `dst`, re-numbering children
+    /// so every split's children land adjacent (`left`, `left + 1`).
+    fn place(&mut self, arena: &[Node], src: usize, dst: usize) {
+        let mut pending = vec![(src, dst)];
+        while let Some((src, dst)) = pending.pop() {
+            match &arena[src] {
+                Node::Leaf { value } => {
+                    self.feature[dst] = LEAF;
+                    self.threshold[dst] = *value;
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    let c = self.alloc(2);
+                    self.feature[dst] = *feature as u32;
+                    self.threshold[dst] = *threshold;
+                    self.child[dst] = c as u32;
+                    pending.push((*right, c + 1));
+                    pending.push((*left, c));
+                }
+            }
+        }
+    }
+
+    /// Trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Sum of leaf values over all trees for one row — the inner loop of
+    /// both prediction entry points.
+    #[inline]
+    fn leaf_sum(&self, row: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &root in &self.roots {
+            let mut i = root as usize;
+            let mut f = self.feature[i];
+            while f != LEAF {
+                i = self.child[i] as usize + usize::from(row[f as usize] > self.threshold[i]);
+                f = self.feature[i];
+            }
+            acc += self.threshold[i];
+        }
+        acc
+    }
+
+    /// Predict one row; bitwise equal to [`Gbdt::predict_one`].
+    #[inline]
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.base_score + self.eta * self.leaf_sum(row)
+    }
+
+    /// Block-evaluate `rows` into `out` (same length): for each block of
+    /// [`BLOCK_ROWS`], all rows descend one tree before the next tree is
+    /// touched. Per-row accumulation order is still tree 0, 1, …, so the
+    /// result is bitwise identical to row-at-a-time prediction.
+    fn predict_block(&self, rows: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(rows.len(), out.len());
+        let mut cursor = [0usize; BLOCK_ROWS];
+        for (rows, out) in rows.chunks(BLOCK_ROWS).zip(out.chunks_mut(BLOCK_ROWS)) {
+            out.fill(0.0);
+            for &root in &self.roots {
+                cursor[..rows.len()].fill(root as usize);
+                for (b, row) in rows.iter().enumerate() {
+                    let mut i = cursor[b];
+                    let mut f = self.feature[i];
+                    while f != LEAF {
+                        i = self.child[i] as usize
+                            + usize::from(row[f as usize] > self.threshold[i]);
+                        f = self.feature[i];
+                    }
+                    out[b] += self.threshold[i];
+                }
+            }
+            for v in out.iter_mut() {
+                *v = self.base_score + self.eta * *v;
+            }
+        }
+    }
+
+    /// Predict many rows, block-evaluated, in parallel for large batches.
+    /// Bitwise equal to mapping [`NodeArrayForest::predict_row`].
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if rows.len() >= PAR_PREDICT_ROWS && rayon::current_num_threads() > 1 {
+            // Disjoint, order-preserving chunks → thread-count independent.
+            let chunks: Vec<&[Vec<f64>]> = rows.chunks(PAR_PREDICT_ROWS / 2).collect();
+            let parts: Vec<Vec<f64>> = chunks
+                .par_iter()
+                .map(|c| {
+                    let mut o = vec![0.0; c.len()];
+                    self.predict_block(c, &mut o);
+                    o
+                })
+                .collect();
+            parts.concat()
+        } else {
+            let mut out = vec![0.0; rows.len()];
+            self.predict_block(rows, &mut out);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbdt::GbdtParams;
+    use crate::tree::SplitStrategy;
+
+    fn synth(n: usize, f: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..f)
+                    .map(|j| {
+                        let z = (i as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add((j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+                        (z >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[1] + r[2] * r[2] - 3.0 * r[f - 1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn flat_predictions_are_bitwise_equal_to_arena() {
+        let (x, y) = synth(500, 6);
+        for split in [SplitStrategy::Histogram, SplitStrategy::Exact] {
+            let params = GbdtParams { n_rounds: 25, split, ..Default::default() };
+            let model = Gbdt::fit(&x, &y, &params);
+            let flat = NodeArrayForest::from_gbdt(&model);
+            assert_eq!(flat.n_trees(), model.n_trees());
+            assert!(flat.n_nodes() > flat.n_trees(), "trees must have split");
+            for row in &x {
+                assert_eq!(
+                    flat.predict_row(row).to_bits(),
+                    model.predict_one(row).to_bits(),
+                    "{split:?} row {row:?}"
+                );
+            }
+            let batched = flat.predict(&x);
+            let reference = model.predict(&x);
+            for (a, b) in batched.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{split:?} batched");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_equals_row_at_a_time_across_block_boundaries() {
+        let (x, y) = synth(BLOCK_ROWS * 3 + 7, 5);
+        let model = Gbdt::fit(&x, &y, &GbdtParams { n_rounds: 12, ..Default::default() });
+        let flat = NodeArrayForest::from_gbdt(&model);
+        let batched = flat.predict(&x);
+        for (row, b) in x.iter().zip(&batched) {
+            assert_eq!(flat.predict_row(row).to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn children_are_adjacent() {
+        let (x, y) = synth(300, 4);
+        let model = Gbdt::fit(&x, &y, &GbdtParams { n_rounds: 5, ..Default::default() });
+        let flat = NodeArrayForest::from_gbdt(&model);
+        for i in 0..flat.n_nodes() {
+            if flat.feature[i] != LEAF {
+                let c = flat.child[i] as usize;
+                assert!(c + 1 < flat.n_nodes(), "right child in range");
+                assert!(c > i, "children are allocated after their parent");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_model_predicts_base_score() {
+        let model = Gbdt::fit(&[], &[], &GbdtParams::default());
+        let flat = NodeArrayForest::from_gbdt(&model);
+        assert_eq!(flat.n_trees(), 0);
+        assert_eq!(flat.predict_row(&[1.0, 2.0]), 0.0);
+        assert_eq!(flat.predict(&[vec![1.0], vec![2.0]]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_batches_match_serial_bitwise() {
+        let (x, y) = synth(PAR_PREDICT_ROWS + 500, 8);
+        let model = Gbdt::fit(&x, &y, &GbdtParams { n_rounds: 8, ..Default::default() });
+        let flat = NodeArrayForest::from_gbdt(&model);
+        let prev = std::env::var("WDT_THREADS").ok();
+        std::env::set_var("WDT_THREADS", "1");
+        let serial = flat.predict(&x);
+        std::env::set_var("WDT_THREADS", "4");
+        let threaded = flat.predict(&x);
+        match prev {
+            Some(v) => std::env::set_var("WDT_THREADS", v),
+            None => std::env::remove_var("WDT_THREADS"),
+        }
+        assert_eq!(serial, threaded);
+    }
+}

@@ -60,7 +60,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -513,6 +513,11 @@ impl RegressionTree {
     /// Number of nodes (diagnostics).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The node arena (root at index 0), for flattened-layout conversion.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Persistable representation (see `wdt_types::json`). Leaves encode

@@ -3,7 +3,9 @@
 //! evaluation.
 
 use wdt_features::{Dataset, Normalizer, TransferFeatures, FEATURE_NAMES};
-use wdt_ml::{mdape, pct_error_quantile, r2, rmse, Gbdt, GbdtParams, LinearRegression};
+use wdt_ml::{
+    mdape, pct_error_quantile, r2, rmse, Gbdt, GbdtParams, LinearRegression, NodeArrayForest,
+};
 use wdt_types::json::{JsonError, JsonValue};
 
 /// Which regression family to fit.
@@ -51,7 +53,20 @@ pub fn build_dataset(features: &[TransferFeatures], include_nflt: bool) -> Datas
 
 enum Inner {
     Linear(LinearRegression),
-    Gbdt(Box<Gbdt>),
+    /// The arena-layout model is kept for persistence and importance; all
+    /// prediction goes through the flattened node-array layout, which is
+    /// bitwise-identical by construction (see `wdt_ml::nodearray`).
+    Gbdt {
+        model: Box<Gbdt>,
+        flat: NodeArrayForest,
+    },
+}
+
+impl Inner {
+    fn gbdt(model: Gbdt) -> Self {
+        let flat = NodeArrayForest::from_gbdt(&model);
+        Inner::Gbdt { model: Box::new(model), flat }
+    }
 }
 
 /// A trained pipeline: remembers which columns it kept and how it
@@ -94,7 +109,7 @@ impl FittedModel {
             ModelKind::Linear => {
                 Inner::Linear(LinearRegression::fit(&normed.x, &normed.y, cfg.ridge)?)
             }
-            ModelKind::Gbdt => Inner::Gbdt(Box::new(Gbdt::fit(&normed.x, &normed.y, &cfg.gbdt))),
+            ModelKind::Gbdt => Inner::gbdt(Gbdt::fit(&normed.x, &normed.y, &cfg.gbdt)),
         };
         Some(FittedModel { kind, kept, names, eliminated, normalizer, inner })
     }
@@ -117,18 +132,33 @@ impl FittedModel {
         &self.kept
     }
 
-    /// Predict rows given in the original (pre-pruning) layout.
+    /// Gather kept columns and normalize, producing the row layout the
+    /// inner model was fitted on.
+    fn prepare_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut r: Vec<f64> = self.kept.iter().map(|&j| row[j]).collect();
+        self.normalizer.apply_row(&mut r);
+        r
+    }
+
+    /// Predict rows given in the original (pre-pruning) layout. Boosted
+    /// models are block-evaluated over the flattened tree layout; results
+    /// are bitwise equal to mapping [`FittedModel::predict_row`].
     pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
-        x.iter().map(|row| self.predict_row(row)).collect()
+        match &self.inner {
+            Inner::Linear(_) => x.iter().map(|row| self.predict_row(row)).collect(),
+            Inner::Gbdt { flat, .. } => {
+                let prepared: Vec<Vec<f64>> = x.iter().map(|row| self.prepare_row(row)).collect();
+                flat.predict(&prepared)
+            }
+        }
     }
 
     /// Predict one row in the original layout.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        let mut r: Vec<f64> = self.kept.iter().map(|&j| row[j]).collect();
-        self.normalizer.apply_row(&mut r);
+        let r = self.prepare_row(row);
         match &self.inner {
             Inner::Linear(m) => m.predict_one(&r),
-            Inner::Gbdt(m) => m.predict_one(&r),
+            Inner::Gbdt { flat, .. } => flat.predict_row(&r),
         }
     }
 
@@ -138,7 +168,7 @@ impl FittedModel {
     pub fn significance(&self) -> Vec<(String, f64)> {
         let raw = match &self.inner {
             Inner::Linear(m) => m.relative_significance(),
-            Inner::Gbdt(m) => m.feature_importance(),
+            Inner::Gbdt { model, .. } => model.feature_importance(),
         };
         self.names.iter().cloned().zip(raw).collect()
     }
@@ -147,7 +177,7 @@ impl FittedModel {
     pub fn to_json(&self) -> String {
         let (family, inner) = match &self.inner {
             Inner::Linear(m) => ("linear", m.to_json_value()),
-            Inner::Gbdt(m) => ("gbdt", m.to_json_value()),
+            Inner::Gbdt { model, .. } => ("gbdt", model.to_json_value()),
         };
         JsonValue::obj([
             ("kind", JsonValue::Str(family.to_string())),
@@ -180,7 +210,7 @@ impl FittedModel {
             "linear" => {
                 (ModelKind::Linear, Inner::Linear(LinearRegression::from_json_value(model)?))
             }
-            "gbdt" => (ModelKind::Gbdt, Inner::Gbdt(Box::new(Gbdt::from_json_value(model)?))),
+            "gbdt" => (ModelKind::Gbdt, Inner::gbdt(Gbdt::from_json_value(model)?)),
             other => return Err(JsonError::new(format!("unknown model kind '{other}'"))),
         };
         let normalizer = v.field("normalizer")?;
@@ -282,6 +312,18 @@ mod tests {
         // Row with the constant column still present.
         let p = m.predict_row(&[5.0, 2.0, 7.0, 0.3]);
         assert!(p.is_finite());
+    }
+
+    #[test]
+    fn batch_predict_is_bitwise_equal_to_row_at_a_time() {
+        let d = synth(400);
+        for kind in [ModelKind::Linear, ModelKind::Gbdt] {
+            let m = FittedModel::fit(&d, kind, &FitConfig::default()).unwrap();
+            let batch = m.predict(&d.x);
+            for (row, b) in d.x.iter().zip(&batch) {
+                assert_eq!(m.predict_row(row).to_bits(), b.to_bits(), "{kind:?}");
+            }
+        }
     }
 
     #[test]

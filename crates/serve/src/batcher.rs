@@ -84,10 +84,31 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Where a finished prediction goes. Blocking workers park on a channel;
+/// the event loop attaches a callback (run on the batch worker thread)
+/// that enqueues the rendered response for the poller, so no event-loop
+/// thread ever blocks on inference.
+pub enum ReplySink {
+    Channel(SyncSender<Prediction>),
+    Callback(Box<dyn FnOnce(Prediction) + Send>),
+}
+
+impl ReplySink {
+    fn deliver(self, p: Prediction) {
+        match self {
+            // A dropped receiver (client hung up) is not an error.
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(p);
+            }
+            ReplySink::Callback(f) => f(p),
+        }
+    }
+}
+
 struct Job {
     row: Vec<f64>,
     enqueued: Instant,
-    reply: SyncSender<Prediction>,
+    reply: ReplySink,
 }
 
 struct Shared {
@@ -101,6 +122,10 @@ struct Shared {
 struct QueueState {
     jobs: VecDeque<Job>,
     shutdown: bool,
+    /// Serve everything currently queued without further patience: set
+    /// by [`Batcher::kick`] when a submitter knows its burst is complete,
+    /// cleared once a worker has drained the queue.
+    flush_now: bool,
 }
 
 /// The micro-batching engine; see the module docs.
@@ -117,7 +142,11 @@ impl Batcher {
         cfg: BatchConfig,
     ) -> Arc<Batcher> {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+                flush_now: false,
+            }),
             arrived: Condvar::new(),
             registry,
             metrics,
@@ -140,7 +169,15 @@ impl Batcher {
     /// [`Prediction`], or the queue is full / shutting down.
     pub fn submit(&self, row: Vec<f64>) -> Result<Receiver<Prediction>, SubmitError> {
         let (reply, rx) = sync_channel(1);
-        {
+        self.submit_with(row, ReplySink::Channel(reply))?;
+        Ok(rx)
+    }
+
+    /// Enqueue one row with an explicit reply sink. Every admitted sink
+    /// is delivered exactly once, even across shutdown (the drain in
+    /// [`Batcher::shutdown`] finishes the queue before workers exit).
+    pub fn submit_with(&self, row: Vec<f64>, reply: ReplySink) -> Result<(), SubmitError> {
+        let notify = {
             let mut q = self.shared.queue.lock().expect("batch queue poisoned");
             if q.shutdown {
                 return Err(SubmitError::ShuttingDown);
@@ -150,9 +187,34 @@ impl Batcher {
             }
             q.jobs.push_back(Job { row, enqueued: Instant::now(), reply });
             self.shared.metrics.queue_depth.set(q.jobs.len() as f64);
+            // Wake a worker when the queue goes non-empty, and wake
+            // another when a full batch exists. Intermediate pushes stay
+            // silent: a worker in its patience window would only be
+            // woken to immediately wait again, and on a busy machine
+            // those wakeups are pure context-switch overhead.
+            q.jobs.len() == 1 || q.jobs.len() == self.shared.cfg.max_batch
+        };
+        if notify {
+            self.shared.arrived.notify_one();
         }
-        self.shared.arrived.notify_one();
-        Ok(rx)
+        Ok(())
+    }
+
+    /// Flush hint: serve everything queued right now without waiting out
+    /// the patience window. Called by a submitter that knows its burst is
+    /// complete — the event-loop poller issues one `kick` at the end of
+    /// each readiness pass, because no more rows can arrive until some
+    /// response it has not yet written unblocks a client. No-op on an
+    /// empty queue.
+    pub fn kick(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("batch queue poisoned");
+            if q.jobs.is_empty() {
+                return;
+            }
+            q.flush_now = true;
+        }
+        self.shared.arrived.notify_all();
     }
 
     /// Current queue depth (observability).
@@ -194,9 +256,10 @@ fn batch_loop(shared: &Shared) {
             }
             // Patience phase: a partial batch lingers until the flush
             // deadline in case more rows arrive. Skipped when the batch
-            // is already full or the service is draining.
+            // is already full, a `kick` marked the burst complete, or
+            // the service is draining.
             let deadline = Instant::now() + cfg.flush;
-            while q.jobs.len() < cfg.max_batch && !q.shutdown {
+            while q.jobs.len() < cfg.max_batch && !q.shutdown && !q.flush_now {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
@@ -214,6 +277,11 @@ fn batch_loop(shared: &Shared) {
                 }
             }
             let take = q.jobs.len().min(cfg.max_batch);
+            if take == q.jobs.len() {
+                // The kick's burst is fully claimed; later arrivals get
+                // a fresh patience window.
+                q.flush_now = false;
+            }
             let batch = q.jobs.drain(..take).collect::<Vec<Job>>();
             shared.metrics.queue_depth.set(q.jobs.len() as f64);
             batch
@@ -224,14 +292,18 @@ fn batch_loop(shared: &Shared) {
 
         let loaded = shared.registry.current();
         let version: Arc<str> = Arc::from(loaded.version.as_str());
-        let rows: Vec<Vec<f64>> = batch.iter().map(|j| j.row.clone()).collect();
-        let rates = loaded.model.predict(&rows);
         let n = batch.len();
+        let mut rows = Vec::with_capacity(n);
+        let mut replies = Vec::with_capacity(n);
+        for job in batch {
+            rows.push(job.row);
+            replies.push((job.enqueued, job.reply));
+        }
+        let rates = loaded.model.predict(&rows);
         shared.metrics.batch_size.record(n as u64);
-        for (job, rate) in batch.into_iter().zip(rates) {
-            shared.metrics.predict_latency_us.record(job.enqueued.elapsed().as_micros() as u64);
-            // A dropped receiver (client hung up) is not an error.
-            let _ = job.reply.send(Prediction { rate, version: version.clone(), batch_size: n });
+        for ((enqueued, reply), rate) in replies.into_iter().zip(rates) {
+            shared.metrics.predict_latency_us.record(enqueued.elapsed().as_micros() as u64);
+            reply.deliver(Prediction { rate, version: version.clone(), batch_size: n });
         }
     }
 }

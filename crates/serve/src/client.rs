@@ -48,21 +48,35 @@ impl HttpClient {
         path: &str,
         body: &str,
     ) -> std::io::Result<(u16, String)> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\n\
-             Host: wdt\r\n\
-             Content-Type: application/json\r\n\
-             Content-Length: {}\r\n\
-             \r\n",
-            body.len()
-        );
-        self.writer.write_all(head.as_bytes())?;
-        self.writer.write_all(body.as_bytes())?;
-        self.writer.flush()?;
+        self.send_many(method, path, &[body])?;
         self.read_response()
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    /// Write `bodies.len()` pipelined requests in **one** buffer and one
+    /// write. With TCP_NODELAY set, separate writes would each leave the
+    /// wire as their own packet and cost the server a read (and the
+    /// event loop a wakeup) apiece; a pipelined burst arrives as one
+    /// segment the server can parse, batch, and answer in one pass. Pair
+    /// with exactly one [`HttpClient::read_response`] per request —
+    /// HTTP/1.1 answers pipelined requests in order.
+    pub fn send_many(&mut self, method: &str, path: &str, bodies: &[&str]) -> std::io::Result<()> {
+        let mut buf = String::new();
+        for body in bodies {
+            buf.push_str(&format!(
+                "{method} {path} HTTP/1.1\r\n\
+                 Host: wdt\r\n\
+                 Content-Type: application/json\r\n\
+                 Content-Length: {}\r\n\
+                 \r\n{body}",
+                body.len()
+            ));
+        }
+        self.writer.write_all(buf.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Read one response → (status, body).
+    pub fn read_response(&mut self) -> std::io::Result<(u16, String)> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(std::io::Error::new(

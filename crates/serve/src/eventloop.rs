@@ -1,0 +1,669 @@
+//! Nonblocking readiness event-loop HTTP front end.
+//!
+//! The threaded front end (`server.rs`) spends one OS thread per open
+//! connection; a thousand idle keep-alive clients cost a thousand parked
+//! threads. Here, `acceptors` poller shards each own a set of
+//! connections as plain state — a read buffer feeding the shared
+//! incremental [`RequestParser`], a pending write buffer, and a few
+//! flags — and multiplex them over `poll(2)` (via `shim.rs`). An idle
+//! connection costs the bytes of its [`Conn`] struct and one pollfd
+//! entry, nothing else; thread count is fixed at startup regardless of
+//! connection count.
+//!
+//! ## Data flow
+//!
+//! Every shard polls: its *wake* socket, the shared listener (all shards
+//! poll it; one wins each `accept` race), and its connections. Complete
+//! requests go through the same `routes::route` as the threaded front
+//! end. Admin responses are rendered inline; `/predict` rows are
+//! submitted to the batcher with a **callback** sink
+//! ([`crate::batcher::ReplySink::Callback`]), so the poller never blocks
+//! on inference: the batch worker renders the response, pushes it onto
+//! the shard's completion queue, and pokes the wake socket (a loopback
+//! `TcpStream` pair — `poll` can wait on sockets only, and the wake write
+//! is coalesced by an atomic flag so a busy shard is poked once per
+//! wakeup, not once per response).
+//!
+//! ## Timeouts
+//!
+//! Two distinct clocks, same semantics as the blocking front end:
+//! the 200 ms poll tick bounds how stale the shutdown flag and deadline
+//! sweep can be (an *idle* connection just keeps sitting there, free);
+//! the per-request deadline starts at a request's first byte and answers
+//! **408** if the request is still incomplete when it expires. Slow
+//! clients who keep trickling bytes inside the deadline are served
+//! normally — the bug class this front end was built not to have.
+
+use crate::batcher::{Batcher, ReplySink};
+use crate::http::{render_response, HttpError, RequestParser};
+use crate::metrics::ServerMetrics;
+use crate::registry::ModelRegistry;
+use crate::routes::{
+    prediction_response, protocol_error_response, route, submit_error_response, Ctx, Routed,
+};
+use crate::server::{Frontend, ServeConfig, Server};
+use crate::shim::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poll timeout: how often a shard re-checks the stopping flag and
+/// sweeps request deadlines even with no socket activity.
+const TICK_MS: i32 = 200;
+
+/// Most predictions one connection may have in the batcher at once.
+/// HTTP/1.1 pipelining lets a client send many requests back-to-back;
+/// admitting them concurrently (answers are re-sequenced, see
+/// [`stage_response`]) turns a pipelined burst into one inference batch
+/// and one writev-sized response flush. The cap bounds per-connection
+/// memory; anything deeper waits in the parser buffer.
+const PIPELINE_MAX: usize = 128;
+
+/// Stop reading from a connection whose client isn't draining responses.
+const MAX_OUT_BUFFER: usize = 256 * 1024;
+
+/// One rendered response bound for a connection:
+/// (token, sequence number, bytes, close-after).
+type Completion = (u64, u64, Vec<u8>, bool);
+
+/// Cross-thread doorbell for one shard: batch workers push completions
+/// and poke the wake socket; the atomic coalesces pokes while the shard
+/// is busy.
+struct Waker {
+    tx: TcpStream,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    fn wake(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            // The shard drains this socket every loop; a full buffer
+            // means a wakeup is already guaranteed.
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+}
+
+/// State a shard shares with batch-worker callbacks.
+struct ShardShared {
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl ShardShared {
+    fn complete(&self, token: u64, seq: u64, bytes: Vec<u8>, close: bool) {
+        self.completions.lock().expect("completion queue").push((token, seq, bytes, close));
+        self.waker.wake();
+    }
+}
+
+/// Per-connection state machine. A few hundred bytes plus buffers; this
+/// is the whole cost of an idle keep-alive connection.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    parser: RequestParser,
+    /// Bytes queued to write; a short write drains from the front and
+    /// resumes on the next `POLLOUT`.
+    out: VecDeque<u8>,
+    /// Predictions in flight in the batcher for this connection.
+    in_flight: usize,
+    /// Sequence number the next parsed request will be assigned.
+    next_seq: u64,
+    /// Sequence number the next response appended to `out` must have —
+    /// pipelined answers go on the wire in request order, whatever order
+    /// inference finishes in.
+    write_seq: u64,
+    /// Finished responses waiting for their turn on the wire.
+    stash: std::collections::BTreeMap<u64, (Vec<u8>, bool)>,
+    /// Close once `out` drains (set when a close-flagged response is
+    /// sequenced into `out`).
+    close_after_write: bool,
+    /// Peer sent FIN (or sent `Connection: close`); it may still be
+    /// reading our side (half-close), so pending responses still flush.
+    read_closed: bool,
+    /// First byte of the current partial request (deadline clock).
+    started: Option<Instant>,
+}
+
+impl Conn {
+    /// True when nothing is pending in either direction: safe to drop on
+    /// shutdown or after a read-side close.
+    fn idle(&self) -> bool {
+        self.out.is_empty()
+            && self.in_flight == 0
+            && self.stash.is_empty()
+            && !self.parser.has_partial()
+    }
+}
+
+/// File a finished response under its sequence number, then move every
+/// response that is next-in-line into the write buffer. A close-flagged
+/// response, once sequenced, seals the connection: nothing further will
+/// be read or written after it.
+fn stage_response(c: &mut Conn, seq: u64, bytes: Vec<u8>, close: bool) {
+    c.stash.insert(seq, (bytes, close));
+    while let Some((bytes, close)) = c.stash.remove(&c.write_seq) {
+        c.write_seq += 1;
+        if c.close_after_write {
+            // A response sequenced after a sealed close is dropped (it
+            // can only be pipelined surplus behind a protocol error).
+            continue;
+        }
+        c.out.extend(bytes);
+        if close {
+            c.close_after_write = true;
+            c.read_closed = true;
+        }
+    }
+}
+
+/// A running prediction service behind the event-loop front end.
+pub struct EventLoopServer {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    shards: Mutex<Vec<JoinHandle<()>>>,
+    shared: Vec<Arc<ShardShared>>,
+}
+
+impl EventLoopServer {
+    /// Bind and start `cfg.acceptors` poller shards.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Arc<EventLoopServer>> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let metrics = Arc::new(ServerMetrics::new());
+        let batcher = Batcher::start(registry.clone(), metrics.clone(), cfg.batch.clone());
+        let ctx = Arc::new(Ctx {
+            registry,
+            batcher,
+            metrics,
+            stopping: Arc::new(AtomicBool::new(false)),
+        });
+
+        let mut shards = Vec::new();
+        let mut shared = Vec::new();
+        for i in 0..cfg.acceptors.max(1) {
+            let (wake_rx, wake_tx) = waker_pair()?;
+            let sh = Arc::new(ShardShared {
+                completions: Mutex::new(Vec::new()),
+                waker: Waker { tx: wake_tx, pending: AtomicBool::new(false) },
+            });
+            shared.push(sh.clone());
+            let ctx = ctx.clone();
+            let listener = listener.clone();
+            let deadline = cfg.request_deadline;
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("wdt-poll-{i}"))
+                    .spawn(move || shard_loop(&listener, wake_rx, &sh, &ctx, deadline))
+                    .expect("spawn poller shard"),
+            );
+        }
+        Ok(Arc::new(EventLoopServer { addr, ctx, shards: Mutex::new(shards), shared }))
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared metrics (for embedding / tests).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.ctx.metrics
+    }
+
+    /// The model registry the server predicts with.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.ctx.registry
+    }
+
+    /// True once shutdown has been requested (API call or `POST /shutdown`).
+    pub fn stopping(&self) -> bool {
+        self.ctx.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested, polling `period`.
+    pub fn wait_until_stopping(&self, period: Duration) {
+        while !self.stopping() {
+            std::thread::sleep(period);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish
+    /// (batch workers stay alive until every shard has drained), then
+    /// stop the batcher. Idempotent.
+    pub fn shutdown(&self) {
+        self.ctx.stopping.store(true, Ordering::SeqCst);
+        for sh in &self.shared {
+            sh.waker.wake();
+        }
+        let mut shards = self.shards.lock().expect("shard handles");
+        for s in shards.drain(..) {
+            let _ = s.join();
+        }
+        self.ctx.batcher.shutdown();
+    }
+}
+
+/// Either front end, behind one handle — CLI and tests pick at runtime.
+pub enum AnyServer {
+    Threaded(Arc<Server>),
+    EventLoop(Arc<EventLoopServer>),
+}
+
+impl AnyServer {
+    /// Start the configured front end.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        cfg: ServeConfig,
+        frontend: Frontend,
+    ) -> std::io::Result<AnyServer> {
+        Ok(match frontend {
+            Frontend::Threaded => AnyServer::Threaded(Server::start(registry, cfg)?),
+            Frontend::EventLoop => AnyServer::EventLoop(EventLoopServer::start(registry, cfg)?),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            AnyServer::Threaded(s) => s.addr(),
+            AnyServer::EventLoop(s) => s.addr(),
+        }
+    }
+
+    pub fn metrics(&self) -> &ServerMetrics {
+        match self {
+            AnyServer::Threaded(s) => s.metrics(),
+            AnyServer::EventLoop(s) => s.metrics(),
+        }
+    }
+
+    pub fn registry(&self) -> &ModelRegistry {
+        match self {
+            AnyServer::Threaded(s) => s.registry(),
+            AnyServer::EventLoop(s) => s.registry(),
+        }
+    }
+
+    pub fn stopping(&self) -> bool {
+        match self {
+            AnyServer::Threaded(s) => s.stopping(),
+            AnyServer::EventLoop(s) => s.stopping(),
+        }
+    }
+
+    pub fn wait_until_stopping(&self, period: Duration) {
+        match self {
+            AnyServer::Threaded(s) => s.wait_until_stopping(period),
+            AnyServer::EventLoop(s) => s.wait_until_stopping(period),
+        }
+    }
+
+    pub fn shutdown(&self) {
+        match self {
+            AnyServer::Threaded(s) => s.shutdown(),
+            AnyServer::EventLoop(s) => s.shutdown(),
+        }
+    }
+}
+
+/// A connected nonblocking loopback pair: (poller's read end, writers'
+/// end). `poll(2)` waits on fds, and sockets are the only fd kind std
+/// hands us portably — a self-connected TCP pair stands in for the pipe
+/// the vendored-dependency policy won't let us `libc::pipe` for.
+fn waker_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let l = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(l.local_addr()?)?;
+    let (rx, _) = l.accept()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    Ok((rx, tx))
+}
+
+fn shard_loop(
+    listener: &TcpListener,
+    mut wake_rx: TcpStream,
+    shared: &Arc<ShardShared>,
+    ctx: &Arc<Ctx>,
+    deadline: Duration,
+) {
+    // Connection slab: slot reuse with a generation counter so a stale
+    // completion (client hung up mid-predict, slot recycled) can never
+    // reach the wrong connection.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_gen: u64 = 0;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut fd_slots: Vec<usize> = Vec::new();
+
+    loop {
+        let stopping = ctx.stopping.load(Ordering::SeqCst);
+
+        fds.clear();
+        fd_slots.clear();
+        fds.push(PollFd { fd: wake_rx.as_raw_fd(), events: POLLIN, revents: 0 });
+        let listener_polled = !stopping;
+        if listener_polled {
+            fds.push(PollFd { fd: listener.as_raw_fd(), events: POLLIN, revents: 0 });
+        }
+        let conn_base = fds.len();
+        for (slot, conn) in conns.iter().enumerate() {
+            let Some(c) = conn else { continue };
+            let mut events = 0i16;
+            if !c.out.is_empty() {
+                events |= POLLOUT;
+            }
+            if !c.read_closed && c.in_flight < PIPELINE_MAX && c.out.len() < MAX_OUT_BUFFER {
+                events |= POLLIN;
+            }
+            if events != 0 {
+                fds.push(PollFd { fd: c.stream.as_raw_fd(), events, revents: 0 });
+                fd_slots.push(slot);
+            }
+        }
+
+        if poll_fds(&mut fds, TICK_MS).is_err() {
+            // poll itself failing is unrecoverable for the shard; bail
+            // rather than spin.
+            return;
+        }
+
+        // 1. Wake channel: drain the socket, then re-arm the coalescing
+        // flag *before* draining completions, so a push racing this drain
+        // lands either in this batch or with a fresh poke.
+        if fds[0].revents & POLLIN != 0 {
+            let mut sink = [0u8; 64];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        shared.waker.pending.store(false, Ordering::Release);
+
+        // 2. Connection readiness. Runs before completions/accepts so the
+        // slots captured in `fd_slots` cannot have been recycled.
+        for (i, slot) in fd_slots.iter().enumerate() {
+            let slot = *slot;
+            let revents = fds[conn_base + i].revents;
+            if revents == 0 {
+                continue;
+            }
+            if revents & (POLLERR | POLLNVAL) != 0 {
+                conns[slot] = None;
+                free.push(slot);
+                continue;
+            }
+            let finished = {
+                let Some(c) = conns.get_mut(slot).and_then(Option::as_mut) else { continue };
+                if revents & (POLLIN | POLLHUP) != 0 {
+                    read_ready(c, ctx, shared, stopping);
+                }
+                flush_conn(c)
+            };
+            if finished {
+                conns[slot] = None;
+                free.push(slot);
+            }
+        }
+
+        // 3. Completions from batch workers.
+        let done: Vec<Completion> =
+            std::mem::take(&mut *shared.completions.lock().expect("completion queue"));
+        for (token, seq, bytes, close) in done {
+            let slot = (token & 0xFFFF_FFFF) as usize;
+            let finished = {
+                let Some(c) = conns.get_mut(slot).and_then(Option::as_mut) else { continue };
+                if c.token != token {
+                    continue; // stale: that connection died mid-predict
+                }
+                c.in_flight -= 1;
+                stage_response(c, seq, bytes, close);
+                // Pipelined requests beyond the in-flight cap may still
+                // be waiting in the parser buffer.
+                if !c.close_after_write {
+                    process_requests(c, ctx, shared, stopping);
+                }
+                flush_conn(c)
+            };
+            if finished {
+                conns[slot] = None;
+                free.push(slot);
+            }
+        }
+
+        // Burst boundary: every row this pass could have produced has
+        // been submitted, and nothing more can arrive until a response
+        // we have not yet written unblocks a client — tell the batcher
+        // to stop waiting for company.
+        ctx.batcher.kick();
+
+        // 4. New connections (all shards race; losers see WouldBlock).
+        if listener_polled && fds[1].revents & POLLIN != 0 {
+            loop {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        if s.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = s.set_nodelay(true);
+                        let slot = free.pop().unwrap_or_else(|| {
+                            conns.push(None);
+                            conns.len() - 1
+                        });
+                        next_gen += 1;
+                        conns[slot] = Some(Conn {
+                            stream: s,
+                            token: (next_gen << 32) | slot as u64,
+                            parser: RequestParser::new(),
+                            out: VecDeque::new(),
+                            in_flight: 0,
+                            next_seq: 0,
+                            write_seq: 0,
+                            stash: std::collections::BTreeMap::new(),
+                            close_after_write: false,
+                            read_closed: false,
+                            started: None,
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // 5. Deadline sweep: partial requests past their budget get 408.
+        for slot in 0..conns.len() {
+            let finished = {
+                let Some(c) = conns.get_mut(slot).and_then(Option::as_mut) else { continue };
+                if c.read_closed || !c.parser.has_partial() {
+                    continue;
+                }
+                if c.started.is_none_or(|t0| t0.elapsed() < deadline) {
+                    continue;
+                }
+                // The 408 takes the next sequence slot, so responses to
+                // requests that did arrive in time are written first.
+                c.read_closed = true;
+                if let Some((status, reason, body)) = protocol_error_response(&HttpError::Deadline)
+                {
+                    ctx.metrics.on_response(status);
+                    let seq = c.next_seq;
+                    c.next_seq += 1;
+                    stage_response(c, seq, render_response(status, reason, &body, true), true);
+                }
+                flush_conn(c)
+            };
+            if finished {
+                conns[slot] = None;
+                free.push(slot);
+            }
+        }
+
+        // 6. Drain on shutdown: close idle connections; exit once none
+        // remain (in-flight replies above keep their slots until
+        // answered — the batcher outlives the shards).
+        if stopping {
+            let mut live = 0usize;
+            for slot in 0..conns.len() {
+                let Some(c) = conns.get(slot).and_then(Option::as_ref) else { continue };
+                if c.idle() {
+                    conns[slot] = None;
+                    free.push(slot);
+                } else {
+                    live += 1;
+                }
+            }
+            if live == 0 {
+                return;
+            }
+        }
+    }
+}
+
+/// Drain the socket into the parser, dispatching as requests complete.
+fn read_ready(c: &mut Conn, ctx: &Arc<Ctx>, shared: &Arc<ShardShared>, stopping: bool) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match c.stream.read(&mut buf) {
+            Ok(0) => {
+                c.read_closed = true;
+                return;
+            }
+            Ok(n) => {
+                if c.started.is_none() {
+                    c.started = Some(Instant::now());
+                }
+                c.parser.push(&buf[..n]);
+                process_requests(c, ctx, shared, stopping);
+                if c.read_closed
+                    || c.close_after_write
+                    || c.in_flight >= PIPELINE_MAX
+                    || c.out.len() >= MAX_OUT_BUFFER
+                {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.read_closed = true;
+                c.close_after_write = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Parse and dispatch every complete request buffered on `c`, admitting
+/// up to [`PIPELINE_MAX`] concurrent predictions. Each request takes a
+/// sequence number at parse time; [`stage_response`] re-sequences
+/// whatever order answers arrive in.
+fn process_requests(c: &mut Conn, ctx: &Arc<Ctx>, shared: &Arc<ShardShared>, stopping: bool) {
+    while !c.close_after_write && !c.read_closed && c.in_flight < PIPELINE_MAX {
+        match c.parser.try_take() {
+            Ok(Some(req)) => {
+                c.started = None;
+                let close = req.close || stopping;
+                let seq = c.next_seq;
+                c.next_seq += 1;
+                match route(&req, ctx) {
+                    Routed::Done(status, reason, body) => {
+                        ctx.metrics.on_response(status);
+                        stage_response(
+                            c,
+                            seq,
+                            render_response(status, reason, &body, close),
+                            close,
+                        );
+                    }
+                    Routed::Predict(row) => {
+                        let started = Instant::now();
+                        let token = c.token;
+                        let shared = shared.clone();
+                        let metrics = ctx.metrics.clone();
+                        let sink = ReplySink::Callback(Box::new(move |p| {
+                            let (status, reason, body) = prediction_response(&p);
+                            metrics.on_response(status);
+                            if status == 200 {
+                                metrics.on_prediction(started.elapsed().as_micros() as u64);
+                            }
+                            shared.complete(
+                                token,
+                                seq,
+                                render_response(status, reason, &body, close),
+                                close,
+                            );
+                        }));
+                        match ctx.batcher.submit_with(row, sink) {
+                            Ok(()) => c.in_flight += 1,
+                            Err(e) => {
+                                let (status, reason, body) = submit_error_response(&e);
+                                ctx.metrics.on_response(status);
+                                stage_response(
+                                    c,
+                                    seq,
+                                    render_response(status, reason, &body, close),
+                                    close,
+                                );
+                            }
+                        }
+                    }
+                }
+                if close {
+                    // `Connection: close` marks the final request; stop
+                    // reading, let the sequenced answers drain.
+                    c.read_closed = true;
+                }
+            }
+            Ok(None) => {
+                if c.parser.has_partial() && c.started.is_none() {
+                    c.started = Some(Instant::now());
+                }
+                return;
+            }
+            Err(e) => {
+                c.read_closed = true;
+                if let Some((status, reason, body)) = protocol_error_response(&e) {
+                    ctx.metrics.on_response(status);
+                    let seq = c.next_seq;
+                    c.next_seq += 1;
+                    stage_response(c, seq, render_response(status, reason, &body, true), true);
+                } else if c.in_flight == 0 && c.stash.is_empty() {
+                    // Nothing pending and nothing to answer: drop now.
+                    c.close_after_write = true;
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Write as much of `out` as the socket takes right now. Returns `true`
+/// when the connection is finished (drained + told to close, peer gone,
+/// or write error) and its slot should be recycled.
+fn flush_conn(c: &mut Conn) -> bool {
+    while !c.out.is_empty() {
+        let (front, _) = c.out.as_slices();
+        match c.stream.write(front) {
+            Ok(0) => return true,
+            Ok(n) => {
+                c.out.drain(..n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    // Out buffer drained: close if asked, or if the peer can no longer
+    // send anything and nothing is pending.
+    c.close_after_write || (c.read_closed && c.idle())
+}

@@ -6,15 +6,33 @@
 //! and hard limits on header and body size so a hostile peer cannot make
 //! the server buffer unboundedly. No chunked encoding, no TLS — artifacts
 //! of the vendored-dependency policy, documented in DESIGN.md.
+//!
+//! The parsing core is the **incremental** [`RequestParser`]: push
+//! whatever bytes the socket produced, ask whether a complete request is
+//! buffered. Both front ends share it — the blocking worker loop feeds it
+//! from timed reads in [`read_request`], the event loop feeds it from
+//! readiness-driven nonblocking reads — so slow peers are handled
+//! identically everywhere: a request may arrive one byte at a time across
+//! any number of timeout ticks, and is only abandoned (with a 408) when
+//! the *per-request deadline* expires, never because a single read timed
+//! out mid-request.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line + headers, bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Largest accepted request body, bytes. Prediction bodies are a few
 /// hundred bytes; this leaves room for batched client extensions.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Socket-timeout tick used by the blocking front end: how often a quiet
+/// connection wakes to observe shutdown. NOT a request deadline — a
+/// request may straddle any number of ticks.
+pub const IDLE_TICK: Duration = Duration::from_millis(200);
+/// Default wall-clock budget for one request to arrive in full once its
+/// first byte has been seen. Expiry answers 408 Request Timeout.
+pub const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(5);
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +55,9 @@ pub enum HttpError {
     /// connections wake periodically to observe shutdown; this variant
     /// means "nothing happened", not a protocol error.
     Idle,
+    /// The per-request deadline expired with a request still partially
+    /// delivered. Answered with 408 Request Timeout.
+    Deadline,
     /// Peer closed before a complete request (clean EOF between
     /// requests is reported as `Ok(None)` instead).
     Truncated,
@@ -52,6 +73,7 @@ impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HttpError::Idle => write!(f, "idle timeout"),
+            HttpError::Deadline => write!(f, "request deadline expired"),
             HttpError::Truncated => write!(f, "connection closed mid-request"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge(what) => write!(f, "{what} too large"),
@@ -62,21 +84,84 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// Read one request off a keep-alive connection.
-///
-/// Returns `Ok(None)` on clean EOF (peer finished and closed), which is
-/// the normal end of a keep-alive session.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
-    let mut line = String::new();
-    let mut head_bytes = 0usize;
-    // A timeout before any byte of a new request is an idle wakeup; a
-    // timeout after we started reading means the request is broken.
-    match read_line_limited(reader, &mut line, &mut head_bytes) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(LineError::Timeout) if line.is_empty() => return Err(HttpError::Idle),
-        Err(e) => return Err(e.into_http()),
+/// Incremental request parser: a byte buffer plus "is a complete request
+/// buffered yet?". Feed it with [`RequestParser::push`] from any read
+/// strategy (blocking with timeouts, nonblocking readiness); it never
+/// touches a socket itself.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    pub fn new() -> Self {
+        Self::default()
     }
+
+    /// Append bytes read off the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes of an incomplete request are sitting in the buffer — i.e. a
+    /// request has *started* (deadline applies) but has not finished.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Take one complete request off the front of the buffer if fully
+    /// delivered, leaving any pipelined surplus for the next call.
+    ///
+    /// `Ok(None)` means "need more bytes". Errors are terminal for the
+    /// connection: the buffer cannot be re-synchronized after a malformed
+    /// or oversized head.
+    pub fn try_take(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_len) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge("header"));
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("header"));
+        }
+        let head = std::str::from_utf8(&self.buf[..head_len])
+            .map_err(|_| HttpError::Malformed("head is not utf-8".into()))?;
+        let (method, path, content_length, close) = parse_head(head)?;
+        if self.buf.len() < head_len + content_length {
+            return Ok(None);
+        }
+        let body = self.buf[head_len..head_len + content_length].to_vec();
+        self.buf.drain(..head_len + content_length);
+        Ok(Some(Request { method, path, body, close }))
+    }
+}
+
+/// Find the end of the head (the index one past the blank line), if the
+/// blank line has arrived. Accepts both CRLF and bare-LF line endings.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1..i + 3) {
+                Some([b'\r', b'\n']) => return Some(i + 3),
+                Some([b'\n', _]) => return Some(i + 2),
+                _ => {}
+            }
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse request line + headers. Returns (method, path, content_length,
+/// close).
+fn parse_head(head: &str) -> Result<(String, String, usize, bool), HttpError> {
+    let mut lines = head.lines();
+    let line = lines.next().unwrap_or_default();
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
@@ -85,14 +170,9 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
         return Err(HttpError::Malformed(format!("request line {:?}", line.trim_end())));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut close = version == "HTTP/1.0";
-    loop {
-        line.clear();
-        if read_line_limited(reader, &mut line, &mut head_bytes).map_err(LineError::into_http)? == 0
-        {
-            return Err(HttpError::Truncated);
-        }
+    for line in lines {
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
             break;
@@ -104,68 +184,110 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
-                content_length = value
+                // Strict digits only: `usize::parse` would accept `+7`,
+                // and a lenient parse here invites smuggling mismatches
+                // with any stricter intermediary.
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(HttpError::Malformed(format!("content-length {value:?}")));
+                }
+                let n = value
                     .parse::<usize>()
                     .map_err(|_| HttpError::Malformed(format!("content-length {value:?}")))?;
-                if content_length > MAX_BODY_BYTES {
+                // Duplicate headers must agree; conflicting duplicates are
+                // the classic request-smuggling vector.
+                if content_length.is_some_and(|prev| prev != n) {
+                    return Err(HttpError::Malformed("conflicting content-length".into()));
+                }
+                if n > MAX_BODY_BYTES {
                     return Err(HttpError::TooLarge("body"));
                 }
+                content_length = Some(n);
             }
             "connection" => {
-                let v = value.to_ascii_lowercase();
-                if v.contains("close") {
-                    close = true;
-                } else if v.contains("keep-alive") {
-                    close = false;
+                // Token-wise match: `Connection` is a comma-separated
+                // token list, and substring matching would treat e.g.
+                // `not-close` as a close request.
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => close = true,
+                        "keep-alive" => close = false,
+                        _ => {}
+                    }
                 }
             }
             _ => {}
         }
     }
-
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|_| HttpError::Truncated)?;
-    Ok(Some(Request { method, path, body, close }))
+    Ok((method, path, content_length.unwrap_or(0), close))
 }
 
-/// Line-read failure, pre-classification into [`HttpError`].
-enum LineError {
-    /// Socket read timeout (idle if nothing was consumed yet).
-    Timeout,
-    /// Head grew past [`MAX_HEAD_BYTES`].
-    TooLarge,
-    /// Anything else on the socket.
-    Io(String),
-}
-
-impl LineError {
-    fn into_http(self) -> HttpError {
-        match self {
-            // A timeout mid-head means the peer stalled inside a request.
-            LineError::Timeout => HttpError::Truncated,
-            LineError::TooLarge => HttpError::TooLarge("header"),
-            LineError::Io(m) => HttpError::Io(m),
+/// Read one request off a blocking keep-alive connection whose socket
+/// read timeout is [`IDLE_TICK`].
+///
+/// Returns `Ok(None)` on clean EOF (peer finished and closed), which is
+/// the normal end of a keep-alive session. A timeout tick with no request
+/// in progress is [`HttpError::Idle`] (wake to observe shutdown, then
+/// call again); ticks *during* a request just keep reading until
+/// `deadline` has elapsed since the request's first byte, at which point
+/// the error is [`HttpError::Deadline`] and the caller answers 408.
+pub fn read_request(
+    stream: &mut TcpStream,
+    parser: &mut RequestParser,
+    deadline: Duration,
+) -> Result<Option<Request>, HttpError> {
+    // A pipelined request may already be buffered from a previous read.
+    if let Some(req) = parser.try_take()? {
+        return Ok(Some(req));
+    }
+    let mut started: Option<Instant> = parser.has_partial().then(Instant::now);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if parser.has_partial() { Err(HttpError::Truncated) } else { Ok(None) };
+            }
+            Ok(n) => {
+                parser.push(&chunk[..n]);
+                if let Some(req) = parser.try_take()? {
+                    return Ok(Some(req));
+                }
+                started.get_or_insert_with(Instant::now);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                match started {
+                    // Quiet tick between requests: an idle wakeup.
+                    None => return Err(HttpError::Idle),
+                    Some(t0) if t0.elapsed() >= deadline => return Err(HttpError::Deadline),
+                    // Slow but inside its budget: keep reading.
+                    Some(_) => {}
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e.to_string())),
         }
     }
 }
 
-fn read_line_limited(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-    head_bytes: &mut usize,
-) -> Result<usize, LineError> {
-    let n = reader.read_line(line).map_err(|e| {
-        if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
-            LineError::Timeout
-        } else {
-            LineError::Io(e.to_string())
-        }
-    })?;
-    *head_bytes += n;
-    if *head_bytes > MAX_HEAD_BYTES {
-        return Err(LineError::TooLarge);
-    }
-    Ok(n)
+/// Render a response (head + JSON body) as one contiguous byte vector, so
+/// front ends can answer with a single `write` syscall.
+pub fn render_response(status: u16, reason: &str, body: &str, close: bool) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: {}\r\n\
+         \r\n",
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 /// Write a response with a JSON body.
@@ -176,17 +298,7 @@ pub fn write_response(
     body: &str,
     close: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/json\r\n\
-         Content-Length: {}\r\n\
-         Connection: {}\r\n\
-         \r\n",
-        body.len(),
-        if close { "close" } else { "keep-alive" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&render_response(status, reason, body, close))?;
     stream.flush()
 }
 
@@ -195,18 +307,47 @@ mod tests {
     use super::*;
     use std::net::{TcpListener, TcpStream};
 
-    /// Push raw bytes through a real socket and parse them.
+    /// Parse a full byte sequence through the incremental parser.
+    fn parse_whole(input: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new();
+        p.push(input);
+        p.try_take()
+    }
+
+    /// Push raw bytes through a real socket and parse them with the
+    /// blocking reader (writer closes when done, like a one-shot client).
     fn parse_bytes(input: &[u8]) -> Result<Option<Request>, HttpError> {
+        parse_socket(input, &[])
+    }
+
+    /// Like [`parse_bytes`], but the writer sleeps between the two script
+    /// segments — long enough to straddle the [`IDLE_TICK`] socket
+    /// timeout when `pause` exceeds it.
+    fn parse_socket(first: &[u8], rest: &[u8]) -> Result<Option<Request>, HttpError> {
+        parse_socket_deadline(first, rest, Duration::from_millis(320), DEFAULT_REQUEST_DEADLINE)
+    }
+
+    fn parse_socket_deadline(
+        first: &[u8],
+        rest: &[u8],
+        pause: Duration,
+        deadline: Duration,
+    ) -> Result<Option<Request>, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let input = input.to_vec();
+        let (first, rest) = (first.to_vec(), rest.to_vec());
         let writer = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(&input).unwrap();
+            s.write_all(&first).unwrap();
+            if !rest.is_empty() {
+                std::thread::sleep(pause);
+                s.write_all(&rest).unwrap();
+            }
         });
-        let (conn, _) = listener.accept().unwrap();
-        let mut reader = BufReader::new(conn);
-        let out = read_request(&mut reader);
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(IDLE_TICK)).unwrap();
+        let mut parser = RequestParser::new();
+        let out = read_request(&mut conn, &mut parser, deadline);
         writer.join().unwrap();
         out
     }
@@ -233,6 +374,22 @@ mod tests {
     }
 
     #[test]
+    fn connection_matching_is_token_wise() {
+        // `not-close` must NOT be read as a close request (the old
+        // substring match did exactly that).
+        let req = parse_whole(b"GET / HTTP/1.1\r\nConnection: not-close\r\n\r\n").unwrap().unwrap();
+        assert!(!req.close);
+        // ...but a close token anywhere in the list counts.
+        let req =
+            parse_whole(b"GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n").unwrap().unwrap();
+        assert!(req.close);
+        // HTTP/1.0 + explicit keep-alive token stays open.
+        let req =
+            parse_whole(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap().unwrap();
+        assert!(!req.close);
+    }
+
+    #[test]
     fn clean_eof_is_none() {
         assert_eq!(parse_bytes(b"").unwrap(), None);
     }
@@ -250,6 +407,34 @@ mod tests {
     }
 
     #[test]
+    fn content_length_is_strict_digits() {
+        // `usize::parse` would happily accept `+7`; we must not.
+        for bad in ["+7", " 7 x", "0x10", "7.0", ""] {
+            let head = format!("POST /p HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n1234567");
+            assert!(
+                matches!(parse_whole(head.as_bytes()), Err(HttpError::Malformed(_))),
+                "content-length {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        let err = parse_whole(
+            b"POST /p HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 8\r\n\r\n12345678",
+        )
+        .err();
+        assert_eq!(err, Some(HttpError::Malformed("conflicting content-length".into())));
+        // Duplicates that agree are legal (RFC 9112 permits coalescing).
+        let req = parse_whole(
+            b"POST /p HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
     fn oversized_declarations_are_rejected() {
         let huge = format!("POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         assert_eq!(parse_bytes(huge.as_bytes()).err(), Some(HttpError::TooLarge("body")));
@@ -259,5 +444,73 @@ mod tests {
         }
         head.push_str("\r\n");
         assert_eq!(parse_bytes(head.as_bytes()).err(), Some(HttpError::TooLarge("header")));
+    }
+
+    #[test]
+    fn parser_accepts_byte_at_a_time_delivery() {
+        let wire = b"POST /predict HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let mut p = RequestParser::new();
+        for (i, b) in wire.iter().enumerate() {
+            assert_eq!(p.try_take().unwrap(), None, "complete before byte {i}?");
+            p.push(std::slice::from_ref(b));
+        }
+        let req = p.try_take().unwrap().unwrap();
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(!p.has_partial(), "buffer fully consumed");
+    }
+
+    #[test]
+    fn parser_keeps_pipelined_surplus() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(p.try_take().unwrap().unwrap().path, "/healthz");
+        assert_eq!(p.try_take().unwrap().unwrap().path, "/metrics");
+        assert_eq!(p.try_take().unwrap(), None);
+    }
+
+    #[test]
+    fn slow_body_straddling_timeout_ticks_still_parses() {
+        // Body lands ~320 ms after the head: more than one IDLE_TICK.
+        // The old reader mapped that tick to Truncated and dropped the
+        // connection; now the request completes.
+        let req = parse_socket(b"POST /p HTTP/1.1\r\nContent-Length: 7\r\n\r\n", b"{\"a\":1}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn slow_header_straddling_timeout_ticks_still_parses() {
+        let req = parse_socket(b"GET /healthz HTTP/1.1\r\nX-Slow", b"-Header: 1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn stalled_request_hits_deadline() {
+        // Writer pauses far past the test deadline with the body
+        // undelivered → Deadline (the caller answers 408), not a silent
+        // drop.
+        let err = parse_socket_deadline(
+            b"POST /p HTTP/1.1\r\nContent-Length: 7\r\n\r\n",
+            b"{\"a\":1}",
+            Duration::from_millis(1200),
+            Duration::from_millis(400),
+        )
+        .err();
+        assert_eq!(err, Some(HttpError::Deadline));
+    }
+
+    #[test]
+    fn idle_tick_without_request_is_idle() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut parser = RequestParser::new();
+        let err = read_request(&mut conn, &mut parser, DEFAULT_REQUEST_DEADLINE).err();
+        assert_eq!(err, Some(HttpError::Idle));
     }
 }

@@ -20,6 +20,10 @@
 //!   fixed worker pool, keep-alive, graceful shutdown) exposing
 //!   `POST /predict`, `GET /healthz`, `GET /metrics`, `POST /reload`,
 //!   and `POST /shutdown`;
+//! * [`eventloop`] — the same HTTP surface on a nonblocking readiness
+//!   event loop (`poll(2)` via [`shim`]): a fixed number of poller
+//!   shards multiplex all connections, so idle keep-alive clients cost
+//!   bytes, not threads. Selected at runtime via [`Frontend`];
 //! * [`loadgen`] — closed- and open-loop load generation over real
 //!   sockets, reporting throughput and latency percentiles.
 //!
@@ -31,15 +35,20 @@
 
 pub mod batcher;
 pub mod client;
+pub mod eventloop;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
+mod routes;
 pub mod server;
+pub mod shim;
 
 pub use batcher::{BatchConfig, Batcher, Prediction, SubmitError};
 pub use client::HttpClient;
+pub use eventloop::{AnyServer, EventLoopServer};
+pub use http::{RequestParser, DEFAULT_REQUEST_DEADLINE, IDLE_TICK};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenMode, LoadgenReport};
 pub use metrics::ServerMetrics;
 pub use registry::{LoadedModel, ModelRegistry, RegistryError, ServeSchema};
-pub use server::{ServeConfig, Server};
+pub use server::{Frontend, ServeConfig, Server};

@@ -49,6 +49,12 @@ pub struct LoadgenConfig {
     pub requests: usize,
     /// Arrival discipline.
     pub mode: LoadgenMode,
+    /// HTTP/1.1 pipelining depth: each connection writes this many
+    /// requests in one burst, then reads the answers in order. 1 (the
+    /// default) is classic one-at-a-time closed-loop traffic; deeper
+    /// pipelines measure the server's batch capacity the way a
+    /// scheduler scoring many candidate transfers at once drives it.
+    pub pipeline: usize,
 }
 
 /// Results of one run.
@@ -60,6 +66,8 @@ pub struct LoadgenReport {
     pub connections: usize,
     /// Target rate for open loop (0 for closed).
     pub target_rps: f64,
+    /// Pipelining depth used.
+    pub pipeline: usize,
     /// Requests issued.
     pub requests: u64,
     /// 200 responses.
@@ -83,6 +91,7 @@ impl LoadgenReport {
             ("mode", JsonValue::Str(self.mode.clone())),
             ("connections", JsonValue::Num(self.connections as f64)),
             ("target_rps", JsonValue::Num(self.target_rps)),
+            ("pipeline", JsonValue::Num(self.pipeline as f64)),
             ("requests", JsonValue::Num(self.requests as f64)),
             ("ok", JsonValue::Num(self.ok as f64)),
             ("shed", JsonValue::Num(self.shed as f64)),
@@ -96,10 +105,15 @@ impl LoadgenReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} loop × {}: {:.0} req/s over {:.2}s ({} ok, {} shed, {} errors); \
+            "{} loop × {}{}: {:.0} req/s over {:.2}s ({} ok, {} shed, {} errors); \
              latency µs p50 {} p95 {} p99 {} max {}",
             self.mode,
             self.connections,
+            if self.pipeline > 1 {
+                format!(" (pipeline {})", self.pipeline)
+            } else {
+                String::new()
+            },
             self.throughput_rps,
             self.duration_s,
             self.ok,
@@ -156,6 +170,7 @@ pub fn run_loadgen(
         .map(|t| cfg.requests / connections + usize::from(t < cfg.requests % connections))
         .collect();
 
+    let pipeline = cfg.pipeline.max(1);
     let started = Instant::now();
     let threads: Vec<_> = per_thread
         .into_iter()
@@ -169,7 +184,7 @@ pub fn run_loadgen(
                     Some(Duration::from_secs_f64(connections.max(1) as f64 / rate_rps.max(1e-9)))
                 }
             };
-            std::thread::spawn(move || client_loop(addr, &bodies, t, quota, pace))
+            std::thread::spawn(move || client_loop(addr, &bodies, t, quota, pace, pipeline))
         })
         .collect();
 
@@ -189,6 +204,7 @@ pub fn run_loadgen(
         mode: mode_name.to_string(),
         connections,
         target_rps,
+        pipeline,
         requests: cfg.requests as u64,
         ok,
         shed,
@@ -205,12 +221,14 @@ fn client_loop(
     thread_idx: usize,
     quota: usize,
     pace: Option<Duration>,
+    pipeline: usize,
 ) -> ThreadTally {
     let mut tally = ThreadTally { ok: 0, shed: 0, errors: 0, latency: Histogram::new() };
     let mut client = HttpClient::connect(addr).ok();
     let epoch = Instant::now();
-    for k in 0..quota {
-        // Open loop: wait for this request's scheduled slot (connections
+    let mut k = 0usize;
+    while k < quota {
+        // Open loop: wait for this burst's scheduled slot (connections
         // are phase-shifted so aggregate arrivals are evenly spaced).
         if let Some(step) = pace {
             let due = epoch + step.mul_f64(k as f64) + step.mul_f64(thread_idx as f64 / 8.0);
@@ -219,27 +237,40 @@ fn client_loop(
                 std::thread::sleep(due - now);
             }
         }
-        let body = &bodies[(thread_idx + k * 7919) % bodies.len()];
-        // One reconnect attempt per request keeps a dropped keep-alive
+        let depth = pipeline.min(quota - k);
+        let burst: Vec<&str> = (0..depth)
+            .map(|d| bodies[(thread_idx + (k + d) * 7919) % bodies.len()].as_str())
+            .collect();
+        k += depth;
+        // One reconnect attempt per burst keeps a dropped keep-alive
         // connection from poisoning the rest of the run.
         if client.is_none() {
             client = HttpClient::connect(addr).ok();
         }
         let Some(c) = client.as_mut() else {
-            tally.errors += 1;
+            tally.errors += depth as u64;
             continue;
         };
         let sent = Instant::now();
-        match c.post("/predict", body) {
-            Ok((200, _)) => {
-                tally.ok += 1;
-                tally.latency.record(sent.elapsed().as_micros() as u64);
-            }
-            Ok((503, _)) => tally.shed += 1,
-            Ok(_) => tally.errors += 1,
-            Err(_) => {
-                tally.errors += 1;
-                client = None;
+        if c.send_many("POST", "/predict", &burst).is_err() {
+            tally.errors += depth as u64;
+            client = None;
+            continue;
+        }
+        for d in 0..depth {
+            match c.read_response() {
+                Ok((200, _)) => {
+                    tally.ok += 1;
+                    tally.latency.record(sent.elapsed().as_micros() as u64);
+                }
+                Ok((503, _)) => tally.shed += 1,
+                Ok(_) => tally.errors += 1,
+                Err(_) => {
+                    // The rest of the burst dies with the connection.
+                    tally.errors += (depth - d) as u64;
+                    client = None;
+                    break;
+                }
             }
         }
     }
@@ -290,6 +321,7 @@ mod tests {
             addr: server.addr(),
             requests: 200,
             mode: LoadgenMode::Closed { concurrency: 4 },
+            pipeline: 1,
         };
         let report = run_loadgen(&cfg, &names, &rows).expect("loadgen");
         assert_eq!(report.ok + report.shed + report.errors, 200);
@@ -310,6 +342,7 @@ mod tests {
             addr: server.addr(),
             requests: 50,
             mode: LoadgenMode::Open { rate_rps: 500.0, connections: 2 },
+            pipeline: 1,
         };
         let started = Instant::now();
         let report = run_loadgen(&cfg, &names, &rows).expect("loadgen");

@@ -76,9 +76,19 @@ impl ServerMetrics {
         &self.registry
     }
 
-    /// Count one accepted request.
-    pub fn on_request(&self) {
+    /// Count one *answered* response. This is the only place the request
+    /// and error counters move, and front ends call it exactly once per
+    /// response they write — protocol-level 400/408/413s included — so
+    /// `requests >= shed + errors` holds by construction. Connections
+    /// that die without a response (peer hangup, socket error) are
+    /// counted nowhere.
+    pub fn on_response(&self, status: u16) {
         self.requests.inc();
+        if status == 503 {
+            self.shed.inc();
+        } else if status >= 400 {
+            self.errors.inc();
+        }
     }
 
     /// Count one request against its route's endpoint counter.
@@ -97,16 +107,6 @@ impl ServerMetrics {
     pub fn on_prediction(&self, latency_us: u64) {
         self.predictions.inc();
         self.request_latency_us.record(latency_us);
-    }
-
-    /// Count one shed (503) response.
-    pub fn on_shed(&self) {
-        self.shed.inc();
-    }
-
-    /// Count one error response.
-    pub fn on_error(&self) {
-        self.errors.inc();
     }
 
     /// Snapshot as the `/metrics` JSON document.
@@ -160,12 +160,11 @@ mod tests {
     #[test]
     fn metrics_snapshot_serializes() {
         let m = ServerMetrics::new();
-        m.on_request();
+        m.on_response(200);
         m.on_route("POST", "/predict");
         m.on_prediction(250);
-        m.on_request();
+        m.on_response(503);
         m.on_route("GET", "/nope");
-        m.on_shed();
         m.batch_size.record(2);
         let v = JsonValue::parse(&m.to_json().to_string()).unwrap();
         assert_eq!(v.field("requests").unwrap().as_usize().unwrap(), 2);
@@ -184,11 +183,23 @@ mod tests {
     }
 
     #[test]
+    fn every_answered_status_counts_exactly_one_request() {
+        let m = ServerMetrics::new();
+        for status in [200, 200, 400, 404, 408, 413, 500, 503] {
+            m.on_response(status);
+        }
+        assert_eq!(m.requests.get(), 8);
+        assert_eq!(m.shed.get(), 1, "503 is shed, not error");
+        assert_eq!(m.errors.get(), 5, "4xx/5xx except 503");
+        assert!(m.shed.get() + m.errors.get() <= m.requests.get());
+    }
+
+    #[test]
     fn separate_servers_do_not_share_counters() {
         let a = ServerMetrics::new();
         let b = ServerMetrics::new();
-        a.on_request();
-        a.on_request();
+        a.on_response(200);
+        a.on_response(200);
         assert_eq!(a.requests.get(), 2);
         assert_eq!(b.requests.get(), 0);
     }
@@ -196,7 +207,7 @@ mod tests {
     #[test]
     fn prometheus_exposition_covers_serve_metrics() {
         let m = ServerMetrics::new();
-        m.on_request();
+        m.on_response(200);
         m.queue_depth.set(3.0);
         m.batch_size.record(4);
         let text = m.to_prometheus();

@@ -1,0 +1,150 @@
+//! Routing and response shaping shared by both HTTP front ends.
+//!
+//! The blocking worker pool (`server.rs`) and the nonblocking event loop
+//! (`eventloop.rs`) differ only in how bytes and replies move; *what* a
+//! request means is defined once, here. [`route`] classifies a parsed
+//! request into either an immediately-renderable response or a prediction
+//! row to hand to the batcher — the front end decides whether to wait for
+//! the reply (blocking) or to attach a completion callback (event loop).
+//!
+//! Metrics discipline: `route` bumps only the per-endpoint counters. The
+//! request/shed/error counters move in `ServerMetrics::on_response`,
+//! which each front end calls exactly once per response it writes.
+
+use crate::batcher::{Batcher, Prediction, SubmitError};
+use crate::http::{HttpError, Request};
+use crate::metrics::ServerMetrics;
+use crate::registry::ModelRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use wdt_types::JsonValue;
+
+/// Shared state both front ends operate on.
+pub(crate) struct Ctx {
+    pub registry: Arc<ModelRegistry>,
+    pub batcher: Arc<Batcher>,
+    pub metrics: Arc<ServerMetrics>,
+    pub stopping: Arc<AtomicBool>,
+}
+
+/// What to do with a parsed request.
+pub(crate) enum Routed {
+    /// Fully-formed response: status, reason, JSON body.
+    Done(u16, &'static str, String),
+    /// A `/predict` row admitted past validation; the caller submits it
+    /// to the batcher its own way.
+    Predict(Vec<f64>),
+}
+
+/// Dispatch one request. Admin endpoints are answered inline; `/predict`
+/// is parsed and validated here but submitted by the caller.
+pub(crate) fn route(req: &Request, ctx: &Ctx) -> Routed {
+    ctx.metrics.on_route(&req.method, &req.path);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => match parse_feature_row(&req.body, ctx) {
+            Ok(row) => Routed::Predict(row),
+            Err(msg) => Routed::Done(400, "Bad Request", error_body(&msg)),
+        },
+        ("GET", "/healthz") => {
+            let version = ctx.registry.current().version.clone();
+            let body = JsonValue::obj([
+                ("status", JsonValue::Str("ok".into())),
+                ("version", JsonValue::Str(version)),
+            ])
+            .to_string();
+            Routed::Done(200, "OK", body)
+        }
+        ("GET", "/metrics") => {
+            let mut m = ctx.metrics.to_json();
+            if let JsonValue::Obj(map) = &mut m {
+                map.insert("queue_depth".into(), JsonValue::Num(ctx.batcher.queue_depth() as f64));
+                map.insert(
+                    "version".into(),
+                    JsonValue::Str(ctx.registry.current().version.clone()),
+                );
+            }
+            Routed::Done(200, "OK", m.to_string())
+        }
+        ("POST", "/reload") => match ctx.registry.reload() {
+            Ok(version) => {
+                let body = JsonValue::obj([("version", JsonValue::Str(version))]).to_string();
+                Routed::Done(200, "OK", body)
+            }
+            Err(e) => Routed::Done(500, "Internal Server Error", error_body(&e.to_string())),
+        },
+        ("POST", "/shutdown") => {
+            ctx.stopping.store(true, Ordering::SeqCst);
+            Routed::Done(
+                200,
+                "OK",
+                JsonValue::obj([("status", JsonValue::Str("stopping".into()))]).to_string(),
+            )
+        }
+        _ => Routed::Done(
+            404,
+            "Not Found",
+            error_body(&format!("no route {} {}", req.method, req.path)),
+        ),
+    }
+}
+
+/// Response for a completed prediction (covers the non-finite guard).
+pub(crate) fn prediction_response(p: &Prediction) -> (u16, &'static str, String) {
+    if !p.rate.is_finite() {
+        return (500, "Internal Server Error", error_body("non-finite prediction"));
+    }
+    let body = JsonValue::obj([
+        ("rate", JsonValue::Num(p.rate)),
+        ("version", JsonValue::Str(p.version.to_string())),
+        ("batch_size", JsonValue::Num(p.batch_size as f64)),
+    ])
+    .to_string();
+    (200, "OK", body)
+}
+
+/// Response for a refused batcher submission.
+pub(crate) fn submit_error_response(e: &SubmitError) -> (u16, &'static str, String) {
+    match e {
+        SubmitError::Overloaded => (503, "Service Unavailable", error_body("overloaded")),
+        SubmitError::ShuttingDown => (503, "Service Unavailable", error_body("shutting down")),
+    }
+}
+
+/// Response for a protocol error that still gets an answer before the
+/// connection closes. `Idle`/`Truncated`/`Io` are not answerable and must
+/// be handled by the front end (returns `None`).
+pub(crate) fn protocol_error_response(e: &HttpError) -> Option<(u16, &'static str, String)> {
+    match e {
+        HttpError::Deadline => Some((408, "Request Timeout", error_body(&e.to_string()))),
+        HttpError::TooLarge(_) => Some((413, "Payload Too Large", error_body(&e.to_string()))),
+        HttpError::Malformed(_) => Some((400, "Bad Request", error_body(&e.to_string()))),
+        HttpError::Idle | HttpError::Truncated | HttpError::Io(_) => None,
+    }
+}
+
+pub(crate) fn error_body(msg: &str) -> String {
+    JsonValue::obj([("error", JsonValue::Str(msg.to_string()))]).to_string()
+}
+
+/// Body `{"<feature>": <num>, …}` → serving-schema row. Missing features
+/// are 0.0; unknown names and non-finite values are client errors.
+pub(crate) fn parse_feature_row(body: &[u8], ctx: &Ctx) -> Result<Vec<f64>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let parsed = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let JsonValue::Obj(map) = parsed else {
+        return Err("body must be a JSON object of feature values".into());
+    };
+    let schema = ctx.registry.schema();
+    let mut row = vec![0.0f64; schema.width()];
+    for (name, value) in &map {
+        let Some(&i) = schema.position().get(name) else {
+            return Err(format!("unknown feature '{name}'"));
+        };
+        let v = value.as_f64().map_err(|_| format!("feature '{name}' must be a number"))?;
+        if !v.is_finite() {
+            return Err(format!("feature '{name}' is not finite"));
+        }
+        row[i] = v;
+    }
+    Ok(row)
+}

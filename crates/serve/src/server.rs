@@ -1,5 +1,11 @@
-//! The HTTP front end: `TcpListener`, a fixed worker pool, routing, and
-//! graceful shutdown.
+//! The blocking HTTP front end: `TcpListener`, a fixed worker pool,
+//! routing, and graceful shutdown.
+//!
+//! This is the original thread-per-connection design, kept for its
+//! simplicity and as a differential reference for the event-loop front
+//! end (`eventloop.rs`): both speak through the same parser
+//! (`http::RequestParser`), router (`routes::route`), batcher, and
+//! metrics, so integration tests run identical traffic against each.
 //!
 //! ## Endpoints
 //!
@@ -15,7 +21,9 @@
 //! encoding for "no competing load observed") but may not name unknown
 //! features or carry non-finite values; both are 400s. Overload is an
 //! explicit 503 `{"error":"overloaded"}` from the batcher's admission
-//! control, never a stalled socket.
+//! control, never a stalled socket. A request that stalls mid-delivery
+//! past [`ServeConfig::request_deadline`] is answered 408; mere slowness
+//! across idle-timeout ticks is not an error.
 //!
 //! ## Shutdown discipline
 //!
@@ -24,45 +32,62 @@
 //! on their connections, then drains the batcher — so every admitted
 //! request is answered and the service never drops in-flight work.
 
-use crate::batcher::{BatchConfig, Batcher, SubmitError};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::batcher::{BatchConfig, Batcher};
+use crate::http::{
+    read_request, write_response, HttpError, RequestParser, DEFAULT_REQUEST_DEADLINE, IDLE_TICK,
+};
 use crate::metrics::ServerMetrics;
 use crate::registry::ModelRegistry;
-use std::io::BufReader;
+use crate::routes::{prediction_response, protocol_error_response, route, submit_error_response};
+use crate::routes::{Ctx, Routed};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wdt_types::JsonValue;
+
+/// Which HTTP front end serves the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// Thread-per-connection workers with blocking reads (`server.rs`).
+    Threaded,
+    /// Sharded nonblocking readiness event loop (`eventloop.rs`).
+    EventLoop,
+}
 
 /// Front-end configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Port to bind on 127.0.0.1 (0 → ephemeral, see [`Server::addr`]).
     pub port: u16,
-    /// HTTP worker threads (each owns one connection at a time, so this
-    /// also bounds concurrent connections).
+    /// HTTP worker threads for the threaded front end (each owns one
+    /// connection at a time, so this also bounds concurrent connections
+    /// there). Ignored by the event loop.
     pub workers: usize,
+    /// Acceptor/poller shards for the event-loop front end. Ignored by
+    /// the threaded front end.
+    pub acceptors: usize,
+    /// Wall-clock budget for one request to arrive in full once its
+    /// first byte is seen; expiry answers 408.
+    pub request_deadline: Duration,
     /// Micro-batching knobs.
     pub batch: BatchConfig,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { port: 0, workers: 8, batch: BatchConfig::default() }
+        ServeConfig {
+            port: 0,
+            workers: 8,
+            acceptors: 2,
+            request_deadline: DEFAULT_REQUEST_DEADLINE,
+            batch: BatchConfig::default(),
+        }
     }
 }
 
-struct Ctx {
-    registry: Arc<ModelRegistry>,
-    batcher: Arc<Batcher>,
-    metrics: Arc<ServerMetrics>,
-    stopping: Arc<AtomicBool>,
-}
-
-/// A running prediction service.
+/// A running prediction service (threaded front end).
 pub struct Server {
     addr: SocketAddr,
     ctx: Arc<Ctx>,
@@ -87,13 +112,14 @@ impl Server {
 
         let (conn_tx, conn_rx) = channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let deadline = cfg.request_deadline;
         let http_workers = (0..cfg.workers.max(1))
             .map(|i| {
                 let rx = conn_rx.clone();
                 let ctx = ctx.clone();
                 std::thread::Builder::new()
                     .name(format!("wdt-http-{i}"))
-                    .spawn(move || http_worker(&rx, &ctx))
+                    .spawn(move || http_worker(&rx, &ctx, deadline))
                     .expect("spawn http worker")
             })
             .collect();
@@ -170,7 +196,7 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: &Ctx) {
             Ok(s) => {
                 // Idle keep-alive connections wake periodically so a
                 // shutdown is never blocked on a silent client.
-                let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                let _ = s.set_read_timeout(Some(IDLE_TICK));
                 let _ = s.set_nodelay(true);
                 if tx.send(s).is_err() {
                     break;
@@ -181,30 +207,32 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: &Ctx) {
     }
 }
 
-fn http_worker(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &Ctx) {
+fn http_worker(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &Ctx, deadline: Duration) {
     loop {
         let stream = {
             let guard = rx.lock().expect("conn receiver");
             guard.recv()
         };
         match stream {
-            Ok(s) => handle_connection(s, ctx),
+            Ok(s) => handle_connection(s, ctx, deadline),
             Err(_) => return, // channel closed → shutdown
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, ctx: &Ctx) {
-    let peer = stream.try_clone();
-    let Ok(mut writer) = peer else { return };
-    let mut reader = BufReader::new(stream);
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx, deadline: Duration) {
+    let mut parser = RequestParser::new();
     loop {
-        match read_request(&mut reader) {
+        match read_request(&mut stream, &mut parser, deadline) {
             Ok(None) => return,
             Ok(Some(req)) => {
                 let close = req.close || ctx.stopping.load(Ordering::SeqCst);
-                let (status, reason, body) = route(&req, ctx);
-                if write_response(&mut writer, status, reason, &body, close).is_err() {
+                let (status, reason, body) = match route(&req, ctx) {
+                    Routed::Done(status, reason, body) => (status, reason, body),
+                    Routed::Predict(row) => blocking_predict(row, ctx),
+                };
+                ctx.metrics.on_response(status);
+                if write_response(&mut stream, status, reason, &body, close).is_err() {
                     return;
                 }
                 if close {
@@ -217,135 +245,39 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
                     return;
                 }
             }
-            Err(HttpError::Truncated) | Err(HttpError::Io(_)) => return,
-            Err(e @ (HttpError::Malformed(_) | HttpError::TooLarge(_))) => {
-                ctx.metrics.on_error();
-                let (status, reason) = match e {
-                    HttpError::TooLarge(_) => (413, "Payload Too Large"),
-                    _ => (400, "Bad Request"),
-                };
-                let body = error_body(&e.to_string());
-                let _ = write_response(&mut writer, status, reason, &body, true);
+            Err(e) => {
+                // Answer what is answerable (400/408/413), then close;
+                // hangups and socket errors just close.
+                if let Some((status, reason, body)) = protocol_error_response(&e) {
+                    ctx.metrics.on_response(status);
+                    let _ = write_response(&mut stream, status, reason, &body, true);
+                }
                 return;
             }
         }
     }
 }
 
-fn error_body(msg: &str) -> String {
-    JsonValue::obj([("error", JsonValue::Str(msg.to_string()))]).to_string()
-}
-
-/// Dispatch one request → (status, reason, JSON body).
-fn route(req: &Request, ctx: &Ctx) -> (u16, &'static str, String) {
-    ctx.metrics.on_request();
-    ctx.metrics.on_route(&req.method, &req.path);
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => predict(req, ctx),
-        ("GET", "/healthz") => {
-            let version = ctx.registry.current().version.clone();
-            let body = JsonValue::obj([
-                ("status", JsonValue::Str("ok".into())),
-                ("version", JsonValue::Str(version)),
-            ])
-            .to_string();
-            (200, "OK", body)
-        }
-        ("GET", "/metrics") => {
-            let mut m = ctx.metrics.to_json();
-            if let JsonValue::Obj(map) = &mut m {
-                map.insert("queue_depth".into(), JsonValue::Num(ctx.batcher.queue_depth() as f64));
-                map.insert(
-                    "version".into(),
-                    JsonValue::Str(ctx.registry.current().version.clone()),
-                );
-            }
-            (200, "OK", m.to_string())
-        }
-        ("POST", "/reload") => match ctx.registry.reload() {
-            Ok(version) => {
-                let body = JsonValue::obj([("version", JsonValue::Str(version))]).to_string();
-                (200, "OK", body)
-            }
-            Err(e) => {
-                ctx.metrics.on_error();
-                (500, "Internal Server Error", error_body(&e.to_string()))
-            }
-        },
-        ("POST", "/shutdown") => {
-            ctx.stopping.store(true, Ordering::SeqCst);
-            (200, "OK", JsonValue::obj([("status", JsonValue::Str("stopping".into()))]).to_string())
-        }
-        _ => {
-            ctx.metrics.on_error();
-            (404, "Not Found", error_body(&format!("no route {} {}", req.method, req.path)))
-        }
-    }
-}
-
-fn predict(req: &Request, ctx: &Ctx) -> (u16, &'static str, String) {
+/// Submit one row and park on the reply channel (the threaded front end
+/// has a whole worker thread to burn on waiting).
+fn blocking_predict(row: Vec<f64>, ctx: &Ctx) -> (u16, &'static str, String) {
     let started = Instant::now();
-    let row = match parse_feature_row(&req.body, ctx) {
-        Ok(row) => row,
-        Err(msg) => {
-            ctx.metrics.on_error();
-            return (400, "Bad Request", error_body(&msg));
-        }
-    };
     let rx = match ctx.batcher.submit(row) {
         Ok(rx) => rx,
-        Err(SubmitError::Overloaded) => {
-            ctx.metrics.on_shed();
-            return (503, "Service Unavailable", error_body("overloaded"));
-        }
-        Err(SubmitError::ShuttingDown) => {
-            ctx.metrics.on_shed();
-            return (503, "Service Unavailable", error_body("shutting down"));
-        }
+        Err(e) => return submit_error_response(&e),
     };
     match rx.recv() {
-        Ok(p) if p.rate.is_finite() => {
-            ctx.metrics.on_prediction(started.elapsed().as_micros() as u64);
-            let body = JsonValue::obj([
-                ("rate", JsonValue::Num(p.rate)),
-                ("version", JsonValue::Str(p.version.to_string())),
-                ("batch_size", JsonValue::Num(p.batch_size as f64)),
-            ])
-            .to_string();
-            (200, "OK", body)
-        }
-        Ok(_) => {
-            ctx.metrics.on_error();
-            (500, "Internal Server Error", error_body("non-finite prediction"))
+        Ok(p) => {
+            let (status, reason, body) = prediction_response(&p);
+            if status == 200 {
+                ctx.metrics.on_prediction(started.elapsed().as_micros() as u64);
+            }
+            (status, reason, body)
         }
         Err(_) => {
-            ctx.metrics.on_error();
-            (500, "Internal Server Error", error_body("inference worker gone"))
+            (500, "Internal Server Error", crate::routes::error_body("inference worker gone"))
         }
     }
-}
-
-/// Body `{"<feature>": <num>, …}` → serving-schema row. Missing features
-/// are 0.0; unknown names and non-finite values are client errors.
-fn parse_feature_row(body: &[u8], ctx: &Ctx) -> Result<Vec<f64>, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
-    let parsed = JsonValue::parse(text).map_err(|e| e.to_string())?;
-    let JsonValue::Obj(map) = parsed else {
-        return Err("body must be a JSON object of feature values".into());
-    };
-    let schema = ctx.registry.schema();
-    let mut row = vec![0.0f64; schema.width()];
-    for (name, value) in &map {
-        let Some(&i) = schema.position().get(name) else {
-            return Err(format!("unknown feature '{name}'"));
-        };
-        let v = value.as_f64().map_err(|_| format!("feature '{name}' must be a number"))?;
-        if !v.is_finite() {
-            return Err(format!("feature '{name}' is not finite"));
-        }
-        row[i] = v;
-    }
-    Ok(row)
 }
 
 #[cfg(test)]
@@ -355,6 +287,7 @@ mod tests {
     use crate::registry::ServeSchema;
     use wdt_features::Dataset;
     use wdt_model::{FitConfig, FittedModel, ModelKind};
+    use wdt_types::JsonValue;
 
     fn start_test_server(name: &str) -> (Arc<Server>, FittedModel) {
         let dir = std::env::temp_dir().join("wdt-server-tests").join(name);
@@ -431,6 +364,30 @@ mod tests {
         }
         let (status, _) = c.get("/nope").unwrap();
         assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_are_counted_as_answered_requests() {
+        let (server, _) = start_test_server("protocol-errors");
+        // A malformed request line → 400 written, connection closed, and
+        // the metrics must show requests == errors + ok, never
+        // errors > requests (the old double-count family of bugs).
+        use std::io::{Read, Write};
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        raw.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        let (_, body) = c.get("/metrics").unwrap();
+        let m = JsonValue::parse(&body).unwrap();
+        let requests = m.field("requests").unwrap().as_usize().unwrap();
+        let errors = m.field("errors").unwrap().as_usize().unwrap();
+        let shed = m.field("shed").unwrap().as_usize().unwrap();
+        assert!(errors >= 1, "protocol 400 must be counted: {body}");
+        assert!(errors + shed <= requests, "error rate exceeds request rate: {body}");
         server.shutdown();
     }
 

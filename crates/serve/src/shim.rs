@@ -1,0 +1,105 @@
+//! Minimal libc shim for readiness polling.
+//!
+//! The vendored-dependency policy rules out the `libc`/`mio` crates, so
+//! the event loop declares the one C entry point it needs — `poll(2)` —
+//! directly. The struct layout and flag values are fixed by POSIX and
+//! identical across the platforms we build on (Linux, the BSDs, macOS);
+//! `nfds_t` is an unsigned long everywhere we target. This mirrors the
+//! CLI's `signal(2)` shim, the only other raw libc use in the workspace.
+
+use std::io;
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch (negative → ignored by the kernel).
+    pub fd: i32,
+    /// Requested events (`POLLIN` | `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Writing is possible without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (returned only; invalid in `events`).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (returned only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (returned only).
+pub const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+}
+
+/// Wait until any fd in `fds` is ready or `timeout_ms` elapses.
+///
+/// Returns the number of fds with non-zero `revents` (0 on timeout).
+/// `EINTR` is reported as `Ok(0)` — callers loop anyway and re-evaluate
+/// shutdown flags on every wakeup, which is exactly what a signal should
+/// cause.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `fds` is a valid, exclusively-borrowed slice of `#[repr(C)]`
+    // pollfd structs; the kernel writes only `revents` within it.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_times_out_on_quiet_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        let mut fds = [PollFd { fd: conn.as_raw_fd(), events: POLLIN, revents: 0 }];
+        let n = poll_fds(&mut fds, 20).unwrap();
+        assert_eq!(n, 0, "no data was sent");
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn poll_reports_readable_after_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        client.write_all(b"x").unwrap();
+        let mut fds = [PollFd { fd: conn.as_raw_fd(), events: POLLIN, revents: 0 }];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn poll_reports_writable_and_hup() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        // A fresh socket with an empty send buffer is writable.
+        let mut fds = [PollFd { fd: conn.as_raw_fd(), events: POLLOUT, revents: 0 }];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLOUT, 0);
+        // After the peer closes, POLLIN fires (read returns EOF).
+        drop(client);
+        let mut fds = [PollFd { fd: conn.as_raw_fd(), events: POLLIN, revents: 0 }];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & (POLLIN | POLLHUP), 0);
+    }
+}

@@ -5,13 +5,23 @@
 //! predictions served over the wire are **bitwise identical** to offline
 //! `FittedModel::predict` on the same rows — under concurrent load, and
 //! across an atomic hot-swap that must not fail a single request.
+//!
+//! Every scenario runs against **both** HTTP front ends (the blocking
+//! worker pool and the nonblocking event loop): identical traffic,
+//! identical expected answers. The slow-writer scenarios pin down the
+//! timeout semantics the front ends must share — a client that trickles
+//! bytes across many 200 ms idle ticks but stays inside the request
+//! deadline is served normally, while one that stalls past the deadline
+//! is answered 408 and disconnected.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use wdt::prelude::*;
 use wdt_model::build_dataset;
-use wdt_serve::{HttpClient, ModelRegistry, ServeConfig, ServeSchema, Server};
+use wdt_serve::{AnyServer, Frontend, HttpClient, ModelRegistry, ServeConfig, ServeSchema};
 use wdt_types::JsonValue;
 
 /// A small simulated campaign, reduced to the prediction-time dataset.
@@ -51,8 +61,29 @@ fn predict_one(client: &mut HttpClient, names: &[String], row: &[f64]) -> (Strin
     )
 }
 
-#[test]
-fn concurrent_serving_is_bitwise_faithful_across_hot_swap() {
+/// A registry directory with a quick throwaway model, plus its offline
+/// twin reloaded through the same persistence path the server uses.
+fn quick_registry(name: &str) -> (Arc<ModelRegistry>, wdt_model::FittedModel) {
+    let dir = std::env::temp_dir().join("wdt-serve-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    let schema = ServeSchema::prediction();
+    let w = schema.width();
+    let x: Vec<Vec<f64>> =
+        (0..150).map(|i| (0..w).map(|j| ((i * (j + 2)) % 19) as f64).collect()).collect();
+    let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + r[3] * r[3]).collect();
+    let model = FittedModel::fit(
+        &wdt_features::Dataset::new(schema.names().to_vec(), x, y),
+        ModelKind::Gbdt,
+        &FitConfig::default(),
+    )
+    .expect("fit");
+    std::fs::write(dir.join("v1.json"), model.to_json()).expect("persist");
+    let offline = FittedModel::from_json(&model.to_json()).expect("reload");
+    (Arc::new(ModelRegistry::open(dir, schema).expect("open")), offline)
+}
+
+fn hot_swap_e2e(frontend: Frontend, name: &str) {
     let data = campaign();
     assert!(data.x.len() >= 100, "campaign too small: {}", data.x.len());
     let train = wdt_features::Dataset::new(data.names.clone(), data.x.clone(), data.y.clone());
@@ -68,13 +99,13 @@ fn concurrent_serving_is_bitwise_faithful_across_hot_swap() {
     let offline1 = FittedModel::from_json(&v1.to_json()).expect("reload v1");
     let offline2 = FittedModel::from_json(&v2.to_json()).expect("reload v2");
 
-    let dir = std::env::temp_dir().join("wdt-serve-e2e");
+    let dir = std::env::temp_dir().join("wdt-serve-e2e").join(name);
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("model dir");
     std::fs::write(dir.join("v0001.json"), v1.to_json()).expect("persist v1");
 
     let registry = Arc::new(ModelRegistry::open(&dir, ServeSchema::prediction()).expect("open"));
-    let server = Server::start(registry, ServeConfig::default()).expect("start");
+    let server = AnyServer::start(registry, ServeConfig::default(), frontend).expect("start");
     let names: Vec<String> = server.registry().schema().names().to_vec();
     let rows: Vec<Vec<f64>> = data.x.iter().take(96).cloned().collect();
 
@@ -171,5 +202,105 @@ fn concurrent_serving_is_bitwise_faithful_across_hot_swap() {
     let m = JsonValue::parse(&body).expect("metrics json");
     assert!(m.field("predictions").unwrap().as_usize().unwrap() >= 96);
     assert_eq!(m.field("version").unwrap().as_str().unwrap(), "v0002");
+    drop(client);
     server.shutdown();
+}
+
+#[test]
+fn concurrent_serving_is_bitwise_faithful_across_hot_swap() {
+    hot_swap_e2e(Frontend::Threaded, "hot-swap-threaded");
+}
+
+#[test]
+fn concurrent_serving_is_bitwise_faithful_across_hot_swap_event_loop() {
+    hot_swap_e2e(Frontend::EventLoop, "hot-swap-eventloop");
+}
+
+/// A client that trickles its request a few bytes at a time, straddling
+/// many idle-timeout ticks, must be served normally: slowness inside the
+/// request deadline is not an error.
+fn slow_but_live_writer_is_served(frontend: Frontend, name: &str) {
+    let (registry, offline) = quick_registry(name);
+    let server = AnyServer::start(registry, ServeConfig::default(), frontend).expect("start");
+    let names = server.registry().schema().names().to_vec();
+    let row: Vec<f64> = (0..names.len()).map(|i| (i % 7) as f64).collect();
+    let body = body_for(&names, &row);
+    let req = format!(
+        "POST /predict HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    // Spread the request across ~0.8 s: many 200 ms ticks elapse between
+    // first byte and last, all inside the 5 s default deadline.
+    let bytes = req.as_bytes();
+    let step = bytes.len().div_ceil(10);
+    for chunk in bytes.chunks(step) {
+        s.write_all(chunk).expect("trickle");
+        s.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(80));
+    }
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("response");
+    assert!(resp.starts_with("HTTP/1.1 200"), "slow-but-live client was dropped: {resp}");
+    let json = resp.split("\r\n\r\n").nth(1).expect("body");
+    let rate = JsonValue::parse(json).unwrap().field("rate").unwrap().as_f64().unwrap();
+    assert_eq!(rate.to_bits(), offline.predict_row(&row).to_bits(), "served != offline");
+    server.shutdown();
+}
+
+#[test]
+fn slow_but_live_writer_is_served_threaded() {
+    slow_but_live_writer_is_served(Frontend::Threaded, "slow-live-threaded");
+}
+
+#[test]
+fn slow_but_live_writer_is_served_event_loop() {
+    slow_but_live_writer_is_served(Frontend::EventLoop, "slow-live-eventloop");
+}
+
+/// A client that starts a request and then stalls past the request
+/// deadline is answered 408 and disconnected — and the stall must not
+/// take a worker hostage: a concurrent healthy client stays served.
+fn stalled_writer_gets_408(frontend: Frontend, name: &str) {
+    let (registry, _) = quick_registry(name);
+    let cfg = ServeConfig { request_deadline: Duration::from_millis(600), ..Default::default() };
+    let server = AnyServer::start(registry, cfg, frontend).expect("start");
+
+    let mut stalled = TcpStream::connect(server.addr()).expect("connect");
+    stalled.write_all(b"GET /healthz HTTP/1.1\r\nConn").expect("partial header");
+    stalled.flush().expect("flush");
+
+    // While the stalled connection ages toward its deadline, a healthy
+    // client on the same server is unaffected.
+    let mut healthy = HttpClient::connect(server.addr()).expect("connect healthy");
+    let (status, _) = healthy.get("/healthz").expect("healthy request");
+    assert_eq!(status, 200);
+
+    stalled.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut resp = String::new();
+    stalled.read_to_string(&mut resp).expect("408 response");
+    assert!(resp.starts_with("HTTP/1.1 408"), "expected 408 for stalled request: {resp}");
+
+    // The 408 is an answered response: counted once, never exceeding the
+    // request counter.
+    let (_, body) = healthy.get("/metrics").expect("metrics");
+    let m = JsonValue::parse(&body).expect("metrics json");
+    let requests = m.field("requests").unwrap().as_usize().unwrap();
+    let errors = m.field("errors").unwrap().as_usize().unwrap();
+    let shed = m.field("shed").unwrap().as_usize().unwrap();
+    assert!(errors >= 1, "the 408 must be counted as an error: {body}");
+    assert!(errors + shed <= requests, "error rate exceeds request rate: {body}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_writer_gets_408_threaded() {
+    stalled_writer_gets_408(Frontend::Threaded, "stalled-threaded");
+}
+
+#[test]
+fn stalled_writer_gets_408_event_loop() {
+    stalled_writer_gets_408(Frontend::EventLoop, "stalled-eventloop");
 }
