@@ -76,22 +76,28 @@ pub fn usage() -> String {
                --model-dir DIR [--port N=8191] [--workers N=8]\n\
                [--frontend threaded|eventloop=eventloop] [--acceptors N=2]\n\
                [--deadline-ms N=5000] [--max-batch N=64] [--flush-us N=100]\n\
-               [--queue-cap N=1024]\n\
+               [--queue-cap N=1024] [--cores LIST]\n\
                (endpoints: POST /predict, GET /healthz, GET /metrics,\n\
                 POST /reload to hot-swap to the newest model in DIR,\n\
                 POST /shutdown for a graceful stop. The eventloop front\n\
                 end multiplexes all connections over --acceptors poller\n\
                 threads; threaded uses --workers blocking threads, one\n\
                 connection each. --deadline-ms answers 408 to requests\n\
-                that stall mid-delivery)\n\
+                that stall mid-delivery. --cores pins the process to a\n\
+                CPU list like 0-3,6 — Linux only, for the multi-core\n\
+                bench protocol in EXPERIMENTS.md)\n\
      loadgen   replay a log's feature vectors against a running server\n\
                --addr HOST:PORT --log FILE [--requests N=10000]\n\
                [--mode closed|open=closed] [--concurrency N=8]\n\
                [--rate X=5000] [--connections N=4] [--pipeline N=1]\n\
-               [--out FILE]\n\
+               [--warmup N=0] [--min-rps X] [--cores LIST] [--out FILE]\n\
                (closed loop measures capacity; open loop paces arrivals\n\
                 at --rate req/s to measure latency under target load;\n\
-                --pipeline sends N requests per burst on each connection)\n\
+                --pipeline sends N requests per burst on each connection;\n\
+                --warmup discards the first N responses from the latency\n\
+                histogram; --min-rps fails the run if throughput lands\n\
+                below the floor — the CI regression gate; --cores pins\n\
+                the generator to a CPU list like 4-7)\n\
      check     verify the simulator against its reference oracle and a\n\
                committed golden-trace digest (see DESIGN.md)\n\
                --golden FILE [--refresh] [--oracle-cases N=250]\n\
@@ -534,7 +540,9 @@ fn serve(args: &Args) -> CmdResult {
         "max-batch",
         "flush-us",
         "queue-cap",
+        "cores",
     ])?;
+    apply_cores(args)?;
     let dir = args.require("model-dir")?.to_string();
     let frontend = match args.get("frontend").unwrap_or("eventloop") {
         "threaded" => Frontend::Threaded,
@@ -585,8 +593,12 @@ fn loadgen(args: &Args) -> CmdResult {
         "rate",
         "connections",
         "pipeline",
+        "warmup",
+        "min-rps",
+        "cores",
         "out",
     ])?;
+    apply_cores(args)?;
     let addr: SocketAddr = args.require_as("addr")?;
     let mode = match args.get("mode").unwrap_or("closed") {
         "closed" => LoadgenMode::Closed { concurrency: args.get_or("concurrency", 8)? },
@@ -607,6 +619,7 @@ fn loadgen(args: &Args) -> CmdResult {
         requests: args.get_or("requests", 10_000)?,
         mode,
         pipeline: args.get_or("pipeline", 1usize)?.max(1),
+        warmup: args.get_or("warmup", 0usize)?,
     };
     eprintln!(
         "replaying {} feature vectors as {} requests against {addr} ...",
@@ -622,7 +635,59 @@ fn loadgen(args: &Args) -> CmdResult {
     if report.errors > 0 {
         return Err(format!("{} requests failed outright", report.errors).into());
     }
+    if let Some(floor) = args.get("min-rps") {
+        let floor: f64 = floor.parse().map_err(|_| format!("bad --min-rps '{floor}'"))?;
+        if report.throughput_rps < floor {
+            return Err(format!(
+                "throughput {:.2} req/s is below the --min-rps floor of {floor:.2}",
+                report.throughput_rps
+            )
+            .into());
+        }
+    }
     Ok(())
+}
+
+/// Apply `--cores 0-3,6` process affinity when present. Best-effort on
+/// purpose: affinity is bench-protocol tooling, so an unsupported
+/// platform warns rather than failing, but a malformed list is an error.
+fn apply_cores(args: &Args) -> CmdResult {
+    let Some(spec) = args.get("cores") else { return Ok(()) };
+    let cpus = parse_cores(spec)?;
+    match wdt_serve::shim::set_affinity(&cpus) {
+        Ok(()) => eprintln!("pinned to cpus {cpus:?}"),
+        Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+            eprintln!("--cores ignored: {e}");
+        }
+        Err(e) => return Err(format!("--cores {spec}: {e}").into()),
+    }
+    Ok(())
+}
+
+/// Parse a CPU list like `0-3,6` into sorted, deduplicated indices.
+fn parse_cores(spec: &str) -> Result<Vec<usize>, Box<dyn Error>> {
+    let mut cpus = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(format!("bad --cores '{spec}': empty element").into());
+        }
+        let parse = |s: &str| -> Result<usize, Box<dyn Error>> {
+            s.parse().map_err(|_| format!("bad --cores '{spec}': '{s}' is not a cpu index").into())
+        };
+        if let Some((lo, hi)) = part.split_once('-') {
+            let (lo, hi) = (parse(lo)?, parse(hi)?);
+            if lo > hi {
+                return Err(format!("bad --cores '{spec}': descending range '{part}'").into());
+            }
+            cpus.extend(lo..=hi);
+        } else {
+            cpus.push(parse(part)?);
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    Ok(cpus)
 }
 
 #[cfg(test)]
@@ -737,9 +802,28 @@ mod tests {
         assert!(usage().contains("serve"));
         assert!(usage().contains("loadgen"));
         assert!(usage().contains("obs"));
-        for flag in ["--model-dir", "--port", "--max-batch", "--flush-us", "--queue-cap", "--trace"]
-        {
+        for flag in [
+            "--model-dir",
+            "--port",
+            "--max-batch",
+            "--flush-us",
+            "--queue-cap",
+            "--trace",
+            "--warmup",
+            "--min-rps",
+            "--cores",
+        ] {
             assert!(usage().contains(flag), "usage must document {flag}");
+        }
+    }
+
+    #[test]
+    fn parse_cores_handles_lists_and_ranges() {
+        assert_eq!(parse_cores("0").unwrap(), vec![0]);
+        assert_eq!(parse_cores("0-3,6").unwrap(), vec![0, 1, 2, 3, 6]);
+        assert_eq!(parse_cores("2,1,1-2").unwrap(), vec![1, 2], "sorted and deduplicated");
+        for bad in ["", "a", "1-", "-3", "3-1", "1,,2"] {
+            assert!(parse_cores(bad).is_err(), "'{bad}' must be rejected");
         }
     }
 
@@ -822,7 +906,8 @@ mod tests {
 
         let out = tmp("loadgen-report.json");
         run(&parse(&format!(
-            "loadgen --addr {} --log {} --requests 64 --concurrency 2 --out {}",
+            "loadgen --addr {} --log {} --requests 64 --concurrency 2 --pipeline 4 \
+             --warmup 16 --min-rps 0.001 --out {}",
             server.addr(),
             log_path.display(),
             out.display()
@@ -831,6 +916,17 @@ mod tests {
         let report = wdt_types::JsonValue::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
         assert_eq!(report.field("ok").unwrap().as_usize().unwrap(), 64);
         assert_eq!(report.field("errors").unwrap().as_usize().unwrap(), 0);
+        assert_eq!(report.field("warmup").unwrap().as_usize().unwrap(), 16);
+
+        // An absurd floor turns the same healthy run into a CI failure.
+        let err = run(&parse(&format!(
+            "loadgen --addr {} --log {} --requests 16 --concurrency 2 --min-rps 1e12",
+            server.addr(),
+            log_path.display(),
+        )))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--min-rps floor"), "{err}");
         server.shutdown();
     }
 }

@@ -169,6 +169,15 @@ impl NodeArrayForest {
         }
     }
 
+    /// Predict `rows` into a caller-provided output slice (same length),
+    /// serially — the allocation-free entry point for serving-sized
+    /// batches. Bitwise equal to [`NodeArrayForest::predict`], which
+    /// runs this same block kernel for every batch below the parallel
+    /// threshold.
+    pub fn predict_into(&self, rows: &[Vec<f64>], out: &mut [f64]) {
+        self.predict_block(rows, out);
+    }
+
     /// Predict many rows, block-evaluated, in parallel for large batches.
     /// Bitwise equal to mapping [`NodeArrayForest::predict_row`].
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {

@@ -32,5 +32,5 @@ pub use lmt_model::{
     build_lmt_dataset, compare_with_lmt, join_storage_load, LmtComparison, StorageLoad,
 };
 pub use per_edge::{run_one_edge, run_per_edge, EdgeExperiment, PerEdgeConfig};
-pub use pipeline::{build_dataset, EvalReport, FitConfig, FittedModel, ModelKind};
+pub use pipeline::{build_dataset, EvalReport, FitConfig, FittedModel, ModelKind, PredictScratch};
 pub use tune::{default_grid, tune_gbdt, TuneResult};

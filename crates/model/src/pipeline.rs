@@ -86,6 +86,15 @@ pub struct FittedModel {
     inner: Inner,
 }
 
+/// Reusable workspace for [`FittedModel::predict_into`]: holds the
+/// prepared-row buffers between batches so steady-state prediction
+/// allocates nothing. One per caller thread (it is plain data — no
+/// locking).
+#[derive(Debug, Default)]
+pub struct PredictScratch {
+    prepared: Vec<Vec<f64>>,
+}
+
 impl FittedModel {
     /// Fit on a training dataset. Returns `None` for degenerate inputs
     /// (no rows, or every feature eliminated).
@@ -150,6 +159,37 @@ impl FittedModel {
                 let prepared: Vec<Vec<f64>> = x.iter().map(|row| self.prepare_row(row)).collect();
                 flat.predict(&prepared)
             }
+        }
+    }
+
+    /// Allocation-free batch prediction for serving hot paths: like
+    /// [`FittedModel::predict`], but writes rates into `out` and reuses
+    /// `scratch` for the prepared (pruned + normalized) rows, so a
+    /// warmed-up caller predicts whole batches without touching the
+    /// allocator. Results are bitwise equal to [`FittedModel::predict`]:
+    /// row preparation runs the same gather + normalize, and boosted
+    /// models go through the same serial block kernel
+    /// (`NodeArrayForest::predict_into`) that `predict` uses for
+    /// sub-parallel-threshold batches like serving micro-batches.
+    pub fn predict_into(&self, x: &[Vec<f64>], out: &mut Vec<f64>, scratch: &mut PredictScratch) {
+        out.clear();
+        out.resize(x.len(), 0.0);
+        while scratch.prepared.len() < x.len() {
+            scratch.prepared.push(Vec::new());
+        }
+        for (row, prep) in x.iter().zip(scratch.prepared.iter_mut()) {
+            prep.clear();
+            prep.extend(self.kept.iter().map(|&j| row[j]));
+            self.normalizer.apply_row(prep);
+        }
+        let prepared = &scratch.prepared[..x.len()];
+        match &self.inner {
+            Inner::Linear(m) => {
+                for (prep, o) in prepared.iter().zip(out.iter_mut()) {
+                    *o = m.predict_one(prep);
+                }
+            }
+            Inner::Gbdt { flat, .. } => flat.predict_into(prepared, out),
         }
     }
 
@@ -322,6 +362,26 @@ mod tests {
             let batch = m.predict(&d.x);
             for (row, b) in d.x.iter().zip(&batch) {
                 assert_eq!(m.predict_row(row).to_bits(), b.to_bits(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_into_is_bitwise_equal_and_reuses_scratch() {
+        let d = synth(300);
+        for kind in [ModelKind::Linear, ModelKind::Gbdt] {
+            let m = FittedModel::fit(&d, kind, &FitConfig::default()).unwrap();
+            let mut out = Vec::new();
+            let mut scratch = PredictScratch::default();
+            // Varying batch sizes through ONE scratch, including shrinks.
+            for len in [64usize, 300, 1, 17] {
+                let batch = &d.x[..len];
+                m.predict_into(batch, &mut out, &mut scratch);
+                let want = m.predict(batch);
+                assert_eq!(out.len(), want.len());
+                for (a, b) in out.iter().zip(&want) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} len {len}");
+                }
             }
         }
     }

@@ -85,22 +85,25 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// Where a finished prediction goes. Blocking workers park on a channel;
-/// the event loop attaches a callback (run on the batch worker thread)
-/// that enqueues the rendered response for the poller, so no event-loop
-/// thread ever blocks on inference.
+/// the event loop attaches a plain-data completion address
+/// ([`crate::eventloop::ShardSink`] — no boxed closure, no allocation)
+/// that enqueues the prediction for the poller, so no event-loop thread
+/// ever blocks on inference. Delivery hands the row vector back too, so
+/// the event loop can recycle it through its row pool.
 pub enum ReplySink {
     Channel(SyncSender<Prediction>),
-    Callback(Box<dyn FnOnce(Prediction) + Send>),
+    Shard(crate::eventloop::ShardSink),
 }
 
 impl ReplySink {
-    fn deliver(self, p: Prediction) {
+    fn deliver(self, p: Prediction, row: Vec<f64>) {
         match self {
-            // A dropped receiver (client hung up) is not an error.
+            // A dropped receiver (client hung up) is not an error. The
+            // blocking path has no row pool; the vector just drops.
             ReplySink::Channel(tx) => {
                 let _ = tx.send(p);
             }
-            ReplySink::Callback(f) => f(p),
+            ReplySink::Shard(sink) => sink.deliver(p, row),
         }
     }
 }
@@ -239,10 +242,22 @@ impl Batcher {
 
 /// Worker body: collect a batch (first job immediately, then up to
 /// `flush` of patience for more), predict, fan out, repeat.
+///
+/// All per-batch storage — the drained job list, the row/reply splits,
+/// the rate output, and the model's prepared-row scratch — lives in
+/// worker-local vectors that are cleared, never dropped, so a warmed-up
+/// worker executes whole batches without touching the allocator
+/// (`predict_into` reuses the scratch the same way).
 fn batch_loop(shared: &Shared) {
     let cfg = &shared.cfg;
+    let mut batch: Vec<Job> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut replies: Vec<(Instant, ReplySink)> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+    let mut scratch = wdt_model::PredictScratch::default();
     loop {
-        let batch = {
+        batch.clear();
+        {
             let mut q = shared.queue.lock().expect("batch queue poisoned");
             // Wait for work (or shutdown with an empty queue → exit).
             loop {
@@ -282,28 +297,35 @@ fn batch_loop(shared: &Shared) {
                 // a fresh patience window.
                 q.flush_now = false;
             }
-            let batch = q.jobs.drain(..take).collect::<Vec<Job>>();
+            batch.extend(q.jobs.drain(..take));
             shared.metrics.queue_depth.set(q.jobs.len() as f64);
-            batch
-        };
+        }
         if batch.is_empty() {
             continue;
         }
 
         let loaded = shared.registry.current();
-        let version: Arc<str> = Arc::from(loaded.version.as_str());
         let n = batch.len();
-        let mut rows = Vec::with_capacity(n);
-        let mut replies = Vec::with_capacity(n);
-        for job in batch {
+        rows.clear();
+        replies.clear();
+        for job in batch.drain(..) {
             rows.push(job.row);
             replies.push((job.enqueued, job.reply));
         }
-        let rates = loaded.model.predict(&rows);
+        // `predict_into` is bitwise-identical to `predict` (it runs the
+        // same serial block kernel) but reuses `rates` and `scratch`.
+        loaded.model.predict_into(&rows, &mut rates, &mut scratch);
         shared.metrics.batch_size.record(n as u64);
-        for ((enqueued, reply), rate) in replies.into_iter().zip(rates) {
+        for (((enqueued, reply), &rate), row) in
+            replies.drain(..).zip(rates.iter()).zip(rows.drain(..))
+        {
             shared.metrics.predict_latency_us.record(enqueued.elapsed().as_micros() as u64);
-            reply.deliver(Prediction { rate, version: version.clone(), batch_size: n });
+            // The version Arc is pre-built at model load time: cloning
+            // is a refcount bump, not a per-batch string allocation.
+            reply.deliver(
+                Prediction { rate, version: loaded.version_shared.clone(), batch_size: n },
+                row,
+            );
         }
     }
 }

@@ -4,7 +4,11 @@
 //! One [`HttpClient`] owns one TCP connection and issues requests
 //! serially, reusing the connection (`Connection: keep-alive`) so
 //! closed-loop load generation measures the server, not the TCP
-//! handshake.
+//! handshake. Request heads, response heads, and discarded bodies all
+//! pass through buffers owned by the client, so a warmed-up loadgen
+//! connection issues its steady-state traffic without heap allocations —
+//! on a shared core the generator's allocator traffic would otherwise
+//! show up in the *server's* benchmark numbers.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -14,6 +18,12 @@ use std::time::Duration;
 pub struct HttpClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Request-rendering buffer reused across [`HttpClient::send_many`].
+    send_buf: Vec<u8>,
+    /// Head-line buffer reused across response reads.
+    head_buf: Vec<u8>,
+    /// Body sink for [`HttpClient::read_status_discard_body`].
+    body_buf: Vec<u8>,
 }
 
 impl HttpClient {
@@ -28,7 +38,13 @@ impl HttpClient {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(HttpClient { writer: stream, reader })
+        Ok(HttpClient {
+            writer: stream,
+            reader,
+            send_buf: Vec::new(),
+            head_buf: Vec::new(),
+            body_buf: Vec::new(),
+        })
     }
 
     /// Issue `GET path` → (status, body).
@@ -57,69 +73,147 @@ impl HttpClient {
     /// wire as their own packet and cost the server a read (and the
     /// event loop a wakeup) apiece; a pipelined burst arrives as one
     /// segment the server can parse, batch, and answer in one pass. Pair
-    /// with exactly one [`HttpClient::read_response`] per request —
-    /// HTTP/1.1 answers pipelined requests in order.
+    /// with exactly one [`HttpClient::read_response`] (or
+    /// [`HttpClient::read_status_discard_body`]) per request — HTTP/1.1
+    /// answers pipelined requests in order. The render buffer is owned
+    /// by the client and reused, so repeat bursts allocate nothing.
     pub fn send_many(&mut self, method: &str, path: &str, bodies: &[&str]) -> std::io::Result<()> {
-        let mut buf = String::new();
+        self.send_buf.clear();
         for body in bodies {
-            buf.push_str(&format!(
-                "{method} {path} HTTP/1.1\r\n\
-                 Host: wdt\r\n\
-                 Content-Type: application/json\r\n\
-                 Content-Length: {}\r\n\
-                 \r\n{body}",
-                body.len()
-            ));
+            self.send_buf.extend_from_slice(method.as_bytes());
+            self.send_buf.push(b' ');
+            self.send_buf.extend_from_slice(path.as_bytes());
+            self.send_buf.extend_from_slice(
+                b" HTTP/1.1\r\nHost: wdt\r\nContent-Type: application/json\r\nContent-Length: ",
+            );
+            // Integer formatting via core::fmt writes through a stack
+            // buffer — no heap.
+            let _ = write!(self.send_buf, "{}", body.len());
+            self.send_buf.extend_from_slice(b"\r\n\r\n");
+            self.send_buf.extend_from_slice(body.as_bytes());
         }
-        self.writer.write_all(buf.as_bytes())?;
+        self.writer.write_all(&self.send_buf)?;
         self.writer.flush()
     }
 
-    /// Read one response → (status, body).
-    pub fn read_response(&mut self) -> std::io::Result<(u16, String)> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+    /// Read one head line (through `\n`) into the reusable head buffer.
+    fn read_head_line(&mut self) -> std::io::Result<()> {
+        self.head_buf.clear();
+        let n = self.reader.read_until(b'\n', &mut self.head_buf)?;
+        if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed connection",
             ));
         }
-        // "HTTP/1.1 200 OK"
-        let status: u16 =
-            line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("bad status line {line:?}"),
-                )
-            })?;
+        Ok(())
+    }
+
+    /// Read one response, returning only the status and discarding the
+    /// body into a reusable buffer — the zero-allocation read path the
+    /// load generator drives the benchmark with. (Parsing the body
+    /// would measure the client; the server's own parity is asserted
+    /// separately, end to end, in the integration tests.)
+    pub fn read_status_discard_body(&mut self) -> std::io::Result<u16> {
+        self.read_status_into_body().map(|(status, _)| status)
+    }
+
+    /// Shared read path: parse the head, read the body into the reusable
+    /// buffer, return (status, body length).
+    fn read_status_into_body(&mut self) -> std::io::Result<(u16, usize)> {
+        self.read_head_line()?;
+        // "HTTP/1.1 200 OK" — status = the token after the first space.
+        let status = parse_status(&self.head_buf).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
         let mut content_length = 0usize;
         loop {
-            line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "truncated response head",
-                ));
-            }
-            let trimmed = line.trim_end();
-            if trimmed.is_empty() {
+            self.read_head_line()?;
+            let line = trim_crlf(&self.head_buf);
+            if line.is_empty() {
                 break;
             }
-            if let Some((name, value)) = trimmed.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
-                        std::io::Error::new(
-                            std::io::ErrorKind::InvalidData,
-                            format!("bad content-length {value:?}"),
-                        )
-                    })?;
-                }
+            if let Some(v) = header_value(line, b"content-length") {
+                content_length = parse_decimal(v).ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
             }
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
-        String::from_utf8(body)
-            .map(|b| (status, b))
+        if self.body_buf.len() < content_length {
+            self.body_buf.resize(content_length, 0);
+        }
+        self.reader.read_exact(&mut self.body_buf[..content_length])?;
+        Ok((status, content_length))
+    }
+
+    /// Read one response → (status, body).
+    pub fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let (status, len) = self.read_status_into_body()?;
+        std::str::from_utf8(&self.body_buf[..len])
+            .map(|b| (status, b.to_string()))
             .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))
     }
+}
+
+/// Trim a trailing `\r\n` (or lone `\n`) from a head line.
+fn trim_crlf(line: &[u8]) -> &[u8] {
+    let line = line.strip_suffix(b"\n").unwrap_or(line);
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+/// `"HTTP/1.1 200 OK"` → `200`.
+fn parse_status(line: &[u8]) -> Option<u16> {
+    let rest = &line[line.iter().position(|&b| b == b' ')? + 1..];
+    let end = rest.iter().position(|&b| !b.is_ascii_digit()).unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    let mut v = 0u32;
+    for &b in &rest[..end] {
+        v = v * 10 + u32::from(b - b'0');
+        if v > u32::from(u16::MAX) {
+            return None;
+        }
+    }
+    Some(v as u16)
+}
+
+/// Case-insensitive header lookup: `line` is one head line without CRLF;
+/// returns the trimmed value when the name matches.
+fn header_value<'a>(line: &'a [u8], name: &[u8]) -> Option<&'a [u8]> {
+    let colon = line.iter().position(|&b| b == b':')?;
+    let (n, v) = (trim_ascii(&line[..colon]), trim_ascii(&line[colon + 1..]));
+    n.eq_ignore_ascii_case(name).then_some(v)
+}
+
+fn trim_ascii(mut b: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = b {
+        if first.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = b {
+        if last.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    b
+}
+
+fn parse_decimal(b: &[u8]) -> Option<usize> {
+    if b.is_empty() {
+        return None;
+    }
+    let mut v = 0usize;
+    for &d in b {
+        if !d.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(usize::from(d - b'0'))?;
+    }
+    Some(v)
 }

@@ -12,17 +12,37 @@
 //!
 //! ## Data flow
 //!
-//! Every shard polls: its *wake* socket, the shared listener (all shards
-//! poll it; one wins each `accept` race), and its connections. Complete
-//! requests go through the same `routes::route` as the threaded front
-//! end. Admin responses are rendered inline; `/predict` rows are
-//! submitted to the batcher with a **callback** sink
-//! ([`crate::batcher::ReplySink::Callback`]), so the poller never blocks
-//! on inference: the batch worker renders the response, pushes it onto
-//! the shard's completion queue, and pokes the wake socket (a loopback
+//! Every shard polls: its *wake* socket, its listener, and its
+//! connections. With `SO_REUSEPORT` (Linux) each shard owns a private
+//! listener on the same port and the kernel spreads incoming connections
+//! across them — no accept contention, no thundering herd. Where
+//! reuseport is unavailable the shards fall back to racing one shared
+//! nonblocking listener (losers see `WouldBlock`).
+//!
+//! Complete requests are parsed **in place**: [`RequestParser::peek`]
+//! yields a frame of byte ranges into the read buffer, `routes::route`
+//! reads method/path/body straight out of that window, and `/predict`
+//! rows are scanned into vectors recycled through a per-shard pool. Rows
+//! go to the batcher with a **plain-data** sink
+//! ([`crate::batcher::ReplySink::Shard`] — a [`ShardSink`] of five words,
+//! no boxed closure), so the poller never blocks on inference: the batch
+//! worker pushes the raw [`Prediction`] (plus the row, for the pool) onto
+//! the shard's completion queue and pokes the wake socket (a loopback
 //! `TcpStream` pair — `poll` can wait on sockets only, and the wake write
 //! is coalesced by an atomic flag so a busy shard is poked once per
 //! wakeup, not once per response).
+//!
+//! ## Coalesced writes
+//!
+//! Responses are rendered **at emit time**, in request order, directly
+//! into the connection's `VecDeque<u8>` output ring
+//! ([`render_response_into`] + a reusable body scratch `String`) — a
+//! pipelined burst accumulates there and [`flush_conn`] pushes both ring
+//! halves with one `writev(2)` per poll wakeup. In the steady state a
+//! keep-alive `/predict` request allocates nothing: buffers are reused,
+//! the version string is a shared `Arc<str>`, and out-of-order stashing
+//! (the only allocating path) happens only when pipelined answers finish
+//! out of sequence.
 //!
 //! ## Timeouts
 //!
@@ -34,15 +54,16 @@
 //! clients who keep trickling bytes inside the deadline are served
 //! normally — the bug class this front end was built not to have.
 
-use crate::batcher::{Batcher, ReplySink};
-use crate::http::{render_response, HttpError, RequestParser};
+use crate::batcher::{Batcher, Prediction, ReplySink};
+use crate::http::{render_response_into, HttpError, RequestParser};
 use crate::metrics::ServerMetrics;
 use crate::registry::ModelRegistry;
 use crate::routes::{
-    prediction_response, protocol_error_response, route, submit_error_response, Ctx, Routed,
+    prediction_body, protocol_error_response, route, submit_error_response, Body, Ctx, Routed,
+    BODY_NON_FINITE,
 };
 use crate::server::{Frontend, ServeConfig, Server};
-use crate::shim::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use crate::shim::{poll_fds, writev_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -58,18 +79,52 @@ const TICK_MS: i32 = 200;
 
 /// Most predictions one connection may have in the batcher at once.
 /// HTTP/1.1 pipelining lets a client send many requests back-to-back;
-/// admitting them concurrently (answers are re-sequenced, see
-/// [`stage_response`]) turns a pipelined burst into one inference batch
-/// and one writev-sized response flush. The cap bounds per-connection
-/// memory; anything deeper waits in the parser buffer.
+/// admitting them concurrently (answers are re-sequenced, see [`stage`])
+/// turns a pipelined burst into one inference batch and one writev-sized
+/// response flush. The cap bounds per-connection memory; anything deeper
+/// waits in the parser buffer.
 const PIPELINE_MAX: usize = 128;
 
 /// Stop reading from a connection whose client isn't draining responses.
 const MAX_OUT_BUFFER: usize = 256 * 1024;
 
-/// One rendered response bound for a connection:
-/// (token, sequence number, bytes, close-after).
-type Completion = (u64, u64, Vec<u8>, bool);
+/// Most row vectors a shard keeps for reuse. Enough that a busy shard
+/// never allocates rows in the steady state, small enough that a burst
+/// doesn't pin memory forever.
+const ROW_POOL_MAX: usize = 256;
+
+/// A finished prediction bound for a connection, raw: the shard renders
+/// it at emit time into the connection's output ring. Carrying the row
+/// home lets the shard recycle it through its pool.
+struct Completion {
+    token: u64,
+    seq: u64,
+    pred: Prediction,
+    close: bool,
+    started: Instant,
+    row: Vec<f64>,
+}
+
+/// Plain-data completion address a `/predict` submission carries into the
+/// batcher: a shared-state handle and four words, no boxed closure,
+/// nothing heap-allocated per request. The batch worker calls
+/// [`ShardSink::deliver`] exactly once.
+pub struct ShardSink {
+    shared: Arc<ShardShared>,
+    token: u64,
+    seq: u64,
+    close: bool,
+    started: Instant,
+}
+
+impl ShardSink {
+    /// Hand a finished prediction (and its row, for the pool) back to the
+    /// owning shard.
+    pub(crate) fn deliver(self, pred: Prediction, row: Vec<f64>) {
+        let ShardSink { shared, token, seq, close, started } = self;
+        shared.complete(Completion { token, seq, pred, close, started, row });
+    }
+}
 
 /// Cross-thread doorbell for one shard: batch workers push completions
 /// and poke the wake socket; the atomic coalesces pokes while the shard
@@ -89,17 +144,27 @@ impl Waker {
     }
 }
 
-/// State a shard shares with batch-worker callbacks.
+/// State a shard shares with batch workers.
 struct ShardShared {
     completions: Mutex<Vec<Completion>>,
     waker: Waker,
 }
 
 impl ShardShared {
-    fn complete(&self, token: u64, seq: u64, bytes: Vec<u8>, close: bool) {
-        self.completions.lock().expect("completion queue").push((token, seq, bytes, close));
+    fn complete(&self, c: Completion) {
+        self.completions.lock().expect("completion queue").push(c);
         self.waker.wake();
     }
+}
+
+/// A response waiting for its turn on the wire, pre-rendering: either a
+/// routed status/body or a raw prediction. Rendering happens in [`emit`],
+/// in sequence order, straight into the connection's output ring.
+enum Pending {
+    /// status, reason, body, close-after.
+    Raw(u16, &'static str, Body, bool),
+    /// prediction, close-after, request start (for the latency histogram).
+    Predict(Prediction, bool, Instant),
 }
 
 /// Per-connection state machine. A few hundred bytes plus buffers; this
@@ -115,14 +180,15 @@ struct Conn {
     in_flight: usize,
     /// Sequence number the next parsed request will be assigned.
     next_seq: u64,
-    /// Sequence number the next response appended to `out` must have —
+    /// Sequence number the next response emitted into `out` must have —
     /// pipelined answers go on the wire in request order, whatever order
     /// inference finishes in.
     write_seq: u64,
-    /// Finished responses waiting for their turn on the wire.
-    stash: std::collections::BTreeMap<u64, (Vec<u8>, bool)>,
+    /// Finished responses waiting for their turn on the wire. Empty in
+    /// the in-order steady state (no node churn, no allocation).
+    stash: std::collections::BTreeMap<u64, Pending>,
     /// Close once `out` drains (set when a close-flagged response is
-    /// sequenced into `out`).
+    /// emitted into `out`).
     close_after_write: bool,
     /// Peer sent FIN (or sent `Connection: close`); it may still be
     /// reading our side (half-close), so pending responses still flush.
@@ -135,31 +201,68 @@ impl Conn {
     /// True when nothing is pending in either direction: safe to drop on
     /// shutdown or after a read-side close.
     fn idle(&self) -> bool {
+        // A partial request keeps the connection busy only while the
+        // peer can still finish it; after FIN those bytes are garbage
+        // that must not pin the slot (or hang the shutdown drain).
         self.out.is_empty()
             && self.in_flight == 0
             && self.stash.is_empty()
-            && !self.parser.has_partial()
+            && (self.read_closed || !self.parser.has_partial())
     }
 }
 
-/// File a finished response under its sequence number, then move every
-/// response that is next-in-line into the write buffer. A close-flagged
-/// response, once sequenced, seals the connection: nothing further will
-/// be read or written after it.
-fn stage_response(c: &mut Conn, seq: u64, bytes: Vec<u8>, close: bool) {
-    c.stash.insert(seq, (bytes, close));
-    while let Some((bytes, close)) = c.stash.remove(&c.write_seq) {
+/// Render one response into the connection's output ring. A response
+/// emitted after a close-flagged one sealed the connection is dropped
+/// (it can only be pipelined surplus behind a protocol error); its
+/// prediction metrics are skipped too — it never hits the wire.
+fn emit(c: &mut Conn, pending: Pending, ctx: &Ctx, body: &mut String) {
+    if c.close_after_write {
+        return;
+    }
+    let close = match pending {
+        Pending::Raw(status, reason, b, close) => {
+            render_response_into(&mut c.out, status, reason, b.as_bytes(), close);
+            close
+        }
+        Pending::Predict(p, close, started) => {
+            if p.rate.is_finite() {
+                body.clear();
+                prediction_body(&p, body);
+                render_response_into(&mut c.out, 200, "OK", body.as_bytes(), close);
+                ctx.metrics.on_response(200);
+                ctx.metrics.on_prediction(started.elapsed().as_micros() as u64);
+            } else {
+                render_response_into(
+                    &mut c.out,
+                    500,
+                    "Internal Server Error",
+                    BODY_NON_FINITE.as_bytes(),
+                    close,
+                );
+                ctx.metrics.on_response(500);
+            }
+            close
+        }
+    };
+    if close {
+        c.close_after_write = true;
+        c.read_closed = true;
+    }
+}
+
+/// File a finished response under its sequence number; if it is
+/// next-in-line, emit it — and everything it unblocks — into the write
+/// buffer. The common in-order case never touches the stash.
+fn stage(c: &mut Conn, seq: u64, pending: Pending, ctx: &Ctx, body: &mut String) {
+    if seq != c.write_seq {
+        c.stash.insert(seq, pending);
+        return;
+    }
+    emit(c, pending, ctx, body);
+    c.write_seq += 1;
+    while let Some(p) = c.stash.remove(&c.write_seq) {
+        emit(c, p, ctx, body);
         c.write_seq += 1;
-        if c.close_after_write {
-            // A response sequenced after a sealed close is dropped (it
-            // can only be pipelined surplus behind a protocol error).
-            continue;
-        }
-        c.out.extend(bytes);
-        if close {
-            c.close_after_write = true;
-            c.read_closed = true;
-        }
     }
 }
 
@@ -169,18 +272,20 @@ pub struct EventLoopServer {
     ctx: Arc<Ctx>,
     shards: Mutex<Vec<JoinHandle<()>>>,
     shared: Vec<Arc<ShardShared>>,
+    reuseport: bool,
 }
 
 impl EventLoopServer {
-    /// Bind and start `cfg.acceptors` poller shards.
+    /// Bind and start `cfg.acceptors` poller shards. Each shard gets its
+    /// own `SO_REUSEPORT` listener where the platform supports it; the
+    /// fallback is one shared nonblocking listener all shards race.
     pub fn start(
         registry: Arc<ModelRegistry>,
         cfg: ServeConfig,
     ) -> std::io::Result<Arc<EventLoopServer>> {
-        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let listener = Arc::new(listener);
+        let n_shards = cfg.acceptors.max(1);
+        let (listeners, reuseport) = bind_listeners(cfg.port, n_shards)?;
+        let addr = listeners[0].local_addr()?;
         let metrics = Arc::new(ServerMetrics::new());
         let batcher = Batcher::start(registry.clone(), metrics.clone(), cfg.batch.clone());
         let ctx = Arc::new(Ctx {
@@ -192,7 +297,7 @@ impl EventLoopServer {
 
         let mut shards = Vec::new();
         let mut shared = Vec::new();
-        for i in 0..cfg.acceptors.max(1) {
+        for (i, listener) in listeners.into_iter().enumerate() {
             let (wake_rx, wake_tx) = waker_pair()?;
             let sh = Arc::new(ShardShared {
                 completions: Mutex::new(Vec::new()),
@@ -200,7 +305,6 @@ impl EventLoopServer {
             });
             shared.push(sh.clone());
             let ctx = ctx.clone();
-            let listener = listener.clone();
             let deadline = cfg.request_deadline;
             shards.push(
                 std::thread::Builder::new()
@@ -209,12 +313,18 @@ impl EventLoopServer {
                     .expect("spawn poller shard"),
             );
         }
-        Ok(Arc::new(EventLoopServer { addr, ctx, shards: Mutex::new(shards), shared }))
+        Ok(Arc::new(EventLoopServer { addr, ctx, shards: Mutex::new(shards), shared, reuseport }))
     }
 
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// True when each shard owns a private `SO_REUSEPORT` listener
+    /// (Linux); false on the shared-listener fallback.
+    pub fn reuseport(&self) -> bool {
+        self.reuseport
     }
 
     /// Shared metrics (for embedding / tests).
@@ -252,6 +362,33 @@ impl EventLoopServer {
             let _ = s.join();
         }
         self.ctx.batcher.shutdown();
+    }
+}
+
+/// One listener per shard via `SO_REUSEPORT` when the platform allows,
+/// else one shared listener cloned into every slot. The first listener
+/// resolves an ephemeral `port: 0`; siblings bind the resolved port.
+fn bind_listeners(port: u16, n: usize) -> std::io::Result<(Vec<Arc<TcpListener>>, bool)> {
+    let attempt = (|| -> std::io::Result<Vec<Arc<TcpListener>>> {
+        let first = crate::shim::reuseport_listener(port)?;
+        first.set_nonblocking(true)?;
+        let bound = first.local_addr()?.port();
+        let mut ls = vec![Arc::new(first)];
+        for _ in 1..n {
+            let l = crate::shim::reuseport_listener(bound)?;
+            l.set_nonblocking(true)?;
+            ls.push(Arc::new(l));
+        }
+        Ok(ls)
+    })();
+    match attempt {
+        Ok(ls) => Ok((ls, true)),
+        Err(_) => {
+            let l = TcpListener::bind(("127.0.0.1", port))?;
+            l.set_nonblocking(true)?;
+            let l = Arc::new(l);
+            Ok((vec![l; n], false))
+        }
     }
 }
 
@@ -331,6 +468,15 @@ fn waker_pair() -> std::io::Result<(TcpStream, TcpStream)> {
     Ok((rx, tx))
 }
 
+/// Everything a shard reuses across requests: the response-body scratch,
+/// the row-vector pool, and the double buffer the completion queue swaps
+/// into. All capacity, no steady-state allocation.
+struct ShardScratch {
+    body: String,
+    row_pool: Vec<Vec<f64>>,
+    done: Vec<Completion>,
+}
+
 fn shard_loop(
     listener: &TcpListener,
     mut wake_rx: TcpStream,
@@ -346,6 +492,8 @@ fn shard_loop(
     let mut next_gen: u64 = 0;
     let mut fds: Vec<PollFd> = Vec::new();
     let mut fd_slots: Vec<usize> = Vec::new();
+    let mut scratch =
+        ShardScratch { body: String::with_capacity(128), row_pool: Vec::new(), done: Vec::new() };
 
     loop {
         let stopping = ctx.stopping.load(Ordering::SeqCst);
@@ -404,7 +552,7 @@ fn shard_loop(
             let finished = {
                 let Some(c) = conns.get_mut(slot).and_then(Option::as_mut) else { continue };
                 if revents & (POLLIN | POLLHUP) != 0 {
-                    read_ready(c, ctx, shared, stopping);
+                    read_ready(c, ctx, shared, stopping, &mut scratch);
                 }
                 flush_conn(c)
             };
@@ -414,10 +562,30 @@ fn shard_loop(
             }
         }
 
-        // 3. Completions from batch workers.
-        let done: Vec<Completion> =
-            std::mem::take(&mut *shared.completions.lock().expect("completion queue"));
-        for (token, seq, bytes, close) in done {
+        // 3. Completions from batch workers, swapped out under the lock
+        // into a reused buffer (a `take` would allocate a fresh vector
+        // every drain; the swap keeps both buffers' capacity warm).
+        {
+            let mut q = shared.completions.lock().expect("completion queue");
+            std::mem::swap(&mut *q, &mut scratch.done);
+        }
+        for i in 0..scratch.done.len() {
+            let Completion { token, seq, pred, close, started, row } = {
+                let comp = &mut scratch.done[i];
+                Completion {
+                    token: comp.token,
+                    seq: comp.seq,
+                    pred: Prediction {
+                        rate: comp.pred.rate,
+                        version: comp.pred.version.clone(),
+                        batch_size: comp.pred.batch_size,
+                    },
+                    close: comp.close,
+                    started: comp.started,
+                    row: std::mem::take(&mut comp.row),
+                }
+            };
+            give_back_row(&mut scratch.row_pool, row);
             let slot = (token & 0xFFFF_FFFF) as usize;
             let finished = {
                 let Some(c) = conns.get_mut(slot).and_then(Option::as_mut) else { continue };
@@ -425,11 +593,11 @@ fn shard_loop(
                     continue; // stale: that connection died mid-predict
                 }
                 c.in_flight -= 1;
-                stage_response(c, seq, bytes, close);
+                stage(c, seq, Pending::Predict(pred, close, started), ctx, &mut scratch.body);
                 // Pipelined requests beyond the in-flight cap may still
                 // be waiting in the parser buffer.
                 if !c.close_after_write {
-                    process_requests(c, ctx, shared, stopping);
+                    process_requests(c, ctx, shared, stopping, &mut scratch);
                 }
                 flush_conn(c)
             };
@@ -438,6 +606,7 @@ fn shard_loop(
                 free.push(slot);
             }
         }
+        scratch.done.clear();
 
         // Burst boundary: every row this pass could have produced has
         // been submitted, and nothing more can arrive until a response
@@ -445,7 +614,9 @@ fn shard_loop(
         // to stop waiting for company.
         ctx.batcher.kick();
 
-        // 4. New connections (all shards race; losers see WouldBlock).
+        // 4. New connections (with reuseport the kernel steers each
+        // connection to exactly one shard; on the shared-listener
+        // fallback all shards race and losers see WouldBlock).
         if listener_polled && fds[1].revents & POLLIN != 0 {
             loop {
                 match listener.accept() {
@@ -498,7 +669,7 @@ fn shard_loop(
                     ctx.metrics.on_response(status);
                     let seq = c.next_seq;
                     c.next_seq += 1;
-                    stage_response(c, seq, render_response(status, reason, &body, true), true);
+                    stage(c, seq, Pending::Raw(status, reason, body, true), ctx, &mut scratch.body);
                 }
                 flush_conn(c)
             };
@@ -529,8 +700,21 @@ fn shard_loop(
     }
 }
 
+/// Return a row vector to the pool (bounded; surplus just drops).
+fn give_back_row(pool: &mut Vec<Vec<f64>>, row: Vec<f64>) {
+    if pool.len() < ROW_POOL_MAX {
+        pool.push(row);
+    }
+}
+
 /// Drain the socket into the parser, dispatching as requests complete.
-fn read_ready(c: &mut Conn, ctx: &Arc<Ctx>, shared: &Arc<ShardShared>, stopping: bool) {
+fn read_ready(
+    c: &mut Conn,
+    ctx: &Arc<Ctx>,
+    shared: &Arc<ShardShared>,
+    stopping: bool,
+    scratch: &mut ShardScratch,
+) {
     let mut buf = [0u8; 16 * 1024];
     loop {
         match c.stream.read(&mut buf) {
@@ -543,7 +727,7 @@ fn read_ready(c: &mut Conn, ctx: &Arc<Ctx>, shared: &Arc<ShardShared>, stopping:
                     c.started = Some(Instant::now());
                 }
                 c.parser.push(&buf[..n]);
-                process_requests(c, ctx, shared, stopping);
+                process_requests(c, ctx, shared, stopping, scratch);
                 if c.read_closed
                     || c.close_after_write
                     || c.in_flight >= PIPELINE_MAX
@@ -565,54 +749,68 @@ fn read_ready(c: &mut Conn, ctx: &Arc<Ctx>, shared: &Arc<ShardShared>, stopping:
 
 /// Parse and dispatch every complete request buffered on `c`, admitting
 /// up to [`PIPELINE_MAX`] concurrent predictions. Each request takes a
-/// sequence number at parse time; [`stage_response`] re-sequences
-/// whatever order answers arrive in.
-fn process_requests(c: &mut Conn, ctx: &Arc<Ctx>, shared: &Arc<ShardShared>, stopping: bool) {
+/// sequence number at parse time; [`stage`] re-sequences whatever order
+/// answers arrive in. Requests are parsed in place:
+/// [`RequestParser::peek`] yields byte ranges, `route` reads them out of
+/// the parser window, and only then is the frame consumed.
+fn process_requests(
+    c: &mut Conn,
+    ctx: &Arc<Ctx>,
+    shared: &Arc<ShardShared>,
+    stopping: bool,
+    scratch: &mut ShardScratch,
+) {
     while !c.close_after_write && !c.read_closed && c.in_flight < PIPELINE_MAX {
-        match c.parser.try_take() {
-            Ok(Some(req)) => {
+        match c.parser.peek() {
+            Ok(Some(frame)) => {
                 c.started = None;
-                let close = req.close || stopping;
+                let close = frame.close || stopping;
                 let seq = c.next_seq;
                 c.next_seq += 1;
-                match route(&req, ctx) {
+                let mut row = scratch.row_pool.pop().unwrap_or_default();
+                let routed = {
+                    let win = c.parser.window();
+                    route(
+                        frame.method,
+                        frame.method_bytes(win),
+                        frame.path_bytes(win),
+                        frame.body(win),
+                        ctx,
+                        &mut row,
+                    )
+                };
+                c.parser.consume(frame.wire_len());
+                match routed {
                     Routed::Done(status, reason, body) => {
+                        give_back_row(&mut scratch.row_pool, row);
                         ctx.metrics.on_response(status);
-                        stage_response(
+                        stage(
                             c,
                             seq,
-                            render_response(status, reason, &body, close),
-                            close,
+                            Pending::Raw(status, reason, body, close),
+                            ctx,
+                            &mut scratch.body,
                         );
                     }
-                    Routed::Predict(row) => {
-                        let started = Instant::now();
-                        let token = c.token;
-                        let shared = shared.clone();
-                        let metrics = ctx.metrics.clone();
-                        let sink = ReplySink::Callback(Box::new(move |p| {
-                            let (status, reason, body) = prediction_response(&p);
-                            metrics.on_response(status);
-                            if status == 200 {
-                                metrics.on_prediction(started.elapsed().as_micros() as u64);
-                            }
-                            shared.complete(
-                                token,
-                                seq,
-                                render_response(status, reason, &body, close),
-                                close,
-                            );
-                        }));
+                    Routed::Predict => {
+                        let sink = ReplySink::Shard(ShardSink {
+                            shared: shared.clone(),
+                            token: c.token,
+                            seq,
+                            close,
+                            started: Instant::now(),
+                        });
                         match ctx.batcher.submit_with(row, sink) {
                             Ok(()) => c.in_flight += 1,
                             Err(e) => {
                                 let (status, reason, body) = submit_error_response(&e);
                                 ctx.metrics.on_response(status);
-                                stage_response(
+                                stage(
                                     c,
                                     seq,
-                                    render_response(status, reason, &body, close),
-                                    close,
+                                    Pending::Raw(status, reason, body, close),
+                                    ctx,
+                                    &mut scratch.body,
                                 );
                             }
                         }
@@ -636,7 +834,7 @@ fn process_requests(c: &mut Conn, ctx: &Arc<Ctx>, shared: &Arc<ShardShared>, sto
                     ctx.metrics.on_response(status);
                     let seq = c.next_seq;
                     c.next_seq += 1;
-                    stage_response(c, seq, render_response(status, reason, &body, true), true);
+                    stage(c, seq, Pending::Raw(status, reason, body, true), ctx, &mut scratch.body);
                 } else if c.in_flight == 0 && c.stash.is_empty() {
                     // Nothing pending and nothing to answer: drop now.
                     c.close_after_write = true;
@@ -647,13 +845,15 @@ fn process_requests(c: &mut Conn, ctx: &Arc<Ctx>, shared: &Arc<ShardShared>, sto
     }
 }
 
-/// Write as much of `out` as the socket takes right now. Returns `true`
+/// Write as much of `out` as the socket takes right now — both halves of
+/// the ring in one `writev(2)`, so a pipelined burst of responses costs
+/// one syscall per wakeup instead of one per response. Returns `true`
 /// when the connection is finished (drained + told to close, peer gone,
 /// or write error) and its slot should be recycled.
 fn flush_conn(c: &mut Conn) -> bool {
     while !c.out.is_empty() {
-        let (front, _) = c.out.as_slices();
-        match c.stream.write(front) {
+        let (front, back) = c.out.as_slices();
+        match writev_fds(c.stream.as_raw_fd(), front, back) {
             Ok(0) => return true,
             Ok(n) => {
                 c.out.drain(..n);

@@ -34,7 +34,9 @@ pub const IDLE_TICK: Duration = Duration::from_millis(200);
 /// first byte has been seen. Expiry answers 408 Request Timeout.
 pub const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(5);
 
-/// A parsed request.
+/// A parsed request with owned fields — the convenient form used by the
+/// blocking front end and tests. The event loop's hot path uses
+/// [`Frame`] instead, which borrows from the parser's buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, …
@@ -45,6 +47,65 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Client asked to close after this exchange.
     pub close: bool,
+}
+
+/// Request method, pre-classified so routing does not compare strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+    /// Anything else — still routable (to a 404) without owning the name.
+    Other,
+}
+
+impl Method {
+    pub fn classify(bytes: &[u8]) -> Self {
+        match bytes {
+            b"GET" => Method::Get,
+            b"POST" => Method::Post,
+            _ => Method::Other,
+        }
+    }
+}
+
+/// A complete request described as byte ranges into the parser's window
+/// (see [`RequestParser::window`]) — no `String` per method/path, no
+/// copied body. The frame stays valid until [`RequestParser::consume`]
+/// or the next [`RequestParser::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Classified method (exact bytes via [`Frame::method_bytes`]).
+    pub method: Method,
+    method_range: (usize, usize),
+    path_range: (usize, usize),
+    head_len: usize,
+    body_len: usize,
+    /// Client asked to close after this exchange.
+    pub close: bool,
+}
+
+impl Frame {
+    /// Total bytes this request occupies on the wire (head + body);
+    /// pass to [`RequestParser::consume`] once routed.
+    pub fn wire_len(&self) -> usize {
+        self.head_len + self.body_len
+    }
+
+    /// Method bytes within `window` (always valid UTF-8 — the head is
+    /// checked before a frame is produced).
+    pub fn method_bytes<'a>(&self, window: &'a [u8]) -> &'a [u8] {
+        &window[self.method_range.0..self.method_range.1]
+    }
+
+    /// Path bytes within `window`.
+    pub fn path_bytes<'a>(&self, window: &'a [u8]) -> &'a [u8] {
+        &window[self.path_range.0..self.path_range.1]
+    }
+
+    /// Body bytes within `window`.
+    pub fn body<'a>(&self, window: &'a [u8]) -> &'a [u8] {
+        &window[self.head_len..self.head_len + self.body_len]
+    }
 }
 
 /// Protocol-level failure while reading a request.
@@ -84,13 +145,27 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
+/// Consumed prefix past which [`RequestParser::push`] compacts the
+/// buffer (memmoves the unconsumed tail to the front) instead of letting
+/// it grow. Small enough that the memmove is cheap, large enough that a
+/// burst of pipelined requests is consumed with pure cursor bumps.
+const COMPACT_AT: usize = 4096;
+
 /// Incremental request parser: a byte buffer plus "is a complete request
 /// buffered yet?". Feed it with [`RequestParser::push`] from any read
 /// strategy (blocking with timeouts, nonblocking readiness); it never
 /// touches a socket itself.
+///
+/// Consumption is cursor-based: [`RequestParser::peek`] describes the
+/// frontmost complete request as byte ranges ([`Frame`]) without copying
+/// anything, and [`RequestParser::consume`] advances past it — the old
+/// `Vec::drain` per request (an O(buffered-bytes) memmove under
+/// pipelining) is gone. [`RequestParser::try_take`] wraps the pair for
+/// callers that want owned [`Request`]s.
 #[derive(Debug, Default)]
 pub struct RequestParser {
     buf: Vec<u8>,
+    pos: usize,
 }
 
 impl RequestParser {
@@ -100,24 +175,36 @@ impl RequestParser {
 
     /// Append bytes read off the wire.
     pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos >= COMPACT_AT {
+            self.buf.copy_within(self.pos.., 0);
+            let tail = self.buf.len() - self.pos;
+            self.buf.truncate(tail);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
     /// Bytes of an incomplete request are sitting in the buffer — i.e. a
     /// request has *started* (deadline applies) but has not finished.
     pub fn has_partial(&self) -> bool {
-        !self.buf.is_empty()
+        self.pos < self.buf.len()
     }
 
-    /// Take one complete request off the front of the buffer if fully
-    /// delivered, leaving any pipelined surplus for the next call.
+    /// The unconsumed bytes. [`Frame`] ranges index into this slice.
+    pub fn window(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Describe the frontmost request if fully delivered, without
+    /// copying or consuming anything.
     ///
     /// `Ok(None)` means "need more bytes". Errors are terminal for the
     /// connection: the buffer cannot be re-synchronized after a malformed
     /// or oversized head.
-    pub fn try_take(&mut self) -> Result<Option<Request>, HttpError> {
-        let Some(head_len) = find_head_end(&self.buf) else {
-            if self.buf.len() > MAX_HEAD_BYTES {
+    pub fn peek(&self) -> Result<Option<Frame>, HttpError> {
+        let window = self.window();
+        let Some(head_len) = find_head_end(window) else {
+            if window.len() > MAX_HEAD_BYTES {
                 return Err(HttpError::TooLarge("header"));
             }
             return Ok(None);
@@ -125,15 +212,39 @@ impl RequestParser {
         if head_len > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge("header"));
         }
-        let head = std::str::from_utf8(&self.buf[..head_len])
-            .map_err(|_| HttpError::Malformed("head is not utf-8".into()))?;
-        let (method, path, content_length, close) = parse_head(head)?;
-        if self.buf.len() < head_len + content_length {
+        let frame = parse_head(window, head_len)?;
+        if window.len() < frame.wire_len() {
             return Ok(None);
         }
-        let body = self.buf[head_len..head_len + content_length].to_vec();
-        self.buf.drain(..head_len + content_length);
-        Ok(Some(Request { method, path, body, close }))
+        Ok(Some(frame))
+    }
+
+    /// Advance past `n` consumed bytes (a routed frame's
+    /// [`Frame::wire_len`]), invalidating outstanding frames.
+    pub fn consume(&mut self, n: usize) {
+        self.pos += n;
+        debug_assert!(self.pos <= self.buf.len());
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+    }
+
+    /// Take one complete request off the front of the buffer if fully
+    /// delivered, leaving any pipelined surplus for the next call.
+    pub fn try_take(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(frame) = self.peek()? else {
+            return Ok(None);
+        };
+        let window = self.window();
+        let req = Request {
+            method: String::from_utf8_lossy(frame.method_bytes(window)).into_owned(),
+            path: String::from_utf8_lossy(frame.path_bytes(window)).into_owned(),
+            body: frame.body(window).to_vec(),
+            close: frame.close,
+        };
+        self.consume(frame.wire_len());
+        Ok(Some(req))
     }
 }
 
@@ -157,15 +268,26 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     None
 }
 
-/// Parse request line + headers. Returns (method, path, content_length,
-/// close).
-fn parse_head(head: &str) -> Result<(String, String, usize, bool), HttpError> {
+/// Parse request line + headers of `window[..head_len]` into a
+/// [`Frame`]. Allocation-free on success: method and path are recorded
+/// as byte ranges (offsets into `window`), header names are matched with
+/// `eq_ignore_ascii_case` instead of lowercased copies, and only the
+/// error paths build `String`s.
+fn parse_head(window: &[u8], head_len: usize) -> Result<Frame, HttpError> {
+    let head = std::str::from_utf8(&window[..head_len])
+        .map_err(|_| HttpError::Malformed("head is not utf-8".into()))?;
+    let base = head.as_ptr() as usize;
+    // Byte offset of a head substring within `window`.
+    let range_of = |s: &str| {
+        let start = s.as_ptr() as usize - base;
+        (start, start + s.len())
+    };
     let mut lines = head.lines();
     let line = lines.next().unwrap_or_default();
     let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
-    let version = parts.next().unwrap_or_default().to_string();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or_default();
     if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed(format!("request line {:?}", line.trim_end())));
     }
@@ -180,45 +302,49 @@ fn parse_head(head: &str) -> Result<(String, String, usize, bool), HttpError> {
         let Some((name, value)) = trimmed.split_once(':') else {
             return Err(HttpError::Malformed(format!("header {trimmed:?}")));
         };
-        let name = name.trim().to_ascii_lowercase();
+        let name = name.trim();
         let value = value.trim();
-        match name.as_str() {
-            "content-length" => {
-                // Strict digits only: `usize::parse` would accept `+7`,
-                // and a lenient parse here invites smuggling mismatches
-                // with any stricter intermediary.
-                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
-                    return Err(HttpError::Malformed(format!("content-length {value:?}")));
-                }
-                let n = value
-                    .parse::<usize>()
-                    .map_err(|_| HttpError::Malformed(format!("content-length {value:?}")))?;
-                // Duplicate headers must agree; conflicting duplicates are
-                // the classic request-smuggling vector.
-                if content_length.is_some_and(|prev| prev != n) {
-                    return Err(HttpError::Malformed("conflicting content-length".into()));
-                }
-                if n > MAX_BODY_BYTES {
-                    return Err(HttpError::TooLarge("body"));
-                }
-                content_length = Some(n);
+        if name.eq_ignore_ascii_case("content-length") {
+            // Strict digits only: `usize::parse` would accept `+7`,
+            // and a lenient parse here invites smuggling mismatches
+            // with any stricter intermediary.
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::Malformed(format!("content-length {value:?}")));
             }
-            "connection" => {
-                // Token-wise match: `Connection` is a comma-separated
-                // token list, and substring matching would treat e.g.
-                // `not-close` as a close request.
-                for token in value.split(',') {
-                    match token.trim().to_ascii_lowercase().as_str() {
-                        "close" => close = true,
-                        "keep-alive" => close = false,
-                        _ => {}
-                    }
+            let n = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("content-length {value:?}")))?;
+            // Duplicate headers must agree; conflicting duplicates are
+            // the classic request-smuggling vector.
+            if content_length.is_some_and(|prev| prev != n) {
+                return Err(HttpError::Malformed("conflicting content-length".into()));
+            }
+            if n > MAX_BODY_BYTES {
+                return Err(HttpError::TooLarge("body"));
+            }
+            content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("connection") {
+            // Token-wise match: `Connection` is a comma-separated
+            // token list, and substring matching would treat e.g.
+            // `not-close` as a close request.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
                 }
             }
-            _ => {}
         }
     }
-    Ok((method, path, content_length.unwrap_or(0), close))
+    Ok(Frame {
+        method: Method::classify(method.as_bytes()),
+        method_range: range_of(method),
+        path_range: range_of(path),
+        head_len,
+        body_len: content_length.unwrap_or(0),
+        close,
+    })
 }
 
 /// Read one request off a blocking keep-alive connection whose socket
@@ -273,20 +399,63 @@ pub fn read_request(
     }
 }
 
+/// Static head template for the overwhelmingly common response shape,
+/// up to the Content-Length digits.
+const HEAD_200_PREFIX: &[u8] =
+    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: ";
+const HEAD_TAIL_KEEPALIVE: &[u8] = b"\r\nConnection: keep-alive\r\n\r\n";
+const HEAD_TAIL_CLOSE: &[u8] = b"\r\nConnection: close\r\n\r\n";
+
+/// Append one decimal integer to a growable in-memory buffer without
+/// going through `format!` (stack digits, one `write_all`).
+fn write_decimal<W: std::io::Write>(out: &mut W, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    let _ = out.write_all(&digits[i..]);
+}
+
+/// Render a response (head + JSON body) into a reusable buffer —
+/// `Vec<u8>` or the event loop's per-connection `VecDeque<u8>` — with
+/// static head templates and integer fast-format: zero heap allocations
+/// beyond what `out` itself may grow. Byte-identical to the `format!`
+/// rendering this replaces.
+///
+/// Writes to in-memory buffers are infallible, so errors are ignored and
+/// the signature stays `()`.
+pub fn render_response_into<W: std::io::Write>(
+    out: &mut W,
+    status: u16,
+    reason: &str,
+    body: &[u8],
+    close: bool,
+) {
+    if status == 200 && reason == "OK" {
+        let _ = out.write_all(HEAD_200_PREFIX);
+    } else {
+        let _ = out.write_all(b"HTTP/1.1 ");
+        write_decimal(out, u64::from(status));
+        let _ = out.write_all(b" ");
+        let _ = out.write_all(reason.as_bytes());
+        let _ = out.write_all(b"\r\nContent-Type: application/json\r\nContent-Length: ");
+    }
+    write_decimal(out, body.len() as u64);
+    let _ = out.write_all(if close { HEAD_TAIL_CLOSE } else { HEAD_TAIL_KEEPALIVE });
+    let _ = out.write_all(body);
+}
+
 /// Render a response (head + JSON body) as one contiguous byte vector, so
 /// front ends can answer with a single `write` syscall.
 pub fn render_response(status: u16, reason: &str, body: &str, close: bool) -> Vec<u8> {
-    let mut out = format!(
-        "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/json\r\n\
-         Content-Length: {}\r\n\
-         Connection: {}\r\n\
-         \r\n",
-        body.len(),
-        if close { "close" } else { "keep-alive" },
-    )
-    .into_bytes();
-    out.extend_from_slice(body.as_bytes());
+    let mut out = Vec::with_capacity(96 + body.len());
+    render_response_into(&mut out, status, reason, body.as_bytes(), close);
     out
 }
 
@@ -466,6 +635,70 @@ mod tests {
         assert_eq!(p.try_take().unwrap().unwrap().path, "/healthz");
         assert_eq!(p.try_take().unwrap().unwrap().path, "/metrics");
         assert_eq!(p.try_take().unwrap(), None);
+    }
+
+    #[test]
+    fn render_into_matches_legacy_format_rendering() {
+        for (status, reason, body, close) in [
+            (200, "OK", "{\"rate\":12.5}", false),
+            (200, "OK", "", true),
+            (404, "Not Found", "{\"error\":\"no route GET /x\"}", false),
+            (503, "Service Unavailable", "{\"error\":\"overloaded\"}", true),
+        ] {
+            let expected = format!(
+                "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+                body.len(),
+                if close { "close" } else { "keep-alive" },
+            );
+            assert_eq!(
+                render_response(status, reason, body, close),
+                expected.as_bytes(),
+                "render mismatch for {status} {reason}"
+            );
+        }
+    }
+
+    #[test]
+    fn peek_exposes_byte_ranges_and_consume_advances() {
+        let mut p = RequestParser::new();
+        p.push(
+            b"POST /predict HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}GET /h HTTP/1.1\r\n\r\n",
+        );
+        let f = p.peek().unwrap().unwrap();
+        assert_eq!(f.method, Method::Post);
+        let win = p.window();
+        assert_eq!(f.method_bytes(win), b"POST");
+        assert_eq!(f.path_bytes(win), b"/predict");
+        assert_eq!(f.body(win), b"{\"a\":1}");
+        // Peeking is idempotent: nothing consumed yet.
+        assert_eq!(p.peek().unwrap().unwrap(), f);
+        p.consume(f.wire_len());
+        let f2 = p.peek().unwrap().unwrap();
+        assert_eq!(f2.method, Method::Get);
+        assert_eq!(f2.path_bytes(p.window()), b"/h");
+        assert_eq!(f2.body(p.window()), b"");
+        p.consume(f2.wire_len());
+        assert!(!p.has_partial());
+        assert_eq!(p.peek().unwrap(), None);
+    }
+
+    #[test]
+    fn push_compacts_consumed_prefix_without_losing_tail() {
+        let mut p = RequestParser::new();
+        // One large request (consumed) followed by a partial head, then
+        // pushes that trigger compaction.
+        let pad = "z".repeat(8 * 1024);
+        let big = format!("POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n{pad}", pad.len());
+        p.push(big.as_bytes());
+        p.push(b"GET /next HT");
+        let f = p.peek().unwrap().unwrap();
+        p.consume(f.wire_len());
+        assert!(p.has_partial());
+        p.push(b"TP/1.1\r\n\r\n");
+        let req = p.try_take().unwrap().unwrap();
+        assert_eq!(req.path, "/next");
+        assert!(!p.has_partial());
     }
 
     #[test]

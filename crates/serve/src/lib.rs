@@ -41,6 +41,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 mod routes;
+mod rowscan;
 pub mod server;
 pub mod shim;
 

@@ -55,6 +55,12 @@ pub struct LoadgenConfig {
     /// pipelines measure the server's batch capacity the way a
     /// scheduler scoring many candidate transfers at once drives it.
     pub pipeline: usize,
+    /// Warm-up: this many successful responses (striped across the
+    /// connections like the request budget) are excluded from the
+    /// latency histogram, so cold caches, first-touch page faults, and
+    /// buffer growth on both sides don't pollute the tail percentiles.
+    /// They still count toward `ok` and throughput.
+    pub warmup: usize,
 }
 
 /// Results of one run.
@@ -80,7 +86,10 @@ pub struct LoadgenReport {
     pub duration_s: f64,
     /// Completed requests (ok + shed) per second.
     pub throughput_rps: f64,
-    /// Latency distribution over *successful* predictions, µs.
+    /// Successful responses excluded from the latency histogram.
+    pub warmup: u64,
+    /// Latency distribution over *successful* predictions after the
+    /// warm-up discard, µs.
     pub latency_us: Histogram,
 }
 
@@ -98,6 +107,7 @@ impl LoadgenReport {
             ("errors", JsonValue::Num(self.errors as f64)),
             ("duration_s", JsonValue::Num(self.duration_s)),
             ("throughput_rps", JsonValue::Num(self.throughput_rps)),
+            ("warmup", JsonValue::Num(self.warmup as f64)),
             ("latency_us", self.latency_us.summary_json()),
         ])
     }
@@ -123,7 +133,11 @@ impl LoadgenReport {
             self.latency_us.quantile(0.95),
             self.latency_us.quantile(0.99),
             self.latency_us.max(),
-        )
+        ) + &if self.warmup > 0 {
+            format!(" [{} warm-up discarded]", self.warmup)
+        } else {
+            String::new()
+        }
     }
 }
 
@@ -165,9 +179,14 @@ pub fn run_loadgen(
         LoadgenMode::Closed { concurrency } => ("closed", concurrency.max(1), 0.0),
         LoadgenMode::Open { rate_rps, connections } => ("open", connections.max(1), rate_rps),
     };
-    // Stripe the request budget over connections.
-    let per_thread: Vec<usize> = (0..connections)
-        .map(|t| cfg.requests / connections + usize::from(t < cfg.requests % connections))
+    // Stripe the request and warm-up budgets over connections.
+    let per_thread: Vec<(usize, usize)> = (0..connections)
+        .map(|t| {
+            (
+                cfg.requests / connections + usize::from(t < cfg.requests % connections),
+                cfg.warmup / connections + usize::from(t < cfg.warmup % connections),
+            )
+        })
         .collect();
 
     let pipeline = cfg.pipeline.max(1);
@@ -175,7 +194,7 @@ pub fn run_loadgen(
     let threads: Vec<_> = per_thread
         .into_iter()
         .enumerate()
-        .map(|(t, quota)| {
+        .map(|(t, (quota, warmup))| {
             let bodies = bodies.clone();
             let addr = cfg.addr;
             let pace = match cfg.mode {
@@ -184,7 +203,7 @@ pub fn run_loadgen(
                     Some(Duration::from_secs_f64(connections.max(1) as f64 / rate_rps.max(1e-9)))
                 }
             };
-            std::thread::spawn(move || client_loop(addr, &bodies, t, quota, pace, pipeline))
+            std::thread::spawn(move || client_loop(addr, &bodies, t, quota, warmup, pace, pipeline))
         })
         .collect();
 
@@ -211,6 +230,7 @@ pub fn run_loadgen(
         errors,
         duration_s,
         throughput_rps: (ok + shed) as f64 / duration_s,
+        warmup: cfg.warmup.min(cfg.requests) as u64,
         latency_us: latency,
     })
 }
@@ -220,6 +240,7 @@ fn client_loop(
     bodies: &[String],
     thread_idx: usize,
     quota: usize,
+    mut warmup: usize,
     pace: Option<Duration>,
     pipeline: usize,
 ) -> ThreadTally {
@@ -258,12 +279,21 @@ fn client_loop(
             continue;
         }
         for d in 0..depth {
-            match c.read_response() {
-                Ok((200, _)) => {
+            // Status-only read: the generator's own body parsing would
+            // allocate per response and (on a shared core) bill the
+            // server for it.
+            match c.read_status_discard_body() {
+                Ok(200) => {
                     tally.ok += 1;
-                    tally.latency.record(sent.elapsed().as_micros() as u64);
+                    if warmup > 0 {
+                        // Warm-up responses count, but their latency
+                        // (cold caches, buffer growth) is discarded.
+                        warmup -= 1;
+                    } else {
+                        tally.latency.record(sent.elapsed().as_micros() as u64);
+                    }
                 }
-                Ok((503, _)) => tally.shed += 1,
+                Ok(503) => tally.shed += 1,
                 Ok(_) => tally.errors += 1,
                 Err(_) => {
                     // The rest of the burst dies with the connection.
@@ -322,6 +352,7 @@ mod tests {
             requests: 200,
             mode: LoadgenMode::Closed { concurrency: 4 },
             pipeline: 1,
+            warmup: 0,
         };
         let report = run_loadgen(&cfg, &names, &rows).expect("loadgen");
         assert_eq!(report.ok + report.shed + report.errors, 200);
@@ -335,6 +366,30 @@ mod tests {
     }
 
     #[test]
+    fn warmup_responses_are_excluded_from_latency_only() {
+        let server = start_server("warmup");
+        let (names, rows) = sample_rows(&server, 16);
+        let cfg = LoadgenConfig {
+            addr: server.addr(),
+            requests: 120,
+            mode: LoadgenMode::Closed { concurrency: 3 },
+            pipeline: 4,
+            warmup: 30,
+        };
+        let report = run_loadgen(&cfg, &names, &rows).expect("loadgen");
+        assert_eq!(report.ok + report.shed + report.errors, 120);
+        assert_eq!(report.errors, 0, "loopback run must not error");
+        assert_eq!(report.warmup, 30);
+        // Warm-up responses still count as ok/throughput, but each
+        // thread drops its stripe of the first latencies.
+        assert_eq!(report.latency_us.count(), report.ok - 30);
+        assert!(report.summary().contains("warm-up"));
+        let json = JsonValue::parse(&report.to_json().to_string()).unwrap();
+        assert_eq!(json.field("warmup").unwrap().as_usize().unwrap(), 30);
+        server.shutdown();
+    }
+
+    #[test]
     fn open_loop_paces_arrivals() {
         let server = start_server("open");
         let (names, rows) = sample_rows(&server, 8);
@@ -343,6 +398,7 @@ mod tests {
             requests: 50,
             mode: LoadgenMode::Open { rate_rps: 500.0, connections: 2 },
             pipeline: 1,
+            warmup: 0,
         };
         let started = Instant::now();
         let report = run_loadgen(&cfg, &names, &rows).expect("loadgen");

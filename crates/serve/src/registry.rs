@@ -31,13 +31,15 @@ use wdt_model::FittedModel;
 pub struct ServeSchema {
     names: Vec<String>,
     index: BTreeMap<String, usize>,
+    scan_index: crate::rowscan::SchemaIndex,
 }
 
 impl ServeSchema {
     /// Build a schema from ordered feature names.
     pub fn new(names: Vec<String>) -> Self {
         let index = names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
-        ServeSchema { names, index }
+        let scan_index = crate::rowscan::SchemaIndex::build(&names);
+        ServeSchema { names, index, scan_index }
     }
 
     /// The prediction-time schema (Table 2 features minus `Nflt`).
@@ -64,6 +66,12 @@ impl ServeSchema {
     /// Index of a feature name, if part of the schema.
     pub fn position(&self) -> &BTreeMap<String, usize> {
         &self.index
+    }
+
+    /// The precomputed first-byte index the allocation-free body scanner
+    /// resolves feature names against (built once per schema).
+    pub(crate) fn scan_index(&self) -> &crate::rowscan::SchemaIndex {
+        &self.scan_index
     }
 
     /// Check an artifact against this schema: every kept column must sit
@@ -98,8 +106,20 @@ impl ServeSchema {
 pub struct LoadedModel {
     /// Version label (artifact file stem).
     pub version: String,
+    /// The version label as a shared string, built once at load time so
+    /// every per-prediction response clones a refcount instead of
+    /// allocating a fresh `Arc<str>` per batch.
+    pub version_shared: Arc<str>,
     /// The deserialized model.
     pub model: FittedModel,
+}
+
+impl LoadedModel {
+    /// Wrap a validated model under its version label.
+    pub fn new(version: String, model: FittedModel) -> Self {
+        let version_shared = Arc::from(version.as_str());
+        LoadedModel { version, version_shared, model }
+    }
 }
 
 /// Registry failure modes.
@@ -211,7 +231,7 @@ impl ModelRegistry {
         let model = FittedModel::from_json(&text)
             .map_err(|e| RegistryError::Artifact(format!("{}: {e}", path.display())))?;
         schema.validate(&model)?;
-        Ok(LoadedModel { version: version.to_string(), model })
+        Ok(LoadedModel::new(version.to_string(), model))
     }
 
     fn load_latest(dir: &Path, schema: &ServeSchema) -> Result<LoadedModel, RegistryError> {

@@ -2,22 +2,47 @@
 //!
 //! The blocking worker pool (`server.rs`) and the nonblocking event loop
 //! (`eventloop.rs`) differ only in how bytes and replies move; *what* a
-//! request means is defined once, here. [`route`] classifies a parsed
-//! request into either an immediately-renderable response or a prediction
-//! row to hand to the batcher — the front end decides whether to wait for
-//! the reply (blocking) or to attach a completion callback (event loop).
+//! request means is defined once, here. [`route`] classifies a request
+//! (method/path/body as byte slices — the event loop passes ranges into
+//! its read buffer, the blocking front end passes its owned strings)
+//! into either an immediately-renderable response or a prediction row to
+//! hand to the batcher — the front end decides whether to wait for the
+//! reply (blocking) or to attach a completion (event loop). The caller
+//! supplies the row scratch, so the event loop can recycle row vectors
+//! through its pool while the blocking path just hands over a fresh one.
 //!
 //! Metrics discipline: `route` bumps only the per-endpoint counters. The
 //! request/shed/error counters move in `ServerMetrics::on_response`,
 //! which each front end calls exactly once per response it writes.
+//!
+//! Response bodies are `Cow<'static, str>`: the fixed messages
+//! (overload shed, shutdown, deadline, size limits, non-finite guard)
+//! are precomputed `&'static str`s so an error storm — the one time
+//! response volume spikes — allocates nothing, while dynamic bodies
+//! (metrics, healthz, per-message 400s) stay owned strings.
 
 use crate::batcher::{Batcher, Prediction, SubmitError};
-use crate::http::{HttpError, Request};
+use crate::http::{HttpError, Method};
 use crate::metrics::ServerMetrics;
 use crate::registry::ModelRegistry;
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use wdt_types::json::{escape_into, format_f64};
 use wdt_types::JsonValue;
+
+/// A response body: static for the fixed messages, owned otherwise.
+pub(crate) type Body = Cow<'static, str>;
+
+/// `{"error":"overloaded"}` etc., precomputed. Each constant must equal
+/// `error_body(<display text>)` — asserted in the tests below, so the
+/// strings cannot drift from the `Display` impls they mirror.
+pub(crate) const BODY_OVERLOADED: &str = "{\"error\":\"overloaded\"}";
+pub(crate) const BODY_SHUTTING_DOWN: &str = "{\"error\":\"shutting down\"}";
+pub(crate) const BODY_DEADLINE: &str = "{\"error\":\"request deadline expired\"}";
+pub(crate) const BODY_HEADER_TOO_LARGE: &str = "{\"error\":\"header too large\"}";
+pub(crate) const BODY_BODY_TOO_LARGE: &str = "{\"error\":\"body too large\"}";
+pub(crate) const BODY_NON_FINITE: &str = "{\"error\":\"non-finite prediction\"}";
 
 /// Shared state both front ends operate on.
 pub(crate) struct Ctx {
@@ -30,31 +55,44 @@ pub(crate) struct Ctx {
 /// What to do with a parsed request.
 pub(crate) enum Routed {
     /// Fully-formed response: status, reason, JSON body.
-    Done(u16, &'static str, String),
-    /// A `/predict` row admitted past validation; the caller submits it
-    /// to the batcher its own way.
-    Predict(Vec<f64>),
+    Done(u16, &'static str, Body),
+    /// A `/predict` row admitted past validation into the caller's `row`
+    /// scratch; the caller submits it to the batcher its own way.
+    Predict,
 }
 
 /// Dispatch one request. Admin endpoints are answered inline; `/predict`
-/// is parsed and validated here but submitted by the caller.
-pub(crate) fn route(req: &Request, ctx: &Ctx) -> Routed {
-    ctx.metrics.on_route(&req.method, &req.path);
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => match parse_feature_row(&req.body, ctx) {
-            Ok(row) => Routed::Predict(row),
-            Err(msg) => Routed::Done(400, "Bad Request", error_body(&msg)),
-        },
-        ("GET", "/healthz") => {
+/// is parsed into `row` here but submitted by the caller.
+pub(crate) fn route(
+    method: Method,
+    method_bytes: &[u8],
+    path: &[u8],
+    body: &[u8],
+    ctx: &Ctx,
+    row: &mut Vec<f64>,
+) -> Routed {
+    // Method/path reached us through the head's UTF-8 check; the lossy
+    // conversion never actually copies.
+    let method_str = std::str::from_utf8(method_bytes).unwrap_or("?");
+    let path_str = std::str::from_utf8(path).unwrap_or("?");
+    ctx.metrics.on_route(method_str, path_str);
+    match (method, path) {
+        (Method::Post, b"/predict") => {
+            match crate::rowscan::scan_feature_row(body, ctx.registry.schema(), row) {
+                Ok(()) => Routed::Predict,
+                Err(msg) => Routed::Done(400, "Bad Request", error_body(&msg).into()),
+            }
+        }
+        (Method::Get, b"/healthz") => {
             let version = ctx.registry.current().version.clone();
             let body = JsonValue::obj([
                 ("status", JsonValue::Str("ok".into())),
                 ("version", JsonValue::Str(version)),
             ])
             .to_string();
-            Routed::Done(200, "OK", body)
+            Routed::Done(200, "OK", body.into())
         }
-        ("GET", "/metrics") => {
+        (Method::Get, b"/metrics") => {
             let mut m = ctx.metrics.to_json();
             if let JsonValue::Obj(map) = &mut m {
                 map.insert("queue_depth".into(), JsonValue::Num(ctx.batcher.queue_depth() as f64));
@@ -63,61 +101,76 @@ pub(crate) fn route(req: &Request, ctx: &Ctx) -> Routed {
                     JsonValue::Str(ctx.registry.current().version.clone()),
                 );
             }
-            Routed::Done(200, "OK", m.to_string())
+            Routed::Done(200, "OK", m.to_string().into())
         }
-        ("POST", "/reload") => match ctx.registry.reload() {
+        (Method::Post, b"/reload") => match ctx.registry.reload() {
             Ok(version) => {
                 let body = JsonValue::obj([("version", JsonValue::Str(version))]).to_string();
-                Routed::Done(200, "OK", body)
+                Routed::Done(200, "OK", body.into())
             }
-            Err(e) => Routed::Done(500, "Internal Server Error", error_body(&e.to_string())),
+            Err(e) => Routed::Done(500, "Internal Server Error", error_body(&e.to_string()).into()),
         },
-        ("POST", "/shutdown") => {
+        (Method::Post, b"/shutdown") => {
             ctx.stopping.store(true, Ordering::SeqCst);
             Routed::Done(
                 200,
                 "OK",
-                JsonValue::obj([("status", JsonValue::Str("stopping".into()))]).to_string(),
+                JsonValue::obj([("status", JsonValue::Str("stopping".into()))]).to_string().into(),
             )
         }
         _ => Routed::Done(
             404,
             "Not Found",
-            error_body(&format!("no route {} {}", req.method, req.path)),
+            error_body(&format!("no route {method_str} {path_str}")).into(),
         ),
     }
 }
 
+/// Append the wire body for a completed prediction to `out` —
+/// `{"batch_size":N,"rate":R,"version":"V"}`, the exact bytes the
+/// sorted-map `JsonValue` rendering produced (same key order, same
+/// [`format_f64`] number spelling, same [`escape_into`] escaping), but
+/// into a reusable buffer. Callers must have handled the non-finite
+/// guard first.
+pub(crate) fn prediction_body(p: &Prediction, out: &mut String) {
+    out.push_str("{\"batch_size\":");
+    format_f64(p.batch_size as f64, out);
+    out.push_str(",\"rate\":");
+    format_f64(p.rate, out);
+    out.push_str(",\"version\":");
+    escape_into(&p.version, out);
+    out.push('}');
+}
+
 /// Response for a completed prediction (covers the non-finite guard).
-pub(crate) fn prediction_response(p: &Prediction) -> (u16, &'static str, String) {
+pub(crate) fn prediction_response(p: &Prediction) -> (u16, &'static str, Body) {
     if !p.rate.is_finite() {
-        return (500, "Internal Server Error", error_body("non-finite prediction"));
+        return (500, "Internal Server Error", BODY_NON_FINITE.into());
     }
-    let body = JsonValue::obj([
-        ("rate", JsonValue::Num(p.rate)),
-        ("version", JsonValue::Str(p.version.to_string())),
-        ("batch_size", JsonValue::Num(p.batch_size as f64)),
-    ])
-    .to_string();
-    (200, "OK", body)
+    let mut body = String::with_capacity(64);
+    prediction_body(p, &mut body);
+    (200, "OK", body.into())
 }
 
 /// Response for a refused batcher submission.
-pub(crate) fn submit_error_response(e: &SubmitError) -> (u16, &'static str, String) {
+pub(crate) fn submit_error_response(e: &SubmitError) -> (u16, &'static str, Body) {
     match e {
-        SubmitError::Overloaded => (503, "Service Unavailable", error_body("overloaded")),
-        SubmitError::ShuttingDown => (503, "Service Unavailable", error_body("shutting down")),
+        SubmitError::Overloaded => (503, "Service Unavailable", BODY_OVERLOADED.into()),
+        SubmitError::ShuttingDown => (503, "Service Unavailable", BODY_SHUTTING_DOWN.into()),
     }
 }
 
 /// Response for a protocol error that still gets an answer before the
 /// connection closes. `Idle`/`Truncated`/`Io` are not answerable and must
 /// be handled by the front end (returns `None`).
-pub(crate) fn protocol_error_response(e: &HttpError) -> Option<(u16, &'static str, String)> {
+pub(crate) fn protocol_error_response(e: &HttpError) -> Option<(u16, &'static str, Body)> {
     match e {
-        HttpError::Deadline => Some((408, "Request Timeout", error_body(&e.to_string()))),
-        HttpError::TooLarge(_) => Some((413, "Payload Too Large", error_body(&e.to_string()))),
-        HttpError::Malformed(_) => Some((400, "Bad Request", error_body(&e.to_string()))),
+        HttpError::Deadline => Some((408, "Request Timeout", BODY_DEADLINE.into())),
+        HttpError::TooLarge("header") => {
+            Some((413, "Payload Too Large", BODY_HEADER_TOO_LARGE.into()))
+        }
+        HttpError::TooLarge(_) => Some((413, "Payload Too Large", BODY_BODY_TOO_LARGE.into())),
+        HttpError::Malformed(_) => Some((400, "Bad Request", error_body(&e.to_string()).into())),
         HttpError::Idle | HttpError::Truncated | HttpError::Io(_) => None,
     }
 }
@@ -126,25 +179,37 @@ pub(crate) fn error_body(msg: &str) -> String {
     JsonValue::obj([("error", JsonValue::Str(msg.to_string()))]).to_string()
 }
 
-/// Body `{"<feature>": <num>, …}` → serving-schema row. Missing features
-/// are 0.0; unknown names and non-finite values are client errors.
-pub(crate) fn parse_feature_row(body: &[u8], ctx: &Ctx) -> Result<Vec<f64>, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
-    let parsed = JsonValue::parse(text).map_err(|e| e.to_string())?;
-    let JsonValue::Obj(map) = parsed else {
-        return Err("body must be a JSON object of feature values".into());
-    };
-    let schema = ctx.registry.schema();
-    let mut row = vec![0.0f64; schema.width()];
-    for (name, value) in &map {
-        let Some(&i) = schema.position().get(name) else {
-            return Err(format!("unknown feature '{name}'"));
-        };
-        let v = value.as_f64().map_err(|_| format!("feature '{name}' must be a number"))?;
-        if !v.is_finite() {
-            return Err(format!("feature '{name}' is not finite"));
-        }
-        row[i] = v;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The precomputed static bodies must be byte-identical to what the
+    /// dynamic path would have produced from the corresponding message.
+    #[test]
+    fn static_bodies_match_dynamic_rendering() {
+        assert_eq!(BODY_OVERLOADED, error_body("overloaded"));
+        assert_eq!(BODY_SHUTTING_DOWN, error_body("shutting down"));
+        assert_eq!(BODY_DEADLINE, error_body(&HttpError::Deadline.to_string()));
+        assert_eq!(BODY_HEADER_TOO_LARGE, error_body(&HttpError::TooLarge("header").to_string()));
+        assert_eq!(BODY_BODY_TOO_LARGE, error_body(&HttpError::TooLarge("body").to_string()));
+        assert_eq!(BODY_NON_FINITE, error_body("non-finite prediction"));
     }
-    Ok(row)
+
+    /// `prediction_body` must render the exact bytes the `JsonValue`
+    /// tree used to produce (sorted keys, shared number formatting).
+    #[test]
+    fn prediction_body_matches_tree_rendering() {
+        for rate in [12.5, -0.0, 3.0, 1.0e-7, 123456789.25] {
+            let p = Prediction { rate, version: "v0001-quoted\"x".into(), batch_size: 17 };
+            let mut got = String::new();
+            prediction_body(&p, &mut got);
+            let want = JsonValue::obj([
+                ("rate", JsonValue::Num(p.rate)),
+                ("version", JsonValue::Str(p.version.to_string())),
+                ("batch_size", JsonValue::Num(p.batch_size as f64)),
+            ])
+            .to_string();
+            assert_eq!(got, want, "body mismatch at rate {rate}");
+        }
+    }
 }

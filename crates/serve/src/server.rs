@@ -34,12 +34,13 @@
 
 use crate::batcher::{BatchConfig, Batcher};
 use crate::http::{
-    read_request, write_response, HttpError, RequestParser, DEFAULT_REQUEST_DEADLINE, IDLE_TICK,
+    read_request, write_response, HttpError, Method, RequestParser, DEFAULT_REQUEST_DEADLINE,
+    IDLE_TICK,
 };
 use crate::metrics::ServerMetrics;
 use crate::registry::ModelRegistry;
 use crate::routes::{prediction_response, protocol_error_response, route, submit_error_response};
-use crate::routes::{Ctx, Routed};
+use crate::routes::{Body, Ctx, Routed};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -227,9 +228,18 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx, deadline: Duration) {
             Ok(None) => return,
             Ok(Some(req)) => {
                 let close = req.close || ctx.stopping.load(Ordering::SeqCst);
-                let (status, reason, body) = match route(&req, ctx) {
+                let mut row = Vec::new();
+                let routed = route(
+                    Method::classify(req.method.as_bytes()),
+                    req.method.as_bytes(),
+                    req.path.as_bytes(),
+                    &req.body,
+                    ctx,
+                    &mut row,
+                );
+                let (status, reason, body) = match routed {
                     Routed::Done(status, reason, body) => (status, reason, body),
-                    Routed::Predict(row) => blocking_predict(row, ctx),
+                    Routed::Predict => blocking_predict(row, ctx),
                 };
                 ctx.metrics.on_response(status);
                 if write_response(&mut stream, status, reason, &body, close).is_err() {
@@ -260,7 +270,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx, deadline: Duration) {
 
 /// Submit one row and park on the reply channel (the threaded front end
 /// has a whole worker thread to burn on waiting).
-fn blocking_predict(row: Vec<f64>, ctx: &Ctx) -> (u16, &'static str, String) {
+fn blocking_predict(row: Vec<f64>, ctx: &Ctx) -> (u16, &'static str, Body) {
     let started = Instant::now();
     let rx = match ctx.batcher.submit(row) {
         Ok(rx) => rx,
@@ -274,9 +284,11 @@ fn blocking_predict(row: Vec<f64>, ctx: &Ctx) -> (u16, &'static str, String) {
             }
             (status, reason, body)
         }
-        Err(_) => {
-            (500, "Internal Server Error", crate::routes::error_body("inference worker gone"))
-        }
+        Err(_) => (
+            500,
+            "Internal Server Error",
+            crate::routes::error_body("inference worker gone").into(),
+        ),
     }
 }
 

@@ -1,11 +1,15 @@
-//! Minimal libc shim for readiness polling.
+//! Minimal libc shim for readiness polling and the data-plane syscalls.
 //!
-//! The vendored-dependency policy rules out the `libc`/`mio` crates, so
-//! the event loop declares the one C entry point it needs — `poll(2)` —
-//! directly. The struct layout and flag values are fixed by POSIX and
-//! identical across the platforms we build on (Linux, the BSDs, macOS);
-//! `nfds_t` is an unsigned long everywhere we target. This mirrors the
-//! CLI's `signal(2)` shim, the only other raw libc use in the workspace.
+//! The vendored-dependency policy rules out the `libc`/`mio`/`socket2`
+//! crates, so the event loop declares the C entry points it needs
+//! directly: `poll(2)` for readiness, `writev(2)` for coalesced
+//! response flushes, and (Linux-only, with graceful fallbacks)
+//! `SO_REUSEPORT` listeners plus `sched_setaffinity(2)` for the
+//! multi-core bench protocol. Struct layouts and flag values for the
+//! POSIX calls are fixed by POSIX and identical across the platforms we
+//! build on (Linux, the BSDs, macOS); `nfds_t` is an unsigned long
+//! everywhere we target. This mirrors the CLI's `signal(2)` shim, the
+//! only other raw libc use in the workspace.
 
 use std::io;
 
@@ -57,6 +61,157 @@ pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
     Ok(rc as usize)
 }
 
+/// `struct iovec` from `<sys/uio.h>`.
+#[repr(C)]
+struct IoVec {
+    base: *const u8,
+    len: usize,
+}
+
+extern "C" {
+    fn writev(fd: std::ffi::c_int, iov: *const IoVec, iovcnt: std::ffi::c_int) -> isize;
+}
+
+/// Write both slices to `fd` with a single `writev(2)` call.
+///
+/// The event loop's per-connection output buffer is a `VecDeque<u8>`,
+/// whose contents may wrap around the ring — `as_slices()` yields two
+/// runs. A vectored write flushes both with one syscall instead of one
+/// `write` per run (or, before this existed, one per response). Returns
+/// the number of bytes accepted, which may be short; the caller loops.
+pub fn writev_fds(fd: i32, a: &[u8], b: &[u8]) -> io::Result<usize> {
+    let mut iov =
+        [IoVec { base: a.as_ptr(), len: a.len() }, IoVec { base: b.as_ptr(), len: b.len() }];
+    let mut cnt = 0usize;
+    if !a.is_empty() {
+        cnt = 1;
+    }
+    if !b.is_empty() {
+        iov[cnt] = IoVec { base: b.as_ptr(), len: b.len() };
+        cnt += 1;
+    }
+    if cnt == 0 {
+        return Ok(0);
+    }
+    // SAFETY: each iovec points into a live borrowed slice; the kernel
+    // only reads `iov[..cnt]` and the pointed-to bytes.
+    let rc = unsafe { writev(fd, iov.as_ptr(), cnt as std::ffi::c_int) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Bind a loopback listener with `SO_REUSEPORT` set (Linux only).
+///
+/// With `SO_REUSEPORT`, several listeners can bind the same port and
+/// the kernel load-balances incoming connections across them — each
+/// event-loop shard owns its own accept queue instead of racing its
+/// siblings on one shared listener. `port == 0` asks the kernel for an
+/// ephemeral port; callers read it back via `local_addr()` and bind the
+/// remaining shards to the same number. On non-Linux platforms this
+/// returns `Unsupported` and the event loop falls back to the shared
+/// listener it used before sharded accept existed.
+#[cfg(target_os = "linux")]
+pub fn reuseport_listener(port: u16) -> io::Result<std::net::TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const SO_REUSEPORT: i32 = 15;
+
+    /// `struct sockaddr_in` from `<netinet/in.h>` (fields big-endian).
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    // SAFETY: plain syscalls on an fd we own; on any failure the fd is
+    // closed before returning, and on success `TcpListener::from_raw_fd`
+    // takes ownership of a valid listening socket.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            if setsockopt(fd, SOL_SOCKET, opt, &one, 4) < 0 {
+                let err = io::Error::last_os_error();
+                close(fd);
+                return Err(err);
+            }
+        }
+        let sa = SockAddrIn {
+            family: AF_INET as u16,
+            port: port.to_be(),
+            addr: u32::from_ne_bytes([127, 0, 0, 1]),
+            zero: [0; 8],
+        };
+        if bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as u32) < 0 || listen(fd, 1024) < 0 {
+            let err = io::Error::last_os_error();
+            close(fd);
+            return Err(err);
+        }
+        Ok(std::net::TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// Non-Linux fallback: `SO_REUSEPORT` numbering differs per platform,
+/// so sharded accept is simply reported unsupported.
+#[cfg(not(target_os = "linux"))]
+pub fn reuseport_listener(_port: u16) -> io::Result<std::net::TcpListener> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "SO_REUSEPORT shim is Linux-only"))
+}
+
+/// Pin the calling thread (and every thread it spawns afterwards) to
+/// `cpus` (Linux only). Used by the CLI's `--cores` flag so a bench run
+/// can place the server and the load generator on disjoint cores.
+#[cfg(target_os = "linux")]
+pub fn set_affinity(cpus: &[usize]) -> io::Result<()> {
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let mut mask = [0u64; 16]; // up to 1024 CPUs
+    for &c in cpus {
+        if c >= mask.len() * 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cpu {c} out of range (max {})", mask.len() * 64 - 1),
+            ));
+        }
+        mask[c / 64] |= 1 << (c % 64);
+    }
+    // SAFETY: pid 0 = calling thread; the kernel reads `cpusetsize`
+    // bytes from the mask we own.
+    let rc = unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Non-Linux fallback: affinity control is best-effort tooling for the
+/// bench protocol, not a correctness requirement.
+#[cfg(not(target_os = "linux"))]
+pub fn set_affinity(_cpus: &[usize]) -> io::Result<()> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "sched_setaffinity shim is Linux-only"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +240,62 @@ mod tests {
         let n = poll_fds(&mut fds, 1000).unwrap();
         assert_eq!(n, 1);
         assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn writev_flushes_both_slices_in_one_call() {
+        use std::io::Read;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        let n = writev_fds(conn.as_raw_fd(), b"hello ", b"world").unwrap();
+        assert_eq!(n, 11);
+        let mut got = [0u8; 11];
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello world");
+        // Empty halves degrade gracefully.
+        assert_eq!(writev_fds(conn.as_raw_fd(), b"", b"!").unwrap(), 1);
+        assert_eq!(writev_fds(conn.as_raw_fd(), b"?", b"").unwrap(), 1);
+        assert_eq!(writev_fds(conn.as_raw_fd(), b"", b"").unwrap(), 0);
+        let mut got = [0u8; 2];
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"!?");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_listeners_share_a_port() {
+        let first = reuseport_listener(0).unwrap();
+        let port = first.local_addr().unwrap().port();
+        let second = reuseport_listener(port).unwrap();
+        assert_eq!(second.local_addr().unwrap().port(), port);
+        // Connections land on one of the two queues; accept with a
+        // short poll on each to find it.
+        let _client = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut accepted = false;
+        while std::time::Instant::now() < deadline {
+            for l in [&first, &second] {
+                if l.accept().is_ok() {
+                    accepted = true;
+                }
+            }
+            if accepted {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(accepted, "connection reached neither reuseport listener");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn set_affinity_accepts_current_cpu() {
+        // CPU 0 always exists; pinning to it must succeed.
+        set_affinity(&[0]).unwrap();
+        assert!(set_affinity(&[100_000]).is_err(), "out-of-range cpu must be rejected");
     }
 
     #[test]

@@ -142,17 +142,7 @@ impl JsonValue {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            JsonValue::Num(n) => {
-                assert!(n.is_finite(), "cannot serialize non-finite number {n}");
-                // Rust's shortest-round-trip formatting; integral values
-                // print without a fraction and reparse exactly. Negative
-                // zero must keep its sign bit, so it skips the integer path.
-                if n.fract() == 0.0 && n.abs() < 1e15 && !(*n == 0.0 && n.is_sign_negative()) {
-                    out.push_str(&format!("{}", *n as i64));
-                } else {
-                    out.push_str(&format!("{n}"));
-                }
-            }
+            JsonValue::Num(n) => format_f64(*n, out),
             JsonValue::Str(s) => write_escaped(s, out),
             JsonValue::Arr(items) => {
                 out.push('[');
@@ -195,6 +185,47 @@ impl JsonValue {
         }
         Ok(value)
     }
+}
+
+/// Append the canonical JSON spelling of a finite `f64` to `out`.
+///
+/// This is THE number formatter for the whole workspace: [`JsonValue`]'s
+/// writer and the serving stack's zero-allocation response renderer both
+/// call it, so a served prediction and an offline-serialized artifact
+/// spell the same `f64` identically — Rust's shortest-round-trip
+/// formatting, with integral values printed without a fraction (both
+/// reparse to the same bit pattern). Negative zero must keep its sign
+/// bit, so it skips the integer path. Panics on non-finite input —
+/// persisted artifacts and responses must never contain NaN/∞.
+pub fn format_f64(n: f64, out: &mut String) {
+    use fmt::Write;
+    assert!(n.is_finite(), "cannot serialize non-finite number {n}");
+    if n.fract() == 0.0 && n.abs() < 1e15 && !(n == 0.0 && n.is_sign_negative()) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes + escapes) to `out`.
+///
+/// Public for the same reason as [`format_f64`]: the serving stack
+/// renders response bodies without building a [`JsonValue`] tree and
+/// must escape exactly the way the tree writer does.
+pub fn escape_into(s: &str, out: &mut String) {
+    write_escaped(s, out);
+}
+
+/// Scan one JSON number token starting at `pos`, advancing `pos` past
+/// it, and parse it as `f64`.
+///
+/// Exposed for schema-aware scanners that parse feature bodies without
+/// building a value tree: the token grammar (optional `-`, required
+/// digit, then a greedy `[0-9.eE+-]*` sweep handed to Rust's `f64`
+/// parser) is exactly what [`JsonValue::parse`] applies, so both paths
+/// accept the same spellings and produce bit-identical values.
+pub fn scan_number(b: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
+    parse_number(b, pos)
 }
 
 fn write_escaped(s: &str, out: &mut String) {

@@ -304,3 +304,63 @@ fn stalled_writer_gets_408_threaded() {
 fn stalled_writer_gets_408_event_loop() {
     stalled_writer_gets_408(Frontend::EventLoop, "stalled-eventloop");
 }
+
+/// Pipelined bursts are answered strictly in order with bitwise parity:
+/// one `send_many` burst per connection exercises the coalesced-write
+/// path (the event loop renders every ready response into one output
+/// buffer and drains it with a single `writev` per wakeup).
+fn pipelined_burst_parity(frontend: Frontend, name: &str) {
+    let (registry, offline) = quick_registry(name);
+    let server = AnyServer::start(registry, ServeConfig::default(), frontend).expect("start");
+    let names = server.registry().schema().names().to_vec();
+    let rows: Vec<Vec<f64>> =
+        (0..24).map(|i| (0..names.len()).map(|j| ((i * 3 + j) % 13) as f64).collect()).collect();
+    let bodies: Vec<String> = rows.iter().map(|r| body_for(&names, r)).collect();
+    let refs: Vec<&str> = bodies.iter().map(|b| b.as_str()).collect();
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    for _ in 0..3 {
+        client.send_many("POST", "/predict", &refs).expect("burst");
+        for row in &rows {
+            let (status, body) = client.read_response().expect("response");
+            assert_eq!(status, 200, "{body}");
+            let rate = JsonValue::parse(&body).unwrap().field("rate").unwrap().as_f64().unwrap();
+            assert_eq!(
+                rate.to_bits(),
+                offline.predict_row(row).to_bits(),
+                "pipelined response out of order or diverged for {row:?}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_burst_parity_threaded() {
+    pipelined_burst_parity(Frontend::Threaded, "pipeline-threaded");
+}
+
+#[test]
+fn pipelined_burst_parity_event_loop() {
+    pipelined_burst_parity(Frontend::EventLoop, "pipeline-eventloop");
+}
+
+/// Sharded accept: with `SO_REUSEPORT` available (Linux) every acceptor
+/// shard owns its own listener on the shared port, and traffic over many
+/// fresh connections — which the kernel hashes across the shard
+/// listeners — stays bitwise-faithful.
+#[test]
+fn reuseport_sharded_accept_serves_across_shards() {
+    let (registry, offline) = quick_registry("reuseport-smoke");
+    let cfg = ServeConfig { acceptors: 4, ..Default::default() };
+    let server = wdt_serve::EventLoopServer::start(registry, cfg).expect("start");
+    #[cfg(target_os = "linux")]
+    assert!(server.reuseport(), "Linux must get per-shard SO_REUSEPORT listeners");
+    let names = server.registry().schema().names().to_vec();
+    for i in 0..32 {
+        let row: Vec<f64> = (0..names.len()).map(|j| ((i * 5 + j) % 11) as f64).collect();
+        let mut client = HttpClient::connect(server.addr()).expect("connect");
+        let (_, rate) = predict_one(&mut client, &names, &row);
+        assert_eq!(rate.to_bits(), offline.predict_row(&row).to_bits(), "shard diverged");
+    }
+    server.shutdown();
+}
