@@ -175,6 +175,44 @@ impl CampaignSpec {
         self.merge(&workload, outs)
     }
 
+    /// Stream the campaign through `sink` without materializing the log.
+    ///
+    /// Shards run serially (one simulator alive at a time) and each drains
+    /// its records into the sink as transfers complete, so peak memory is
+    /// bounded by a single shard's *active* state rather than the full
+    /// month-scale log. Records arrive in per-shard completion order; the
+    /// record *set* is bit-identical to [`CampaignSpec::simulate_serial`].
+    /// Returns the merged engine stats and the total record count.
+    pub fn stream_into(&self, sink: &mut dyn FnMut(TransferRecord)) -> StreamSummary {
+        let _span = wdt_obs::span("campaign.stream_into");
+        let workload = self.workload();
+        let shards = self.shards(&workload);
+        let mut stats = SimStats::default();
+        let mut records = 0usize;
+        for (run, requests) in shards.iter().enumerate() {
+            let _span = wdt_obs::span("campaign.shard");
+            let root = SeedSeq::new(self.seed);
+            let shard_seed = SeedSeq::new(root.derive_indexed("campaign-run", run as u64));
+            let mut sim =
+                Simulator::new(workload.endpoints.clone(), SimConfig::default(), &shard_seed);
+            sim.add_default_background(self.bg_per_endpoint, self.bg_intensity);
+            for req in requests {
+                sim.submit(req.clone());
+            }
+            let mut counted = |r: TransferRecord| {
+                records += 1;
+                sink(r);
+            };
+            let out = sim.run_streaming(&mut counted);
+            stats.merge(&out.stats);
+        }
+        StreamSummary {
+            records,
+            heavy_edges: workload.heavy_edges.iter().map(|e| (e.src.0, e.dst.0)).collect(),
+            stats,
+        }
+    }
+
     /// Run the simulation, or load it from the on-disk cache.
     ///
     /// Set `WDT_CAMPAIGN_SERIAL=1` to force the serial runner (useful for
@@ -209,6 +247,18 @@ impl CampaignSpec {
         let _ = std::fs::write(&path, out.to_cache_text());
         out
     }
+}
+
+/// What [`CampaignSpec::stream_into`] returns: everything
+/// [`CampaignOutput`] carries except the log itself.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Records handed to the sink.
+    pub records: usize,
+    /// The generated heavy edges, as (src, dst) endpoint indices.
+    pub heavy_edges: Vec<(u32, u32)>,
+    /// Engine counters merged across shards.
+    pub stats: SimStats,
 }
 
 /// The cached campaign result.
@@ -331,6 +381,21 @@ mod tests {
         let b = one.simulate();
         assert_eq!(a.records, b.records);
         assert_eq!(a.records.len(), b.records.len());
+    }
+
+    #[test]
+    fn streamed_campaign_matches_batch_record_set() {
+        let spec =
+            CampaignSpec { days: 2.0, heavy_edges: 3, sparse_edges: 10, ..Default::default() };
+        let batch = spec.simulate_serial();
+        let mut streamed = Vec::new();
+        let summary = spec.stream_into(&mut |r| streamed.push(r));
+        assert_eq!(summary.records, streamed.len());
+        assert_eq!(summary.records, batch.records.len());
+        assert_eq!(summary.heavy_edges, batch.heavy_edges);
+        streamed.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
+        assert_eq!(streamed, batch.records);
+        assert_eq!(summary.stats.events, batch.stats.events);
     }
 
     #[test]

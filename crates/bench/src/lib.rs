@@ -12,5 +12,5 @@
 pub mod campaign;
 pub mod table;
 
-pub use campaign::{standard_log, CampaignSpec};
+pub use campaign::{standard_log, CampaignOutput, CampaignSpec, StreamSummary};
 pub use table::TableWriter;

@@ -55,17 +55,43 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-impl TraceDigest {
-    /// Digest a transfer log.
-    pub fn from_records(records: &[TransferRecord]) -> Self {
-        let mut by_edge: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
-        for r in records {
-            by_edge
-                .entry((r.src.0, r.dst.0))
-                .or_default()
-                .push(quantize_log2_rate(r.rate().as_f64()));
-        }
-        let edges = by_edge
+/// Incremental [`TraceDigest`] construction for streamed logs.
+///
+/// Holds one quantized `f64` per record (grouped by edge) rather than the
+/// records themselves, so digesting a multi-million-transfer stream costs
+/// ~8 bytes per record. Because the digest sorts per-edge rates before
+/// taking quantiles, arrival order is irrelevant: feeding records in
+/// completion order yields the same digest as batch (start, id) order.
+#[derive(Debug, Default, Clone)]
+pub struct DigestBuilder {
+    by_edge: BTreeMap<(u32, u32), Vec<f64>>,
+    total: u64,
+}
+
+impl DigestBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one record in.
+    pub fn push(&mut self, r: &TransferRecord) {
+        self.by_edge
+            .entry((r.src.0, r.dst.0))
+            .or_default()
+            .push(quantize_log2_rate(r.rate().as_f64()));
+        self.total += 1;
+    }
+
+    /// Records folded in so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Finish: sort each edge's rates and take the nearest-rank quantiles.
+    pub fn finish(self) -> TraceDigest {
+        let edges = self
+            .by_edge
             .into_iter()
             .map(|(edge, mut rates)| {
                 rates.sort_by(|a, b| a.partial_cmp(b).expect("quantized rates are finite"));
@@ -80,7 +106,18 @@ impl TraceDigest {
                 (edge, EdgeDigest { count: rates.len() as u64, log2_rate_q })
             })
             .collect();
-        TraceDigest { total: records.len() as u64, edges }
+        TraceDigest { total: self.total, edges }
+    }
+}
+
+impl TraceDigest {
+    /// Digest a transfer log.
+    pub fn from_records(records: &[TransferRecord]) -> Self {
+        let mut b = DigestBuilder::new();
+        for r in records {
+            b.push(r);
+        }
+        b.finish()
     }
 
     /// The canonical body: everything the hash covers.
@@ -285,6 +322,21 @@ mod tests {
         let b = TraceDigest::from_records(&sample_log());
         assert_eq!(a, b);
         assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn incremental_builder_is_order_insensitive() {
+        let log = sample_log();
+        let batch = TraceDigest::from_records(&log);
+        // Feed the same records in reversed (i.e. non-canonical) order.
+        let mut b = DigestBuilder::new();
+        for r in log.iter().rev() {
+            b.push(r);
+        }
+        assert_eq!(b.count(), log.len() as u64);
+        let streamed = b.finish();
+        assert_eq!(batch, streamed);
+        assert_eq!(batch.hash(), streamed.hash());
     }
 
     #[test]

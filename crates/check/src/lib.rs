@@ -28,7 +28,7 @@ pub mod digest;
 pub mod records;
 pub mod scenario;
 
-pub use digest::TraceDigest;
+pub use digest::{DigestBuilder, TraceDigest};
 pub use records::check_records;
 pub use scenario::{run_differential, DifferentialReport, Scenario, ScenarioGen};
 pub use wdt_sim::check::{

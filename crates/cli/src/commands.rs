@@ -7,12 +7,18 @@ use crate::args::Args;
 use std::error::Error;
 use std::fs;
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use wdt_bench::CampaignSpec;
+use wdt_check::DigestBuilder;
 use wdt_features::{
     edge_census, edge_stats, eligible_edges, extract_features, threshold_filter, TransferFeatures,
+};
+use wdt_ingest::{
+    tail_csv, Backpressure, IngestConfig, IngestPipeline, LogStore, MemoryRing, RetrainConfig,
+    RetrainDriver, SegmentStore, SwapEvent,
 };
 use wdt_ml::SplitStrategy;
 use wdt_model::{
@@ -20,10 +26,10 @@ use wdt_model::{
     FitConfig, FittedModel, ModelKind, PerEdgeConfig,
 };
 use wdt_serve::{
-    run_loadgen, AnyServer, BatchConfig, Frontend, LoadgenConfig, LoadgenMode, ModelRegistry,
-    ServeConfig, ServeSchema,
+    run_loadgen, AnyServer, BatchConfig, Frontend, HttpClient, LoadgenConfig, LoadgenMode,
+    ModelRegistry, ServeConfig, ServeSchema,
 };
-use wdt_types::{records_from_csv, records_to_csv, EdgeId, EndpointId, TransferRecord};
+use wdt_types::{records_to_csv, EdgeId, EndpointId, TransferRecord};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -37,6 +43,7 @@ pub fn run(args: &Args) -> CmdResult {
         "advise" => advise(args),
         "serve" => serve(args),
         "loadgen" => loadgen(args),
+        "ingest" => ingest(args),
         "check" => check(args),
         "obs" => obs(args),
         "help" | "--help" => {
@@ -98,6 +105,37 @@ pub fn usage() -> String {
                 histogram; --min-rps fails the run if throughput lands\n\
                 below the floor — the CI regression gate; --cores pins\n\
                 the generator to a CPU list like 4-7)\n\
+     ingest    stream transfer records into the continuous-training\n\
+               pipeline: bounded queue -> log store -> windowed features\n\
+               -> periodic refits with drift detection, each new model\n\
+               hot-swappable into `wdt serve` via POST /reload\n\
+               simulator source (default):\n\
+               [--days N=10] [--heavy-edges N=6] [--sparse-edges N=30]\n\
+               [--seed N=2017] [--bg-intensity X=0.4] [--runs N=4]\n\
+               [--repeat N=1] [--drift-bg X [--drift-days N]]\n\
+               csv source: --from-csv FILE [--follow] [--poll-ms N=50]\n\
+               pipeline:  [--model-dir DIR] [--store-dir DIR]\n\
+               [--window N=50000] [--chunk N=2000] [--queue N=4096]\n\
+               [--drop-newest] [--kind linear|gbdt=gbdt]\n\
+               [--refit-every N=20000] [--min-train N=500]\n\
+               [--drift-threshold X=35] [--drift-patience N=3]\n\
+               checks:    [--notify ADDR] [--golden FILE [--refresh]]\n\
+               [--max-rss-mb N] [--expect-min-records N]\n\
+               [--expect-swaps N] [--trace FILE]\n\
+               (--repeat streams N campaigns with consecutive seeds\n\
+                through the one pipeline — soak-scale record volume\n\
+                without one enormous campaign.\n\
+                --drift-bg streams a second campaign phase with shifted\n\
+                background load — a hidden-variable drift the deployed\n\
+                model must be retrained to follow. --store-dir selects\n\
+                the crash-recoverable on-disk segment store; the default\n\
+                is an in-memory ring of --window records. --follow tails\n\
+                the CSV like `tail -f` until SIGINT. --notify POSTs\n\
+                /reload to a serving fleet after every swap. --golden\n\
+                verifies the streamed log's digest against a committed\n\
+                file — proof the stream shed or altered nothing; the\n\
+                --expect-* flags and --max-rss-mb (peak RSS, Linux VmHWM)\n\
+                turn a soak run into a pass/fail CI gate)\n\
      check     verify the simulator against its reference oracle and a\n\
                committed golden-trace digest (see DESIGN.md)\n\
                --golden FILE [--refresh] [--oracle-cases N=250]\n\
@@ -121,10 +159,18 @@ pub fn usage() -> String {
         .to_string()
 }
 
+/// Load a transfer log line by line: memory is one line buffer plus the
+/// records themselves, never a second whole-file string. Parse errors keep
+/// [`records_from_csv`]'s exact line numbers (the streaming reader is the
+/// same parser).
 fn load_log(args: &Args) -> Result<Vec<TransferRecord>, Box<dyn Error>> {
     let path = args.require("log")?;
-    let text = fs::read_to_string(path)?;
-    Ok(records_from_csv(&text)?)
+    let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for item in wdt_types::CsvReader::new(std::io::BufReader::new(file)) {
+        out.push(item.map_err(|e| format!("{path}: {e}"))?);
+    }
+    Ok(out)
 }
 
 /// `--trace PATH` support: turn the flight recorder on (plus the panic
@@ -648,6 +694,293 @@ fn loadgen(args: &Args) -> CmdResult {
     Ok(())
 }
 
+fn ingest(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "from-csv",
+        "follow",
+        "poll-ms",
+        "days",
+        "heavy-edges",
+        "sparse-edges",
+        "seed",
+        "bg-intensity",
+        "runs",
+        "repeat",
+        "drift-bg",
+        "drift-days",
+        "model-dir",
+        "store-dir",
+        "window",
+        "chunk",
+        "queue",
+        "drop-newest",
+        "kind",
+        "refit-every",
+        "min-train",
+        "drift-threshold",
+        "drift-patience",
+        "notify",
+        "golden",
+        "refresh",
+        "max-rss-mb",
+        "expect-min-records",
+        "expect-swaps",
+        "trace",
+    ])?;
+    let trace = trace_setup(args);
+    let golden = args.get("golden").map(String::from);
+    if golden.is_some() && args.get("from-csv").is_some() {
+        return Err("--golden needs the simulator source (a CSV has no committed digest)".into());
+    }
+    let notify: Option<SocketAddr> = match args.get("notify") {
+        Some(a) => Some(a.parse().map_err(|_| format!("bad --notify '{a}'"))?),
+        None => None,
+    };
+    let window: usize = args.get_or("window", 50_000)?;
+    let retrain = RetrainConfig {
+        kind: parse_kind(args)?,
+        refit_every: args.get_or("refit-every", 20_000)?,
+        min_train: args.get_or("min-train", 500)?,
+        drift_threshold_pct: args.get_or("drift-threshold", 35.0)?,
+        drift_patience: args.get_or("drift-patience", 3)?,
+        ..Default::default()
+    };
+    let cfg = IngestConfig {
+        queue_cap: args.get_or("queue", 4_096)?,
+        backpressure: if args.flag("drop-newest") {
+            Backpressure::DropNewest
+        } else {
+            Backpressure::Block
+        },
+        window,
+        chunk: args.get_or("chunk", 2_000)?,
+        retrain: retrain.clone(),
+    };
+    let store: Box<dyn LogStore> = match args.get("store-dir") {
+        Some(dir) => {
+            let s = SegmentStore::open(dir)?;
+            let rec = s.recovery();
+            if rec.records > 0 || rec.truncated_bytes > 0 {
+                eprintln!(
+                    "store: recovered {} records from {dir} ({} torn byte(s) truncated)",
+                    rec.records, rec.truncated_bytes
+                );
+            }
+            Box::new(s)
+        }
+        None => Box::new(MemoryRing::new(window)),
+    };
+    let driver = RetrainDriver::new(retrain, args.get("model-dir").map(PathBuf::from))?;
+    let on_swap: Box<dyn FnMut(&SwapEvent) + Send> = Box::new(move |ev| {
+        eprintln!(
+            "swap: {} trained on {} records in {:.0} ms{}",
+            ev.version.as_deref().unwrap_or("<in-process>"),
+            ev.trained_on,
+            ev.latency_ms,
+            if ev.drift_triggered { " [drift-forced]" } else { "" }
+        );
+        if let Some(addr) = notify {
+            match HttpClient::connect(addr).and_then(|mut c| c.post("/reload", "{}")) {
+                Ok((200, body)) => eprintln!("notify: {addr} reloaded — {}", body.trim()),
+                Ok((code, body)) => eprintln!("notify: {addr} answered {code}: {}", body.trim()),
+                Err(e) => eprintln!("notify: {addr}: {e}"),
+            }
+        }
+    });
+    let handle = IngestPipeline::start(cfg, store, driver, Some(on_swap));
+
+    // Feed the pipeline from whichever source was asked for.
+    let mut builder = golden.as_ref().map(|_| DigestBuilder::new());
+    let mut golden_header = String::new();
+    let offered: u64;
+    if let Some(csv) = args.get("from-csv") {
+        // SIGINT/SIGTERM stop a --follow tail gracefully: drain what's
+        // there, then let the processor finish its window.
+        install_signal_handlers();
+        let poll = Duration::from_millis(args.get_or("poll-ms", 50u64)?);
+        let sender = handle.sender();
+        let follow = args.flag("follow");
+        if follow {
+            eprintln!("tailing {csv} (SIGINT to stop) ...");
+        }
+        let stats = tail_csv(Path::new(csv), &sender, follow, poll, &SIGNALED)
+            .map_err(|e| format!("{csv}: {e}"))?;
+        drop(sender);
+        offered = stats.records + stats.shed;
+    } else {
+        let spec = CampaignSpec {
+            seed: args.get_or("seed", 2017)?,
+            days: args.get_or("days", 10.0)?,
+            heavy_edges: args.get_or("heavy-edges", 6)?,
+            sparse_edges: args.get_or("sparse-edges", 30)?,
+            bg_intensity: args.get_or("bg-intensity", 0.4)?,
+            runs: args.get_or("runs", 4)?,
+            ..Default::default()
+        };
+        let count = std::cell::Cell::new(0u64);
+        let mut sink = |r: wdt_types::TransferRecord| {
+            if let Some(b) = builder.as_mut() {
+                b.push(&r);
+            }
+            count.set(count.get() + 1);
+            handle.offer(r);
+        };
+        // --repeat N streams N campaigns with consecutive seeds through
+        // the one pipeline: soak-scale record counts without soak-scale
+        // simulated calendar time (the workload's multi-TB size tail can
+        // make one very long campaign grind through months of simulated
+        // background events; N medium campaigns sidestep that while
+        // keeping the stream fully deterministic).
+        let repeat: usize = args.get_or("repeat", 1usize)?;
+        let repeat = repeat.max(1);
+        eprintln!(
+            "streaming {repeat} × {}-day campaign(s) ({} shard(s) each, serial for \
+             bounded memory) ...",
+            spec.days,
+            spec.runs.max(1)
+        );
+        for rep in 0..repeat {
+            let s = CampaignSpec { seed: spec.seed + rep as u64, ..spec.clone() };
+            s.stream_into(&mut sink);
+            if repeat > 1 {
+                eprintln!("  campaign {}/{repeat} done ({} records so far)", rep + 1, count.get());
+            }
+        }
+        // Optional drift phase: the same fleet, different background load.
+        // Background flows never appear in the record log, so the rate
+        // shift is invisible to the input features — a hidden-variable
+        // drift only retraining can absorb.
+        if let Some(bg) = args.get("drift-bg") {
+            let drift_spec = CampaignSpec {
+                seed: spec.seed ^ 0xD21F,
+                days: args.get_or("drift-days", spec.days)?,
+                bg_intensity: bg.parse().map_err(|_| format!("bad --drift-bg '{bg}'"))?,
+                ..spec.clone()
+            };
+            eprintln!(
+                "drift phase: {} more days at background intensity {} ...",
+                drift_spec.days, drift_spec.bg_intensity
+            );
+            drift_spec.stream_into(&mut sink);
+        }
+        golden_header = format!(
+            "spec: seed={} days={} heavy-edges={} sparse-edges={} runs={} repeat={repeat} \
+             drift-bg={}\n\
+             refresh with: wdt ingest <same flags> --golden <this file> --refresh",
+            spec.seed,
+            spec.days,
+            spec.heavy_edges,
+            spec.sparse_edges,
+            spec.runs,
+            args.get("drift-bg").unwrap_or("-")
+        );
+        offered = count.get();
+    }
+
+    let report = handle.finish()?;
+    println!(
+        "ingested {} of {} offered records ({} shed), window evicted {}",
+        report.ingested, offered, report.shed, report.window_evicted
+    );
+    println!(
+        "store: {} records, {:.1} MiB | refits: {} ({} drift-forced)",
+        report.store_records,
+        report.store_bytes as f64 / (1u64 << 20) as f64,
+        report.refits,
+        report.drift_refits
+    );
+    if report.rolling_mdape.is_finite() {
+        println!(
+            "rolling MdAPE: deployed {:.2}% vs frozen-first {:.2}%",
+            report.rolling_mdape, report.stale_mdape
+        );
+    }
+    for ev in &report.swaps {
+        if let Some(v) = &ev.version {
+            println!(
+                "  {v}: {} records, {:.0} ms{}",
+                ev.trained_on,
+                ev.latency_ms,
+                if ev.drift_triggered { " [drift]" } else { "" }
+            );
+        }
+    }
+
+    // Soak gates, in check order: content first, then resources.
+    if let Some(golden) = &golden {
+        let digest = builder.take().expect("sim source").finish();
+        if args.flag("refresh") {
+            fs::write(golden, digest.to_text(&golden_header))?;
+            println!("golden: wrote digest ({:016x}) to {golden}", digest.hash());
+        } else {
+            let committed =
+                wdt_check::TraceDigest::from_text(&fs::read_to_string(golden).map_err(|e| {
+                    format!("cannot read golden digest {golden}: {e} (create it with --refresh)")
+                })?)?;
+            let diff = committed.diff(&digest);
+            if !diff.is_empty() {
+                eprintln!("golden digest drift ({} difference(s)):", diff.len());
+                for d in diff.iter().take(20) {
+                    eprintln!("  {d}");
+                }
+                return Err(format!(
+                    "streamed digest {:016x} does not match committed {:016x}",
+                    digest.hash(),
+                    committed.hash()
+                )
+                .into());
+            }
+            println!(
+                "golden: digest matches ({:016x}) — the stream shed and altered nothing",
+                digest.hash()
+            );
+        }
+    }
+    let min_records: u64 = args.get_or("expect-min-records", 0u64)?;
+    if report.ingested < min_records {
+        return Err(format!(
+            "only {} records ingested; --expect-min-records {min_records}",
+            report.ingested
+        )
+        .into());
+    }
+    let min_swaps: u64 = args.get_or("expect-swaps", 0u64)?;
+    if report.refits < min_swaps {
+        return Err(format!(
+            "only {} refit(s) completed; --expect-swaps {min_swaps}",
+            report.refits
+        )
+        .into());
+    }
+    if let Some(cap) = args.get("max-rss-mb") {
+        let cap: f64 = cap.parse().map_err(|_| format!("bad --max-rss-mb '{cap}'"))?;
+        match peak_rss_mb() {
+            Some(mb) => {
+                println!("peak RSS: {mb:.1} MiB (cap {cap:.0} MiB)");
+                if mb > cap {
+                    return Err(
+                        format!("peak RSS {mb:.1} MiB exceeds --max-rss-mb {cap:.0}").into()
+                    );
+                }
+            }
+            None => eprintln!("--max-rss-mb ignored: VmHWM not readable on this platform"),
+        }
+    }
+    if let Some(path) = &trace {
+        write_trace(path)?;
+    }
+    Ok(())
+}
+
+/// Peak resident set size in MiB, from Linux `/proc/self/status` VmHWM.
+/// `None` where procfs is unavailable.
+fn peak_rss_mb() -> Option<f64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 /// Apply `--cores 0-3,6` process affinity when present. Best-effort on
 /// purpose: affinity is bench-protocol tooling, so an unsupported
 /// platform warns rather than failing, but a malformed list is an error.
@@ -694,6 +1027,7 @@ fn parse_cores(spec: &str) -> Result<Vec<usize>, Box<dyn Error>> {
 mod tests {
     use super::*;
     use crate::args::Args;
+    use wdt_types::records_from_csv;
 
     fn parse(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from)).expect("parse")
@@ -802,6 +1136,7 @@ mod tests {
         assert!(usage().contains("serve"));
         assert!(usage().contains("loadgen"));
         assert!(usage().contains("obs"));
+        assert!(usage().contains("ingest"));
         for flag in [
             "--model-dir",
             "--port",
@@ -812,6 +1147,13 @@ mod tests {
             "--warmup",
             "--min-rps",
             "--cores",
+            "--from-csv",
+            "--store-dir",
+            "--drift-bg",
+            "--refit-every",
+            "--expect-swaps",
+            "--max-rss-mb",
+            "--notify",
         ] {
             assert!(usage().contains(flag), "usage must document {flag}");
         }
@@ -864,6 +1206,7 @@ mod tests {
             "serve --model-dir m --prot 80",
             "loadgen --addr 127.0.0.1:1 --log x.csv --connectoins 4",
             "obs --check-trase t.json",
+            "ingest --from-csv x.csv --folow",
             // --trace is only understood by simulate/train/check/obs;
             // elsewhere it must be rejected by name, not ignored.
             "census --log x.csv --trace t.json",
@@ -874,6 +1217,59 @@ mod tests {
             let bad = cmd.split("--").last().unwrap().split_whitespace().next().unwrap();
             assert!(err.contains(&format!("--{bad}")), "{cmd} -> {err}");
         }
+    }
+
+    #[test]
+    fn ingest_streams_a_campaign_with_refits_and_golden_digest() {
+        let model_dir = tmp("ingest-models");
+        let store_dir = tmp("ingest-store");
+        let golden = tmp("ingest.digest");
+        let _ = std::fs::remove_dir_all(&model_dir);
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let base = format!(
+            "ingest --days 3 --heavy-edges 3 --sparse-edges 10 --seed 5 --runs 2 \
+             --kind linear --window 3000 --chunk 300 --refit-every 300 --min-train 300 \
+             --model-dir {} --store-dir {} --golden {}",
+            model_dir.display(),
+            store_dir.display(),
+            golden.display()
+        );
+        run(&parse(&format!("{base} --refresh"))).expect("refresh run");
+        assert!(golden.exists());
+        // Second run: recovered store, continued version numbering, and the
+        // digest of the re-streamed campaign must match the committed one.
+        run(&parse(&format!("{base} --expect-swaps 2 --expect-min-records 800 --max-rss-mb 4096")))
+            .expect("verify run");
+        assert!(model_dir.join("v000001.json").exists());
+        assert!(store_dir.join("seg-000000.log").exists());
+        // A different seed streams a different log: the digest gate fails.
+        let err = run(&parse(&base.replace("--seed 5", "--seed 6"))).unwrap_err().to_string();
+        assert!(err.contains("does not match"), "{err}");
+        // An unmeetable expectation fails the soak.
+        let err = run(&parse(&format!("{base} --expect-swaps 999"))).unwrap_err().to_string();
+        assert!(err.contains("--expect-swaps"), "{err}");
+    }
+
+    #[test]
+    fn ingest_reads_a_csv_in_batch_mode() {
+        let log_path = tmp("ingest-batch.csv");
+        run(&parse(&format!(
+            "simulate --out {} --days 3 --heavy-edges 3 --sparse-edges 10 --seed 8",
+            log_path.display()
+        )))
+        .expect("simulate");
+        run(&parse(&format!(
+            "ingest --from-csv {} --kind linear --window 2000 --chunk 250 \
+             --refit-every 800 --min-train 250 --expect-swaps 1",
+            log_path.display()
+        )))
+        .expect("ingest from csv");
+        // --golden is a simulator-source check; with a CSV it must refuse.
+        let err =
+            run(&parse(&format!("ingest --from-csv {} --golden g.digest", log_path.display())))
+                .unwrap_err()
+                .to_string();
+        assert!(err.contains("--golden") || err.contains("golden"), "{err}");
     }
 
     #[test]

@@ -30,4 +30,7 @@ pub use edges::{
 pub use endpoint_caps::{endpoint_caps, extend_with_caps, extended_feature_names, EndpointCaps};
 pub use matrix::{Dataset, Normalizer};
 pub use step::StepIntegral;
-pub use transfer_features::{extract_features, TransferFeatures, FEATURE_NAMES, NFLT_INDEX};
+pub use transfer_features::{
+    extract_features, features_for, interval_contribution, EndpointProfiles, IntervalContribution,
+    TransferFeatures, FEATURE_NAMES, NFLT_INDEX,
+};

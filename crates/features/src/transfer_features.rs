@@ -99,8 +99,47 @@ impl TransferFeatures {
     }
 }
 
+/// The interval contribution one record makes to its endpoints' activity
+/// profiles: `(start, end)` plus the three stacked quantities. `None` for
+/// zero-duration records, which contribute nothing (matching the batch
+/// sweep). Streaming processors use this so their incrementally
+/// maintained interval lists are *identical* to the batch gather.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalContribution {
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Average rate, bytes/s (stacks into `Ksout`/`Kdin`-style profiles).
+    pub rate: f64,
+    /// GridFTP instances `min(C, Nf)` (stacks into `G*`).
+    pub procs: f64,
+    /// TCP streams `min(C, Nf)·P` (stacks into `S*`).
+    pub streams: f64,
+}
+
+/// The profile intervals `r` contributes, or `None` for degenerate
+/// (zero/negative duration) records.
+pub fn interval_contribution(r: &TransferRecord) -> Option<IntervalContribution> {
+    let (s, e) = (r.start.as_secs(), r.end.as_secs());
+    if e <= s {
+        return None;
+    }
+    Some(IntervalContribution {
+        start: s,
+        end: e,
+        rate: r.rate().as_f64(),
+        procs: r.effective_concurrency() as f64,
+        streams: r.tcp_streams() as f64,
+    })
+}
+
 /// Per-endpoint step functions of competing activity.
-struct EndpointProfiles {
+///
+/// Built from the interval lists a log's records contribute (see
+/// [`interval_contribution`]); [`features_for`] reads competing-load
+/// features for one record out of the profiles of its two endpoints.
+pub struct EndpointProfiles {
     /// Aggregate rate of transfers leaving the endpoint.
     rate_out: StepIntegral,
     /// Aggregate rate of transfers entering the endpoint.
@@ -111,6 +150,85 @@ struct EndpointProfiles {
     streams_out: StepIntegral,
     /// Incoming TCP streams.
     streams_in: StepIntegral,
+}
+
+impl EndpointProfiles {
+    /// Build one endpoint's profiles from its `(start, end, value)`
+    /// interval lists. Interval order must match the order records were
+    /// appended (the batch sweep appends in log order) for results to be
+    /// bitwise reproducible.
+    pub fn from_intervals(
+        rate_out: &[(f64, f64, f64)],
+        rate_in: &[(f64, f64, f64)],
+        procs: &[(f64, f64, f64)],
+        streams_out: &[(f64, f64, f64)],
+        streams_in: &[(f64, f64, f64)],
+    ) -> Self {
+        EndpointProfiles {
+            rate_out: StepIntegral::from_intervals(rate_out),
+            rate_in: StepIntegral::from_intervals(rate_in),
+            procs: StepIntegral::from_intervals(procs),
+            streams_out: StepIntegral::from_intervals(streams_out),
+            streams_in: StepIntegral::from_intervals(streams_in),
+        }
+    }
+}
+
+/// Compute one record's Table 2 features from the activity profiles of
+/// its source and destination endpoints. The profiles must cover the
+/// record's own contribution (it is subtracted here).
+pub fn features_for(
+    r: &TransferRecord,
+    src: &EndpointProfiles,
+    dst: &EndpointProfiles,
+) -> TransferFeatures {
+    let (s, e) = (r.start.as_secs(), r.end.as_secs());
+    let dur = e - s;
+    let rate = r.rate().as_f64();
+    let mut f = TransferFeatures {
+        id: r.id,
+        edge: r.edge(),
+        start: s,
+        end: e,
+        rate,
+        k_sout: 0.0,
+        k_din: 0.0,
+        c: r.concurrency as f64,
+        p: r.parallelism as f64,
+        s_sout: 0.0,
+        s_sin: 0.0,
+        s_dout: 0.0,
+        s_din: 0.0,
+        k_sin: 0.0,
+        k_dout: 0.0,
+        n_d: r.dirs as f64,
+        n_b: r.bytes.as_f64(),
+        n_flt: r.faults as f64,
+        g_src: 0.0,
+        g_dst: 0.0,
+        n_f: r.files as f64,
+    };
+    if dur <= 0.0 {
+        return f;
+    }
+    let procs = r.effective_concurrency() as f64;
+    let streams = r.tcp_streams() as f64;
+    let loopback = r.src == r.dst;
+    // Mean competing level = (∫ profile over [s,e]  −  own) / dur.
+    let mean = |total: f64, own: f64| ((total / dur) - own).max(0.0);
+    f.k_sout = mean(src.rate_out.integrate(s, e), rate);
+    f.k_din = mean(dst.rate_in.integrate(s, e), rate);
+    f.k_sin = mean(src.rate_in.integrate(s, e), if loopback { rate } else { 0.0 });
+    f.k_dout = mean(dst.rate_out.integrate(s, e), if loopback { rate } else { 0.0 });
+    f.s_sout = mean(src.streams_out.integrate(s, e), streams);
+    f.s_din = mean(dst.streams_in.integrate(s, e), streams);
+    f.s_sin = mean(src.streams_in.integrate(s, e), if loopback { streams } else { 0.0 });
+    f.s_dout = mean(dst.streams_out.integrate(s, e), if loopback { streams } else { 0.0 });
+    // The endpoint proc profile counts this transfer once per role.
+    let own_procs = if loopback { 2.0 * procs } else { procs };
+    f.g_src = mean(src.procs.integrate(s, e), own_procs);
+    f.g_dst = mean(dst.procs.integrate(s, e), own_procs);
+    f
 }
 
 /// Extract the Table 2 features for every transfer in `log`.
@@ -127,97 +245,34 @@ pub fn extract_features(log: &[TransferRecord]) -> Vec<TransferFeatures> {
     let mut sin_ivs: HashMap<EndpointId, Vec<(f64, f64, f64)>> = HashMap::new();
 
     for r in log {
-        let (s, e) = (r.start.as_secs(), r.end.as_secs());
-        if e <= s {
-            continue;
-        }
-        let rate = r.rate().as_f64();
-        let procs = r.effective_concurrency() as f64;
-        let streams = r.tcp_streams() as f64;
-        out_ivs.entry(r.src).or_default().push((s, e, rate));
-        in_ivs.entry(r.dst).or_default().push((s, e, rate));
-        proc_ivs.entry(r.src).or_default().push((s, e, procs));
-        proc_ivs.entry(r.dst).or_default().push((s, e, procs));
-        sout_ivs.entry(r.src).or_default().push((s, e, streams));
-        sin_ivs.entry(r.dst).or_default().push((s, e, streams));
+        let Some(iv) = interval_contribution(r) else { continue };
+        let (s, e) = (iv.start, iv.end);
+        out_ivs.entry(r.src).or_default().push((s, e, iv.rate));
+        in_ivs.entry(r.dst).or_default().push((s, e, iv.rate));
+        proc_ivs.entry(r.src).or_default().push((s, e, iv.procs));
+        proc_ivs.entry(r.dst).or_default().push((s, e, iv.procs));
+        sout_ivs.entry(r.src).or_default().push((s, e, iv.streams));
+        sin_ivs.entry(r.dst).or_default().push((s, e, iv.streams));
     }
 
-    let empty = StepIntegral::from_intervals(&[]);
+    fn ivs(m: &HashMap<EndpointId, Vec<(f64, f64, f64)>>, ep: EndpointId) -> &[(f64, f64, f64)] {
+        m.get(&ep).map_or(&[], |v| v.as_slice())
+    }
     let mut profiles: HashMap<EndpointId, EndpointProfiles> = HashMap::new();
     let all_eps: Vec<EndpointId> = log.iter().flat_map(|r| [r.src, r.dst]).collect();
     for ep in all_eps {
-        profiles.entry(ep).or_insert_with(|| EndpointProfiles {
-            rate_out: out_ivs
-                .get(&ep)
-                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
-            rate_in: in_ivs
-                .get(&ep)
-                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
-            procs: proc_ivs
-                .get(&ep)
-                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
-            streams_out: sout_ivs
-                .get(&ep)
-                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
-            streams_in: sin_ivs
-                .get(&ep)
-                .map_or_else(|| empty.clone(), |v| StepIntegral::from_intervals(v)),
+        profiles.entry(ep).or_insert_with(|| {
+            EndpointProfiles::from_intervals(
+                ivs(&out_ivs, ep),
+                ivs(&in_ivs, ep),
+                ivs(&proc_ivs, ep),
+                ivs(&sout_ivs, ep),
+                ivs(&sin_ivs, ep),
+            )
         });
     }
 
-    log.iter()
-        .map(|r| {
-            let (s, e) = (r.start.as_secs(), r.end.as_secs());
-            let dur = e - s;
-            let rate = r.rate().as_f64();
-            let mut f = TransferFeatures {
-                id: r.id,
-                edge: r.edge(),
-                start: s,
-                end: e,
-                rate,
-                k_sout: 0.0,
-                k_din: 0.0,
-                c: r.concurrency as f64,
-                p: r.parallelism as f64,
-                s_sout: 0.0,
-                s_sin: 0.0,
-                s_dout: 0.0,
-                s_din: 0.0,
-                k_sin: 0.0,
-                k_dout: 0.0,
-                n_d: r.dirs as f64,
-                n_b: r.bytes.as_f64(),
-                n_flt: r.faults as f64,
-                g_src: 0.0,
-                g_dst: 0.0,
-                n_f: r.files as f64,
-            };
-            if dur <= 0.0 {
-                return f;
-            }
-            let procs = r.effective_concurrency() as f64;
-            let streams = r.tcp_streams() as f64;
-            let loopback = r.src == r.dst;
-            let src = &profiles[&r.src];
-            let dst = &profiles[&r.dst];
-            // Mean competing level = (∫ profile over [s,e]  −  own) / dur.
-            let mean = |total: f64, own: f64| ((total / dur) - own).max(0.0);
-            f.k_sout = mean(src.rate_out.integrate(s, e), rate);
-            f.k_din = mean(dst.rate_in.integrate(s, e), rate);
-            f.k_sin = mean(src.rate_in.integrate(s, e), if loopback { rate } else { 0.0 });
-            f.k_dout = mean(dst.rate_out.integrate(s, e), if loopback { rate } else { 0.0 });
-            f.s_sout = mean(src.streams_out.integrate(s, e), streams);
-            f.s_din = mean(dst.streams_in.integrate(s, e), streams);
-            f.s_sin = mean(src.streams_in.integrate(s, e), if loopback { streams } else { 0.0 });
-            f.s_dout = mean(dst.streams_out.integrate(s, e), if loopback { streams } else { 0.0 });
-            // The endpoint proc profile counts this transfer once per role.
-            let own_procs = if loopback { 2.0 * procs } else { procs };
-            f.g_src = mean(src.procs.integrate(s, e), own_procs);
-            f.g_dst = mean(dst.procs.integrate(s, e), own_procs);
-            f
-        })
-        .collect()
+    log.iter().map(|r| features_for(r, &profiles[&r.src], &profiles[&r.dst])).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,38 @@
+//! # wdt-ingest — streaming log ingestion and continuous training
+//!
+//! The paper's models are fitted once on a frozen 30-day log. Production
+//! transfer services do not stop producing records, so this crate turns
+//! the batch pipeline into a streaming one:
+//!
+//! * [`queue`] — bounded MPSC channel between importers and the
+//!   processor, with explicit [`Backpressure`] (block vs. drop-newest)
+//!   and shed accounting.
+//! * [`store`] — pluggable [`LogStore`]: an in-memory ring or an
+//!   append-only, checksummed, crash-recoverable on-disk segment format.
+//! * [`window`] — [`FeatureWindow`], incremental windowed maintenance of
+//!   the overlap-scaled competing-load features, bitwise-equal to the
+//!   batch extractor over the same records.
+//! * [`retrain`] — [`RetrainDriver`]: prequential (test-then-train)
+//!   evaluation, rolling-MdAPE drift detection, periodic refits, and
+//!   versioned artifacts ready for `wdt-serve`'s `POST /reload` hot-swap.
+//! * [`pipeline`] — [`IngestPipeline`] wiring it all together, plus the
+//!   [`tail_csv`] follower for Globus-style CSV logs.
+//!
+//! Everything is observable through `wdt-obs` metrics: queue depth and
+//! shed count, store bytes, refit count/latency, and the rolling MdAPE of
+//! both the deployed and the frozen-first ("stale") model.
+
+pub mod pipeline;
+pub mod queue;
+pub mod retrain;
+pub mod store;
+pub mod window;
+
+pub use pipeline::{
+    tail_csv, IngestConfig, IngestHandle, IngestPipeline, IngestReport, SwapHook, TailError,
+    TailStats,
+};
+pub use queue::{bounded, Backpressure, QueueStats, Receiver, Sender};
+pub use retrain::{RetrainConfig, RetrainDriver, RollingMdape, SwapEvent};
+pub use store::{LogStore, MemoryRing, NullStore, Recovery, SegmentStore};
+pub use window::FeatureWindow;

@@ -1,0 +1,471 @@
+//! The assembled ingestion pipeline: importers → bounded queue →
+//! processor (store + window + continuous training).
+//!
+//! [`IngestPipeline::start`] spawns the single consumer thread that owns
+//! the [`LogStore`], the [`FeatureWindow`], and the [`RetrainDriver`];
+//! producers feed it through cloned [`Sender`] handles. Memory is bounded
+//! by construction: queue capacity + window capacity + one shard of
+//! simulator state, regardless of how many million records stream through.
+//!
+//! Two importers are provided: the simulator hook is just "call
+//! [`IngestHandle::offer`] from a [`wdt_sim` record sink]" (no code needed
+//! here), and [`tail_csv`] follows a growing CSV log file the way
+//! `tail -f` would, parsing complete lines as they appear.
+
+use crate::queue::{bounded, Backpressure, Sender};
+use crate::retrain::{RetrainConfig, RetrainDriver, SwapEvent};
+use crate::store::LogStore;
+use crate::window::FeatureWindow;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use wdt_types::TransferRecord;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Bounded queue capacity (records in flight).
+    pub queue_cap: usize,
+    /// Full-queue policy.
+    pub backpressure: Backpressure,
+    /// Feature window capacity (records trained on).
+    pub window: usize,
+    /// Prequential chunk: records scored/checked per evaluation step.
+    pub chunk: usize,
+    /// Retraining policy.
+    pub retrain: RetrainConfig,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            queue_cap: 4_096,
+            backpressure: Backpressure::Block,
+            window: 50_000,
+            chunk: 2_000,
+            retrain: RetrainConfig::default(),
+        }
+    }
+}
+
+/// What a finished pipeline reports.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Records processed (stored + windowed).
+    pub ingested: u64,
+    /// Records shed at the queue (DropNewest overflow).
+    pub shed: u64,
+    /// Completed refits.
+    pub refits: u64,
+    /// Refits forced by drift detection.
+    pub drift_refits: u64,
+    /// Every swap event, in order.
+    pub swaps: Vec<SwapEvent>,
+    /// Final rolling MdAPE of the deployed model (`NaN` if never scored).
+    pub rolling_mdape: f64,
+    /// Final rolling MdAPE of the frozen first model.
+    pub stale_mdape: f64,
+    /// Records the store reports holding.
+    pub store_records: u64,
+    /// Bytes the store reports using.
+    pub store_bytes: u64,
+    /// Records evicted from the feature window.
+    pub window_evicted: u64,
+}
+
+/// Handle to a running pipeline.
+pub struct IngestHandle {
+    sender: Option<Sender<TransferRecord>>,
+    worker: std::thread::JoinHandle<io::Result<IngestReport>>,
+}
+
+impl IngestHandle {
+    /// A cloneable producer handle (for extra importer threads).
+    pub fn sender(&self) -> Sender<TransferRecord> {
+        self.sender.as_ref().expect("sender taken by finish").clone()
+    }
+
+    /// Offer one record. `false` means it was shed (see [`Backpressure`]).
+    pub fn offer(&self, r: TransferRecord) -> bool {
+        self.sender.as_ref().expect("sender taken by finish").send(r)
+    }
+
+    /// Close the stream and wait for the processor to drain and finish.
+    pub fn finish(mut self) -> io::Result<IngestReport> {
+        drop(self.sender.take());
+        self.worker.join().expect("ingest processor panicked")
+    }
+}
+
+/// Hook run on the processor thread after each deployed refit.
+pub type SwapHook = Box<dyn FnMut(&SwapEvent) + Send>;
+
+/// The pipeline constructor.
+pub struct IngestPipeline;
+
+impl IngestPipeline {
+    /// Start the processor thread. `driver` owns retraining (build it with
+    /// the model directory the serving registry watches); `on_swap` runs on
+    /// the processor thread after each deployed refit — use it to `POST
+    /// /reload` at a serving fleet.
+    pub fn start(
+        cfg: IngestConfig,
+        mut store: Box<dyn LogStore>,
+        mut driver: RetrainDriver,
+        mut on_swap: Option<SwapHook>,
+    ) -> IngestHandle {
+        let (tx, rx) = bounded::<TransferRecord>(cfg.queue_cap, cfg.backpressure);
+        let reg = wdt_obs::Registry::global();
+        let m_depth = reg.gauge("ingest.queue.depth");
+        let m_shed = reg.gauge("ingest.queue.shed");
+        let m_ingested = reg.counter("ingest.records");
+        let m_store_bytes = reg.gauge("ingest.store.bytes");
+        let worker = std::thread::Builder::new()
+            .name("wdt-ingest".into())
+            .spawn(move || -> io::Result<IngestReport> {
+                let mut window = FeatureWindow::new(cfg.window);
+                let mut swaps = Vec::new();
+                let mut ingested = 0u64;
+                let mut chunk_fill = 0usize;
+                let chunk = cfg.chunk.max(1);
+                while let Some(r) = rx.recv() {
+                    store.append(&r)?;
+                    window.push(r);
+                    ingested += 1;
+                    m_ingested.inc();
+                    chunk_fill += 1;
+                    if chunk_fill >= chunk {
+                        // Prequential: score the fresh chunk with the
+                        // deployed model before it can train on it.
+                        driver.observe(&window.features_tail(chunk_fill));
+                        chunk_fill = 0;
+                        if driver.should_refit(window.len()) {
+                            if let Some(ev) = driver.refit(&window.features())? {
+                                if let Some(f) = on_swap.as_mut() {
+                                    f(&ev);
+                                }
+                                swaps.push(ev);
+                            }
+                        }
+                        m_depth.set(rx.depth() as f64);
+                        m_shed.set(rx.stats().shed as f64);
+                        m_store_bytes.set(store.bytes() as f64);
+                    }
+                }
+                if chunk_fill > 0 {
+                    driver.observe(&window.features_tail(chunk_fill));
+                }
+                store.sync()?;
+                m_depth.set(0.0);
+                m_shed.set(rx.stats().shed as f64);
+                m_store_bytes.set(store.bytes() as f64);
+                Ok(IngestReport {
+                    ingested,
+                    shed: rx.stats().shed,
+                    refits: driver.refits(),
+                    drift_refits: driver.drift_refits(),
+                    swaps,
+                    rolling_mdape: driver.rolling_mdape(),
+                    stale_mdape: driver.stale_mdape(),
+                    store_records: store.len(),
+                    store_bytes: store.bytes(),
+                    window_evicted: window.evicted(),
+                })
+            })
+            .expect("spawn ingest processor");
+        IngestHandle { sender: Some(tx), worker }
+    }
+}
+
+/// CSV import statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailStats {
+    /// Records parsed and offered to the queue.
+    pub records: u64,
+    /// Records the queue shed.
+    pub shed: u64,
+}
+
+/// CSV-tail importer failure modes.
+#[derive(Debug)]
+pub enum TailError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A complete line failed to parse (line number included).
+    Parse(wdt_types::CsvError),
+}
+
+impl std::fmt::Display for TailError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TailError::Io(e) => write!(f, "csv tail io: {e}"),
+            TailError::Parse(e) => write!(f, "csv tail: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TailError {}
+
+impl From<io::Error> for TailError {
+    fn from(e: io::Error) -> Self {
+        TailError::Io(e)
+    }
+}
+
+/// Stream a transfer-log CSV into the pipeline, `tail -f` style.
+///
+/// Reads complete lines as they appear, parses them with the same
+/// line-numbered strictness as the batch loader, and offers each record
+/// to `sender`. A trailing line without a newline is held back until the
+/// writer finishes it (a writer mid-append must not produce a parse
+/// error). At EOF: if `follow` is set, polls every `poll` until `stop`
+/// becomes true (then drains what's there and returns); otherwise returns
+/// immediately.
+pub fn tail_csv(
+    path: &Path,
+    sender: &Sender<TransferRecord>,
+    follow: bool,
+    poll: Duration,
+    stop: &AtomicBool,
+) -> Result<TailStats, TailError> {
+    use std::io::{BufRead, BufReader, Seek, SeekFrom};
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut stats = TailStats::default();
+    let mut pending = String::new();
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    let mut header_seen = false;
+    let mut offset = 0u64;
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            if !follow || stop.load(Ordering::Relaxed) {
+                break;
+            }
+            // The file may have been truncated-and-restarted; detect by a
+            // shrinking length and reread from the top.
+            let len = std::fs::metadata(path)?.len();
+            if len < offset {
+                reader.seek(SeekFrom::Start(0))?;
+                offset = 0;
+                pending.clear();
+                line_no = 0;
+                header_seen = false;
+            }
+            std::thread::sleep(poll);
+            continue;
+        }
+        offset += n as u64;
+        if !buf.ends_with('\n') {
+            // Incomplete final line: the writer is mid-append. Hold it.
+            pending.push_str(&buf);
+            if !follow || stop.load(Ordering::Relaxed) {
+                // Stream over: a held-back partial line is a torn record;
+                // parse it so truncation surfaces as an error, unless it
+                // is empty.
+                if !pending.trim().is_empty() {
+                    line_no += 1;
+                    parse_tail_line(&pending, line_no, &mut header_seen, sender, &mut stats)?;
+                }
+                break;
+            }
+            std::thread::sleep(poll);
+            continue;
+        }
+        let mut line = std::mem::take(&mut pending);
+        line.push_str(&buf);
+        let line = line.trim_end_matches(['\n', '\r']);
+        line_no += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        parse_tail_line(line, line_no, &mut header_seen, sender, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+fn parse_tail_line(
+    line: &str,
+    line_no: usize,
+    header_seen: &mut bool,
+    sender: &Sender<TransferRecord>,
+    stats: &mut TailStats,
+) -> Result<(), TailError> {
+    use wdt_types::csvio;
+    if !*header_seen {
+        *header_seen = true;
+        if line.trim() == wdt_types::CSV_HEADER {
+            return Ok(());
+        }
+        // No header: fall through and parse as data (line 1).
+    }
+    let r = csvio::parse_csv_line(line, line_no).map_err(TailError::Parse)?;
+    if sender.send(r) {
+        stats.records += 1;
+    } else {
+        stats.shed += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{MemoryRing, NullStore};
+    use wdt_types::{Bytes, EndpointId, SimTime, TransferId};
+
+    fn rec(id: u64) -> TransferRecord {
+        let s = (id as f64 * 9.0) % 400.0;
+        TransferRecord {
+            id: TransferId(id),
+            src: EndpointId((id % 5) as u32),
+            dst: EndpointId((5 + id % 4) as u32),
+            start: SimTime::seconds(s),
+            end: SimTime::seconds(s + 25.0 + (id % 13) as f64),
+            bytes: Bytes::gb(1.0 + (id % 10) as f64),
+            files: 20 + id % 80,
+            dirs: 2,
+            concurrency: 1 + (id % 8) as u32,
+            parallelism: 1 + (id % 4) as u32,
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn pipeline_ingests_stores_and_refits() {
+        let cfg = IngestConfig {
+            queue_cap: 64,
+            window: 400,
+            chunk: 100,
+            retrain: RetrainConfig {
+                min_train: 100,
+                refit_every: 300,
+                kind: wdt_model::ModelKind::Linear,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let handle = IngestPipeline::start(cfg, Box::new(MemoryRing::new(400)), driver(300), None);
+        for id in 0..1_000 {
+            assert!(handle.offer(rec(id)));
+        }
+        let report = handle.finish().unwrap();
+        assert_eq!(report.ingested, 1_000);
+        assert_eq!(report.shed, 0);
+        assert!(report.refits >= 2, "expected multiple refits, got {}", report.refits);
+        assert_eq!(report.store_records, 400, "ring holds the last 400");
+        assert_eq!(report.window_evicted, 600);
+        assert!(report.rolling_mdape.is_finite());
+    }
+
+    fn driver(refit_every: usize) -> RetrainDriver {
+        RetrainDriver::new(
+            RetrainConfig {
+                min_train: 100,
+                refit_every,
+                kind: wdt_model::ModelKind::Linear,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn on_swap_fires_per_refit() {
+        let cfg = IngestConfig {
+            queue_cap: 32,
+            window: 300,
+            chunk: 50,
+            retrain: RetrainConfig {
+                min_train: 50,
+                refit_every: 200,
+                kind: wdt_model::ModelKind::Linear,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let h2 = hits.clone();
+        let handle = IngestPipeline::start(
+            cfg,
+            Box::new(NullStore::default()),
+            driver(200),
+            Some(Box::new(move |_ev| {
+                h2.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        for id in 0..600 {
+            handle.offer(rec(id));
+        }
+        let report = handle.finish().unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), report.refits);
+        assert!(report.refits >= 1);
+    }
+
+    #[test]
+    fn tail_csv_reads_growing_file() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join("wdt-ingest-pipeline-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.csv");
+        let records: Vec<TransferRecord> = (0..20).map(rec).collect();
+        let csv = wdt_types::records_to_csv(&records);
+        let (head, rest) = csv.split_at(csv.len() / 2);
+        std::fs::write(&path, head).unwrap();
+
+        let (tx, rx) = bounded(64, Backpressure::Block);
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let p2 = path.clone();
+        let s2 = stop.clone();
+        let tail =
+            std::thread::spawn(move || tail_csv(&p2, &tx, true, Duration::from_millis(5), &s2));
+        std::thread::sleep(Duration::from_millis(30));
+        // Append the rest (completing the torn middle line) and stop.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(rest.as_bytes()).unwrap();
+        drop(f);
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, Ordering::Relaxed);
+        let stats = tail.join().unwrap().unwrap();
+        assert_eq!(stats.records, 20);
+        let got: Vec<TransferRecord> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn tail_csv_without_follow_reads_once() {
+        let dir = std::env::temp_dir().join("wdt-ingest-pipeline-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batch.csv");
+        let records: Vec<TransferRecord> = (0..7).map(rec).collect();
+        std::fs::write(&path, wdt_types::records_to_csv(&records)).unwrap();
+        let (tx, rx) = bounded(64, Backpressure::Block);
+        let stop = AtomicBool::new(false);
+        let stats = tail_csv(&path, &tx, false, Duration::from_millis(1), &stop).unwrap();
+        drop(tx);
+        assert_eq!(stats.records, 7);
+        let got: Vec<TransferRecord> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn tail_csv_rejects_malformed_line_with_number() {
+        let dir = std::env::temp_dir().join("wdt-ingest-pipeline-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        let mut csv = wdt_types::records_to_csv(&(0..3).map(rec).collect::<Vec<_>>());
+        csv.push_str("this,is,not,a,record\n");
+        std::fs::write(&path, csv).unwrap();
+        let (tx, _rx) = bounded(64, Backpressure::Block);
+        let stop = AtomicBool::new(false);
+        let err = tail_csv(&path, &tx, false, Duration::from_millis(1), &stop).unwrap_err();
+        match err {
+            TailError::Parse(e) => assert!(e.to_string().contains("line 5"), "{e}"),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Bounded MPSC channel between importers and the processor.
+//!
+//! A plain `Mutex<VecDeque> + Condvar` channel with a hard capacity and an
+//! explicit backpressure policy. Under [`Backpressure::Block`] a full queue
+//! stalls producers (the simulator hook runs at processor speed, keeping
+//! memory bounded); under [`Backpressure::DropNewest`] a full queue sheds
+//! the offered item and counts it, so lossy deployments *account* for every
+//! record they did not process instead of silently losing it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a full queue does to the next offered item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Stall the producer until the processor drains a slot.
+    Block,
+    /// Refuse the offered item and count it as shed.
+    DropNewest,
+}
+
+struct State<T> {
+    q: VecDeque<T>,
+    /// Live `Sender` handles; 0 means no more items can arrive.
+    senders: usize,
+    /// Receiver dropped: sends become shed immediately.
+    recv_gone: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+    policy: Backpressure,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Producer half. Clone freely (MPSC).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half (exactly one).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a channel holding at most `cap` in-flight items.
+pub fn bounded<T>(cap: usize, policy: Backpressure) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State { q: VecDeque::new(), senders: 1, recv_gone: false }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap: cap.max(1),
+        policy,
+        enqueued: AtomicU64::new(0),
+        dequeued: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+    });
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Offer one item. Returns `true` if it entered the queue, `false` if
+    /// it was shed (full queue under [`Backpressure::DropNewest`], or the
+    /// receiver is gone). Shed items are counted either way.
+    pub fn send(&self, item: T) -> bool {
+        let sh = &*self.shared;
+        let mut st = sh.state.lock().expect("ingest queue poisoned");
+        loop {
+            if st.recv_gone {
+                sh.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if st.q.len() < sh.cap {
+                st.q.push_back(item);
+                sh.enqueued.fetch_add(1, Ordering::Relaxed);
+                sh.not_empty.notify_one();
+                return true;
+            }
+            match sh.policy {
+                Backpressure::DropNewest => {
+                    sh.shed.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                Backpressure::Block => {
+                    st = sh.not_full.wait(st).expect("ingest queue poisoned");
+                }
+            }
+        }
+    }
+
+    /// Shared queue statistics.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats::of(&self.shared)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("ingest queue poisoned").senders += 1;
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("ingest queue poisoned");
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake the receiver so it can observe end-of-stream.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Take the next item, blocking while the queue is empty but senders
+    /// remain. `None` means end-of-stream: empty queue, all senders gone.
+    pub fn recv(&self) -> Option<T> {
+        let sh = &*self.shared;
+        let mut st = sh.state.lock().expect("ingest queue poisoned");
+        loop {
+            if let Some(item) = st.q.pop_front() {
+                sh.dequeued.fetch_add(1, Ordering::Relaxed);
+                sh.not_full.notify_one();
+                return Some(item);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            st = sh.not_empty.wait(st).expect("ingest queue poisoned");
+        }
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().expect("ingest queue poisoned").q.len()
+    }
+
+    /// Shared queue statistics.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats::of(&self.shared)
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("ingest queue poisoned");
+        st.recv_gone = true;
+        // Unblock any producer stuck waiting for space it will never get.
+        self.shared.not_full.notify_all();
+    }
+}
+
+/// Snapshot of the queue's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items accepted into the queue.
+    pub enqueued: u64,
+    /// Items taken by the receiver.
+    pub dequeued: u64,
+    /// Items refused (full queue under DropNewest, or receiver gone).
+    pub shed: u64,
+}
+
+impl QueueStats {
+    fn of<T>(sh: &Shared<T>) -> Self {
+        QueueStats {
+            enqueued: sh.enqueued.load(Ordering::Relaxed),
+            dequeued: sh.dequeued.load(Ordering::Relaxed),
+            shed: sh.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_end_of_stream() {
+        let (tx, rx) = bounded(8, Backpressure::Block);
+        for i in 0..5 {
+            assert!(tx.send(i));
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        let s = rx.stats();
+        assert_eq!((s.enqueued, s.dequeued, s.shed), (5, 5, 0));
+    }
+
+    #[test]
+    fn drop_newest_sheds_and_counts() {
+        let (tx, rx) = bounded(2, Backpressure::DropNewest);
+        assert!(tx.send(1));
+        assert!(tx.send(2));
+        assert!(!tx.send(3), "third item must be shed at capacity 2");
+        assert_eq!(tx.stats().shed, 1);
+        assert_eq!(rx.recv(), Some(1));
+        assert!(tx.send(4), "drained slot accepts again");
+        drop(tx);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(4));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn block_policy_stalls_until_drained() {
+        let (tx, rx) = bounded(1, Backpressure::Block);
+        assert!(tx.send(1));
+        let t = std::thread::spawn(move || {
+            // Fills only after the main thread drains; blocks meanwhile.
+            assert!(tx.send(2));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.depth(), 1, "second send must still be blocked");
+        assert_eq!(rx.recv(), Some(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.stats().shed, 0);
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_and_sheds() {
+        let (tx, rx) = bounded(1, Backpressure::Block);
+        assert!(tx.send(1));
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert!(!t.join().unwrap(), "send into a dropped receiver must shed");
+    }
+
+    #[test]
+    fn multiple_senders_all_drain() {
+        let (tx, rx) = bounded(64, Backpressure::Block);
+        let txs: Vec<_> = (0..4).map(|_| tx.clone()).collect();
+        drop(tx);
+        let threads: Vec<_> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(k, tx)| {
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        assert!(tx.send(k * 100 + i));
+                    }
+                })
+            })
+            .collect();
+        let mut got: Vec<usize> = std::iter::from_fn(|| rx.recv()).collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        got.sort_unstable();
+        let want: Vec<usize> = (0..4).flat_map(|k| (0..10).map(move |i| k * 100 + i)).collect();
+        assert_eq!(got, want);
+    }
+}

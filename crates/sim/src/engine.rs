@@ -241,6 +241,9 @@ pub struct Simulator {
     slot_of_demand: Vec<usize>,
     alloc_scratch: AllocScratch,
     waiting_scratch: std::collections::VecDeque<(TransferRequest, TransferMode)>,
+    /// Transfers logged so far. Tracked separately from `records.len()`
+    /// because streaming runs drain `records` into a sink as they complete.
+    completed: usize,
     stats: SimStats,
 }
 
@@ -296,6 +299,7 @@ impl Simulator {
             slot_of_demand: Vec::new(),
             alloc_scratch: AllocScratch::default(),
             waiting_scratch: std::collections::VecDeque::new(),
+            completed: 0,
             stats: SimStats::default(),
         }
     }
@@ -701,6 +705,7 @@ impl Simulator {
                 self.release_slots(&f.req);
                 self.records
                     .push(TransferRecord::from_request(&f.req, f.start, self.now, f.faults));
+                self.completed += 1;
             }
         }
         self.drain_waiting();
@@ -952,7 +957,23 @@ impl Simulator {
 
     /// Run to completion: processes every submitted transfer and returns the
     /// log. Consumes the simulator.
-    pub fn run(mut self) -> SimOutput {
+    pub fn run(self) -> SimOutput {
+        self.run_inner(None)
+    }
+
+    /// Run to completion, handing each [`TransferRecord`] to `sink` as its
+    /// transfer completes instead of accumulating the log in memory.
+    ///
+    /// Records arrive in *completion* order (not the start-then-id order
+    /// [`Simulator::run`] returns) and the returned [`SimOutput::records`] is
+    /// empty; everything else — event processing, RNG draws, fault schedules,
+    /// LMT samples, stats — is identical to a buffered run, so a streamed
+    /// campaign produces bit-identical records to a batch one.
+    pub fn run_streaming(self, sink: &mut dyn FnMut(TransferRecord)) -> SimOutput {
+        self.run_inner(Some(sink))
+    }
+
+    fn run_inner(mut self, mut sink: Option<&mut dyn FnMut(TransferRecord)>) -> SimOutput {
         let _run_span = wdt_obs::span("sim.run");
         // Move pending requests out; schedule arrivals in submit-time order.
         let mut arrivals = std::mem::take(&mut self.pending);
@@ -989,7 +1010,7 @@ impl Simulator {
         loop {
             // All transfers logged: stop, even though background processes
             // would keep generating toggle events forever.
-            if self.records.len() == total_transfers {
+            if self.completed == total_transfers {
                 break;
             }
             let active_left = self.flows.iter().flatten().count() > 0;
@@ -1013,9 +1034,14 @@ impl Simulator {
                 "simulation ran past 10 simulated years; check workload"
             );
             self.advance_to(t_next);
-            let before = self.records.len();
+            let before = self.completed;
             self.harvest_completions();
-            let mut dirty = self.records.len() != before;
+            let mut dirty = self.completed != before;
+            if let Some(sink) = sink.as_deref_mut() {
+                for r in self.records.drain(..) {
+                    sink(r);
+                }
+            }
             while let Some((_, kind)) = self.events.pop_due(self.now) {
                 self.stats.events += 1;
                 let _span = wdt_obs::span_at_detail(event_span_name(&kind), self.sim_us());
@@ -1174,6 +1200,30 @@ mod tests {
         assert_eq!(a.stats.events, b.stats.events);
         assert_eq!(a.stats.reallocations, b.stats.reallocations);
         assert!(a.stats.events > 0 && a.stats.reallocations > 0);
+    }
+
+    #[test]
+    fn streaming_run_matches_buffered_run() {
+        // Same workload as the determinism test, run both ways: the sink must
+        // see every record exactly once and, after imposing the buffered
+        // run's (start, id) sort, the two logs must be bit-identical.
+        let build = || {
+            let cfg = SimConfig { fault_rate_max: 0.05, ..SimConfig::default() };
+            let mut sim = Simulator::new(two_endpoints(), cfg, &SeedSeq::new(99));
+            sim.add_default_background(4, 0.5);
+            for i in 0..10 {
+                sim.submit(req(i, i as f64 * 30.0, 10.0, 100, 8, 4));
+            }
+            sim
+        };
+        let batch = build().run();
+        let mut streamed = Vec::new();
+        let out = build().run_streaming(&mut |r| streamed.push(r));
+        assert!(out.records.is_empty(), "streaming run must not buffer records");
+        streamed.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
+        assert_eq!(batch.records, streamed);
+        assert_eq!(batch.stats.events, out.stats.events);
+        assert_eq!(batch.stats.reallocations, out.stats.reallocations);
     }
 
     #[test]

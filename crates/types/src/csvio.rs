@@ -15,6 +15,7 @@ use crate::record::TransferRecord;
 use crate::time::SimTime;
 use crate::units::Bytes;
 use std::fmt;
+use std::io::BufRead;
 
 /// The expected header line.
 pub const CSV_HEADER: &str = "id,src,dst,start,end,bytes,files,dirs,concurrency,parallelism,faults";
@@ -88,54 +89,184 @@ pub fn records_to_csv(records: &[TransferRecord]) -> String {
     out
 }
 
+/// Parse one data line (1-based `line_no`, header is line 1). The line is
+/// expected pre-trimmed and non-empty.
+pub fn parse_csv_line(line: &str, line_no: usize) -> Result<TransferRecord, CsvError> {
+    let mut fields = [""; 11];
+    let mut got = 0usize;
+    for f in line.split(',') {
+        if got < 11 {
+            fields[got] = f;
+        }
+        got += 1;
+    }
+    if got != 11 {
+        return Err(CsvError::WrongFieldCount { line: line_no, got });
+    }
+    fn p<T: std::str::FromStr>(v: &str, line: usize, column: &'static str) -> Result<T, CsvError> {
+        v.trim().parse().map_err(|_| CsvError::BadField { line, column })
+    }
+    let start: f64 = p(fields[3], line_no, "start")?;
+    let end: f64 = p(fields[4], line_no, "end")?;
+    if end < start {
+        return Err(CsvError::NegativeDuration { line: line_no });
+    }
+    let bytes: f64 = p(fields[5], line_no, "bytes")?;
+    if bytes.is_nan() || bytes < 0.0 || !bytes.is_finite() {
+        return Err(CsvError::BadField { line: line_no, column: "bytes" });
+    }
+    Ok(TransferRecord {
+        id: TransferId(p(fields[0], line_no, "id")?),
+        src: EndpointId(p(fields[1], line_no, "src")?),
+        dst: EndpointId(p(fields[2], line_no, "dst")?),
+        start: SimTime::seconds(start),
+        end: SimTime::seconds(end),
+        bytes: Bytes::new(bytes),
+        files: p(fields[6], line_no, "files")?,
+        dirs: p(fields[7], line_no, "dirs")?,
+        concurrency: p(fields[8], line_no, "concurrency")?,
+        parallelism: p(fields[9], line_no, "parallelism")?,
+        faults: p(fields[10], line_no, "faults")?,
+    })
+}
+
+/// Errors from the streaming reader: either the underlying I/O failed or a
+/// line failed to parse.
+#[derive(Debug)]
+pub enum CsvStreamError {
+    /// The reader failed.
+    Io(std::io::Error),
+    /// A line failed to parse (same variants and line numbers as
+    /// [`records_from_csv`]).
+    Parse(CsvError),
+}
+
+impl fmt::Display for CsvStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvStreamError::Io(e) => write!(f, "csv read: {e}"),
+            CsvStreamError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvStreamError {}
+
+impl From<CsvError> for CsvStreamError {
+    fn from(e: CsvError) -> Self {
+        CsvStreamError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for CsvStreamError {
+    fn from(e: std::io::Error) -> Self {
+        CsvStreamError::Io(e)
+    }
+}
+
+/// A streaming, line-by-line reader of transfer-log CSV.
+///
+/// Yields one [`TransferRecord`] per data line without materializing the
+/// file: memory use is one line buffer regardless of log size. Blank
+/// lines are skipped (but still counted, so error line numbers are
+/// identical to [`records_from_csv`]'s: the header is line 1, the first
+/// data line is line 2). The header is validated lazily on the first
+/// `next()` call.
+pub struct CsvReader<R: BufRead> {
+    reader: R,
+    /// Reused line buffer.
+    line: String,
+    /// 1-based number of the last line read.
+    line_no: usize,
+    /// Header seen and validated.
+    header_done: bool,
+    /// A parse error ends the stream (matching the fail-fast batch parser).
+    failed: bool,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wrap a buffered reader positioned at the start of the CSV.
+    pub fn new(reader: R) -> Self {
+        CsvReader { reader, line: String::new(), line_no: 0, header_done: false, failed: false }
+    }
+
+    /// Read the next raw line into the buffer. `Ok(false)` at EOF.
+    fn read_line(&mut self) -> std::io::Result<bool> {
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.line_no += 1;
+        Ok(true)
+    }
+}
+
+impl<R: BufRead> Iterator for CsvReader<R> {
+    type Item = Result<TransferRecord, CsvStreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if !self.header_done {
+            match self.read_line() {
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+                Ok(false) => {
+                    self.failed = true;
+                    return Some(Err(CsvError::BadHeader.into()));
+                }
+                Ok(true) => {
+                    if self.line.trim() != CSV_HEADER {
+                        self.failed = true;
+                        return Some(Err(CsvError::BadHeader.into()));
+                    }
+                    self.header_done = true;
+                }
+            }
+        }
+        loop {
+            match self.read_line() {
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+                Ok(false) => return None,
+                Ok(true) => {
+                    let trimmed = self.line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    return match parse_csv_line(trimmed, self.line_no) {
+                        Ok(r) => Some(Ok(r)),
+                        Err(e) => {
+                            self.failed = true;
+                            Some(Err(e.into()))
+                        }
+                    };
+                }
+            }
+        }
+    }
+}
+
 /// Parse records from CSV produced by [`records_to_csv`] (or converted
 /// from another tool's log). Blank lines are ignored.
+///
+/// This is the batch convenience over [`CsvReader`]; both produce the
+/// same records and the same error line numbers.
 pub fn records_from_csv(s: &str) -> Result<Vec<TransferRecord>, CsvError> {
-    let mut lines = s.lines().enumerate();
-    let header = lines.next().map(|(_, l)| l.trim()).unwrap_or("");
-    if header != CSV_HEADER {
-        return Err(CsvError::BadHeader);
-    }
     let mut out = Vec::new();
-    for (i, raw) in lines {
-        let line_no = i + 1;
-        let line = raw.trim();
-        if line.is_empty() {
-            continue;
+    for item in CsvReader::new(s.as_bytes()) {
+        match item {
+            Ok(r) => out.push(r),
+            Err(CsvStreamError::Parse(e)) => return Err(e),
+            // In-memory readers cannot fail on I/O.
+            Err(CsvStreamError::Io(e)) => unreachable!("io error reading &str: {e}"),
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 11 {
-            return Err(CsvError::WrongFieldCount { line: line_no, got: fields.len() });
-        }
-        fn p<T: std::str::FromStr>(
-            v: &str,
-            line: usize,
-            column: &'static str,
-        ) -> Result<T, CsvError> {
-            v.trim().parse().map_err(|_| CsvError::BadField { line, column })
-        }
-        let start: f64 = p(fields[3], line_no, "start")?;
-        let end: f64 = p(fields[4], line_no, "end")?;
-        if end < start {
-            return Err(CsvError::NegativeDuration { line: line_no });
-        }
-        let bytes: f64 = p(fields[5], line_no, "bytes")?;
-        if bytes.is_nan() || bytes < 0.0 || !bytes.is_finite() {
-            return Err(CsvError::BadField { line: line_no, column: "bytes" });
-        }
-        out.push(TransferRecord {
-            id: TransferId(p(fields[0], line_no, "id")?),
-            src: EndpointId(p(fields[1], line_no, "src")?),
-            dst: EndpointId(p(fields[2], line_no, "dst")?),
-            start: SimTime::seconds(start),
-            end: SimTime::seconds(end),
-            bytes: Bytes::new(bytes),
-            files: p(fields[6], line_no, "files")?,
-            dirs: p(fields[7], line_no, "dirs")?,
-            concurrency: p(fields[8], line_no, "concurrency")?,
-            parallelism: p(fields[9], line_no, "parallelism")?,
-            faults: p(fields[10], line_no, "faults")?,
-        });
     }
     Ok(out)
 }
@@ -209,5 +340,54 @@ mod tests {
         let e = CsvError::BadField { line: 9, column: "bytes" };
         assert!(e.to_string().contains("line 9"));
         assert!(e.to_string().contains("bytes"));
+    }
+
+    #[test]
+    fn streaming_reader_yields_same_records_as_batch() {
+        let records = vec![rec(0), rec(1), rec(2)];
+        let csv = records_to_csv(&records);
+        let streamed: Vec<TransferRecord> =
+            CsvReader::new(csv.as_bytes()).map(|r| r.expect("parse")).collect();
+        assert_eq!(streamed, records);
+        assert_eq!(streamed, records_from_csv(&csv).unwrap());
+    }
+
+    #[test]
+    fn streaming_reader_error_line_numbers_match_batch() {
+        // Every malformed input must fail identically (variant AND line
+        // number) through both paths.
+        let bad_inputs = [
+            format!("{CSV_HEADER}\n1,2,3\n"),
+            format!("{CSV_HEADER}\n1,2,3,abc,5,6,7,8,9,10,11\n"),
+            format!("{CSV_HEADER}\n1,2,3,100,50,6,7,8,9,10,11\n"),
+            format!("{CSV_HEADER}\n\n\n1,2,3,nope,5,6,7,8,9,10,11\n"),
+            format!("{CSV_HEADER}\n1,2,3,0,10,100,1,1,1,1,0\n1,2,3,0,10,100,1,1,1,1\n"),
+            "nope\n1,2,3".to_string(),
+            String::new(),
+        ];
+        for csv in &bad_inputs {
+            let batch_err = records_from_csv(csv).expect_err("batch must fail");
+            let stream_err =
+                CsvReader::new(csv.as_bytes()).find_map(|r| r.err()).expect("stream must fail");
+            match stream_err {
+                CsvStreamError::Parse(e) => assert_eq!(e, batch_err, "input: {csv:?}"),
+                CsvStreamError::Io(e) => panic!("unexpected io error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_reader_stops_after_first_error() {
+        let csv = format!("{CSV_HEADER}\n1,2,3\n1,2,3,0,10,100,1,1,1,1,0\n");
+        let items: Vec<_> = CsvReader::new(csv.as_bytes()).collect();
+        assert_eq!(items.len(), 1, "stream must end at the first error");
+        assert!(items[0].is_err());
+    }
+
+    #[test]
+    fn streaming_reader_handles_missing_trailing_newline() {
+        let csv = format!("{CSV_HEADER}\n1,2,3,0,10,100,1,1,1,1,0");
+        let rows: Vec<_> = CsvReader::new(csv.as_bytes()).collect::<Result<_, _>>().expect("parse");
+        assert_eq!(rows.len(), 1);
     }
 }

@@ -26,7 +26,9 @@ pub mod seed;
 pub mod time;
 pub mod units;
 
-pub use csvio::{records_from_csv, records_to_csv, CsvError, CSV_HEADER};
+pub use csvio::{
+    records_from_csv, records_to_csv, CsvError, CsvReader, CsvStreamError, CSV_HEADER,
+};
 pub use hist::Histogram;
 pub use id::{EdgeId, EndpointId, EndpointType, TransferId};
 pub use json::{JsonError, JsonValue};
