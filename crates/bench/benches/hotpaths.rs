@@ -7,7 +7,7 @@ use wdt_features::extract_features;
 use wdt_ml::{mic, Gbdt, GbdtParams, NodeArrayForest, SplitStrategy};
 use wdt_sim::{allocate, FlowDemand, SimConfig, Simulator};
 use wdt_types::{Bytes, EndpointId, SeedSeq, SimTime, TransferId, TransferRecord, TransferRequest};
-use wdt_workload::{FleetSpec, WorkloadSpec};
+use wdt_workload::{ArrivalMix, FleetSpec, WorkloadSpec};
 
 fn synth_records(n: usize) -> Vec<TransferRecord> {
     (0..n)
@@ -147,6 +147,7 @@ fn bench_simulator(c: &mut Criterion) {
         heavy_session_len: 4.0,
         sparse_edges: 20,
         days: 2.0,
+        mix: ArrivalMix::default(),
     }
     .generate(&SeedSeq::new(3));
     let mut g = c.benchmark_group("simulator");

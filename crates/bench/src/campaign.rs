@@ -18,7 +18,7 @@ use rayon::prelude::*;
 use std::path::PathBuf;
 use wdt_sim::{EndpointCatalog, SimConfig, SimOutput, SimStats, Simulator};
 use wdt_types::{records_from_csv, records_to_csv, SeedSeq, TransferRecord, TransferRequest};
-use wdt_workload::{FleetSpec, Workload, WorkloadSpec};
+use wdt_workload::{ArrivalMix, FleetSpec, Workload, WorkloadSpec};
 
 /// Specification of the standard campaign.
 #[derive(Debug, Clone)]
@@ -88,6 +88,7 @@ impl CampaignSpec {
             heavy_session_len: 5.0,
             sparse_edges: self.sparse_edges,
             days: self.days,
+            mix: ArrivalMix::default(),
         }
         .generate(&seed)
     }
@@ -96,18 +97,7 @@ impl CampaignSpec {
     /// submit-time windows. Every request lands in exactly one shard, so
     /// the merged log covers the same request set as a monolithic run.
     fn shards(&self, workload: &Workload) -> Vec<Vec<TransferRequest>> {
-        let runs = self.runs.max(1);
-        let window = self.days * 86_400.0 / runs as f64;
-        let mut shards: Vec<Vec<TransferRequest>> = vec![Vec::new(); runs];
-        for req in &workload.requests {
-            let idx = if window > 0.0 {
-                ((req.submit.as_secs() / window) as usize).min(runs - 1)
-            } else {
-                0
-            };
-            shards[idx].push(req.clone());
-        }
-        shards
+        shard_by_window(self.days, self.runs, &workload.requests)
     }
 
     /// Simulate one time shard with its own derived RNG stream.
@@ -129,20 +119,7 @@ impl CampaignSpec {
     }
 
     fn merge(&self, workload: &Workload, outs: Vec<SimOutput>) -> CampaignOutput {
-        let mut records = Vec::new();
-        let mut stats = SimStats::default();
-        for out in outs {
-            records.extend(out.records);
-            stats.merge(&out.stats);
-        }
-        // Shards are disjoint time windows, but re-establish the global
-        // log order the monolithic simulator produced.
-        records.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
-        CampaignOutput {
-            records,
-            heavy_edges: workload.heavy_edges.iter().map(|e| (e.src.0, e.dst.0)).collect(),
-            stats,
-        }
+        merge_shard_outputs(workload, outs)
     }
 
     /// Run the simulation (no cache), executing shards in parallel.
@@ -246,6 +223,43 @@ impl CampaignSpec {
         }
         let _ = std::fs::write(&path, out.to_cache_text());
         out
+    }
+}
+
+/// Partition `requests` into `runs` contiguous submit-time windows over a
+/// `days`-long horizon. Every request lands in exactly one shard, so the
+/// merged log covers the same request set as a monolithic run. Shared by
+/// [`CampaignSpec`] and [`crate::ScenarioCampaign`].
+pub(crate) fn shard_by_window(
+    days: f64,
+    runs: usize,
+    requests: &[TransferRequest],
+) -> Vec<Vec<TransferRequest>> {
+    let runs = runs.max(1);
+    let window = days * 86_400.0 / runs as f64;
+    let mut shards: Vec<Vec<TransferRequest>> = vec![Vec::new(); runs];
+    for req in requests {
+        let idx =
+            if window > 0.0 { ((req.submit.as_secs() / window) as usize).min(runs - 1) } else { 0 };
+        shards[idx].push(req.clone());
+    }
+    shards
+}
+
+/// Merge shard outputs in run-index order and re-establish the global
+/// (start, id) log order the monolithic simulator produces.
+pub(crate) fn merge_shard_outputs(workload: &Workload, outs: Vec<SimOutput>) -> CampaignOutput {
+    let mut records = Vec::new();
+    let mut stats = SimStats::default();
+    for out in outs {
+        records.extend(out.records);
+        stats.merge(&out.stats);
+    }
+    records.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
+    CampaignOutput {
+        records,
+        heavy_edges: workload.heavy_edges.iter().map(|e| (e.src.0, e.dst.0)).collect(),
+        stats,
     }
 }
 

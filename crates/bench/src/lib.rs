@@ -10,7 +10,9 @@
 //! `cargo run --release -p wdt-bench --bin <experiment>`.
 
 pub mod campaign;
+pub mod scenario_campaign;
 pub mod table;
 
 pub use campaign::{standard_log, CampaignOutput, CampaignSpec, StreamSummary};
+pub use scenario_campaign::ScenarioCampaign;
 pub use table::TableWriter;

@@ -1,0 +1,264 @@
+//! Scenario-driven campaigns: a parsed [`ScenarioSpec`] turned into a
+//! runnable, sharded, deterministic simulation.
+//!
+//! This is the execution half of the scenario DSL (`wdt_types::scenario`
+//! is the schema half): topology → [`FleetSpec`], arrival mix →
+//! [`ArrivalMix`], capacity events → a [`wdt_sim::CapacitySchedule`]
+//! attached to every shard's simulator, background regime → the standard
+//! hidden-load processes. Sharding, seeding, and merging reuse the exact
+//! [`CampaignSpec`](crate::CampaignSpec) discipline — including the
+//! `"campaign-run"` seed label — so a scenario with default topology,
+//! traffic, arrivals, background, and no capacity events reproduces the
+//! equivalent `CampaignSpec` run bit-for-bit, and parallel shard
+//! execution is bit-identical to serial.
+
+use crate::campaign::{merge_shard_outputs, shard_by_window, CampaignOutput};
+use rayon::prelude::*;
+use std::path::Path;
+use wdt_sim::{CapacitySchedule, EndpointCatalog, SimConfig, SimOutput, Simulator};
+use wdt_types::scenario::ArrivalSpec;
+use wdt_types::{ScenarioSpec, SeedSeq, TransferRequest};
+use wdt_workload::{ArrivalMix, Burst, FleetSpec, Workload, WorkloadSpec};
+
+/// A validated, runnable scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioCampaign {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioCampaign {
+    /// Wrap a parsed spec, validating everything the schema layer cannot
+    /// see: the site catalog bound and capacity-event endpoint indices
+    /// against the generated fleet size.
+    pub fn new(spec: ScenarioSpec) -> Result<ScenarioCampaign, String> {
+        let t = &spec.topology;
+        let catalog = wdt_geo::SiteCatalog::len();
+        if t.sites > catalog {
+            return Err(format!(
+                "scenario '{}': topology.sites = {} exceeds the {catalog}-site catalog",
+                spec.name, t.sites
+            ));
+        }
+        let fleet_size = t.sites + t.extra_servers + t.personal;
+        for (i, ev) in spec.capacity.iter().enumerate() {
+            for &ep in &ev.endpoints {
+                if ep as usize >= fleet_size {
+                    return Err(format!(
+                        "scenario '{}': capacity[{i}] references endpoint {ep} but the \
+                         topology generates only {fleet_size} endpoints",
+                        spec.name
+                    ));
+                }
+            }
+        }
+        Ok(ScenarioCampaign { spec })
+    }
+
+    /// Parse and validate a scenario file.
+    pub fn from_file(path: &Path) -> Result<ScenarioCampaign, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let spec =
+            ScenarioSpec::from_text(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        ScenarioCampaign::new(spec)
+    }
+
+    /// The validated spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The workload this scenario generates.
+    pub fn workload(&self) -> Workload {
+        let s = &self.spec;
+        let mix = match &s.arrivals {
+            ArrivalSpec::Diurnal { depth } => ArrivalMix::Diurnal { depth: *depth },
+            ArrivalSpec::Poisson => ArrivalMix::Poisson,
+            ArrivalSpec::FlashCrowd { depth, bursts } => ArrivalMix::FlashCrowd {
+                depth: *depth,
+                bursts: bursts
+                    .iter()
+                    .map(|b| Burst {
+                        start_s: b.start_day * 86_400.0,
+                        dur_s: b.duration_hours * 3_600.0,
+                        multiplier: b.multiplier,
+                    })
+                    .collect(),
+            },
+        };
+        WorkloadSpec {
+            fleet: FleetSpec {
+                sites: s.topology.sites,
+                extra_servers: s.topology.extra_servers,
+                personal: s.topology.personal,
+            },
+            heavy_edges: s.traffic.heavy_edges,
+            heavy_sessions_per_day: s.traffic.heavy_sessions_per_day,
+            heavy_session_len: s.traffic.heavy_session_len,
+            sparse_edges: s.traffic.sparse_edges,
+            days: s.days,
+            mix,
+        }
+        .generate(&SeedSeq::new(s.seed))
+    }
+
+    /// The engine config (topology overrides applied).
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            max_active_per_endpoint: self.spec.topology.max_active_per_endpoint,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The capacity-modulation schedule from the spec's capacity events.
+    pub fn schedule(&self) -> CapacitySchedule {
+        CapacitySchedule::from_events(&self.spec.capacity)
+    }
+
+    fn run_shard(
+        &self,
+        endpoints: &EndpointCatalog,
+        schedule: &CapacitySchedule,
+        run: usize,
+        requests: &[TransferRequest],
+    ) -> SimOutput {
+        let _span = wdt_obs::span("scenario.shard");
+        let root = SeedSeq::new(self.spec.seed);
+        // Same derivation label as CampaignSpec::run_shard, so a scenario
+        // matching the standard campaign's parameters replays it exactly.
+        let shard_seed = SeedSeq::new(root.derive_indexed("campaign-run", run as u64));
+        let mut sim = Simulator::new(endpoints.clone(), self.sim_config(), &shard_seed);
+        sim.add_default_background(
+            self.spec.background.per_endpoint,
+            self.spec.background.intensity,
+        );
+        if !schedule.is_empty() {
+            sim.set_modulation(schedule.clone());
+        }
+        for req in requests {
+            sim.submit(req.clone());
+        }
+        sim.run()
+    }
+
+    /// Run the scenario with shards executed in parallel. Bit-identical to
+    /// [`ScenarioCampaign::simulate_serial`]: every shard's RNG stream is
+    /// derived from (seed, run index) regardless of scheduling, and the
+    /// capacity schedule is a pure function of simulated time shared by
+    /// all shards.
+    pub fn simulate(&self) -> CampaignOutput {
+        let _span = wdt_obs::span("scenario.simulate");
+        let workload = self.workload();
+        let schedule = self.schedule();
+        let shards = shard_by_window(self.spec.days, self.spec.traffic.runs, &workload.requests);
+        let outs: Vec<SimOutput> = shards
+            .par_iter()
+            .enumerate()
+            .map(|(run, reqs)| self.run_shard(&workload.endpoints, &schedule, run, reqs))
+            .collect();
+        merge_shard_outputs(&workload, outs)
+    }
+
+    /// Run the scenario with shards executed sequentially.
+    pub fn simulate_serial(&self) -> CampaignOutput {
+        let _span = wdt_obs::span("scenario.simulate_serial");
+        let workload = self.workload();
+        let schedule = self.schedule();
+        let shards = shard_by_window(self.spec.days, self.spec.traffic.runs, &workload.requests);
+        let outs: Vec<SimOutput> = shards
+            .iter()
+            .enumerate()
+            .map(|(run, reqs)| self.run_shard(&workload.endpoints, &schedule, run, reqs))
+            .collect();
+        merge_shard_outputs(&workload, outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CampaignSpec;
+
+    fn scenario(text: &str) -> ScenarioCampaign {
+        ScenarioCampaign::new(ScenarioSpec::from_text(text).expect("parse")).expect("validate")
+    }
+
+    /// A scenario whose every knob matches the standard campaign defaults.
+    fn baseline_text() -> &'static str {
+        r#"{"name": "baseline", "days": 2.0,
+            "traffic": {"heavy_edges": 6, "sparse_edges": 30}}"#
+    }
+
+    #[test]
+    fn baseline_scenario_is_bit_identical_to_campaign_spec() {
+        // The free cross-check: identical parameters through the scenario
+        // path and the CampaignSpec path must produce the same log, byte
+        // for byte. Guards the seed-label and workload-mapping contract.
+        let s = scenario(baseline_text()).simulate();
+        let c = CampaignSpec { days: 2.0, heavy_edges: 6, sparse_edges: 30, ..Default::default() }
+            .simulate();
+        assert_eq!(s.records, c.records);
+        assert_eq!(s.heavy_edges, c.heavy_edges);
+        assert_eq!(s.stats.events, c.stats.events);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial_under_modulation() {
+        let s = scenario(
+            r#"{"name": "deg", "days": 2.0,
+                "traffic": {"heavy_edges": 5, "sparse_edges": 20},
+                "capacity": [{"kind": "degradation", "endpoints": [0, 1, 2],
+                              "start_day": 0.5, "end_day": 1.25, "factor": 0.3}]}"#,
+        );
+        let par = s.simulate();
+        let ser = s.simulate_serial();
+        assert_eq!(par.records, ser.records);
+        assert_eq!(par.stats.events, ser.stats.events);
+        assert_eq!(par.stats.reallocations, ser.stats.reallocations);
+    }
+
+    #[test]
+    fn degradation_window_slows_affected_transfers() {
+        let base = scenario(
+            r#"{"name": "base", "days": 2.0,
+                "traffic": {"heavy_edges": 5, "sparse_edges": 20}}"#,
+        );
+        let deg = scenario(
+            r#"{"name": "deg", "days": 2.0,
+                "traffic": {"heavy_edges": 5, "sparse_edges": 20},
+                "capacity": [{"kind": "degradation",
+                              "endpoints": [0,1,2,3,4,5,6,7,8,9,10,11],
+                              "start_day": 0.0, "end_day": 2.0, "factor": 0.1}]}"#,
+        );
+        let rate = |out: &CampaignOutput| {
+            let sum: f64 = out.records.iter().map(|r| r.rate().as_f64()).sum();
+            sum / out.records.len() as f64
+        };
+        let (rb, rd) = (rate(&base.simulate()), rate(&deg.simulate()));
+        // Degrading every hub NIC to 10% must visibly depress mean rates.
+        assert!(rd < rb * 0.8, "degraded {rd:.0} vs base {rb:.0}");
+    }
+
+    #[test]
+    fn out_of_fleet_capacity_endpoint_rejected() {
+        let spec = ScenarioSpec::from_text(
+            r#"{"name": "bad", "days": 1.0,
+                "topology": {"sites": 5, "extra_servers": 0, "personal": 0},
+                "capacity": [{"kind": "outage", "endpoints": [5],
+                              "start_day": 0.0, "end_day": 0.5}]}"#,
+        )
+        .expect("schema-valid");
+        let err = ScenarioCampaign::new(spec).expect_err("must reject");
+        assert!(err.contains("endpoint 5") && err.contains("5 endpoints"), "{err}");
+    }
+
+    #[test]
+    fn max_active_override_throttles_concurrency() {
+        let tight = scenario(
+            r#"{"name": "tight", "days": 1.0,
+                "topology": {"max_active_per_endpoint": 1},
+                "traffic": {"heavy_edges": 4, "sparse_edges": 10}}"#,
+        );
+        let out = tight.simulate();
+        assert!(out.stats.max_queue_depth > 0, "slot limit never queued anything");
+    }
+}

@@ -1,0 +1,148 @@
+//! Metamorphic relations re-run under scenario regimes: the allocator and
+//! engine invariants proven in `metamorphic.rs` must keep holding when a
+//! capacity-modulation schedule is active and when arrivals follow a
+//! flash-crowd mix — the scenario machinery must not break what the plain
+//! engine guarantees.
+
+use wdt_bench::ScenarioCampaign;
+use wdt_check::ScenarioGen;
+use wdt_sim::{allocate, CapacitySchedule, FlowDemand, Simulator};
+use wdt_types::{EndpointId, ScenarioSpec, SeedSeq, SimTime};
+
+const TOL: f64 = 1e-6;
+
+fn scale_of(rates: &[f64]) -> f64 {
+    rates.iter().cloned().fold(1.0f64, f64::max)
+}
+
+fn campaign(text: &str) -> ScenarioCampaign {
+    ScenarioCampaign::new(ScenarioSpec::from_text(text).expect("parse")).expect("validate")
+}
+
+fn degradation_schedule() -> CapacitySchedule {
+    let spec = ScenarioSpec::from_text(
+        r#"{"name": "m-deg", "days": 2.0,
+            "capacity": [{"kind": "degradation", "endpoints": [0, 1, 2],
+                          "start_day": 0.25, "end_day": 0.75, "factor": 0.3},
+                         {"kind": "maintenance", "endpoints": [1],
+                          "start_day": 0.5, "end_day": 1.0, "factor": 0.2}]}"#,
+    )
+    .expect("parse");
+    CapacitySchedule::from_events(&spec.capacity)
+}
+
+/// Capacity-scaling homogeneity survives modulation: capacities derived by
+/// applying a degradation-window schedule's factors — sampled before,
+/// inside (including the stacked-window overlap), and after the windows —
+/// still scale allocated rates by exactly k when capacities and flow caps
+/// scale by k.
+#[test]
+fn capacity_scaling_homogeneity_holds_under_degradation_windows() {
+    let sched = degradation_schedule();
+    let sample_times =
+        [SimTime::days(0.1), SimTime::days(0.3), SimTime::days(0.6), SimTime::days(1.5)];
+    let mut gen = ScenarioGen::new(2017);
+    for case in 0..25 {
+        let s = gen.problem();
+        for (ti, t) in sample_times.iter().enumerate() {
+            // Interpret resource r as resource-kind r%5 of endpoint r/5,
+            // matching the engine's 5-resources-per-endpoint layout.
+            let modulated: Vec<f64> = s
+                .capacities
+                .iter()
+                .enumerate()
+                .map(|(r, c)| {
+                    let f = sched.factors_at(EndpointId((r / 5) as u32), *t);
+                    c * [f.disk_read, f.disk_write, f.nic_out, f.nic_in, f.cpu][r % 5]
+                })
+                .collect();
+            let base = allocate(&modulated, &s.flows);
+            for k in [0.5f64, 4.0, 1024.0] {
+                let caps_k: Vec<f64> = modulated.iter().map(|c| c * k).collect();
+                let flows_k: Vec<FlowDemand> = s
+                    .flows
+                    .iter()
+                    .map(|f| {
+                        FlowDemand::with_coefficients(
+                            f.cap * k,
+                            f.weight,
+                            f.resources(),
+                            f.coefficients(),
+                        )
+                    })
+                    .collect();
+                let scaled = allocate(&caps_k, &flows_k);
+                let tol = TOL * k * scale_of(&base);
+                for (i, (&b, &sc)) in base.iter().zip(&scaled).enumerate() {
+                    assert!(
+                        (sc - k * b).abs() <= tol,
+                        "case {case}, sample {ti}, k={k}, flow {i}: {sc} != {k}*{b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Run one scenario's full workload through a single simulator (modulation
+/// attached), submitting requests in the given order.
+fn run_in_order(camp: &ScenarioCampaign, order: &[usize]) -> wdt_sim::SimOutput {
+    let spec = camp.spec();
+    let workload = camp.workload();
+    let mut sim =
+        Simulator::new(workload.endpoints.clone(), camp.sim_config(), &SeedSeq::new(spec.seed));
+    sim.add_default_background(spec.background.per_endpoint, spec.background.intensity);
+    let schedule = camp.schedule();
+    if !schedule.is_empty() {
+        sim.set_modulation(schedule);
+    }
+    for &i in order {
+        sim.submit(workload.requests[i].clone());
+    }
+    sim.run()
+}
+
+fn assert_submission_order_invariant(camp: &ScenarioCampaign, label: &str) {
+    let n = camp.workload().requests.len();
+    assert!(n > 50, "{label}: workload too small ({n} requests) to be meaningful");
+    let forward: Vec<usize> = (0..n).collect();
+    let mut reversed = forward.clone();
+    reversed.reverse();
+    let interleaved: Vec<usize> =
+        (0..n).map(|i| if i % 2 == 0 { i / 2 } else { n - 1 - i / 2 }).collect();
+    let a = run_in_order(camp, &forward);
+    let b = run_in_order(camp, &reversed);
+    let c = run_in_order(camp, &interleaved);
+    assert_eq!(a.records, b.records, "{label}: reversed submission order changed the log");
+    assert_eq!(a.records, c.records, "{label}: interleaved submission order changed the log");
+    assert_eq!(a.stats.events, b.stats.events, "{label}");
+    assert_eq!(a.stats.reallocations, c.stats.reallocations, "{label}");
+}
+
+/// Submission order must stay irrelevant when a degradation window injects
+/// ModChange boundary events between the transfers' own events.
+#[test]
+fn submission_order_invariance_under_degradation_scenario() {
+    let camp = campaign(
+        r#"{"name": "m-deg-order", "days": 1.0,
+            "traffic": {"heavy_edges": 3, "sparse_edges": 10},
+            "capacity": [{"kind": "degradation", "endpoints": [0, 1, 2],
+                          "start_day": 0.25, "end_day": 0.75, "factor": 0.3}]}"#,
+    );
+    assert_submission_order_invariant(&camp, "degradation");
+}
+
+/// Submission order must stay irrelevant when a flash crowd piles many
+/// arrivals into the same burst window (lots of near-simultaneous
+/// submissions — exactly where order-dependence bugs would hide).
+#[test]
+fn submission_order_invariance_under_flash_crowd_scenario() {
+    let camp = campaign(
+        r#"{"name": "m-flash-order", "days": 1.0,
+            "traffic": {"heavy_edges": 3, "sparse_edges": 10},
+            "arrivals": {"kind": "flash_crowd", "depth": 0.5,
+                         "bursts": [{"start_day": 0.4, "duration_hours": 2.0,
+                                     "multiplier": 8.0}]}}"#,
+    );
+    assert_submission_order_invariant(&camp, "flash-crowd");
+}

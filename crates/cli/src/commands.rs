@@ -4,6 +4,7 @@
 //! to a `Result`, so the logic is unit-testable without spawning processes.
 
 use crate::args::Args;
+use rayon::prelude::*;
 use std::error::Error;
 use std::fs;
 use std::net::SocketAddr;
@@ -45,6 +46,7 @@ pub fn run(args: &Args) -> CmdResult {
         "loadgen" => loadgen(args),
         "ingest" => ingest(args),
         "check" => check(args),
+        "scenarios" => scenarios(args),
         "obs" => obs(args),
         "help" | "--help" => {
             print!("{}", usage());
@@ -140,10 +142,24 @@ pub fn usage() -> String {
                committed golden-trace digest (see DESIGN.md)\n\
                --golden FILE [--refresh] [--oracle-cases N=250]\n\
                [--seed N=2017] [--days N=2] [--heavy-edges N=6]\n\
-               [--sparse-edges N=30] [--runs N=4] [--trace FILE]\n\
+               [--sparse-edges N=30] [--runs N=4] [--scenario FILE]\n\
+               [--trace FILE]\n\
                (runs the campaign twice — parallel and serial — with\n\
                 runtime invariant checks on, then compares the log digest\n\
-                to FILE; --refresh rewrites FILE instead of comparing)\n\
+                to FILE; --refresh rewrites FILE instead of comparing;\n\
+                --scenario verifies a scenario file's campaign instead of\n\
+                the standard check campaign, ignoring the campaign flags)\n\
+     scenarios sweep a directory of scenario files (see DESIGN.md for the\n\
+               DSL) and report per-scenario model quality\n\
+               --dir DIR [--golden-dir DIR] [--refresh] [--report FILE]\n\
+               [--threshold X=0.5] [--trace FILE]\n\
+               (each *.json in DIR is parsed strictly, simulated with\n\
+                sharded parallelism, trained on, and reported: MdAPE,\n\
+                top feature importances, aggregate throughput, slowdown\n\
+                tail. --golden-dir verifies each scenario's TraceDigest\n\
+                against DIR/<name>.digest — the whole-library golden\n\
+                gate; --refresh rewrites the digests instead. --report\n\
+                writes the per-scenario report as JSON)\n\
      obs       observability: trace a short campaign and dump the flight\n\
                recorder + metrics registry, or validate a trace file\n\
                [--trace FILE] [--out FILE] [--check-trace FILE]\n\
@@ -400,6 +416,7 @@ fn check(args: &Args) -> CmdResult {
         "heavy-edges",
         "sparse-edges",
         "runs",
+        "scenario",
         "trace",
     ])?;
     let golden = args.require("golden")?.to_string();
@@ -422,7 +439,12 @@ fn check(args: &Args) -> CmdResult {
     }
 
     // 2. The check campaign, parallel and serial, with every reallocation
-    //    invariant-checked (a violation panics).
+    //    invariant-checked (a violation panics). With --scenario the
+    //    campaign under test is the scenario file's instead.
+    let scenario = match args.get("scenario") {
+        Some(path) => Some(wdt_bench::ScenarioCampaign::from_file(Path::new(path))?),
+        None => None,
+    };
     let spec = CampaignSpec {
         seed: args.get_or("seed", 2017)?,
         days: args.get_or("days", 2.0)?,
@@ -431,12 +453,18 @@ fn check(args: &Args) -> CmdResult {
         runs: args.get_or("runs", 4)?,
         ..Default::default()
     };
+    let (days, label) = match &scenario {
+        Some(s) => (s.spec().days, format!("scenario '{}'", s.spec().name)),
+        None => (spec.days, "check campaign".into()),
+    };
     eprintln!(
-        "campaign: simulating {} days twice (parallel + serial) with invariant checks on ...",
-        spec.days
+        "campaign: simulating {days} days of the {label} twice (parallel + serial) \
+         with invariant checks on ..."
     );
-    let par = spec.simulate();
-    let ser = spec.simulate_serial();
+    let (par, ser) = match &scenario {
+        Some(s) => (s.simulate(), s.simulate_serial()),
+        None => (spec.simulate(), spec.simulate_serial()),
+    };
     println!("campaign: {} records | {}", par.records.len(), par.stats.summary());
     if par.stats.invariant_checks == 0 {
         return Err("invariant checks never ran — WDT_CHECK gate broken".into());
@@ -459,11 +487,20 @@ fn check(args: &Args) -> CmdResult {
 
     // 3. Golden-trace digest.
     let digest = wdt_check::TraceDigest::from_records(&par.records);
-    let header = format!(
-        "spec: seed={} days={} heavy-edges={} sparse-edges={} runs={}\n\
-         refresh with: wdt check --golden <this file> --refresh",
-        spec.seed, spec.days, spec.heavy_edges, spec.sparse_edges, spec.runs
-    );
+    let header = match &scenario {
+        Some(s) => format!(
+            "scenario: {} (seed={} days={})\n\
+             refresh with: wdt check --scenario <file> --golden <this file> --refresh",
+            s.spec().name,
+            s.spec().seed,
+            s.spec().days
+        ),
+        None => format!(
+            "spec: seed={} days={} heavy-edges={} sparse-edges={} runs={}\n\
+             refresh with: wdt check --golden <this file> --refresh",
+            spec.seed, spec.days, spec.heavy_edges, spec.sparse_edges, spec.runs
+        ),
+    };
     if args.flag("refresh") {
         fs::write(&golden, digest.to_text(&header))?;
         println!("golden: wrote digest ({:016x}) to {golden}", digest.hash());
@@ -488,6 +525,246 @@ fn check(args: &Args) -> CmdResult {
         .into());
     }
     println!("golden: digest matches ({:016x})", digest.hash());
+    Ok(())
+}
+
+/// One scenario's sweep result, ready for the table and the JSON report.
+struct ScenarioReport {
+    name: String,
+    description: String,
+    records: usize,
+    /// Total payload bytes / campaign makespan, in Gb/s.
+    agg_throughput_gbps: f64,
+    /// Slowdown = per-edge Rmax / transfer rate; the contention tail.
+    slowdown_p50: f64,
+    slowdown_p95: f64,
+    slowdown_p99: f64,
+    /// GBDT held-out error; `None` when the log is too small to fit.
+    mdape: Option<f64>,
+    p95_err: Option<f64>,
+    /// Top-5 (feature, importance), descending.
+    top_features: Vec<(String, f64)>,
+    /// Fig-12 claim: ≥2 of the top-5 features (the top importance group)
+    /// are competing-load (K*/S*/G*) rather than tunables or transfer
+    /// shape.
+    competing_load_dominant: bool,
+    digest: wdt_check::TraceDigest,
+}
+
+/// A feature name counts as "competing load" if it measures other traffic
+/// (K*: concurrent transfer counts, S*: aggregate MB/s, G*: GridFTP
+/// instance counts) rather than the transfer's own tunables or shape.
+fn is_competing_load(name: &str) -> bool {
+    matches!(name.as_bytes().first(), Some(b'K' | b'S' | b'G'))
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Simulate, digest, and model one scenario.
+fn run_scenario(c: &wdt_bench::ScenarioCampaign, threshold: f64) -> ScenarioReport {
+    let out = c.simulate();
+    let digest = wdt_check::TraceDigest::from_records(&out.records);
+
+    let total_bytes: f64 = out.records.iter().map(|r| r.bytes.as_f64()).sum();
+    let t0 = out.records.iter().map(|r| r.start.as_secs()).fold(f64::INFINITY, f64::min);
+    let t1 = out.records.iter().map(|r| r.end.as_secs()).fold(0.0f64, f64::max);
+    let makespan = (t1 - t0).max(1.0);
+    let agg_throughput_gbps = total_bytes * 8.0 / makespan / 1e9;
+
+    let features = extract_features(&out.records);
+    let stats = edge_stats(&features);
+    let mut slowdowns: Vec<f64> = features
+        .iter()
+        .filter_map(|f| {
+            let s = stats.get(&f.edge)?;
+            (f.rate > 0.0).then(|| s.r_max / f.rate)
+        })
+        .collect();
+    slowdowns.sort_by(|a, b| a.total_cmp(b));
+
+    let filtered = threshold_filter(&features, threshold);
+    let (mdape, p95_err, top_features) = if filtered.len() >= 60 {
+        let data = build_dataset(&filtered, false);
+        let (train_set, test_set) = data.split(0.7, 7);
+        let mut cfg = FitConfig::default();
+        cfg.gbdt.n_rounds = 80;
+        match FittedModel::fit(&train_set, ModelKind::Gbdt, &cfg) {
+            Some(model) => {
+                let eval = model.evaluate(&test_set);
+                let mut sig = model.significance();
+                sig.sort_by(|a, b| b.1.total_cmp(&a.1));
+                sig.truncate(5);
+                (Some(eval.mdape), Some(eval.p95), sig)
+            }
+            None => (None, None, Vec::new()),
+        }
+    } else {
+        (None, None, Vec::new())
+    };
+    let competing_load_dominant =
+        top_features.iter().take(5).filter(|(n, _)| is_competing_load(n)).count() >= 2;
+
+    ScenarioReport {
+        name: c.spec().name.clone(),
+        description: c.spec().description.clone(),
+        records: out.records.len(),
+        agg_throughput_gbps,
+        slowdown_p50: quantile(&slowdowns, 0.50),
+        slowdown_p95: quantile(&slowdowns, 0.95),
+        slowdown_p99: quantile(&slowdowns, 0.99),
+        mdape,
+        p95_err,
+        top_features,
+        competing_load_dominant,
+        digest,
+    }
+}
+
+fn scenario_report_json(reports: &[ScenarioReport]) -> wdt_types::JsonValue {
+    use wdt_types::JsonValue as J;
+    let arr = reports
+        .iter()
+        .map(|r| {
+            J::obj([
+                ("name", J::Str(r.name.clone())),
+                ("description", J::Str(r.description.clone())),
+                ("records", J::Num(r.records as f64)),
+                ("agg_throughput_gbps", J::Num(r.agg_throughput_gbps)),
+                ("slowdown_p50", J::Num(r.slowdown_p50)),
+                ("slowdown_p95", J::Num(r.slowdown_p95)),
+                ("slowdown_p99", J::Num(r.slowdown_p99)),
+                ("mdape", r.mdape.map(J::Num).unwrap_or(J::Null)),
+                ("p95_err", r.p95_err.map(J::Num).unwrap_or(J::Null)),
+                (
+                    "top_features",
+                    J::Arr(
+                        r.top_features
+                            .iter()
+                            .map(|(n, v)| {
+                                J::obj([("feature", J::Str(n.clone())), ("importance", J::Num(*v))])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("competing_load_dominant", J::Bool(r.competing_load_dominant)),
+                ("digest", J::Str(format!("{:016x}", r.digest.hash()))),
+            ])
+        })
+        .collect();
+    J::obj([("scenarios", J::Arr(arr))])
+}
+
+fn scenarios(args: &Args) -> CmdResult {
+    args.ensure_known(&["dir", "golden-dir", "refresh", "report", "threshold", "trace"])?;
+    let dir = args.require("dir")?.to_string();
+    let trace = trace_setup(args);
+    let threshold: f64 = args.get_or("threshold", 0.5)?;
+
+    // Collect and strictly parse every scenario up front: a typo anywhere
+    // in the directory fails the sweep before any simulation starts.
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{dir}: no *.json scenario files").into());
+    }
+    let campaigns: Vec<wdt_bench::ScenarioCampaign> = files
+        .iter()
+        .map(|p| wdt_bench::ScenarioCampaign::from_file(p))
+        .collect::<Result<_, _>>()?;
+
+    eprintln!("sweeping {} scenario(s) from {dir} in parallel ...", campaigns.len());
+    let t0 = std::time::Instant::now();
+    let reports: Vec<ScenarioReport> =
+        campaigns.par_iter().map(|c| run_scenario(c, threshold)).collect();
+    eprintln!("sweep finished in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // Golden digests: verify (or refresh) each scenario's committed trace.
+    let mut drifted = Vec::new();
+    if let Some(gdir) = args.get("golden-dir") {
+        fs::create_dir_all(gdir)?;
+        for r in &reports {
+            let path = Path::new(gdir).join(format!("{}.digest", r.name));
+            let header = format!(
+                "scenario: {}\n\
+                 refresh with: wdt scenarios --dir <dir> --golden-dir {gdir} --refresh",
+                r.name
+            );
+            if args.flag("refresh") {
+                fs::write(&path, r.digest.to_text(&header))?;
+                println!("golden: wrote {} ({:016x})", path.display(), r.digest.hash());
+                continue;
+            }
+            let committed =
+                wdt_check::TraceDigest::from_text(&fs::read_to_string(&path).map_err(|e| {
+                    format!(
+                        "cannot read golden digest {}: {e} (create it with --refresh)",
+                        path.display()
+                    )
+                })?)
+                .map_err(|e| format!("golden digest {}: {e}", path.display()))?;
+            let diff = committed.diff(&r.digest);
+            if !diff.is_empty() {
+                eprintln!("golden digest drift in '{}' ({} difference(s)):", r.name, diff.len());
+                for d in diff.iter().take(10) {
+                    eprintln!("  {d}");
+                }
+                drifted.push(r.name.clone());
+            }
+        }
+    }
+
+    // The per-scenario table.
+    println!(
+        "{:<20} {:>8} {:>10} {:>8} {:>8} {:>8} {:>7}  top features",
+        "scenario", "records", "agg Gb/s", "sd p50", "sd p95", "sd p99", "MdAPE%"
+    );
+    for r in &reports {
+        let tops: Vec<&str> = r.top_features.iter().map(|(n, _)| n.as_str()).collect();
+        println!(
+            "{:<20} {:>8} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>7}  {}{}",
+            r.name,
+            r.records,
+            r.agg_throughput_gbps,
+            r.slowdown_p50,
+            r.slowdown_p95,
+            r.slowdown_p99,
+            r.mdape.map(|m| format!("{m:.1}")).unwrap_or_else(|| "-".into()),
+            tops.join(","),
+            if r.competing_load_dominant { " [competing-load dominant]" } else { "" },
+        );
+    }
+    let holding = reports.iter().filter(|r| r.competing_load_dominant).count();
+    println!(
+        "Fig-12 regime robustness: competing-load features dominate on {holding}/{} scenario(s)",
+        reports.len()
+    );
+
+    if let Some(path) = args.get("report") {
+        fs::write(path, format!("{}\n", scenario_report_json(&reports)))?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = &trace {
+        write_trace(path)?;
+    }
+    if !drifted.is_empty() {
+        return Err(format!(
+            "{} scenario(s) drifted from their golden digests: {}; \
+             if intentional, rerun with --refresh and commit",
+            drifted.len(),
+            drifted.join(", ")
+        )
+        .into());
+    }
     Ok(())
 }
 
@@ -1196,6 +1473,96 @@ mod tests {
     }
 
     #[test]
+    fn scenarios_sweep_refresh_verify_and_drift() {
+        let dir = tmp("scenario-sweep");
+        let gdir = tmp("scenario-sweep-golden");
+        let report = tmp("scenario-sweep-report.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&gdir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("tiny-base.json"),
+            r#"{"name": "tiny-base", "days": 1.0,
+                "traffic": {"heavy_edges": 3, "sparse_edges": 8, "runs": 2}}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("tiny-deg.json"),
+            r#"{"name": "tiny-deg", "days": 1.0,
+                "traffic": {"heavy_edges": 3, "sparse_edges": 8, "runs": 2},
+                "capacity": [{"kind": "degradation", "endpoints": [0, 1],
+                              "start_day": 0.25, "end_day": 0.75, "factor": 0.3}]}"#,
+        )
+        .unwrap();
+        let base = format!(
+            "scenarios --dir {} --golden-dir {} --report {}",
+            dir.display(),
+            gdir.display(),
+            report.display()
+        );
+        run(&parse(&format!("{base} --refresh"))).expect("refresh sweep");
+        assert!(gdir.join("tiny-base.digest").exists());
+        assert!(gdir.join("tiny-deg.digest").exists());
+        // Verify pass: digests reproduce.
+        run(&parse(&base)).expect("verify sweep");
+        let rep = wdt_types::JsonValue::parse(&std::fs::read_to_string(&report).unwrap())
+            .expect("report parses");
+        let arr = rep.field("scenarios").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        for s in arr {
+            assert!(s.field("records").unwrap().as_usize().unwrap() > 20);
+            assert!(s.field("slowdown_p95").unwrap().as_f64().unwrap() >= 1.0);
+        }
+        // Drift: corrupt one golden, the sweep must fail naming it.
+        let path = gdir.join("tiny-deg.digest");
+        let text = std::fs::read_to_string(&path).unwrap().replace("\ntotal ", "\ntotal 9");
+        std::fs::write(&path, text).unwrap();
+        let err = run(&parse(&base)).unwrap_err().to_string();
+        assert!(err.contains("tiny-deg"), "{err}");
+    }
+
+    #[test]
+    fn scenarios_rejects_bad_file_naming_field() {
+        let dir = tmp("scenario-badfield");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("broken.json"),
+            r#"{"name": "broken", "days": 1.0, "topology": {"sitez": 9}}"#,
+        )
+        .unwrap();
+        let err =
+            run(&parse(&format!("scenarios --dir {}", dir.display()))).unwrap_err().to_string();
+        assert!(err.contains("broken.json") && err.contains("sitez"), "{err}");
+    }
+
+    #[test]
+    fn check_scenario_verifies_a_scenario_digest() {
+        let dir = tmp("check-scenario");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sfile = dir.join("s.json");
+        std::fs::write(
+            &sfile,
+            r#"{"name": "check-s", "days": 1.0,
+                "traffic": {"heavy_edges": 3, "sparse_edges": 8, "runs": 2},
+                "capacity": [{"kind": "egress_limit", "endpoints": [2],
+                              "start_day": 0.0, "end_day": 1.0, "factor": 0.4}]}"#,
+        )
+        .unwrap();
+        let golden = dir.join("s.digest");
+        let base = format!(
+            "check --scenario {} --golden {} --oracle-cases 5",
+            sfile.display(),
+            golden.display()
+        );
+        run(&parse(&format!("{base} --refresh"))).expect("refresh");
+        run(&parse(&base)).expect("verify");
+        let text = std::fs::read_to_string(&golden).unwrap();
+        assert!(text.contains("scenario: check-s"), "header names the scenario: {text}");
+    }
+
+    #[test]
     fn unknown_flags_error_naming_the_flag() {
         for cmd in [
             "simulate --out x.csv --dayz 3",
@@ -1207,6 +1574,8 @@ mod tests {
             "loadgen --addr 127.0.0.1:1 --log x.csv --connectoins 4",
             "obs --check-trase t.json",
             "ingest --from-csv x.csv --folow",
+            "scenarios --dir s --goldendir g",
+            "check --golden g.digest --scenari s.json",
             // --trace is only understood by simulate/train/check/obs;
             // elsewhere it must be rejected by name, not ignored.
             "census --log x.csv --trace t.json",

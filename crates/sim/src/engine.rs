@@ -198,6 +198,7 @@ fn event_span_name(kind: &EventKind) -> &'static str {
         EventKind::FaultResume(_) => "sim.event.fault_resume",
         EventKind::BgToggle(_) => "sim.event.bg_toggle",
         EventKind::LmtSample => "sim.event.lmt_sample",
+        EventKind::ModChange(_) => "sim.event.mod_change",
     }
 }
 
@@ -211,6 +212,9 @@ pub struct Simulator {
     pending: Vec<(TransferRequest, TransferMode)>,
     background: Vec<BackgroundProcess>,
     lmt: Option<LmtMonitor>,
+    /// Scenario capacity modulation; empty = no modulation, bit-identical
+    /// to a simulator without the feature.
+    modulation: crate::modulation::CapacitySchedule,
     // run state
     now: SimTime,
     events: EventQueue,
@@ -280,6 +284,7 @@ impl Simulator {
             pending: Vec::new(),
             background: Vec::new(),
             lmt: None,
+            modulation: crate::modulation::CapacitySchedule::new(),
             now: SimTime::ZERO,
             events: EventQueue::new(),
             flows: Vec::new(),
@@ -352,6 +357,20 @@ impl Simulator {
     /// Attach an LMT-style storage monitor.
     pub fn set_lmt_monitor(&mut self, monitor: LmtMonitor) {
         self.lmt = Some(monitor);
+    }
+
+    /// Attach a capacity-modulation schedule (scenario degradation /
+    /// maintenance / outage / egress windows). Every referenced endpoint
+    /// must exist in the catalog.
+    pub fn set_modulation(&mut self, schedule: crate::modulation::CapacitySchedule) {
+        if let Some(max) = schedule.max_endpoint() {
+            assert!(
+                (max as usize) < self.endpoints.len(),
+                "modulation references endpoint {max} but the catalog has {} endpoints",
+                self.endpoints.len()
+            );
+        }
+        self.modulation = schedule;
     }
 
     /// Round-trip time between two endpoints, from their locations.
@@ -434,12 +453,17 @@ impl Simulator {
     fn refresh_capacities(&mut self, ep_idx: u32) {
         let ep = self.endpoints.get(EndpointId(ep_idx));
         let i = ep_idx as usize;
-        let rd = ep.storage.read_capacity(self.read_streams[i].max(1)).as_f64();
-        let wr = ep.storage.write_capacity(self.write_streams[i].max(1)).as_f64();
+        // Scenario modulation: a pure function of (endpoint, now),
+        // piecewise-constant between ModChange boundary events. With no
+        // schedule this is all-ones, and `x * 1.0` is a bitwise identity,
+        // so unmodulated runs match their pre-scenario goldens exactly.
+        let m = self.modulation.factors_at(ep.id, self.now);
+        let rd = ep.storage.read_capacity(self.read_streams[i].max(1)).as_f64() * m.disk_read;
+        let wr = ep.storage.write_capacity(self.write_streams[i].max(1)).as_f64() * m.disk_write;
         // TCP/IP + framing overhead: ~94% of line rate is payload.
-        let no = ep.nic_out().as_f64() * 0.94;
-        let ni = ep.nic_in().as_f64() * 0.94;
-        let cpu = ep.cpu_capacity(self.processes[i]).as_f64();
+        let no = ep.nic_out().as_f64() * 0.94 * m.nic_out;
+        let ni = ep.nic_in().as_f64() * 0.94 * m.nic_in;
+        let cpu = ep.cpu_capacity(self.processes[i]).as_f64() * m.cpu;
         // Background demand, summed exactly from this endpoint's processes.
         let mut bg = [0.0f64; RES_PER_EP];
         if let Some(list) = self.bg_by_ep.get(i) {
@@ -920,6 +944,15 @@ impl Simulator {
                 }
                 false // read-only
             }
+            EventKind::ModChange(ep) => {
+                // The endpoint's modulation factors changed at this
+                // instant; its cached capacities are stale.
+                self.mark_dirty(ep);
+                // Reallocate now only if a live flow touches the endpoint;
+                // otherwise the lazy refresh at the next reallocation is
+                // enough.
+                self.endpoint_in_use(ep)
+            }
         }
     }
 
@@ -993,6 +1026,13 @@ impl Simulator {
         // LMT: first sample.
         if let Some(m) = &self.lmt {
             self.events.schedule(m.start, EventKind::LmtSample);
+        }
+        // Capacity modulation: a refresh event at every window boundary —
+        // exactly the instants the factors change. An empty schedule adds
+        // zero events, leaving event sequence numbers (and therefore the
+        // whole run) untouched.
+        for (t, ep) in self.modulation.boundaries() {
+            self.events.schedule(t, EventKind::ModChange(ep));
         }
         // Index background processes by endpoint for exact, O(1)-per-endpoint
         // demand sums during capacity refresh.

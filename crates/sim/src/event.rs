@@ -6,7 +6,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use wdt_types::SimTime;
+use wdt_types::{EndpointId, SimTime};
 
 /// Kinds of scheduled events. Completions are *not* heap events: they are
 /// recomputed from current rates after every reallocation (fluid model).
@@ -24,6 +24,9 @@ pub enum EventKind {
     BgToggle(usize),
     /// LMT monitor takes a sample.
     LmtSample,
+    /// A capacity-modulation window boundary: the endpoint's factors
+    /// change at this instant, so its cached capacities must refresh.
+    ModChange(EndpointId),
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -43,6 +43,7 @@ pub mod engine;
 pub mod event;
 pub mod instruments;
 pub mod lmt;
+pub mod modulation;
 mod proptests;
 pub mod testbed;
 
@@ -53,4 +54,5 @@ pub use config::SimConfig;
 pub use endpoint::{Endpoint, EndpointCatalog};
 pub use engine::{PhaseNanos, SimOutput, SimStats, Simulator, TransferMode};
 pub use lmt::{LmtMonitor, LmtSample};
+pub use modulation::{CapacitySchedule, CapacityWindow, ResFactors};
 pub use testbed::{esnet_testbed, EsnetSite};

@@ -1,0 +1,217 @@
+//! Time-varying capacity modulation — the engine side of scenario
+//! capacity events (degradation windows, maintenance, outages, egress
+//! limits).
+//!
+//! A [`CapacitySchedule`] is a set of [`CapacityWindow`]s, each scaling
+//! one endpoint's five resource capacities by per-resource factors over a
+//! half-open interval `[start, end)`. Overlapping windows multiply.
+//!
+//! Determinism discipline: factors are a *pure function of simulated
+//! time*, piecewise-constant between window boundaries. The engine
+//! schedules a [`crate::event::EventKind::ModChange`] at every boundary so
+//! the incrementally cached capacity vector is refreshed exactly when a
+//! factor changes — which keeps `WDT_CHECK=1`'s exact stale-capacity
+//! comparison valid, and keeps serial and sharded campaign runs
+//! bit-identical (shards see the same schedule against the same clock).
+//! An empty schedule adds zero events and multiplies every capacity by
+//! `1.0` — a bitwise identity on IEEE doubles — so unmodulated runs
+//! reproduce their pre-scenario golden digests exactly.
+
+use wdt_types::scenario::{CapacityEventSpec, ResourceKind};
+use wdt_types::{EndpointId, SimTime};
+
+/// Multiplicative factors for one endpoint's five resources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResFactors {
+    /// Storage read bandwidth factor.
+    pub disk_read: f64,
+    /// Storage write bandwidth factor.
+    pub disk_write: f64,
+    /// NIC egress factor.
+    pub nic_out: f64,
+    /// NIC ingress factor.
+    pub nic_in: f64,
+    /// CPU capacity factor.
+    pub cpu: f64,
+}
+
+impl ResFactors {
+    /// The identity: every resource at nominal capacity.
+    pub const ONE: ResFactors =
+        ResFactors { disk_read: 1.0, disk_write: 1.0, nic_out: 1.0, nic_in: 1.0, cpu: 1.0 };
+}
+
+impl Default for ResFactors {
+    fn default() -> Self {
+        ResFactors::ONE
+    }
+}
+
+/// One modulation window: `endpoint` runs at `factors` × nominal over
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityWindow {
+    /// The affected endpoint.
+    pub endpoint: EndpointId,
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Per-resource capacity factors while the window is active.
+    pub factors: ResFactors,
+}
+
+/// A deterministic set of capacity windows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapacitySchedule {
+    windows: Vec<CapacityWindow>,
+}
+
+impl CapacitySchedule {
+    /// Empty schedule (the identity — no modulation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from parsed scenario capacity events (days → sim seconds).
+    /// One window per (event, endpoint) pair, in spec order.
+    pub fn from_events(events: &[CapacityEventSpec]) -> Self {
+        let mut sched = CapacitySchedule::new();
+        for ev in events {
+            let mut f = ResFactors::ONE;
+            for r in &ev.resources {
+                match r {
+                    ResourceKind::DiskRead => f.disk_read = ev.factor,
+                    ResourceKind::DiskWrite => f.disk_write = ev.factor,
+                    ResourceKind::NicOut => f.nic_out = ev.factor,
+                    ResourceKind::NicIn => f.nic_in = ev.factor,
+                    ResourceKind::Cpu => f.cpu = ev.factor,
+                }
+            }
+            for &ep in &ev.endpoints {
+                sched.push(CapacityWindow {
+                    endpoint: EndpointId(ep),
+                    start: SimTime::days(ev.start_day),
+                    end: SimTime::days(ev.end_day),
+                    factors: f,
+                });
+            }
+        }
+        sched
+    }
+
+    /// Add a window.
+    pub fn push(&mut self, w: CapacityWindow) {
+        assert!(w.end > w.start, "modulation window must have positive duration");
+        self.windows.push(w);
+    }
+
+    /// True when no windows exist (the engine skips all scheduling).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The windows, in insertion order.
+    pub fn windows(&self) -> &[CapacityWindow] {
+        &self.windows
+    }
+
+    /// Largest endpoint index referenced, for validation against a catalog.
+    pub fn max_endpoint(&self) -> Option<u32> {
+        self.windows.iter().map(|w| w.endpoint.0).max()
+    }
+
+    /// Combined factors for `ep` at time `t`: the product over all windows
+    /// covering `t` (half-open, so a window's effect ends exactly at `end`).
+    pub fn factors_at(&self, ep: EndpointId, t: SimTime) -> ResFactors {
+        let mut f = ResFactors::ONE;
+        for w in &self.windows {
+            if w.endpoint == ep && w.start <= t && t < w.end {
+                f.disk_read *= w.factors.disk_read;
+                f.disk_write *= w.factors.disk_write;
+                f.nic_out *= w.factors.nic_out;
+                f.nic_in *= w.factors.nic_in;
+                f.cpu *= w.factors.cpu;
+            }
+        }
+        f
+    }
+
+    /// Every (time, endpoint) at which some window's factors switch on or
+    /// off — the instants the engine must refresh that endpoint's cached
+    /// capacities. Insertion order; the event queue orders by time.
+    pub fn boundaries(&self) -> Vec<(SimTime, EndpointId)> {
+        let mut out = Vec::with_capacity(self.windows.len() * 2);
+        for w in &self.windows {
+            out.push((w.start, w.endpoint));
+            out.push((w.end, w.endpoint));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(ep: u32, start: f64, end: f64, nic_out: f64) -> CapacityWindow {
+        CapacityWindow {
+            endpoint: EndpointId(ep),
+            start: SimTime::seconds(start),
+            end: SimTime::seconds(end),
+            factors: ResFactors { nic_out, ..ResFactors::ONE },
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let s = CapacitySchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.factors_at(EndpointId(3), SimTime::seconds(10.0)), ResFactors::ONE);
+        assert!(s.boundaries().is_empty());
+    }
+
+    #[test]
+    fn half_open_window_semantics() {
+        let mut s = CapacitySchedule::new();
+        s.push(win(1, 10.0, 20.0, 0.5));
+        let f = |t: f64| s.factors_at(EndpointId(1), SimTime::seconds(t)).nic_out;
+        assert_eq!(f(9.9), 1.0);
+        assert_eq!(f(10.0), 0.5); // inclusive start
+        assert_eq!(f(19.9), 0.5);
+        assert_eq!(f(20.0), 1.0); // exclusive end
+                                  // A different endpoint is unaffected.
+        assert_eq!(s.factors_at(EndpointId(2), SimTime::seconds(15.0)), ResFactors::ONE);
+    }
+
+    #[test]
+    fn overlapping_windows_multiply() {
+        let mut s = CapacitySchedule::new();
+        s.push(win(0, 0.0, 100.0, 0.5));
+        s.push(win(0, 50.0, 100.0, 0.4));
+        let f = |t: f64| s.factors_at(EndpointId(0), SimTime::seconds(t)).nic_out;
+        assert_eq!(f(25.0), 0.5);
+        assert_eq!(f(75.0), 0.5 * 0.4);
+    }
+
+    #[test]
+    fn from_events_maps_days_resources_and_endpoints() {
+        let spec = wdt_types::ScenarioSpec::from_text(
+            r#"{"name": "m", "days": 2, "capacity": [
+                {"kind": "degradation", "endpoints": [1, 3],
+                 "start_day": 0.5, "end_day": 1.0, "factor": 0.3}]}"#,
+        )
+        .unwrap();
+        let s = CapacitySchedule::from_events(&spec.capacity);
+        assert_eq!(s.windows().len(), 2);
+        assert_eq!(s.max_endpoint(), Some(3));
+        let f = s.factors_at(EndpointId(3), SimTime::days(0.75));
+        // Degradation default resources: both NIC directions only.
+        assert_eq!(f.nic_out, 0.3);
+        assert_eq!(f.nic_in, 0.3);
+        assert_eq!(f.disk_read, 1.0);
+        assert_eq!(f.cpu, 1.0);
+        assert_eq!(s.boundaries().len(), 4);
+        assert_eq!(s.boundaries()[0].0, SimTime::days(0.5));
+    }
+}

@@ -22,6 +22,7 @@ pub mod id;
 pub mod json;
 pub mod record;
 pub mod request;
+pub mod scenario;
 pub mod seed;
 pub mod time;
 pub mod units;
@@ -34,6 +35,10 @@ pub use id::{EdgeId, EndpointId, EndpointType, TransferId};
 pub use json::{JsonError, JsonValue};
 pub use record::TransferRecord;
 pub use request::TransferRequest;
+pub use scenario::{
+    ArrivalSpec, BackgroundSpec, BurstSpec, CapacityEventKind, CapacityEventSpec, ResourceKind,
+    ScenarioSpec, TopologySpec, TrafficSpec,
+};
 pub use seed::SeedSeq;
 pub use time::SimTime;
 pub use units::{Bytes, Rate};

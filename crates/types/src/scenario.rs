@@ -1,0 +1,1030 @@
+//! Declarative scenario files: the campaign DSL.
+//!
+//! A scenario is a JSON document describing one simulated regime — fleet
+//! topology, arrival mix (diurnal / flash-crowd / Poisson), link
+//! degradation and maintenance windows, correlated endpoint outages,
+//! multi-cloud egress asymmetry, and background-load intensity. It is the
+//! *schema* layer only: `wdt-bench` turns a parsed [`ScenarioSpec`] into a
+//! workload plus a capacity-modulation schedule, and `wdt scenarios`
+//! sweeps a directory of these files.
+//!
+//! Parsing is built on the hardened [`crate::json`] parser (strict number
+//! grammar, depth limit) and is itself strict: unknown keys and
+//! out-of-range values are rejected with an error *naming the offending
+//! field*, so a typo in a scenario file fails loudly instead of silently
+//! simulating the default regime. Serialization resolves every default,
+//! so `parse → serialize → parse` is the identity on [`ScenarioSpec`].
+
+use crate::json::{JsonError, JsonValue};
+use std::collections::BTreeMap;
+
+/// A complete scenario description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (reports, digest filenames).
+    pub name: String,
+    /// Free-text description of the regime being modeled.
+    pub description: String,
+    /// Root seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Simulated days.
+    pub days: f64,
+    /// Fleet topology overrides.
+    pub topology: TopologySpec,
+    /// Traffic volume and sharding.
+    pub traffic: TrafficSpec,
+    /// Arrival mix.
+    pub arrivals: ArrivalSpec,
+    /// Hidden background-load regime.
+    pub background: BackgroundSpec,
+    /// Time-varying capacity events (degradation windows, maintenance,
+    /// outages, egress limits), applied deterministically by the engine.
+    pub capacity: Vec<CapacityEventSpec>,
+}
+
+/// Fleet topology overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// Distinct sites (from the front of the geo catalog).
+    pub sites: usize,
+    /// Facility endpoints beyond one per site.
+    pub extra_servers: usize,
+    /// Personal endpoints.
+    pub personal: usize,
+    /// Per-endpoint concurrent-transfer slot limit.
+    pub max_active_per_endpoint: u32,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec { sites: 40, extra_servers: 15, personal: 30, max_active_per_endpoint: 24 }
+    }
+}
+
+/// Traffic volume and campaign sharding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// Heavy (hub-to-hub) edges.
+    pub heavy_edges: usize,
+    /// Sparse long-tail edges.
+    pub sparse_edges: usize,
+    /// Mean sessions/day per heavy edge.
+    pub heavy_sessions_per_day: f64,
+    /// Mean transfers per heavy-edge session.
+    pub heavy_session_len: f64,
+    /// Independent time shards (parallel == serial bit-identical).
+    pub runs: usize,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec {
+            heavy_edges: 6,
+            sparse_edges: 30,
+            heavy_sessions_per_day: 16.0,
+            heavy_session_len: 5.0,
+            runs: 4,
+        }
+    }
+}
+
+/// The arrival mix on heavy edges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// Session arrivals with a sinusoidal day/night intensity swing.
+    Diurnal {
+        /// Modulation depth in [0, 0.95]; 0 is flat.
+        depth: f64,
+    },
+    /// Flat Poisson session starts (no day/night swing, sessions of one).
+    Poisson,
+    /// Diurnal base plus burst windows multiplying the session intensity.
+    FlashCrowd {
+        /// Diurnal depth of the base process.
+        depth: f64,
+        /// The burst windows.
+        bursts: Vec<BurstSpec>,
+    },
+}
+
+impl Default for ArrivalSpec {
+    fn default() -> Self {
+        ArrivalSpec::Diurnal { depth: 0.5 }
+    }
+}
+
+/// One flash-crowd burst window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstSpec {
+    /// Burst start, in days from campaign start.
+    pub start_day: f64,
+    /// Burst duration in hours.
+    pub duration_hours: f64,
+    /// Intensity multiplier while the burst is active.
+    pub multiplier: f64,
+}
+
+/// Hidden background-load regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundSpec {
+    /// On/off background processes per endpoint.
+    pub per_endpoint: usize,
+    /// Intensity scale in [0, 1].
+    pub intensity: f64,
+}
+
+impl Default for BackgroundSpec {
+    fn default() -> Self {
+        BackgroundSpec { per_endpoint: 6, intensity: 0.4 }
+    }
+}
+
+/// What a capacity event models. The kind picks default resources and a
+/// default factor; both can be overridden per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityEventKind {
+    /// Partial link degradation (default: both NIC directions at 0.5).
+    Degradation,
+    /// Maintenance window (default: every resource at 0.25).
+    Maintenance,
+    /// Correlated outage (default: every resource at 0.01 — residual
+    /// trickle only, so in-flight transfers survive to the window's end).
+    Outage,
+    /// Cloud-style egress cap (default: NIC out only, at 0.5 — the
+    /// asymmetric half of a multi-cloud path).
+    EgressLimit,
+}
+
+impl CapacityEventKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            CapacityEventKind::Degradation => "degradation",
+            CapacityEventKind::Maintenance => "maintenance",
+            CapacityEventKind::Outage => "outage",
+            CapacityEventKind::EgressLimit => "egress_limit",
+        }
+    }
+
+    fn default_resources(&self) -> Vec<ResourceKind> {
+        match self {
+            CapacityEventKind::Degradation => vec![ResourceKind::NicOut, ResourceKind::NicIn],
+            CapacityEventKind::Maintenance | CapacityEventKind::Outage => vec![
+                ResourceKind::DiskRead,
+                ResourceKind::DiskWrite,
+                ResourceKind::NicOut,
+                ResourceKind::NicIn,
+                ResourceKind::Cpu,
+            ],
+            CapacityEventKind::EgressLimit => vec![ResourceKind::NicOut],
+        }
+    }
+
+    fn default_factor(&self) -> f64 {
+        match self {
+            CapacityEventKind::Degradation | CapacityEventKind::EgressLimit => 0.5,
+            CapacityEventKind::Maintenance => 0.25,
+            CapacityEventKind::Outage => 0.01,
+        }
+    }
+}
+
+/// An endpoint resource a capacity event can scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// Storage read bandwidth.
+    DiskRead,
+    /// Storage write bandwidth.
+    DiskWrite,
+    /// NIC egress.
+    NicOut,
+    /// NIC ingress.
+    NicIn,
+    /// CPU (GridFTP process capacity).
+    Cpu,
+}
+
+impl ResourceKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            ResourceKind::DiskRead => "disk_read",
+            ResourceKind::DiskWrite => "disk_write",
+            ResourceKind::NicOut => "nic_out",
+            ResourceKind::NicIn => "nic_in",
+            ResourceKind::Cpu => "cpu",
+        }
+    }
+}
+
+/// One time-varying capacity event: during `[start_day, end_day)` the named
+/// resources of the listed endpoints run at `factor` × nominal capacity.
+/// Overlapping events multiply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityEventSpec {
+    /// What the event models.
+    pub kind: CapacityEventKind,
+    /// Affected endpoint indices (into the generated fleet; indices below
+    /// `topology.sites` are that site's primary DTN).
+    pub endpoints: Vec<u32>,
+    /// Resources scaled by the event.
+    pub resources: Vec<ResourceKind>,
+    /// Window start, days from campaign start (inclusive).
+    pub start_day: f64,
+    /// Window end, days from campaign start (exclusive).
+    pub end_day: f64,
+    /// Capacity multiplier in [0.01, 1].
+    pub factor: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing — strict: unknown keys and out-of-range values error by name.
+// ---------------------------------------------------------------------------
+
+fn err(msg: String) -> JsonError {
+    JsonError::new(format!("scenario: {msg}"))
+}
+
+fn as_obj<'a>(v: &'a JsonValue, path: &str) -> Result<&'a BTreeMap<String, JsonValue>, JsonError> {
+    match v {
+        JsonValue::Obj(m) => Ok(m),
+        _ => Err(err(format!("{path} must be an object"))),
+    }
+}
+
+/// The strict-parse core: every key of `map` must be in `allowed`.
+fn known_keys(
+    map: &BTreeMap<String, JsonValue>,
+    path: &str,
+    allowed: &[&str],
+) -> Result<(), JsonError> {
+    for k in map.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(err(format!(
+                "unknown key '{k}' in {path} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Fetch `path.key` as an f64 in `[lo, hi]`, or the default when absent.
+fn num_in(
+    map: &BTreeMap<String, JsonValue>,
+    path: &str,
+    key: &str,
+    lo: f64,
+    hi: f64,
+    default: f64,
+) -> Result<f64, JsonError> {
+    let Some(v) = map.get(key) else { return Ok(default) };
+    let x = v.as_f64().map_err(|e| err(format!("{path}.{key}: {e}")))?;
+    if !(lo..=hi).contains(&x) {
+        return Err(err(format!("{path}.{key} = {x} out of range [{lo}, {hi}]")));
+    }
+    Ok(x)
+}
+
+/// Like [`num_in`] but requires a non-negative integer value.
+fn int_in(
+    map: &BTreeMap<String, JsonValue>,
+    path: &str,
+    key: &str,
+    lo: u64,
+    hi: u64,
+    default: u64,
+) -> Result<u64, JsonError> {
+    let Some(v) = map.get(key) else { return Ok(default) };
+    let x = v.as_f64().map_err(|e| err(format!("{path}.{key}: {e}")))?;
+    if x.fract() != 0.0 || !(0.0..=9.0e15).contains(&x) {
+        return Err(err(format!("{path}.{key} = {x} must be a non-negative integer")));
+    }
+    let x = x as u64;
+    if !(lo..=hi).contains(&x) {
+        return Err(err(format!("{path}.{key} = {x} out of range [{lo}, {hi}]")));
+    }
+    Ok(x)
+}
+
+fn opt_str(
+    map: &BTreeMap<String, JsonValue>,
+    path: &str,
+    key: &str,
+) -> Result<Option<String>, JsonError> {
+    match map.get(key) {
+        Some(v) => Ok(Some(v.as_str().map_err(|e| err(format!("{path}.{key}: {e}")))?.to_string())),
+        None => Ok(None),
+    }
+}
+
+impl ScenarioSpec {
+    /// Parse a scenario document. Any unknown key, missing required key, or
+    /// out-of-range value is an error naming the offending field.
+    pub fn from_text(text: &str) -> Result<ScenarioSpec, JsonError> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+
+    /// Parse from an already-parsed JSON value.
+    pub fn from_json(v: &JsonValue) -> Result<ScenarioSpec, JsonError> {
+        let map = as_obj(v, "scenario")?;
+        known_keys(
+            map,
+            "scenario",
+            &[
+                "name",
+                "description",
+                "seed",
+                "days",
+                "topology",
+                "traffic",
+                "arrivals",
+                "background",
+                "capacity",
+            ],
+        )?;
+        let name = opt_str(map, "scenario", "name")?
+            .ok_or_else(|| err("missing required key 'name'".into()))?;
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(err(format!(
+                "name '{name}' must be non-empty [A-Za-z0-9_-] (it becomes a digest filename)"
+            )));
+        }
+        let description = opt_str(map, "scenario", "description")?.unwrap_or_default();
+        let seed = int_in(map, "scenario", "seed", 0, u64::MAX >> 11, 2017)?;
+        let days = num_in(map, "scenario", "days", f64::MIN_POSITIVE, 400.0, f64::NAN)?;
+        if days.is_nan() {
+            return Err(err("missing required key 'days'".into()));
+        }
+        let topology = match map.get("topology") {
+            Some(v) => TopologySpec::from_json(v)?,
+            None => TopologySpec::default(),
+        };
+        let traffic = match map.get("traffic") {
+            Some(v) => TrafficSpec::from_json(v)?,
+            None => TrafficSpec::default(),
+        };
+        let arrivals = match map.get("arrivals") {
+            Some(v) => ArrivalSpec::from_json(v)?,
+            None => ArrivalSpec::default(),
+        };
+        let background = match map.get("background") {
+            Some(v) => BackgroundSpec::from_json(v)?,
+            None => BackgroundSpec::default(),
+        };
+        let capacity = match map.get("capacity") {
+            Some(v) => {
+                let arr = v.as_arr().map_err(|e| err(format!("scenario.capacity: {e}")))?;
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, ev)| CapacityEventSpec::from_json(ev, &format!("capacity[{i}]")))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            None => Vec::new(),
+        };
+        let spec = ScenarioSpec {
+            name,
+            description,
+            seed,
+            days,
+            topology,
+            traffic,
+            arrivals,
+            background,
+            capacity,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Cross-field validation (window ordering, windows inside the horizon).
+    fn validate(&self) -> Result<(), JsonError> {
+        for (i, ev) in self.capacity.iter().enumerate() {
+            if ev.end_day <= ev.start_day {
+                return Err(err(format!(
+                    "capacity[{i}].end_day = {} must exceed start_day = {}",
+                    ev.end_day, ev.start_day
+                )));
+            }
+            if ev.start_day >= self.days {
+                return Err(err(format!(
+                    "capacity[{i}].start_day = {} is past the {}-day horizon",
+                    ev.start_day, self.days
+                )));
+            }
+        }
+        if let ArrivalSpec::FlashCrowd { bursts, .. } = &self.arrivals {
+            for (i, b) in bursts.iter().enumerate() {
+                if b.start_day >= self.days {
+                    return Err(err(format!(
+                        "arrivals.bursts[{i}].start_day = {} is past the {}-day horizon",
+                        b.start_day, self.days
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize with every default resolved, so the output parses back to
+    /// an identical spec.
+    pub fn to_json(&self) -> JsonValue {
+        let mut m = BTreeMap::new();
+        m.insert("name".into(), JsonValue::Str(self.name.clone()));
+        m.insert("description".into(), JsonValue::Str(self.description.clone()));
+        m.insert("seed".into(), JsonValue::Num(self.seed as f64));
+        m.insert("days".into(), JsonValue::Num(self.days));
+        m.insert("topology".into(), self.topology.to_json());
+        m.insert("traffic".into(), self.traffic.to_json());
+        m.insert("arrivals".into(), self.arrivals.to_json());
+        m.insert("background".into(), self.background.to_json());
+        m.insert(
+            "capacity".into(),
+            JsonValue::Arr(self.capacity.iter().map(|e| e.to_json()).collect()),
+        );
+        JsonValue::Obj(m)
+    }
+
+    /// The serialized document plus a trailing newline.
+    pub fn to_text(&self) -> String {
+        format!("{}\n", self.to_json())
+    }
+}
+
+impl TopologySpec {
+    fn from_json(v: &JsonValue) -> Result<TopologySpec, JsonError> {
+        let p = "topology";
+        let map = as_obj(v, p)?;
+        known_keys(map, p, &["sites", "extra_servers", "personal", "max_active_per_endpoint"])?;
+        let d = TopologySpec::default();
+        Ok(TopologySpec {
+            sites: int_in(map, p, "sites", 2, 60, d.sites as u64)? as usize,
+            extra_servers: int_in(map, p, "extra_servers", 0, 200, d.extra_servers as u64)?
+                as usize,
+            personal: int_in(map, p, "personal", 0, 500, d.personal as u64)? as usize,
+            max_active_per_endpoint: int_in(
+                map,
+                p,
+                "max_active_per_endpoint",
+                1,
+                1024,
+                d.max_active_per_endpoint as u64,
+            )? as u32,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("sites", JsonValue::Num(self.sites as f64)),
+            ("extra_servers", JsonValue::Num(self.extra_servers as f64)),
+            ("personal", JsonValue::Num(self.personal as f64)),
+            ("max_active_per_endpoint", JsonValue::Num(self.max_active_per_endpoint as f64)),
+        ])
+    }
+}
+
+impl TrafficSpec {
+    fn from_json(v: &JsonValue) -> Result<TrafficSpec, JsonError> {
+        let p = "traffic";
+        let map = as_obj(v, p)?;
+        known_keys(
+            map,
+            p,
+            &["heavy_edges", "sparse_edges", "heavy_sessions_per_day", "heavy_session_len", "runs"],
+        )?;
+        let d = TrafficSpec::default();
+        Ok(TrafficSpec {
+            heavy_edges: int_in(map, p, "heavy_edges", 1, 200, d.heavy_edges as u64)? as usize,
+            sparse_edges: int_in(map, p, "sparse_edges", 0, 5000, d.sparse_edges as u64)? as usize,
+            heavy_sessions_per_day: num_in(
+                map,
+                p,
+                "heavy_sessions_per_day",
+                0.1,
+                500.0,
+                d.heavy_sessions_per_day,
+            )?,
+            heavy_session_len: num_in(map, p, "heavy_session_len", 1.0, 64.0, d.heavy_session_len)?,
+            runs: int_in(map, p, "runs", 1, 64, d.runs as u64)? as usize,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("heavy_edges", JsonValue::Num(self.heavy_edges as f64)),
+            ("sparse_edges", JsonValue::Num(self.sparse_edges as f64)),
+            ("heavy_sessions_per_day", JsonValue::Num(self.heavy_sessions_per_day)),
+            ("heavy_session_len", JsonValue::Num(self.heavy_session_len)),
+            ("runs", JsonValue::Num(self.runs as f64)),
+        ])
+    }
+}
+
+impl ArrivalSpec {
+    fn from_json(v: &JsonValue) -> Result<ArrivalSpec, JsonError> {
+        let p = "arrivals";
+        let map = as_obj(v, p)?;
+        let kind = opt_str(map, p, "kind")?
+            .ok_or_else(|| err(format!("missing required key 'kind' in {p}")))?;
+        match kind.as_str() {
+            "diurnal" => {
+                known_keys(map, p, &["kind", "depth"])?;
+                Ok(ArrivalSpec::Diurnal { depth: num_in(map, p, "depth", 0.0, 0.95, 0.5)? })
+            }
+            "poisson" => {
+                known_keys(map, p, &["kind"])?;
+                Ok(ArrivalSpec::Poisson)
+            }
+            "flash_crowd" => {
+                known_keys(map, p, &["kind", "depth", "bursts"])?;
+                let depth = num_in(map, p, "depth", 0.0, 0.95, 0.5)?;
+                let arr = map
+                    .get("bursts")
+                    .ok_or_else(|| err(format!("missing required key 'bursts' in {p}")))?
+                    .as_arr()
+                    .map_err(|e| err(format!("{p}.bursts: {e}")))?;
+                if arr.is_empty() {
+                    return Err(err(format!("{p}.bursts must not be empty")));
+                }
+                let bursts = arr
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| BurstSpec::from_json(b, &format!("{p}.bursts[{i}]")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ArrivalSpec::FlashCrowd { depth, bursts })
+            }
+            other => Err(err(format!(
+                "{p}.kind = '{other}' is not one of diurnal, poisson, flash_crowd"
+            ))),
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        match self {
+            ArrivalSpec::Diurnal { depth } => JsonValue::obj([
+                ("kind", JsonValue::Str("diurnal".into())),
+                ("depth", JsonValue::Num(*depth)),
+            ]),
+            ArrivalSpec::Poisson => JsonValue::obj([("kind", JsonValue::Str("poisson".into()))]),
+            ArrivalSpec::FlashCrowd { depth, bursts } => JsonValue::obj([
+                ("kind", JsonValue::Str("flash_crowd".into())),
+                ("depth", JsonValue::Num(*depth)),
+                ("bursts", JsonValue::Arr(bursts.iter().map(|b| b.to_json()).collect())),
+            ]),
+        }
+    }
+}
+
+impl BurstSpec {
+    fn from_json(v: &JsonValue, path: &str) -> Result<BurstSpec, JsonError> {
+        let map = as_obj(v, path)?;
+        known_keys(map, path, &["start_day", "duration_hours", "multiplier"])?;
+        let start_day = num_in(map, path, "start_day", 0.0, 400.0, f64::NAN)?;
+        if start_day.is_nan() {
+            return Err(err(format!("missing required key 'start_day' in {path}")));
+        }
+        Ok(BurstSpec {
+            start_day,
+            duration_hours: num_in(map, path, "duration_hours", 0.01, 240.0, 2.0)?,
+            multiplier: num_in(map, path, "multiplier", 1.0, 100.0, 5.0)?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("start_day", JsonValue::Num(self.start_day)),
+            ("duration_hours", JsonValue::Num(self.duration_hours)),
+            ("multiplier", JsonValue::Num(self.multiplier)),
+        ])
+    }
+}
+
+impl BackgroundSpec {
+    fn from_json(v: &JsonValue) -> Result<BackgroundSpec, JsonError> {
+        let p = "background";
+        let map = as_obj(v, p)?;
+        known_keys(map, p, &["per_endpoint", "intensity"])?;
+        let d = BackgroundSpec::default();
+        Ok(BackgroundSpec {
+            per_endpoint: int_in(map, p, "per_endpoint", 0, 64, d.per_endpoint as u64)? as usize,
+            intensity: num_in(map, p, "intensity", 0.0, 1.0, d.intensity)?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("per_endpoint", JsonValue::Num(self.per_endpoint as f64)),
+            ("intensity", JsonValue::Num(self.intensity)),
+        ])
+    }
+}
+
+impl CapacityEventSpec {
+    fn from_json(v: &JsonValue, path: &str) -> Result<CapacityEventSpec, JsonError> {
+        let map = as_obj(v, path)?;
+        known_keys(
+            map,
+            path,
+            &["kind", "endpoints", "resources", "start_day", "end_day", "factor"],
+        )?;
+        let kind = match opt_str(map, path, "kind")?
+            .ok_or_else(|| err(format!("missing required key 'kind' in {path}")))?
+            .as_str()
+        {
+            "degradation" => CapacityEventKind::Degradation,
+            "maintenance" => CapacityEventKind::Maintenance,
+            "outage" => CapacityEventKind::Outage,
+            "egress_limit" => CapacityEventKind::EgressLimit,
+            other => {
+                return Err(err(format!(
+                    "{path}.kind = '{other}' is not one of degradation, maintenance, outage, \
+                     egress_limit"
+                )))
+            }
+        };
+        let endpoints: Vec<u32> = map
+            .get("endpoints")
+            .ok_or_else(|| err(format!("missing required key 'endpoints' in {path}")))?
+            .as_usize_vec()
+            .map_err(|e| err(format!("{path}.endpoints: {e}")))?
+            .into_iter()
+            .map(|e| {
+                if e > 100_000 {
+                    Err(err(format!("{path}.endpoints contains {e}, past any plausible fleet")))
+                } else {
+                    Ok(e as u32)
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        if endpoints.is_empty() {
+            return Err(err(format!("{path}.endpoints must not be empty")));
+        }
+        let resources = match map.get("resources") {
+            Some(v) => {
+                let names = v.as_string_vec().map_err(|e| err(format!("{path}.resources: {e}")))?;
+                if names.is_empty() {
+                    return Err(err(format!("{path}.resources must not be empty")));
+                }
+                let mut out = Vec::new();
+                for n in &names {
+                    let r = match n.as_str() {
+                        "disk_read" => ResourceKind::DiskRead,
+                        "disk_write" => ResourceKind::DiskWrite,
+                        "nic_out" => ResourceKind::NicOut,
+                        "nic_in" => ResourceKind::NicIn,
+                        "cpu" => ResourceKind::Cpu,
+                        other => {
+                            return Err(err(format!(
+                                "{path}.resources contains '{other}', not one of disk_read, \
+                                 disk_write, nic_out, nic_in, cpu"
+                            )))
+                        }
+                    };
+                    if out.contains(&r) {
+                        return Err(err(format!("{path}.resources lists '{n}' twice")));
+                    }
+                    out.push(r);
+                }
+                out
+            }
+            None => kind.default_resources(),
+        };
+        let start_day = num_in(map, path, "start_day", 0.0, 400.0, f64::NAN)?;
+        if start_day.is_nan() {
+            return Err(err(format!("missing required key 'start_day' in {path}")));
+        }
+        let end_day = num_in(map, path, "end_day", 0.0, 400.0, f64::NAN)?;
+        if end_day.is_nan() {
+            return Err(err(format!("missing required key 'end_day' in {path}")));
+        }
+        Ok(CapacityEventSpec {
+            kind,
+            endpoints,
+            resources,
+            start_day,
+            end_day,
+            factor: num_in(map, path, "factor", 0.01, 1.0, kind.default_factor())?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("kind", JsonValue::Str(self.kind.as_str().into())),
+            (
+                "endpoints",
+                JsonValue::Arr(self.endpoints.iter().map(|&e| JsonValue::Num(e as f64)).collect()),
+            ),
+            (
+                "resources",
+                JsonValue::Arr(
+                    self.resources.iter().map(|r| JsonValue::Str(r.as_str().into())).collect(),
+                ),
+            ),
+            ("start_day", JsonValue::Num(self.start_day)),
+            ("end_day", JsonValue::Num(self.end_day)),
+            ("factor", JsonValue::Num(self.factor)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> &'static str {
+        r#"{"name": "t", "days": 2.0}"#
+    }
+
+    #[test]
+    fn minimal_scenario_gets_defaults() {
+        let s = ScenarioSpec::from_text(minimal()).expect("parse");
+        assert_eq!(s.name, "t");
+        assert_eq!(s.seed, 2017);
+        assert_eq!(s.topology, TopologySpec::default());
+        assert_eq!(s.traffic, TrafficSpec::default());
+        assert_eq!(s.arrivals, ArrivalSpec::Diurnal { depth: 0.5 });
+        assert_eq!(s.background, BackgroundSpec::default());
+        assert!(s.capacity.is_empty());
+    }
+
+    #[test]
+    fn full_scenario_parses() {
+        let text = r#"{
+            "name": "full", "description": "everything at once", "seed": 7, "days": 3,
+            "topology": {"sites": 20, "extra_servers": 4, "personal": 10,
+                         "max_active_per_endpoint": 16},
+            "traffic": {"heavy_edges": 5, "sparse_edges": 20,
+                        "heavy_sessions_per_day": 12.5, "heavy_session_len": 4, "runs": 2},
+            "arrivals": {"kind": "flash_crowd", "depth": 0.4,
+                         "bursts": [{"start_day": 1.0, "duration_hours": 3, "multiplier": 8}]},
+            "background": {"per_endpoint": 4, "intensity": 0.7},
+            "capacity": [
+                {"kind": "degradation", "endpoints": [0, 1], "start_day": 0.5, "end_day": 1.5,
+                 "factor": 0.3},
+                {"kind": "outage", "endpoints": [3], "start_day": 2.0, "end_day": 2.1},
+                {"kind": "egress_limit", "endpoints": [2], "resources": ["nic_out"],
+                 "start_day": 0.0, "end_day": 3.0, "factor": 0.4}
+            ]
+        }"#;
+        let s = ScenarioSpec::from_text(text).expect("parse");
+        assert_eq!(s.capacity.len(), 3);
+        // Kind defaults resolved at parse time.
+        assert_eq!(s.capacity[0].resources, vec![ResourceKind::NicOut, ResourceKind::NicIn]);
+        assert_eq!(s.capacity[1].factor, 0.01);
+        assert_eq!(s.capacity[1].resources.len(), 5);
+        match &s.arrivals {
+            ArrivalSpec::FlashCrowd { depth, bursts } => {
+                assert_eq!(*depth, 0.4);
+                assert_eq!(bursts.len(), 1);
+                assert_eq!(bursts[0].multiplier, 8.0);
+            }
+            other => panic!("wrong arrivals: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keys_rejected_by_name_at_every_level() {
+        for (text, field) in [
+            (r#"{"name": "t", "days": 1, "dayz": 2}"#, "dayz"),
+            (r#"{"name": "t", "days": 1, "topology": {"sitez": 9}}"#, "sitez"),
+            (r#"{"name": "t", "days": 1, "traffic": {"heavy": 1}}"#, "heavy"),
+            (r#"{"name": "t", "days": 1, "arrivals": {"kind": "diurnal", "dep": 1}}"#, "dep"),
+            (r#"{"name": "t", "days": 1, "background": {"intens": 1}}"#, "intens"),
+            (
+                r#"{"name": "t", "days": 1, "capacity": [{"kind": "outage", "endpoints": [1],
+                   "start_day": 0, "end_day": 0.5, "factorr": 0.5}]}"#,
+                "factorr",
+            ),
+        ] {
+            let e = ScenarioSpec::from_text(text).expect_err(text);
+            let msg = e.to_string();
+            assert!(msg.contains("unknown key") && msg.contains(field), "{text}: {msg}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_rejected_by_name() {
+        for (text, field) in [
+            (r#"{"name": "t", "days": 9000}"#, "days"),
+            (r#"{"name": "t", "days": 1, "topology": {"sites": 1}}"#, "sites"),
+            (r#"{"name": "t", "days": 1, "traffic": {"runs": 0}}"#, "runs"),
+            (r#"{"name": "t", "days": 1, "background": {"intensity": 1.5}}"#, "intensity"),
+            (
+                r#"{"name": "t", "days": 1, "arrivals": {"kind": "diurnal", "depth": 0.99}}"#,
+                "depth",
+            ),
+            (
+                r#"{"name": "t", "days": 1, "capacity": [{"kind": "outage", "endpoints": [1],
+                   "start_day": 0, "end_day": 0.5, "factor": 0.001}]}"#,
+                "factor",
+            ),
+        ] {
+            let e = ScenarioSpec::from_text(text).expect_err(text);
+            let msg = e.to_string();
+            assert!(msg.contains("out of range") && msg.contains(field), "{text}: {msg}");
+        }
+    }
+
+    #[test]
+    fn missing_required_keys_rejected_by_name() {
+        for (text, field) in [
+            (r#"{"days": 1}"#, "name"),
+            (r#"{"name": "t"}"#, "days"),
+            (r#"{"name": "t", "days": 1, "arrivals": {"kind": "flash_crowd"}}"#, "bursts"),
+            (
+                r#"{"name": "t", "days": 1, "capacity": [{"kind": "outage",
+                   "start_day": 0, "end_day": 0.5}]}"#,
+                "endpoints",
+            ),
+        ] {
+            let e = ScenarioSpec::from_text(text).expect_err(text);
+            let msg = e.to_string();
+            assert!(msg.contains(field), "{text}: {msg}");
+        }
+    }
+
+    #[test]
+    fn window_ordering_validated() {
+        let text = r#"{"name": "t", "days": 1, "capacity": [{"kind": "outage",
+            "endpoints": [0], "start_day": 0.5, "end_day": 0.5}]}"#;
+        let msg = ScenarioSpec::from_text(text).expect_err("equal window").to_string();
+        assert!(msg.contains("end_day") && msg.contains("exceed"), "{msg}");
+        let text = r#"{"name": "t", "days": 1, "capacity": [{"kind": "outage",
+            "endpoints": [0], "start_day": 3.0, "end_day": 4.0}]}"#;
+        let msg = ScenarioSpec::from_text(text).expect_err("past horizon").to_string();
+        assert!(msg.contains("past") && msg.contains("horizon"), "{msg}");
+    }
+
+    #[test]
+    fn bad_arrival_and_event_kinds_rejected() {
+        let text = r#"{"name": "t", "days": 1, "arrivals": {"kind": "weibull"}}"#;
+        assert!(ScenarioSpec::from_text(text).unwrap_err().to_string().contains("weibull"));
+        let text = r#"{"name": "t", "days": 1, "capacity": [{"kind": "hurricane",
+            "endpoints": [0], "start_day": 0, "end_day": 0.5}]}"#;
+        assert!(ScenarioSpec::from_text(text).unwrap_err().to_string().contains("hurricane"));
+        let text = r#"{"name": "t", "days": 1, "capacity": [{"kind": "outage",
+            "endpoints": [0], "resources": ["gpu"], "start_day": 0, "end_day": 0.5}]}"#;
+        assert!(ScenarioSpec::from_text(text).unwrap_err().to_string().contains("gpu"));
+    }
+
+    #[test]
+    fn name_charset_enforced() {
+        let text = r#"{"name": "../evil", "days": 1}"#;
+        let msg = ScenarioSpec::from_text(text).unwrap_err().to_string();
+        assert!(msg.contains("digest filename"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_resources_rejected() {
+        let text = r#"{"name": "t", "days": 1, "capacity": [{"kind": "outage",
+            "endpoints": [0], "resources": ["cpu", "cpu"], "start_day": 0, "end_day": 0.5}]}"#;
+        assert!(ScenarioSpec::from_text(text).unwrap_err().to_string().contains("twice"));
+    }
+
+    #[test]
+    fn depth_limit_inherited_from_json_parser() {
+        // A scenario buried under 70 nested arrays trips the parser's
+        // MAX_DEPTH before any schema code runs.
+        let deep = format!("{}{}{}", "[".repeat(70), minimal(), "]".repeat(70));
+        let msg = ScenarioSpec::from_text(&deep).unwrap_err().to_string();
+        assert!(msg.contains("deep"), "{msg}");
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let text = r#"{
+            "name": "rt", "days": 2.5, "seed": 99,
+            "arrivals": {"kind": "flash_crowd",
+                         "bursts": [{"start_day": 0.25, "duration_hours": 1.5,
+                                     "multiplier": 12}]},
+            "capacity": [{"kind": "maintenance", "endpoints": [4, 2],
+                          "start_day": 1.0, "end_day": 1.25}]
+        }"#;
+        let a = ScenarioSpec::from_text(text).expect("parse");
+        let b = ScenarioSpec::from_text(&a.to_text()).expect("reparse own output");
+        assert_eq!(a, b);
+        // And serialization is a fixpoint.
+        assert_eq!(a.to_text(), b.to_text());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        fn arb_arrivals() -> BoxedStrategy<ArrivalSpec> {
+            prop_oneof![
+                (0.0..0.95f64).prop_map(|depth| ArrivalSpec::Diurnal { depth }),
+                Just(ArrivalSpec::Poisson),
+                (
+                    0.0..0.95f64,
+                    vec(
+                        (0.0..1.9f64, 0.1..24.0f64, 1.0..50.0f64).prop_map(
+                            |(start_day, duration_hours, multiplier)| BurstSpec {
+                                start_day,
+                                duration_hours,
+                                multiplier,
+                            }
+                        ),
+                        1..4
+                    )
+                )
+                    .prop_map(|(depth, bursts)| ArrivalSpec::FlashCrowd { depth, bursts }),
+            ]
+            .boxed()
+        }
+
+        fn arb_event() -> BoxedStrategy<CapacityEventSpec> {
+            (0usize..4, vec(0u32..60, 1..4), 0.0..1.0f64, 0.05..1.0f64, 0.01..1.0f64)
+                .prop_map(|(k, endpoints, start_day, dur, factor)| {
+                    let kind = [
+                        CapacityEventKind::Degradation,
+                        CapacityEventKind::Maintenance,
+                        CapacityEventKind::Outage,
+                        CapacityEventKind::EgressLimit,
+                    ][k];
+                    CapacityEventSpec {
+                        kind,
+                        resources: kind.default_resources(),
+                        endpoints,
+                        start_day,
+                        end_day: start_day + dur,
+                        factor,
+                    }
+                })
+                .boxed()
+        }
+
+        fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
+            (
+                (0u64..1 << 40, 0.5..30.0f64),
+                arb_arrivals(),
+                vec(arb_event(), 0..4),
+                (2usize..50, 0usize..20, 0usize..40),
+                (1usize..100, 0usize..500, 1usize..16),
+                (0usize..16, 0.0..1.0f64),
+            )
+                .prop_map(|((seed, days), arrivals, capacity, topo, traffic, bg)| ScenarioSpec {
+                    name: "prop-scenario_1".into(),
+                    description: "generated".into(),
+                    seed,
+                    days,
+                    topology: TopologySpec {
+                        sites: topo.0,
+                        extra_servers: topo.1,
+                        personal: topo.2,
+                        max_active_per_endpoint: 24,
+                    },
+                    traffic: TrafficSpec {
+                        heavy_edges: traffic.0,
+                        sparse_edges: traffic.1,
+                        runs: traffic.2,
+                        ..TrafficSpec::default()
+                    },
+                    arrivals,
+                    background: BackgroundSpec { per_endpoint: bg.0, intensity: bg.1 },
+                    capacity,
+                })
+                .boxed()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// parse(serialize(s)) == s for arbitrary well-formed specs,
+            /// and serialization is a fixpoint (stable text).
+            #[test]
+            fn serialize_parse_round_trip(s in arb_spec()) {
+                let text = s.to_text();
+                match ScenarioSpec::from_text(&text) {
+                    Ok(back) => {
+                        prop_assert_eq!(&s, &back, "round-trip drift on {}", text);
+                        prop_assert_eq!(back.to_text(), text, "serialization not a fixpoint");
+                    }
+                    // Cross-field validation may reject generated windows
+                    // that land past the horizon — but then it must say so.
+                    Err(e) => prop_assert!(
+                        e.to_string().contains("past the"),
+                        "unexpected reject of {}: {}", text, e
+                    ),
+                }
+            }
+
+            /// The parser never panics on arbitrary mutations of valid
+            /// scenario text (errors are clean `JsonError`s).
+            #[test]
+            fn parser_total_on_mutated_scenarios(
+                s in arb_spec(),
+                flip in 0usize..4096,
+                byte in 0u8..128,
+            ) {
+                let text = s.to_text();
+                let mut chars: Vec<char> = text.chars().collect();
+                let i = flip % chars.len();
+                chars[i] = byte as char;
+                let mutated: String = chars.into_iter().collect();
+                let _ = ScenarioSpec::from_text(&mutated);
+            }
+        }
+    }
+}

@@ -87,6 +87,85 @@ impl SessionArrivals {
     }
 }
 
+/// One flash-crowd burst window: session intensity is multiplied by
+/// `multiplier` over `[start_s, start_s + dur_s)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Burst start, seconds from run start.
+    pub start_s: f64,
+    /// Burst duration, seconds.
+    pub dur_s: f64,
+    /// Intensity multiplier (≥ 1) while active.
+    pub multiplier: f64,
+}
+
+/// A flash-crowd arrival process: the diurnal session process of `base`
+/// with burst windows multiplying the instantaneous session intensity —
+/// the "everyone pulls the new dataset at once" regime.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdArrivals {
+    /// The base session process (diurnal or flat).
+    pub base: SessionArrivals,
+    /// Burst windows. May overlap; overlapping multipliers compound.
+    pub bursts: Vec<Burst>,
+}
+
+impl FlashCrowdArrivals {
+    /// Combined burst multiplier at time `t`.
+    fn burst_mult(&self, t: f64) -> f64 {
+        let mut m = 1.0;
+        for b in &self.bursts {
+            if b.start_s <= t && t < b.start_s + b.dur_s {
+                m *= b.multiplier;
+            }
+        }
+        m
+    }
+
+    /// Generate arrival times over `[0, horizon]`, sorted ascending.
+    ///
+    /// Same thinning construction as [`SessionArrivals::generate`], with
+    /// the envelope raised to the worst-case product of burst multipliers
+    /// so the thinned process stays exact (never clipped) inside bursts.
+    pub fn generate<R: Rng>(&self, horizon: SimTime, rng: &mut R) -> Vec<SimTime> {
+        let peak_mult: f64 = self.bursts.iter().map(|b| b.multiplier.max(1.0)).product();
+        let lambda_max =
+            self.base.sessions_per_day * (1.0 + self.base.diurnal_depth) * peak_mult / 86_400.0;
+        if lambda_max <= 0.0 {
+            return Vec::new();
+        }
+        let exp = Exp::new(lambda_max).expect("positive rate");
+        let gap = LogNormal::new(self.base.intra_session_gap_s.ln(), 0.8).expect("valid lognormal");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += exp.sample(rng);
+            if t > horizon.as_secs() {
+                break;
+            }
+            let lambda_t =
+                self.base.sessions_per_day * self.base.diurnal(t) * self.burst_mult(t) / 86_400.0;
+            if rng.gen_range(0.0..1.0) >= lambda_t / lambda_max {
+                continue;
+            }
+            let p = 1.0 / self.base.mean_session_len.max(1.0);
+            let mut len = 1usize;
+            while rng.gen_range(0.0..1.0) > p && len < 64 {
+                len += 1;
+            }
+            let mut s = t;
+            for _ in 0..len {
+                if s <= horizon.as_secs() {
+                    out.push(SimTime::seconds(s));
+                }
+                s += gap.sample(rng);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +214,32 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let spec = SessionArrivals { sessions_per_day: 0.0, ..Default::default() };
         assert!(spec.generate(SimTime::days(5.0), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_arrivals_in_burst() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = FlashCrowdArrivals {
+            base: SessionArrivals { sessions_per_day: 40.0, ..Default::default() },
+            bursts: vec![Burst { start_s: 43_200.0, dur_s: 3.0 * 3600.0, multiplier: 10.0 }],
+        };
+        let a = spec.generate(SimTime::days(2.0), &mut rng);
+        let in_burst =
+            a.iter().filter(|t| (43_200.0..43_200.0 + 3.0 * 3600.0).contains(&t.as_secs())).count();
+        // The 3 h burst window (6.25% of the horizon) at 10× intensity
+        // should hold a hugely disproportionate share of arrivals.
+        assert!(in_burst as f64 / a.len() as f64 > 0.25, "burst holds {in_burst}/{}", a.len());
+    }
+
+    #[test]
+    fn no_bursts_matches_plain_session_process_exactly() {
+        // With zero bursts the envelope and thinning are identical to the
+        // base process, so the same RNG stream yields the same arrivals.
+        let base = SessionArrivals::default();
+        let fc = FlashCrowdArrivals { base: base.clone(), bursts: Vec::new() };
+        let a = base.generate(SimTime::days(5.0), &mut StdRng::seed_from_u64(7));
+        let b = fc.generate(SimTime::days(5.0), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
     }
 
     #[test]

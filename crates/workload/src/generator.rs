@@ -1,6 +1,6 @@
 //! Putting it together: fleet + edges + datasets + arrivals → a workload.
 
-use crate::arrivals::SessionArrivals;
+use crate::arrivals::{Burst, FlashCrowdArrivals, SessionArrivals};
 use crate::datasets::DatasetSampler;
 use crate::fleet::FleetSpec;
 use rand::rngs::StdRng;
@@ -23,6 +23,9 @@ pub struct WorkloadSpec {
     pub sparse_edges: usize,
     /// Simulated duration in days.
     pub days: f64,
+    /// Arrival mix on heavy edges. The default (`Diurnal { depth: 0.5 }`)
+    /// reproduces the historical generator bit-for-bit.
+    pub mix: ArrivalMix,
 }
 
 impl Default for WorkloadSpec {
@@ -34,6 +37,62 @@ impl Default for WorkloadSpec {
             heavy_session_len: 4.0,
             sparse_edges: 400,
             days: 30.0,
+            mix: ArrivalMix::default(),
+        }
+    }
+}
+
+/// The arrival regime on heavy edges. Sparse long-tail traffic is uniform
+/// over the horizon in every mix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalMix {
+    /// Session arrivals with a sinusoidal day/night swing (the historical
+    /// default at `depth = 0.5`).
+    Diurnal {
+        /// Modulation depth in [0, 1).
+        depth: f64,
+    },
+    /// Flat Poisson session starts — no day/night swing.
+    Poisson,
+    /// Diurnal base plus burst windows multiplying session intensity.
+    FlashCrowd {
+        /// Diurnal depth of the base process.
+        depth: f64,
+        /// Burst windows applied to every heavy edge.
+        bursts: Vec<Burst>,
+    },
+}
+
+impl Default for ArrivalMix {
+    fn default() -> Self {
+        ArrivalMix::Diurnal { depth: 0.5 }
+    }
+}
+
+impl ArrivalMix {
+    /// Generate one heavy edge's arrivals. Each mix consumes the shared
+    /// RNG through the same thinning construction; `Diurnal { 0.5 }`
+    /// draws the identical stream the pre-mix generator drew.
+    fn generate<R: Rng>(
+        &self,
+        sessions_per_day: f64,
+        mean_session_len: f64,
+        horizon: SimTime,
+        rng: &mut R,
+    ) -> Vec<SimTime> {
+        let base = |depth: f64| SessionArrivals {
+            sessions_per_day,
+            mean_session_len,
+            diurnal_depth: depth,
+            ..Default::default()
+        };
+        match self {
+            ArrivalMix::Diurnal { depth } => base(*depth).generate(horizon, rng),
+            ArrivalMix::Poisson => base(0.0).generate(horizon, rng),
+            ArrivalMix::FlashCrowd { depth, bursts } => {
+                FlashCrowdArrivals { base: base(*depth), bursts: bursts.clone() }
+                    .generate(horizon, rng)
+            }
         }
     }
 }
@@ -112,12 +171,8 @@ impl WorkloadSpec {
         let heavy_data = DatasetSampler::heavy_edge();
         for edge in &heavy_edges {
             let (c, p) = habitual_params(&mut rng);
-            let arrivals = SessionArrivals {
-                sessions_per_day: self.heavy_sessions_per_day * rng.gen_range(0.5..1.6),
-                mean_session_len: self.heavy_session_len,
-                ..Default::default()
-            };
-            for t in arrivals.generate(horizon, &mut rng) {
+            let per_day = self.heavy_sessions_per_day * rng.gen_range(0.5..1.6);
+            for t in self.mix.generate(per_day, self.heavy_session_len, horizon, &mut rng) {
                 let d = heavy_data.sample(&mut rng);
                 // Heavy-edge users run the same tool configuration every
                 // time, so C and P are constant within an edge — which is
@@ -214,6 +269,7 @@ mod tests {
             heavy_session_len: 3.0,
             sparse_edges: 100,
             days: 10.0,
+            mix: ArrivalMix::default(),
         }
     }
 
@@ -280,6 +336,46 @@ mod tests {
                 "edge {e}: habitual params only {top}/{total}"
             );
         }
+    }
+
+    #[test]
+    fn poisson_mix_flattens_heavy_arrivals() {
+        let mk =
+            |mix| WorkloadSpec { mix, sparse_edges: 0, ..small_spec() }.generate(&SeedSeq::new(11));
+        let count_day_half = |w: &Workload| {
+            w.requests
+                .iter()
+                .filter(|r| {
+                    let phase = (r.submit.as_secs() % 86_400.0) / 86_400.0;
+                    (0.25..0.75).contains(&phase)
+                })
+                .count() as f64
+                / w.requests.len() as f64
+        };
+        let diurnal = mk(ArrivalMix::Diurnal { depth: 0.9 });
+        let poisson = mk(ArrivalMix::Poisson);
+        assert!(count_day_half(&diurnal) > 0.60, "diurnal not day-shifted");
+        let p = count_day_half(&poisson);
+        assert!((0.40..0.60).contains(&p), "poisson not flat: {p}");
+    }
+
+    #[test]
+    fn flash_crowd_mix_loads_the_burst_window() {
+        let bursts = vec![Burst { start_s: 86_400.0, dur_s: 4.0 * 3600.0, multiplier: 12.0 }];
+        let spec = WorkloadSpec {
+            mix: ArrivalMix::FlashCrowd { depth: 0.5, bursts },
+            sparse_edges: 0,
+            ..small_spec()
+        };
+        let w = spec.generate(&SeedSeq::new(12));
+        let frac = w
+            .requests
+            .iter()
+            .filter(|r| (86_400.0..86_400.0 + 4.0 * 3600.0).contains(&r.submit.as_secs()))
+            .count() as f64
+            / w.requests.len() as f64;
+        // 1.7% of the horizon at 12× should carry far more than its share.
+        assert!(frac > 0.10, "burst window carries only {frac}");
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod popularity;
 #[cfg(test)]
 mod proptests;
 
-pub use arrivals::SessionArrivals;
+pub use arrivals::{Burst, FlashCrowdArrivals, SessionArrivals};
 pub use datasets::DatasetSampler;
 pub use fleet::FleetSpec;
-pub use generator::{Workload, WorkloadSpec};
+pub use generator::{ArrivalMix, Workload, WorkloadSpec};
 pub use popularity::{fit_exponent, ZipfPopularity};

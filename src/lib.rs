@@ -85,5 +85,5 @@ pub mod prelude {
         Bytes, EdgeId, EndpointId, Rate, SeedSeq, SimTime, TransferId, TransferRecord,
         TransferRequest,
     };
-    pub use wdt_workload::{FleetSpec, Workload, WorkloadSpec};
+    pub use wdt_workload::{ArrivalMix, Burst, FleetSpec, Workload, WorkloadSpec};
 }

@@ -11,6 +11,7 @@ fn small_world() -> (EndpointCatalog, Vec<TransferRequest>) {
         heavy_session_len: 5.0,
         sparse_edges: 30,
         days: 6.0,
+        mix: ArrivalMix::default(),
     }
     .generate(&SeedSeq::new(11));
     (w.endpoints, w.requests)

@@ -33,6 +33,7 @@ fn campaign() -> wdt_features::Dataset {
         heavy_session_len: 4.0,
         sparse_edges: 15,
         days: 3.0,
+        mix: ArrivalMix::default(),
     }
     .generate(&SeedSeq::new(23));
     let mut sim = Simulator::new(w.endpoints, SimConfig::default(), &SeedSeq::new(23));
