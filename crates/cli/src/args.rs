@@ -42,6 +42,19 @@ impl std::fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+/// Fold multi-word subcommands (`wdt obs alerts`) into their canonical
+/// one-token form (`obs-alerts`) so the strict `--key value` grammar
+/// stays intact. Unrecognized word pairs are left alone and rejected by
+/// the normal parse.
+pub fn normalize(mut tokens: Vec<String>) -> Vec<String> {
+    if tokens.first().map(String::as_str) == Some("obs")
+        && tokens.get(1).map(String::as_str) == Some("alerts")
+    {
+        tokens.splice(0..2, ["obs-alerts".to_string()]);
+    }
+    tokens
+}
+
 impl Args {
     /// Parse tokens (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
@@ -157,6 +170,17 @@ mod tests {
     #[test]
     fn bare_token_after_command_is_rejected() {
         assert!(matches!(parse("train log.csv"), Err(ArgError::Unexpected(_))));
+    }
+
+    #[test]
+    fn normalize_folds_obs_alerts_into_one_token() {
+        let folded =
+            normalize(vec!["obs".into(), "alerts".into(), "--out".into(), "a.json".into()]);
+        assert_eq!(folded, ["obs-alerts", "--out", "a.json"]);
+        let plain = normalize(vec!["obs".into(), "--days".into(), "1".into()]);
+        assert_eq!(plain, ["obs", "--days", "1"], "plain obs is untouched");
+        let other = normalize(vec!["simulate".into(), "--out".into(), "x".into()]);
+        assert_eq!(other, ["simulate", "--out", "x"]);
     }
 
     #[test]

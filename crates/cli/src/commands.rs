@@ -41,6 +41,7 @@ pub fn run(args: &Args) -> CmdResult {
         "census" => census(args),
         "train" => train(args),
         "predict" => predict(args),
+        "explain" => explain(args),
         "advise" => advise(args),
         "serve" => serve(args),
         "loadgen" => loadgen(args),
@@ -48,6 +49,7 @@ pub fn run(args: &Args) -> CmdResult {
         "check" => check(args),
         "scenarios" => scenarios(args),
         "obs" => obs(args),
+        "obs-alerts" => obs_alerts(args),
         "help" | "--help" => {
             print!("{}", usage());
             Ok(())
@@ -79,14 +81,30 @@ pub fn usage() -> String {
                 histogram split search to exhaustive exact search)\n\
      predict   predict rates for a log's transfers with a saved model\n\
                --log FILE --model FILE\n\
+     explain   slowdown triage: attribute the worst-p99 slowdown transfers\n\
+               to signed per-feature rate contributions (path attributions\n\
+               whose fold reconstructs the prediction bitwise)\n\
+               source: --log FILE | --scenario FILE | simulator flags\n\
+               [--days N=3] [--heavy-edges N=6] [--sparse-edges N=30]\n\
+               [--seed N=2017] [--bg-intensity X=0.4] [--runs N=4]\n\
+               model:  [--model FILE] [--threshold X=0.5]\n\
+               output: [--top N=20] [--top-features N=5] [--out FILE]\n\
+               (fits a GBDT on the threshold-filtered log unless --model\n\
+                loads one; each triaged transfer reports bias + per-feature\n\
+                contributions bucketed into competing-load (K*/S*),\n\
+                endpoint (G*), tuning (C/P), and shape features, with the\n\
+                most-negative bucket named as the dominant cause)\n\
      advise    concurrency-cap advice for an endpoint (Figure 4 analysis)\n\
                --log FILE --endpoint N\n\
      serve     online rate-prediction service (HTTP, micro-batched)\n\
                --model-dir DIR [--port N=8191] [--workers N=8]\n\
                [--frontend threaded|eventloop=eventloop] [--acceptors N=2]\n\
                [--deadline-ms N=5000] [--max-batch N=64] [--flush-us N=100]\n\
-               [--queue-cap N=1024] [--cores LIST]\n\
-               (endpoints: POST /predict, GET /healthz, GET /metrics,\n\
+               [--queue-cap N=1024] [--explain-top N=5] [--cores LIST]\n\
+               (endpoints: POST /predict, POST /explain for a prediction\n\
+                plus its per-feature attributions (--explain-top ranks the\n\
+                N largest), GET /healthz, GET /metrics, GET /metrics.prom\n\
+                for Prometheus text, GET /alerts for the alert ring,\n\
                 POST /reload to hot-swap to the newest model in DIR,\n\
                 POST /shutdown for a graceful stop. The eventloop front\n\
                 end multiplexes all connections over --acceptors poller\n\
@@ -123,7 +141,7 @@ pub fn usage() -> String {
                [--drift-threshold X=35] [--drift-patience N=3]\n\
                checks:    [--notify ADDR] [--golden FILE [--refresh]]\n\
                [--max-rss-mb N] [--expect-min-records N]\n\
-               [--expect-swaps N] [--trace FILE]\n\
+               [--expect-swaps N] [--alerts-out FILE] [--trace FILE]\n\
                (--repeat streams N campaigns with consecutive seeds\n\
                 through the one pipeline — soak-scale record volume\n\
                 without one enormous campaign.\n\
@@ -137,7 +155,9 @@ pub fn usage() -> String {
                 verifies the streamed log's digest against a committed\n\
                 file — proof the stream shed or altered nothing; the\n\
                 --expect-* flags and --max-rss-mb (peak RSS, Linux VmHWM)\n\
-                turn a soak run into a pass/fail CI gate)\n\
+                turn a soak run into a pass/fail CI gate; --alerts-out\n\
+                writes the alert ring — drift and model-swap events —\n\
+                as JSON when the run finishes)\n\
      check     verify the simulator against its reference oracle and a\n\
                committed golden-trace digest (see DESIGN.md)\n\
                --golden FILE [--refresh] [--oracle-cases N=250]\n\
@@ -169,6 +189,9 @@ pub fn usage() -> String {
                 Chrome-trace JSON and prints a summary; traces load in\n\
                 ui.perfetto.dev or chrome://tracing. WDT_TRACE=1 enables\n\
                 the flight recorder for any command)\n\
+     obs alerts dump the alert ring as JSON: a running server's via\n\
+               --addr (GET /alerts), else this process's\n\
+               [--addr HOST:PORT] [--out FILE]\n\
      help      this text\n\
      \n\
      Unknown --flags are rejected by name; `wdt help` lists every flag.\n"
@@ -372,6 +395,228 @@ fn predict(args: &Args) -> CmdResult {
     println!("id,edge,actual_mbps,predicted_mbps");
     for (f, p) in features.iter().zip(&preds) {
         println!("{},{},{:.2},{:.2}", f.id.0, f.edge, f.rate / 1e6, p / 1e6);
+    }
+    Ok(())
+}
+
+/// The four triage buckets a feature's contribution lands in, by the
+/// paper's feature families: competing load (K\*: concurrent transfer
+/// counts, S\*: aggregate MB/s), endpoint contention (G\*: GridFTP
+/// instances), the transfer's own tuning (C, P), and its shape (N\*).
+const TRIAGE_BUCKETS: [&str; 4] = ["competing_load", "endpoint", "tuning", "shape"];
+
+fn triage_bucket(name: &str) -> usize {
+    match name.as_bytes().first() {
+        Some(b'K' | b'S') => 0,
+        Some(b'G') => 1,
+        Some(b'C' | b'P') => 2,
+        _ => 3,
+    }
+}
+
+/// Slowdown triage: find the transfers in the slowdown tail (per-edge
+/// `Rmax / rate` at or above its p99) and attribute each one's predicted
+/// rate to signed per-feature contributions, bucketed by feature family.
+fn explain(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "log",
+        "scenario",
+        "days",
+        "heavy-edges",
+        "sparse-edges",
+        "seed",
+        "bg-intensity",
+        "runs",
+        "model",
+        "threshold",
+        "top",
+        "top-features",
+        "out",
+    ])?;
+    let records: Vec<TransferRecord> = if args.get("log").is_some() {
+        load_log(args)?
+    } else if let Some(path) = args.get("scenario") {
+        let c = wdt_bench::ScenarioCampaign::from_file(Path::new(path))?;
+        eprintln!("simulating scenario '{}' ...", c.spec().name);
+        c.simulate().records
+    } else {
+        let spec = CampaignSpec {
+            seed: args.get_or("seed", 2017)?,
+            days: args.get_or("days", 3.0)?,
+            heavy_edges: args.get_or("heavy-edges", 6)?,
+            sparse_edges: args.get_or("sparse-edges", 30)?,
+            bg_intensity: args.get_or("bg-intensity", 0.4)?,
+            runs: args.get_or("runs", 4)?,
+            ..Default::default()
+        };
+        eprintln!("simulating a {}-day campaign for triage ...", spec.days);
+        spec.simulate().records
+    };
+
+    let features = extract_features(&records);
+    let stats = edge_stats(&features);
+    let data = build_dataset(&features, false);
+
+    // Per-transfer slowdown; the tail threshold is the p99.
+    let mut slowdowns: Vec<(usize, f64)> = features
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| {
+            let s = stats.get(&f.edge)?;
+            (f.rate > 0.0).then(|| (i, s.r_max / f.rate))
+        })
+        .collect();
+    if slowdowns.is_empty() {
+        return Err("log has no transfers with a positive rate to triage".into());
+    }
+    let mut sorted: Vec<f64> = slowdowns.iter().map(|&(_, s)| s).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p99 = quantile(&sorted, 0.99);
+    slowdowns.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let top_n: usize = args.get_or("top", 20usize)?;
+    let worst: Vec<(usize, f64)> =
+        slowdowns.iter().filter(|&&(_, s)| s >= p99).take(top_n.max(1)).copied().collect();
+
+    // The attribution model: a saved artifact, or a quick GBDT fit on
+    // the threshold-filtered log (the same regime `wdt train` uses).
+    let threshold: f64 = args.get_or("threshold", 0.5)?;
+    let model = match args.get("model") {
+        Some(p) => {
+            FittedModel::from_json(&fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?)?
+        }
+        None => {
+            let filtered = threshold_filter(&features, threshold);
+            if filtered.len() < 20 {
+                return Err(format!(
+                    "only {} transfers after --threshold {threshold} filtering — too few to \
+                     fit a triage model (lower --threshold or pass --model)",
+                    filtered.len()
+                )
+                .into());
+            }
+            let train_set = build_dataset(&filtered, false);
+            let mut cfg = FitConfig::default();
+            cfg.gbdt.n_rounds = 80;
+            FittedModel::fit(&train_set, ModelKind::Gbdt, &cfg)
+                .ok_or("triage model failed to fit (degenerate features?)")?
+        }
+    };
+    let kept = model.feature_names();
+    let top_features: usize = args.get_or("top-features", 5usize)?;
+
+    use wdt_types::JsonValue as J;
+    let mut triage = Vec::new();
+    println!(
+        "{:<8} {:<12} {:>9} {:>12} {:>12}  dominant bucket, top contributions",
+        "id", "edge", "slowdown", "actual MB/s", "pred MB/s"
+    );
+    for &(i, slowdown) in &worst {
+        let f = &features[i];
+        let (bias, pred, contribs) = model.explain_row(&data.x[i]);
+        debug_assert_eq!(
+            contribs.iter().fold(bias, |acc, &c| acc + c).to_bits(),
+            pred.to_bits(),
+            "attributions must fold to the prediction bitwise"
+        );
+        let mut buckets = [0.0f64; 4];
+        for (name, &c) in kept.iter().zip(&contribs) {
+            buckets[triage_bucket(name)] += c;
+        }
+        // The dominant cause is the bucket pulling the predicted rate
+        // down hardest (most-negative contribution sum).
+        let dominant = (0..4).min_by(|&a, &b| buckets[a].total_cmp(&buckets[b])).unwrap();
+        let mut ranked: Vec<(&String, f64)> = kept.iter().zip(contribs.iter().copied()).collect();
+        ranked.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+        ranked.truncate(top_features);
+        println!(
+            "{:<8} {:<12} {:>9.2} {:>12.2} {:>12.2}  {} [{}]",
+            f.id.0,
+            f.edge.to_string(),
+            slowdown,
+            f.rate / 1e6,
+            pred / 1e6,
+            TRIAGE_BUCKETS[dominant],
+            ranked
+                .iter()
+                .map(|(n, c)| format!("{n} {:+.2}", c / 1e6))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        triage.push(J::obj([
+            ("id", J::Num(f.id.0 as f64)),
+            ("edge", J::Str(f.edge.to_string())),
+            ("slowdown", J::Num(slowdown)),
+            ("actual_mbps", J::Num(f.rate / 1e6)),
+            ("predicted_mbps", J::Num(pred / 1e6)),
+            ("bias", J::Num(bias)),
+            ("prediction", J::Num(pred)),
+            (
+                "buckets",
+                J::Obj(
+                    TRIAGE_BUCKETS
+                        .iter()
+                        .zip(buckets)
+                        .map(|(n, v)| (n.to_string(), J::Num(v)))
+                        .collect(),
+                ),
+            ),
+            ("dominant", J::Str(TRIAGE_BUCKETS[dominant].to_string())),
+            (
+                "top",
+                J::Arr(
+                    ranked
+                        .iter()
+                        .map(|(n, c)| {
+                            J::obj([
+                                ("feature", J::Str((*n).clone())),
+                                ("contribution", J::Num(*c)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    println!(
+        "triaged {} of {} transfers at or above the p99 slowdown ({p99:.2}x)",
+        worst.len(),
+        slowdowns.len()
+    );
+    if let Some(path) = args.get("out") {
+        let report = J::obj([
+            ("p99_slowdown", J::Num(p99)),
+            ("transfers", J::Num(slowdowns.len() as f64)),
+            ("model_features", J::Arr(kept.iter().map(|n| J::Str(n.clone())).collect())),
+            ("triage", J::Arr(triage)),
+        ]);
+        fs::write(path, format!("{report}\n"))?;
+        println!("triage report written to {path}");
+    }
+    Ok(())
+}
+
+/// Dump the alert ring as JSON — a running server's (over HTTP) or this
+/// process's own.
+fn obs_alerts(args: &Args) -> CmdResult {
+    args.ensure_known(&["addr", "out"])?;
+    let text = match args.get("addr") {
+        Some(a) => {
+            let addr: SocketAddr = a.parse().map_err(|_| format!("bad --addr '{a}'"))?;
+            let mut client = HttpClient::connect(addr)?;
+            let (status, body) = client.get("/alerts")?;
+            if status != 200 {
+                return Err(format!("GET /alerts answered {status}: {body}").into());
+            }
+            body.trim().to_string()
+        }
+        None => wdt_obs::AlertSink::global().to_json().to_string(),
+    };
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, format!("{text}\n"))?;
+            println!("alerts written to {path}");
+        }
+        None => println!("{text}"),
     }
     Ok(())
 }
@@ -863,6 +1108,7 @@ fn serve(args: &Args) -> CmdResult {
         "max-batch",
         "flush-us",
         "queue-cap",
+        "explain-top",
         "cores",
     ])?;
     apply_cores(args)?;
@@ -883,6 +1129,7 @@ fn serve(args: &Args) -> CmdResult {
             queue_cap: args.get_or("queue-cap", 1024)?,
             ..Default::default()
         },
+        explain_top: args.get_or("explain-top", 5usize)?,
     };
     let registry = Arc::new(ModelRegistry::open(dir, ServeSchema::prediction())?);
     let server = AnyServer::start(registry, cfg, frontend)?;
@@ -896,7 +1143,10 @@ fn serve(args: &Args) -> CmdResult {
             Frontend::EventLoop => "eventloop",
         }
     );
-    println!("POST /predict | GET /healthz | GET /metrics | POST /reload | POST /shutdown");
+    println!(
+        "POST /predict | POST /explain | GET /healthz | GET /metrics[.prom] | GET /alerts | \
+         POST /reload | POST /shutdown"
+    );
     install_signal_handlers();
     while !server.stopping() && !SIGNALED.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));
@@ -1002,6 +1252,7 @@ fn ingest(args: &Args) -> CmdResult {
         "max-rss-mb",
         "expect-min-records",
         "expect-swaps",
+        "alerts-out",
         "trace",
     ])?;
     let trace = trace_setup(args);
@@ -1181,6 +1432,15 @@ fn ingest(args: &Args) -> CmdResult {
                 if ev.drift_triggered { " [drift]" } else { "" }
             );
         }
+    }
+
+    // The alert ring carries the run's drift and model-swap events;
+    // written before the gates so a failed soak still leaves the
+    // artifact for postmortem.
+    if let Some(path) = args.get("alerts-out") {
+        let sink = wdt_obs::AlertSink::global();
+        fs::write(path, format!("{}\n", sink.to_json()))?;
+        println!("alerts: ring snapshot written to {path} ({} raised)", sink.raised());
     }
 
     // Soak gates, in check order: content first, then resources.
@@ -1413,6 +1673,8 @@ mod tests {
         assert!(usage().contains("serve"));
         assert!(usage().contains("loadgen"));
         assert!(usage().contains("obs"));
+        assert!(usage().contains("obs alerts"));
+        assert!(usage().contains("explain"));
         assert!(usage().contains("ingest"));
         for flag in [
             "--model-dir",
@@ -1431,6 +1693,9 @@ mod tests {
             "--expect-swaps",
             "--max-rss-mb",
             "--notify",
+            "--explain-top",
+            "--alerts-out",
+            "--top-features",
         ] {
             assert!(usage().contains(flag), "usage must document {flag}");
         }
@@ -1574,6 +1839,8 @@ mod tests {
             "loadgen --addr 127.0.0.1:1 --log x.csv --connectoins 4",
             "obs --check-trase t.json",
             "ingest --from-csv x.csv --folow",
+            "explain --log x.csv --topp 3",
+            "obs-alerts --adr 127.0.0.1:1",
             "scenarios --dir s --goldendir g",
             "check --golden g.digest --scenari s.json",
             // --trace is only understood by simulate/train/check/obs;
@@ -1639,6 +1906,77 @@ mod tests {
                 .unwrap_err()
                 .to_string();
         assert!(err.contains("--golden") || err.contains("golden"), "{err}");
+    }
+
+    #[test]
+    fn explain_triages_the_slowdown_tail_with_bucketed_attributions() {
+        let log_path = tmp("explain-triage.csv");
+        let out = tmp("explain-triage.json");
+        run(&parse(&format!(
+            "simulate --out {} --days 3 --heavy-edges 3 --sparse-edges 10 --seed 5",
+            log_path.display()
+        )))
+        .expect("simulate");
+        run(&parse(&format!(
+            "explain --log {} --threshold 0.0 --top 5 --top-features 3 --out {}",
+            log_path.display(),
+            out.display()
+        )))
+        .expect("explain");
+        let report = wdt_types::JsonValue::parse(&std::fs::read_to_string(&out).unwrap())
+            .expect("triage report parses");
+        assert!(report.field("p99_slowdown").unwrap().as_f64().unwrap() >= 1.0);
+        let triage = report.field("triage").unwrap().as_arr().unwrap();
+        assert!(!triage.is_empty() && triage.len() <= 5, "p99 tail capped at --top");
+        let names = report.field("model_features").unwrap().as_string_vec().unwrap();
+        for t in triage {
+            // Bucket sums partition the attribution mass: bias + Σ buckets
+            // equals the prediction (up to reassociation of the fold).
+            let bias = t.field("bias").unwrap().as_f64().unwrap();
+            let pred = t.field("prediction").unwrap().as_f64().unwrap();
+            let buckets = t.field("buckets").unwrap();
+            let total: f64 =
+                TRIAGE_BUCKETS.iter().map(|b| buckets.field(b).unwrap().as_f64().unwrap()).sum();
+            assert!(
+                ((bias + total) - pred).abs() <= 1e-6 * pred.abs().max(1.0),
+                "buckets do not partition the prediction: {bias} + {total} != {pred}"
+            );
+            let dominant = t.field("dominant").unwrap().as_str().unwrap();
+            assert!(TRIAGE_BUCKETS.contains(&dominant), "unknown bucket '{dominant}'");
+            let top = t.field("top").unwrap().as_arr().unwrap();
+            assert!(!top.is_empty() && top.len() <= 3, "--top-features caps the ranking");
+            for c in top {
+                let f = c.field("feature").unwrap().as_str().unwrap();
+                assert!(names.iter().any(|n| n == f), "ranked feature '{f}' not in model");
+            }
+        }
+    }
+
+    #[test]
+    fn obs_alerts_dumps_the_local_ring_and_a_servers() {
+        // Local ring: raise one alert, dump, and find it in the JSON.
+        wdt_obs::AlertSink::global().raise(
+            wdt_obs::AlertKind::DriftDetected,
+            wdt_obs::Severity::Warning,
+            "cli test drift",
+            1.0,
+            None,
+        );
+        let out = tmp("obs-alerts.json");
+        run(&parse(&format!("obs-alerts --out {}", out.display()))).expect("obs-alerts");
+        let doc = wdt_types::JsonValue::parse(&std::fs::read_to_string(&out).unwrap())
+            .expect("alerts json parses");
+        let alerts = doc.field("alerts").unwrap().as_arr().unwrap();
+        assert!(
+            alerts.iter().any(|a| {
+                a.field("kind").is_ok_and(|k| k.as_str() == Ok("drift"))
+                    && a.field("message").is_ok_and(|m| m.as_str() == Ok("cli test drift"))
+            }),
+            "raised alert missing from dump: {doc}"
+        );
+        // A bad remote address is a named error, not a hang.
+        let err = run(&parse("obs-alerts --addr not-an-addr")).unwrap_err().to_string();
+        assert!(err.contains("--addr"), "{err}");
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() -> ExitCode {
     // even ones without a `--trace` flag (the panic hook then dumps a
     // post-mortem on crash).
     wdt_obs::init_from_env();
-    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let tokens = args::normalize(std::env::args().skip(1).collect());
     let parsed = match args::Args::parse(tokens) {
         Ok(p) => p,
         Err(e) => {

@@ -225,8 +225,18 @@ impl RetrainDriver {
         self.m_stale.set(self.rolling_stale.mdape());
         if rolling.is_finite() && rolling > self.cfg.drift_threshold_pct {
             self.over_threshold_chunks += 1;
-            if self.over_threshold_chunks >= self.cfg.drift_patience {
+            if self.over_threshold_chunks >= self.cfg.drift_patience && !self.drift_pending {
                 self.drift_pending = true;
+                wdt_obs::AlertSink::global().raise(
+                    wdt_obs::AlertKind::DriftDetected,
+                    wdt_obs::Severity::Warning,
+                    format!(
+                        "rolling MdAPE {rolling:.1}% > {:.1}% for {} chunks",
+                        self.cfg.drift_threshold_pct, self.over_threshold_chunks
+                    ),
+                    rolling,
+                    None,
+                );
             }
         } else {
             self.over_threshold_chunks = 0;
@@ -282,6 +292,18 @@ impl RetrainDriver {
         }
         let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
         self.m_latency.set(latency_ms);
+        wdt_obs::AlertSink::global().raise(
+            wdt_obs::AlertKind::ModelSwapped,
+            wdt_obs::Severity::Info,
+            format!(
+                "deployed {} ({} trigger, {} records)",
+                version.as_deref().unwrap_or("in-process model"),
+                if drift_triggered { "drift" } else { "cadence" },
+                window.len()
+            ),
+            latency_ms,
+            None,
+        );
         Ok(Some(SwapEvent { version, trained_on: window.len(), latency_ms, drift_triggered }))
     }
 }
@@ -400,6 +422,34 @@ mod tests {
         let ev = d.refit(&shifted).unwrap().unwrap();
         assert!(ev.drift_triggered);
         assert_eq!(d.drift_refits(), 1);
+    }
+
+    #[test]
+    fn drift_and_swap_raise_alerts() {
+        let reg = wdt_obs::Registry::global();
+        let drift_before = reg.counter("alerts.drift").get();
+        let swap_before = reg.counter("alerts.model_swap").get();
+        let cfg = RetrainConfig {
+            min_train: 10,
+            rolling_window: 50,
+            drift_threshold_pct: 30.0,
+            drift_patience: 1,
+            kind: ModelKind::Linear,
+            ..Default::default()
+        };
+        let mut d = RetrainDriver::new(cfg, None).unwrap();
+        d.refit(&features(120, 1.0)).unwrap().unwrap();
+        let shifted = features(60, 25.0);
+        d.observe(&shifted);
+        d.observe(&shifted);
+        assert!(d.should_refit(120));
+        // The transition raised exactly one drift alert from this driver
+        // (repeat over-threshold chunks while pending stay silent).
+        assert!(reg.counter("alerts.drift").get() > drift_before);
+        assert!(reg.counter("alerts.model_swap").get() > swap_before);
+        let snap = wdt_obs::AlertSink::global().snapshot();
+        assert!(snap.iter().any(|a| a.kind == wdt_obs::AlertKind::DriftDetected));
+        assert!(snap.iter().any(|a| a.kind == wdt_obs::AlertKind::ModelSwapped));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! `WDT_THREADS`.
 
 use crate::binning::BinnedMatrix;
-use crate::tree::{RegressionTree, SplitStrategy, TreeParams};
+use crate::tree::{Node, RegressionTree, SplitStrategy, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -153,6 +153,47 @@ impl Gbdt {
     /// Predict one row.
     pub fn predict_one(&self, row: &[f64]) -> f64 {
         self.base_score + self.eta * self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>()
+    }
+
+    /// Tree-walk twin of [`crate::NodeArrayForest::explain_into`]: Saabas
+    /// per-feature path attribution over the *arena* layout, performing
+    /// structurally identical floating-point operations in the same order,
+    /// so the returned `(bias, prediction)` and every contribution are
+    /// **bitwise equal** to the flattened kernel's (asserted by proptest).
+    /// `contribs` needs one slot per feature; it is zeroed first. The
+    /// invariant `bias + Σ contribs == prediction` holds bitwise when
+    /// folded in slice order.
+    pub fn explain_one(&self, row: &[f64], contribs: &mut [f64]) -> (f64, f64) {
+        contribs.fill(0.0);
+        let mut acc = 0.0;
+        let mut bias_raw = 0.0;
+        let mut split_seen = false;
+        for tree in &self.trees {
+            let nodes = tree.nodes();
+            let mut i = 0;
+            bias_raw += nodes[i].value();
+            loop {
+                match &nodes[i] {
+                    Node::Leaf { value } => {
+                        acc += *value;
+                        break;
+                    }
+                    Node::Split { feature, threshold, left, right, value } => {
+                        let next = if row[*feature] <= *threshold { *left } else { *right };
+                        contribs[*feature] += nodes[next].value() - *value;
+                        split_seen = true;
+                        i = next;
+                    }
+                }
+            }
+        }
+        let prediction = self.base_score + self.eta * acc;
+        let bias = self.base_score + self.eta * bias_raw;
+        for c in contribs.iter_mut() {
+            *c *= self.eta;
+        }
+        let bias = crate::nodearray::exact_reconcile(bias, prediction, contribs, split_seen);
+        (bias, prediction)
     }
 
     /// Predict many rows, in parallel for large batches. Rows are

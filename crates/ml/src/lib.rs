@@ -40,7 +40,7 @@ pub use metrics::{
     abs_pct_errors, mape, mdape, pct_error_quantile, quantile, r2, rmse, ViolinSummary,
 };
 pub use mic::mic;
-pub use nodearray::NodeArrayForest;
+pub use nodearray::{exact_reconcile, NodeArrayForest};
 pub use optimize::{nelder_mead, Minimum};
 pub use tree::{RegressionTree, SplitStrategy, TreeParams};
 pub use validate::{cross_validate, kfold_indices};

@@ -54,6 +54,46 @@ pub struct NodeArrayForest {
     feature: Vec<u32>,
     threshold: Vec<f64>,
     child: Vec<u32>,
+    /// Expected value of each node (leaf value, or a split's would-be
+    /// leaf value). Read only by [`NodeArrayForest::explain_into`];
+    /// prediction never touches it, so the hot arrays stay dense.
+    value: Vec<f64>,
+}
+
+/// Force `bias + Σ contribs` (folded left-to-right in slice order) to
+/// reconstruct `target` **bitwise**. Saabas path deltas telescope to the
+/// prediction in exact arithmetic, but IEEE addition does not cancel
+/// bitwise, so the few-ulp residual is folded into the *last* slot and
+/// re-checked. Correcting the last slot leaves the fold's prefix fixed —
+/// the re-fold ends in a single addition `prefix + c_last`, which as a
+/// function of `c_last` attains every representable value near the
+/// prefix, so a fixed point exists and the loop converges in one or two
+/// passes whenever `target` and the prefix share magnitude (always, for
+/// a telescoped prediction). Any earlier slot would re-round the whole
+/// tail per pass and frequently admits no fixed point at all. If the
+/// loop still cannot converge (non-finite values, catastrophic
+/// cancellation) every per-feature detail is surrendered: contributions
+/// zero, bias = target — the invariant holds unconditionally. `correct`
+/// = false (no split was ever taken) asserts bias already equals target
+/// and skips correction. Returns the (possibly adjusted) bias.
+pub fn exact_reconcile(bias: f64, target: f64, contribs: &mut [f64], correct: bool) -> f64 {
+    let fold = |b: f64, c: &[f64]| c.iter().fold(b, |acc, &v| acc + v);
+    let mut acc = fold(bias, contribs);
+    if acc.to_bits() == target.to_bits() {
+        return bias;
+    }
+    if correct && !contribs.is_empty() {
+        let s = contribs.len() - 1;
+        for _ in 0..8 {
+            contribs[s] += target - acc;
+            acc = fold(bias, contribs);
+            if acc.to_bits() == target.to_bits() {
+                return bias;
+            }
+        }
+    }
+    contribs.fill(0.0);
+    target
 }
 
 impl NodeArrayForest {
@@ -68,6 +108,7 @@ impl NodeArrayForest {
             feature: Vec::with_capacity(total),
             threshold: Vec::with_capacity(total),
             child: Vec::with_capacity(total),
+            value: Vec::with_capacity(total),
         };
         for tree in model.trees() {
             let root = flat.alloc(1);
@@ -83,6 +124,7 @@ impl NodeArrayForest {
         self.feature.resize(at + n, LEAF);
         self.threshold.resize(at + n, 0.0);
         self.child.resize(at + n, 0);
+        self.value.resize(at + n, 0.0);
         at
     }
 
@@ -95,12 +137,14 @@ impl NodeArrayForest {
                 Node::Leaf { value } => {
                     self.feature[dst] = LEAF;
                     self.threshold[dst] = *value;
+                    self.value[dst] = *value;
                 }
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split { feature, threshold, left, right, value } => {
                     let c = self.alloc(2);
                     self.feature[dst] = *feature as u32;
                     self.threshold[dst] = *threshold;
                     self.child[dst] = c as u32;
+                    self.value[dst] = *value;
                     pending.push((*right, c + 1));
                     pending.push((*left, c));
                 }
@@ -167,6 +211,50 @@ impl NodeArrayForest {
                 *v = self.base_score + self.eta * *v;
             }
         }
+    }
+
+    /// Saabas-style per-feature attribution for one row, allocation-free.
+    ///
+    /// Each descent step from a node to a child changes the tree's
+    /// expected value; that delta is credited to the split feature. Per
+    /// tree the deltas telescope from the root's expected value down to
+    /// the leaf, so summing root values gives the bias and summing path
+    /// deltas the rest. After scaling by η the result is passed through
+    /// [`exact_reconcile`], making
+    ///
+    /// ```text
+    /// bias + contribs[0] + contribs[1] + … == predict_row(row)   (bitwise)
+    /// ```
+    ///
+    /// an unconditional invariant (fold in slice order). `contribs` must
+    /// have one slot per feature the model splits on (the prepared row
+    /// width); it is zeroed first. Returns `(bias, prediction)` where
+    /// `prediction` is bitwise equal to [`NodeArrayForest::predict_row`].
+    pub fn explain_into(&self, row: &[f64], contribs: &mut [f64]) -> (f64, f64) {
+        contribs.fill(0.0);
+        let mut acc = 0.0; // leaf sum — identical fold to `leaf_sum`
+        let mut bias_raw = 0.0;
+        let mut split_seen = false;
+        for &root in &self.roots {
+            let mut i = root as usize;
+            let mut f = self.feature[i];
+            bias_raw += self.value[i];
+            while f != LEAF {
+                let parent = i;
+                i = self.child[i] as usize + usize::from(row[f as usize] > self.threshold[i]);
+                contribs[f as usize] += self.value[i] - self.value[parent];
+                split_seen = true;
+                f = self.feature[i];
+            }
+            acc += self.threshold[i];
+        }
+        let prediction = self.base_score + self.eta * acc;
+        let bias = self.base_score + self.eta * bias_raw;
+        for c in contribs.iter_mut() {
+            *c *= self.eta;
+        }
+        let bias = exact_reconcile(bias, prediction, contribs, split_seen);
+        (bias, prediction)
     }
 
     /// Predict `rows` into a caller-provided output slice (same length),
@@ -280,6 +368,83 @@ mod tests {
         assert_eq!(flat.n_trees(), 0);
         assert_eq!(flat.predict_row(&[1.0, 2.0]), 0.0);
         assert_eq!(flat.predict(&[vec![1.0], vec![2.0]]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn explain_reconstructs_prediction_bitwise() {
+        let (x, y) = synth(400, 6);
+        for split in [SplitStrategy::Histogram, SplitStrategy::Exact] {
+            let params = GbdtParams { n_rounds: 20, split, ..Default::default() };
+            let model = Gbdt::fit(&x, &y, &params);
+            let flat = NodeArrayForest::from_gbdt(&model);
+            let mut contribs = vec![0.0; 6];
+            for row in &x {
+                let (bias, pred) = flat.explain_into(row, &mut contribs);
+                assert_eq!(pred.to_bits(), flat.predict_row(row).to_bits(), "{split:?}");
+                let folded = contribs.iter().fold(bias, |a, &c| a + c);
+                assert_eq!(folded.to_bits(), pred.to_bits(), "{split:?} row {row:?}");
+                // The attribution is non-trivial: some feature got credit.
+                assert!(contribs.iter().any(|&c| c != 0.0), "{split:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_matches_arena_twin_bitwise() {
+        let (x, y) = synth(300, 5);
+        let model = Gbdt::fit(&x, &y, &GbdtParams { n_rounds: 15, ..Default::default() });
+        let flat = NodeArrayForest::from_gbdt(&model);
+        let mut flat_c = vec![0.0; 5];
+        let mut arena_c = vec![0.0; 5];
+        for row in &x {
+            let (fb, fp) = flat.explain_into(row, &mut flat_c);
+            let (ab, ap) = model.explain_one(row, &mut arena_c);
+            assert_eq!(fb.to_bits(), ab.to_bits());
+            assert_eq!(fp.to_bits(), ap.to_bits());
+            for (a, b) in flat_c.iter().zip(&arena_c) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn explain_survives_json_round_trip() {
+        let (x, y) = synth(200, 4);
+        let model = Gbdt::fit(&x, &y, &GbdtParams { n_rounds: 10, ..Default::default() });
+        let text = model.to_json_value().to_string();
+        let loaded = Gbdt::from_json_value(&wdt_types::json::JsonValue::parse(&text).unwrap())
+            .expect("round trip");
+        let flat = NodeArrayForest::from_gbdt(&model);
+        let reflat = NodeArrayForest::from_gbdt(&loaded);
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        for row in &x {
+            let (ba, pa) = flat.explain_into(row, &mut a);
+            let (bb, pb) = reflat.explain_into(row, &mut b);
+            assert_eq!((ba.to_bits(), pa.to_bits()), (bb.to_bits(), pb.to_bits()));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn explain_on_empty_model_is_all_bias() {
+        let model = Gbdt::fit(&[], &[], &GbdtParams::default());
+        let flat = NodeArrayForest::from_gbdt(&model);
+        let mut contribs = vec![0.0; 3];
+        let (bias, pred) = flat.explain_into(&[1.0, 2.0, 3.0], &mut contribs);
+        assert_eq!(bias, 0.0);
+        assert_eq!(pred, 0.0);
+        assert_eq!(contribs, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn exact_reconcile_fallback_zeroes_on_nonfinite() {
+        let mut contribs = vec![f64::NAN, 1.0];
+        let bias = exact_reconcile(0.5, 2.0, &mut contribs, true);
+        assert_eq!(bias, 2.0);
+        assert_eq!(contribs, vec![0.0, 0.0]);
+        let folded = contribs.iter().fold(bias, |a, &c| a + c);
+        assert_eq!(folded.to_bits(), 2.0f64.to_bits());
     }
 
     #[test]

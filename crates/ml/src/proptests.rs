@@ -12,6 +12,7 @@
 
 use crate::binning::BinnedMatrix;
 use crate::gbdt::{Gbdt, GbdtParams};
+use crate::nodearray::NodeArrayForest;
 use crate::tree::{RegressionTree, SplitStrategy, TreeParams};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -114,6 +115,51 @@ proptest! {
             le,
             var
         );
+    }
+
+    #[test]
+    fn attribution_reconstructs_prediction_bitwise(
+        rows in vec(vec(0u32..9, 4), 10usize..60),
+        targets in vec(-50i32..51, 60),
+        probe in vec(vec(0u32..12, 4), 1usize..8),
+        n_rounds in 1usize..10,
+    ) {
+        // The explanation-plane contract: for ANY fitted model and ANY
+        // row (including rows outside the training distribution),
+        // `bias + Σ contributions` folded in feature order reconstructs
+        // the prediction bitwise, the flattened kernel agrees with the
+        // arena tree-walk twin bitwise, and the reported prediction is
+        // the served prediction.
+        let x: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&c| c as f64).collect())
+            .collect();
+        let y: Vec<f64> = targets.iter().take(x.len()).map(|&t| t as f64).collect();
+        let params = GbdtParams { n_rounds, subsample: 1.0, ..GbdtParams::default() };
+        let model = Gbdt::fit(&x, &y, &params);
+        let flat = NodeArrayForest::from_gbdt(&model);
+        let mut flat_c = vec![0.0; 4];
+        let mut arena_c = vec![0.0; 4];
+        let probes: Vec<Vec<f64>> = probe
+            .iter()
+            .map(|r| r.iter().map(|&c| c as f64 - 1.5).collect())
+            .collect();
+        for raw in x.iter().chain(&probes) {
+            let (fb, fp) = flat.explain_into(raw, &mut flat_c);
+            let (ab, ap) = model.explain_one(raw, &mut arena_c);
+            prop_assert_eq!(fp.to_bits(), flat.predict_row(raw).to_bits());
+            prop_assert_eq!(fp.to_bits(), model.predict_one(raw).to_bits());
+            prop_assert_eq!(fb.to_bits(), ab.to_bits());
+            prop_assert_eq!(fp.to_bits(), ap.to_bits());
+            for (a, b) in flat_c.iter().zip(&arena_c) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let folded = flat_c.iter().fold(fb, |acc, &c| acc + c);
+            prop_assert_eq!(
+                folded.to_bits(), fp.to_bits(),
+                "bias {} + contribs {:?} != prediction {}", fb, &flat_c, fp
+            );
+        }
     }
 
     #[test]

@@ -71,7 +71,24 @@ pub(crate) enum Node {
         /// is NOT guaranteed, so both are stored.
         left: usize,
         right: usize,
+        /// The leaf value this node *would* have taken had growth stopped
+        /// here (−G/(H+λ) over the node's samples) — the "expected value"
+        /// Saabas-style path attribution telescopes over. Both trainers
+        /// compute it anyway before deciding to split, so storing it is
+        /// free; prediction never reads it.
+        value: f64,
     },
+}
+
+impl Node {
+    /// The node's expected value: the leaf value, or the would-be leaf
+    /// value of a split (see [`Node::Split::value`]).
+    pub(crate) fn value(&self) -> f64 {
+        match self {
+            Node::Leaf { value } => *value,
+            Node::Split { value, .. } => *value,
+        }
+    }
 }
 
 /// A fitted regression tree.
@@ -157,7 +174,7 @@ impl<'a> Builder<'a> {
         self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
         let left = self.grow(left_cols, depth + 1);
         let right = self.grow(right_cols, depth + 1);
-        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        self.nodes[slot] = Node::Split { feature, threshold, left, right, value: leaf_value };
         slot
     }
 }
@@ -411,8 +428,13 @@ impl<'a> HistBuilder<'a> {
         self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
         let left = self.grow(lo, mid, left_hist, gl, hl, depth + 1);
         let right = self.grow(mid, hi, right_hist, gr, hr, depth + 1);
-        self.nodes[slot] =
-            Node::Split { feature: cand.feature, threshold: cand.threshold, left, right };
+        self.nodes[slot] = Node::Split {
+            feature: cand.feature,
+            threshold: cand.threshold,
+            left,
+            right,
+            value: leaf_value,
+        };
         slot
     }
 }
@@ -503,7 +525,7 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split { feature, threshold, left, right, .. } => {
                     i = if row[*feature] <= *threshold { *left } else { *right };
                 }
             }
@@ -521,18 +543,21 @@ impl RegressionTree {
     }
 
     /// Persistable representation (see `wdt_types::json`). Leaves encode
-    /// as `{"v": value}`, splits as `{"f","t","l","r"}`.
+    /// as `{"v": value}`, splits as `{"f","t","l","r","v"}` — a node is a
+    /// split iff `"f"` is present; `"v"` on a split is its would-be leaf
+    /// value, used only by attribution.
     pub fn to_json_value(&self) -> JsonValue {
         JsonValue::Arr(
             self.nodes
                 .iter()
                 .map(|n| match n {
                     Node::Leaf { value } => JsonValue::obj([("v", JsonValue::Num(*value))]),
-                    Node::Split { feature, threshold, left, right } => JsonValue::obj([
+                    Node::Split { feature, threshold, left, right, value } => JsonValue::obj([
                         ("f", JsonValue::Num(*feature as f64)),
                         ("t", JsonValue::Num(*threshold)),
                         ("l", JsonValue::Num(*left as f64)),
                         ("r", JsonValue::Num(*right as f64)),
+                        ("v", JsonValue::Num(*value)),
                     ]),
                 })
                 .collect(),
@@ -541,25 +566,28 @@ impl RegressionTree {
 
     /// Inverse of [`RegressionTree::to_json_value`]. Child indices are
     /// bounds-checked so a corrupt artifact cannot cause out-of-range
-    /// panics at prediction time.
+    /// panics at prediction time. Splits without `"v"` (artifacts written
+    /// before expected values were persisted) load with value 0.0 —
+    /// predictions are unaffected; only attributions need fresh artifacts.
     pub fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
         let raw = v.as_arr()?;
         let mut nodes = Vec::with_capacity(raw.len());
         for item in raw {
-            let node = if let Ok(value) = item.field("v") {
-                Node::Leaf { value: value.as_f64()? }
-            } else {
+            let node = if let Ok(feature) = item.field("f") {
                 let left = item.field("l")?.as_usize()?;
                 let right = item.field("r")?.as_usize()?;
                 if left >= raw.len() || right >= raw.len() {
                     return Err(JsonError::new("tree child index out of range"));
                 }
                 Node::Split {
-                    feature: item.field("f")?.as_usize()?,
+                    feature: feature.as_usize()?,
                     threshold: item.field("t")?.as_f64()?,
                     left,
                     right,
+                    value: item.field("v").and_then(|v| v.as_f64()).unwrap_or(0.0),
                 }
+            } else {
+                Node::Leaf { value: item.field("v")?.as_f64()? }
             };
             nodes.push(node);
         }

@@ -193,6 +193,61 @@ impl FittedModel {
         }
     }
 
+    /// Per-feature attribution for one row in the original layout,
+    /// allocation-free once warmed: `contribs` is resized to the kept
+    /// width (parallel to [`FittedModel::feature_names`]) and `scratch`
+    /// holds the prepared row. On return,
+    ///
+    /// ```text
+    /// bias + contribs[0] + … + contribs[k-1] == prediction   (bitwise)
+    /// ```
+    ///
+    /// folded left-to-right, where `prediction` is bitwise equal to
+    /// [`FittedModel::predict_row`]. Boosted models attribute via Saabas
+    /// path deltas on the flattened forest; linear models attribute
+    /// `βⱼ·xⱼ` (normalized space) per feature with the intercept as bias.
+    /// Both reconcile the few-ulp fold residual into the last slot
+    /// (`wdt_ml::exact_reconcile`). Attributions are in the normalized
+    /// feature space, which shares names with the original space.
+    /// Returns `(bias, prediction)`.
+    pub fn explain_row_into(
+        &self,
+        row: &[f64],
+        contribs: &mut Vec<f64>,
+        scratch: &mut PredictScratch,
+    ) -> (f64, f64) {
+        if scratch.prepared.is_empty() {
+            scratch.prepared.push(Vec::new());
+        }
+        let prep = &mut scratch.prepared[0];
+        prep.clear();
+        prep.extend(self.kept.iter().map(|&j| row[j]));
+        self.normalizer.apply_row(prep);
+        contribs.clear();
+        contribs.resize(self.kept.len(), 0.0);
+        match &self.inner {
+            Inner::Linear(m) => {
+                let prediction = m.predict_one(prep);
+                for ((c, b), x) in contribs.iter_mut().zip(&m.coefficients).zip(prep.iter()) {
+                    *c = b * x;
+                }
+                let bias = wdt_ml::exact_reconcile(m.intercept, prediction, contribs, true);
+                (bias, prediction)
+            }
+            Inner::Gbdt { flat, .. } => flat.explain_into(prep, contribs),
+        }
+    }
+
+    /// Convenience attribution for one row: allocates fresh buffers and
+    /// returns `(bias, prediction, contributions)`; see
+    /// [`FittedModel::explain_row_into`] for the invariants.
+    pub fn explain_row(&self, row: &[f64]) -> (f64, f64, Vec<f64>) {
+        let mut contribs = Vec::new();
+        let mut scratch = PredictScratch::default();
+        let (bias, prediction) = self.explain_row_into(row, &mut contribs, &mut scratch);
+        (bias, prediction, contribs)
+    }
+
     /// Predict one row in the original layout.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         let r = self.prepare_row(row);
@@ -383,6 +438,41 @@ mod tests {
                     assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} len {len}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn explain_row_reconstructs_prediction_bitwise_for_both_kinds() {
+        let d = synth(300);
+        for kind in [ModelKind::Linear, ModelKind::Gbdt] {
+            let m = FittedModel::fit(&d, kind, &FitConfig::default()).unwrap();
+            let mut contribs = Vec::new();
+            let mut scratch = PredictScratch::default();
+            for row in &d.x {
+                let (bias, pred) = m.explain_row_into(row, &mut contribs, &mut scratch);
+                assert_eq!(contribs.len(), m.feature_names().len(), "{kind:?}");
+                assert_eq!(pred.to_bits(), m.predict_row(row).to_bits(), "{kind:?}");
+                let folded = contribs.iter().fold(bias, |a, &c| a + c);
+                assert_eq!(folded.to_bits(), pred.to_bits(), "{kind:?} row {row:?}");
+            }
+            // The convenience form agrees with the _into form.
+            let (b2, p2, c2) = m.explain_row(&d.x[0]);
+            let (b1, p1) = m.explain_row_into(&d.x[0], &mut contribs, &mut scratch);
+            assert_eq!((b1.to_bits(), p1.to_bits()), (b2.to_bits(), p2.to_bits()));
+            assert_eq!(contribs, c2);
+        }
+    }
+
+    #[test]
+    fn explain_survives_model_persistence() {
+        let d = synth(250);
+        let m = FittedModel::fit(&d, ModelKind::Gbdt, &FitConfig::default()).unwrap();
+        let back = FittedModel::from_json(&m.to_json()).unwrap();
+        for row in d.x.iter().take(40) {
+            let (b1, p1, c1) = m.explain_row(row);
+            let (b2, p2, c2) = back.explain_row(row);
+            assert_eq!((b1.to_bits(), p1.to_bits()), (b2.to_bits(), p2.to_bits()));
+            assert_eq!(c1, c2);
         }
     }
 

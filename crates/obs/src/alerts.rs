@@ -1,0 +1,382 @@
+//! Unified alert pipeline: typed events from every layer, one bounded
+//! ring.
+//!
+//! The retrain loop (drift detected, model hot-swapped), the serve
+//! metrics (shed-rate burn), the sim engine (capacity `ModChange`
+//! windows), and invariant checkers all raise [`AlertEvent`]s into an
+//! [`AlertSink`] — a bounded ring with consecutive-duplicate dedup.
+//! Every raise also bumps a per-kind counter in [`Registry::global`]
+//! (`alerts.<kind>`), so alert rates are visible in any Prometheus
+//! scrape, and records a trace instant (`alert.<kind>`) so alerts land
+//! on the Chrome/Perfetto timeline — on the sim-time track when the
+//! raiser supplies a virtual timestamp.
+//!
+//! Determinism discipline: the sink is observe-only. Raising never reads
+//! RNG state and nothing downstream of a raise feeds back into simulation
+//! or serving decisions, so alert-enabled campaigns stay bit-identical to
+//! their golden digests (asserted in `tests/obs.rs`).
+//!
+//! Dedup rule: a raise whose `(kind, message)` equals the newest ring
+//! entry's merges into it (its `count` increments and `value` refreshes)
+//! instead of appending — a flapping source cannot evict unrelated
+//! alerts. Distinct alerts append; when the ring is full the oldest entry
+//! drops (`dropped` counts them).
+
+use crate::registry::{Counter, Registry};
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+use wdt_types::JsonValue;
+
+/// What happened. Each kind maps to one Prometheus counter and one trace
+/// instant name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// The retrain driver's rolling-MdAPE drift detector fired.
+    DriftDetected,
+    /// A model version was hot-swapped into serving.
+    ModelSwapped,
+    /// The serve layer is shedding requests (503s) at a sustained rate.
+    ShedBurn,
+    /// A scenario capacity window switched on or off (`ModChange`).
+    CapacityChange,
+    /// A runtime invariant check failed.
+    InvariantViolation,
+}
+
+impl AlertKind {
+    /// Stable short name (JSON field, counter suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertKind::DriftDetected => "drift",
+            AlertKind::ModelSwapped => "model_swap",
+            AlertKind::ShedBurn => "shed_burn",
+            AlertKind::CapacityChange => "capacity_change",
+            AlertKind::InvariantViolation => "invariant_violation",
+        }
+    }
+
+    /// Counter name in the global registry.
+    fn counter_name(self) -> &'static str {
+        match self {
+            AlertKind::DriftDetected => "alerts.drift",
+            AlertKind::ModelSwapped => "alerts.model_swap",
+            AlertKind::ShedBurn => "alerts.shed_burn",
+            AlertKind::CapacityChange => "alerts.capacity_change",
+            AlertKind::InvariantViolation => "alerts.invariant_violation",
+        }
+    }
+
+    /// Trace-instant site name.
+    fn instant_name(self) -> &'static str {
+        match self {
+            AlertKind::DriftDetected => "alert.drift",
+            AlertKind::ModelSwapped => "alert.model_swap",
+            AlertKind::ShedBurn => "alert.shed_burn",
+            AlertKind::CapacityChange => "alert.capacity_change",
+            AlertKind::InvariantViolation => "alert.invariant_violation",
+        }
+    }
+
+    fn all() -> [AlertKind; 5] {
+        [
+            AlertKind::DriftDetected,
+            AlertKind::ModelSwapped,
+            AlertKind::ShedBurn,
+            AlertKind::CapacityChange,
+            AlertKind::InvariantViolation,
+        ]
+    }
+}
+
+/// How urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Expected operational event (model swap, scheduled capacity window).
+    Info,
+    /// Degradation worth watching (drift, shed burn).
+    Warning,
+    /// Correctness at risk (invariant violation).
+    Critical,
+}
+
+impl Severity {
+    /// Stable short name for JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One alert in the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Monotone sequence number (per sink, never reused).
+    pub seq: u64,
+    /// What happened.
+    pub kind: AlertKind,
+    /// How urgent.
+    pub severity: Severity,
+    /// Human-readable detail; also the dedup key together with `kind`.
+    pub message: String,
+    /// Kind-specific magnitude (rolling MdAPE for drift, shed count for
+    /// burn, capacity factor for windows, …). Refreshed on dedup merge.
+    pub value: f64,
+    /// Sim virtual clock (µs) when raised from inside a simulation.
+    pub sim_us: Option<u64>,
+    /// Wall milliseconds since the sink was created (merge-refreshed).
+    pub wall_ms: u64,
+    /// How many consecutive identical raises merged into this entry.
+    pub count: u64,
+}
+
+impl AlertEvent {
+    fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("seq", JsonValue::Num(self.seq as f64)),
+            ("kind", JsonValue::Str(self.kind.name().to_string())),
+            ("severity", JsonValue::Str(self.severity.name().to_string())),
+            ("message", JsonValue::Str(self.message.clone())),
+            ("value", JsonValue::Num(self.value)),
+            ("wall_ms", JsonValue::Num(self.wall_ms as f64)),
+            ("count", JsonValue::Num(self.count as f64)),
+        ];
+        if let Some(t) = self.sim_us {
+            fields.push(("sim_us", JsonValue::Num(t as f64)));
+        }
+        JsonValue::obj(fields)
+    }
+}
+
+struct SinkInner {
+    ring: VecDeque<AlertEvent>,
+    next_seq: u64,
+    raised: u64,
+    deduped: u64,
+    dropped: u64,
+}
+
+/// A bounded, deduplicating alert ring. Use [`AlertSink::global`] for
+/// the process-wide pipeline; tests may own private sinks.
+pub struct AlertSink {
+    inner: Mutex<SinkInner>,
+    counters: [Counter; 5],
+    epoch: Instant,
+    cap: usize,
+}
+
+/// Default ring capacity for the global sink.
+pub const DEFAULT_RING_CAP: usize = 256;
+
+impl Default for AlertSink {
+    fn default() -> Self {
+        AlertSink::new(DEFAULT_RING_CAP)
+    }
+}
+
+impl AlertSink {
+    /// A sink holding at most `cap` alerts (oldest dropped beyond that).
+    pub fn new(cap: usize) -> AlertSink {
+        let kinds = AlertKind::all();
+        AlertSink {
+            inner: Mutex::new(SinkInner {
+                ring: VecDeque::with_capacity(cap.min(DEFAULT_RING_CAP)),
+                next_seq: 0,
+                raised: 0,
+                deduped: 0,
+                dropped: 0,
+            }),
+            counters: kinds.map(|k| Registry::global().counter(k.counter_name())),
+            epoch: Instant::now(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The process-wide sink every layer raises into.
+    pub fn global() -> &'static AlertSink {
+        static GLOBAL: OnceLock<AlertSink> = OnceLock::new();
+        GLOBAL.get_or_init(AlertSink::default)
+    }
+
+    /// Raise an alert. Consecutive raises with the same `(kind, message)`
+    /// merge into the newest ring entry. Also bumps the kind's global
+    /// Prometheus counter and (when tracing is on) records a trace
+    /// instant — on the sim-time track if `sim_us` is given.
+    pub fn raise(
+        &self,
+        kind: AlertKind,
+        severity: Severity,
+        message: impl Into<String>,
+        value: f64,
+        sim_us: Option<u64>,
+    ) {
+        let message = message.into();
+        let wall_ms = self.epoch.elapsed().as_millis() as u64;
+        let idx = AlertKind::all().iter().position(|&k| k == kind).unwrap();
+        self.counters[idx].inc();
+        match sim_us {
+            Some(t) => crate::recorder::instant_at(kind.instant_name(), t),
+            None => crate::recorder::instant(kind.instant_name()),
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.raised += 1;
+        if let Some(last) = inner.ring.back_mut() {
+            if last.kind == kind && last.message == message {
+                last.count += 1;
+                last.value = value;
+                last.wall_ms = wall_ms;
+                last.severity = last.severity.max(severity);
+                inner.deduped += 1;
+                return;
+            }
+        }
+        if inner.ring.len() >= self.cap {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.ring.push_back(AlertEvent {
+            seq,
+            kind,
+            severity,
+            message,
+            value,
+            sim_us,
+            wall_ms,
+            count: 1,
+        });
+    }
+
+    /// Current ring contents, oldest first.
+    pub fn snapshot(&self) -> Vec<AlertEvent> {
+        self.inner.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// Total raises (including merged duplicates).
+    pub fn raised(&self) -> u64 {
+        self.inner.lock().unwrap().raised
+    }
+
+    /// Empty the ring and zero the tallies (test isolation; the global
+    /// Prometheus counters are left untouched — they are cumulative).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.ring.clear();
+        inner.raised = 0;
+        inner.deduped = 0;
+        inner.dropped = 0;
+    }
+
+    /// JSON exposition for `GET /alerts` and the CLI:
+    /// `{"alerts": [...], "raised": n, "deduped": n, "dropped": n}`.
+    pub fn to_json(&self) -> JsonValue {
+        let inner = self.inner.lock().unwrap();
+        JsonValue::obj([
+            ("alerts", JsonValue::Arr(inner.ring.iter().map(AlertEvent::to_json).collect())),
+            ("raised", JsonValue::Num(inner.raised as f64)),
+            ("deduped", JsonValue::Num(inner.deduped as f64)),
+            ("dropped", JsonValue::Num(inner.dropped as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raises_append_and_snapshot_in_order() {
+        let sink = AlertSink::new(8);
+        sink.raise(AlertKind::DriftDetected, Severity::Warning, "mdape rose", 12.5, None);
+        sink.raise(AlertKind::ModelSwapped, Severity::Info, "v2 live", 0.0, None);
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].kind, AlertKind::DriftDetected);
+        assert_eq!(snap[0].seq, 0);
+        assert_eq!(snap[1].kind, AlertKind::ModelSwapped);
+        assert_eq!(snap[1].seq, 1);
+        assert_eq!(sink.raised(), 2);
+    }
+
+    #[test]
+    fn consecutive_duplicates_merge() {
+        let sink = AlertSink::new(8);
+        for i in 0..5 {
+            sink.raise(AlertKind::ShedBurn, Severity::Warning, "shedding", i as f64, None);
+        }
+        sink.raise(AlertKind::ShedBurn, Severity::Warning, "different msg", 9.0, None);
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].count, 5);
+        assert_eq!(snap[0].value, 4.0, "value refreshes on merge");
+        assert_eq!(snap[1].count, 1);
+        assert_eq!(sink.raised(), 6);
+    }
+
+    #[test]
+    fn dedup_escalates_severity_but_never_downgrades() {
+        let sink = AlertSink::new(8);
+        sink.raise(AlertKind::InvariantViolation, Severity::Warning, "x", 0.0, None);
+        sink.raise(AlertKind::InvariantViolation, Severity::Critical, "x", 0.0, None);
+        sink.raise(AlertKind::InvariantViolation, Severity::Info, "x", 0.0, None);
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let sink = AlertSink::new(3);
+        for i in 0..5 {
+            sink.raise(AlertKind::CapacityChange, Severity::Info, format!("w{i}"), 0.5, Some(i));
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].message, "w2");
+        assert_eq!(snap[2].message, "w4");
+        assert_eq!(snap[2].sim_us, Some(4));
+        let json = sink.to_json().to_string();
+        let v = JsonValue::parse(&json).unwrap();
+        assert_eq!(v.field("dropped").unwrap().as_usize().unwrap(), 2);
+        assert_eq!(v.field("alerts").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn raises_bump_global_prometheus_counters() {
+        let before = Registry::global().counter("alerts.drift").get();
+        let sink = AlertSink::new(4);
+        sink.raise(AlertKind::DriftDetected, Severity::Warning, "d", 1.0, None);
+        sink.raise(AlertKind::DriftDetected, Severity::Warning, "d", 2.0, None);
+        assert_eq!(Registry::global().counter("alerts.drift").get(), before + 2);
+        let prom = Registry::global().to_prometheus();
+        assert!(prom.contains("# TYPE alerts_drift counter"), "{prom}");
+    }
+
+    #[test]
+    fn clear_resets_ring_and_tallies() {
+        let sink = AlertSink::new(4);
+        sink.raise(AlertKind::ModelSwapped, Severity::Info, "v1", 0.0, None);
+        sink.clear();
+        assert!(sink.snapshot().is_empty());
+        assert_eq!(sink.raised(), 0);
+        let v = JsonValue::parse(&sink.to_json().to_string()).unwrap();
+        assert_eq!(v.field("raised").unwrap().as_usize().unwrap(), 0);
+    }
+
+    #[test]
+    fn json_shape_round_trips() {
+        let sink = AlertSink::new(4);
+        sink.raise(AlertKind::DriftDetected, Severity::Warning, "mdape 31.4 > 25", 31.4, None);
+        let v = JsonValue::parse(&sink.to_json().to_string()).unwrap();
+        let alerts = v.field("alerts").unwrap().as_arr().unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].field("kind").unwrap().as_str().unwrap(), "drift");
+        assert_eq!(alerts[0].field("severity").unwrap().as_str().unwrap(), "warning");
+        assert_eq!(alerts[0].field("value").unwrap().as_f64().unwrap(), 31.4);
+        assert_eq!(alerts[0].field("count").unwrap().as_usize().unwrap(), 1);
+    }
+}

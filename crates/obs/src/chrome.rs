@@ -113,6 +113,20 @@ pub fn chrome_trace(threads: &[ThreadTrace]) -> JsonValue {
                         ("pid", JsonValue::Num(PID_WALL)),
                         ("tid", JsonValue::Num(t.tid as f64)),
                     ]));
+                    // Sim-stamped instants (capacity ModChange boundaries,
+                    // sim-raised alerts) also mark the sim-virtual-time
+                    // track, on the same per-epoch lane as its spans.
+                    if let Some(s) = ev.sim_us {
+                        sim.push(JsonValue::obj([
+                            ("name", JsonValue::Str(ev.name.to_string())),
+                            ("cat", JsonValue::Str("wdt".to_string())),
+                            ("ph", JsonValue::Str("i".to_string())),
+                            ("s", JsonValue::Str("t".to_string())),
+                            ("ts", JsonValue::Num(s as f64)),
+                            ("pid", JsonValue::Num(PID_SIM)),
+                            ("tid", JsonValue::Num((t.tid * 10_000 + sim_epoch) as f64)),
+                        ]));
+                    }
                 }
                 Phase::Counter => {
                     wall.push(JsonValue::obj([
@@ -290,6 +304,34 @@ mod tests {
         let doc = chrome_trace(&[t]);
         let summary = validate(&doc);
         assert_eq!(summary.spans, 1); // "open", force-closed at last ts
+    }
+
+    #[test]
+    fn sim_stamped_instants_mark_both_clock_domains() {
+        let t = ThreadTrace {
+            tid: 4,
+            dropped: 0,
+            events: vec![
+                ev("sim.run", Phase::Begin, 10, Some(0)),
+                ev("alert.capacity_change", Phase::Instant, 15, Some(5_000)),
+                ev("plain.mark", Phase::Instant, 16, None),
+                ev("sim.run", Phase::End, 20, Some(10_000)),
+            ],
+        };
+        let doc = chrome_trace(&[t]);
+        validate(&doc);
+        let events = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        let instants: Vec<_> =
+            events.iter().filter(|e| e.field("ph").unwrap().as_str().unwrap() == "i").collect();
+        // Sim-stamped instant appears on both tracks; the plain one only
+        // on the wall track.
+        assert_eq!(instants.len(), 3);
+        let on_sim: Vec<_> =
+            instants.iter().filter(|e| e.field("pid").unwrap().as_usize().unwrap() == 2).collect();
+        assert_eq!(on_sim.len(), 1);
+        assert_eq!(on_sim[0].field("name").unwrap().as_str().unwrap(), "alert.capacity_change");
+        assert_eq!(on_sim[0].field("ts").unwrap().as_f64().unwrap(), 5_000.0);
+        assert_eq!(on_sim[0].field("tid").unwrap().as_usize().unwrap(), 40_000);
     }
 
     #[test]

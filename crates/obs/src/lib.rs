@@ -16,19 +16,27 @@
 //! * **Chrome trace-event exporter** ([`chrome_trace`]) — converts flight
 //!   recorder contents into `chrome://tracing` / Perfetto JSON, with wall
 //!   time and sim virtual time as separate clock domains (pid 1 and 2).
+//! * **Alert pipeline** ([`alerts`]) — typed [`AlertEvent`]s (drift,
+//!   model swap, shed burn, capacity change, invariant violation) from
+//!   the retrain loop, serve metrics, and sim engine flow into a bounded
+//!   dedup ring, mirrored as Prometheus counters in the global registry
+//!   and as trace instants. Observe-only: raising an alert never feeds
+//!   back into simulation or serving state.
 //!
 //! A panic hook ([`install_panic_hook`]) flushes the last N events and a
 //! registry snapshot to disk, so a failed campaign leaves a post-mortem
 //! artifact.
 
+pub mod alerts;
 pub mod chrome;
 pub mod recorder;
 pub mod registry;
 
+pub use alerts::{AlertEvent, AlertKind, AlertSink, Severity};
 pub use chrome::{chrome_trace, export_chrome, validate_chrome_trace, TraceSummary};
 pub use recorder::{
-    clear, counter, flight_recorder_json, install_panic_hook, instant, postmortem_json, snapshot,
-    span, span_at, span_at_detail, Phase, Span, ThreadTrace, TraceEvent,
+    clear, counter, flight_recorder_json, install_panic_hook, instant, instant_at, postmortem_json,
+    snapshot, span, span_at, span_at_detail, Phase, Span, ThreadTrace, TraceEvent,
 };
 pub use registry::{Counter, Gauge, Registry};
 

@@ -221,6 +221,23 @@ pub fn instant(name: &'static str) {
     });
 }
 
+/// Record a point event that also carries the sim virtual clock (µs), so
+/// the Chrome export can mark it on the sim-time track as well — used
+/// for capacity `ModChange` boundaries and sim-raised alerts.
+#[inline]
+pub fn instant_at(name: &'static str, sim_us: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name,
+        phase: Phase::Instant,
+        wall_us: wall_us(),
+        sim_us: Some(sim_us),
+        value: 0.0,
+    });
+}
+
 /// Record a sampled counter value (rendered as a counter track by
 /// Perfetto).
 #[inline]

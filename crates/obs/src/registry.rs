@@ -140,7 +140,10 @@ impl Registry {
     }
 
     /// Prometheus text exposition: `# TYPE` lines, counters/gauges as
-    /// plain samples, histograms as summaries with `quantile` labels.
+    /// plain samples, histograms as true cumulative `_bucket{le=…}` /
+    /// `_sum` / `_count` series (power-of-two bucket upper bounds plus
+    /// the mandatory `+Inf` bucket), so burn rates and
+    /// `histogram_quantile()` are computable by standard tooling.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             name.chars()
@@ -158,13 +161,15 @@ impl Registry {
         }
         for (k, h) in self.hists.lock().unwrap().iter() {
             let k = sanitize(k);
-            out.push_str(&format!("# TYPE {k} summary\n"));
-            for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
-                out.push_str(&format!("{k}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
+            out.push_str(&format!("# TYPE {k} histogram\n"));
+            let mut cum = 0u64;
+            for (le, c) in h.buckets() {
+                cum += c;
+                out.push_str(&format!("{k}_bucket{{le=\"{le}\"}} {cum}\n"));
             }
             let count = h.count();
-            let sum = h.mean() * count as f64;
-            out.push_str(&format!("{k}_sum {sum}\n{k}_count {count}\n"));
+            out.push_str(&format!("{k}_bucket{{le=\"+Inf\"}} {count}\n"));
+            out.push_str(&format!("{k}_sum {}\n{k}_count {count}\n", h.sum()));
         }
         out
     }
@@ -221,9 +226,34 @@ mod tests {
         let text = reg.to_prometheus();
         assert!(text.contains("# TYPE sim_events counter\nsim_events 3\n"));
         assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 4\n"));
-        assert!(text.contains("# TYPE lat summary\n"));
-        assert!(text.contains("lat{quantile=\"0.5\"}"));
+        assert!(text.contains("# TYPE lat histogram\n"));
+        // 16 lands in the [16, 32) bucket → inclusive upper bound 31.
+        assert!(text.contains("lat_bucket{le=\"31\"} 1\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_sum 16\n"));
         assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_monotone() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [0u64, 1, 2, 3, 16, 16, 1000] {
+            h.record(v);
+        }
+        let text = reg.to_prometheus();
+        let mut prev = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.starts_with("lat_bucket")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= prev, "buckets must be cumulative: {text}");
+            prev = count;
+            bucket_lines += 1;
+        }
+        assert!(bucket_lines >= 4, "expected several buckets + +Inf:\n{text}");
+        assert!(text.ends_with("lat_sum 1038\nlat_count 7\n"), "{text}");
+        // The +Inf bucket equals the total count.
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 7\n"));
     }
 
     #[test]

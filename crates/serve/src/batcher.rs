@@ -21,7 +21,7 @@
 //! offline single-row prediction.
 
 use crate::metrics::ServerMetrics;
-use crate::registry::ModelRegistry;
+use crate::registry::{LoadedModel, ModelRegistry};
 use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -62,6 +62,35 @@ pub struct Prediction {
     pub version: Arc<str>,
     /// Size of the batch this row rode in (observability).
     pub batch_size: usize,
+    /// Per-feature attribution, present only for `/explain` submissions.
+    pub explain: Option<Explanation>,
+}
+
+/// Saabas-style path attribution for one served prediction:
+/// `rate == bias + Σ contributions` **bitwise** (the reconciliation in
+/// `wdt_ml::exact_reconcile` guarantees the fold lands on the served
+/// rate exactly).
+#[derive(Clone)]
+pub struct Explanation {
+    /// Attribution intercept (base score plus per-tree root values).
+    pub bias: f64,
+    /// Signed contribution per kept feature, in the model's kept-column
+    /// order (`FittedModel::feature_names` gives the matching names).
+    pub contributions: Vec<f64>,
+    /// The exact model version that produced the attribution — carried
+    /// so rendering reads feature names from the same artifact even if
+    /// a hot-swap lands between inference and emit.
+    pub model: Arc<LoadedModel>,
+}
+
+impl std::fmt::Debug for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explanation")
+            .field("bias", &self.bias)
+            .field("contributions", &self.contributions)
+            .field("version", &self.model.version)
+            .finish()
+    }
 }
 
 /// Why a submission was rejected.
@@ -112,6 +141,10 @@ struct Job {
     row: Vec<f64>,
     enqueued: Instant,
     reply: ReplySink,
+    /// `Some(buffer)` marks an `/explain` submission: the batch worker
+    /// fills the buffer with per-feature contributions. The vector is
+    /// caller-supplied so the event loop can recycle it through a pool.
+    explain: Option<Vec<f64>>,
 }
 
 struct Shared {
@@ -172,14 +205,27 @@ impl Batcher {
     /// [`Prediction`], or the queue is full / shutting down.
     pub fn submit(&self, row: Vec<f64>) -> Result<Receiver<Prediction>, SubmitError> {
         let (reply, rx) = sync_channel(1);
-        self.submit_with(row, ReplySink::Channel(reply))?;
+        self.submit_with(row, None, ReplySink::Channel(reply))?;
+        Ok(rx)
+    }
+
+    /// Enqueue one row whose reply carries an [`Explanation`].
+    pub fn submit_explain(&self, row: Vec<f64>) -> Result<Receiver<Prediction>, SubmitError> {
+        let (reply, rx) = sync_channel(1);
+        self.submit_with(row, Some(Vec::new()), ReplySink::Channel(reply))?;
         Ok(rx)
     }
 
     /// Enqueue one row with an explicit reply sink. Every admitted sink
     /// is delivered exactly once, even across shutdown (the drain in
     /// [`Batcher::shutdown`] finishes the queue before workers exit).
-    pub fn submit_with(&self, row: Vec<f64>, reply: ReplySink) -> Result<(), SubmitError> {
+    /// `explain: Some(buffer)` requests per-feature attributions.
+    pub fn submit_with(
+        &self,
+        row: Vec<f64>,
+        explain: Option<Vec<f64>>,
+        reply: ReplySink,
+    ) -> Result<(), SubmitError> {
         let notify = {
             let mut q = self.shared.queue.lock().expect("batch queue poisoned");
             if q.shutdown {
@@ -188,7 +234,7 @@ impl Batcher {
             if q.jobs.len() >= self.shared.cfg.queue_cap {
                 return Err(SubmitError::Overloaded);
             }
-            q.jobs.push_back(Job { row, enqueued: Instant::now(), reply });
+            q.jobs.push_back(Job { row, enqueued: Instant::now(), reply, explain });
             self.shared.metrics.queue_depth.set(q.jobs.len() as f64);
             // Wake a worker when the queue goes non-empty, and wake
             // another when a full batch exists. Intermediate pushes stay
@@ -252,9 +298,10 @@ fn batch_loop(shared: &Shared) {
     let cfg = &shared.cfg;
     let mut batch: Vec<Job> = Vec::new();
     let mut rows: Vec<Vec<f64>> = Vec::new();
-    let mut replies: Vec<(Instant, ReplySink)> = Vec::new();
+    let mut replies: Vec<(Instant, ReplySink, Option<Vec<f64>>)> = Vec::new();
     let mut rates: Vec<f64> = Vec::new();
     let mut scratch = wdt_model::PredictScratch::default();
+    let mut explain_scratch = wdt_model::PredictScratch::default();
     loop {
         batch.clear();
         {
@@ -310,20 +357,34 @@ fn batch_loop(shared: &Shared) {
         replies.clear();
         for job in batch.drain(..) {
             rows.push(job.row);
-            replies.push((job.enqueued, job.reply));
+            replies.push((job.enqueued, job.reply, job.explain));
         }
         // `predict_into` is bitwise-identical to `predict` (it runs the
         // same serial block kernel) but reuses `rates` and `scratch`.
         loaded.model.predict_into(&rows, &mut rates, &mut scratch);
         shared.metrics.batch_size.record(n as u64);
-        for (((enqueued, reply), &rate), row) in
-            replies.drain(..).zip(rates.iter()).zip(rows.drain(..))
+        for ((enqueued, reply, explain_buf), (&rate, row)) in
+            replies.drain(..).zip(rates.iter().zip(rows.drain(..)))
         {
             shared.metrics.predict_latency_us.record(enqueued.elapsed().as_micros() as u64);
+            // Explain submissions rerun the row through the attribution
+            // kernel; its prediction fold is bitwise-identical to the
+            // batch result, and serving the fold's own target makes
+            // `bias + Σ contributions == rate` hold by construction.
+            let (rate, explain) = match explain_buf {
+                Some(mut contribs) => {
+                    let (bias, pred) =
+                        loaded.model.explain_row_into(&row, &mut contribs, &mut explain_scratch);
+                    debug_assert_eq!(pred.to_bits(), rate.to_bits());
+                    let e = Explanation { bias, contributions: contribs, model: loaded.clone() };
+                    (pred, Some(e))
+                }
+                None => (rate, None),
+            };
             // The version Arc is pre-built at model load time: cloning
             // is a refcount bump, not a per-batch string allocation.
             reply.deliver(
-                Prediction { rate, version: loaded.version_shared.clone(), batch_size: n },
+                Prediction { rate, version: loaded.version_shared.clone(), batch_size: n, explain },
                 row,
             );
         }
@@ -376,6 +437,28 @@ mod tests {
             assert!(p.batch_size >= 1);
         }
         assert!(metrics.batch_size.count() >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn explained_predictions_reconstruct_the_served_rate_bitwise() {
+        let (registry, offline) = test_registry("explain");
+        let metrics = Arc::new(ServerMetrics::new());
+        let batcher = Batcher::start(registry.clone(), metrics, BatchConfig::default());
+        let w = registry.schema().width();
+        for i in 0..8usize {
+            let row: Vec<f64> = (0..w).map(|j| ((i + j * 5) % 13) as f64 / 2.0).collect();
+            let p = batcher.submit_explain(row.clone()).expect("admit").recv().expect("reply");
+            let e = p.explain.as_ref().expect("explanation present");
+            let fold = e.contributions.iter().fold(e.bias, |a, &c| a + c);
+            assert_eq!(fold.to_bits(), p.rate.to_bits(), "row {i}: fold must hit the rate");
+            assert_eq!(
+                p.rate.to_bits(),
+                offline.predict_row(&row).to_bits(),
+                "explained rate must equal offline prediction"
+            );
+            assert_eq!(e.contributions.len(), e.model.model.feature_names().len());
+        }
         batcher.shutdown();
     }
 

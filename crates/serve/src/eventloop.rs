@@ -59,8 +59,8 @@ use crate::http::{render_response_into, HttpError, RequestParser};
 use crate::metrics::ServerMetrics;
 use crate::registry::ModelRegistry;
 use crate::routes::{
-    prediction_body, protocol_error_response, route, submit_error_response, Body, Ctx, Routed,
-    BODY_NON_FINITE,
+    explain_body, prediction_body, protocol_error_response, route, submit_error_response, Body,
+    Ctx, Routed, BODY_NON_FINITE,
 };
 use crate::server::{Frontend, ServeConfig, Server};
 use crate::shim::{poll_fds, writev_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
@@ -215,8 +215,15 @@ impl Conn {
 /// emitted after a close-flagged one sealed the connection is dropped
 /// (it can only be pipelined surplus behind a protocol error); its
 /// prediction metrics are skipped too — it never hits the wire.
-fn emit(c: &mut Conn, pending: Pending, ctx: &Ctx, body: &mut String) {
+fn emit(c: &mut Conn, pending: Pending, ctx: &Ctx, scratch: &mut ShardScratch) {
     if c.close_after_write {
+        // Contribution buffers of dropped surplus responses still go
+        // back to the pool.
+        if let Pending::Predict(mut p, _, _) = pending {
+            if let Some(e) = p.explain.take() {
+                give_back_contribs(&mut scratch.contrib_pool, e.contributions);
+            }
+        }
         return;
     }
     let close = match pending {
@@ -224,11 +231,15 @@ fn emit(c: &mut Conn, pending: Pending, ctx: &Ctx, body: &mut String) {
             render_response_into(&mut c.out, status, reason, b.as_bytes(), close);
             close
         }
-        Pending::Predict(p, close, started) => {
+        Pending::Predict(mut p, close, started) => {
             if p.rate.is_finite() {
-                body.clear();
-                prediction_body(&p, body);
-                render_response_into(&mut c.out, 200, "OK", body.as_bytes(), close);
+                scratch.body.clear();
+                if p.explain.is_some() {
+                    explain_body(&p, ctx.explain_top, &mut scratch.body);
+                } else {
+                    prediction_body(&p, &mut scratch.body);
+                }
+                render_response_into(&mut c.out, 200, "OK", scratch.body.as_bytes(), close);
                 ctx.metrics.on_response(200);
                 ctx.metrics.on_prediction(started.elapsed().as_micros() as u64);
             } else {
@@ -240,6 +251,9 @@ fn emit(c: &mut Conn, pending: Pending, ctx: &Ctx, body: &mut String) {
                     close,
                 );
                 ctx.metrics.on_response(500);
+            }
+            if let Some(e) = p.explain.take() {
+                give_back_contribs(&mut scratch.contrib_pool, e.contributions);
             }
             close
         }
@@ -253,15 +267,15 @@ fn emit(c: &mut Conn, pending: Pending, ctx: &Ctx, body: &mut String) {
 /// File a finished response under its sequence number; if it is
 /// next-in-line, emit it — and everything it unblocks — into the write
 /// buffer. The common in-order case never touches the stash.
-fn stage(c: &mut Conn, seq: u64, pending: Pending, ctx: &Ctx, body: &mut String) {
+fn stage(c: &mut Conn, seq: u64, pending: Pending, ctx: &Ctx, scratch: &mut ShardScratch) {
     if seq != c.write_seq {
         c.stash.insert(seq, pending);
         return;
     }
-    emit(c, pending, ctx, body);
+    emit(c, pending, ctx, scratch);
     c.write_seq += 1;
     while let Some(p) = c.stash.remove(&c.write_seq) {
-        emit(c, p, ctx, body);
+        emit(c, p, ctx, scratch);
         c.write_seq += 1;
     }
 }
@@ -293,6 +307,7 @@ impl EventLoopServer {
             batcher,
             metrics,
             stopping: Arc::new(AtomicBool::new(false)),
+            explain_top: cfg.explain_top,
         });
 
         let mut shards = Vec::new();
@@ -474,6 +489,9 @@ fn waker_pair() -> std::io::Result<(TcpStream, TcpStream)> {
 struct ShardScratch {
     body: String,
     row_pool: Vec<Vec<f64>>,
+    /// Contribution-vector pool for `/explain`: buffers travel to the
+    /// batch worker inside the job and come home with the completion.
+    contrib_pool: Vec<Vec<f64>>,
     done: Vec<Completion>,
 }
 
@@ -492,8 +510,12 @@ fn shard_loop(
     let mut next_gen: u64 = 0;
     let mut fds: Vec<PollFd> = Vec::new();
     let mut fd_slots: Vec<usize> = Vec::new();
-    let mut scratch =
-        ShardScratch { body: String::with_capacity(128), row_pool: Vec::new(), done: Vec::new() };
+    let mut scratch = ShardScratch {
+        body: String::with_capacity(128),
+        row_pool: Vec::new(),
+        contrib_pool: Vec::new(),
+        done: Vec::new(),
+    };
 
     loop {
         let stopping = ctx.stopping.load(Ordering::SeqCst);
@@ -579,6 +601,7 @@ fn shard_loop(
                         rate: comp.pred.rate,
                         version: comp.pred.version.clone(),
                         batch_size: comp.pred.batch_size,
+                        explain: comp.pred.explain.take(),
                     },
                     close: comp.close,
                     started: comp.started,
@@ -588,12 +611,22 @@ fn shard_loop(
             give_back_row(&mut scratch.row_pool, row);
             let slot = (token & 0xFFFF_FFFF) as usize;
             let finished = {
-                let Some(c) = conns.get_mut(slot).and_then(Option::as_mut) else { continue };
+                let Some(c) = conns.get_mut(slot).and_then(Option::as_mut) else {
+                    if let Some(e) = pred.explain {
+                        give_back_contribs(&mut scratch.contrib_pool, e.contributions);
+                    }
+                    continue;
+                };
                 if c.token != token {
-                    continue; // stale: that connection died mid-predict
+                    // Stale: that connection died mid-predict. Keep the
+                    // contribution buffer anyway.
+                    if let Some(e) = pred.explain {
+                        give_back_contribs(&mut scratch.contrib_pool, e.contributions);
+                    }
+                    continue;
                 }
                 c.in_flight -= 1;
-                stage(c, seq, Pending::Predict(pred, close, started), ctx, &mut scratch.body);
+                stage(c, seq, Pending::Predict(pred, close, started), ctx, &mut scratch);
                 // Pipelined requests beyond the in-flight cap may still
                 // be waiting in the parser buffer.
                 if !c.close_after_write {
@@ -669,7 +702,7 @@ fn shard_loop(
                     ctx.metrics.on_response(status);
                     let seq = c.next_seq;
                     c.next_seq += 1;
-                    stage(c, seq, Pending::Raw(status, reason, body, true), ctx, &mut scratch.body);
+                    stage(c, seq, Pending::Raw(status, reason, body, true), ctx, &mut scratch);
                 }
                 flush_conn(c)
             };
@@ -704,6 +737,14 @@ fn shard_loop(
 fn give_back_row(pool: &mut Vec<Vec<f64>>, row: Vec<f64>) {
     if pool.len() < ROW_POOL_MAX {
         pool.push(row);
+    }
+}
+
+/// Return a contribution vector to the pool (bounded; surplus drops).
+fn give_back_contribs(pool: &mut Vec<Vec<f64>>, mut contribs: Vec<f64>) {
+    if pool.len() < ROW_POOL_MAX {
+        contribs.clear();
+        pool.push(contribs);
     }
 }
 
@@ -784,15 +825,13 @@ fn process_requests(
                     Routed::Done(status, reason, body) => {
                         give_back_row(&mut scratch.row_pool, row);
                         ctx.metrics.on_response(status);
-                        stage(
-                            c,
-                            seq,
-                            Pending::Raw(status, reason, body, close),
-                            ctx,
-                            &mut scratch.body,
-                        );
+                        stage(c, seq, Pending::Raw(status, reason, body, close), ctx, scratch);
                     }
-                    Routed::Predict => {
+                    Routed::Predict | Routed::Explain => {
+                        let explain = match routed {
+                            Routed::Explain => Some(scratch.contrib_pool.pop().unwrap_or_default()),
+                            _ => None,
+                        };
                         let sink = ReplySink::Shard(ShardSink {
                             shared: shared.clone(),
                             token: c.token,
@@ -800,7 +839,7 @@ fn process_requests(
                             close,
                             started: Instant::now(),
                         });
-                        match ctx.batcher.submit_with(row, sink) {
+                        match ctx.batcher.submit_with(row, explain, sink) {
                             Ok(()) => c.in_flight += 1,
                             Err(e) => {
                                 let (status, reason, body) = submit_error_response(&e);
@@ -810,7 +849,7 @@ fn process_requests(
                                     seq,
                                     Pending::Raw(status, reason, body, close),
                                     ctx,
-                                    &mut scratch.body,
+                                    scratch,
                                 );
                             }
                         }
@@ -834,7 +873,7 @@ fn process_requests(
                     ctx.metrics.on_response(status);
                     let seq = c.next_seq;
                     c.next_seq += 1;
-                    stage(c, seq, Pending::Raw(status, reason, body, true), ctx, &mut scratch.body);
+                    stage(c, seq, Pending::Raw(status, reason, body, true), ctx, scratch);
                 } else if c.in_flight == 0 && c.stash.is_empty() {
                     // Nothing pending and nothing to answer: drop now.
                     c.close_after_write = true;

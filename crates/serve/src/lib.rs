@@ -45,7 +45,7 @@ mod rowscan;
 pub mod server;
 pub mod shim;
 
-pub use batcher::{BatchConfig, Batcher, Prediction, SubmitError};
+pub use batcher::{BatchConfig, Batcher, Explanation, Prediction, SubmitError};
 pub use client::HttpClient;
 pub use eventloop::{AnyServer, EventLoopServer};
 pub use http::{RequestParser, DEFAULT_REQUEST_DEADLINE, IDLE_TICK};

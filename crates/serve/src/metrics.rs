@@ -38,8 +38,10 @@ pub struct ServerMetrics {
     /// Inference queue depth, updated by the batcher on enqueue/drain.
     pub queue_depth: Gauge,
     ep_predict: Counter,
+    ep_explain: Counter,
     ep_healthz: Counter,
     ep_metrics: Counter,
+    ep_alerts: Counter,
     ep_reload: Counter,
     ep_shutdown: Counter,
     ep_other: Counter,
@@ -61,8 +63,10 @@ impl ServerMetrics {
             batch_size: registry.histogram("serve.batch_size"),
             queue_depth: registry.gauge("serve.queue_depth"),
             ep_predict: registry.counter("serve.endpoint.predict"),
+            ep_explain: registry.counter("serve.endpoint.explain"),
             ep_healthz: registry.counter("serve.endpoint.healthz"),
             ep_metrics: registry.counter("serve.endpoint.metrics"),
+            ep_alerts: registry.counter("serve.endpoint.alerts"),
             ep_reload: registry.counter("serve.endpoint.reload"),
             ep_shutdown: registry.counter("serve.endpoint.shutdown"),
             ep_other: registry.counter("serve.endpoint.other"),
@@ -86,6 +90,20 @@ impl ServerMetrics {
         self.requests.inc();
         if status == 503 {
             self.shed.inc();
+            // Alert on the *onset* of a shed burn and every 1000 sheds
+            // thereafter — never per-503, so an overload storm does not
+            // pay a message allocation per shed response. Consecutive
+            // repeats dedup-merge in the sink anyway.
+            let n = self.shed.get();
+            if n == 1 || n.is_multiple_of(1000) {
+                wdt_obs::AlertSink::global().raise(
+                    wdt_obs::AlertKind::ShedBurn,
+                    wdt_obs::Severity::Warning,
+                    format!("admission control shedding ({n} total)"),
+                    n as f64,
+                    None,
+                );
+            }
         } else if status >= 400 {
             self.errors.inc();
         }
@@ -95,8 +113,10 @@ impl ServerMetrics {
     pub fn on_route(&self, method: &str, path: &str) {
         match (method, path) {
             ("POST", "/predict") => self.ep_predict.inc(),
+            ("POST", "/explain") => self.ep_explain.inc(),
             ("GET", "/healthz") => self.ep_healthz.inc(),
-            ("GET", "/metrics") => self.ep_metrics.inc(),
+            ("GET", "/metrics") | ("GET", "/metrics.prom") => self.ep_metrics.inc(),
+            ("GET", "/alerts") => self.ep_alerts.inc(),
             ("POST", "/reload") => self.ep_reload.inc(),
             ("POST", "/shutdown") => self.ep_shutdown.inc(),
             _ => self.ep_other.inc(),
@@ -123,8 +143,10 @@ impl ServerMetrics {
                 "endpoints",
                 JsonValue::obj([
                     ("predict", JsonValue::Num(self.ep_predict.get() as f64)),
+                    ("explain", JsonValue::Num(self.ep_explain.get() as f64)),
                     ("healthz", JsonValue::Num(self.ep_healthz.get() as f64)),
                     ("metrics", JsonValue::Num(self.ep_metrics.get() as f64)),
+                    ("alerts", JsonValue::Num(self.ep_alerts.get() as f64)),
                     ("reload", JsonValue::Num(self.ep_reload.get() as f64)),
                     ("shutdown", JsonValue::Num(self.ep_shutdown.get() as f64)),
                     ("other", JsonValue::Num(self.ep_other.get() as f64)),

@@ -50,6 +50,8 @@ pub(crate) struct Ctx {
     pub batcher: Arc<Batcher>,
     pub metrics: Arc<ServerMetrics>,
     pub stopping: Arc<AtomicBool>,
+    /// How many top-|contribution| features `/explain` names explicitly.
+    pub explain_top: usize,
 }
 
 /// What to do with a parsed request.
@@ -59,6 +61,9 @@ pub(crate) enum Routed {
     /// A `/predict` row admitted past validation into the caller's `row`
     /// scratch; the caller submits it to the batcher its own way.
     Predict,
+    /// An `/explain` row: same admission as `Predict`, but the caller
+    /// requests per-feature attributions alongside the prediction.
+    Explain,
 }
 
 /// Dispatch one request. Admin endpoints are answered inline; `/predict`
@@ -82,6 +87,23 @@ pub(crate) fn route(
                 Ok(()) => Routed::Predict,
                 Err(msg) => Routed::Done(400, "Bad Request", error_body(&msg).into()),
             }
+        }
+        (Method::Post, b"/explain") => {
+            match crate::rowscan::scan_feature_row(body, ctx.registry.schema(), row) {
+                Ok(()) => Routed::Explain,
+                Err(msg) => Routed::Done(400, "Bad Request", error_body(&msg).into()),
+            }
+        }
+        (Method::Get, b"/alerts") => {
+            Routed::Done(200, "OK", wdt_obs::AlertSink::global().to_json().to_string().into())
+        }
+        (Method::Get, b"/metrics.prom") => {
+            // Server-local serve.* series plus the process-global
+            // registry (alert counters, sim/ingest metrics); name
+            // prefixes keep the two namespaces disjoint.
+            let mut text = ctx.metrics.to_prometheus();
+            text.push_str(&wdt_obs::Registry::global().to_prometheus());
+            Routed::Done(200, "OK", text.into())
         }
         (Method::Get, b"/healthz") => {
             let version = ctx.registry.current().version.clone();
@@ -142,6 +164,78 @@ pub(crate) fn prediction_body(p: &Prediction, out: &mut String) {
     out.push('}');
 }
 
+/// Append the wire body for an explained prediction to `out` — flat
+/// JSON, alphabetical keys, no nested objects (the body contains exactly
+/// one `}`, which response-framing test clients rely on):
+/// `{"bias":B,"contributions":[…],"features":[…],"prediction":P,`
+/// `"top":[["name",c],…],"version":"V"}`. `contributions` is complete
+/// and ordered like `features` (the model's kept columns), so
+/// `bias + Σ contributions` folds to `prediction` bitwise; `top` names
+/// the `top` largest-|contribution| features for human eyes. Callers
+/// must have handled the non-finite guard first.
+pub(crate) fn explain_body(p: &Prediction, top: usize, out: &mut String) {
+    let e = p.explain.as_ref().expect("explain body without an explanation");
+    out.push_str("{\"bias\":");
+    format_f64(e.bias, out);
+    out.push_str(",\"contributions\":[");
+    for (i, c) in e.contributions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        format_f64(*c, out);
+    }
+    out.push_str("],\"features\":[");
+    let names = e.model.model.feature_names();
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(n, out);
+    }
+    out.push_str("],\"prediction\":");
+    format_f64(p.rate, out);
+    out.push_str(",\"top\":[");
+    // Selection without allocation: repeated strict-`>` max scans over a
+    // bitmask of already-chosen slots (first index wins ties). The mask
+    // caps candidates at 128 features — far beyond any real schema.
+    let k = top.min(e.contributions.len()).min(128);
+    let mut chosen: u128 = 0;
+    for rank in 0..k {
+        let mut best: Option<usize> = None;
+        for (j, c) in e.contributions.iter().enumerate().take(128) {
+            if chosen & (1u128 << j) != 0 {
+                continue;
+            }
+            if best.is_none_or(|b| c.abs() > e.contributions[b].abs()) {
+                best = Some(j);
+            }
+        }
+        let Some(j) = best else { break };
+        chosen |= 1u128 << j;
+        if rank > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        escape_into(&names[j], out);
+        out.push(',');
+        format_f64(e.contributions[j], out);
+        out.push(']');
+    }
+    out.push_str("],\"version\":");
+    escape_into(&p.version, out);
+    out.push('}');
+}
+
+/// Response for an explained prediction (covers the non-finite guard).
+pub(crate) fn explain_response(p: &Prediction, top: usize) -> (u16, &'static str, Body) {
+    if !p.rate.is_finite() {
+        return (500, "Internal Server Error", BODY_NON_FINITE.into());
+    }
+    let mut body = String::with_capacity(256);
+    explain_body(p, top, &mut body);
+    (200, "OK", body.into())
+}
+
 /// Response for a completed prediction (covers the non-finite guard).
 pub(crate) fn prediction_response(p: &Prediction) -> (u16, &'static str, Body) {
     if !p.rate.is_finite() {
@@ -200,7 +294,12 @@ mod tests {
     #[test]
     fn prediction_body_matches_tree_rendering() {
         for rate in [12.5, -0.0, 3.0, 1.0e-7, 123456789.25] {
-            let p = Prediction { rate, version: "v0001-quoted\"x".into(), batch_size: 17 };
+            let p = Prediction {
+                rate,
+                version: "v0001-quoted\"x".into(),
+                batch_size: 17,
+                explain: None,
+            };
             let mut got = String::new();
             prediction_body(&p, &mut got);
             let want = JsonValue::obj([
@@ -211,5 +310,50 @@ mod tests {
             .to_string();
             assert_eq!(got, want, "body mismatch at rate {rate}");
         }
+    }
+
+    /// The `/explain` body must be flat (exactly one `}`, for framing by
+    /// brace counting), parse as JSON, and fold back to the served
+    /// prediction bitwise.
+    #[test]
+    fn explain_body_is_flat_and_folds_to_prediction() {
+        use crate::batcher::Explanation;
+        use crate::registry::LoadedModel;
+        use wdt_features::Dataset;
+        use wdt_model::{FitConfig, FittedModel, ModelKind};
+
+        let names = vec!["alpha".to_string(), "beta".to_string(), "gamma".to_string()];
+        let x: Vec<Vec<f64>> =
+            (0..80).map(|i| vec![(i % 7) as f64, (i % 5) as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - r[1] + 0.5 * r[2]).collect();
+        let model =
+            FittedModel::fit(&Dataset::new(names, x, y), ModelKind::Gbdt, &FitConfig::default())
+                .unwrap();
+        let row = vec![3.0, 1.0, 2.0];
+        let (bias, pred, contribs) = model.explain_row(&row);
+        let loaded = Arc::new(LoadedModel::new("v9".into(), model));
+        let p = Prediction {
+            rate: pred,
+            version: "v9".into(),
+            batch_size: 1,
+            explain: Some(Explanation { bias, contributions: contribs, model: loaded }),
+        };
+        let mut body = String::new();
+        explain_body(&p, 2, &mut body);
+        assert_eq!(body.bytes().filter(|&b| b == b'}').count(), 1, "{body}");
+        let v = JsonValue::parse(&body).unwrap();
+        let bias = v.field("bias").unwrap().as_f64().unwrap();
+        let contribs = v.field("contributions").unwrap().as_f64_vec().unwrap();
+        let fold = contribs.iter().fold(bias, |a, &c| a + c);
+        let served = v.field("prediction").unwrap().as_f64().unwrap();
+        assert_eq!(fold.to_bits(), served.to_bits(), "{body}");
+        assert_eq!(v.field("features").unwrap().as_string_vec().unwrap().len(), contribs.len());
+        let top = v.field("top").unwrap().as_arr().unwrap();
+        assert_eq!(top.len(), 2);
+        // Top entries are [name, contribution] pairs, largest |c| first.
+        let c0 = top[0].as_arr().unwrap()[1].as_f64().unwrap();
+        let c1 = top[1].as_arr().unwrap()[1].as_f64().unwrap();
+        assert!(c0.abs() >= c1.abs(), "{body}");
+        assert_eq!(v.field("version").unwrap().as_str().unwrap(), "v9");
     }
 }

@@ -39,7 +39,9 @@ use crate::http::{
 };
 use crate::metrics::ServerMetrics;
 use crate::registry::ModelRegistry;
-use crate::routes::{prediction_response, protocol_error_response, route, submit_error_response};
+use crate::routes::{
+    explain_response, prediction_response, protocol_error_response, route, submit_error_response,
+};
 use crate::routes::{Body, Ctx, Routed};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -74,6 +76,9 @@ pub struct ServeConfig {
     pub request_deadline: Duration,
     /// Micro-batching knobs.
     pub batch: BatchConfig,
+    /// How many top-|contribution| features `/explain` names in its
+    /// `top` array (the full contribution vector is always included).
+    pub explain_top: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +89,7 @@ impl Default for ServeConfig {
             acceptors: 2,
             request_deadline: DEFAULT_REQUEST_DEADLINE,
             batch: BatchConfig::default(),
+            explain_top: 5,
         }
     }
 }
@@ -109,6 +115,7 @@ impl Server {
             batcher,
             metrics,
             stopping: Arc::new(AtomicBool::new(false)),
+            explain_top: cfg.explain_top,
         });
 
         let (conn_tx, conn_rx) = channel::<TcpStream>();
@@ -240,6 +247,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx, deadline: Duration) {
                 let (status, reason, body) = match routed {
                     Routed::Done(status, reason, body) => (status, reason, body),
                     Routed::Predict => blocking_predict(row, ctx),
+                    Routed::Explain => blocking_explain(row, ctx),
                 };
                 ctx.metrics.on_response(status);
                 if write_response(&mut stream, status, reason, &body, close).is_err() {
@@ -279,6 +287,30 @@ fn blocking_predict(row: Vec<f64>, ctx: &Ctx) -> (u16, &'static str, Body) {
     match rx.recv() {
         Ok(p) => {
             let (status, reason, body) = prediction_response(&p);
+            if status == 200 {
+                ctx.metrics.on_prediction(started.elapsed().as_micros() as u64);
+            }
+            (status, reason, body)
+        }
+        Err(_) => (
+            500,
+            "Internal Server Error",
+            crate::routes::error_body("inference worker gone").into(),
+        ),
+    }
+}
+
+/// Like [`blocking_predict`], but the reply carries per-feature
+/// attributions rendered into the `/explain` body.
+fn blocking_explain(row: Vec<f64>, ctx: &Ctx) -> (u16, &'static str, Body) {
+    let started = Instant::now();
+    let rx = match ctx.batcher.submit_explain(row) {
+        Ok(rx) => rx,
+        Err(e) => return submit_error_response(&e),
+    };
+    match rx.recv() {
+        Ok(p) => {
+            let (status, reason, body) = explain_response(&p, ctx.explain_top);
             if status == 200 {
                 ctx.metrics.on_prediction(started.elapsed().as_micros() as u64);
             }
@@ -356,6 +388,47 @@ mod tests {
         assert!(eps.field("metrics").unwrap().as_usize().unwrap() >= 1);
         assert!(v.field("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
         assert!(v.field("build").unwrap().field("version").is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn explain_matches_predict_bitwise_and_alerts_respond() {
+        let (server, offline) = start_test_server("explain-route");
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let names = server.registry().schema().names().to_vec();
+        let features = JsonValue::Obj(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), JsonValue::Num((i % 7) as f64 + 0.5)))
+                .collect(),
+        );
+        let (status, predict_body) = client.post("/predict", &features.to_string()).unwrap();
+        assert_eq!(status, 200, "{predict_body}");
+        let rate =
+            JsonValue::parse(&predict_body).unwrap().field("rate").unwrap().as_f64().unwrap();
+
+        let (status, body) = client.post("/explain", &features.to_string()).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = JsonValue::parse(&body).unwrap();
+        let prediction = v.field("prediction").unwrap().as_f64().unwrap();
+        assert_eq!(prediction.to_bits(), rate.to_bits(), "explain/predict must agree");
+        let bias = v.field("bias").unwrap().as_f64().unwrap();
+        let contribs = v.field("contributions").unwrap().as_f64_vec().unwrap();
+        let fold = contribs.iter().fold(bias, |a, &c| a + c);
+        assert_eq!(fold.to_bits(), prediction.to_bits(), "fold must hit the prediction");
+        let row: Vec<f64> = (0..names.len()).map(|i| (i % 7) as f64 + 0.5).collect();
+        assert_eq!(prediction.to_bits(), offline.predict_row(&row).to_bits());
+        assert_eq!(v.field("top").unwrap().as_arr().unwrap().len(), 5.min(contribs.len()));
+
+        let (status, body) = client.get("/alerts").unwrap();
+        assert_eq!(status, 200);
+        let v = JsonValue::parse(&body).unwrap();
+        assert!(v.field("alerts").unwrap().as_arr().is_ok(), "{body}");
+
+        let (status, body) = client.get("/metrics.prom").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE serve_requests counter"), "{body}");
         server.shutdown();
     }
 

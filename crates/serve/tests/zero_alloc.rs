@@ -72,8 +72,8 @@ const WARMUP_BURSTS: usize = 64;
 /// Measured bursts while the counter is armed.
 const ARMED_BURSTS: usize = 32;
 
-fn quick_registry() -> Arc<ModelRegistry> {
-    let dir = std::env::temp_dir().join("wdt-serve-zero-alloc");
+fn quick_registry(name: &str) -> Arc<ModelRegistry> {
+    let dir = std::env::temp_dir().join("wdt-serve-zero-alloc").join(name);
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("model dir");
     let schema = ServeSchema::prediction();
@@ -116,9 +116,12 @@ fn read_burst(stream: &mut TcpStream, buf: &mut [u8], n: usize) {
     assert_eq!(seen, n, "response framing drifted");
 }
 
-#[test]
-fn steady_state_predict_burst_allocates_nothing() {
-    let registry = quick_registry();
+/// Drive warm-up plus an armed window of pipelined bursts against
+/// `path` (`/predict` or `/explain` — both render flat single-`}`
+/// bodies) and return the number of heap acquisitions observed while
+/// armed.
+fn steady_state_allocs(path: &str, dirname: &str) -> u64 {
+    let registry = quick_registry(dirname);
     let schema_body = predict_body(registry.schema());
     let cfg = ServeConfig {
         port: 0,
@@ -131,13 +134,14 @@ fn steady_state_predict_burst_allocates_nothing() {
             queue_cap: 1024,
             workers: 1,
         },
+        explain_top: 5,
     };
     let server = EventLoopServer::start(registry, cfg).expect("start");
 
     // Pre-render the whole pipelined burst once; the armed loop only
     // replays these bytes.
     let one = format!(
-        "POST /predict HTTP/1.1\r\nHost: wdt\r\nContent-Type: application/json\r\n\
+        "POST {path} HTTP/1.1\r\nHost: wdt\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\n\r\n{}",
         schema_body.len(),
         schema_body
@@ -175,11 +179,27 @@ fn steady_state_predict_burst_allocates_nothing() {
 
     drop(stream);
     server.shutdown();
+    allocs
+}
 
+#[test]
+fn steady_state_predict_burst_allocates_nothing() {
+    let allocs = steady_state_allocs("/predict", "predict");
     assert_eq!(
         allocs,
         0,
         "steady-state /predict path allocated {allocs} times across {} requests",
+        ARMED_BURSTS * BURST
+    );
+}
+
+#[test]
+fn steady_state_explain_burst_allocates_nothing() {
+    let allocs = steady_state_allocs("/explain", "explain");
+    assert_eq!(
+        allocs,
+        0,
+        "steady-state /explain path allocated {allocs} times across {} requests",
         ARMED_BURSTS * BURST
     );
 }

@@ -95,6 +95,15 @@ pub fn enforce(context: &str, violations: &[Violation]) {
     if violations.len() > 20 {
         msg.push_str(&format!("  ... and {} more\n", violations.len() - 20));
     }
+    // Land the violation on the alert ring before panicking so the
+    // panic-hook postmortem artifact carries it.
+    wdt_obs::AlertSink::global().raise(
+        wdt_obs::AlertKind::InvariantViolation,
+        wdt_obs::Severity::Critical,
+        format!("{context}: {}", violations[0]),
+        violations.len() as f64,
+        None,
+    );
     panic!("{msg}");
 }
 

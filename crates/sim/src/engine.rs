@@ -948,6 +948,16 @@ impl Simulator {
                 // The endpoint's modulation factors changed at this
                 // instant; its cached capacities are stale.
                 self.mark_dirty(ep);
+                // Observe-only: mark the capacity-window boundary on the
+                // alert ring (and, when tracing, as a sim-track instant).
+                // Never feeds back into simulation state.
+                wdt_obs::AlertSink::global().raise(
+                    wdt_obs::AlertKind::CapacityChange,
+                    wdt_obs::Severity::Info,
+                    format!("endpoint {ep} capacity factors changed"),
+                    f64::from(ep.0),
+                    Some(self.sim_us()),
+                );
                 // Reallocate now only if a live flow touches the endpoint;
                 // otherwise the lazy refresh at the next reallocation is
                 // enough.

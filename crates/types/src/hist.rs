@@ -105,6 +105,34 @@ impl Histogram {
         self.max()
     }
 
+    /// Sum of all recorded values (wraps on overflow like the counters).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(le, count)` pairs in ascending order — the
+    /// raw material for cumulative Prometheus `_bucket` series. `le` is
+    /// the bucket's *inclusive* integer upper bound: bucket 0 holds zeros
+    /// (`le = 0`), bucket `i ≥ 1` spans `[2^(i−1), 2^i)` so `le = 2^i − 1`
+    /// (saturating to `u64::MAX` for the top bucket). Counts are
+    /// per-bucket, not cumulative; callers accumulate.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            let le = match i {
+                0 => 0,
+                64 => u64::MAX,
+                _ => (1u64 << i) - 1,
+            };
+            out.push((le, c));
+        }
+        out
+    }
+
     /// Fold another histogram into this one (e.g. per-thread shards).
     pub fn merge(&self, other: &Histogram) {
         for (a, b) in self.counts.iter().zip(&other.counts) {

@@ -18,9 +18,19 @@
 //! 3. **The trace is real** — the flight recorder captured engine spans
 //!    and the Chrome-trace export passes the structural validator
 //!    (parseable, monotone per track, properly nested).
+//! 4. **The alert plane is observe-only** — a capacity-window scenario
+//!    raises `CapacityChange` alerts at every `ModChange` boundary and
+//!    bumps the global alert counters, yet the run still matches its
+//!    committed golden digest, and a rerun with the ring already
+//!    populated is bit-identical (alert state never feeds back).
+//! 5. **Attribution is exact end to end** — a GBDT trained on the alerted
+//!    campaign explains every row such that `bias + Σ contributions`
+//!    reconstructs `predict_row` bitwise.
 
-use wdt_bench::CampaignSpec;
+use wdt_bench::{CampaignSpec, ScenarioCampaign};
 use wdt_check::TraceDigest;
+use wdt_features::extract_features;
+use wdt_model::{build_dataset, FitConfig, FittedModel, ModelKind};
 
 /// Must mirror the `wdt check` defaults in `crates/cli/src/commands.rs`.
 fn check_spec() -> CampaignSpec {
@@ -73,4 +83,59 @@ fn instrumentation_is_bit_transparent_and_traces_validate() {
     assert!(summary.spans > 0, "no spans in exported trace: {summary:?}");
     assert!(summary.tracks >= 2, "expected wall + sim clock tracks: {summary:?}");
     wdt_obs::clear();
+
+    // Part 4: the alert plane is observe-only. `degraded-backbone` has a
+    // capacity schedule, so every `ModChange` boundary raises a
+    // `CapacityChange` alert into the global ring — and the run must
+    // still match its committed golden digest exactly.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sink = wdt_obs::AlertSink::global();
+    sink.clear();
+    let counter = wdt_obs::Registry::global().counter("alerts.capacity_change");
+    let raised_before = counter.get();
+    let scen = ScenarioCampaign::from_file(&root.join("scenarios/degraded-backbone.json"))
+        .expect("bundled capacity scenario");
+    let golden = TraceDigest::from_text(
+        &std::fs::read_to_string(root.join("tests/golden/scenarios/degraded-backbone.digest"))
+            .expect("committed scenario digest"),
+    )
+    .expect("scenario digest parses");
+    let alerted = scen.simulate();
+    let digest1 = TraceDigest::from_records(&alerted.records);
+    assert_eq!(
+        golden.hash(),
+        digest1.hash(),
+        "alert-raising campaign drifted from its golden digest:\n{}",
+        golden.diff(&digest1).join("\n")
+    );
+    let snap = sink.snapshot();
+    assert!(
+        snap.iter().any(|a| a.kind == wdt_obs::AlertKind::CapacityChange),
+        "capacity scenario raised no CapacityChange alert: {snap:?}"
+    );
+    assert!(counter.get() > raised_before, "alerts.capacity_change counter did not move");
+    // Rerun with the ring already populated: alert state never feeds
+    // back into simulation state.
+    let rerun = scen.simulate();
+    assert_eq!(
+        digest1.hash(),
+        TraceDigest::from_records(&rerun.records).hash(),
+        "rerun with a populated alert ring diverged"
+    );
+    sink.clear();
+
+    // Part 5: attribution is exact on a campaign-trained model.
+    let data = build_dataset(&extract_features(&alerted.records), false);
+    let model =
+        FittedModel::fit(&data, ModelKind::Gbdt, &FitConfig::default()).expect("fit on campaign");
+    for row in data.x.iter().take(64) {
+        let (bias, pred, contribs) = model.explain_row(row);
+        assert_eq!(
+            pred.to_bits(),
+            model.predict_row(row).to_bits(),
+            "explain prediction diverged from predict_row"
+        );
+        let folded = contribs.iter().fold(bias, |acc, &c| acc + c);
+        assert_eq!(folded.to_bits(), pred.to_bits(), "attributions do not fold to prediction");
+    }
 }

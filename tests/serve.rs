@@ -345,6 +345,89 @@ fn pipelined_burst_parity_event_loop() {
     pipelined_burst_parity(Frontend::EventLoop, "pipeline-eventloop");
 }
 
+/// `/explain` is the explanation plane's wire contract: per-feature
+/// attributions whose fold `bias + Σ contributions` reconstructs the
+/// served prediction **bitwise**, agreeing with `/predict` on the same
+/// row and with the offline model attribution-for-attribution — and the
+/// contract survives a hot-swap. `/alerts` and `/metrics.prom` answer on
+/// the same connection.
+fn explain_parity_and_alerts(frontend: Frontend, name: &str) {
+    let (registry, offline) = quick_registry(name);
+    let dir = registry.dir().to_path_buf();
+    let server = AnyServer::start(registry, ServeConfig::default(), frontend).expect("start");
+    let names = server.registry().schema().names().to_vec();
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+
+    let check_row = |client: &mut HttpClient, row: &[f64], want_version: &str| {
+        let (version, rate) = predict_one(client, &names, row);
+        assert_eq!(version, want_version);
+        let (status, body) = client.post("/explain", &body_for(&names, row)).expect("explain");
+        assert_eq!(status, 200, "{body}");
+        let v = JsonValue::parse(&body).expect("explain json");
+        assert_eq!(v.field("version").unwrap().as_str().unwrap(), want_version);
+        let pred = v.field("prediction").unwrap().as_f64().unwrap();
+        assert_eq!(pred.to_bits(), rate.to_bits(), "explain != predict for {row:?}");
+        let bias = v.field("bias").unwrap().as_f64().unwrap();
+        let contribs = v.field("contributions").unwrap().as_f64_vec().unwrap();
+        let folded = contribs.iter().fold(bias, |acc, &c| acc + c);
+        assert_eq!(folded.to_bits(), pred.to_bits(), "attributions do not fold to prediction");
+        // The explained features are the model's kept columns, and the
+        // offline twin agrees attribution-for-attribution.
+        let features = v.field("features").unwrap().as_string_vec().unwrap();
+        assert_eq!(features, offline.feature_names());
+        let (obias, opred, ocontribs) = offline.explain_row(row);
+        assert_eq!(opred.to_bits(), pred.to_bits(), "offline prediction diverged");
+        assert_eq!(obias.to_bits(), bias.to_bits(), "offline bias diverged");
+        assert_eq!(contribs.len(), ocontribs.len());
+        for (i, (&c, &o)) in contribs.iter().zip(&ocontribs).enumerate() {
+            assert_eq!(c.to_bits(), o.to_bits(), "contribution {i} diverged");
+        }
+        let top = v.field("top").unwrap().as_arr().unwrap().to_vec();
+        assert_eq!(top.len(), 5.min(contribs.len()), "default top-k is 5");
+    };
+
+    let rows: Vec<Vec<f64>> = (0..12)
+        .map(|i| (0..names.len()).map(|j| ((i * 3 + j) % 9) as f64 + 0.25).collect())
+        .collect();
+    for row in &rows {
+        check_row(&mut client, row, "v1");
+    }
+
+    // Hot-swap to a v2 artifact; the attribution contract must follow
+    // the new version without a beat skipped.
+    std::fs::copy(dir.join("v1.json"), dir.join("v2.json")).expect("persist v2");
+    let (status, body) = client.post("/reload", "").expect("reload");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("v2"), "{body}");
+    for row in rows.iter().take(4) {
+        check_row(&mut client, row, "v2");
+    }
+
+    // The alert ring answers with its document shape (the ring is
+    // process-global, so other tests may already have raised into it).
+    let (status, body) = client.get("/alerts").expect("alerts");
+    assert_eq!(status, 200, "{body}");
+    let a = JsonValue::parse(&body).expect("alerts json");
+    a.field("alerts").unwrap().as_arr().expect("alerts array");
+    a.field("raised").unwrap().as_usize().expect("raised count");
+
+    // Prometheus exposition is reachable over the wire.
+    let (status, body) = client.get("/metrics.prom").expect("prom");
+    assert_eq!(status, 200);
+    assert!(body.contains("# TYPE serve_requests counter"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn explain_parity_and_alerts_threaded() {
+    explain_parity_and_alerts(Frontend::Threaded, "explain-threaded");
+}
+
+#[test]
+fn explain_parity_and_alerts_event_loop() {
+    explain_parity_and_alerts(Frontend::EventLoop, "explain-eventloop");
+}
+
 /// Sharded accept: with `SO_REUSEPORT` available (Linux) every acceptor
 /// shard owns its own listener on the shared port, and traffic over many
 /// fresh connections — which the kernel hashes across the shard
